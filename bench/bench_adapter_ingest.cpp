@@ -1,0 +1,70 @@
+// §6/§7 adapter fan-in: throughput of the full sensing loop — simulated
+// world -> adapters -> location service — for growing populations and
+// technology mixes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adapters/rfid.hpp"
+#include "adapters/ubisense.hpp"
+#include "core/middlewhere.hpp"
+#include "sim/blueprint.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+using namespace mw;
+
+static void BM_ScenarioSensingLoop(benchmark::State& state) {
+  const int people = static_cast<int>(state.range(0));
+  util::VirtualClock clock;
+  sim::Blueprint bp = sim::generateBlueprint({.floors = 1, .roomsPerSide = 8});
+  core::Middlewhere mw(clock, bp.universe, bp.frames());
+  bp.populate(mw.database());
+  mw.locationService().connectivity() = bp.connectivity();
+  sim::World world(bp, 17);
+  for (int p = 0; p < people; ++p) {
+    world.addPerson({util::MobileObjectId{"p" + std::to_string(p)},
+                     "10" + std::to_string(1 + p % 8), 4.0, 1.0, 1.0, 0.0});
+  }
+  sim::Scenario scenario(clock, world,
+                         [&](const db::SensorReading& r) { mw.locationService().ingest(r); });
+  auto ubi = std::make_shared<adapters::UbisenseAdapter>(
+      util::AdapterId{"ubi"}, util::SensorId{"ubi-1"},
+      adapters::UbisenseConfig{bp.universe, 0.5, 0.9, util::sec(5), ""});
+  ubi->registerWith(mw.database());
+  scenario.addAdapter(ubi, util::sec(1));
+  auto rf = std::make_shared<adapters::RfidBadgeAdapter>(
+      util::AdapterId{"rf"}, util::SensorId{"rf-1"},
+      adapters::RfidConfig{bp.centerOf("104"), 15.0, 0.9, util::sec(60), ""});
+  rf->registerWith(mw.database());
+  scenario.addAdapter(rf, util::sec(2));
+
+  std::size_t readings = 0;
+  for (auto _ : state) {
+    readings += scenario.run(util::sec(10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(readings));
+  state.SetLabel(std::to_string(people) + " people, 10 sim-seconds/iter");
+}
+BENCHMARK(BM_ScenarioSensingLoop)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_AdapterSampleOnly(benchmark::State& state) {
+  // Isolates the adapter sampling cost (no service behind it).
+  util::VirtualClock clock;
+  sim::Blueprint bp = sim::generateBlueprint({.floors = 1, .roomsPerSide = 8});
+  sim::World world(bp, 17);
+  for (int p = 0; p < state.range(0); ++p) {
+    world.addPerson({util::MobileObjectId{"p" + std::to_string(p)},
+                     "10" + std::to_string(1 + p % 8), 4.0, 1.0, 1.0, 0.0});
+  }
+  adapters::UbisenseAdapter ubi(util::AdapterId{"ubi"}, util::SensorId{"ubi-1"},
+                                adapters::UbisenseConfig{bp.universe, 0.5, 0.9, util::sec(5),
+                                                         ""});
+  std::size_t sink = 0;
+  ubi.connect([&](const db::SensorReading&) { ++sink; });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ubi.sample(world, clock, world.rng()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sink));
+}
+BENCHMARK(BM_AdapterSampleOnly)->Arg(1)->Arg(16)->Arg(64);

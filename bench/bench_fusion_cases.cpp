@@ -1,0 +1,96 @@
+// Reproduction of the fusion worked examples: Eqs 4-6 and the three
+// two-sensor cases of §4.1.2 (Figs 2-4), plus the measured divergence of
+// the paper's printed Eq. 7 from its own Eq. 4 derivation (see
+// EXPERIMENTS.md fidelity note).
+#include <cstdio>
+
+#include "fusion/engine.hpp"
+
+using namespace mw;
+using fusion::FusionInput;
+using fusion::FusionInputs;
+
+namespace {
+const geo::Rect kUniverse = geo::Rect::fromOrigin({0, 0}, 500, 100);  // a building floor
+
+FusionInput in(const char* id, geo::Rect r, double p, double q, bool moving = false) {
+  return FusionInput{util::SensorId{id}, r, p, q, moving};
+}
+}  // namespace
+
+int main() {
+  fusion::FusionEngine engine(kUniverse);
+
+  // --- Case 1 (Fig 2, Eq 4/5): rectangle A contained in B ----------------------
+  std::printf("# Case 1: A (Ubisense, 1x1) inside B (RFID, 30x30); reinforcement\n");
+  std::printf("%-8s %-12s %-16s %-16s %-12s\n", "p1", "P(B|s2)", "P(B|s1,s2)", "eq4_closed",
+              "eq7_verbatim");
+  geo::Rect b = geo::Rect::fromOrigin({100, 30}, 30, 30);
+  geo::Rect a = geo::Rect::fromOrigin({110, 40}, 1, 1);
+  FusionInput s2 = in("rfid", b, 0.75, 0.25 * b.area() / kUniverse.area());
+  for (double p1 : {0.5, 0.7, 0.9, 0.95, 0.99}) {
+    FusionInput s1 = in("ubi", a, p1, 0.05 * a.area() / kUniverse.area());
+    double single = fusion::regionProbability(b, {s2}, kUniverse);
+    double both = fusion::regionProbability(b, {s1, s2}, kUniverse);
+    double eq4 = fusion::containedPairProbability(s1.p, s1.q, a.area(), s2.p, s2.q, b.area(),
+                                                  kUniverse.area());
+    double verbatim = fusion::regionProbabilityPaperEq7(b, {s1, s2}, kUniverse);
+    std::printf("%-8.2f %-12.4f %-16.4f %-16.4f %-12.4f\n", p1, single, both, eq4, verbatim);
+  }
+
+  // --- Case 2 (Fig 3, Eq 6): intersecting rectangles ----------------------------
+  std::printf("\n# Case 2: A and B intersect; probability mass concentrates in C = A n B\n");
+  std::printf("%-10s %-10s %-10s %-10s\n", "overlap", "P(C)", "P(A)", "P(B)");
+  for (double shift : {2.0, 5.0, 8.0}) {
+    geo::Rect ra = geo::Rect::fromOrigin({100, 40}, 10, 10);
+    geo::Rect rb = geo::Rect::fromOrigin({100 + shift, 40}, 10, 10);
+    FusionInputs ins{in("s1", ra, 0.9, 0.001), in("s2", rb, 0.9, 0.001)};
+    geo::Rect c = *ra.intersection(rb);
+    std::printf("%-10.0f %-10.4f %-10.4f %-10.4f\n", c.area(),
+                fusion::regionProbability(c, ins, kUniverse),
+                fusion::regionProbability(ra, ins, kUniverse),
+                fusion::regionProbability(rb, ins, kUniverse));
+  }
+
+  // --- Case 3 (Fig 4): disjoint rectangles = conflict ---------------------------
+  std::printf("\n# Case 3: disjoint readings; conflict resolution (rule 1 then rule 2)\n");
+  std::printf("%-28s %-14s %-12s\n", "scenario", "winner", "discarded");
+  struct Scenario {
+    const char* name;
+    FusionInputs inputs;
+  };
+  Scenario scenarios[] = {
+      {"moving badge vs parked tag",
+       {in("badge", geo::Rect::fromOrigin({50, 40}, 5, 5), 0.7, 0.001, true),
+        in("tag", geo::Rect::fromOrigin({300, 40}, 5, 5), 0.95, 0.001, false)}},
+      {"both parked, strong vs weak",
+       {in("strong", geo::Rect::fromOrigin({50, 40}, 5, 5), 0.99, 0.0001),
+        in("weak", geo::Rect::fromOrigin({300, 40}, 5, 5), 0.6, 0.01)}},
+      {"3-way conflict",
+       {in("a", geo::Rect::fromOrigin({50, 40}, 5, 5), 0.9, 0.001, true),
+        in("b", geo::Rect::fromOrigin({200, 40}, 5, 5), 0.9, 0.001),
+        in("c", geo::Rect::fromOrigin({400, 40}, 5, 5), 0.7, 0.01)}},
+  };
+  for (auto& s : scenarios) {
+    auto est = engine.infer(s.inputs);
+    std::string discarded;
+    for (const auto& d : est->discarded) discarded += d.str() + " ";
+    std::string winner;
+    for (const auto& sup : est->supporting) winner += sup.str() + " ";
+    std::printf("%-28s %-14s %-12s\n", s.name, winner.c_str(), discarded.c_str());
+  }
+
+  // --- Eq 7 fidelity gap ----------------------------------------------------------
+  std::printf("\n# printed-Eq7 vs derivation-consistent formula, contained pair (see DESIGN.md)\n");
+  std::printf("%-10s %-16s %-16s %-10s\n", "areaB", "derived(=eq4)", "printed_eq7", "gap");
+  for (double side : {10.0, 20.0, 40.0, 80.0}) {
+    geo::Rect outer = geo::Rect::fromOrigin({100, 10}, side, side);
+    geo::Rect inner = geo::Rect::fromOrigin({102, 12}, 2, 2);
+    FusionInputs ins{in("s1", inner, 0.9, 0.001), in("s2", outer, 0.8, 0.01)};
+    double derived = fusion::regionProbability(outer, ins, kUniverse);
+    double printedEq7 = fusion::regionProbabilityPaperEq7(outer, ins, kUniverse);
+    std::printf("%-10.0f %-16.4f %-16.4f %-10.4f\n", outer.area(), derived, printedEq7,
+                derived - printedEq7);
+  }
+  return 0;
+}

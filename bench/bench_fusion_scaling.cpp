@@ -1,0 +1,82 @@
+// Eq. 7 / fusion-engine scaling with the number of sensor readings
+// (DESIGN.md experiment index: "Eq 7 evaluation cost vs n").
+#include <benchmark/benchmark.h>
+
+#include "fusion/engine.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+
+namespace {
+
+const geo::Rect kUniverse = geo::Rect::fromOrigin({0, 0}, 500, 100);
+
+fusion::FusionInputs makeInputs(int n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  fusion::FusionInputs inputs;
+  // Overlapping cluster around one spot — the realistic multi-sensor case.
+  for (int i = 0; i < n; ++i) {
+    double r = rng.uniform(0.5, 12.0);
+    geo::Point2 c{100 + rng.uniform(-4, 4), 50 + rng.uniform(-4, 4)};
+    inputs.push_back(fusion::FusionInput{util::SensorId{"s" + std::to_string(i)},
+                                         geo::Rect::centeredSquare(c, r), 0.9,
+                                         0.05 * r * r / kUniverse.area(), i % 3 == 0});
+  }
+  return inputs;
+}
+
+}  // namespace
+
+static void BM_RegionProbability(benchmark::State& state) {
+  auto inputs = makeInputs(static_cast<int>(state.range(0)), 42);
+  geo::Rect region = geo::Rect::centeredSquare({100, 50}, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::regionProbability(region, inputs, kUniverse));
+  }
+}
+BENCHMARK(BM_RegionProbability)->RangeMultiplier(2)->Range(1, 64);
+
+static void BM_FusionInfer(benchmark::State& state) {
+  fusion::FusionEngine engine(kUniverse);
+  auto inputs = makeInputs(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.infer(inputs));
+  }
+}
+BENCHMARK(BM_FusionInfer)->RangeMultiplier(2)->Range(1, 16);
+
+static void BM_FusionInferWithConflicts(benchmark::State& state) {
+  // Half the sensors agree, half report disjoint far-away regions.
+  fusion::FusionEngine engine(kUniverse);
+  auto inputs = makeInputs(static_cast<int>(state.range(0)), 42);
+  util::Rng rng{7};
+  for (int i = 0; i < state.range(0); ++i) {
+    inputs.push_back(fusion::FusionInput{
+        util::SensorId{"conflict" + std::to_string(i)},
+        geo::Rect::centeredSquare({rng.uniform(300, 480), rng.uniform(10, 90)}, 2), 0.8,
+        0.0005});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.infer(inputs));
+  }
+}
+BENCHMARK(BM_FusionInferWithConflicts)->RangeMultiplier(2)->Range(1, 8);
+
+static void BM_Distribution(benchmark::State& state) {
+  fusion::FusionEngine engine(kUniverse);
+  auto inputs = makeInputs(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.distribution(inputs, true));
+  }
+}
+BENCHMARK(BM_Distribution)->RangeMultiplier(2)->Range(1, 8);
+
+static void BM_Classification(benchmark::State& state) {
+  std::vector<double> ps;
+  for (int i = 0; i < state.range(0); ++i) ps.push_back(0.5 + 0.4 * i / state.range(0));
+  for (auto _ : state) {
+    auto thresholds = fusion::computeThresholds(ps);
+    benchmark::DoNotOptimize(fusion::classify(0.87, thresholds));
+  }
+}
+BENCHMARK(BM_Classification)->Arg(4)->Arg(16);

@@ -1,0 +1,60 @@
+// GLOB parse/format and coordinate-frame conversion micro-benchmarks (§3):
+// these sit on every symbolic query and every cross-frame reading ingest.
+#include <benchmark/benchmark.h>
+
+#include "glob/frame.hpp"
+#include "glob/glob.hpp"
+
+using namespace mw;
+
+static void BM_GlobParseSymbolic(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(glob::Glob::parse("SC/3/3216/lightswitch1"));
+  }
+}
+BENCHMARK(BM_GlobParseSymbolic);
+
+static void BM_GlobParseCoordinatePolygon(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(glob::Glob::parse("SC/3/(45,12),(45,40),(65,40),(65,12)"));
+  }
+}
+BENCHMARK(BM_GlobParseCoordinatePolygon);
+
+static void BM_GlobFormat(benchmark::State& state) {
+  glob::Glob g = glob::Glob::parse("SC/3/3216/(12,3,4)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.str());
+  }
+}
+BENCHMARK(BM_GlobFormat);
+
+static void BM_FrameConvertDeepHierarchy(benchmark::State& state) {
+  // Building -> floor -> room -> desk, converting desk-local to building.
+  glob::FrameTree tree;
+  tree.addRoot("SC");
+  std::string parent = "SC";
+  for (int depth = 0; depth < state.range(0); ++depth) {
+    std::string name = parent + "/f" + std::to_string(depth);
+    tree.addFrame(name, parent, glob::Transform2{{10.0 + depth, 5.0}, 0.1});
+    parent = name;
+  }
+  geo::Point2 p{1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.toRoot(parent, p));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " levels");
+}
+BENCHMARK(BM_FrameConvertDeepHierarchy)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_FrameConvertRect(benchmark::State& state) {
+  glob::FrameTree tree;
+  tree.addRoot("SC");
+  tree.addFrame("SC/3", "SC", glob::Transform2{{100, 50}, 0});
+  tree.addFrame("SC/3/3216", "SC/3", glob::Transform2{{45, 12}, 0});
+  geo::Rect r = geo::Rect::fromOrigin({1, 1}, 5, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.convertRect("SC/3/3216", "SC", r));
+  }
+}
+BENCHMARK(BM_FrameConvertRect);

@@ -1,0 +1,112 @@
+// Rectangle-lattice construction scaling (Figs 5-6): cost of building the
+// containment lattice, of the intersection closure, and of edge refresh.
+#include <benchmark/benchmark.h>
+
+#include "core/region_lattice.hpp"
+#include "lattice/rect_lattice.hpp"
+#include "sim/blueprint.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+
+namespace {
+const geo::Rect kUniverse = geo::Rect::fromOrigin({0, 0}, 500, 100);
+
+std::vector<geo::Rect> clusteredRects(int n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<geo::Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    double r = rng.uniform(0.5, 10.0);
+    rects.push_back(geo::Rect::centeredSquare(
+        {100 + rng.uniform(-6, 6), 50 + rng.uniform(-6, 6)}, r));
+  }
+  return rects;
+}
+
+std::vector<geo::Rect> scatteredRects(int n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<geo::Rect> rects;
+  for (int i = 0; i < n; ++i) {
+    rects.push_back(geo::Rect::centeredSquare(
+        {rng.uniform(20, 480), rng.uniform(10, 90)}, rng.uniform(0.5, 8.0)));
+  }
+  return rects;
+}
+}  // namespace
+
+static void BM_LatticeBuildClustered(benchmark::State& state) {
+  auto rects = clusteredRects(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    lattice::RectLattice lat(kUniverse);
+    for (std::size_t i = 0; i < rects.size(); ++i) lat.insert(rects[i], std::to_string(i));
+    benchmark::DoNotOptimize(lat.size());
+  }
+}
+BENCHMARK(BM_LatticeBuildClustered)->RangeMultiplier(2)->Range(1, 16);
+
+static void BM_LatticeBuildScattered(benchmark::State& state) {
+  auto rects = scatteredRects(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    lattice::RectLattice lat(kUniverse);
+    for (std::size_t i = 0; i < rects.size(); ++i) lat.insert(rects[i], std::to_string(i));
+    benchmark::DoNotOptimize(lat.size());
+  }
+}
+BENCHMARK(BM_LatticeBuildScattered)->RangeMultiplier(2)->Range(1, 64);
+
+static void BM_LatticeEdgeRefresh(benchmark::State& state) {
+  auto rects = clusteredRects(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    state.PauseTiming();
+    lattice::RectLattice lat(kUniverse);
+    for (std::size_t i = 0; i < rects.size(); ++i) lat.insert(rects[i], std::to_string(i));
+    state.ResumeTiming();
+    lat.refreshEdges();
+    benchmark::DoNotOptimize(lat.bottomParents());
+  }
+}
+BENCHMARK(BM_LatticeEdgeRefresh)->RangeMultiplier(2)->Range(2, 16);
+
+static void BM_LatticeBottomParents(benchmark::State& state) {
+  auto rects = clusteredRects(static_cast<int>(state.range(0)), 42);
+  lattice::RectLattice lat(kUniverse);
+  for (std::size_t i = 0; i < rects.size(); ++i) lat.insert(rects[i], std::to_string(i));
+  lat.refreshEdges();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lat.bottomParents());
+  }
+}
+BENCHMARK(BM_LatticeBottomParents)->Arg(4)->Arg(8)->Arg(16);
+
+// --- symbolic-region lattice (§4.5) --------------------------------------------
+
+static void BM_SymbolicLatticeBuild(benchmark::State& state) {
+  sim::Blueprint bp = sim::generateBlueprint(
+      {.floors = static_cast<int>(state.range(0)), .roomsPerSide = 8});
+  for (auto _ : state) {
+    core::RegionLattice lat;
+    for (const auto& room : bp.rooms) lat.add(room.name, room.rect);
+    for (std::size_t f = 0; f < bp.floorOutlines.size(); ++f) {
+      lat.add("floor-" + std::to_string(f), bp.floorOutlines[f]);
+    }
+    lat.refreshEdges();
+    benchmark::DoNotOptimize(lat.size());
+  }
+  state.SetLabel(std::to_string(bp.rooms.size() + bp.floorOutlines.size()) + " regions");
+}
+BENCHMARK(BM_SymbolicLatticeBuild)->Arg(1)->Arg(4)->Arg(16);
+
+static void BM_SymbolicLatticeChainAt(benchmark::State& state) {
+  sim::Blueprint bp = sim::generateBlueprint({.floors = 8, .roomsPerSide = 8});
+  core::RegionLattice lat;
+  for (const auto& room : bp.rooms) lat.add(room.name, room.rect);
+  for (std::size_t f = 0; f < bp.floorOutlines.size(); ++f) {
+    lat.add("floor-" + std::to_string(f), bp.floorOutlines[f]);
+  }
+  lat.refreshEdges();
+  geo::Point2 inside = bp.roomNamed("101")->rect.center();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lat.chainAt(inside));
+  }
+}
+BENCHMARK(BM_SymbolicLatticeChainAt);

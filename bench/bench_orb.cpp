@@ -1,0 +1,97 @@
+// MicroOrb microbenchmarks: wire codec, in-process RPC round trip, TCP
+// loopback round trip, event publication fan-out — the marshalling/IPC
+// costs underlying the Fig-9 trigger path.
+#include <benchmark/benchmark.h>
+
+#include "core/codec.hpp"
+#include "orb/message.hpp"
+#include "orb/rpc.hpp"
+#include "orb/tcp.hpp"
+#include "orb/transport.hpp"
+
+using namespace mw;
+
+static void BM_MessageEncode(benchmark::State& state) {
+  orb::Message m;
+  m.type = orb::MessageType::Request;
+  m.requestId = 42;
+  m.target = "probabilityInRegion";
+  m.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.encode());
+  }
+}
+BENCHMARK(BM_MessageEncode)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_MessageDecode(benchmark::State& state) {
+  orb::Message m;
+  m.target = "probabilityInRegion";
+  m.payload.assign(static_cast<std::size_t>(state.range(0)), 0xAB);
+  util::Bytes frame = m.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orb::Message::decode(frame));
+  }
+}
+BENCHMARK(BM_MessageDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_ReadingCodecRoundTrip(benchmark::State& state) {
+  db::SensorReading r;
+  r.sensorId = util::SensorId{"Ubi-18"};
+  r.globPrefix = "SC/Floor3/3102";
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = util::MobileObjectId{"ralph-bat"};
+  r.location = {41, 3};
+  r.detectionRadius = 0.5;
+  r.symbolicRegion = geo::Rect::fromOrigin({40, 0}, 20, 30);
+  for (auto _ : state) {
+    util::ByteWriter w;
+    core::encodeReading(w, r);
+    util::ByteReader reader(w.bytes());
+    benchmark::DoNotOptimize(core::decodeReading(reader));
+  }
+}
+BENCHMARK(BM_ReadingCodecRoundTrip);
+
+static void BM_InProcRpcRoundTrip(benchmark::State& state) {
+  auto [clientSide, serverSide] = orb::makeInProcPair();
+  orb::RpcServer server;
+  server.registerMethod("echo", [](const util::Bytes& in) { return in; });
+  server.serve(serverSide);
+  orb::RpcClient client(clientSide);
+  util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call("echo", payload));
+  }
+}
+BENCHMARK(BM_InProcRpcRoundTrip)->Arg(16)->Arg(1024);
+
+static void BM_TcpRpcRoundTrip(benchmark::State& state) {
+  orb::RpcServer server;
+  server.registerMethod("echo", [](const util::Bytes& in) { return in; });
+  orb::TcpListener listener(0, [&](std::shared_ptr<orb::Transport> t) {
+    server.serve(std::move(t));
+  });
+  orb::RpcClient client(orb::tcpConnect("127.0.0.1", listener.port()));
+  util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call("echo", payload));
+  }
+}
+BENCHMARK(BM_TcpRpcRoundTrip)->Arg(16)->Arg(1024);
+
+static void BM_EventPublishFanOut(benchmark::State& state) {
+  orb::RpcServer server;
+  std::vector<std::shared_ptr<orb::Transport>> keepAlive;
+  for (int i = 0; i < state.range(0); ++i) {
+    auto [a, b] = orb::makeInProcPair();
+    a->onReceive([](const util::Bytes&) {});
+    keepAlive.push_back(a);
+    server.serve(b);
+  }
+  util::Bytes payload(64, 0x11);
+  for (auto _ : state) {
+    server.publish("notify.1", payload);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " subscribers");
+}
+BENCHMARK(BM_EventPublishFanOut)->Arg(1)->Arg(8)->Arg(64);

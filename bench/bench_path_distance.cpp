@@ -1,0 +1,81 @@
+// §4.6 distance measures: Euclidean vs path distance, and path-query cost
+// versus building size (rooms in the connectivity graph).
+#include <benchmark/benchmark.h>
+
+#include "reasoning/connectivity.hpp"
+#include "sim/blueprint.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+
+namespace {
+reasoning::ConnectivityGraph buildingGraph(int floors) {
+  sim::Blueprint bp = sim::generateBlueprint({.floors = floors, .roomsPerSide = 8});
+  auto graph = bp.connectivity();
+  // Stitch consecutive floors with a stairwell between their corridors.
+  for (int f = 1; f < floors; ++f) {
+    std::string a = std::to_string(f) + "00";
+    std::string b = std::to_string(f + 1) + "00";
+    graph.connect(a, b, graph.regionRect(a).center());
+  }
+  return graph;
+}
+}  // namespace
+
+static void BM_EuclideanDistance(benchmark::State& state) {
+  auto graph = buildingGraph(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.euclideanDistance("101", "158"));
+  }
+}
+BENCHMARK(BM_EuclideanDistance);
+
+static void BM_PathDistanceSameFloor(benchmark::State& state) {
+  auto graph = buildingGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.pathDistance("101", "158"));
+  }
+  state.SetLabel(std::to_string(graph.regionCount()) + " regions");
+}
+BENCHMARK(BM_PathDistanceSameFloor)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_PathDistanceAcrossBuilding(benchmark::State& state) {
+  int floors = static_cast<int>(state.range(0));
+  auto graph = buildingGraph(floors);
+  std::string far = std::to_string(floors) + "58";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.pathDistance("101", far));
+  }
+  state.SetLabel(std::to_string(graph.regionCount()) + " regions");
+}
+BENCHMARK(BM_PathDistanceAcrossBuilding)->Arg(2)->Arg(8)->Arg(32);
+
+static void BM_RouteWithRegionSequence(benchmark::State& state) {
+  auto graph = buildingGraph(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.route("101", "458"));
+  }
+}
+BENCHMARK(BM_RouteWithRegionSequence);
+
+static void BM_RouteAStarCrossBuilding(benchmark::State& state) {
+  // Same query as Dijkstra's cross-building case: the Euclidean heuristic
+  // should cut expanded states on long corridor-heavy routes.
+  int floors = static_cast<int>(state.range(0));
+  auto graph = buildingGraph(floors);
+  std::string far = std::to_string(floors) + "58";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.routeAStar("101", far));
+  }
+  state.SetLabel(std::to_string(graph.regionCount()) + " regions");
+}
+BENCHMARK(BM_RouteAStarCrossBuilding)->Arg(2)->Arg(8)->Arg(32);
+
+static void BM_RegionAtPoint(benchmark::State& state) {
+  auto graph = buildingGraph(static_cast<int>(state.range(0)));
+  util::Rng rng{3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.regionAt({rng.uniform(0, 600), rng.uniform(0, 60)}));
+  }
+}
+BENCHMARK(BM_RegionAtPoint)->Arg(1)->Arg(16);

@@ -1,0 +1,133 @@
+// §4.2 query latency: object-based and region-based queries through the
+// Location Service, as a function of tracked-population size and of the
+// number of fresh readings per person.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/location_service.hpp"
+#include "sim/blueprint.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+
+namespace {
+
+struct Fixture {
+  util::VirtualClock clock;
+  sim::Blueprint bp;
+  std::unique_ptr<db::SpatialDatabase> database;
+  std::unique_ptr<core::LocationService> service;
+
+  Fixture(int people, int sensorsPerPerson)
+      : bp(sim::generateBlueprint({.floors = 2, .roomsPerSide = 8})) {
+    database = std::make_unique<db::SpatialDatabase>(clock, bp.universe, bp.frames());
+    bp.populate(*database);
+    service = std::make_unique<core::LocationService>(clock, *database);
+    service->connectivity() = bp.connectivity();
+
+    util::Rng rng{99};
+    for (int s = 0; s < sensorsPerPerson; ++s) {
+      db::SensorMeta meta;
+      meta.sensorId = util::SensorId{"ubi-" + std::to_string(s)};
+      meta.sensorType = "Ubisense";
+      meta.errorSpec = quality::ubisenseSpec(1.0);
+      meta.scaleMisidentifyByArea = true;
+      meta.quality.ttl = util::minutes(10);
+      database->registerSensor(meta);
+    }
+    for (int p = 0; p < people; ++p) {
+      geo::Point2 where{rng.uniform(10, bp.universe.hi().x - 10),
+                        rng.uniform(10, bp.universe.hi().y - 10)};
+      for (int s = 0; s < sensorsPerPerson; ++s) {
+        db::SensorReading r;
+        r.sensorId = util::SensorId{"ubi-" + std::to_string(s)};
+        r.sensorType = "Ubisense";
+        r.mobileObjectId = util::MobileObjectId{"p" + std::to_string(p)};
+        r.location = {where.x + rng.gaussian(0, 0.2), where.y + rng.gaussian(0, 0.2)};
+        r.detectionRadius = 0.5 + s;
+        r.detectionTime = clock.now();
+        service->ingest(r);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+static void BM_LocateObject(benchmark::State& state) {
+  Fixture f(10, static_cast<int>(state.range(0)));
+  util::MobileObjectId who{"p0"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->locateObject(who));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " readings/person");
+}
+BENCHMARK(BM_LocateObject)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+static void BM_LocateSymbolic(benchmark::State& state) {
+  Fixture f(10, 2);
+  util::MobileObjectId who{"p0"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->locateSymbolic(who));
+  }
+}
+BENCHMARK(BM_LocateSymbolic);
+
+static void BM_ProbabilityInRegion(benchmark::State& state) {
+  Fixture f(10, 2);
+  util::MobileObjectId who{"p0"};
+  geo::Rect room = f.bp.roomNamed("101")->rect;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->probabilityInRegion(who, room));
+  }
+}
+BENCHMARK(BM_ProbabilityInRegion);
+
+static void BM_ObjectsInRegion(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)), 2);
+  geo::Rect wing = geo::Rect::fromOrigin({0, 0}, f.bp.universe.hi().x / 2,
+                                         f.bp.universe.hi().y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->objectsInRegion(wing, 0.2));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " people");
+}
+BENCHMARK(BM_ObjectsInRegion)->Arg(1)->Arg(10)->Arg(100);
+
+static void BM_ProximityQuery(benchmark::State& state) {
+  Fixture f(10, 2);
+  util::MobileObjectId a{"p0"}, b{"p1"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->proximity(a, b, 30.0));
+  }
+}
+BENCHMARK(BM_ProximityQuery);
+
+static void BM_IngestWithSubscriptions(benchmark::State& state) {
+  Fixture f(1, 1);
+  util::Rng rng{5};
+  // N programmed subscriptions elsewhere + 1 live one (the Fig-9 in-process
+  // analogue, without the ORB hop).
+  geo::Rect target = f.bp.roomNamed("101")->rect;
+  f.service->subscribe(
+      {target, std::nullopt, 0.1, std::nullopt, false, [](const core::Notification&) {}});
+  for (int i = 1; i < state.range(0); ++i) {
+    f.service->subscribe({geo::Rect::fromOrigin({f.bp.universe.hi().x - 2, 2.0 + 0.01 * i}, 1, 1),
+                          std::nullopt, 0.99, std::nullopt, false,
+                          [](const core::Notification&) {}});
+  }
+  db::SensorReading r;
+  r.sensorId = util::SensorId{"ubi-0"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = util::MobileObjectId{"p0"};
+  r.detectionRadius = 0.5;
+  for (auto _ : state) {
+    r.location = target.center() + geo::Point2{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    r.detectionTime = f.clock.now();
+    f.service->ingest(r);
+    f.clock.advance(util::msec(100));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " subscriptions");
+}
+BENCHMARK(BM_IngestWithSubscriptions)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);

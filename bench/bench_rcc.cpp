@@ -1,0 +1,101 @@
+// §4.6.1: "Evaluating the relation between 2 regions is just O(1) given the
+// vertices of the two regions." This bench confirms constant per-pair cost
+// regardless of how many regions exist, and measures the EC refinement and
+// Datalog reachability saturation on top.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "reasoning/passages.hpp"
+#include "reasoning/rcc8.hpp"
+#include "reasoning/spatial_rules.hpp"
+#include "sim/blueprint.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+
+static void BM_Rcc8PairEvaluation(benchmark::State& state) {
+  // The number of OTHER regions present must not matter: rcc8 is pairwise.
+  util::Rng rng{11};
+  std::vector<geo::Rect> rects;
+  for (int i = 0; i < state.range(0); ++i) {
+    rects.push_back(geo::Rect::fromOrigin({rng.uniform(0, 480), rng.uniform(0, 80)},
+                                          rng.uniform(1, 20), rng.uniform(1, 20)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const geo::Rect& a = rects[i % rects.size()];
+    const geo::Rect& b = rects[(i * 7 + 1) % rects.size()];
+    benchmark::DoNotOptimize(reasoning::rcc8(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Rcc8PairEvaluation)->Arg(8)->Arg(64)->Arg(512);
+
+static void BM_Rcc8PolygonEvaluation(benchmark::State& state) {
+  // Exact-outline RCC-8 (cf. §5.1's two-phase MBR-then-exact processing):
+  // cost grows with vertex count, versus the O(1) rectangle path.
+  int vertices = static_cast<int>(state.range(0));
+  auto ring = [&](geo::Point2 c, double r) {
+    std::vector<geo::Point2> pts;
+    for (int i = 0; i < vertices; ++i) {
+      double a = 2 * 3.14159265358979 * i / vertices;
+      pts.push_back({c.x + r * std::cos(a), c.y + r * std::sin(a)});
+    }
+    return geo::Polygon{std::move(pts)};
+  };
+  geo::Polygon a = ring({0, 0}, 10);
+  geo::Polygon b = ring({8, 0}, 10);  // partial overlap
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reasoning::rcc8(a, b));
+  }
+}
+BENCHMARK(BM_Rcc8PolygonEvaluation)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_EcClassification(benchmark::State& state) {
+  // Cost of ECFP/ECRP/ECNP classification grows with the passage count only.
+  geo::Rect a = geo::Rect::fromOrigin({0, 0}, 10, 10);
+  geo::Rect b = geo::Rect::fromOrigin({10, 0}, 10, 10);
+  std::vector<reasoning::Passage> passages;
+  util::Rng rng{5};
+  for (int i = 0; i < state.range(0); ++i) {
+    double y = rng.uniform(0, 100);
+    passages.push_back({"d" + std::to_string(i), {{200, y}, {200, y + 2}},
+                        reasoning::PassageKind::Free});
+  }
+  passages.push_back({"real", {{10, 4}, {10, 6}}, reasoning::PassageKind::Free});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reasoning::classifyEc(a, b, passages));
+  }
+}
+BENCHMARK(BM_EcClassification)->Arg(1)->Arg(16)->Arg(128);
+
+static void BM_SpatialFactAssertion(benchmark::State& state) {
+  // Asserting all pairwise RCC-8 facts for a building: O(n^2) pairs.
+  sim::Blueprint bp = sim::generateBlueprint(
+      {.floors = static_cast<int>(state.range(0)), .roomsPerSide = 4});
+  std::vector<reasoning::NamedRegion> regions;
+  for (const auto& room : bp.rooms) regions.push_back({room.name, room.rect});
+  for (auto _ : state) {
+    reasoning::Datalog db;
+    reasoning::assertSpatialFacts(db, regions, bp.doors);
+    benchmark::DoNotOptimize(db.factCount());
+  }
+}
+BENCHMARK(BM_SpatialFactAssertion)->Arg(1)->Arg(2)->Arg(4);
+
+static void BM_ReachabilitySaturation(benchmark::State& state) {
+  // Datalog transitive closure over the building's free-passage graph.
+  sim::Blueprint bp = sim::generateBlueprint(
+      {.floors = static_cast<int>(state.range(0)), .roomsPerSide = 4});
+  std::vector<reasoning::NamedRegion> regions;
+  for (const auto& room : bp.rooms) regions.push_back({room.name, room.rect});
+  for (auto _ : state) {
+    reasoning::Datalog db;
+    reasoning::assertSpatialFacts(db, regions, bp.doors);
+    reasoning::installReachabilityRules(db);
+    db.saturate();
+    benchmark::DoNotOptimize(db.factCount());
+  }
+}
+BENCHMARK(BM_ReachabilitySaturation)->Arg(1)->Arg(2);

@@ -1,0 +1,126 @@
+// Table 1 / Fig 8 reproduction: the spatial table of the paper's floor,
+// plus insert/query throughput of the spatial database that stores it.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/blueprint.hpp"
+#include "spatialdb/database.hpp"
+#include "spatialdb/snapshot.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double usSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(Clock::now() -
+                                                                               start)
+      .count();
+}
+
+void printRow(const db::SpatialObjectRow& row) {
+  std::ostringstream points;
+  for (std::size_t i = 0; i < row.points.size(); ++i) {
+    if (i) points << ", ";
+    points << row.points[i];
+  }
+  std::printf("| %-12s | %-9s | %-8s | %-8s | %s\n", row.id.str().c_str(),
+              row.globPrefix.c_str(), std::string(toString(row.objectType)).c_str(),
+              std::string(toString(row.geometryType)).c_str(), points.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  util::VirtualClock clock;
+
+  // --- the paper's own floor (Table 1 content) ---------------------------------
+  std::printf("# Table 1: database table representing the floor (paper rows + inferred doors)\n");
+  std::printf("| %-12s | %-9s | %-8s | %-8s | %s\n", "ObjectId", "GlobPref", "ObjType",
+              "GeomType", "Points");
+  sim::Blueprint floor = sim::paperFloor();
+  db::SpatialDatabase paperDb(clock, floor.universe, floor.frames());
+  floor.populate(paperDb);
+  for (const auto& row : paperDb.query([](const db::SpatialObjectRow&) { return true; })) {
+    printRow(row);
+  }
+
+  // --- throughput on a generated campus ----------------------------------------
+  std::printf("\n# spatial database throughput (R-tree backed)\n");
+  std::printf("%-12s %-12s %-16s %-18s %-18s\n", "floors", "objects", "insert_us/obj",
+              "point_query_us", "range_query_us");
+  for (int floors : {1, 4, 16, 64}) {
+    sim::Blueprint bp =
+        sim::generateBlueprint({.building = "SC", .floors = floors, .roomsPerSide = 8});
+    db::SpatialDatabase database(clock, bp.universe, bp.frames());
+
+    auto t0 = Clock::now();
+    bp.populate(database);
+    double insertUs = usSince(t0) / static_cast<double>(database.objectCount());
+
+    util::Rng rng{1};
+    constexpr int kQueries = 2000;
+    t0 = Clock::now();
+    std::size_t hits = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      geo::Point2 p{rng.uniform(bp.universe.lo().x, bp.universe.hi().x),
+                    rng.uniform(bp.universe.lo().y, bp.universe.hi().y)};
+      hits += database.objectsContaining(p).size();
+    }
+    double pointUs = usSince(t0) / kQueries;
+
+    t0 = Clock::now();
+    for (int i = 0; i < kQueries; ++i) {
+      geo::Point2 p{rng.uniform(bp.universe.lo().x, bp.universe.hi().x),
+                    rng.uniform(bp.universe.lo().y, bp.universe.hi().y)};
+      hits += database.objectsIntersecting(geo::Rect::centeredSquare(p, 10)).size();
+    }
+    double rangeUs = usSince(t0) / kQueries;
+
+    std::printf("%-12d %-12zu %-16.2f %-18.2f %-18.2f\n", floors, database.objectCount(),
+                insertUs, pointUs, rangeUs);
+    (void)hits;
+  }
+
+  // --- snapshot persistence -------------------------------------------------------
+  std::printf("\n# snapshot save/restore (world model only)\n");
+  std::printf("%-12s %-14s %-16s %-16s\n", "floors", "bytes", "snapshot_us", "restore_us");
+  for (int floors : {1, 16, 64}) {
+    sim::Blueprint bp = sim::generateBlueprint({.building = "SC", .floors = floors,
+                                                .roomsPerSide = 8});
+    db::SpatialDatabase database(clock, bp.universe, bp.frames());
+    bp.populate(database);
+    auto t0 = Clock::now();
+    util::Bytes snap = db::snapshotDatabase(database);
+    double snapUs = usSince(t0);
+    t0 = Clock::now();
+    db::SpatialDatabase restored = db::restoreDatabase(clock, snap);
+    double restoreUs = usSince(t0);
+    std::printf("%-12d %-14zu %-16.1f %-16.1f\n", floors, snap.size(), snapUs, restoreUs);
+  }
+
+  // --- SQL-style property query (§5.1 example) -----------------------------------
+  std::printf("\n# '%s'\n", "Where is the nearest region that has power outlets?");
+  sim::Blueprint bp = sim::generateBlueprint({.building = "SC", .roomsPerSide = 4});
+  db::SpatialDatabase database(clock, bp.universe, bp.frames());
+  bp.populate(database);
+  db::SpatialObjectRow outlet;
+  outlet.id = util::SpatialObjectId{"outlet-103"};
+  outlet.globPrefix = "SC";
+  outlet.objectType = db::ObjectType::PowerOutlet;
+  outlet.geometryType = db::GeometryType::Point;
+  outlet.points = {bp.centerOf("103")};
+  outlet.properties["voltage"] = "120";
+  database.addObject(outlet);
+  auto nearest = database.nearest(bp.centerOf("101"), [](const db::SpatialObjectRow& row) {
+    return row.objectType == db::ObjectType::PowerOutlet;
+  });
+  if (nearest) {
+    std::printf("nearest outlet to 101's center: %s at %s\n", nearest->fullGlob().c_str(),
+                nearest->properties.count("voltage") ? "120V" : "?");
+  }
+  return 0;
+}

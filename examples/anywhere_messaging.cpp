@@ -1,0 +1,123 @@
+// Anywhere Instant Messaging (§8.2).
+//
+// "This application allows a user to receive instant messages from a
+// designated list of 'buddies' on whichever display is closest to him. A
+// user can customize the application by ... configuring the system to
+// display private messages only if the location accuracy is 'high' and
+// other users are not in the immediate vicinity!"
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "adapters/rfid.hpp"
+#include "adapters/ubisense.hpp"
+#include "core/middlewhere.hpp"
+#include "sim/blueprint.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace mw;
+using util::MobileObjectId;
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::string text;
+  bool isPrivate = false;
+};
+
+class Messenger {
+ public:
+  Messenger(core::LocationService& svc, double privacyRadius)
+      : svc_(svc), privacyRadius_(privacyRadius) {}
+
+  void deliver(const Message& m, const std::vector<MobileObjectId>& everyone) {
+    MobileObjectId to{m.to};
+    auto est = svc_.locateObject(to);
+    if (!est) {
+      std::cout << "[im] " << m.to << " unlocatable; message queued\n";
+      return;
+    }
+    auto display = svc_.nearestObjectOfType(to, db::ObjectType::Display);
+    if (!display) {
+      std::cout << "[im] no display near " << m.to << "; message queued\n";
+      return;
+    }
+    if (m.isPrivate) {
+      // Private policy: accuracy must be High/VeryHigh and no bystander may
+      // be in the immediate vicinity.
+      if (est->cls < fusion::ProbabilityClass::High) {
+        std::cout << "[im] private message for " << m.to << " withheld: accuracy only '"
+                  << fusion::toString(est->cls) << "'\n";
+        return;
+      }
+      for (const auto& other : everyone) {
+        if (other == to) continue;
+        double nearby = svc_.proximity(to, other, privacyRadius_);
+        if (nearby > 0.25) {
+          std::cout << "[im] private message for " << m.to << " withheld: " << other
+                    << " is nearby (p=" << nearby << ")\n";
+          return;
+        }
+      }
+    }
+    std::cout << "[im] " << m.from << " -> " << m.to << " on " << display->id << ": \""
+              << m.text << "\"" << (m.isPrivate ? " [private]" : "") << "\n";
+  }
+
+ private:
+  core::LocationService& svc_;
+  double privacyRadius_;
+};
+
+void installDisplay(db::SpatialDatabase& database, const char* id, geo::Point2 where) {
+  db::SpatialObjectRow row;
+  row.id = util::SpatialObjectId{id};
+  row.globPrefix = database.frames().rootName();
+  row.objectType = db::ObjectType::Display;
+  row.geometryType = db::GeometryType::Point;
+  row.points = {where};
+  database.addObject(row);
+}
+
+}  // namespace
+
+int main() {
+  util::VirtualClock clock;
+  sim::Blueprint building = sim::generateBlueprint({.building = "SC", .roomsPerSide = 4});
+  core::Middlewhere mw(clock, building.universe, building.frames());
+  building.populate(mw.database());
+  mw.locationService().connectivity() = building.connectivity();
+  auto& svc = mw.locationService();
+
+  installDisplay(mw.database(), "display-101", building.centerOf("101"));
+  installDisplay(mw.database(), "display-102", building.centerOf("102"));
+
+  sim::World world(building, 33);
+  std::vector<MobileObjectId> everyone{MobileObjectId{"ann"}, MobileObjectId{"raj"}};
+  world.addPerson({MobileObjectId{"ann"}, "101", 4.0, /*carryTag=*/1.0});
+  world.addPerson({MobileObjectId{"raj"}, "101", 4.0, /*carryTag=*/1.0});  // same room!
+
+  auto ubi = std::make_shared<adapters::UbisenseAdapter>(
+      util::AdapterId{"ubi-main"}, util::SensorId{"ubi-1"},
+      adapters::UbisenseConfig{building.universe, 0.5, 1.0, util::sec(5), ""});
+  ubi->registerWith(mw.database());
+  sim::Scenario scenario(clock, world, [&](const db::SensorReading& r) { svc.ingest(r); });
+  scenario.addAdapter(ubi, util::sec(1));
+  scenario.run(util::sec(5));
+
+  Messenger messenger(svc, /*privacyRadius=*/12.0);
+
+  // A public message reaches ann on her nearest display even with raj around.
+  messenger.deliver({"raj", "ann", "lunch at noon?", false}, everyone);
+  // A private one is withheld while raj shares the room...
+  messenger.deliver({"hr", "ann", "your raise was approved", true}, everyone);
+
+  // ...but goes through after raj walks far away.
+  world.sendTo(MobileObjectId{"raj"}, "154");
+  scenario.run(util::sec(60));
+  messenger.deliver({"hr", "ann", "your raise was approved", true}, everyone);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Outdoor-to-indoor handoff (§1: "GPS is the de facto location technology
+// for wide outdoor areas; however it does not work in covered areas or
+// indoors"; §3: the hierarchical model suits "both outdoor and indoor
+// environments").
+//
+// A commuter crosses the campus with a GPS receiver (15 ft accuracy,
+// satellite lock outdoors only), enters the building (GPS loses lock), and
+// is picked up by the indoor Ubisense deployment (6" accuracy). The demo
+// prints how the fused estimate's resolution and symbolic name change
+// through the handoff.
+#include <iostream>
+
+#include "adapters/gps.hpp"
+#include "adapters/ubisense.hpp"
+#include "core/middlewhere.hpp"
+#include "sim/blueprint.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+int main() {
+  using namespace mw;
+  using util::MobileObjectId;
+
+  util::VirtualClock clock;
+  sim::Blueprint building = sim::generateBlueprint({.building = "campus", .roomsPerSide = 3});
+  // The universe is the whole campus: the building plus 80 ft of grounds on
+  // every side.
+  geo::Rect campus = building.universe.inflated(80);
+  core::Middlewhere mw(clock, campus, building.frames());
+  building.populate(mw.database());
+  mw.locationService().connectivity() = building.connectivity();
+  auto& svc = mw.locationService();
+  // Name the grounds so symbolic queries answer something outdoors too.
+  svc.defineRegion("campus/grounds", campus);
+
+  sim::World world(building, 99);
+  world.addPerson({MobileObjectId{"commuter"}, "101", 5.0, /*carryTag=*/1.0,
+                   /*carryBadge=*/0.0, /*carryGps=*/1.0});
+
+  auto gps = std::make_shared<adapters::GpsAdapter>(
+      util::AdapterId{"gps"}, util::SensorId{"gps-1"},
+      adapters::GpsConfig{15.0, 1.0, util::sec(10), ""});
+  gps->registerWith(mw.database());
+  auto ubi = std::make_shared<adapters::UbisenseAdapter>(
+      util::AdapterId{"ubi"}, util::SensorId{"ubi-1"},
+      adapters::UbisenseConfig{building.universe, 0.5, 1.0, util::sec(5), ""});
+  ubi->registerWith(mw.database());
+
+  sim::Scenario scenario(clock, world, [&](const db::SensorReading& r) { svc.ingest(r); });
+  scenario.addAdapter(gps, util::sec(2));
+  scenario.addAdapter(ubi, util::sec(1));
+
+  auto report = [&](const char* phase) {
+    auto est = svc.locateObject(MobileObjectId{"commuter"});
+    auto symbolic = svc.locateSymbolic(MobileObjectId{"commuter"});
+    std::cout << phase << ": ";
+    if (!est) {
+      std::cout << "unlocatable\n";
+      return;
+    }
+    std::cout << "resolution " << est->region.width() << " ft, p=" << est->probability
+              << ", at " << (symbolic ? symbolic->str() : std::string("?")) << "\n";
+  };
+
+  // Phase 1: on the grounds, far from the building — GPS only.
+  world.setOutdoors(MobileObjectId{"commuter"}, true);
+  world.teleport(MobileObjectId{"commuter"}, campus.lo() + geo::Point2{20, 20});
+  scenario.run(util::sec(10));
+  report("outdoors (GPS)       ");
+
+  // Phase 2: at the entrance — still outdoors, GPS fix near the building.
+  world.teleport(MobileObjectId{"commuter"},
+                 building.universe.lo() + geo::Point2{-10, 10});
+  scenario.run(util::sec(10));
+  report("at the entrance (GPS)");
+
+  // Phase 3: inside — GPS loses its lock, Ubisense takes over.
+  world.setOutdoors(MobileObjectId{"commuter"}, false);
+  world.teleport(MobileObjectId{"commuter"}, building.centerOf("101"));
+  world.sendTo(MobileObjectId{"commuter"}, "101");  // settle in 101
+  scenario.run(util::sec(15));
+  report("indoors (Ubisense)   ");
+
+  // Phase 4: deep indoors, walking between rooms.
+  world.sendTo(MobileObjectId{"commuter"}, "153");
+  scenario.run(util::sec(30));
+  report("after walking to 153 ");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Follow-Me application (§8.1).
+//
+// "If a user moves out of the vicinity of the display he is using, the
+// application will automatically suspend the session. When a user is
+// detected in the vicinity of any other display or workstation, the session
+// is automatically migrated and resumed at that machine."
+//
+// A UserProxy manages the session, discovers the user's location through
+// MiddleWhere, and migrates the session to the nearest suitable display.
+#include <iostream>
+#include <optional>
+
+#include "adapters/ubisense.hpp"
+#include "core/middlewhere.hpp"
+#include "sim/blueprint.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace mw;
+using util::MobileObjectId;
+
+/// The per-user session manager from §8.1.
+class UserProxy {
+ public:
+  UserProxy(MobileObjectId user, core::LocationService& svc, double vicinity)
+      : user_(std::move(user)), svc_(svc), vicinity_(vicinity) {}
+
+  /// Re-evaluates where the session should live; returns true on migration.
+  bool tick() {
+    auto est = svc_.locateObject(user_);
+    if (!est) {
+      return suspend("location unknown");
+    }
+    auto display = svc_.nearestObjectOfType(user_, db::ObjectType::Display);
+    if (!display) return suspend("no display available");
+    double distance = svc_.database().universeMbr(*display).distanceTo(est->region.center());
+    if (distance > vicinity_) {
+      return suspend("nearest display " + display->id.str() + " is " +
+                     std::to_string(distance) + " ft away");
+    }
+    if (activeDisplay_ && *activeDisplay_ == display->id.str()) return false;
+    std::cout << "[follow-me] resuming session of " << user_ << " on " << display->id
+              << " (distance " << distance << " ft)\n";
+    activeDisplay_ = display->id.str();
+    return true;
+  }
+
+  [[nodiscard]] std::optional<std::string> activeDisplay() const { return activeDisplay_; }
+
+ private:
+  bool suspend(const std::string& reason) {
+    if (!activeDisplay_) return false;
+    std::cout << "[follow-me] suspending session of " << user_ << " (" << reason << ")\n";
+    activeDisplay_.reset();
+    return true;
+  }
+
+  MobileObjectId user_;
+  core::LocationService& svc_;
+  double vicinity_;
+  std::optional<std::string> activeDisplay_;
+};
+
+void installDisplay(db::SpatialDatabase& database, const char* id, geo::Point2 where) {
+  db::SpatialObjectRow row;
+  row.id = util::SpatialObjectId{id};
+  row.globPrefix = database.frames().rootName();
+  row.objectType = db::ObjectType::Display;
+  row.geometryType = db::GeometryType::Point;
+  row.points = {where};
+  database.addObject(row);
+}
+
+}  // namespace
+
+int main() {
+  util::VirtualClock clock;
+  sim::Blueprint building = sim::generateBlueprint({.building = "SC", .roomsPerSide = 4});
+  core::Middlewhere mw(clock, building.universe, building.frames());
+  building.populate(mw.database());
+  mw.locationService().connectivity() = building.connectivity();
+  auto& svc = mw.locationService();
+
+  // A display in each of three rooms.
+  installDisplay(mw.database(), "display-101", building.centerOf("101") + geo::Point2{8, 0});
+  installDisplay(mw.database(), "display-103", building.centerOf("103") + geo::Point2{8, 0});
+  installDisplay(mw.database(), "display-154", building.centerOf("154") + geo::Point2{8, 0});
+
+  sim::World world(building, 21);
+  world.addPerson({MobileObjectId{"tom"}, "101", 5.0, /*carryTag=*/1.0});
+
+  auto ubi = std::make_shared<adapters::UbisenseAdapter>(
+      util::AdapterId{"ubi-main"}, util::SensorId{"ubi-1"},
+      adapters::UbisenseConfig{building.universe, 0.5, 1.0, util::sec(5), ""});
+  ubi->registerWith(mw.database());
+  sim::Scenario scenario(clock, world, [&](const db::SensorReading& r) { svc.ingest(r); });
+  scenario.addAdapter(ubi, util::sec(1));
+
+  UserProxy proxy(MobileObjectId{"tom"}, svc, /*vicinity=*/15.0);
+
+  // Tom works in 101, walks to 103, then to 154; his session follows.
+  for (const char* room : {"101", "103", "154"}) {
+    world.sendTo(MobileObjectId{"tom"}, room);
+    for (int i = 0; i < 15; ++i) {
+      scenario.run(util::sec(2));
+      proxy.tick();
+    }
+    std::cout << "tom is now in " << world.currentRoom(MobileObjectId{"tom"}).value_or("?")
+              << "; session on " << proxy.activeDisplay().value_or("<suspended>") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every paper table and
+# figure, and run the example applications. Outputs land in test_output.txt
+# and bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "===== $b ====="
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "===== examples ====="
+for e in quickstart follow_me anywhere_messaging location_notifications \
+         personnel_locator route_finder campus_handoff ops_dashboard; do
+  echo "--- $e ---"
+  "build/examples/$e"
+done

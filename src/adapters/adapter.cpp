@@ -1,0 +1,24 @@
+#include "adapters/adapter.hpp"
+
+#include "spatialdb/database.hpp"
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+LocationAdapter::LocationAdapter(util::AdapterId id, std::string adapterType)
+    : id_(std::move(id)), adapterType_(std::move(adapterType)) {
+  mw::util::require(!id_.empty(), "LocationAdapter: empty adapter id");
+  mw::util::require(!adapterType_.empty(), "LocationAdapter: empty adapter type");
+}
+
+void LocationAdapter::connect(Sink sink) { sink_ = std::move(sink); }
+
+void LocationAdapter::registerWith(db::SpatialDatabase& database) const {
+  for (const auto& meta : metas()) database.registerSensor(meta);
+}
+
+void LocationAdapter::emit(const db::SensorReading& reading) const {
+  if (sink_) sink_(reading);
+}
+
+}  // namespace mw::adapters

@@ -1,0 +1,98 @@
+// Location adapters (§6).
+//
+// "At the lowest layer of MiddleWhere we define an object called a location
+// adapter. The location adapter is a CORBA client wrapper for the specific
+// location technology at hand. ... the adapter translates the location
+// readings into a GLOB that is fed into MiddleWhere through the provider
+// interface. Every adapter has an adapter ID and an adapter type."
+//
+// Because real badges/tags/fingerprint readers are not available, each
+// adapter here wraps a *simulated* sensor: it samples a GroundTruth oracle
+// (implemented by the world simulator) and produces readings with exactly
+// the error model the paper calibrates in §6 — detection probability y,
+// misidentification z, carry probability x, detection radius and TTL.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+#include "spatialdb/sensor.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace mw::db {
+class SpatialDatabase;
+}
+
+namespace mw::adapters {
+
+/// What the simulated world really looks like — implemented by sim::World.
+/// Adapters sample it through this interface only, so the sensing code path
+/// is identical to one driven by real hardware events.
+class GroundTruth {
+ public:
+  virtual ~GroundTruth() = default;
+
+  [[nodiscard]] virtual std::vector<util::MobileObjectId> people() const = 0;
+  /// True position in the universe frame; nullopt if unknown to the oracle.
+  [[nodiscard]] virtual std::optional<geo::Point2> position(
+      const util::MobileObjectId& person) const = 0;
+  /// Whether the person currently carries the given device kind ("badge",
+  /// "tag", "gps"); biometrics always "carry" their finger (§4.1.1).
+  [[nodiscard]] virtual bool carrying(const util::MobileObjectId& person,
+                                      const std::string& deviceKind) const = 0;
+  /// GPS only achieves a satellite lock outdoors (§6.4).
+  [[nodiscard]] virtual bool outdoors(const util::MobileObjectId& person) const = 0;
+};
+
+/// Base class: identification, calibration metadata and the reading sink.
+class LocationAdapter {
+ public:
+  using Sink = std::function<void(const db::SensorReading&)>;
+
+  LocationAdapter(util::AdapterId id, std::string adapterType);
+  virtual ~LocationAdapter() = default;
+
+  [[nodiscard]] const util::AdapterId& id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& adapterType() const noexcept { return adapterType_; }
+
+  /// Sensor-metadata rows this adapter's readings reference; register them
+  /// with the spatial database before ingesting (the §6 calibration step).
+  [[nodiscard]] virtual std::vector<db::SensorMeta> metas() const = 0;
+
+  /// Where readings go — LocationService::ingest or a remote client.
+  void connect(Sink sink);
+  [[nodiscard]] bool connected() const noexcept { return static_cast<bool>(sink_); }
+
+  /// Registers all of metas() with the database.
+  void registerWith(db::SpatialDatabase& database) const;
+
+ protected:
+  /// Emits one reading into the sink; silently drops when not connected
+  /// (like a device wired to nothing).
+  void emit(const db::SensorReading& reading) const;
+
+ private:
+  util::AdapterId id_;
+  std::string adapterType_;
+  Sink sink_;
+};
+
+/// Adapters for continuously transmitting technologies (Ubisense, RFID, GPS)
+/// also implement periodic sampling of the ground truth.
+class SamplingAdapter : public LocationAdapter {
+ public:
+  using LocationAdapter::LocationAdapter;
+
+  /// Samples every tracked person once and emits the resulting readings.
+  /// Returns the number of readings emitted.
+  virtual std::size_t sample(const GroundTruth& truth, const util::Clock& clock,
+                             util::Rng& rng) = 0;
+};
+
+}  // namespace mw::adapters

@@ -1,0 +1,88 @@
+#include "adapters/biometric.hpp"
+
+#include "spatialdb/database.hpp"
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+BiometricAdapter::BiometricAdapter(util::AdapterId id, util::SensorId sensorId,
+                                   BiometricConfig config)
+    : LocationAdapter(std::move(id), "Biometric"),
+      sensorId_(std::move(sensorId)),
+      config_(std::move(config)) {
+  mw::util::require(!config_.room.empty() && config_.room.area() > 0,
+                    "BiometricAdapter: room must have positive area");
+  mw::util::require(config_.leaveBeforeT >= 0 && config_.leaveBeforeT <= 1,
+                    "BiometricAdapter: leaveBeforeT out of [0,1]");
+}
+
+util::SensorId BiometricAdapter::shortSensorId() const {
+  return util::SensorId{sensorId_.str() + ".short"};
+}
+
+util::SensorId BiometricAdapter::longSensorId() const {
+  return util::SensorId{sensorId_.str() + ".long"};
+}
+
+std::vector<db::SensorMeta> BiometricAdapter::metas() const {
+  db::SensorMeta shortMeta;
+  shortMeta.sensorId = shortSensorId();
+  shortMeta.sensorType = "Biometric";
+  shortMeta.errorSpec = quality::biometricSpec();  // x=1, y=0.99, z=0.01
+  shortMeta.quality.ttl = config_.shortTtl;
+
+  db::SensorMeta longMeta;
+  longMeta.sensorId = longSensorId();
+  longMeta.sensorType = "Biometric";
+  longMeta.errorSpec = quality::SensorErrorSpec{1.0, 0.99, config_.leaveBeforeT};
+  longMeta.quality.ttl = config_.longTtl;
+  // "confidence will degrade with time anyway" — linear decay over T.
+  longMeta.quality.tdf = std::make_shared<quality::LinearDegradation>(config_.longTtl * 2);
+
+  return {shortMeta, longMeta};
+}
+
+void BiometricAdapter::authenticate(const util::MobileObjectId& person,
+                                    const util::Clock& clock) {
+  db::SensorReading shortReading;
+  shortReading.sensorId = shortSensorId();
+  shortReading.globPrefix = config_.frame;
+  shortReading.sensorType = "Biometric";
+  shortReading.mobileObjectId = person;
+  shortReading.location = config_.devicePosition;
+  shortReading.detectionRadius = config_.shortRadius;
+  shortReading.detectionTime = clock.now();
+  emit(shortReading);
+
+  db::SensorReading longReading = shortReading;
+  longReading.sensorId = longSensorId();
+  longReading.location = config_.room.center();
+  longReading.detectionRadius = 0;
+  longReading.symbolicRegion = config_.room;
+  emit(longReading);
+}
+
+void BiometricAdapter::logout(const util::MobileObjectId& person, const util::Clock& clock,
+                              db::SpatialDatabase& database) {
+  // "this is a clear indication that the user is in the room now, but he is
+  // leaving soon" — force-expire everything this device said before, then
+  // emit the brief departure reading.
+  database.expireReadings(person, shortSensorId());
+  database.expireReadings(person, longSensorId());
+
+  db::SensorReading leaving;
+  leaving.sensorId = shortSensorId();
+  leaving.globPrefix = config_.frame;
+  leaving.sensorType = "Biometric";
+  leaving.mobileObjectId = person;
+  leaving.location = config_.devicePosition;
+  leaving.detectionRadius = config_.shortRadius;
+  leaving.detectionTime = clock.now();
+  // The logout reading's validity (15 s) is shorter than the sensor's
+  // short-term TTL (30 s); backdate the detection time by the difference so
+  // it expires at the right instant without a dedicated sensor row.
+  leaving.detectionTime -= (config_.shortTtl - config_.logoutTtl);
+  emit(leaving);
+}
+
+}  // namespace mw::adapters

@@ -1,0 +1,52 @@
+// Biometric / fingerprint-login adapter (§6.3).
+//
+// Event-driven: authentication proves physical presence. The adapter emits
+// TWO readings per §6.3:
+//  - short-term: expiry 30 s, circle of radius 2 ft at the device, y=0.99,
+//    z=0.01, x=1;
+//  - long-term: expiry T (default 15 min), area = the whole room, z = the
+//    probability of leaving the room before T without logging out.
+// On manual logout it emits a final 15-second short-term reading and
+// force-expires all prior location information from this device.
+#pragma once
+
+#include "adapters/adapter.hpp"
+
+namespace mw::adapters {
+
+struct BiometricConfig {
+  geo::Point2 devicePosition;   ///< where the reader is mounted (universe frame)
+  geo::Rect room;               ///< the room the device is in (universe frame)
+  double shortRadius = 2.0;     ///< feet
+  util::Duration shortTtl = util::sec(30);
+  util::Duration longTtl = util::minutes(15);  ///< T, from user studies
+  double leaveBeforeT = 0.3;    ///< z of the long reading
+  util::Duration logoutTtl = util::sec(15);
+  std::string frame;
+};
+
+class BiometricAdapter final : public LocationAdapter {
+ public:
+  /// The adapter owns two logical sensors: "<sensorId>.short" and
+  /// "<sensorId>.long" (one TTL each, per §6.3).
+  BiometricAdapter(util::AdapterId id, util::SensorId sensorId, BiometricConfig config);
+
+  [[nodiscard]] std::vector<db::SensorMeta> metas() const override;
+
+  /// A successful fingerprint match: emits both readings.
+  void authenticate(const util::MobileObjectId& person, const util::Clock& clock);
+
+  /// Manual logout: emits the short "leaving now" reading and force-expires
+  /// the earlier information through the database.
+  void logout(const util::MobileObjectId& person, const util::Clock& clock,
+              db::SpatialDatabase& database);
+
+  [[nodiscard]] util::SensorId shortSensorId() const;
+  [[nodiscard]] util::SensorId longSensorId() const;
+
+ private:
+  util::SensorId sensorId_;
+  BiometricConfig config_;
+};
+
+}  // namespace mw::adapters

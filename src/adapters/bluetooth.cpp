@@ -1,0 +1,55 @@
+#include "adapters/bluetooth.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+BluetoothAdapter::BluetoothAdapter(util::AdapterId id, util::SensorId sensorId,
+                                   BluetoothConfig config)
+    : SamplingAdapter(std::move(id), "Bluetooth"),
+      sensorId_(std::move(sensorId)),
+      config_(std::move(config)) {
+  mw::util::require(config_.range > 0, "BluetoothAdapter: range must be positive");
+}
+
+geo::Rect BluetoothAdapter::coverage() const {
+  return geo::Rect::centeredSquare(config_.beacon, config_.range);
+}
+
+std::vector<db::SensorMeta> BluetoothAdapter::metas() const {
+  db::SensorMeta meta;
+  meta.sensorId = sensorId_;
+  meta.sensorType = "Bluetooth";
+  // Inquiry scans detect a discoverable device reliably (y=0.85); MAC
+  // collisions/misreads are rare (z base 0.1, area-scaled).
+  meta.errorSpec = quality::SensorErrorSpec{config_.carryProbability, 0.85, 0.1};
+  meta.scaleMisidentifyByArea = true;
+  meta.quality.ttl = config_.ttl;
+  return {meta};
+}
+
+std::size_t BluetoothAdapter::sample(const GroundTruth& truth, const util::Clock& clock,
+                                     util::Rng& rng) {
+  std::size_t emitted = 0;
+  for (const auto& person : truth.people()) {
+    auto pos = truth.position(person);
+    if (!pos) continue;
+    if (geo::distance(*pos, config_.beacon) > config_.range) continue;
+    if (!truth.carrying(person, "phone")) continue;
+    if (!rng.chance(0.85)) continue;
+    db::SensorReading reading;
+    reading.sensorId = sensorId_;
+    reading.globPrefix = config_.frame;
+    reading.sensorType = "Bluetooth";
+    reading.mobileObjectId = person;
+    reading.location = config_.beacon;
+    reading.detectionRadius = config_.range;
+    reading.symbolicRegion = coverage();
+    reading.detectionTime = clock.now();
+    emit(reading);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace mw::adapters

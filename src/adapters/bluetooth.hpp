@@ -1,0 +1,37 @@
+// Bluetooth proximity adapter (§1.1 lists Bluetooth among the location
+// sources; §5.1's sample query even asks for "high Bluetooth signal").
+//
+// Modeled as a class-2 beacon: detects discoverable devices within ~30 ft,
+// cannot rank distance, so it reports the symbolic disc around the beacon —
+// like RFID but with a shorter range, higher detection probability and a
+// quick TTL (inquiry scans are frequent).
+#pragma once
+
+#include "adapters/adapter.hpp"
+
+namespace mw::adapters {
+
+struct BluetoothConfig {
+  geo::Point2 beacon;             ///< beacon position (universe frame)
+  double range = 30.0;            ///< class-2 detection range, feet
+  double carryProbability = 0.85; ///< x: phone with Bluetooth on
+  util::Duration ttl = util::sec(15);
+  std::string frame;
+};
+
+class BluetoothAdapter final : public SamplingAdapter {
+ public:
+  BluetoothAdapter(util::AdapterId id, util::SensorId sensorId, BluetoothConfig config);
+
+  [[nodiscard]] std::vector<db::SensorMeta> metas() const override;
+  std::size_t sample(const GroundTruth& truth, const util::Clock& clock,
+                     util::Rng& rng) override;
+
+  [[nodiscard]] geo::Rect coverage() const;
+
+ private:
+  util::SensorId sensorId_;
+  BluetoothConfig config_;
+};
+
+}  // namespace mw::adapters

@@ -1,0 +1,40 @@
+#include "adapters/card_reader.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+CardReaderAdapter::CardReaderAdapter(util::AdapterId id, util::SensorId sensorId,
+                                     CardReaderConfig config)
+    : LocationAdapter(std::move(id), "CardReader"),
+      sensorId_(std::move(sensorId)),
+      config_(std::move(config)) {
+  mw::util::require(!config_.room.empty() && config_.room.area() > 0,
+                    "CardReaderAdapter: room must have positive area");
+}
+
+std::vector<db::SensorMeta> CardReaderAdapter::metas() const {
+  db::SensorMeta meta;
+  meta.sensorId = sensorId_;
+  meta.sensorType = "CardReader";
+  // A card swipe proves presence: x=1 (the card was physically used), high
+  // y, tiny z (stolen/cloned card).
+  meta.errorSpec = quality::SensorErrorSpec{1.0, 0.98, 0.01};
+  meta.quality.ttl = config_.ttl;
+  return {meta};
+}
+
+void CardReaderAdapter::swipe(const util::MobileObjectId& person, const util::Clock& clock) {
+  db::SensorReading reading;
+  reading.sensorId = sensorId_;
+  reading.globPrefix = config_.frame;
+  reading.sensorType = "CardReader";
+  reading.mobileObjectId = person;
+  reading.location = config_.room.center();
+  reading.detectionRadius = 0;
+  reading.symbolicRegion = config_.room;
+  reading.detectionTime = clock.now();
+  emit(reading);
+}
+
+}  // namespace mw::adapters

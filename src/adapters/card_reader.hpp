@@ -1,0 +1,33 @@
+// Card-swipe adapter (§1.2 feature list, §5.2).
+//
+// "People in our building have to swipe their ID cards on a card reader
+// whenever they enter certain rooms. Hence, at the time of swiping their
+// card, their location is known with high confidence." The sensor table
+// gives card readers a time-to-live of 10 seconds.
+#pragma once
+
+#include "adapters/adapter.hpp"
+
+namespace mw::adapters {
+
+struct CardReaderConfig {
+  geo::Rect room;  ///< the room entered on swipe (universe frame)
+  util::Duration ttl = util::sec(10);
+  std::string frame;
+};
+
+class CardReaderAdapter final : public LocationAdapter {
+ public:
+  CardReaderAdapter(util::AdapterId id, util::SensorId sensorId, CardReaderConfig config);
+
+  [[nodiscard]] std::vector<db::SensorMeta> metas() const override;
+
+  /// A badge swipe: the person is in the room right now.
+  void swipe(const util::MobileObjectId& person, const util::Clock& clock);
+
+ private:
+  util::SensorId sensorId_;
+  CardReaderConfig config_;
+};
+
+}  // namespace mw::adapters

@@ -1,0 +1,49 @@
+#include "adapters/desktop_login.hpp"
+
+#include "spatialdb/database.hpp"
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+DesktopLoginAdapter::DesktopLoginAdapter(util::AdapterId id, util::SensorId sensorId,
+                                         DesktopLoginConfig config)
+    : LocationAdapter(std::move(id), "DesktopLogin"),
+      sensorId_(std::move(sensorId)),
+      config_(std::move(config)) {
+  mw::util::require(!config_.room.empty() && config_.room.area() > 0,
+                    "DesktopLoginAdapter: room must have positive area");
+  mw::util::require(config_.impersonation >= 0 && config_.impersonation <= 1,
+                    "DesktopLoginAdapter: impersonation out of [0,1]");
+}
+
+std::vector<db::SensorMeta> DesktopLoginAdapter::metas() const {
+  db::SensorMeta meta;
+  meta.sensorId = sensorId_;
+  meta.sensorType = "DesktopLogin";
+  // Typing a password proves presence (x=1, y=0.97) but the account may be
+  // used by someone else (z = impersonation).
+  meta.errorSpec = quality::SensorErrorSpec{1.0, 0.97, config_.impersonation};
+  meta.quality.ttl = config_.sessionTtl;
+  // Users drift away from unlocked sessions: linear decay over two TTLs.
+  meta.quality.tdf = std::make_shared<quality::LinearDegradation>(config_.sessionTtl * 2);
+  return {meta};
+}
+
+void DesktopLoginAdapter::login(const util::MobileObjectId& person, const util::Clock& clock) {
+  db::SensorReading reading;
+  reading.sensorId = sensorId_;
+  reading.globPrefix = config_.frame;
+  reading.sensorType = "DesktopLogin";
+  reading.mobileObjectId = person;
+  reading.location = config_.workstation;
+  reading.detectionRadius = config_.deskRadius;
+  reading.detectionTime = clock.now();
+  emit(reading);
+}
+
+void DesktopLoginAdapter::logout(const util::MobileObjectId& person,
+                                 db::SpatialDatabase& database) {
+  database.expireReadings(person, sensorId_);
+}
+
+}  // namespace mw::adapters

@@ -1,0 +1,40 @@
+// Desktop-login adapter (§1.1: "login information on desktops").
+//
+// Event-driven like the biometric adapter, but weaker: passwords can be
+// shared or sessions left unlocked, so the misidentification probability is
+// higher and the long reading decays faster. Emits a precise reading at the
+// workstation on login; logout force-expires it.
+#pragma once
+
+#include "adapters/adapter.hpp"
+
+namespace mw::adapters {
+
+struct DesktopLoginConfig {
+  geo::Point2 workstation;  ///< where the machine sits (universe frame)
+  geo::Rect room;           ///< the room it is in (universe frame)
+  double deskRadius = 3.0;  ///< the user sits within this of the machine
+  util::Duration sessionTtl = util::minutes(10);  ///< screensaver lock horizon
+  /// P(someone else is using the account): shared credentials, unlocked
+  /// sessions — the z of this technology.
+  double impersonation = 0.05;
+  std::string frame;
+};
+
+class DesktopLoginAdapter final : public LocationAdapter {
+ public:
+  DesktopLoginAdapter(util::AdapterId id, util::SensorId sensorId, DesktopLoginConfig config);
+
+  [[nodiscard]] std::vector<db::SensorMeta> metas() const override;
+
+  /// A successful login: the user is at the desk right now.
+  void login(const util::MobileObjectId& person, const util::Clock& clock);
+  /// Logout or screensaver lock: expire the session's location claim.
+  void logout(const util::MobileObjectId& person, db::SpatialDatabase& database);
+
+ private:
+  util::SensorId sensorId_;
+  DesktopLoginConfig config_;
+};
+
+}  // namespace mw::adapters

@@ -1,0 +1,47 @@
+#include "adapters/gps.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+GpsAdapter::GpsAdapter(util::AdapterId id, util::SensorId sensorId, GpsConfig config)
+    : SamplingAdapter(std::move(id), "GPS"),
+      sensorId_(std::move(sensorId)),
+      config_(std::move(config)) {
+  mw::util::require(config_.accuracy > 0, "GpsAdapter: accuracy must be positive");
+}
+
+std::vector<db::SensorMeta> GpsAdapter::metas() const {
+  db::SensorMeta meta;
+  meta.sensorId = sensorId_;
+  meta.sensorType = "GPS";
+  meta.errorSpec = quality::gpsSpec(config_.carryProbability);
+  meta.quality.ttl = config_.ttl;
+  return {meta};
+}
+
+std::size_t GpsAdapter::sample(const GroundTruth& truth, const util::Clock& clock,
+                               util::Rng& rng) {
+  std::size_t emitted = 0;
+  for (const auto& person : truth.people()) {
+    if (!truth.outdoors(person)) continue;  // no lock indoors
+    auto pos = truth.position(person);
+    if (!pos) continue;
+    if (!truth.carrying(person, "gps")) continue;
+    if (!rng.chance(quality::gpsSpec(1.0).detect)) continue;
+    db::SensorReading reading;
+    reading.sensorId = sensorId_;
+    reading.globPrefix = config_.frame;
+    reading.sensorType = "GPS";
+    reading.mobileObjectId = person;
+    reading.location = {pos->x + rng.gaussian(0, config_.accuracy / 3),
+                        pos->y + rng.gaussian(0, config_.accuracy / 3)};
+    reading.detectionRadius = config_.accuracy;
+    reading.detectionTime = clock.now();
+    emit(reading);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace mw::adapters

@@ -1,0 +1,38 @@
+// GPS adapter (§6.4).
+//
+// "The GPS device tries to achieve a satellite lock. If successful, the
+// adapter should be able to translate longitude, latitude, and altitude
+// information into a coordinate location that matches MiddleWhere's
+// coordinate system. ... If the GPS receiver estimates an accuracy of 15
+// feet, we set area A to a sphere with a radius of 15 feet. We can set
+// y=0.99 and z=0.01 ... x will still equal the probability of a person not
+// carrying his GPS device." GPS does not work indoors (§1).
+#pragma once
+
+#include "adapters/adapter.hpp"
+
+namespace mw::adapters {
+
+struct GpsConfig {
+  double accuracy = 15.0;          ///< receiver-estimated accuracy, feet
+  double carryProbability = 0.7;   ///< x
+  util::Duration ttl = util::sec(10);
+  std::string frame;
+};
+
+class GpsAdapter final : public SamplingAdapter {
+ public:
+  GpsAdapter(util::AdapterId id, util::SensorId sensorId, GpsConfig config);
+
+  [[nodiscard]] std::vector<db::SensorMeta> metas() const override;
+
+  /// Samples only people who are outdoors (satellite lock).
+  std::size_t sample(const GroundTruth& truth, const util::Clock& clock,
+                     util::Rng& rng) override;
+
+ private:
+  util::SensorId sensorId_;
+  GpsConfig config_;
+};
+
+}  // namespace mw::adapters

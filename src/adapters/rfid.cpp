@@ -1,0 +1,56 @@
+#include "adapters/rfid.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+RfidBadgeAdapter::RfidBadgeAdapter(util::AdapterId id, util::SensorId sensorId, RfidConfig config)
+    : SamplingAdapter(std::move(id), "RFID"),
+      sensorId_(std::move(sensorId)),
+      config_(std::move(config)) {
+  mw::util::require(config_.range > 0, "RfidBadgeAdapter: range must be positive");
+}
+
+geo::Rect RfidBadgeAdapter::areaOfInterest() const {
+  return geo::Rect::centeredSquare(config_.baseStation, config_.range);
+}
+
+std::vector<db::SensorMeta> RfidBadgeAdapter::metas() const {
+  db::SensorMeta meta;
+  meta.sensorId = sensorId_;
+  meta.sensorType = "RF";
+  meta.errorSpec = quality::rfidBadgeSpec(config_.carryProbability);
+  meta.scaleMisidentifyByArea = true;  // z = 0.25 * area(A)/area(U)
+  meta.quality.ttl = config_.ttl;
+  // Signal strength fades with obstacles; degrade confidence linearly over
+  // the TTL rather than keeping it flat (§3.2 allows continuous tdfs).
+  meta.quality.tdf = std::make_shared<quality::LinearDegradation>(config_.ttl * 2);
+  return {meta};
+}
+
+std::size_t RfidBadgeAdapter::sample(const GroundTruth& truth, const util::Clock& clock,
+                                     util::Rng& rng) {
+  std::size_t emitted = 0;
+  for (const auto& person : truth.people()) {
+    auto pos = truth.position(person);
+    if (!pos) continue;
+    if (geo::distance(*pos, config_.baseStation) > config_.range) continue;
+    if (!truth.carrying(person, "badge")) continue;
+    if (!rng.chance(quality::rfidBadgeSpec(1.0).detect)) continue;
+    // Symbolic reading: "somewhere within the area of interest".
+    db::SensorReading reading;
+    reading.sensorId = sensorId_;
+    reading.globPrefix = config_.frame;
+    reading.sensorType = "RF";
+    reading.mobileObjectId = person;
+    reading.location = config_.baseStation;
+    reading.detectionRadius = config_.range;
+    reading.symbolicRegion = areaOfInterest();
+    reading.detectionTime = clock.now();
+    emit(reading);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace mw::adapters

@@ -1,0 +1,40 @@
+// RFID active-badge adapter (§6.2).
+//
+// "The base stations can detect badges within a range of approx. 15 ft. This
+// system cannot give exact coordinates of the badge; instead, it is capable
+// of capturing the IDs of the badges in its vicinity. ... the best set up
+// for the RF badges is to define an area of interest, A, and set up a base
+// station in the center of A. ... we set y = 0.75, and
+// z = 0.25 * area(A)/area(U)."
+#pragma once
+
+#include "adapters/adapter.hpp"
+
+namespace mw::adapters {
+
+struct RfidConfig {
+  geo::Point2 baseStation;        ///< center of the area of interest A
+  double range = 15.0;            ///< detection range in feet
+  double carryProbability = 0.8;  ///< x
+  util::Duration ttl = util::sec(60);  ///< paper's sensor table: RF TTL 60s
+  std::string frame;
+};
+
+class RfidBadgeAdapter final : public SamplingAdapter {
+ public:
+  RfidBadgeAdapter(util::AdapterId id, util::SensorId sensorId, RfidConfig config);
+
+  [[nodiscard]] std::vector<db::SensorMeta> metas() const override;
+  std::size_t sample(const GroundTruth& truth, const util::Clock& clock,
+                     util::Rng& rng) override;
+
+  [[nodiscard]] const RfidConfig& config() const noexcept { return config_; }
+  /// The symbolic area of interest A (MBR of the range disc).
+  [[nodiscard]] geo::Rect areaOfInterest() const;
+
+ private:
+  util::SensorId sensorId_;
+  RfidConfig config_;
+};
+
+}  // namespace mw::adapters

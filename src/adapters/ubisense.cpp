@@ -1,0 +1,52 @@
+#include "adapters/ubisense.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::adapters {
+
+UbisenseAdapter::UbisenseAdapter(util::AdapterId id, util::SensorId sensorId,
+                                 UbisenseConfig config)
+    : SamplingAdapter(std::move(id), "Ubisense"),
+      sensorId_(std::move(sensorId)),
+      config_(std::move(config)) {
+  mw::util::require(!config_.coverage.empty() && config_.coverage.area() > 0,
+                    "UbisenseAdapter: coverage must have positive area");
+  mw::util::require(config_.radius > 0, "UbisenseAdapter: radius must be positive");
+}
+
+std::vector<db::SensorMeta> UbisenseAdapter::metas() const {
+  db::SensorMeta meta;
+  meta.sensorId = sensorId_;
+  meta.sensorType = "Ubisense";
+  meta.errorSpec = quality::ubisenseSpec(config_.carryProbability);
+  meta.scaleMisidentifyByArea = true;  // z = 0.05 * area(A)/area(U)
+  meta.quality.ttl = config_.ttl;
+  return {meta};
+}
+
+std::size_t UbisenseAdapter::sample(const GroundTruth& truth, const util::Clock& clock,
+                                    util::Rng& rng) {
+  std::size_t emitted = 0;
+  for (const auto& person : truth.people()) {
+    auto pos = truth.position(person);
+    if (!pos || !config_.coverage.contains(*pos)) continue;
+    if (!truth.carrying(person, "tag")) continue;
+    // Detection succeeds with probability y; the reported point is the true
+    // position perturbed within the 6" accuracy.
+    if (!rng.chance(quality::ubisenseSpec(1.0).detect)) continue;
+    db::SensorReading reading;
+    reading.sensorId = sensorId_;
+    reading.globPrefix = config_.frame;
+    reading.sensorType = "Ubisense";
+    reading.mobileObjectId = person;
+    reading.location = {pos->x + rng.gaussian(0, config_.radius / 3),
+                        pos->y + rng.gaussian(0, config_.radius / 3)};
+    reading.detectionRadius = config_.radius;
+    reading.detectionTime = clock.now();
+    emit(reading);
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace mw::adapters

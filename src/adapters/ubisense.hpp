@@ -1,0 +1,36 @@
+// Ubisense UWB adapter (§6.1).
+//
+// "Ubisense consists of tags and base stations that utilize Ultra WideBand
+// technology. The base stations are able to pinpoint the location of a tag
+// within 6 inches 95% of the time. ... y = 0.95, and
+// z = 0.05 * area(A)/area(U), where U is the area of coverage of Ubisense."
+#pragma once
+
+#include "adapters/adapter.hpp"
+
+namespace mw::adapters {
+
+struct UbisenseConfig {
+  geo::Rect coverage;            ///< area of coverage U (universe frame)
+  double radius = 0.5;           ///< 6 inches, in the model's feet units
+  double carryProbability = 0.9; ///< x, from user studies
+  util::Duration ttl = util::sec(3);  ///< paper's sensor table: Ubisense TTL 3s
+  std::string frame;             ///< GLOB prefix of emitted readings ("" = universe)
+};
+
+class UbisenseAdapter final : public SamplingAdapter {
+ public:
+  UbisenseAdapter(util::AdapterId id, util::SensorId sensorId, UbisenseConfig config);
+
+  [[nodiscard]] std::vector<db::SensorMeta> metas() const override;
+  std::size_t sample(const GroundTruth& truth, const util::Clock& clock,
+                     util::Rng& rng) override;
+
+  [[nodiscard]] const UbisenseConfig& config() const noexcept { return config_; }
+
+ private:
+  util::SensorId sensorId_;
+  UbisenseConfig config_;
+};
+
+}  // namespace mw::adapters

@@ -1,0 +1,75 @@
+#include "core/codec.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::core {
+
+void encodeRect(util::ByteWriter& w, const geo::Rect& r) {
+  w.boolean(r.empty());
+  if (r.empty()) return;
+  w.f64(r.lo().x);
+  w.f64(r.lo().y);
+  w.f64(r.hi().x);
+  w.f64(r.hi().y);
+}
+
+geo::Rect decodeRect(util::ByteReader& r) {
+  if (r.boolean()) return geo::Rect{};
+  double lx = r.f64(), ly = r.f64(), hx = r.f64(), hy = r.f64();
+  return geo::Rect::fromCorners({lx, ly}, {hx, hy});
+}
+
+void encodeReading(util::ByteWriter& w, const db::SensorReading& reading) {
+  w.str(reading.sensorId.str());
+  w.str(reading.globPrefix);
+  w.str(reading.sensorType);
+  w.str(reading.mobileObjectId.str());
+  w.f64(reading.location.x);
+  w.f64(reading.location.y);
+  w.f64(reading.detectionRadius);
+  w.i64(reading.detectionTime.time_since_epoch().count());
+  w.boolean(reading.symbolicRegion.has_value());
+  if (reading.symbolicRegion) encodeRect(w, *reading.symbolicRegion);
+}
+
+db::SensorReading decodeReading(util::ByteReader& r) {
+  db::SensorReading reading;
+  reading.sensorId = util::SensorId{r.str()};
+  reading.globPrefix = r.str();
+  reading.sensorType = r.str();
+  reading.mobileObjectId = util::MobileObjectId{r.str()};
+  reading.location.x = r.f64();
+  reading.location.y = r.f64();
+  reading.detectionRadius = r.f64();
+  reading.detectionTime = util::TimePoint{util::Duration{r.i64()}};
+  if (r.boolean()) reading.symbolicRegion = decodeRect(r);
+  return reading;
+}
+
+void encodeEstimate(util::ByteWriter& w, const fusion::LocationEstimate& est) {
+  encodeRect(w, est.region);
+  w.f64(est.probability);
+  w.u8(static_cast<std::uint8_t>(est.cls));
+  w.u32(static_cast<std::uint32_t>(est.supporting.size()));
+  for (const auto& id : est.supporting) w.str(id.str());
+  w.u32(static_cast<std::uint32_t>(est.discarded.size()));
+  for (const auto& id : est.discarded) w.str(id.str());
+}
+
+fusion::LocationEstimate decodeEstimate(util::ByteReader& r) {
+  fusion::LocationEstimate est;
+  est.region = decodeRect(r);
+  est.probability = r.f64();
+  std::uint8_t cls = r.u8();
+  if (cls > 3) throw util::ParseError("decodeEstimate: bad probability class");
+  est.cls = static_cast<fusion::ProbabilityClass>(cls);
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    est.supporting.emplace_back(r.str());
+  }
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    est.discarded.emplace_back(r.str());
+  }
+  return est;
+}
+
+}  // namespace mw::core

@@ -1,0 +1,23 @@
+// Wire encoding of MiddleWhere domain values for the MicroOrb RPC layer.
+//
+// Hand-rolled like a CORBA CDR mapping: each type has encode/decode pairs
+// over the little-endian ByteWriter/ByteReader primitives.
+#pragma once
+
+#include "fusion/engine.hpp"
+#include "geometry/rect.hpp"
+#include "spatialdb/sensor.hpp"
+#include "util/bytes.hpp"
+
+namespace mw::core {
+
+void encodeRect(util::ByteWriter& w, const geo::Rect& r);
+geo::Rect decodeRect(util::ByteReader& r);
+
+void encodeReading(util::ByteWriter& w, const db::SensorReading& reading);
+db::SensorReading decodeReading(util::ByteReader& r);
+
+void encodeEstimate(util::ByteWriter& w, const fusion::LocationEstimate& est);
+fusion::LocationEstimate decodeEstimate(util::ByteReader& r);
+
+}  // namespace mw::core

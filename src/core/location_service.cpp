@@ -1,0 +1,450 @@
+#include "core/location_service.hpp"
+
+#include "reasoning/spatial_rules.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mw::core {
+
+using mw::util::MobileObjectId;
+using mw::util::require;
+using mw::util::SubscriptionId;
+
+LocationService::LocationService(const util::Clock& clock, db::SpatialDatabase& database)
+    : clock_(clock), db_(database), engine_(database.universe()) {}
+
+// --- ingestion --------------------------------------------------------------------
+
+void LocationService::ingest(const db::SensorReading& reading) {
+  db_.insertReading(reading);
+  // The database-level trigger (registered in subscribe()) fires during
+  // insertReading and marks the subscriptions to evaluate; we evaluate after
+  // the reading is stored so fusion sees it.
+  std::vector<std::pair<SubscriptionId, MobileObjectId>> toEvaluate;
+  toEvaluate.swap(pendingEvaluations_);
+  // Edge-triggered subscriptions must also observe EXITS: a reading that no
+  // longer intersects the region never fires the DB trigger, so every
+  // subscription currently tracking this object as inside is re-evaluated.
+  for (const auto& [subId, state] : subs_) {
+    auto insideIt = state.inside.find(reading.mobileObjectId);
+    if (insideIt == state.inside.end() || !insideIt->second) continue;
+    auto already = std::find(toEvaluate.begin(), toEvaluate.end(),
+                             std::pair{subId, reading.mobileObjectId});
+    if (already == toEvaluate.end()) toEvaluate.emplace_back(subId, reading.mobileObjectId);
+  }
+  for (const auto& [subId, object] : toEvaluate) {
+    evaluateSubscription(subId, object);
+  }
+}
+
+// --- fusion plumbing ----------------------------------------------------------------
+
+fusion::FusionInputs LocationService::fusionInputsFor(const MobileObjectId& object) const {
+  fusion::FusionInputs inputs;
+  const util::TimePoint now = clock_.now();
+  const double areaU = db_.universe().area();
+  for (const auto& stored : db_.readingsFor(object)) {
+    auto meta = db_.sensorMeta(stored.reading.sensorId);
+    if (!meta) continue;
+    geo::Rect rect = stored.reading.rect();
+    auto clipped = db_.universe().intersection(rect);
+    if (!clipped || clipped->area() <= 0) continue;
+    util::Duration age = now - stored.reading.detectionTime;
+    auto confidence = meta->confidenceFor(clipped->area(), areaU, age);
+    if (!confidence) continue;  // expired or degraded to uselessness
+    inputs.push_back(fusion::FusionInput{stored.reading.sensorId, *clipped, confidence->p,
+                                         confidence->q, stored.moving});
+  }
+  return inputs;
+}
+
+// --- pull queries --------------------------------------------------------------------
+
+std::optional<fusion::LocationEstimate> LocationService::locateObject(
+    const MobileObjectId& object) const {
+  return engine_.infer(fusionInputsFor(object));
+}
+
+// --- symbolic regions (§4.5) ----------------------------------------------------
+
+void LocationService::ensureRegionsIndexed() const {
+  if (regionsIndexed_) return;
+  regions_ = RegionLattice{};
+  // Enclosing spaces name locations (rooms/corridors/floors/buildings) plus
+  // any row flagged as an application-defined region.
+  for (const auto& row : db_.query([](const db::SpatialObjectRow& r) {
+         switch (r.objectType) {
+           case db::ObjectType::Room:
+           case db::ObjectType::Corridor:
+           case db::ObjectType::Floor:
+           case db::ObjectType::Building:
+             return true;
+           default:
+             return r.properties.contains("region");
+         }
+       })) {
+    regions_.add(row.fullGlob(), db_.universeMbr(row), row.properties);
+  }
+  regionsIndexed_ = true;
+}
+
+void LocationService::reindexRegions() { regionsIndexed_ = false; }
+
+const RegionLattice& LocationService::regionLattice() const {
+  ensureRegionsIndexed();
+  return regions_;
+}
+
+std::optional<geo::Rect> LocationService::smallestNamedRegionRectAt(geo::Point2 p) const {
+  ensureRegionsIndexed();
+  auto idx = regions_.smallestAt(p);
+  if (!idx) return std::nullopt;
+  return regions_.node(*idx).rect;
+}
+
+std::optional<glob::Glob> LocationService::locateSymbolic(const MobileObjectId& object) const {
+  auto est = locateObject(object);
+  if (!est) return std::nullopt;
+  ensureRegionsIndexed();
+  auto idx = regions_.smallestAt(est->region.center());
+  if (!idx) return std::nullopt;
+  glob::Glob symbolic = glob::Glob::parse(regions_.node(*idx).glob);
+  auto privacyIt = privacy_.find(object);
+  if (privacyIt != privacy_.end()) {
+    symbolic = symbolic.truncated(privacyIt->second);
+  }
+  return symbolic;
+}
+
+std::vector<std::string> LocationService::symbolicChainFor(const MobileObjectId& object) const {
+  std::vector<std::string> out;
+  auto est = locateObject(object);
+  if (!est) return out;
+  ensureRegionsIndexed();
+  for (std::size_t idx : regions_.chainAt(est->region.center())) {
+    out.push_back(regions_.node(idx).glob);
+  }
+  return out;
+}
+
+std::optional<geo::Rect> LocationService::resolveRegion(const std::string& fullGlob) const {
+  ensureRegionsIndexed();
+  auto idx = regions_.find(fullGlob);
+  if (!idx) return std::nullopt;
+  return regions_.node(*idx).rect;
+}
+
+std::optional<glob::Glob> LocationService::symbolicAt(geo::Point2 universePoint) const {
+  ensureRegionsIndexed();
+  auto idx = regions_.smallestAt(universePoint);
+  if (!idx) return std::nullopt;
+  return glob::Glob::parse(regions_.node(*idx).glob);
+}
+
+// --- application regions and static objects (§4 tasks 4-5) -----------------------
+
+void LocationService::defineRegion(const std::string& fullGlob, const geo::Rect& universeRect,
+                                   std::unordered_map<std::string, std::string> properties) {
+  require(!universeRect.empty() && universeRect.area() > 0,
+          "LocationService::defineRegion: empty region");
+  glob::Glob parsed = glob::Glob::parse(fullGlob);  // validates the name
+  require(parsed.isSymbolic(), "LocationService::defineRegion: name must be symbolic");
+  properties["region"] = "app";
+
+  db::SpatialObjectRow row;
+  row.id = util::SpatialObjectId{parsed.name()};
+  row.globPrefix = parsed.prefix();
+  row.objectType = db::ObjectType::Other;
+  row.geometryType = db::GeometryType::Polygon;
+  row.properties = std::move(properties);
+  // defineRegion speaks universe coordinates; re-express them in the frame
+  // the row's prefix resolves to (nearest registered ancestor).
+  const std::string frame = db_.frameFor(row.globPrefix);
+  geo::Rect r = universeRect;
+  row.points = {r.lo(), {r.hi().x, r.lo().y}, r.hi(), {r.lo().x, r.hi().y}};
+  if (frame != db_.frames().rootName()) {
+    for (auto& p : row.points) {
+      p = db_.frames().convert(db_.frames().rootName(), frame, p);
+    }
+  }
+  db_.addObject(row);
+  regionsIndexed_ = false;
+}
+
+void LocationService::addStaticObject(db::SpatialObjectRow row,
+                                      std::optional<geo::Rect> usage) {
+  util::SpatialObjectId id = row.id;
+  db_.addObject(std::move(row));
+  if (usage) setUsageRegion(id, *usage);
+  regionsIndexed_ = false;
+}
+
+void LocationService::setUsageRegion(const util::SpatialObjectId& object,
+                                     const geo::Rect& universeRect) {
+  require(!universeRect.empty() && universeRect.area() > 0,
+          "LocationService::setUsageRegion: empty region");
+  usageRegions_[object] = universeRect;
+}
+
+std::optional<geo::Rect> LocationService::usageRegion(
+    const util::SpatialObjectId& object) const {
+  auto it = usageRegions_.find(object);
+  if (it == usageRegions_.end()) return std::nullopt;
+  return it->second;
+}
+
+double LocationService::usageProbability(const util::MobileObjectId& person,
+                                         const util::SpatialObjectId& object) const {
+  auto usage = usageRegion(object);
+  if (!usage) return 0.0;
+  auto est = locateObject(person);
+  if (!est) return 0.0;
+  return reasoning::usageProbability(*est, *usage);
+}
+
+double LocationService::probabilityInRegion(const MobileObjectId& object,
+                                            const geo::Rect& region) const {
+  return engine_.probabilityInRegion(region, fusionInputsFor(object));
+}
+
+std::vector<std::pair<MobileObjectId, double>> LocationService::objectsInRegion(
+    const geo::Rect& region, double minProbability) const {
+  std::vector<std::pair<MobileObjectId, double>> out;
+  for (const auto& object : db_.knownMobileObjects()) {
+    double p = probabilityInRegion(object, region);
+    if (p >= minProbability) out.emplace_back(object, p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::vector<fusion::RegionProbability> LocationService::distributionFor(
+    const MobileObjectId& object) const {
+  return engine_.distribution(fusionInputsFor(object));
+}
+
+std::vector<LocationService::TrajectoryPoint> LocationService::trajectory(
+    const MobileObjectId& object, util::Duration window) const {
+  std::vector<TrajectoryPoint> out;
+  for (const auto& reading : db_.history(object, window)) {
+    out.push_back(TrajectoryPoint{reading.detectionTime, reading.rect().center()});
+  }
+  return out;
+}
+
+// --- subscriptions -------------------------------------------------------------------
+
+SubscriptionId LocationService::subscribe(Subscription subscription) {
+  require(static_cast<bool>(subscription.callback), "LocationService::subscribe: null callback");
+  require(!subscription.region.empty(), "LocationService::subscribe: empty region");
+  SubscriptionId id = subIds_.next();
+
+  // Geometric prefilter at the database layer (§5.3): the DB trigger fires
+  // whenever a reading's rect touches the region; the probabilistic
+  // condition is then evaluated against the fused estimate (§4.3).
+  db::TriggerSpec trigger;
+  trigger.region = subscription.region;
+  trigger.subject = subscription.subject;
+  trigger.callback = [this, id](const db::TriggerEvent& event) {
+    pendingEvaluations_.emplace_back(id, event.reading.mobileObjectId);
+  };
+  util::TriggerId triggerId = db_.createTrigger(std::move(trigger));
+
+  subs_.emplace(id, SubState{std::move(subscription), triggerId, {}});
+  return id;
+}
+
+bool LocationService::unsubscribe(SubscriptionId id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  db_.dropTrigger(it->second.trigger);
+  subs_.erase(it);
+  return true;
+}
+
+void LocationService::evaluateSubscription(SubscriptionId id, const MobileObjectId& object) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return;  // unsubscribed in the meantime
+  SubState& state = it->second;
+
+  fusion::FusionInputs inputs = fusionInputsFor(object);
+  double probability = engine_.probabilityInRegion(state.spec.region, inputs);
+  std::vector<double> ps;
+  ps.reserve(inputs.size());
+  for (const auto& in : inputs) ps.push_back(in.p);
+  fusion::ProbabilityClass cls =
+      fusion::classify(probability, fusion::computeThresholds(std::move(ps)));
+
+  bool qualifies = probability >= state.spec.threshold;
+  if (state.spec.minClass && cls < *state.spec.minClass) qualifies = false;
+
+  bool& wasInside = state.inside[object];
+  bool notify = qualifies && (!state.spec.onlyOnEntry || !wasInside);
+  wasInside = qualifies;
+  if (!notify) return;
+
+  Notification n;
+  n.id = id;
+  n.object = object;
+  n.region = state.spec.region;
+  n.probability = probability;
+  n.cls = cls;
+  n.when = clock_.now();
+  state.spec.callback(n);
+}
+
+// --- region-to-region relations (§4.6.1) ----------------------------------------------
+
+namespace {
+geo::Rect namedRegionRect(const RegionLattice& regions, const std::string& glob) {
+  auto idx = regions.find(glob);
+  if (!idx) throw mw::util::NotFoundError("LocationService: unknown region '" + glob + "'");
+  return regions.node(*idx).rect;
+}
+}  // namespace
+
+reasoning::Rcc8 LocationService::regionRelation(const std::string& globA,
+                                                const std::string& globB) const {
+  ensureRegionsIndexed();
+  return reasoning::rcc8(namedRegionRect(regions_, globA), namedRegionRect(regions_, globB));
+}
+
+std::vector<reasoning::Passage> LocationService::doorPassages() const {
+  std::vector<reasoning::Passage> passages;
+  for (const auto& row : db_.query([](const db::SpatialObjectRow& r) {
+         return r.objectType == db::ObjectType::Door &&
+                r.geometryType == db::GeometryType::Line;
+       })) {
+    // Door endpoints into the universe frame.
+    const std::string frame = db_.frameFor(row.globPrefix);
+    geo::Segment seg = row.segment();
+    seg.a = db_.frames().convert(frame, db_.frames().rootName(), seg.a);
+    seg.b = db_.frames().convert(frame, db_.frames().rootName(), seg.b);
+    auto kindIt = row.properties.find("passage");
+    reasoning::PassageKind kind = (kindIt != row.properties.end() &&
+                                   kindIt->second == "restricted")
+                                      ? reasoning::PassageKind::Restricted
+                                      : reasoning::PassageKind::Free;
+    passages.push_back(reasoning::Passage{row.id.str(), seg, kind});
+  }
+  return passages;
+}
+
+reasoning::EcKind LocationService::passageRelation(const std::string& globA,
+                                                   const std::string& globB) const {
+  ensureRegionsIndexed();
+  return reasoning::classifyEc(namedRegionRect(regions_, globA),
+                               namedRegionRect(regions_, globB), doorPassages());
+}
+
+bool LocationService::regionsReachable(const std::string& globA, const std::string& globB,
+                                       bool allowRestricted) const {
+  ensureRegionsIndexed();
+  // Assert EC-refinement facts over the leaf regions and saturate the
+  // reachability rules — the paper's XSB Prolog layer.
+  std::vector<reasoning::NamedRegion> named;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const auto& node = regions_.node(i);
+    named.push_back({node.glob, node.rect});
+  }
+  reasoning::Datalog datalog;
+  reasoning::assertSpatialFacts(datalog, named, doorPassages());
+  reasoning::installReachabilityRules(datalog);
+  const char* predicate = allowRestricted ? "accessible" : "reachable";
+  if (globA == globB) return true;
+  return datalog.holds({predicate,
+                        {reasoning::Term::atom(globA), reasoning::Term::atom(globB)}});
+}
+
+// --- movement-pattern priors --------------------------------------------------------
+
+void LocationService::setMovementPrior(std::shared_ptr<const fusion::SpatialPrior> prior) {
+  engine_.setPrior(std::move(prior));
+}
+
+std::shared_ptr<fusion::RegionDwellPrior> LocationService::makeDwellPrior(
+    double smoothingSeconds) const {
+  std::vector<fusion::RegionDwellPrior::Cell> cells;
+  for (const auto& row : db_.query([](const db::SpatialObjectRow& r) {
+         return r.objectType == db::ObjectType::Room ||
+                r.objectType == db::ObjectType::Corridor;
+       })) {
+    cells.push_back({row.fullGlob(), db_.universeMbr(row)});
+  }
+  return std::make_shared<fusion::RegionDwellPrior>(db_.universe(), std::move(cells),
+                                                    smoothingSeconds);
+}
+
+// --- privacy ---------------------------------------------------------------------------
+
+void LocationService::setPrivacyGranularity(const MobileObjectId& object, std::size_t maxDepth) {
+  require(maxDepth >= 1, "LocationService::setPrivacyGranularity: depth must be >= 1");
+  privacy_[object] = maxDepth;
+}
+
+std::optional<std::size_t> LocationService::privacyGranularity(
+    const MobileObjectId& object) const {
+  auto it = privacy_.find(object);
+  if (it == privacy_.end()) return std::nullopt;
+  return it->second;
+}
+
+// --- spatial relationships ----------------------------------------------------------------
+
+double LocationService::proximity(const MobileObjectId& a, const MobileObjectId& b,
+                                  double threshold) const {
+  auto ea = locateObject(a);
+  auto eb = locateObject(b);
+  if (!ea || !eb) return 0.0;
+  return reasoning::proximityProbability(*ea, *eb, threshold);
+}
+
+double LocationService::coLocation(const MobileObjectId& a, const MobileObjectId& b) const {
+  auto ea = locateObject(a);
+  auto eb = locateObject(b);
+  if (!ea || !eb) return 0.0;
+  auto region = smallestNamedRegionRectAt(ea->region.center());
+  if (!region) return 0.0;
+  return reasoning::coLocationProbability(*ea, *eb, *region);
+}
+
+double LocationService::coLocationAt(const MobileObjectId& a, const MobileObjectId& b,
+                                     std::size_t granularity) const {
+  auto ea = locateObject(a);
+  auto eb = locateObject(b);
+  if (!ea || !eb) return 0.0;
+  ensureRegionsIndexed();
+  auto idx = regions_.atGranularity(ea->region.center(), granularity);
+  if (!idx) return 0.0;
+  return reasoning::coLocationProbability(*ea, *eb, regions_.node(*idx).rect);
+}
+
+std::optional<reasoning::DistanceBounds> LocationService::distanceBetween(
+    const MobileObjectId& a, const MobileObjectId& b) const {
+  auto ea = locateObject(a);
+  auto eb = locateObject(b);
+  if (!ea || !eb) return std::nullopt;
+  return reasoning::objectDistance(*ea, *eb);
+}
+
+std::optional<double> LocationService::pathDistanceBetween(const MobileObjectId& a,
+                                                           const MobileObjectId& b) const {
+  auto ea = locateObject(a);
+  auto eb = locateObject(b);
+  if (!ea || !eb) return std::nullopt;
+  return reasoning::objectPathDistance(*ea, *eb, graph_);
+}
+
+std::optional<db::SpatialObjectRow> LocationService::nearestObjectOfType(
+    const MobileObjectId& object, db::ObjectType type) const {
+  auto est = locateObject(object);
+  if (!est) return std::nullopt;
+  return db_.nearest(est->region.center(),
+                     [type](const db::SpatialObjectRow& row) { return row.objectType == type; });
+}
+
+}  // namespace mw::core

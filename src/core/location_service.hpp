@@ -1,0 +1,272 @@
+// The Location Service (§4) — "the source of location information for all
+// location-sensitive applications".
+//
+// Responsibilities (§4): (1) fuse data from multiple sensors and resolve
+// conflicts, (2) answer object-based and region-based queries, (3) accept
+// subscriptions for location-based conditions and notify applications when
+// they become true, (4) support creating spatial regions with properties,
+// (5) support static objects, (6) deduce higher-level spatial relationships.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/region_lattice.hpp"
+#include "fusion/engine.hpp"
+#include "glob/glob.hpp"
+#include "reasoning/connectivity.hpp"
+#include "reasoning/datalog.hpp"
+#include "reasoning/rcc8.hpp"
+#include "reasoning/relations.hpp"
+#include "spatialdb/database.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+
+namespace mw::core {
+
+/// Notification delivered when a subscription's condition becomes true.
+struct Notification {
+  util::SubscriptionId id;
+  util::MobileObjectId object;
+  geo::Rect region;        ///< the subscribed region (universe frame)
+  double probability = 0;  ///< fused P(object in region)
+  fusion::ProbabilityClass cls = fusion::ProbabilityClass::Low;
+  util::TimePoint when;
+};
+
+/// A region-based condition (§4.3): notify when `object` (or anyone, when
+/// unset) is inside `region` with probability above `threshold` — or, per
+/// §4.4, at or above a probability class.
+struct Subscription {
+  geo::Rect region;  ///< universe frame
+  std::optional<util::MobileObjectId> subject;
+  double threshold = 0.0;
+  std::optional<fusion::ProbabilityClass> minClass;
+  /// When true, notify only on the rising edge (region entry) instead of on
+  /// every qualifying update.
+  bool onlyOnEntry = false;
+  std::function<void(const Notification&)> callback;
+};
+
+class LocationService {
+ public:
+  /// The service reads/writes the shared spatial database and fuses with the
+  /// universe the database models.
+  LocationService(const util::Clock& clock, db::SpatialDatabase& database);
+
+  [[nodiscard]] db::SpatialDatabase& database() noexcept { return db_; }
+  [[nodiscard]] const fusion::FusionEngine& engine() const noexcept { return engine_; }
+
+  // --- ingestion -------------------------------------------------------------
+
+  /// Adapters push readings here; the service stores them in the database
+  /// and evaluates subscriptions whose region the reading touches.
+  void ingest(const db::SensorReading& reading);
+
+  // --- pull queries (§4.2) -----------------------------------------------------
+
+  /// "Where is person X?" — fused single-value location estimate.
+  [[nodiscard]] std::optional<fusion::LocationEstimate> locateObject(
+      const util::MobileObjectId& object) const;
+
+  /// The same, as a symbolic GLOB (§4.5): the most specific named region
+  /// containing the estimate, truncated to the object's privacy granularity.
+  [[nodiscard]] std::optional<glob::Glob> locateSymbolic(
+      const util::MobileObjectId& object) const;
+
+  /// Region-based query: P(object in region).
+  [[nodiscard]] double probabilityInRegion(const util::MobileObjectId& object,
+                                           const geo::Rect& region) const;
+
+  /// "Who are the people in room 3105?" — every known mobile object whose
+  /// fused probability of being in the region reaches `minProbability`.
+  [[nodiscard]] std::vector<std::pair<util::MobileObjectId, double>> objectsInRegion(
+      const geo::Rect& region, double minProbability) const;
+
+  /// The fused spatial probability distribution for an object.
+  [[nodiscard]] std::vector<fusion::RegionProbability> distributionFor(
+      const util::MobileObjectId& object) const;
+
+  /// The object's recent trajectory: time-ordered (when, where) samples from
+  /// the reading history within `window` (coordinate sensors only; symbolic
+  /// readings contribute their region centers).
+  struct TrajectoryPoint {
+    util::TimePoint when;
+    geo::Point2 where;
+  };
+  [[nodiscard]] std::vector<TrajectoryPoint> trajectory(const util::MobileObjectId& object,
+                                                        util::Duration window) const;
+
+  // --- push: subscriptions (§4.3) -----------------------------------------------
+
+  util::SubscriptionId subscribe(Subscription subscription);
+  bool unsubscribe(util::SubscriptionId id);
+  [[nodiscard]] std::size_t subscriptionCount() const noexcept { return subs_.size(); }
+
+  // --- movement-pattern priors (§4.1.2 / §11 future work) ---------------------------
+
+  /// Installs a learned spatial prior used by every probability computation;
+  /// nullptr restores the paper's uniform-area assumption.
+  void setMovementPrior(std::shared_ptr<const fusion::SpatialPrior> prior);
+
+  /// Builds a RegionDwellPrior whose cells are the database's rooms and
+  /// corridors — the natural partition to learn dwell fractions over.
+  [[nodiscard]] std::shared_ptr<fusion::RegionDwellPrior> makeDwellPrior(
+      double smoothingSeconds = 1.0) const;
+
+  // --- privacy (§4.5) -------------------------------------------------------------
+
+  /// Limits the GLOB depth at which this object's location may be revealed
+  /// ("a user's location can only be revealed upto a certain granularity").
+  void setPrivacyGranularity(const util::MobileObjectId& object, std::size_t maxDepth);
+  [[nodiscard]] std::optional<std::size_t> privacyGranularity(
+      const util::MobileObjectId& object) const;
+
+  // --- regions and static objects (§4 tasks 4-5, §4.5) -------------------------------
+
+  /// Defines an application region ("East wing of the building", "work
+  /// region inside a room") with properties: stored as a spatial-database
+  /// row AND as a node of the symbolic-region lattice. `fullGlob` is the
+  /// hierarchical name; `universeRect` its MBR in universe coordinates.
+  void defineRegion(const std::string& fullGlob, const geo::Rect& universeRect,
+                    std::unordered_map<std::string, std::string> properties = {});
+
+  /// Adds a static object (display, table, ...) with an optional usage
+  /// region (§4.6.2b: "if a person has to use these objects for some
+  /// purpose, he has to be within the usage region of the object").
+  /// The row's coordinates are in its globPrefix frame; the usage region is
+  /// in universe coordinates.
+  void addStaticObject(db::SpatialObjectRow row,
+                       std::optional<geo::Rect> usageRegion = std::nullopt);
+
+  void setUsageRegion(const util::SpatialObjectId& object, const geo::Rect& universeRect);
+  [[nodiscard]] std::optional<geo::Rect> usageRegion(
+      const util::SpatialObjectId& object) const;
+
+  /// P(person is inside the usage region of `object`); 0 when the object
+  /// has no usage region or the person is unlocatable.
+  [[nodiscard]] double usageProbability(const util::MobileObjectId& person,
+                                        const util::SpatialObjectId& object) const;
+
+  /// The symbolic-region lattice (§4.5), indexed lazily from the database's
+  /// Building/Floor/Room/Corridor rows plus defineRegion() entries. Call
+  /// reindexRegions() after mutating the database directly.
+  [[nodiscard]] const RegionLattice& regionLattice() const;
+  void reindexRegions();
+
+  /// The containment chain of named regions at the object's location,
+  /// outermost first (building, floor, wing, room, ...).
+  [[nodiscard]] std::vector<std::string> symbolicChainFor(
+      const util::MobileObjectId& object) const;
+
+  // --- symbolic <-> coordinate conversion (§3: "easy conversion between the
+  // two forms of location data") --------------------------------------------------
+
+  /// Symbolic -> coordinate: the universe-frame MBR of a named region.
+  [[nodiscard]] std::optional<geo::Rect> resolveRegion(const std::string& fullGlob) const;
+
+  /// Coordinate -> symbolic: the most specific named region containing the
+  /// universe-frame point, as a GLOB.
+  [[nodiscard]] std::optional<glob::Glob> symbolicAt(geo::Point2 universePoint) const;
+
+  // --- spatial relationships (§4.6) ------------------------------------------------
+
+  /// P(distance(a, b) <= threshold).
+  [[nodiscard]] double proximity(const util::MobileObjectId& a, const util::MobileObjectId& b,
+                                 double threshold) const;
+
+  /// P(a and b are in the same smallest named region that contains a).
+  [[nodiscard]] double coLocation(const util::MobileObjectId& a,
+                                  const util::MobileObjectId& b) const;
+
+  /// Co-location "of a specified granularity such as room, floor or
+  /// building" (§4.6.3): the enclosing region of `a` at lattice depth
+  /// <= granularity is used as the shared region.
+  [[nodiscard]] double coLocationAt(const util::MobileObjectId& a,
+                                    const util::MobileObjectId& b,
+                                    std::size_t granularity) const;
+
+  /// Center-to-center distance with uncertainty bounds; nullopt when either
+  /// object is unlocatable.
+  [[nodiscard]] std::optional<reasoning::DistanceBounds> distanceBetween(
+      const util::MobileObjectId& a, const util::MobileObjectId& b) const;
+
+  /// Path-distance through the building's connectivity graph.
+  [[nodiscard]] std::optional<double> pathDistanceBetween(const util::MobileObjectId& a,
+                                                          const util::MobileObjectId& b) const;
+
+  /// Nearest static object of a type (e.g. the closest Display for the
+  /// Follow-Me application), by distance from the object's estimate center.
+  [[nodiscard]] std::optional<db::SpatialObjectRow> nearestObjectOfType(
+      const util::MobileObjectId& object, db::ObjectType type) const;
+
+  // --- region-to-region relations (§4.6.1) -------------------------------------------
+
+  /// The RCC-8 relation between two named regions (by full GLOB). Throws
+  /// NotFoundError for unknown names.
+  [[nodiscard]] reasoning::Rcc8 regionRelation(const std::string& globA,
+                                               const std::string& globB) const;
+
+  /// The EC refinement (ECFP/ECRP/ECNP) between two named regions, using the
+  /// database's Door rows as passages ("the relations ECFP, ECRP and ECNP
+  /// are evaluated by checking if there is a door or an obstruction like a
+  /// wall between the regions").
+  [[nodiscard]] reasoning::EcKind passageRelation(const std::string& globA,
+                                                  const std::string& globB) const;
+
+  /// Transitive reachability via the Datalog engine (the XSB Prolog layer):
+  /// can one get from region A to region B through free passages only, or —
+  /// with `allowRestricted` — also through locked doors?
+  [[nodiscard]] bool regionsReachable(const std::string& globA, const std::string& globB,
+                                      bool allowRestricted = false) const;
+
+  /// All door passages known to the database (for route displays).
+  [[nodiscard]] std::vector<reasoning::Passage> doorPassages() const;
+
+  /// The connectivity graph used for path distances; populated by the world
+  /// builder (sim::buildWorld) or manually.
+  [[nodiscard]] reasoning::ConnectivityGraph& connectivity() noexcept { return graph_; }
+  [[nodiscard]] const reasoning::ConnectivityGraph& connectivity() const noexcept {
+    return graph_;
+  }
+
+  // --- internals exposed for benchmarks/tests ---------------------------------------
+
+  /// Converts an object's fresh database readings into fusion inputs with
+  /// tdf-degraded confidences.
+  [[nodiscard]] fusion::FusionInputs fusionInputsFor(const util::MobileObjectId& object) const;
+
+ private:
+  struct SubState {
+    Subscription spec;
+    util::TriggerId trigger;
+    /// Last known inside/outside per object (edge-triggered subscriptions).
+    std::unordered_map<util::MobileObjectId, bool> inside;
+  };
+
+  void evaluateSubscription(util::SubscriptionId id, const util::MobileObjectId& object);
+  /// Ensures the symbolic lattice reflects the database.
+  void ensureRegionsIndexed() const;
+  [[nodiscard]] std::optional<geo::Rect> smallestNamedRegionRectAt(geo::Point2 p) const;
+
+  const util::Clock& clock_;
+  db::SpatialDatabase& db_;
+  fusion::FusionEngine engine_;
+  reasoning::ConnectivityGraph graph_;
+
+  mutable RegionLattice regions_;
+  mutable bool regionsIndexed_ = false;
+  std::unordered_map<util::SpatialObjectId, geo::Rect> usageRegions_;
+
+  util::IdSequencer<util::SubscriptionId> subIds_;
+  std::unordered_map<util::SubscriptionId, SubState> subs_;
+  std::unordered_map<util::MobileObjectId, std::size_t> privacy_;
+  /// Subscriptions whose DB trigger fired during the current ingest; they
+  /// are evaluated after the reading is stored so fusion sees it.
+  std::vector<std::pair<util::SubscriptionId, util::MobileObjectId>> pendingEvaluations_;
+};
+
+}  // namespace mw::core

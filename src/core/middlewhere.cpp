@@ -1,0 +1,38 @@
+#include "core/middlewhere.hpp"
+
+#include "orb/transport.hpp"
+
+namespace mw::core {
+
+Middlewhere::Middlewhere(const util::Clock& clock, geo::Rect universe, glob::FrameTree frames)
+    : clock_(clock), db_(clock, universe, std::move(frames)) {
+  service_ = std::make_unique<LocationService>(clock_, db_);
+  exposeLocationService(rpcServer_, *service_);
+}
+
+Middlewhere::Middlewhere(const util::Clock& clock, geo::Rect universe,
+                         const std::string& rootFrame)
+    : clock_(clock), db_(clock, universe, rootFrame) {
+  service_ = std::make_unique<LocationService>(clock_, db_);
+  exposeLocationService(rpcServer_, *service_);
+}
+
+std::uint16_t Middlewhere::listen(std::uint16_t port) {
+  listener_ = std::make_unique<orb::TcpListener>(
+      port, [this](std::shared_ptr<orb::Transport> t) { rpcServer_.serve(std::move(t)); });
+  return listener_->port();
+}
+
+std::unique_ptr<RemoteLocationClient> Middlewhere::connectRemote(const std::string& host,
+                                                                 std::uint16_t port) {
+  auto transport = orb::tcpConnect(host, port);
+  return std::make_unique<RemoteLocationClient>(std::make_shared<orb::RpcClient>(transport));
+}
+
+std::unique_ptr<RemoteLocationClient> Middlewhere::connectLocal() {
+  auto [clientSide, serverSide] = orb::makeInProcPair();
+  rpcServer_.serve(serverSide);
+  return std::make_unique<RemoteLocationClient>(std::make_shared<orb::RpcClient>(clientSide));
+}
+
+}  // namespace mw::core

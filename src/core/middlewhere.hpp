@@ -1,0 +1,53 @@
+// The MiddleWhere facade: owns the spatial database, the Location Service,
+// the service registry and (optionally) the MicroOrb endpoint, wired per the
+// layered architecture of Fig 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/location_service.hpp"
+#include "core/registry.hpp"
+#include "core/remote.hpp"
+#include "orb/rpc.hpp"
+#include "orb/tcp.hpp"
+#include "spatialdb/database.hpp"
+#include "util/clock.hpp"
+
+namespace mw::core {
+
+class Middlewhere {
+ public:
+  /// Builds the stack over a fresh spatial database. The clock must outlive
+  /// the instance.
+  Middlewhere(const util::Clock& clock, geo::Rect universe, glob::FrameTree frames);
+  Middlewhere(const util::Clock& clock, geo::Rect universe, const std::string& rootFrame);
+
+  [[nodiscard]] db::SpatialDatabase& database() noexcept { return db_; }
+  [[nodiscard]] LocationService& locationService() noexcept { return *service_; }
+  [[nodiscard]] ServiceRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] const util::Clock& clock() const noexcept { return clock_; }
+
+  /// Exposes the Location Service over TCP loopback; returns the bound port.
+  /// Clients connect with connectRemote().
+  std::uint16_t listen(std::uint16_t port = 0);
+
+  /// Connects a typed remote client to a listening Middlewhere instance.
+  static std::unique_ptr<RemoteLocationClient> connectRemote(const std::string& host,
+                                                             std::uint16_t port);
+
+  /// In-process client pair: the fast path used by same-process applications
+  /// (still exercises the full ORB marshalling, like CORBA collocation).
+  std::unique_ptr<RemoteLocationClient> connectLocal();
+
+ private:
+  const util::Clock& clock_;
+  db::SpatialDatabase db_;
+  std::unique_ptr<LocationService> service_;
+  ServiceRegistry registry_;
+  orb::RpcServer rpcServer_;
+  std::unique_ptr<orb::TcpListener> listener_;
+};
+
+}  // namespace mw::core

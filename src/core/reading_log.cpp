@@ -1,0 +1,84 @@
+#include "core/reading_log.hpp"
+
+#include <fstream>
+
+#include "core/codec.hpp"
+#include "util/error.hpp"
+
+namespace mw::core {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4D57544C;  // "MWTL"
+constexpr std::uint16_t kVersion = 1;
+}  // namespace
+
+adapters::LocationAdapter::Sink ReadingRecorder::tee(
+    adapters::LocationAdapter::Sink downstream) {
+  mw::util::require(static_cast<bool>(downstream), "ReadingRecorder::tee: null downstream");
+  return [this, downstream = std::move(downstream)](const db::SensorReading& reading) {
+    record(reading);
+    downstream(reading);
+  };
+}
+
+void ReadingRecorder::record(const db::SensorReading& reading) {
+  readings_.push_back(reading);
+}
+
+Bytes ReadingRecorder::encode() const {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+  w.u32(static_cast<std::uint32_t>(readings_.size()));
+  for (const auto& reading : readings_) encodeReading(w, reading);
+  return w.take();
+}
+
+void ReadingRecorder::saveFile(const std::string& path) const {
+  Bytes data = encode();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw mw::util::MwError("ReadingRecorder::saveFile: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw mw::util::MwError("ReadingRecorder::saveFile: write failed for " + path);
+}
+
+std::vector<db::SensorReading> decodeTrace(const Bytes& data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw util::ParseError("decodeTrace: bad magic");
+  if (r.u16() != kVersion) throw util::ParseError("decodeTrace: unsupported version");
+  std::vector<db::SensorReading> out;
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    out.push_back(decodeReading(r));
+  }
+  if (!r.exhausted()) throw util::ParseError("decodeTrace: trailing bytes");
+  return out;
+}
+
+std::vector<db::SensorReading> loadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw mw::util::MwError("loadTraceFile: cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return decodeTrace(data);
+}
+
+std::size_t replayTrace(const std::vector<db::SensorReading>& trace,
+                        const adapters::LocationAdapter::Sink& sink,
+                        util::VirtualClock* clock) {
+  mw::util::require(static_cast<bool>(sink), "replayTrace: null sink");
+  std::size_t delivered = 0;
+  for (const auto& reading : trace) {
+    if (clock != nullptr && reading.detectionTime > clock->now()) {
+      clock->set(reading.detectionTime);
+    }
+    sink(reading);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace mw::core

@@ -1,0 +1,56 @@
+// Sensor-trace recording and replay.
+//
+// The paper evaluates on live sensors; for repeatable experiments this
+// module captures the adapter→service reading stream to a binary log and
+// replays it later — optionally against a virtual clock so temporal
+// degradation and TTL expiry behave exactly as they did live. This is the
+// trace-driven-evaluation substrate (and a debugging tool for deployments).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "adapters/adapter.hpp"
+#include "spatialdb/sensor.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+
+namespace mw::core {
+
+/// Accumulates readings in memory; encode() produces the log bytes.
+class ReadingRecorder {
+ public:
+  /// A sink that both forwards to `downstream` and records.
+  [[nodiscard]] adapters::LocationAdapter::Sink tee(
+      adapters::LocationAdapter::Sink downstream);
+
+  /// Records one reading directly.
+  void record(const db::SensorReading& reading);
+
+  [[nodiscard]] std::size_t size() const noexcept { return readings_.size(); }
+  [[nodiscard]] const std::vector<db::SensorReading>& readings() const noexcept {
+    return readings_;
+  }
+
+  /// Serializes the trace (header + readings in capture order).
+  [[nodiscard]] util::Bytes encode() const;
+  void saveFile(const std::string& path) const;
+
+ private:
+  std::vector<db::SensorReading> readings_;
+};
+
+/// Decodes a trace. Throws util::ParseError on malformed input.
+std::vector<db::SensorReading> decodeTrace(const util::Bytes& data);
+std::vector<db::SensorReading> loadTraceFile(const std::string& path);
+
+/// Replays a trace into a sink. When `clock` is given, it is advanced to
+/// each reading's detection time before delivery, so freshness-dependent
+/// behaviour reproduces; the trace must then be time-ordered and must not
+/// start before the clock's current instant. Returns the number delivered.
+std::size_t replayTrace(const std::vector<db::SensorReading>& trace,
+                        const adapters::LocationAdapter::Sink& sink,
+                        util::VirtualClock* clock = nullptr);
+
+}  // namespace mw::core

@@ -1,0 +1,121 @@
+#include "core/region_lattice.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mw::core {
+
+using mw::util::require;
+
+std::size_t RegionLattice::add(const std::string& glob, const geo::Rect& rect,
+                               std::unordered_map<std::string, std::string> properties) {
+  require(!glob.empty(), "RegionLattice::add: empty name");
+  require(!rect.empty() && rect.area() > 0, "RegionLattice::add: empty rect");
+  require(!byName_.contains(glob), "RegionLattice::add: duplicate region " + glob);
+  std::size_t index = nodes_.size();
+  nodes_.push_back(Node{glob, rect, std::move(properties), {}, {}, 0});
+  byName_.emplace(glob, index);
+  dirty_ = true;
+  return index;
+}
+
+const RegionLattice::Node& RegionLattice::node(std::size_t index) const {
+  require(index < nodes_.size(), "RegionLattice::node: index out of range");
+  refreshEdges();
+  return nodes_[index];
+}
+
+std::optional<std::size_t> RegionLattice::find(const std::string& glob) const {
+  auto it = byName_.find(glob);
+  if (it == byName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::size_t> RegionLattice::smallestAt(geo::Point2 p) const {
+  std::optional<std::size_t> best;
+  double bestArea = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].rect.contains(p)) continue;
+    double area = nodes_[i].rect.area();
+    if (!best || area < bestArea) {
+      best = i;
+      bestArea = area;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> RegionLattice::chainAt(geo::Point2 p) const {
+  refreshEdges();
+  std::vector<std::size_t> chain;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].rect.contains(p)) chain.push_back(i);
+  }
+  // Outermost first: sort by depth, then by area descending for stability.
+  std::sort(chain.begin(), chain.end(), [&](std::size_t a, std::size_t b) {
+    if (nodes_[a].depth != nodes_[b].depth) return nodes_[a].depth < nodes_[b].depth;
+    return nodes_[a].rect.area() > nodes_[b].rect.area();
+  });
+  return chain;
+}
+
+std::optional<std::size_t> RegionLattice::atGranularity(geo::Point2 p,
+                                                        std::size_t maxDepth) const {
+  auto chain = chainAt(p);
+  std::optional<std::size_t> best;
+  for (std::size_t i : chain) {
+    if (nodes_[i].depth <= maxDepth) best = i;  // chain is outermost-first
+  }
+  return best;
+}
+
+void RegionLattice::refreshEdges() const {
+  if (!dirty_) return;
+  const std::size_t n = nodes_.size();
+  for (auto& node : nodes_) {
+    node.parents.clear();
+    node.children.clear();
+    node.depth = 0;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return nodes_[a].rect.area() > nodes_[b].rect.area();
+  });
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    std::size_t a = order[ai];
+    for (std::size_t bi = ai + 1; bi < n; ++bi) {
+      std::size_t b = order[bi];
+      if (!nodes_[a].rect.contains(nodes_[b].rect) ||
+          geo::approxEqual(nodes_[a].rect, nodes_[b].rect)) {
+        continue;
+      }
+      bool immediate = true;
+      for (std::size_t ci = ai + 1; ci < bi && immediate; ++ci) {
+        std::size_t c = order[ci];
+        if (nodes_[a].rect.contains(nodes_[c].rect) &&
+            nodes_[c].rect.contains(nodes_[b].rect) &&
+            !geo::approxEqual(nodes_[c].rect, nodes_[a].rect) &&
+            !geo::approxEqual(nodes_[c].rect, nodes_[b].rect)) {
+          immediate = false;
+        }
+      }
+      if (immediate) {
+        nodes_[a].children.push_back(b);
+        nodes_[b].parents.push_back(a);
+      }
+    }
+  }
+  // Depths: longest chain from a root, via the area-descending order (every
+  // parent has strictly larger area, so order is topological).
+  for (std::size_t idx : order) {
+    std::size_t depth = 0;
+    for (std::size_t p : nodes_[idx].parents) depth = std::max(depth, nodes_[p].depth + 1);
+    nodes_[idx].depth = depth;
+  }
+  dirty_ = false;
+}
+
+}  // namespace mw::core

@@ -1,0 +1,63 @@
+// Service registry — the Gaia Space Repository stand-in (§7).
+//
+// "Gaia applications can discover the location service component of
+// MiddleWhere by querying the Gaia Space Repository service, which provides
+// a list of available services."
+#pragma once
+
+#include <algorithm>
+#include <any>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mw::core {
+
+class ServiceRegistry {
+ public:
+  /// Registers a shared service under a unique name.
+  template <typename T>
+  void registerService(const std::string& name, std::shared_ptr<T> service) {
+    util::require(!name.empty(), "ServiceRegistry: empty name");
+    util::require(static_cast<bool>(service), "ServiceRegistry: null service");
+    std::lock_guard lock(mutex_);
+    util::require(!services_.contains(name), "ServiceRegistry: duplicate service " + name);
+    services_[name] = std::move(service);
+  }
+
+  /// Looks a service up by name and type; nullptr when absent or of a
+  /// different type.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> lookup(const std::string& name) const {
+    std::lock_guard lock(mutex_);
+    auto it = services_.find(name);
+    if (it == services_.end()) return nullptr;
+    auto* ptr = std::any_cast<std::shared_ptr<T>>(&it->second);
+    return ptr ? *ptr : nullptr;
+  }
+
+  bool unregisterService(const std::string& name) {
+    std::lock_guard lock(mutex_);
+    return services_.erase(name) > 0;
+  }
+
+  /// Names of all registered services, sorted.
+  [[nodiscard]] std::vector<std::string> list() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(services_.size());
+    for (const auto& [name, _] : services_) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::any> services_;
+};
+
+}  // namespace mw::core

@@ -1,0 +1,201 @@
+#include "core/remote.hpp"
+
+#include <mutex>
+
+#include "core/codec.hpp"
+#include "util/error.hpp"
+
+namespace mw::core {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+
+namespace {
+
+Bytes encodeNotification(const Notification& n) {
+  ByteWriter w;
+  w.u64(n.id.value());
+  w.str(n.object.str());
+  encodeRect(w, n.region);
+  w.f64(n.probability);
+  w.u8(static_cast<std::uint8_t>(n.cls));
+  w.i64(n.when.time_since_epoch().count());
+  return w.take();
+}
+
+Notification decodeNotification(const Bytes& payload) {
+  ByteReader r(payload);
+  Notification n;
+  n.id = util::SubscriptionId{r.u64()};
+  n.object = util::MobileObjectId{r.str()};
+  n.region = decodeRect(r);
+  n.probability = r.f64();
+  n.cls = static_cast<fusion::ProbabilityClass>(r.u8());
+  n.when = util::TimePoint{util::Duration{r.i64()}};
+  return n;
+}
+
+}  // namespace
+
+void exposeLocationService(orb::RpcServer& server, LocationService& service) {
+  // One mutex serializes all service access: requests can arrive on several
+  // transports' reader threads concurrently, and the LocationService (like
+  // the spatial database under it) is single-threaded by design.
+  auto gate = std::make_shared<std::mutex>();
+
+  server.registerMethod("ingest", [&service, gate](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    db::SensorReading reading = decodeReading(r);
+    std::lock_guard lock(*gate);
+    service.ingest(reading);
+    return {};
+  });
+
+  server.registerMethod("locate", [&service, gate](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    util::MobileObjectId object{r.str()};
+    ByteWriter w;
+    std::lock_guard lock(*gate);
+    auto est = service.locateObject(object);
+    w.boolean(est.has_value());
+    if (est) encodeEstimate(w, *est);
+    return w.take();
+  });
+
+  server.registerMethod("locateSymbolic", [&service, gate](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    util::MobileObjectId object{r.str()};
+    std::lock_guard lock(*gate);
+    auto symbolic = service.locateSymbolic(object);
+    ByteWriter w;
+    w.str(symbolic ? symbolic->str() : "");
+    return w.take();
+  });
+
+  server.registerMethod("probabilityInRegion", [&service, gate](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    util::MobileObjectId object{r.str()};
+    geo::Rect region = decodeRect(r);
+    ByteWriter w;
+    std::lock_guard lock(*gate);
+    w.f64(service.probabilityInRegion(object, region));
+    return w.take();
+  });
+
+  server.registerMethod("subscribe", [&service, &server, gate](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    Subscription sub;
+    sub.region = decodeRect(r);
+    if (r.boolean()) sub.subject = util::MobileObjectId{r.str()};
+    sub.threshold = r.f64();
+    // Bridge notifications onto the ORB as events; the subscription id is
+    // embedded in the topic so the client can dispatch.
+    sub.callback = [&server](const Notification& n) {
+      server.publish("notify." + std::to_string(n.id.value()), encodeNotification(n));
+    };
+    std::lock_guard lock(*gate);
+    util::SubscriptionId id = service.subscribe(std::move(sub));
+    ByteWriter w;
+    w.u64(id.value());
+    return w.take();
+  });
+
+  server.registerMethod("unsubscribe", [&service, gate](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    util::SubscriptionId id{r.u64()};
+    ByteWriter w;
+    std::lock_guard lock(*gate);
+    w.boolean(service.unsubscribe(id));
+    return w.take();
+  });
+}
+
+RemoteLocationClient::RemoteLocationClient(std::shared_ptr<orb::RpcClient> rpc)
+    : rpc_(std::move(rpc)) {
+  mw::util::require(static_cast<bool>(rpc_), "RemoteLocationClient: null rpc client");
+  rpc_->onEvent([this](const std::string& topic, const Bytes& payload) {
+    constexpr std::string_view kPrefix = "notify.";
+    if (topic.rfind(kPrefix, 0) != 0) return;
+    std::uint64_t id = std::stoull(topic.substr(kPrefix.size()));
+    std::function<void(const Notification&)> callback;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = callbacks_.find(id);
+      if (it != callbacks_.end()) callback = it->second;
+    }
+    if (callback) callback(decodeNotification(payload));
+  });
+}
+
+void RemoteLocationClient::ingest(const db::SensorReading& reading) {
+  ByteWriter w;
+  encodeReading(w, reading);
+  rpc_->call("ingest", w.take());
+}
+
+void RemoteLocationClient::ingestAsync(const db::SensorReading& reading) {
+  ByteWriter w;
+  encodeReading(w, reading);
+  rpc_->notify("ingest", w.take());
+}
+
+std::optional<fusion::LocationEstimate> RemoteLocationClient::locate(
+    const util::MobileObjectId& object) {
+  ByteWriter w;
+  w.str(object.str());
+  Bytes reply = rpc_->call("locate", w.take());
+  ByteReader r(reply);
+  if (!r.boolean()) return std::nullopt;
+  return decodeEstimate(r);
+}
+
+std::string RemoteLocationClient::locateSymbolic(const util::MobileObjectId& object) {
+  ByteWriter w;
+  w.str(object.str());
+  Bytes reply = rpc_->call("locateSymbolic", w.take());
+  ByteReader r(reply);
+  return r.str();
+}
+
+double RemoteLocationClient::probabilityInRegion(const util::MobileObjectId& object,
+                                                 const geo::Rect& region) {
+  ByteWriter w;
+  w.str(object.str());
+  encodeRect(w, region);
+  Bytes reply = rpc_->call("probabilityInRegion", w.take());
+  ByteReader r(reply);
+  return r.f64();
+}
+
+util::SubscriptionId RemoteLocationClient::subscribe(
+    const geo::Rect& region, std::optional<util::MobileObjectId> subject, double threshold,
+    std::function<void(const Notification&)> callback) {
+  ByteWriter w;
+  encodeRect(w, region);
+  w.boolean(subject.has_value());
+  if (subject) w.str(subject->str());
+  w.f64(threshold);
+  Bytes reply = rpc_->call("subscribe", w.take());
+  ByteReader r(reply);
+  util::SubscriptionId id{r.u64()};
+  {
+    std::lock_guard lock(mutex_);
+    callbacks_[id.value()] = std::move(callback);
+  }
+  return id;
+}
+
+bool RemoteLocationClient::unsubscribe(util::SubscriptionId id) {
+  {
+    std::lock_guard lock(mutex_);
+    callbacks_.erase(id.value());
+  }
+  ByteWriter w;
+  w.u64(id.value());
+  Bytes reply = rpc_->call("unsubscribe", w.take());
+  ByteReader r(reply);
+  return r.boolean();
+}
+
+}  // namespace mw::core

@@ -1,0 +1,66 @@
+// Remote access to the Location Service over the MicroOrb (§7).
+//
+// "Gaia applications can discover the location service component of
+// MiddleWhere by querying the Gaia Space Repository service ... applications
+// can then talk directly to the location service. To access location
+// information, we provide push and pull models."
+//
+// exposeLocationService() registers the RPC methods on a server; the
+// RemoteLocationClient is the typed stub applications use. Subscriptions
+// arrive back as MicroOrb events on topic "notify.<subscriptionId>".
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/location_service.hpp"
+#include "orb/rpc.hpp"
+
+namespace mw::core {
+
+/// Registers the service's methods ("ingest", "locate", "locateSymbolic",
+/// "probabilityInRegion", "subscribe", "unsubscribe") on the RPC server.
+/// Subscription notifications are published as events through the server.
+///
+/// The LocationService itself is single-threaded; requests may arrive
+/// concurrently from several transports' reader threads, so every method is
+/// serialized through one internal mutex (the CORBA single-threaded-POA
+/// model the paper's deployment used).
+void exposeLocationService(orb::RpcServer& server, LocationService& service);
+
+/// Typed client stub over an RpcClient connection.
+class RemoteLocationClient {
+ public:
+  explicit RemoteLocationClient(std::shared_ptr<orb::RpcClient> rpc);
+
+  /// Push a sensor reading to the remote service (adapter path).
+  void ingest(const db::SensorReading& reading);
+
+  /// Oneway variant: returns as soon as the reading is on the wire, without
+  /// waiting for the service to process it (high-rate adapters).
+  void ingestAsync(const db::SensorReading& reading);
+
+  [[nodiscard]] std::optional<fusion::LocationEstimate> locate(
+      const util::MobileObjectId& object);
+
+  /// Symbolic location as a GLOB string ("" when unknown).
+  [[nodiscard]] std::string locateSymbolic(const util::MobileObjectId& object);
+
+  [[nodiscard]] double probabilityInRegion(const util::MobileObjectId& object,
+                                           const geo::Rect& region);
+
+  /// Region-entry subscription; notifications arrive on the callback from
+  /// the client's event thread.
+  util::SubscriptionId subscribe(const geo::Rect& region,
+                                 std::optional<util::MobileObjectId> subject, double threshold,
+                                 std::function<void(const Notification&)> callback);
+  bool unsubscribe(util::SubscriptionId id);
+
+ private:
+  std::shared_ptr<orb::RpcClient> rpc_;
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::function<void(const Notification&)>> callbacks_;
+};
+
+}  // namespace mw::core

@@ -1,0 +1,110 @@
+#include "core/remote_registry.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace mw::core {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+
+RegistryServer::RegistryServer(std::uint16_t port) {
+  rpc_.registerMethod("registry.announce", [this](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    std::string name = r.str();
+    Endpoint ep{r.str(), r.u16()};
+    mw::util::require(!name.empty(), "registry.announce: empty name");
+    std::lock_guard lock(mutex_);
+    entries_[name] = std::move(ep);
+    return {};
+  });
+  rpc_.registerMethod("registry.lookup", [this](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    std::string name = r.str();
+    ByteWriter w;
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(name);
+    w.boolean(it != entries_.end());
+    if (it != entries_.end()) {
+      w.str(it->second.host);
+      w.u16(it->second.port);
+    }
+    return w.take();
+  });
+  rpc_.registerMethod("registry.list", [this](const Bytes&) -> Bytes {
+    std::vector<std::string> names;
+    {
+      std::lock_guard lock(mutex_);
+      names.reserve(entries_.size());
+      for (const auto& [name, _] : entries_) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(names.size()));
+    for (const auto& name : names) w.str(name);
+    return w.take();
+  });
+  rpc_.registerMethod("registry.withdraw", [this](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    std::string name = r.str();
+    bool removed;
+    {
+      std::lock_guard lock(mutex_);
+      removed = entries_.erase(name) > 0;
+    }
+    ByteWriter w;
+    w.boolean(removed);
+    return w.take();
+  });
+  listener_ = std::make_unique<orb::TcpListener>(
+      port, [this](std::shared_ptr<orb::Transport> t) { rpc_.serve(std::move(t)); });
+}
+
+std::size_t RegistryServer::entryCount() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+RegistryClient::RegistryClient(const std::string& host, std::uint16_t port)
+    : rpc_(std::make_shared<orb::RpcClient>(orb::tcpConnect(host, port))) {}
+
+void RegistryClient::announce(const std::string& name, const Endpoint& endpoint) {
+  ByteWriter w;
+  w.str(name);
+  w.str(endpoint.host);
+  w.u16(endpoint.port);
+  rpc_->call("registry.announce", w.take());
+}
+
+std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
+  ByteWriter w;
+  w.str(name);
+  Bytes reply = rpc_->call("registry.lookup", w.take());
+  ByteReader r(reply);
+  if (!r.boolean()) return std::nullopt;
+  Endpoint ep;
+  ep.host = r.str();
+  ep.port = r.u16();
+  return ep;
+}
+
+std::vector<std::string> RegistryClient::list() {
+  Bytes reply = rpc_->call("registry.list", {});
+  ByteReader r(reply);
+  std::vector<std::string> names;
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) names.push_back(r.str());
+  return names;
+}
+
+bool RegistryClient::withdraw(const std::string& name) {
+  ByteWriter w;
+  w.str(name);
+  Bytes reply = rpc_->call("registry.withdraw", w.take());
+  ByteReader r(reply);
+  return r.boolean();
+}
+
+}  // namespace mw::core

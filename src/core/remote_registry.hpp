@@ -1,0 +1,63 @@
+// Distributed name service over the MicroOrb — the Gaia Space Repository
+// (§7: "Gaia applications can discover the location service component of
+// MiddleWhere by querying the Gaia Space Repository service, which provides
+// a list of available services").
+//
+// The RegistryServer listens on TCP; services announce (name -> host:port)
+// endpoints; applications look names up and connect directly — exactly the
+// discovery-then-talk-directly pattern the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "orb/rpc.hpp"
+#include "orb/tcp.hpp"
+
+namespace mw::core {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+class RegistryServer {
+ public:
+  /// Binds to 127.0.0.1:<port> (0 = ephemeral).
+  explicit RegistryServer(std::uint16_t port = 0);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_->port(); }
+  [[nodiscard]] std::size_t entryCount() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Endpoint> entries_;
+  orb::RpcServer rpc_;
+  std::unique_ptr<orb::TcpListener> listener_;
+};
+
+class RegistryClient {
+ public:
+  RegistryClient(const std::string& host, std::uint16_t port);
+
+  /// Publishes or replaces a service endpoint.
+  void announce(const std::string& name, const Endpoint& endpoint);
+  /// Resolves a name; nullopt when not registered.
+  [[nodiscard]] std::optional<Endpoint> lookup(const std::string& name);
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> list();
+  /// Removes an entry; false when absent.
+  bool withdraw(const std::string& name);
+
+ private:
+  std::shared_ptr<orb::RpcClient> rpc_;
+};
+
+}  // namespace mw::core

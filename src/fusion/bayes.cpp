@@ -1,0 +1,128 @@
+#include "fusion/bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mw::fusion {
+
+namespace {
+
+double intersectionArea(const geo::Rect& a, const geo::Rect& b) {
+  auto i = a.intersection(b);
+  return i ? i->area() : 0.0;
+}
+
+void checkUniverse(const geo::Rect& universe) {
+  mw::util::require(!universe.empty() && universe.area() > 0,
+                    "fusion: universe must have positive area");
+}
+
+}  // namespace
+
+double regionProbabilityWithPrior(const geo::Rect& region, const FusionInputs& inputs,
+                                  const geo::Rect& universe, const SpatialPrior& prior) {
+  checkUniverse(universe);
+  auto clipped = universe.intersection(region);
+  if (!clipped || clipped->area() <= 0) return 0.0;
+  const geo::Rect r = *clipped;
+
+  // Every area ratio of the Eq.-4 derivation becomes a prior-mass ratio;
+  // with the uniform prior, mass == area / a_U and the classic formula
+  // falls out.
+  const double mR = prior.mass(r);
+  if (mR <= 0) return 0.0;
+  if (mR >= 1) return 1.0;
+  const double mNotR = 1.0 - mR;
+
+  double logF = 0.0;  // log Π f_i
+  double logG = 0.0;  // log Π g_i
+  std::size_t n = 0;
+  for (const FusionInput& in : inputs) {
+    auto clippedA = universe.intersection(in.rect);
+    if (!clippedA || clippedA->area() <= 0) continue;
+    const double mA = prior.mass(*clippedA);
+    auto inter = clippedA->intersection(r);
+    const double mInt = inter ? prior.mass(*inter) : 0.0;
+
+    const double f = in.p * mInt + in.q * std::max(0.0, mR - mInt);
+    const double g = in.p * std::max(0.0, mA - mInt) +
+                     in.q * std::max(0.0, mNotR - mA + mInt);
+    if (f <= 0) return 0.0;  // a sensor makes R impossible
+    if (g <= 0) return 1.0;  // a sensor makes ¬R impossible
+    logF += std::log(f);
+    logG += std::log(g);
+    ++n;
+  }
+  if (n == 0) {
+    return mR;  // no sensor evidence: the prior itself
+  }
+
+  // P = F/mR^(n-1) / (F/mR^(n-1) + G/mNotR^(n-1))
+  //   = 1 / (1 + exp(logG - logF + (n-1)(log mR - log mNotR)))
+  const double expo =
+      logG - logF + static_cast<double>(n - 1) * (std::log(mR) - std::log(mNotR));
+  if (expo > 700) return 0.0;
+  if (expo < -700) return 1.0;
+  return 1.0 / (1.0 + std::exp(expo));
+}
+
+double regionProbability(const geo::Rect& region, const FusionInputs& inputs,
+                         const geo::Rect& universe) {
+  checkUniverse(universe);
+  return regionProbabilityWithPrior(region, inputs, universe, UniformPrior{universe});
+}
+
+double regionProbabilityPaperEq7(const geo::Rect& region, const FusionInputs& inputs,
+                                 const geo::Rect& universe) {
+  checkUniverse(universe);
+  auto clipped = universe.intersection(region);
+  if (!clipped || clipped->area() <= 0) return 0.0;
+  const geo::Rect r = *clipped;
+
+  const double aU = universe.area();
+  const double aR = r.area() / aU;
+
+  double num = 1.0;
+  double alt = 1.0;
+  std::size_t n = 0;
+  for (const FusionInput& in : inputs) {
+    auto clippedA = universe.intersection(in.rect);
+    if (!clippedA || clippedA->area() <= 0) continue;
+    const double aA = clippedA->area() / aU;
+    const double aInt = intersectionArea(*clippedA, r) / aU;
+    // Verbatim Eq. (7) factors (areas normalized by a_U, a_U itself = 1).
+    num *= in.p * aInt + in.q * (aR - aInt);
+    alt *= in.p * (aA - aInt) + in.q * (1.0 - aA + aInt);
+    ++n;
+  }
+  if (n == 0) return aR;
+  if (num + alt <= 0) return 0.0;
+  return num / (num + alt);
+}
+
+double singleSensorProbability(const FusionInput& input, const geo::Rect& universe) {
+  checkUniverse(universe);
+  auto clipped = universe.intersection(input.rect);
+  if (!clipped || clipped->area() <= 0) return 0.0;
+  const double aU = universe.area();
+  const double aB = clipped->area();
+  const double num = aB * input.p;
+  const double den = num + input.q * (aU - aB);
+  if (den <= 0) return 0.0;
+  return num / den;
+}
+
+double containedPairProbability(double p1, double q1, double areaA, double p2, double q2,
+                                double areaB, double areaU) {
+  mw::util::require(areaA >= 0 && areaA <= areaB && areaB <= areaU && areaU > 0,
+                    "containedPairProbability: need 0 <= areaA <= areaB <= areaU");
+  const double bracket = p1 * areaA + q1 * (areaB - areaA);
+  const double num = bracket * p2;
+  const double den = num + q1 * q2 * (areaU - areaB);
+  if (den <= 0) return 0.0;
+  return num / den;
+}
+
+}  // namespace mw::fusion

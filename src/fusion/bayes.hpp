@@ -1,0 +1,62 @@
+// Bayesian multi-sensor location fusion (§4.1.2, Eqs 1-7).
+//
+// The general region-probability formula follows the paper's derivation of
+// Eq. (4): with n readings s_i reporting regions A_i, the probability that
+// the person is in region R is
+//
+//                      Π_i f_i / a_R^(n-1)
+//   P(person_R | s) = ---------------------------------------------
+//                      Π_i f_i / a_R^(n-1) + Π_i g_i / (a_U-a_R)^(n-1)
+//
+//   f_i = p_i·a(A_i∩R) + q_i·(a_R − a(A_i∩R))
+//   g_i = p_i·(a_Ai − a(A_i∩R)) + q_i·(a_U − a_R − a_Ai + a(A_i∩R))
+//
+// which is Bayes' rule with a uniform spatial prior P(person_R) = a_R/a_U
+// and conditional independence of sensors given the person's location,
+// decomposing each likelihood over whether the person is inside A_i∩R.
+//
+// NOTE ON FIDELITY: the paper's printed Eq. (7) (and Eq. (6)) omit the
+// (a_U − a_R) normalization in the ¬R branch and write the g_i tail as
+// (a_U − a_Ai + a_int) instead of (a_U − a_R − a_Ai + a_int). Those printed
+// forms are dimensionally inconsistent with the fully-derived Eq. (4): they
+// do not reduce to it for the contained-rectangle case. We therefore use
+// the derivation-consistent formula above as the default — it reproduces
+// Eqs (4) and (5) exactly — and expose the verbatim printed Eq. (7) as
+// `regionProbabilityPaperEq7` so the discrepancy can be measured (see
+// EXPERIMENTS.md).
+#pragma once
+
+#include "fusion/fusion_input.hpp"
+#include "fusion/prior.hpp"
+#include "geometry/rect.hpp"
+
+namespace mw::fusion {
+
+/// General region probability (derivation-consistent Eq. 7; reduces to the
+/// paper's Eqs 4/5/6-derivation for their special cases). Inputs that do not
+/// intersect the universe are ignored; `region` is clipped to the universe.
+/// Returns a value in [0, 1].
+double regionProbability(const geo::Rect& region, const FusionInputs& inputs,
+                         const geo::Rect& universe);
+
+/// The same formula under an arbitrary spatial prior (§4.1.2's "movement
+/// patterns" extension): every area ratio in the derivation becomes a prior
+/// mass ratio. With UniformPrior this is identical to regionProbability.
+double regionProbabilityWithPrior(const geo::Rect& region, const FusionInputs& inputs,
+                                  const geo::Rect& universe, const SpatialPrior& prior);
+
+/// The paper's Eq. (7) exactly as printed, for comparison experiments.
+double regionProbabilityPaperEq7(const geo::Rect& region, const FusionInputs& inputs,
+                                 const geo::Rect& universe);
+
+/// Eq. (5): single-sensor probability that the person is in the sensor's own
+/// region B:  a_B·p / (a_B·p + q·(a_U − a_B)).
+double singleSensorProbability(const FusionInput& input, const geo::Rect& universe);
+
+/// Eq. (4): two sensors, rectangle A contained in rectangle B; probability
+/// the person is in B. Provided as a direct transliteration for testing the
+/// general formula against the paper's closed form.
+double containedPairProbability(double p1, double q1, double areaA, double p2, double q2,
+                                double areaB, double areaU);
+
+}  // namespace mw::fusion

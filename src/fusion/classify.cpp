@@ -1,0 +1,38 @@
+#include "fusion/classify.hpp"
+
+#include <algorithm>
+
+namespace mw::fusion {
+
+std::string_view toString(ProbabilityClass c) {
+  switch (c) {
+    case ProbabilityClass::Low: return "low";
+    case ProbabilityClass::Medium: return "medium";
+    case ProbabilityClass::High: return "high";
+    case ProbabilityClass::VeryHigh: return "very high";
+  }
+  return "?";
+}
+
+ClassThresholds computeThresholds(std::vector<double> sensorPs) {
+  if (sensorPs.empty()) {
+    // No sensors: everything is Low; thresholds collapse at 1.
+    return ClassThresholds{1.0, 1.0, 1.0};
+  }
+  std::sort(sensorPs.begin(), sensorPs.end());
+  ClassThresholds t;
+  t.low = sensorPs.front();
+  t.high = sensorPs.back();
+  const std::size_t n = sensorPs.size();
+  t.medium = (n % 2 == 1) ? sensorPs[n / 2] : (sensorPs[n / 2 - 1] + sensorPs[n / 2]) / 2.0;
+  return t;
+}
+
+ProbabilityClass classify(double probability, const ClassThresholds& t) {
+  if (probability <= t.low) return ProbabilityClass::Low;
+  if (probability <= t.medium) return ProbabilityClass::Medium;
+  if (probability <= t.high) return ProbabilityClass::High;
+  return ProbabilityClass::VeryHigh;
+}
+
+}  // namespace mw::fusion

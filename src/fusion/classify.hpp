@@ -1,0 +1,37 @@
+// Probability-space classification (§4.4).
+//
+// "To make it more convenient for application developers, we divide the
+// probability space into 4 regions based on the accuracy of various sensors:
+//   (0, min(p_i)]                 low
+//   (min(p_i), median(p_i)]      medium
+//   (median(p_i), max(p_i)]      high
+//   (max(p_i), 1]                very high"
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace mw::fusion {
+
+enum class ProbabilityClass { Low = 0, Medium = 1, High = 2, VeryHigh = 3 };
+
+std::string_view toString(ProbabilityClass c);
+
+/// The three thresholds dividing the probability space, derived from the
+/// detection confidences of the sensors that participated in fusion.
+struct ClassThresholds {
+  double low = 0;     ///< min of the p_i's
+  double medium = 0;  ///< median of the p_i's
+  double high = 0;    ///< max of the p_i's
+};
+
+/// Computes thresholds from the participating sensors' p values. With no
+/// sensors, every probability classifies as Low. Median of an even count is
+/// the mean of the two middle values.
+ClassThresholds computeThresholds(std::vector<double> sensorPs);
+
+/// Classifies a probability against thresholds (boundaries are inclusive on
+/// the upper end, matching the paper's half-open-from-below intervals).
+ProbabilityClass classify(double probability, const ClassThresholds& thresholds);
+
+}  // namespace mw::fusion

@@ -1,0 +1,170 @@
+#include "fusion/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mw::fusion {
+
+FusionEngine::FusionEngine(geo::Rect universe) : universe_(universe) {
+  mw::util::require(!universe.empty() && universe.area() > 0,
+                    "FusionEngine: universe must have positive area");
+}
+
+double FusionEngine::priorAwareProbability(const geo::Rect& region,
+                                           const FusionInputs& inputs) const {
+  if (prior_) return regionProbabilityWithPrior(region, inputs, universe_, *prior_);
+  return regionProbability(region, inputs, universe_);
+}
+
+FusionInputs FusionEngine::informative(const FusionInputs& inputs) const {
+  FusionInputs out;
+  out.reserve(inputs.size());
+  for (const FusionInput& in : inputs) {
+    if (!in.informative()) continue;
+    auto clipped = universe_.intersection(in.rect);
+    if (!clipped || clipped->area() <= 0) continue;
+    FusionInput copy = in;
+    copy.rect = *clipped;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+lattice::RectLattice FusionEngine::buildLattice(const FusionInputs& inputs) const {
+  lattice::RectLattice lat(universe_);
+  for (const FusionInput& in : informative(inputs)) {
+    lat.insert(in.rect, in.sensorId.str());
+  }
+  return lat;
+}
+
+namespace {
+
+// Ranks the parents of Bottom per §4.1.2 case 3 / §4.2: rule 1 prefers
+// regions backed by moving rectangles (the paper's Fig 5/6 walkthrough picks
+// S4 — itself a moving source — over derived regions with fewer moving
+// contributors); rule 2 breaks ties by the best single-sensor probability of
+// a supporting reading.
+struct RankedRegion {
+  std::size_t node;
+  geo::Rect rect;
+  int movingSupport;
+  double prob;
+};
+
+std::vector<RankedRegion> rankBottomParents(const lattice::RectLattice& lat,
+                                            const FusionInputs& active,
+                                            const geo::Rect& universe) {
+  std::vector<RankedRegion> out;
+  for (std::size_t p : lat.bottomParents()) {
+    const geo::Rect rect = lat.node(p).rect;
+    int movingSupport = 0;
+    double bestSingle = 0;
+    for (const FusionInput& in : active) {
+      if (!in.rect.contains(rect)) continue;
+      if (in.moving) ++movingSupport;
+      bestSingle = std::max(bestSingle, singleSensorProbability(in, universe));
+    }
+    out.push_back(RankedRegion{p, rect, movingSupport, bestSingle});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedRegion& a, const RankedRegion& b) {
+    if (a.movingSupport != b.movingSupport) return a.movingSupport > b.movingSupport;
+    return a.prob > b.prob;
+  });
+  return out;
+}
+
+}  // namespace
+
+FusionInputs FusionEngine::resolveConflicts(FusionInputs inputs,
+                                            std::vector<util::SensorId>* discarded) const {
+  FusionInputs active = informative(inputs);
+  if (active.size() <= 1) return active;
+
+  // Iterate until the lattice has a single Bottom parent: each round picks
+  // the most credible minimal region and drops the sensors that reported
+  // regions disjoint from it (§4.1.2 case 3, §4.2).
+  for (int round = 0; round < 64; ++round) {
+    lattice::RectLattice lat(universe_);
+    for (const FusionInput& in : active) lat.insert(in.rect, in.sensorId.str());
+    auto candidates = rankBottomParents(lat, active, universe_);
+    if (candidates.size() <= 1) break;
+    const RankedRegion& winner = candidates.front();
+
+    // Discard every sensor whose rect is disjoint from the winning region.
+    FusionInputs surviving;
+    bool removedAny = false;
+    for (FusionInput& in : active) {
+      if (in.rect.intersects(winner.rect)) {
+        surviving.push_back(std::move(in));
+      } else {
+        removedAny = true;
+        if (discarded != nullptr) discarded->push_back(in.sensorId);
+      }
+    }
+    active = std::move(surviving);
+    if (!removedAny) break;  // defensive: avoid livelock on degenerate input
+  }
+  return active;
+}
+
+std::optional<LocationEstimate> FusionEngine::infer(const FusionInputs& inputs) const {
+  std::vector<util::SensorId> discarded;
+  FusionInputs active = resolveConflicts(inputs, &discarded);
+  if (active.empty()) return std::nullopt;
+
+  lattice::RectLattice lat(universe_);
+  for (const FusionInput& in : active) lat.insert(in.rect, in.sensorId.str());
+  // After conflict resolution usually one minimal region remains; if several
+  // do (touching rects cannot be resolved away), pick by the same ranking the
+  // conflict rules use.
+  auto candidates = rankBottomParents(lat, active, universe_);
+  const std::size_t best = candidates.front().node;
+
+  LocationEstimate est;
+  est.region = lat.node(best).rect;
+  est.probability = priorAwareProbability(est.region, active);
+  std::vector<double> ps;
+  for (const FusionInput& in : active) {
+    ps.push_back(in.p);
+    if (in.rect.contains(est.region)) est.supporting.push_back(in.sensorId);
+  }
+  est.cls = classify(est.probability, computeThresholds(std::move(ps)));
+  est.discarded = std::move(discarded);
+  return est;
+}
+
+double FusionEngine::probabilityInRegion(const geo::Rect& region,
+                                         const FusionInputs& inputs) const {
+  FusionInputs active = resolveConflicts(inputs, nullptr);
+  return priorAwareProbability(region, active);
+}
+
+std::vector<RegionProbability> FusionEngine::distribution(const FusionInputs& inputs,
+                                                          bool normalize) const {
+  FusionInputs active = resolveConflicts(inputs, nullptr);
+  lattice::RectLattice lat(universe_);
+  for (const FusionInput& in : active) lat.insert(in.rect, in.sensorId.str());
+
+  std::vector<RegionProbability> out;
+  out.reserve(lat.size());
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    const auto& node = lat.node(i);
+    out.push_back(
+        RegionProbability{node.rect, priorAwareProbability(node.rect, active), node.isSource});
+  }
+  if (normalize && !out.empty()) {
+    // Normalize over the minimal regions (the partition the paper reports):
+    // scale all probabilities so the Bottom parents sum to 1.
+    double sum = 0;
+    for (std::size_t p : lat.bottomParents()) sum += out[p].probability;
+    if (sum > 0) {
+      for (auto& rp : out) rp.probability = std::min(1.0, rp.probability / sum);
+    }
+  }
+  return out;
+}
+
+}  // namespace mw::fusion

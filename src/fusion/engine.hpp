@@ -1,0 +1,87 @@
+// The fusion engine: lattice construction, conflict resolution and location
+// inference (§4.1.2 case 3, §4.2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fusion/bayes.hpp"
+#include "fusion/classify.hpp"
+#include "fusion/fusion_input.hpp"
+#include "geometry/rect.hpp"
+#include "lattice/rect_lattice.hpp"
+#include "util/ids.hpp"
+
+namespace mw::fusion {
+
+/// The single location value most applications want (§4.2: "most
+/// location-sensitive applications just require a single value for the
+/// location of a person and do not want to deal with a spatial probability
+/// distribution").
+struct LocationEstimate {
+  geo::Rect region;                             ///< inferred MBR, universe frame
+  double probability = 0;                       ///< P(person in region)
+  ProbabilityClass cls = ProbabilityClass::Low; ///< §4.4 bucket
+  std::vector<util::SensorId> supporting;       ///< sensors whose rect contains region
+  std::vector<util::SensorId> discarded;        ///< sensors dropped by conflict resolution
+};
+
+/// One region of the fused spatial probability distribution.
+struct RegionProbability {
+  geo::Rect region;
+  double probability = 0;
+  bool isSource = false;  ///< a sensor rect (vs a derived intersection)
+};
+
+class FusionEngine {
+ public:
+  explicit FusionEngine(geo::Rect universe);
+
+  [[nodiscard]] const geo::Rect& universe() const noexcept { return universe_; }
+
+  /// Installs a non-uniform spatial prior (learned movement patterns,
+  /// §4.1.2/§11); nullptr restores the paper's uniform-area prior.
+  void setPrior(std::shared_ptr<const SpatialPrior> prior) { prior_ = std::move(prior); }
+  [[nodiscard]] bool hasPrior() const noexcept { return prior_ != nullptr; }
+
+  /// Region probability under the engine's current prior.
+  [[nodiscard]] double priorAwareProbability(const geo::Rect& region,
+                                             const FusionInputs& inputs) const;
+
+  /// Builds the containment lattice from the informative inputs (Figs 5-6).
+  [[nodiscard]] lattice::RectLattice buildLattice(const FusionInputs& inputs) const;
+
+  /// Full §4.2 pipeline: build lattice, resolve conflicts among the parents
+  /// of Bottom (rule 1: prefer moving rectangles; rule 2: prefer the higher
+  /// single-sensor probability), and return the single most likely location.
+  /// Returns nullopt when no informative reading is available.
+  [[nodiscard]] std::optional<LocationEstimate> infer(const FusionInputs& inputs) const;
+
+  /// Region-based query (§4.2): the probability that the person is inside
+  /// `region`, fusing all informative readings (after conflict resolution).
+  [[nodiscard]] double probabilityInRegion(const geo::Rect& region,
+                                           const FusionInputs& inputs) const;
+
+  /// The full spatial probability distribution: probability of every lattice
+  /// node (normalized over the Bottom parents' partition is NOT applied; the
+  /// values are per-region posteriors as the paper computes them, §4.1.2:
+  /// "The probabilities of all regions are finally normalized" — pass
+  /// `normalize = true` to scale the minimal regions to sum to 1).
+  [[nodiscard]] std::vector<RegionProbability> distribution(const FusionInputs& inputs,
+                                                            bool normalize = false) const;
+
+  /// Conflict resolution in isolation: returns the surviving inputs and
+  /// appends the losers to `discarded` (exposed for tests and benches).
+  [[nodiscard]] FusionInputs resolveConflicts(FusionInputs inputs,
+                                              std::vector<util::SensorId>* discarded) const;
+
+ private:
+  /// Drops inputs that are expired/uninformative or outside the universe.
+  [[nodiscard]] FusionInputs informative(const FusionInputs& inputs) const;
+
+  geo::Rect universe_;
+  std::shared_ptr<const SpatialPrior> prior_;  ///< nullptr = uniform
+};
+
+}  // namespace mw::fusion

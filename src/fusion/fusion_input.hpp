@@ -1,0 +1,29 @@
+// The fusion engine's view of one sensor observation.
+//
+// By the time a reading reaches fusion it has been (1) converted into the
+// universe frame, (2) approximated by its MBR, and (3) calibrated into a
+// (p, q) confidence pair with temporal degradation already applied ("all
+// p_i's are net probabilities obtained after applying the temporal
+// degradation function", §4.1.2).
+#pragma once
+
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "util/ids.hpp"
+
+namespace mw::fusion {
+
+struct FusionInput {
+  util::SensorId sensorId;
+  geo::Rect rect;      ///< reported region A_i, universe frame
+  double p = 0;        ///< P(sensor says A_i | person in A_i), tdf-degraded
+  double q = 0;        ///< P(sensor says A_i | person not in A_i)
+  bool moving = false; ///< region moved since the sensor's previous report
+
+  [[nodiscard]] bool informative() const noexcept { return p > q; }
+};
+
+using FusionInputs = std::vector<FusionInput>;
+
+}  // namespace mw::fusion

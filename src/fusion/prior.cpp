@@ -1,0 +1,103 @@
+#include "fusion/prior.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mw::fusion {
+
+using mw::util::require;
+
+UniformPrior::UniformPrior(geo::Rect universe) : universe_(universe) {
+  require(!universe.empty() && universe.area() > 0, "UniformPrior: empty universe");
+}
+
+double UniformPrior::mass(const geo::Rect& region) const {
+  auto clipped = universe_.intersection(region);
+  if (!clipped) return 0.0;
+  return clipped->area() / universe_.area();
+}
+
+RegionDwellPrior::RegionDwellPrior(geo::Rect universe, std::vector<Cell> cells,
+                                   double smoothingSeconds)
+    : universe_(universe), cells_(std::move(cells)) {
+  require(!universe.empty() && universe.area() > 0, "RegionDwellPrior: empty universe");
+  require(smoothingSeconds > 0, "RegionDwellPrior: smoothing must be positive");
+  double covered = 0;
+  for (const auto& cell : cells_) {
+    require(!cell.rect.empty() && cell.rect.area() > 0,
+            "RegionDwellPrior: cell '" + cell.name + "' has no area");
+    require(universe_.contains(cell.rect),
+            "RegionDwellPrior: cell '" + cell.name + "' outside the universe");
+    covered += cell.rect.area();
+  }
+  dwellSeconds_.assign(cells_.size(), smoothingSeconds);
+  backgroundSeconds_ = smoothingSeconds;
+  backgroundArea_ = std::max(universe_.area() - covered, 0.0);
+}
+
+void RegionDwellPrior::observe(geo::Point2 where, util::Duration dwell) {
+  require(dwell >= util::Duration::zero(), "RegionDwellPrior::observe: negative dwell");
+  double seconds = static_cast<double>(dwell.count()) / 1000.0;
+  // Attribute to the smallest containing cell; background otherwise.
+  std::size_t best = cells_.size();
+  double bestArea = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!cells_[i].rect.contains(where)) continue;
+    if (best == cells_.size() || cells_[i].rect.area() < bestArea) {
+      best = i;
+      bestArea = cells_[i].rect.area();
+    }
+  }
+  if (best == cells_.size()) {
+    backgroundSeconds_ += seconds;
+  } else {
+    dwellSeconds_[best] += seconds;
+  }
+}
+
+void RegionDwellPrior::observe(const std::string& cellName, util::Duration dwell) {
+  require(dwell >= util::Duration::zero(), "RegionDwellPrior::observe: negative dwell");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == cellName) {
+      dwellSeconds_[i] += static_cast<double>(dwell.count()) / 1000.0;
+      return;
+    }
+  }
+  throw mw::util::NotFoundError("RegionDwellPrior: unknown cell '" + cellName + "'");
+}
+
+double RegionDwellPrior::totalSeconds() const {
+  double total = backgroundSeconds_;
+  for (double s : dwellSeconds_) total += s;
+  return total;
+}
+
+double RegionDwellPrior::mass(const geo::Rect& region) const {
+  auto clipped = universe_.intersection(region);
+  if (!clipped || clipped->area() <= 0) return 0.0;
+  const double total = totalSeconds();
+  double mass = 0;
+  double coveredOverlap = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    auto inter = cells_[i].rect.intersection(*clipped);
+    if (!inter) continue;
+    double frac = inter->area() / cells_[i].rect.area();
+    mass += (dwellSeconds_[i] / total) * frac;
+    coveredOverlap += inter->area();
+  }
+  if (backgroundArea_ > 0) {
+    double uncovered = std::max(clipped->area() - coveredOverlap, 0.0);
+    mass += (backgroundSeconds_ / total) * (uncovered / backgroundArea_);
+  }
+  return std::min(mass, 1.0);
+}
+
+double RegionDwellPrior::cellFraction(const std::string& cellName) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name == cellName) return dwellSeconds_[i] / totalSeconds();
+  }
+  throw mw::util::NotFoundError("RegionDwellPrior: unknown cell '" + cellName + "'");
+}
+
+}  // namespace mw::fusion

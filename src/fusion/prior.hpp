@@ -1,0 +1,84 @@
+// Spatial priors for fusion — the paper's stated extension point.
+//
+// §4.1.2: "Now, P(person_B) is the probability that the person is in the
+// rectangle B. The value of this depends on the movement patterns of B. In
+// order to calculate this, we would need to measure how much time a person
+// spends in different regions. However, in the absence of such data, we
+// assume that the person is equally likely to be in any region." And §11
+// (future work): "user studies ... these probability values can then be
+// used by the middleware and location-aware applications to improve their
+// reliability and accuracy."
+//
+// A SpatialPrior maps any rectangle to its prior probability mass. The
+// uniform prior reproduces the paper's area-ratio assumption exactly; the
+// RegionDwellPrior learns per-region dwell fractions from observations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "util/clock.hpp"
+
+namespace mw::fusion {
+
+/// Prior probability that the person is inside a given region of the
+/// universe. Implementations must be additive (mass of disjoint unions sums)
+/// and normalized: mass(universe) == 1.
+class SpatialPrior {
+ public:
+  virtual ~SpatialPrior() = default;
+  [[nodiscard]] virtual double mass(const geo::Rect& region) const = 0;
+};
+
+/// The paper's default: mass proportional to area.
+class UniformPrior final : public SpatialPrior {
+ public:
+  explicit UniformPrior(geo::Rect universe);
+  [[nodiscard]] double mass(const geo::Rect& region) const override;
+
+ private:
+  geo::Rect universe_;
+};
+
+/// A prior learned from dwell observations over a set of pairwise
+/// interior-disjoint named cells (rooms + corridors partitioning the floor).
+/// Mass inside a cell is spread uniformly over that cell; space covered by
+/// no cell shares the unobserved "background" mass. Laplace smoothing keeps
+/// every cell reachable.
+class RegionDwellPrior final : public SpatialPrior {
+ public:
+  struct Cell {
+    std::string name;
+    geo::Rect rect;
+  };
+
+  /// `cells` should partition (most of) the universe without interior
+  /// overlap; `smoothing` is the pseudo-dwell (seconds) granted to every
+  /// cell and to the background.
+  RegionDwellPrior(geo::Rect universe, std::vector<Cell> cells, double smoothingSeconds = 1.0);
+
+  /// Records that the person spent `dwell` at `where` (attributed to the
+  /// cell containing the point, or to the background).
+  void observe(geo::Point2 where, util::Duration dwell);
+  /// Records dwell directly against a named cell.
+  void observe(const std::string& cellName, util::Duration dwell);
+
+  [[nodiscard]] double mass(const geo::Rect& region) const override;
+
+  /// Learned dwell fraction of a cell (for inspection/tests).
+  [[nodiscard]] double cellFraction(const std::string& cellName) const;
+  [[nodiscard]] std::size_t cellCount() const noexcept { return cells_.size(); }
+
+ private:
+  [[nodiscard]] double totalSeconds() const;
+
+  geo::Rect universe_;
+  std::vector<Cell> cells_;
+  std::vector<double> dwellSeconds_;  // parallel to cells_
+  double backgroundSeconds_;
+  double backgroundArea_;
+};
+
+}  // namespace mw::fusion

@@ -1,0 +1,59 @@
+// Planar and 3D points.
+//
+// MiddleWhere's spatial reasoning happens per floor, in 2D; the z coordinate
+// of sensor readings selects the floor and is otherwise carried along
+// (§3: "locations within a room can be expressed with respect to the
+// coordinate system of the room, the floor or the building").
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace mw::geo {
+
+struct Point2 {
+  double x = 0;
+  double y = 0;
+
+  friend constexpr Point2 operator+(Point2 a, Point2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point2 operator-(Point2 a, Point2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point2 operator*(Point2 a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr bool operator==(Point2, Point2) = default;
+  friend std::ostream& operator<<(std::ostream& os, Point2 p) {
+    return os << '(' << p.x << ',' << p.y << ')';
+  }
+};
+
+struct Point3 {
+  double x = 0;
+  double y = 0;
+  double z = 0;
+
+  [[nodiscard]] constexpr Point2 xy() const { return {x, y}; }
+
+  friend constexpr Point3 operator+(Point3 a, Point3 b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Point3 operator-(Point3 a, Point3 b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr bool operator==(Point3, Point3) = default;
+  friend std::ostream& operator<<(std::ostream& os, Point3 p) {
+    return os << '(' << p.x << ',' << p.y << ',' << p.z << ')';
+  }
+};
+
+inline double distance(Point2 a, Point2 b) { return std::hypot(a.x - b.x, a.y - b.y); }
+inline double distance(Point3 a, Point3 b) {
+  return std::hypot(a.x - b.x, a.y - b.y, a.z - b.z);
+}
+
+/// 2D cross product (z component); sign gives turn direction.
+constexpr double cross(Point2 o, Point2 a, Point2 b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+constexpr double dot(Point2 a, Point2 b) { return a.x * b.x + a.y * b.y; }
+
+}  // namespace mw::geo

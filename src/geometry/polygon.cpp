@@ -1,0 +1,176 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mw::geo {
+
+Polygon::Polygon(std::vector<Point2> vertices) : vertices_(std::move(vertices)) {}
+Polygon::Polygon(std::initializer_list<Point2> vertices) : vertices_(vertices) {}
+
+Polygon Polygon::fromRect(const Rect& r) {
+  if (r.empty()) return Polygon{};
+  return Polygon{{r.lo(), {r.hi().x, r.lo().y}, r.hi(), {r.lo().x, r.hi().y}}};
+}
+
+double Polygon::area() const {
+  if (!valid()) return 0;
+  double sum = 0;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point2& p = vertices_[i];
+    const Point2& q = vertices_[(i + 1) % vertices_.size()];
+    sum += p.x * q.y - q.x * p.y;
+  }
+  return std::abs(sum) / 2;
+}
+
+Point2 Polygon::centroid() const {
+  mw::util::require(valid(), "Polygon::centroid: needs >= 3 vertices");
+  double signedArea = 0;
+  Point2 c{0, 0};
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const Point2& p = vertices_[i];
+    const Point2& q = vertices_[(i + 1) % vertices_.size()];
+    double a = p.x * q.y - q.x * p.y;
+    signedArea += a;
+    c.x += (p.x + q.x) * a;
+    c.y += (p.y + q.y) * a;
+  }
+  if (std::abs(signedArea) < 1e-12) {
+    // Degenerate (collinear) polygon: fall back to vertex average.
+    Point2 avg{0, 0};
+    for (const auto& v : vertices_) avg = avg + v;
+    return avg * (1.0 / static_cast<double>(vertices_.size()));
+  }
+  double k = 1.0 / (3.0 * signedArea);
+  return {c.x * k, c.y * k};
+}
+
+Rect Polygon::mbr() const {
+  Rect r;
+  for (const auto& v : vertices_) r = r.unionWith(Rect::fromCorners(v, v));
+  return r;
+}
+
+bool Polygon::contains(Point2 p) const {
+  if (!valid()) return false;
+  // Boundary check first so that edge points count as inside.
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (distanceToSegment(p, edge(i)) < 1e-9) return true;
+  }
+  bool inside = false;
+  for (std::size_t i = 0, j = vertices_.size() - 1; i < vertices_.size(); j = i++) {
+    const Point2& a = vertices_[i];
+    const Point2& b = vertices_[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double xCross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < xCross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Polygon::contains(const Polygon& other) const {
+  if (!valid() || !other.valid()) return false;
+  for (const auto& v : other.vertices()) {
+    if (!contains(v)) return false;
+  }
+  // Vertex containment is insufficient for non-convex containers; also check
+  // that no edges cross.
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = 0; j < other.size(); ++j) {
+      Segment e1 = edge(i), e2 = other.edge(j);
+      if (segmentsIntersect(e1, e2)) {
+        // Touching is fine; crossing is not. Approximate: if the midpoints of
+        // e2 halves are outside, treat as crossing.
+        Point2 mid = e2.midpoint();
+        if (!contains(mid)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Segment Polygon::edge(std::size_t i) const {
+  mw::util::require(valid(), "Polygon::edge: needs >= 3 vertices");
+  return {vertices_[i % vertices_.size()], vertices_[(i + 1) % vertices_.size()]};
+}
+
+bool Polygon::intersects(const Polygon& other) const {
+  if (!valid() || !other.valid()) return false;
+  if (!mbr().intersects(other.mbr())) return false;
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (std::size_t j = 0; j < other.size(); ++j) {
+      if (segmentsIntersect(edge(i), other.edge(j))) return true;
+    }
+  }
+  return contains(other.vertices()[0]) || other.contains(vertices_[0]);
+}
+
+std::ostream& operator<<(std::ostream& os, const Polygon& p) {
+  os << "Polygon{";
+  for (std::size_t i = 0; i < p.vertices_.size(); ++i) {
+    if (i) os << ", ";
+    os << p.vertices_[i];
+  }
+  return os << '}';
+}
+
+namespace {
+// Clips `input` against the half-plane keep(p) == true whose boundary is the
+// line through `a`-`b` (Sutherland–Hodgman step).
+std::vector<Point2> clipHalfPlane(const std::vector<Point2>& input, Point2 a, Point2 b) {
+  std::vector<Point2> out;
+  auto inside = [&](Point2 p) { return cross(a, b, p) >= -1e-12; };
+  auto intersect = [&](Point2 p, Point2 q) -> Point2 {
+    Point2 d1 = b - a;
+    Point2 d2 = q - p;
+    double denom = d1.x * d2.y - d1.y * d2.x;
+    if (std::abs(denom) < 1e-15) return p;
+    double t = ((p.x - a.x) * d1.y - (p.y - a.y) * d1.x) / denom;
+    return p + d2 * t;
+  };
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    Point2 cur = input[i];
+    Point2 prev = input[(i + input.size() - 1) % input.size()];
+    bool curIn = inside(cur);
+    bool prevIn = inside(prev);
+    if (curIn) {
+      if (!prevIn) out.push_back(intersect(prev, cur));
+      out.push_back(cur);
+    } else if (prevIn) {
+      out.push_back(intersect(prev, cur));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+double clippedArea(const Polygon& poly, const Rect& clip) {
+  if (!poly.valid() || clip.empty()) return 0;
+  // Ensure counter-clockwise winding for the half-plane tests.
+  std::vector<Point2> pts = poly.vertices();
+  double signedArea = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Point2& p = pts[i];
+    const Point2& q = pts[(i + 1) % pts.size()];
+    signedArea += p.x * q.y - q.x * p.y;
+  }
+  if (signedArea < 0) std::reverse(pts.begin(), pts.end());
+
+  Point2 ll = clip.lo(), hh = clip.hi();
+  Point2 lh{ll.x, hh.y}, hl{hh.x, ll.y};
+  pts = clipHalfPlane(pts, ll, hl);
+  if (pts.empty()) return 0;
+  pts = clipHalfPlane(pts, hl, hh);
+  if (pts.empty()) return 0;
+  pts = clipHalfPlane(pts, hh, lh);
+  if (pts.empty()) return 0;
+  pts = clipHalfPlane(pts, lh, ll);
+  if (pts.size() < 3) return 0;
+  return Polygon{std::move(pts)}.area();
+}
+
+}  // namespace mw::geo

@@ -1,0 +1,59 @@
+// Simple polygons.
+//
+// §5.1: "Objects are represented as points, lines or polygons while regions
+// are represented using minimum bounding rectangles." Polygons carry the
+// exact outlines from building blueprints; MBRs drive the fast path, and
+// "once a certain condition is satisfied by a MBR, more accurate processing
+// of the operation is performed taking the actual region boundaries."
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/segment.hpp"
+
+namespace mw::geo {
+
+class Polygon {
+ public:
+  Polygon() = default;
+  /// Vertices in order (either winding); no self-intersection checking is
+  /// performed — callers provide simple polygons (blueprint outlines).
+  explicit Polygon(std::vector<Point2> vertices);
+  Polygon(std::initializer_list<Point2> vertices);
+  /// The polygon with the same outline as the rect.
+  static Polygon fromRect(const Rect& r);
+
+  [[nodiscard]] const std::vector<Point2>& vertices() const noexcept { return vertices_; }
+  [[nodiscard]] std::size_t size() const noexcept { return vertices_.size(); }
+  [[nodiscard]] bool valid() const noexcept { return vertices_.size() >= 3; }
+
+  /// Shoelace area (always non-negative).
+  [[nodiscard]] double area() const;
+  [[nodiscard]] Point2 centroid() const;
+  [[nodiscard]] Rect mbr() const;
+
+  /// Ray-casting point-in-polygon; boundary points count as inside.
+  [[nodiscard]] bool contains(Point2 p) const;
+  [[nodiscard]] bool contains(const Polygon& other) const;
+
+  /// Edge i as a segment (wraps around).
+  [[nodiscard]] Segment edge(std::size_t i) const;
+
+  /// True if the outlines cross or one contains the other (closed sets).
+  [[nodiscard]] bool intersects(const Polygon& other) const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Polygon& p);
+
+ private:
+  std::vector<Point2> vertices_;
+};
+
+/// Area of the intersection of a simple convex polygon with a rect, via
+/// Sutherland–Hodgman clipping. Used by precise region-probability queries.
+double clippedArea(const Polygon& poly, const Rect& clip);
+
+}  // namespace mw::geo

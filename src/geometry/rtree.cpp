@@ -1,0 +1,14 @@
+// Explicit instantiation of the R-tree for the value types used across the
+// repository; keeps template bloat out of dependent translation units and
+// gives the linker one authoritative copy to diagnose.
+#include "geometry/rtree.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace mw::geo {
+
+template class RTree<std::uint64_t>;
+template class RTree<std::string>;
+
+}  // namespace mw::geo

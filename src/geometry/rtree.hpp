@@ -1,0 +1,324 @@
+// R-tree spatial index (Guttman 1984, the paper's citation [4]).
+//
+// Backs the spatial database's region queries: "The concept of minimum
+// bounding rectangles is used heavily by the spatial data mining community.
+// Minimum bounding rectangles provide approximate boundaries to objects of
+// interest to enable efficient processing of operations" (§5.1).
+//
+// Quadratic-split variant, keyed by Rect, holding caller values of type T.
+// Deletion uses the classic condense-tree + reinsert algorithm.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "util/error.hpp"
+
+namespace mw::geo {
+
+template <typename T>
+class RTree {
+ public:
+  /// `minEntries`/`maxEntries` follow Guttman's m <= M/2 constraint.
+  explicit RTree(std::size_t maxEntries = 8)
+      : maxEntries_(maxEntries), minEntries_(std::max<std::size_t>(2, maxEntries / 2)) {
+    mw::util::require(maxEntries >= 4, "RTree: maxEntries must be >= 4");
+    root_ = std::make_unique<Node>(/*leaf=*/true);
+  }
+
+  void insert(const Rect& box, T value) {
+    mw::util::require(!box.empty(), "RTree::insert: empty rect");
+    Entry e{box, std::move(value), nullptr};
+    insertEntry(std::move(e), root_.get());
+    ++size_;
+  }
+
+  /// Removes one entry with an equal box and value. Returns false if absent.
+  bool remove(const Rect& box, const T& value) {
+    Node* leaf = findLeaf(root_.get(), box, value);
+    if (leaf == nullptr) return false;
+    auto it = std::find_if(leaf->entries.begin(), leaf->entries.end(), [&](const Entry& e) {
+      return e.box == box && e.value == value;
+    });
+    leaf->entries.erase(it);
+    --size_;
+    condense(leaf);
+    // Shrink the tree if the root has a single child.
+    if (!root_->leaf && root_->entries.size() == 1) {
+      auto child = std::move(root_->entries[0].child);
+      child->parent = nullptr;
+      root_ = std::move(child);
+    }
+    return true;
+  }
+
+  /// All values whose boxes intersect `query` (closed-set test).
+  [[nodiscard]] std::vector<T> search(const Rect& query) const {
+    std::vector<T> out;
+    if (!query.empty()) searchNode(root_.get(), query, out);
+    return out;
+  }
+
+  /// All values whose boxes contain the point.
+  [[nodiscard]] std::vector<T> containing(Point2 p) const {
+    return search(Rect::fromCorners(p, p));
+  }
+
+  /// Visits every (box, value); used for exhaustive scans and testing.
+  void forEach(const std::function<void(const Rect&, const T&)>& fn) const {
+    forEachNode(root_.get(), fn);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Height of the tree (1 = just a leaf root); exposed for benchmarks.
+  [[nodiscard]] std::size_t height() const {
+    std::size_t h = 1;
+    const Node* n = root_.get();
+    while (!n->leaf) {
+      n = n->entries.front().child.get();
+      ++h;
+    }
+    return h;
+  }
+
+ private:
+  struct Node;
+
+  struct Entry {
+    Rect box;
+    T value{};                    // meaningful only in leaves
+    std::unique_ptr<Node> child;  // meaningful only in internal nodes
+  };
+
+  struct Node {
+    explicit Node(bool isLeaf) : leaf(isLeaf) {}
+    bool leaf;
+    Node* parent = nullptr;
+    std::vector<Entry> entries;
+
+    [[nodiscard]] Rect cover() const {
+      Rect r;
+      for (const auto& e : entries) r = r.unionWith(e.box);
+      return r;
+    }
+  };
+
+  // --- insertion -------------------------------------------------------------
+
+  void insertEntry(Entry e, Node* startNode) {
+    Node* leaf = chooseLeaf(startNode, e.box);
+    leaf->entries.push_back(std::move(e));
+    if (leaf->entries.back().child) leaf->entries.back().child->parent = leaf;
+    Node* toSplit = leaf->entries.size() > maxEntries_ ? leaf : nullptr;
+    adjustTree(leaf, toSplit);
+  }
+
+  Node* chooseLeaf(Node* n, const Rect& box) {
+    while (!n->leaf) {
+      Entry* best = nullptr;
+      double bestGrowth = 0;
+      double bestArea = 0;
+      for (auto& e : n->entries) {
+        double growth = e.box.unionWith(box).area() - e.box.area();
+        if (best == nullptr || growth < bestGrowth ||
+            (growth == bestGrowth && e.box.area() < bestArea)) {
+          best = &e;
+          bestGrowth = growth;
+          bestArea = e.box.area();
+        }
+      }
+      n = best->child.get();
+    }
+    return n;
+  }
+
+  void adjustTree(Node* n, Node* toSplit) {
+    while (n != nullptr) {
+      std::unique_ptr<Node> sibling;
+      if (toSplit == n) sibling = splitNode(n);
+      Node* parent = n->parent;
+      if (parent == nullptr) {
+        if (sibling) {
+          // Grow a new root above n and its new sibling.
+          auto newRoot = std::make_unique<Node>(/*leaf=*/false);
+          auto oldRoot = std::move(root_);
+          oldRoot->parent = newRoot.get();
+          sibling->parent = newRoot.get();
+          newRoot->entries.push_back({oldRoot->cover(), T{}, std::move(oldRoot)});
+          newRoot->entries.push_back({sibling->cover(), T{}, std::move(sibling)});
+          root_ = std::move(newRoot);
+        }
+        return;
+      }
+      // Refresh the parent entry's box for n.
+      for (auto& e : parent->entries) {
+        if (e.child.get() == n) {
+          e.box = n->cover();
+          break;
+        }
+      }
+      if (sibling) {
+        sibling->parent = parent;
+        Rect cover = sibling->cover();
+        parent->entries.push_back({cover, T{}, std::move(sibling)});
+      }
+      toSplit = parent->entries.size() > maxEntries_ ? parent : nullptr;
+      n = parent;
+    }
+  }
+
+  /// Quadratic split: returns the new sibling; `n` keeps one group.
+  std::unique_ptr<Node> splitNode(Node* n) {
+    std::vector<Entry> all = std::move(n->entries);
+    n->entries.clear();
+    auto sibling = std::make_unique<Node>(n->leaf);
+
+    // Pick seeds: the pair wasting the most area if grouped together.
+    std::size_t seedA = 0, seedB = 1;
+    double worst = -1;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        double waste =
+            all[i].box.unionWith(all[j].box).area() - all[i].box.area() - all[j].box.area();
+        if (waste > worst) {
+          worst = waste;
+          seedA = i;
+          seedB = j;
+        }
+      }
+    }
+
+    auto place = [](Node* dst, Entry e) {
+      if (e.child) e.child->parent = dst;
+      dst->entries.push_back(std::move(e));
+    };
+    place(n, std::move(all[seedA]));
+    place(sibling.get(), std::move(all[seedB]));
+
+    Rect coverA = n->entries[0].box;
+    Rect coverB = sibling->entries[0].box;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (i == seedA || i == seedB) continue;
+      Entry& e = all[i];
+      std::size_t remaining = 0;
+      for (std::size_t j = i; j < all.size(); ++j) {
+        if (j != seedA && j != seedB) ++remaining;
+      }
+      // Force assignment if one side must take all remaining to reach min.
+      if (n->entries.size() + remaining <= minEntries_) {
+        coverA = coverA.unionWith(e.box);
+        place(n, std::move(e));
+        continue;
+      }
+      if (sibling->entries.size() + remaining <= minEntries_) {
+        coverB = coverB.unionWith(e.box);
+        place(sibling.get(), std::move(e));
+        continue;
+      }
+      double growthA = coverA.unionWith(e.box).area() - coverA.area();
+      double growthB = coverB.unionWith(e.box).area() - coverB.area();
+      if (growthA < growthB || (growthA == growthB && coverA.area() <= coverB.area())) {
+        coverA = coverA.unionWith(e.box);
+        place(n, std::move(e));
+      } else {
+        coverB = coverB.unionWith(e.box);
+        place(sibling.get(), std::move(e));
+      }
+    }
+    return sibling;
+  }
+
+  // --- deletion --------------------------------------------------------------
+
+  Node* findLeaf(Node* n, const Rect& box, const T& value) {
+    if (n->leaf) {
+      for (const auto& e : n->entries) {
+        if (e.box == box && e.value == value) return n;
+      }
+      return nullptr;
+    }
+    for (const auto& e : n->entries) {
+      if (e.box.contains(box) || e.box.intersects(box)) {
+        if (Node* found = findLeaf(e.child.get(), box, value)) return found;
+      }
+    }
+    return nullptr;
+  }
+
+  void condense(Node* n) {
+    std::vector<Entry> orphans;
+    while (n->parent != nullptr) {
+      Node* parent = n->parent;
+      if (n->entries.size() < minEntries_) {
+        // Detach n from its parent and queue its entries for reinsertion.
+        auto it = std::find_if(parent->entries.begin(), parent->entries.end(),
+                               [&](const Entry& e) { return e.child.get() == n; });
+        std::unique_ptr<Node> detached = std::move(it->child);
+        parent->entries.erase(it);
+        collectEntries(detached.get(), orphans);
+      } else {
+        for (auto& e : parent->entries) {
+          if (e.child.get() == n) {
+            e.box = n->cover();
+            break;
+          }
+        }
+      }
+      n = parent;
+    }
+    for (auto& e : orphans) {
+      if (e.child) {
+        // Reinsert subtree leaves individually (rare path; simple and correct).
+        std::vector<Entry> leafEntries;
+        collectEntries(e.child.get(), leafEntries);
+        for (auto& le : leafEntries) insertEntry(std::move(le), root_.get());
+      } else {
+        insertEntry(std::move(e), root_.get());
+      }
+    }
+  }
+
+  void collectEntries(Node* n, std::vector<Entry>& out) {
+    if (n->leaf) {
+      for (auto& e : n->entries) out.push_back(std::move(e));
+      return;
+    }
+    for (auto& e : n->entries) collectEntries(e.child.get(), out);
+  }
+
+  // --- queries ---------------------------------------------------------------
+
+  void searchNode(const Node* n, const Rect& query, std::vector<T>& out) const {
+    for (const auto& e : n->entries) {
+      if (!e.box.intersects(query)) continue;
+      if (n->leaf) {
+        out.push_back(e.value);
+      } else {
+        searchNode(e.child.get(), query, out);
+      }
+    }
+  }
+
+  void forEachNode(const Node* n, const std::function<void(const Rect&, const T&)>& fn) const {
+    for (const auto& e : n->entries) {
+      if (n->leaf) {
+        fn(e.box, e.value);
+      } else {
+        forEachNode(e.child.get(), fn);
+      }
+    }
+  }
+
+  std::size_t maxEntries_;
+  std::size_t minEntries_;
+  std::size_t size_ = 0;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace mw::geo

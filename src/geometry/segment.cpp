@@ -1,0 +1,69 @@
+#include "geometry/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mw::geo {
+
+namespace {
+bool onSegment(Point2 p, Point2 q, Point2 r) {
+  return q.x <= std::max(p.x, r.x) && q.x >= std::min(p.x, r.x) && q.y <= std::max(p.y, r.y) &&
+         q.y >= std::min(p.y, r.y);
+}
+
+int orientation(Point2 p, Point2 q, Point2 r) {
+  double v = cross(p, q, r);
+  if (std::abs(v) < 1e-12) return 0;
+  return v > 0 ? 1 : 2;
+}
+}  // namespace
+
+bool segmentsIntersect(const Segment& s1, const Segment& s2) {
+  Point2 p1 = s1.a, q1 = s1.b, p2 = s2.a, q2 = s2.b;
+  int o1 = orientation(p1, q1, p2);
+  int o2 = orientation(p1, q1, q2);
+  int o3 = orientation(p2, q2, p1);
+  int o4 = orientation(p2, q2, q1);
+
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && onSegment(p1, p2, q1)) return true;
+  if (o2 == 0 && onSegment(p1, q2, q1)) return true;
+  if (o3 == 0 && onSegment(p2, p1, q2)) return true;
+  if (o4 == 0 && onSegment(p2, q1, q2)) return true;
+  return false;
+}
+
+double distanceToSegment(Point2 p, const Segment& s) {
+  Point2 d = s.b - s.a;
+  double len2 = dot(d, d);
+  if (len2 == 0) return distance(p, s.a);
+  double t = std::clamp(dot(p - s.a, d) / len2, 0.0, 1.0);
+  return distance(p, s.a + d * t);
+}
+
+bool segmentOnRectBoundary(const Segment& s, const Rect& r, double eps) {
+  if (r.empty()) return false;
+  auto onVertical = [&](double x) {
+    return std::abs(s.a.x - x) <= eps && std::abs(s.b.x - x) <= eps &&
+           s.a.y >= r.lo().y - eps && s.a.y <= r.hi().y + eps && s.b.y >= r.lo().y - eps &&
+           s.b.y <= r.hi().y + eps;
+  };
+  auto onHorizontal = [&](double y) {
+    return std::abs(s.a.y - y) <= eps && std::abs(s.b.y - y) <= eps &&
+           s.a.x >= r.lo().x - eps && s.a.x <= r.hi().x + eps && s.b.x >= r.lo().x - eps &&
+           s.b.x <= r.hi().x + eps;
+  };
+  return onVertical(r.lo().x) || onVertical(r.hi().x) || onHorizontal(r.lo().y) ||
+         onHorizontal(r.hi().y);
+}
+
+bool segmentIntersectsRect(const Segment& s, const Rect& r) {
+  if (r.empty()) return false;
+  if (r.contains(s.a) || r.contains(s.b)) return true;
+  Point2 ll = r.lo(), hh = r.hi();
+  Point2 lh{ll.x, hh.y}, hl{hh.x, ll.y};
+  return segmentsIntersect(s, {ll, hl}) || segmentsIntersect(s, {hl, hh}) ||
+         segmentsIntersect(s, {hh, lh}) || segmentsIntersect(s, {lh, ll});
+}
+
+}  // namespace mw::geo

@@ -1,0 +1,33 @@
+// Line segments: doors, walls and other linear features of the world model
+// (§3: "A symbolic line location can be defined for a door").
+#pragma once
+
+#include <optional>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace mw::geo {
+
+struct Segment {
+  Point2 a;
+  Point2 b;
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+  [[nodiscard]] Point2 midpoint() const { return {(a.x + b.x) / 2, (a.y + b.y) / 2}; }
+  [[nodiscard]] Rect mbr() const { return Rect::fromCorners(a, b); }
+};
+
+/// True if the closed segments share at least one point.
+bool segmentsIntersect(const Segment& s1, const Segment& s2);
+
+/// Distance from point p to the closed segment s.
+double distanceToSegment(Point2 p, const Segment& s);
+
+/// True if the segment lies (within eps) on the boundary of the rect.
+bool segmentOnRectBoundary(const Segment& s, const Rect& r, double eps = 1e-9);
+
+/// True if the closed segment intersects the closed rect.
+bool segmentIntersectsRect(const Segment& s, const Rect& r);
+
+}  // namespace mw::geo

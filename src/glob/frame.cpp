@@ -1,0 +1,113 @@
+#include "glob/frame.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mw::glob {
+
+using mw::util::NotFoundError;
+using mw::util::require;
+
+void FrameTree::addRoot(const std::string& name) {
+  require(!name.empty(), "FrameTree::addRoot: empty name");
+  require(frames_.empty(), "FrameTree::addRoot: tree already has frames");
+  root_ = name;
+  frames_.emplace(name, Frame{"", Transform2{}, Transform2{}});
+}
+
+void FrameTree::addFrame(const std::string& name, const std::string& parent,
+                         const Transform2& toParent) {
+  require(!name.empty(), "FrameTree::addFrame: empty name");
+  require(!frames_.contains(name), "FrameTree::addFrame: duplicate frame '" + name + "'");
+  auto parentIt = frames_.find(parent);
+  if (parentIt == frames_.end()) {
+    throw NotFoundError("FrameTree::addFrame: unknown parent '" + parent + "'");
+  }
+  Frame f;
+  f.parent = parent;
+  f.toParent = toParent;
+  f.toRoot = parentIt->second.toRoot * toParent;
+  frames_.emplace(name, std::move(f));
+}
+
+bool FrameTree::has(const std::string& name) const { return frames_.contains(name); }
+
+const std::string& FrameTree::rootName() const {
+  require(!root_.empty(), "FrameTree: no root registered");
+  return root_;
+}
+
+std::optional<std::string> FrameTree::parentOf(const std::string& name) const {
+  const Frame& f = frame(name);
+  if (f.parent.empty()) return std::nullopt;
+  return f.parent;
+}
+
+const FrameTree::Frame& FrameTree::frame(const std::string& name) const {
+  auto it = frames_.find(name);
+  if (it == frames_.end()) throw NotFoundError("FrameTree: unknown frame '" + name + "'");
+  return it->second;
+}
+
+std::vector<FrameTree::FrameRecord> FrameTree::records() const {
+  std::vector<FrameRecord> out;
+  if (root_.empty()) return out;
+  // BFS from the root so parents always precede children.
+  std::unordered_map<std::string, std::vector<std::string>> children;
+  for (const auto& [name, frame] : frames_) {
+    if (!frame.parent.empty()) children[frame.parent].push_back(name);
+  }
+  std::vector<std::string> queue{root_};
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const std::string& name = queue[i];
+    const Frame& f = frames_.at(name);
+    out.push_back(FrameRecord{name, f.parent, f.toParent});
+    auto it = children.find(name);
+    if (it != children.end()) {
+      // Deterministic order for reproducible snapshots.
+      std::vector<std::string> kids = it->second;
+      std::sort(kids.begin(), kids.end());
+      for (auto& kid : kids) queue.push_back(std::move(kid));
+    }
+  }
+  return out;
+}
+
+geo::Point2 FrameTree::toRoot(const std::string& from, geo::Point2 p) const {
+  return frame(from).toRoot.apply(p);
+}
+
+geo::Point2 FrameTree::fromRoot(const std::string& to, geo::Point2 p) const {
+  return frame(to).toRoot.invert(p);
+}
+
+geo::Point2 FrameTree::convert(const std::string& from, const std::string& to,
+                               geo::Point2 p) const {
+  if (from == to) return p;
+  return fromRoot(to, toRoot(from, p));
+}
+
+geo::Rect FrameTree::convertRect(const std::string& from, const std::string& to,
+                                 const geo::Rect& r) const {
+  if (r.empty()) return r;
+  if (from == to) return r;
+  geo::Point2 corners[4] = {r.lo(), {r.hi().x, r.lo().y}, r.hi(), {r.lo().x, r.hi().y}};
+  geo::Rect out;
+  for (const auto& c : corners) {
+    geo::Point2 q = convert(from, to, c);
+    out = out.unionWith(geo::Rect::fromCorners(q, q));
+  }
+  return out;
+}
+
+geo::Polygon FrameTree::convertPolygon(const std::string& from, const std::string& to,
+                                       const geo::Polygon& poly) const {
+  if (from == to) return poly;
+  std::vector<geo::Point2> pts;
+  pts.reserve(poly.size());
+  for (const auto& v : poly.vertices()) pts.push_back(convert(from, to, v));
+  return geo::Polygon{std::move(pts)};
+}
+
+}  // namespace mw::glob

@@ -1,0 +1,107 @@
+// Hierarchical coordinate frames (§3).
+//
+// "Each building, floor and room has its own coordinate axes and a point of
+// origin. ... MiddleWhere stores the relationships between the different
+// coordinate axes, and hence coordinates can be easily converted from one
+// system to another."
+//
+// Frames form a tree rooted at a "universe" frame (typically the building).
+// Each frame is identified by its GLOB path string (e.g. "SC/3/3216") and
+// carries a rigid 2D transform (rotation + translation) relative to its
+// parent.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/rect.hpp"
+
+namespace mw::glob {
+
+/// Rigid 2D transform: first rotate by `rotation` radians, then translate.
+struct Transform2 {
+  geo::Point2 translation{0, 0};
+  double rotation = 0;
+
+  [[nodiscard]] geo::Point2 apply(geo::Point2 p) const {
+    double c = std::cos(rotation), s = std::sin(rotation);
+    return {c * p.x - s * p.y + translation.x, s * p.x + c * p.y + translation.y};
+  }
+  [[nodiscard]] geo::Point2 invert(geo::Point2 p) const {
+    double c = std::cos(rotation), s = std::sin(rotation);
+    geo::Point2 q{p.x - translation.x, p.y - translation.y};
+    return {c * q.x + s * q.y, -s * q.x + c * q.y};
+  }
+  /// Composition: (a * b).apply(p) == a.apply(b.apply(p)).
+  friend Transform2 operator*(const Transform2& a, const Transform2& b) {
+    return Transform2{a.apply(b.translation), a.rotation + b.rotation};
+  }
+};
+
+/// Registry of coordinate frames keyed by GLOB path string.
+///
+/// All conversions are expressed through the root frame, so converting from
+/// any frame to any other is two transform applications.
+class FrameTree {
+ public:
+  /// Registers the root (universe) frame, e.g. "SC". Must be called first.
+  void addRoot(const std::string& name);
+
+  /// Registers `name` as a child of `parent` with `toParent` mapping local
+  /// coordinates into the parent's frame. Throws if the parent is unknown or
+  /// the name is already taken.
+  void addFrame(const std::string& name, const std::string& parent, const Transform2& toParent);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const std::string& rootName() const;
+  [[nodiscard]] std::size_t size() const noexcept { return frames_.size(); }
+
+  /// Parent frame name; nullopt for the root.
+  [[nodiscard]] std::optional<std::string> parentOf(const std::string& name) const;
+
+  /// Every frame with its parent and local transform, ordered so parents
+  /// precede children (root first) — replaying records() through addRoot/
+  /// addFrame reconstructs an identical tree. Used by persistence.
+  struct FrameRecord {
+    std::string name;
+    std::string parent;  ///< empty for the root
+    Transform2 toParent;
+  };
+  [[nodiscard]] std::vector<FrameRecord> records() const;
+
+  /// Converts a point expressed in `from` into `to` coordinates.
+  [[nodiscard]] geo::Point2 convert(const std::string& from, const std::string& to,
+                                    geo::Point2 p) const;
+  /// Point in `from` coordinates -> root (universe) coordinates.
+  [[nodiscard]] geo::Point2 toRoot(const std::string& from, geo::Point2 p) const;
+  [[nodiscard]] geo::Point2 fromRoot(const std::string& to, geo::Point2 p) const;
+
+  /// Converts a rect by transforming its corners and taking the MBR. For
+  /// axis-aligned (multiple of 90°) net rotations this is exact; otherwise
+  /// it is the usual MBR over-approximation (§4.1.2).
+  [[nodiscard]] geo::Rect convertRect(const std::string& from, const std::string& to,
+                                      const geo::Rect& r) const;
+
+  /// Converts every vertex of a polygon.
+  [[nodiscard]] geo::Polygon convertPolygon(const std::string& from, const std::string& to,
+                                            const geo::Polygon& poly) const;
+
+ private:
+  struct Frame {
+    std::string parent;    // empty for root
+    Transform2 toParent;   // local -> parent
+    Transform2 toRoot;     // cached local -> root
+  };
+
+  [[nodiscard]] const Frame& frame(const std::string& name) const;
+
+  std::string root_;
+  std::unordered_map<std::string, Frame> frames_;
+};
+
+}  // namespace mw::glob

@@ -1,0 +1,205 @@
+#include "glob/glob.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mw::glob {
+
+using mw::util::ParseError;
+using mw::util::require;
+
+std::string_view toString(GeometryKind k) {
+  switch (k) {
+    case GeometryKind::Point: return "point";
+    case GeometryKind::Line: return "line";
+    case GeometryKind::Polygon: return "polygon";
+    case GeometryKind::Region: return "region";
+  }
+  return "?";
+}
+
+Glob Glob::symbolic(std::vector<std::string> path) {
+  require(!path.empty(), "Glob::symbolic: empty path");
+  for (const auto& seg : path) {
+    require(!seg.empty(), "Glob::symbolic: empty path segment");
+    require(seg.find('/') == std::string::npos, "Glob::symbolic: '/' inside segment");
+    require(seg.front() != '(', "Glob::symbolic: segment looks like a coordinate");
+  }
+  Glob g;
+  g.path_ = std::move(path);
+  return g;
+}
+
+Glob Glob::coordinate(std::vector<std::string> framePath, std::vector<geo::Point3> coords) {
+  require(!coords.empty(), "Glob::coordinate: empty coordinate payload");
+  for (const auto& seg : framePath) {
+    require(!seg.empty(), "Glob::coordinate: empty frame segment");
+  }
+  Glob g;
+  g.path_ = std::move(framePath);
+  g.coords_ = std::move(coords);
+  return g;
+}
+
+namespace {
+
+double parseNumber(std::string_view text, std::size_t& pos) {
+  std::size_t start = pos;
+  if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+  bool sawDigit = false;
+  while (pos < text.size() && (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                               text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+                               ((text[pos] == '-' || text[pos] == '+') && pos > start &&
+                                (text[pos - 1] == 'e' || text[pos - 1] == 'E')))) {
+    if (std::isdigit(static_cast<unsigned char>(text[pos]))) sawDigit = true;
+    ++pos;
+  }
+  if (!sawDigit) throw ParseError("Glob: expected number at position " + std::to_string(start));
+  double value{};
+  auto [ptr, ec] = std::from_chars(text.data() + start, text.data() + pos, value);
+  if (ec != std::errc{}) throw ParseError("Glob: bad number");
+  (void)ptr;
+  return value;
+}
+
+geo::Point3 parseTuple(std::string_view text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] != '(') throw ParseError("Glob: expected '('");
+  ++pos;
+  geo::Point3 p;
+  p.x = parseNumber(text, pos);
+  if (pos >= text.size() || text[pos] != ',') throw ParseError("Glob: expected ',' in tuple");
+  ++pos;
+  p.y = parseNumber(text, pos);
+  if (pos < text.size() && text[pos] == ',') {
+    ++pos;
+    p.z = parseNumber(text, pos);
+  }
+  if (pos >= text.size() || text[pos] != ')') throw ParseError("Glob: expected ')'");
+  ++pos;
+  return p;
+}
+
+}  // namespace
+
+Glob Glob::parse(std::string_view text) {
+  if (text.empty()) throw ParseError("Glob: empty string");
+  Glob g;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (text[pos] == '(') {
+      // Remainder is the coordinate payload: tuples separated by ','.
+      while (pos < text.size()) {
+        g.coords_.push_back(parseTuple(text, pos));
+        if (pos < text.size()) {
+          if (text[pos] != ',') throw ParseError("Glob: expected ',' between tuples");
+          ++pos;
+          if (pos == text.size()) throw ParseError("Glob: dangling ',' after tuple");
+        }
+      }
+      break;
+    }
+    std::size_t slash = text.find('/', pos);
+    std::string_view seg =
+        slash == std::string_view::npos ? text.substr(pos) : text.substr(pos, slash - pos);
+    if (seg.empty()) throw ParseError("Glob: empty path segment");
+    g.path_.emplace_back(seg);
+    pos = slash == std::string_view::npos ? text.size() : slash + 1;
+    if (slash != std::string_view::npos && pos == text.size()) {
+      throw ParseError("Glob: trailing '/'");
+    }
+  }
+  if (g.path_.empty() && g.coords_.empty()) throw ParseError("Glob: no content");
+  return g;
+}
+
+std::string Glob::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path_.size(); ++i) {
+    if (i) os << '/';
+    os << path_[i];
+  }
+  if (!coords_.empty()) {
+    if (!path_.empty()) os << '/';
+    for (std::size_t i = 0; i < coords_.size(); ++i) {
+      if (i) os << ',';
+      os << '(' << coords_[i].x << ',' << coords_[i].y;
+      if (coords_[i].z != 0) os << ',' << coords_[i].z;
+      os << ')';
+    }
+  }
+  return os.str();
+}
+
+std::string Glob::name() const { return path_.empty() ? std::string{} : path_.back(); }
+
+std::string Glob::prefix() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i + 1 < path_.size(); ++i) {
+    if (i) os << '/';
+    os << path_[i];
+  }
+  return os.str();
+}
+
+std::string Glob::pathString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path_.size(); ++i) {
+    if (i) os << '/';
+    os << path_[i];
+  }
+  return os.str();
+}
+
+GeometryKind Glob::geometryKind() const {
+  if (isSymbolic()) return GeometryKind::Region;
+  switch (coords_.size()) {
+    case 1: return GeometryKind::Point;
+    case 2: return GeometryKind::Line;
+    default: return GeometryKind::Polygon;
+  }
+}
+
+bool Glob::isPrefixOf(const Glob& other) const {
+  if (path_.size() > other.path_.size()) return false;
+  return std::equal(path_.begin(), path_.end(), other.path_.begin());
+}
+
+Glob Glob::truncated(std::size_t levels) const {
+  Glob g;
+  g.path_.assign(path_.begin(),
+                 path_.begin() + static_cast<std::ptrdiff_t>(std::min(levels, path_.size())));
+  return g;
+}
+
+std::optional<geo::Point2> Glob::asPoint() const {
+  if (coords_.size() != 1) return std::nullopt;
+  return coords_[0].xy();
+}
+
+std::optional<geo::Polygon> Glob::asPolygon() const {
+  if (coords_.size() < 3) return std::nullopt;
+  std::vector<geo::Point2> pts;
+  pts.reserve(coords_.size());
+  for (const auto& c : coords_) pts.push_back(c.xy());
+  return geo::Polygon{std::move(pts)};
+}
+
+geo::Rect Glob::mbr() const {
+  geo::Rect r;
+  for (const auto& c : coords_) {
+    r = r.unionWith(geo::Rect::fromCorners(c.xy(), c.xy()));
+  }
+  return r;
+}
+
+bool operator==(const Glob& a, const Glob& b) {
+  return a.path_ == b.path_ && a.coords_ == b.coords_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Glob& g) { return os << g.str(); }
+
+}  // namespace mw::glob

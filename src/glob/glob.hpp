@@ -1,0 +1,98 @@
+// GLOB — Gaia LOcation Byte-string (§3.1).
+//
+// A GLOB names a location hierarchically, like a directory path, and can be
+// symbolic, coordinate-based, or both:
+//
+//   SC/3/3216/lightswitch1                      symbolic point
+//   SC/3/3216/(12,3,4)                          coordinate point in room 3216's frame
+//   SC/3/3216/Door2                             symbolic line
+//   SC/3/3216/(1,3),(4,5)                       coordinate line
+//   SC/3/3216                                   symbolic region (the room itself)
+//   SC/3/(45,12),(45,40),(65,40),(65,12)        coordinate polygon in floor 3's frame
+//
+// The path prefix identifies the coordinate frame in which coordinates are
+// expressed (see frame.hpp).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/rect.hpp"
+
+namespace mw::glob {
+
+/// What geometry a GLOB's payload denotes.
+enum class GeometryKind { Point, Line, Polygon, Region };
+
+std::string_view toString(GeometryKind k);
+
+class Glob {
+ public:
+  Glob() = default;
+
+  /// Builds a purely symbolic GLOB from path segments. The last segment is
+  /// the named entity; the rest are its enclosing spaces.
+  static Glob symbolic(std::vector<std::string> path);
+
+  /// Builds a coordinate GLOB: `framePath` identifies the coordinate system,
+  /// `coords` is 1 point (point), 2 (line) or >= 3 (polygon).
+  static Glob coordinate(std::vector<std::string> framePath, std::vector<geo::Point3> coords);
+
+  /// Parses the byte-string form. Throws util::ParseError on malformed input.
+  static Glob parse(std::string_view text);
+
+  [[nodiscard]] std::string str() const;
+
+  /// True when the GLOB carries no coordinate payload.
+  [[nodiscard]] bool isSymbolic() const noexcept { return coords_.empty(); }
+  [[nodiscard]] bool isCoordinate() const noexcept { return !coords_.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return path_.empty() && coords_.empty(); }
+
+  /// Path segments. For a symbolic GLOB the last segment names the entity;
+  /// for a coordinate GLOB all segments form the frame path.
+  [[nodiscard]] const std::vector<std::string>& path() const noexcept { return path_; }
+  [[nodiscard]] const std::vector<geo::Point3>& coords() const noexcept { return coords_; }
+
+  /// Final symbolic segment ("" for pure coordinate GLOBs with empty path).
+  [[nodiscard]] std::string name() const;
+  /// All but the final segment joined with '/', e.g. "SC/3" for SC/3/3216.
+  [[nodiscard]] std::string prefix() const;
+  /// The whole path joined with '/'; for coordinate GLOBs this is the frame.
+  [[nodiscard]] std::string pathString() const;
+
+  /// Geometry classification. Symbolic GLOBs report Region (their real
+  /// geometry lives in the spatial database); coordinate GLOBs report by
+  /// payload size.
+  [[nodiscard]] GeometryKind geometryKind() const;
+
+  /// Number of hierarchy levels (path segments).
+  [[nodiscard]] std::size_t depth() const noexcept { return path_.size(); }
+
+  /// True if this GLOB's path is a (non-strict) prefix of `other`'s.
+  [[nodiscard]] bool isPrefixOf(const Glob& other) const;
+
+  /// GLOB truncated to the first `levels` path segments with the coordinate
+  /// payload dropped — used by privacy constraints to cap the granularity at
+  /// which a location may be revealed (§4.5).
+  [[nodiscard]] Glob truncated(std::size_t levels) const;
+
+  /// Coordinate payload as 2D polygon / rect helpers (z ignored).
+  [[nodiscard]] std::optional<geo::Point2> asPoint() const;
+  [[nodiscard]] std::optional<geo::Polygon> asPolygon() const;
+  /// MBR of the coordinate payload (empty rect when symbolic).
+  [[nodiscard]] geo::Rect mbr() const;
+
+  friend bool operator==(const Glob& a, const Glob& b);
+  friend std::ostream& operator<<(std::ostream& os, const Glob& g);
+
+ private:
+  std::vector<std::string> path_;
+  std::vector<geo::Point3> coords_;
+};
+
+}  // namespace mw::glob

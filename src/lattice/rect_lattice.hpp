@@ -1,0 +1,84 @@
+// The containment lattice of rectangles (§4.1.2, Figs 5-6).
+//
+// "In order to efficiently combine different sensor readings, we construct a
+// lattice of rectangles, where the lattice relationship is containment. The
+// rectangles in the lattice are both sensor rectangles as well as any new
+// rectangle regions that are formed due to the intersection of two
+// rectangles. The children of any node in the lattice are all rectangles
+// that are contained by the node."
+//
+// Node 0 is always Top (the universe — the floor area of the whole
+// building). Bottom is implicit: its parents are the minimal nodes, i.e.
+// the nodes with no children. Intersection closure is computed to a fixed
+// point, so overlaps of three or more source rectangles also get nodes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace mw::lattice {
+
+class RectLattice {
+ public:
+  /// Index of the Top node (the universe rectangle).
+  static constexpr std::size_t kTop = 0;
+
+  struct Node {
+    geo::Rect rect;
+    std::string label;       ///< source label (sensor id) or "" for derived
+    bool isSource = false;   ///< inserted directly vs derived by intersection
+    /// Indices of the source nodes whose rects contain this node's rect
+    /// (filled by edge computation; for a source node includes itself).
+    std::vector<std::size_t> contributors;
+    /// Hasse-diagram edges: immediate covers (parents contain this rect with
+    /// nothing in between) and immediate children.
+    std::vector<std::size_t> parents;
+    std::vector<std::size_t> children;
+  };
+
+  explicit RectLattice(geo::Rect universe);
+
+  /// Inserts a source rectangle (a sensor reading's MBR or an application's
+  /// region of interest, clipped to the universe). Creates all intersection
+  /// nodes with existing rectangles, to a fixed point. Returns the node
+  /// index of the source rect. Throws ContractError if the rect does not
+  /// intersect the universe.
+  std::size_t insert(const geo::Rect& r, std::string label = "");
+
+  /// Removes a source rectangle and every derived node that existed only
+  /// because of it (used by conflict resolution: "S5 is removed from the
+  /// lattice", §4.2). The lattice is rebuilt from the surviving sources, so
+  /// indices OTHER THAN kTop are invalidated. No-op if `sourceIndex` does
+  /// not name a source node.
+  void removeSource(std::size_t sourceIndex);
+
+  [[nodiscard]] const Node& node(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const geo::Rect& universe() const noexcept { return nodes_[kTop].rect; }
+
+  /// Indices of all source nodes, in insertion order.
+  [[nodiscard]] std::vector<std::size_t> sources() const;
+
+  /// Parents of the implicit Bottom node — the minimal (smallest-area)
+  /// regions, which §4.2 inspects to infer a single location.
+  [[nodiscard]] std::vector<std::size_t> bottomParents() const;
+
+  /// Finds a node whose rect approx-equals `r`; returns size() when absent.
+  [[nodiscard]] std::size_t find(const geo::Rect& r) const;
+
+  /// Ensures Hasse edges and contributors are up to date. Called lazily by
+  /// accessors; exposed for benchmarks that want to time it separately.
+  void refreshEdges() const;
+
+ private:
+  std::size_t addNode(const geo::Rect& r, std::string label, bool isSource);
+  void closeUnderIntersection(std::size_t newIndex);
+
+  mutable std::vector<Node> nodes_;
+  mutable bool edgesDirty_ = true;
+};
+
+}  // namespace mw::lattice

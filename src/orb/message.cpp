@@ -1,0 +1,35 @@
+#include "orb/message.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::orb {
+
+namespace {
+constexpr std::uint16_t kMagic = 0x4D57;  // "MW"
+}
+
+util::Bytes Message::encode() const {
+  util::ByteWriter w;
+  w.u16(kMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(requestId);
+  w.str(target);
+  w.blob(payload);
+  return w.take();
+}
+
+Message Message::decode(const util::Bytes& frame) {
+  util::ByteReader r(frame);
+  if (r.u16() != kMagic) throw util::ParseError("Message: bad magic");
+  Message m;
+  std::uint8_t t = r.u8();
+  if (t < 1 || t > 4) throw util::ParseError("Message: bad type " + std::to_string(t));
+  m.type = static_cast<MessageType>(t);
+  m.requestId = r.u64();
+  m.target = r.str();
+  m.payload = r.blob();
+  if (!r.exhausted()) throw util::ParseError("Message: trailing bytes");
+  return m;
+}
+
+}  // namespace mw::orb

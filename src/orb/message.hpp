@@ -1,0 +1,37 @@
+// MicroOrb wire messages.
+//
+// MiddleWhere's components talk through a small ORB (the paper used CORBA /
+// Orbacus; §7). A message is either a request, its reply (or error), or an
+// asynchronous event (trigger notification). Encoding uses the ByteWriter
+// little-endian codec; transports add 4-byte length framing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace mw::orb {
+
+enum class MessageType : std::uint8_t {
+  Request = 1,
+  Reply = 2,
+  Error = 3,  ///< payload carries the error text
+  Event = 4,  ///< target is the topic; requestId unused
+};
+
+struct Message {
+  MessageType type = MessageType::Request;
+  std::uint64_t requestId = 0;  ///< correlates Reply/Error with Request
+  std::string target;           ///< method name (Request) or topic (Event)
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes encode() const;
+  /// Throws util::ParseError on malformed frames.
+  static Message decode(const util::Bytes& frame);
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace mw::orb

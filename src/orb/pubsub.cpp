@@ -1,0 +1,47 @@
+#include "orb/pubsub.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mw::orb {
+
+EventBus::SubscriptionToken EventBus::subscribe(const std::string& topic, Handler handler) {
+  mw::util::require(!topic.empty(), "EventBus::subscribe: empty topic (use subscribeAll)");
+  mw::util::require(static_cast<bool>(handler), "EventBus::subscribe: null handler");
+  std::lock_guard lock(mutex_);
+  entries_.push_back(Entry{++next_, topic, std::move(handler)});
+  return entries_.back().token;
+}
+
+EventBus::SubscriptionToken EventBus::subscribeAll(Handler handler) {
+  mw::util::require(static_cast<bool>(handler), "EventBus::subscribeAll: null handler");
+  std::lock_guard lock(mutex_);
+  entries_.push_back(Entry{++next_, "", std::move(handler)});
+  return entries_.back().token;
+}
+
+bool EventBus::unsubscribe(SubscriptionToken token) {
+  std::lock_guard lock(mutex_);
+  auto before = entries_.size();
+  std::erase_if(entries_, [token](const Entry& e) { return e.token == token; });
+  return entries_.size() != before;
+}
+
+void EventBus::publish(const std::string& topic, const util::Bytes& payload) {
+  std::vector<Handler> handlers;
+  {
+    std::lock_guard lock(mutex_);
+    for (const Entry& e : entries_) {
+      if (e.topic.empty() || e.topic == topic) handlers.push_back(e.handler);
+    }
+  }
+  for (const auto& h : handlers) h(topic, payload);
+}
+
+std::size_t EventBus::subscriberCount() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace mw::orb

@@ -1,0 +1,49 @@
+// Local publish/subscribe event bus.
+//
+// Inside a process, MiddleWhere components decouple through topics (trigger
+// notifications, adapter lifecycle). The bus can be bridged onto the RPC
+// layer by subscribing a forwarder that calls RpcServer::publish.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace mw::orb {
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const std::string& topic, const util::Bytes& payload)>;
+  using SubscriptionToken = std::uint64_t;
+
+  /// Subscribes to an exact topic. Returns a token for unsubscribe().
+  SubscriptionToken subscribe(const std::string& topic, Handler handler);
+
+  /// Subscribes to every topic (wildcard) — used by bridges.
+  SubscriptionToken subscribeAll(Handler handler);
+
+  bool unsubscribe(SubscriptionToken token);
+
+  /// Delivers synchronously to all matching handlers, in subscription order.
+  void publish(const std::string& topic, const util::Bytes& payload);
+
+  [[nodiscard]] std::size_t subscriberCount() const;
+
+ private:
+  struct Entry {
+    SubscriptionToken token;
+    std::string topic;  // empty = wildcard
+    Handler handler;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  SubscriptionToken next_ = 0;
+};
+
+}  // namespace mw::orb

@@ -1,0 +1,202 @@
+#include "orb/rpc.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace mw::orb {
+
+using mw::util::MwError;
+using mw::util::TransportError;
+
+void RpcServer::registerMethod(const std::string& name, Method method) {
+  mw::util::require(!name.empty(), "RpcServer::registerMethod: empty name");
+  mw::util::require(static_cast<bool>(method), "RpcServer::registerMethod: null method");
+  std::lock_guard lock(mutex_);
+  methods_[name] = std::move(method);
+}
+
+void RpcServer::serve(std::shared_ptr<Transport> transport) {
+  {
+    std::lock_guard lock(mutex_);
+    connections_.push_back(transport);
+  }
+  // The handler deliberately captures a raw pointer, NOT a shared_ptr: a
+  // transport's own reader thread must never hold (and thus never drop the
+  // last) reference to it, or the destructor would join the thread from
+  // itself. The server's connection list owns the transport, and
+  // ~RpcServer destroys connections_ (joining reader threads) before the
+  // method table, so the raw pointer stays valid for every delivery.
+  Transport* raw = transport.get();
+  transport->onReceive([this, raw](const util::Bytes& frame) { handleFrame(raw, frame); });
+}
+
+void RpcServer::handleFrame(Transport* transport, const util::Bytes& frame) {
+  Message request;
+  try {
+    request = Message::decode(frame);
+  } catch (const MwError&) {
+    return;  // drop undecodable frames, like an ORB would drop junk
+  }
+  if (request.type != MessageType::Request) return;
+
+  Method method;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = methods_.find(request.target);
+    if (it != methods_.end()) method = it->second;
+  }
+
+  // Oneway invocation (requestId 0): execute, send nothing back.
+  if (request.requestId == 0) {
+    if (method) {
+      try {
+        method(request.payload);
+      } catch (const std::exception&) {
+        // Oneway semantics: the caller asked not to hear about it.
+      }
+    }
+    return;
+  }
+
+  Message reply;
+  reply.requestId = request.requestId;
+  reply.target = request.target;
+  if (!method) {
+    reply.type = MessageType::Error;
+    util::ByteWriter w;
+    w.str("unknown method: " + request.target);
+    reply.payload = w.take();
+  } else {
+    try {
+      reply.payload = method(request.payload);
+      reply.type = MessageType::Reply;
+    } catch (const std::exception& e) {
+      reply.type = MessageType::Error;
+      util::ByteWriter w;
+      w.str(e.what());
+      reply.payload = w.take();
+    }
+  }
+  try {
+    transport->send(reply.encode());
+  } catch (const TransportError&) {
+    // Client went away between request and reply; nothing to do.
+  }
+}
+
+void RpcServer::publish(const std::string& topic, const util::Bytes& payload) {
+  Message event;
+  event.type = MessageType::Event;
+  event.target = topic;
+  event.payload = payload;
+  util::Bytes frame = event.encode();
+
+  std::vector<std::shared_ptr<Transport>> snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    std::erase_if(connections_, [](const auto& t) { return !t->isOpen(); });
+    snapshot = connections_;
+  }
+  for (const auto& t : snapshot) {
+    try {
+      t->send(frame);
+    } catch (const TransportError&) {
+      // Connection died mid-publish; it will be pruned next round.
+    }
+  }
+}
+
+std::size_t RpcServer::connectionCount() const {
+  std::lock_guard lock(mutex_);
+  return connections_.size();
+}
+
+RpcClient::RpcClient(std::shared_ptr<Transport> transport) : transport_(std::move(transport)) {
+  mw::util::require(static_cast<bool>(transport_), "RpcClient: null transport");
+  transport_->onReceive([this](const util::Bytes& frame) { handleFrame(frame); });
+}
+
+RpcClient::~RpcClient() {
+  // Stop deliveries and (if we hold the last reference) join the transport's
+  // reader thread before any other member is destroyed — otherwise a frame
+  // arriving during destruction would touch a dead mutex.
+  transport_->onReceive([](const util::Bytes&) {});  // detach this client
+  transport_->close();
+  transport_.reset();
+}
+
+void RpcClient::handleFrame(const util::Bytes& frame) {
+  Message m;
+  try {
+    m = Message::decode(frame);
+  } catch (const MwError&) {
+    return;
+  }
+  if (m.type == MessageType::Event) {
+    EventHandler handler;
+    {
+      std::lock_guard lock(mutex_);
+      handler = eventHandler_;
+    }
+    if (handler) handler(m.target, m.payload);
+    return;
+  }
+  std::lock_guard lock(mutex_);
+  auto it = pending_.find(m.requestId);
+  if (it == pending_.end()) return;  // late reply after timeout
+  it->second.done = true;
+  it->second.isError = (m.type == MessageType::Error);
+  it->second.payload = m.payload;
+  cv_.notify_all();
+}
+
+util::Bytes RpcClient::call(const std::string& method, const util::Bytes& args,
+                            util::Duration timeout) {
+  std::uint64_t id;
+  {
+    std::lock_guard lock(mutex_);
+    id = ++nextId_;
+    pending_.emplace(id, Pending{});
+  }
+  Message request;
+  request.type = MessageType::Request;
+  request.requestId = id;
+  request.target = method;
+  request.payload = args;
+  try {
+    transport_->send(request.encode());
+  } catch (const TransportError&) {
+    std::lock_guard lock(mutex_);
+    pending_.erase(id);
+    throw;
+  }
+
+  std::unique_lock lock(mutex_);
+  bool ok = cv_.wait_for(lock, std::chrono::milliseconds(timeout.count()),
+                         [&] { return pending_.at(id).done; });
+  Pending result = std::move(pending_.at(id));
+  pending_.erase(id);
+  if (!ok) throw TransportError("RpcClient::call: timeout on " + method);
+  if (result.isError) {
+    util::ByteReader r(result.payload);
+    throw MwError("RpcClient::call: remote error: " + r.str());
+  }
+  return result.payload;
+}
+
+void RpcClient::notify(const std::string& method, const util::Bytes& args) {
+  Message request;
+  request.type = MessageType::Request;
+  request.requestId = 0;  // oneway marker
+  request.target = method;
+  request.payload = args;
+  transport_->send(request.encode());
+}
+
+void RpcClient::onEvent(EventHandler handler) {
+  std::lock_guard lock(mutex_);
+  eventHandler_ = std::move(handler);
+}
+
+}  // namespace mw::orb

@@ -1,0 +1,96 @@
+// Request/reply RPC over a Transport, plus asynchronous event delivery.
+//
+// Server side: register named methods, then serve any number of transports.
+// Client side: blocking call() with timeout; event handlers for server-push
+// Event messages (trigger notifications, §4.3).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "orb/message.hpp"
+#include "orb/transport.hpp"
+#include "util/clock.hpp"
+
+namespace mw::orb {
+
+class RpcServer {
+ public:
+  /// A method takes the request payload and returns the reply payload.
+  /// Exceptions become Error replies carrying the exception text.
+  using Method = std::function<util::Bytes(const util::Bytes&)>;
+
+  void registerMethod(const std::string& name, Method method);
+
+  /// Starts serving requests arriving on this transport. The server keeps
+  /// the transport alive; events published via publish() go to every served
+  /// transport.
+  void serve(std::shared_ptr<Transport> transport);
+
+  /// Pushes an event to all connected clients.
+  void publish(const std::string& topic, const util::Bytes& payload);
+
+  [[nodiscard]] std::size_t connectionCount() const;
+
+ private:
+  void handleFrame(Transport* transport, const util::Bytes& frame);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Method> methods_;
+  /// Owns served transports. Declared last so ~RpcServer tears connections
+  /// down (joining their reader threads) before the method table dies.
+  std::vector<std::shared_ptr<Transport>> connections_;
+};
+
+class RpcClient {
+ public:
+  using EventHandler = std::function<void(const std::string& topic, const util::Bytes& payload)>;
+
+  explicit RpcClient(std::shared_ptr<Transport> transport);
+
+  /// Closes and releases the transport first, so its reader thread is joined
+  /// before the client's mutex/cv/pending state is destroyed.
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Blocking call; throws util::TransportError on timeout/disconnect and
+  /// util::MwError when the server replied with an Error message.
+  util::Bytes call(const std::string& method, const util::Bytes& args,
+                   util::Duration timeout = util::sec(5));
+
+  /// Fire-and-forget invocation (CORBA "oneway"): the request carries id 0,
+  /// the server executes the method but sends no reply, and errors are
+  /// swallowed server-side. Use for high-rate sensor ingest where the
+  /// round-trip would dominate (§7 push model).
+  void notify(const std::string& method, const util::Bytes& args);
+
+  /// Installs the handler for server-push events.
+  void onEvent(EventHandler handler);
+
+  [[nodiscard]] bool isOpen() const { return transport_ && transport_->isOpen(); }
+
+ private:
+  struct Pending {
+    bool done = false;
+    bool isError = false;
+    util::Bytes payload;
+  };
+
+  void handleFrame(const util::Bytes& frame);
+
+  std::shared_ptr<Transport> transport_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t nextId_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  EventHandler eventHandler_;
+};
+
+}  // namespace mw::orb

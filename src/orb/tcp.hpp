@@ -1,0 +1,43 @@
+// TCP loopback transport with 4-byte little-endian length framing.
+//
+// Gives the MicroOrb a genuinely distributed path: the Fig-9 benchmark and
+// the distribution tests run adapters and the Location Service on separate
+// sockets, like the paper's CORBA deployment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "orb/transport.hpp"
+
+namespace mw::orb {
+
+/// Connects to a listening endpoint. Throws util::TransportError on failure.
+std::shared_ptr<Transport> tcpConnect(const std::string& host, std::uint16_t port);
+
+/// Accepts connections on 127.0.0.1:<port> (0 = ephemeral). Each accepted
+/// connection is handed to `onAccept` as a ready transport.
+class TcpListener {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<Transport>)>;
+
+  TcpListener(std::uint16_t port, AcceptHandler onAccept);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actually bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  void stop();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace mw::orb

@@ -1,0 +1,87 @@
+#include "orb/transport.hpp"
+
+#include <deque>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace mw::orb {
+
+namespace {
+
+/// One endpoint of an in-process pair. Sending locks only the peer's state,
+/// so a handler on side A may send back to side B without self-deadlock.
+class InProcTransport final : public Transport, public std::enable_shared_from_this<InProcTransport> {
+ public:
+  void send(const util::Bytes& frame) override {
+    std::shared_ptr<InProcTransport> peer;
+    {
+      std::lock_guard lock(mutex_);
+      if (!open_) throw util::TransportError("InProcTransport: closed");
+      peer = peer_.lock();
+    }
+    if (!peer) throw util::TransportError("InProcTransport: peer gone");
+    peer->deliver(frame);
+  }
+
+  void onReceive(Handler handler) override {
+    std::deque<util::Bytes> backlog;
+    {
+      std::lock_guard lock(mutex_);
+      handler_ = std::move(handler);
+      backlog.swap(pending_);
+    }
+    for (const auto& frame : backlog) {
+      if (handler_) handler_(frame);
+    }
+  }
+
+  void close() override {
+    std::lock_guard lock(mutex_);
+    open_ = false;
+    handler_ = nullptr;
+  }
+
+  [[nodiscard]] bool isOpen() const override {
+    std::lock_guard lock(mutex_);
+    return open_ && !peer_.expired();
+  }
+
+  void bind(std::shared_ptr<InProcTransport> peer) {
+    std::lock_guard lock(mutex_);
+    peer_ = std::move(peer);
+  }
+
+ private:
+  void deliver(const util::Bytes& frame) {
+    Handler handler;
+    {
+      std::lock_guard lock(mutex_);
+      if (!open_) return;  // dropped silently, like a closed socket
+      if (!handler_) {
+        pending_.push_back(frame);
+        return;
+      }
+      handler = handler_;
+    }
+    handler(frame);
+  }
+
+  mutable std::mutex mutex_;
+  bool open_ = true;
+  Handler handler_;
+  std::deque<util::Bytes> pending_;
+  std::weak_ptr<InProcTransport> peer_;
+};
+
+}  // namespace
+
+std::pair<std::shared_ptr<Transport>, std::shared_ptr<Transport>> makeInProcPair() {
+  auto a = std::make_shared<InProcTransport>();
+  auto b = std::make_shared<InProcTransport>();
+  a->bind(b);
+  b->bind(a);
+  return {a, b};
+}
+
+}  // namespace mw::orb

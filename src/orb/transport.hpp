@@ -1,0 +1,37 @@
+// Transport abstraction: a bidirectional channel carrying whole frames.
+//
+// Two implementations: an in-process pair (deterministic, used by tests and
+// same-process wiring) and TCP loopback (tcp.hpp). Handlers may be invoked
+// on arbitrary threads; implementations serialize delivery per transport.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace mw::orb {
+
+class Transport {
+ public:
+  using Handler = std::function<void(const util::Bytes& frame)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends one frame. Throws util::TransportError when the channel is down.
+  virtual void send(const util::Bytes& frame) = 0;
+
+  /// Installs the receive handler. Frames arriving before a handler is set
+  /// are buffered and delivered on installation.
+  virtual void onReceive(Handler handler) = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool isOpen() const = 0;
+};
+
+/// Creates a connected in-process transport pair: frames sent on one side
+/// are delivered synchronously to the other side's handler.
+std::pair<std::shared_ptr<Transport>, std::shared_ptr<Transport>> makeInProcPair();
+
+}  // namespace mw::orb

@@ -1,0 +1,37 @@
+#include "quality/calibration.hpp"
+
+namespace mw::quality {
+
+void Calibrator::recordTrial(bool devicePresent, bool sensorReported) {
+  if (devicePresent) {
+    ++presentTrials_;
+    if (sensorReported) ++presentDetections_;
+  } else {
+    ++absentTrials_;
+    if (sensorReported) ++absentReports_;
+  }
+}
+
+void Calibrator::recordCarry(bool carried) {
+  ++carryTrials_;
+  if (carried) ++carryYes_;
+}
+
+double Calibrator::detectEstimate() const {
+  return static_cast<double>(presentDetections_ + 1) / static_cast<double>(presentTrials_ + 2);
+}
+
+double Calibrator::misidentifyEstimate() const {
+  return static_cast<double>(absentReports_ + 1) / static_cast<double>(absentTrials_ + 2);
+}
+
+double Calibrator::carryEstimate() const {
+  if (carryTrials_ == 0) return 1.0;  // "a finger is always carried"
+  return static_cast<double>(carryYes_ + 1) / static_cast<double>(carryTrials_ + 2);
+}
+
+SensorErrorSpec Calibrator::estimate() const {
+  return SensorErrorSpec{carryEstimate(), detectEstimate(), misidentifyEstimate()};
+}
+
+}  // namespace mw::quality

@@ -1,0 +1,52 @@
+// Sensor calibration from observed trials (§6: "upon installing a new
+// location technology, a calibration process needs to be undertaken" and
+// §11 future work: "we plan to conduct user studies to get accurate values
+// of various parameters of our system like the probability of carrying
+// location devices").
+//
+// The Calibrator accumulates labelled trials — ground truth of whether the
+// device was present in the sensor's region, versus whether the sensor
+// reported it there — and carry observations, and estimates the (x, y, z)
+// error spec with Laplace (add-one) smoothing so that a freshly installed
+// sensor never reports certainty.
+#pragma once
+
+#include <cstddef>
+
+#include "quality/error_model.hpp"
+
+namespace mw::quality {
+
+class Calibrator {
+ public:
+  /// One detection trial: the device really was (or was not) present in the
+  /// sensor's region A, and the sensor did (or did not) report it in A.
+  void recordTrial(bool devicePresent, bool sensorReported);
+
+  /// One carry observation: whether the person had the device with them.
+  void recordCarry(bool carried);
+
+  [[nodiscard]] std::size_t trialCount() const noexcept { return presentTrials_ + absentTrials_; }
+  [[nodiscard]] std::size_t carryCount() const noexcept { return carryTrials_; }
+
+  /// Estimated y = P(report | present), Laplace-smoothed.
+  [[nodiscard]] double detectEstimate() const;
+  /// Estimated z = P(report | absent), Laplace-smoothed.
+  [[nodiscard]] double misidentifyEstimate() const;
+  /// Estimated x = P(carrying); defaults to 1 with no observations (the
+  /// biometric assumption) and is Laplace-smoothed otherwise.
+  [[nodiscard]] double carryEstimate() const;
+
+  /// The full spec in one call.
+  [[nodiscard]] SensorErrorSpec estimate() const;
+
+ private:
+  std::size_t presentTrials_ = 0;
+  std::size_t presentDetections_ = 0;
+  std::size_t absentTrials_ = 0;
+  std::size_t absentReports_ = 0;
+  std::size_t carryTrials_ = 0;
+  std::size_t carryYes_ = 0;
+};
+
+}  // namespace mw::quality

@@ -1,0 +1,48 @@
+#include "quality/error_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mw::quality {
+
+void SensorErrorSpec::validate() const {
+  mw::util::require(carry >= 0 && carry <= 1, "SensorErrorSpec: carry out of [0,1]");
+  mw::util::require(detect >= 0 && detect <= 1, "SensorErrorSpec: detect out of [0,1]");
+  mw::util::require(misidentify >= 0 && misidentify <= 1,
+                    "SensorErrorSpec: misidentify out of [0,1]");
+}
+
+ConfidencePair deriveConfidence(const SensorErrorSpec& spec) {
+  spec.validate();
+  const double x = spec.carry, y = spec.detect, z = spec.misidentify;
+  // p_miss from the paper: (1-y)x + (1-z)(1-x); fusion uses p = 1 - p_miss.
+  const double pMiss = (1 - y) * x + (1 - z) * (1 - x);
+  // q kept as the paper simplifies it: z + y(1-x).
+  const double q = z + y * (1 - x);
+  return ConfidencePair{std::clamp(1 - pMiss, 0.0, 1.0), std::clamp(q, 0.0, 1.0)};
+}
+
+ConfidencePair deriveConfidenceAreaScaled(const SensorErrorSpec& spec, double areaFraction) {
+  spec.validate();
+  mw::util::require(areaFraction >= 0 && areaFraction <= 1,
+                    "deriveConfidenceAreaScaled: areaFraction out of [0,1]");
+  const double x = spec.carry, y = spec.detect, f = areaFraction;
+  const double z = std::clamp(spec.misidentify * f, 0.0, 1.0);
+  const double p = x * y + (1 - x) * std::clamp(y * f + z, 0.0, 1.0);
+  const double q = z + (1 - x) * y * f;
+  return ConfidencePair{std::clamp(p, 0.0, 1.0), std::clamp(q, 0.0, 1.0)};
+}
+
+double scaleMisidentifyByArea(double zBase, double areaA, double areaU) {
+  mw::util::require(areaU > 0, "scaleMisidentifyByArea: universe area must be positive");
+  mw::util::require(areaA >= 0, "scaleMisidentifyByArea: negative region area");
+  return std::clamp(zBase * areaA / areaU, 0.0, 1.0);
+}
+
+SensorErrorSpec ubisenseSpec(double carry) { return {carry, 0.95, 0.05}; }
+SensorErrorSpec rfidBadgeSpec(double carry) { return {carry, 0.75, 0.25}; }
+SensorErrorSpec biometricSpec() { return {1.0, 0.99, 0.01}; }
+SensorErrorSpec gpsSpec(double carry) { return {carry, 0.99, 0.01}; }
+
+}  // namespace mw::quality

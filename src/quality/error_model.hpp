@@ -1,0 +1,79 @@
+// Sensor error model (§4.1.1).
+//
+// Every location technology is characterized by three primitive
+// probabilities:
+//   x — P(person is carrying the sensed device)           ("carry")
+//   y — P(sensor detects device | device present in A)     ("detect")
+//   z — P(sensor reports device in A | device not in A)    ("misidentify")
+//
+// From these the paper derives the two working confidences used by fusion:
+//   p = P(sensor says person is IN A | person is in A)
+//   q = P(sensor says person is IN A | person is NOT in A)
+//
+// NOTE on the paper's algebra: §4.1.1 derives the *miss* probability
+// p_miss = (1-y)x + (1-z)(1-x) and the false-positive q = zx + (y+z)(1-x)
+// (simplified in the paper to z + y(1-x)). The fusion equations (Eqs 1-7)
+// then use p as a *detection* probability — P(s_{1,A} | person_A) = p_1 —
+// so we expose p = 1 - p_miss, which reduces to the intuitive y·x + z·(1-x)
+// ... the paper's own simplification of q is kept verbatim. Both are clamped
+// to [0,1] because the paper's q expression can exceed 1 for small x.
+#pragma once
+
+#include <string>
+
+namespace mw::quality {
+
+/// Primitive per-technology probabilities, estimated during adapter
+/// calibration (§6).
+struct SensorErrorSpec {
+  double carry = 1.0;        ///< x: probability the person carries the device
+  double detect = 0.95;      ///< y: detection probability given presence
+  double misidentify = 0.05; ///< z: misidentification probability
+
+  /// Validates 0 <= x,y,z <= 1; throws ContractError otherwise.
+  void validate() const;
+};
+
+/// The (p, q) pair consumed by the fusion engine: p is the probability the
+/// sensor reports region A when the person is in A; q when they are not.
+struct ConfidencePair {
+  double p = 0;
+  double q = 0;
+
+  /// A reading is informative only while p > q (§4.1.2: "p1 > q1, which will
+  /// be true if there is a greater chance of the sensor giving the correct
+  /// reading than a wrong reading").
+  [[nodiscard]] bool informative() const noexcept { return p > q; }
+};
+
+/// Derives (p, q) from (x, y, z) per §4.1.1 (see the header comment for the
+/// detection-vs-miss convention).
+ConfidencePair deriveConfidence(const SensorErrorSpec& spec);
+
+/// Area-aware refinement of §4.1.1 for technologies whose false positives
+/// scale with the reported region's share of the coverage universe
+/// (areaFraction = area(A)/area(U), §6.1/§6.2). Both false-positive sources
+/// are proportional to areaFraction: misidentification (z · areaFraction, as
+/// the paper states) AND the "device left behind" term — an uncarried badge
+/// lies somewhere uniform in the universe, so it is detected *inside A*
+/// with probability y · areaFraction, not y (the paper's q = z + y(1-x)
+/// omits this scaling, which makes any small reading uninformative once
+/// x < 1). At areaFraction = 1 this reduces to the paper's formulas.
+///
+///   p = x·y + (1-x)·(y·f + z·f)
+///   q = z·f + (1-x)·y·f              with f = areaFraction
+ConfidencePair deriveConfidenceAreaScaled(const SensorErrorSpec& spec, double areaFraction);
+
+/// Many technologies state z proportional to the reported region's share of
+/// the coverage universe: z = zBase * area(A) / area(U) (Ubisense and RFID
+/// in §6). Returns the scaled z clamped to [0, 1].
+double scaleMisidentifyByArea(double zBase, double areaA, double areaU);
+
+/// Named technology presets straight out of §6, for convenience and for the
+/// Table-2 reproduction. Areas are handled by the adapters at reading time.
+SensorErrorSpec ubisenseSpec(double carry);    // y=0.95, z base 0.05
+SensorErrorSpec rfidBadgeSpec(double carry);   // y=0.75, z base 0.25
+SensorErrorSpec biometricSpec();               // y=0.99, z=0.01, x=1
+SensorErrorSpec gpsSpec(double carry);         // y=0.99, z=0.01
+
+}  // namespace mw::quality

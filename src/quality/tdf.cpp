@@ -1,0 +1,61 @@
+#include "quality/tdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mw::quality {
+
+using mw::util::Duration;
+using mw::util::require;
+
+double NoDegradation::apply(double confidence, Duration /*age*/) const { return confidence; }
+
+LinearDegradation::LinearDegradation(Duration horizon) : horizon_(horizon) {
+  require(horizon > Duration::zero(), "LinearDegradation: horizon must be positive");
+}
+
+double LinearDegradation::apply(double confidence, Duration age) const {
+  if (age <= Duration::zero()) return confidence;
+  double frac = 1.0 - static_cast<double>(age.count()) / static_cast<double>(horizon_.count());
+  return confidence * std::max(0.0, frac);
+}
+
+ExponentialDegradation::ExponentialDegradation(Duration halfLife) : halfLife_(halfLife) {
+  require(halfLife > Duration::zero(), "ExponentialDegradation: half-life must be positive");
+}
+
+double ExponentialDegradation::apply(double confidence, Duration age) const {
+  if (age <= Duration::zero()) return confidence;
+  double halves = static_cast<double>(age.count()) / static_cast<double>(halfLife_.count());
+  return confidence * std::exp2(-halves);
+}
+
+StepDegradation::StepDegradation(std::vector<Step> steps) : steps_(std::move(steps)) {
+  Duration prev = Duration::zero();
+  for (const auto& [age, factor] : steps_) {
+    require(age > prev, "StepDegradation: steps must have increasing ages");
+    require(factor > 0 && factor <= 1, "StepDegradation: factor must be in (0,1]");
+    prev = age;
+  }
+}
+
+double StepDegradation::apply(double confidence, Duration age) const {
+  double factor = 1.0;
+  for (const auto& [threshold, f] : steps_) {
+    if (age >= threshold) {
+      factor = f;
+    } else {
+      break;
+    }
+  }
+  return confidence * factor;
+}
+
+double QualityProfile::confidenceAt(double confidence, Duration age) const {
+  if (expiredAt(age)) return 0.0;
+  return std::max(0.0, tdf->apply(confidence, age));
+}
+
+}  // namespace mw::quality

@@ -1,0 +1,90 @@
+// Temporal degradation functions (§3.2).
+//
+// "Our location model employs a temporal degradation function (tdf) that
+// reduces the confidence of the location information from a particular
+// sensor with time: tdf_sensor-type : conf x time -> conf. The tdf may
+// degrade the confidence in a continuous or in a discrete manner."
+//
+// Degradation applies to the detection confidence p of a reading; q (the
+// false-positive rate) is a property of the technology, not of the reading's
+// age, so it is left untouched. A reading whose degraded p has fallen to q
+// carries no information and is discarded by the fusion engine.
+//
+// Independently of the tdf, every reading has a hard time-to-live after
+// which it expires outright (§5.2: "A card reader location value that is
+// older than 10 seconds is considered stale").
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace mw::quality {
+
+/// Maps (initial confidence, age) -> degraded confidence. Implementations
+/// must be monotonically non-increasing in age and must never increase the
+/// confidence. Thread-compatible (immutable after construction).
+class TemporalDegradation {
+ public:
+  virtual ~TemporalDegradation() = default;
+  [[nodiscard]] virtual double apply(double confidence, util::Duration age) const = 0;
+};
+
+/// Identity tdf: confidence never degrades (suitable for continuously
+/// re-asserted signals like Ubisense whose staleness is handled by TTL).
+class NoDegradation final : public TemporalDegradation {
+ public:
+  [[nodiscard]] double apply(double confidence, util::Duration age) const override;
+};
+
+/// Continuous linear decay: conf * max(0, 1 - age/horizon).
+class LinearDegradation final : public TemporalDegradation {
+ public:
+  explicit LinearDegradation(util::Duration horizon);
+  [[nodiscard]] double apply(double confidence, util::Duration age) const override;
+  [[nodiscard]] util::Duration horizon() const noexcept { return horizon_; }
+
+ private:
+  util::Duration horizon_;
+};
+
+/// Continuous exponential decay: conf * 2^(-age/halfLife).
+class ExponentialDegradation final : public TemporalDegradation {
+ public:
+  explicit ExponentialDegradation(util::Duration halfLife);
+  [[nodiscard]] double apply(double confidence, util::Duration age) const override;
+  [[nodiscard]] util::Duration halfLife() const noexcept { return halfLife_; }
+
+ private:
+  util::Duration halfLife_;
+};
+
+/// Discrete step decay: confidence is multiplied by the factor of the last
+/// step whose age threshold has been reached. Steps must be given in
+/// increasing age order with factors in (0, 1].
+class StepDegradation final : public TemporalDegradation {
+ public:
+  using Step = std::pair<util::Duration, double>;
+  explicit StepDegradation(std::vector<Step> steps);
+  [[nodiscard]] double apply(double confidence, util::Duration age) const override;
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+/// Quality profile of a sensor type: how its confidence ages and when its
+/// readings expire outright.
+struct QualityProfile {
+  std::shared_ptr<const TemporalDegradation> tdf = std::make_shared<NoDegradation>();
+  util::Duration ttl = util::minutes(5);
+
+  /// Degraded confidence at `age`, or 0 when the reading has outlived its
+  /// TTL. Confidence never drops below zero.
+  [[nodiscard]] double confidenceAt(double confidence, util::Duration age) const;
+  [[nodiscard]] bool expiredAt(util::Duration age) const { return age > ttl; }
+};
+
+}  // namespace mw::quality

@@ -1,0 +1,182 @@
+#include "reasoning/connectivity.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.hpp"
+
+namespace mw::reasoning {
+
+using mw::util::NotFoundError;
+using mw::util::require;
+
+void ConnectivityGraph::addRegion(const std::string& name, const geo::Rect& rect) {
+  require(!name.empty(), "ConnectivityGraph::addRegion: empty name");
+  require(!rect.empty() && rect.area() > 0, "ConnectivityGraph::addRegion: empty rect");
+  require(!byName_.contains(name), "ConnectivityGraph::addRegion: duplicate region " + name);
+  byName_.emplace(name, regions_.size());
+  regions_.push_back(Region{name, rect, {}});
+}
+
+std::size_t ConnectivityGraph::addPassage(const Passage& passage) {
+  std::size_t connections = 0;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions_.size(); ++j) {
+      if (!passageConnects(passage, regions_[i].rect, regions_[j].rect)) continue;
+      geo::Point2 via = passage.segment.midpoint();
+      regions_[i].edges.push_back(Edge{j, via, passage.kind});
+      regions_[j].edges.push_back(Edge{i, via, passage.kind});
+      edges_ += 2;
+      ++connections;
+    }
+  }
+  return connections;
+}
+
+void ConnectivityGraph::connect(const std::string& a, const std::string& b, geo::Point2 via,
+                                PassageKind kind) {
+  std::size_t ia = indexOf(a);
+  std::size_t ib = indexOf(b);
+  require(ia != ib, "ConnectivityGraph::connect: cannot connect a region to itself");
+  regions_[ia].edges.push_back(Edge{ib, via, kind});
+  regions_[ib].edges.push_back(Edge{ia, via, kind});
+  edges_ += 2;
+}
+
+bool ConnectivityGraph::hasRegion(const std::string& name) const { return byName_.contains(name); }
+
+const geo::Rect& ConnectivityGraph::regionRect(const std::string& name) const {
+  return regions_[indexOf(name)].rect;
+}
+
+std::optional<std::string> ConnectivityGraph::regionAt(geo::Point2 p) const {
+  const Region* best = nullptr;
+  for (const Region& r : regions_) {
+    if (!r.rect.contains(p)) continue;
+    if (best == nullptr || r.rect.area() < best->rect.area()) best = &r;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->name;
+}
+
+std::size_t ConnectivityGraph::indexOf(const std::string& name) const {
+  auto it = byName_.find(name);
+  if (it == byName_.end()) {
+    throw NotFoundError("ConnectivityGraph: unknown region '" + name + "'");
+  }
+  return it->second;
+}
+
+double ConnectivityGraph::euclideanDistance(const std::string& a, const std::string& b) const {
+  return geo::distance(regions_[indexOf(a)].rect.center(), regions_[indexOf(b)].rect.center());
+}
+
+std::optional<double> ConnectivityGraph::pathDistance(const std::string& a, const std::string& b,
+                                                      bool includeRestricted) const {
+  auto r = route(a, b, includeRestricted);
+  if (!r) return std::nullopt;
+  return r->length;
+}
+
+std::optional<Route> ConnectivityGraph::route(const std::string& a, const std::string& b,
+                                              bool includeRestricted) const {
+  return search(a, b, includeRestricted, /*useHeuristic=*/false);
+}
+
+std::optional<Route> ConnectivityGraph::routeAStar(const std::string& a, const std::string& b,
+                                                   bool includeRestricted) const {
+  return search(a, b, includeRestricted, /*useHeuristic=*/true);
+}
+
+std::optional<Route> ConnectivityGraph::search(const std::string& a, const std::string& b,
+                                               bool includeRestricted,
+                                               bool useHeuristic) const {
+  const std::size_t start = indexOf(a);
+  const std::size_t goal = indexOf(b);
+  if (start == goal) return Route{{regions_[start].name}, {}, 0.0};
+  const geo::Point2 goalCenter = regions_[goal].rect.center();
+
+  // Exact search over (door, region-entered) states. Collapsing states to
+  // regions would lose the entry-point dependence of traversal costs (the
+  // first door settled is not always on the cheapest overall path), so each
+  // directed door crossing is its own node. Node 0 is the start (standing at
+  // the start region's center); node 1+k is "just crossed flat edge k".
+  struct EdgeRef {
+    std::size_t fromRegion;
+    const Edge* edge;
+  };
+  std::vector<EdgeRef> flat;
+  std::vector<std::vector<std::size_t>> outgoing(regions_.size());  // region -> flat ids
+  for (std::size_t r = 0; r < regions_.size(); ++r) {
+    for (const Edge& e : regions_[r].edges) {
+      if (!includeRestricted && e.kind == PassageKind::Restricted) continue;
+      outgoing[r].push_back(flat.size());
+      flat.push_back(EdgeRef{r, &e});
+    }
+  }
+
+  const std::size_t nodeCount = flat.size() + 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodeCount, kInf);
+  std::vector<std::size_t> prev(nodeCount, SIZE_MAX);
+
+  auto nodeRegion = [&](std::size_t n) {
+    return n == 0 ? start : flat[n - 1].edge->to;
+  };
+  auto nodePoint = [&](std::size_t n) {
+    return n == 0 ? regions_[start].rect.center() : flat[n - 1].edge->via;
+  };
+  // Admissible, consistent heuristic: straight line to the goal center
+  // (0 in Dijkstra mode). Both modes are exact on this state graph.
+  auto h = [&](std::size_t n) {
+    return useHeuristic ? geo::distance(nodePoint(n), goalCenter) : 0.0;
+  };
+
+  using Item = std::pair<double, std::size_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[0] = 0;
+  pq.push({h(0), 0});
+
+  double bestGoal = kInf;
+  std::size_t bestGoalNode = SIZE_MAX;
+  while (!pq.empty()) {
+    auto [f, n] = pq.top();
+    pq.pop();
+    if (f - h(n) > dist[n] + 1e-12) continue;  // stale queue entry
+    if (dist[n] >= bestGoal) break;            // cannot improve further
+    std::size_t r = nodeRegion(n);
+    geo::Point2 p = nodePoint(n);
+    if (r == goal) {
+      double total = dist[n] + geo::distance(p, goalCenter);
+      if (total < bestGoal) {
+        bestGoal = total;
+        bestGoalNode = n;
+      }
+      continue;
+    }
+    for (std::size_t k : outgoing[r]) {
+      double nd = dist[n] + geo::distance(p, flat[k].edge->via);
+      if (nd < dist[k + 1]) {
+        dist[k + 1] = nd;
+        prev[k + 1] = n;
+        pq.push({nd + h(k + 1), k + 1});
+      }
+    }
+  }
+  if (bestGoalNode == SIZE_MAX) return std::nullopt;
+
+  Route out;
+  out.length = bestGoal;
+  // Walk the door chain backwards; regions = start + each region entered.
+  std::vector<std::size_t> chain;
+  for (std::size_t n = bestGoalNode; n != SIZE_MAX && n != 0; n = prev[n]) chain.push_back(n);
+  std::reverse(chain.begin(), chain.end());
+  out.regions.push_back(regions_[start].name);
+  for (std::size_t n : chain) {
+    out.vias.push_back(flat[n - 1].edge->via);
+    out.regions.push_back(regions_[flat[n - 1].edge->to].name);
+  }
+  return out;
+}
+
+}  // namespace mw::reasoning

@@ -1,0 +1,96 @@
+// Region connectivity graph and path distance (§4.6.1).
+//
+// "Two kinds of distance measures are used: Euclidean, which is the shortest
+// straight line distance between the centers of the regions, and
+// path-distance, which is the length of a path from the center of one region
+// to the center of the other region."
+//
+// Regions (rooms, corridors) are graph nodes; passages (doors) are edges.
+// A path alternates region centers and door midpoints; its length is the sum
+// of straight-line hops, computed with Dijkstra.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "reasoning/passages.hpp"
+
+namespace mw::reasoning {
+
+/// Result of a route query: the region sequence and total length.
+struct Route {
+  std::vector<std::string> regions;  ///< names, start to goal inclusive
+  /// Crossing points (door midpoints) between consecutive regions; size is
+  /// regions.size() - 1. Walking simulators follow these to avoid cutting
+  /// through walls.
+  std::vector<geo::Point2> vias;
+  double length = 0;                 ///< path-distance
+};
+
+class ConnectivityGraph {
+ public:
+  /// Registers a region by unique name. Throws ContractError on duplicates.
+  void addRegion(const std::string& name, const geo::Rect& rect);
+
+  /// Registers a passage and connects the (exactly two expected) regions
+  /// whose boundaries contain it. Returns the number of region pairs the
+  /// passage connected (0 when it lies on no shared boundary).
+  std::size_t addPassage(const Passage& passage);
+
+  /// Explicitly connects two regions (for stitched maps, stairs, elevators).
+  /// `via` is the crossing point; `kind` tags restricted passages.
+  void connect(const std::string& a, const std::string& b, geo::Point2 via,
+               PassageKind kind = PassageKind::Free);
+
+  [[nodiscard]] bool hasRegion(const std::string& name) const;
+  [[nodiscard]] std::size_t regionCount() const noexcept { return regions_.size(); }
+  [[nodiscard]] std::size_t edgeCount() const noexcept { return edges_ / 2; }
+  [[nodiscard]] const geo::Rect& regionRect(const std::string& name) const;
+  /// The name of a region containing the point (smallest-area match), if any.
+  [[nodiscard]] std::optional<std::string> regionAt(geo::Point2 p) const;
+
+  /// Straight-line distance between region centers.
+  [[nodiscard]] double euclideanDistance(const std::string& a, const std::string& b) const;
+
+  /// Shortest path-distance from the center of `a` to the center of `b`.
+  /// `includeRestricted` controls whether locked doors may be used.
+  /// Returns nullopt when no route exists.
+  [[nodiscard]] std::optional<double> pathDistance(const std::string& a, const std::string& b,
+                                                   bool includeRestricted = true) const;
+
+  /// The full route (region sequence); nullopt when unreachable.
+  [[nodiscard]] std::optional<Route> route(const std::string& a, const std::string& b,
+                                           bool includeRestricted = true) const;
+
+  /// A*-accelerated variant of route(): same result, guided by the
+  /// (admissible) Euclidean distance to the goal's center, so large graphs
+  /// expand fewer nodes. Prefer this for interactive route queries.
+  [[nodiscard]] std::optional<Route> routeAStar(const std::string& a, const std::string& b,
+                                                bool includeRestricted = true) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    geo::Point2 via;  // door midpoint
+    PassageKind kind;
+  };
+  struct Region {
+    std::string name;
+    geo::Rect rect;
+    std::vector<Edge> edges;
+  };
+
+  [[nodiscard]] std::size_t indexOf(const std::string& name) const;
+  [[nodiscard]] std::optional<Route> search(const std::string& a, const std::string& b,
+                                            bool includeRestricted, bool useHeuristic) const;
+
+  std::vector<Region> regions_;
+  std::unordered_map<std::string, std::size_t> byName_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace mw::reasoning

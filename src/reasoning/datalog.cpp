@@ -1,0 +1,182 @@
+#include "reasoning/datalog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mw::reasoning {
+
+using mw::util::require;
+
+bool Atom::ground() const {
+  return std::none_of(args.begin(), args.end(), [](const Term& t) { return t.isVar; });
+}
+
+std::ostream& operator<<(std::ostream& os, const Atom& a) {
+  os << a.predicate << '(';
+  for (std::size_t i = 0; i < a.args.size(); ++i) {
+    if (i) os << ',';
+    os << (a.args[i].isVar ? "?" : "") << a.args[i].text;
+  }
+  return os << ')';
+}
+
+bool Rule::rangeRestricted() const {
+  for (const Term& t : head.args) {
+    if (!t.isVar) continue;
+    bool found = false;
+    for (const Atom& b : body) {
+      for (const Term& bt : b.args) {
+        if (bt.isVar && bt.text == t.text) {
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string Datalog::key(const std::vector<std::string>& args) {
+  std::string out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out.push_back('\x1f');
+    out += args[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Datalog::unkey(const std::string& k) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : k) {
+    if (c == '\x1f') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+bool Datalog::FactStore::insert(const Atom& fact) {
+  std::vector<std::string> args;
+  args.reserve(fact.args.size());
+  for (const Term& t : fact.args) args.push_back(t.text);
+  return byPredicate[fact.predicate].insert(key(args)).second;
+}
+
+std::size_t Datalog::FactStore::size() const {
+  std::size_t n = 0;
+  for (const auto& [_, set] : byPredicate) n += set.size();
+  return n;
+}
+
+void Datalog::addFact(const Atom& fact) {
+  require(fact.ground(), "Datalog::addFact: fact must be ground");
+  require(!fact.predicate.empty(), "Datalog::addFact: empty predicate");
+  if (facts_.insert(fact)) saturated_ = false;
+}
+
+void Datalog::addFact(const std::string& predicate, const std::vector<std::string>& args) {
+  Atom a{predicate, {}};
+  a.args.reserve(args.size());
+  for (const auto& s : args) a.args.push_back(Term::atom(s));
+  addFact(a);
+}
+
+void Datalog::addRule(Rule rule) {
+  require(rule.rangeRestricted(), "Datalog::addRule: head variable not bound in body");
+  require(!rule.body.empty(), "Datalog::addRule: rules need a non-empty body (use addFact)");
+  rules_.push_back(std::move(rule));
+  saturated_ = false;
+}
+
+std::optional<Bindings> Datalog::match(const Atom& pattern, const std::vector<std::string>& tuple,
+                                       const Bindings& bindings) {
+  if (pattern.args.size() != tuple.size()) return std::nullopt;
+  Bindings out = bindings;
+  for (std::size_t i = 0; i < tuple.size(); ++i) {
+    const Term& t = pattern.args[i];
+    if (t.isVar) {
+      auto it = out.find(t.text);
+      if (it == out.end()) {
+        out.emplace(t.text, tuple[i]);
+      } else if (it->second != tuple[i]) {
+        return std::nullopt;
+      }
+    } else if (t.text != tuple[i]) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+void Datalog::applyRules() {
+  // Naive-to-fixpoint evaluation: iterate all rules until no new facts.
+  // Rule bodies are joined left to right by backtracking over bindings.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules_) {
+      std::vector<Bindings> frontier{Bindings{}};
+      for (const Atom& literal : rule.body) {
+        std::vector<Bindings> next;
+        auto predIt = facts_.byPredicate.find(literal.predicate);
+        if (predIt == facts_.byPredicate.end()) {
+          next.clear();
+          frontier.clear();
+          break;
+        }
+        for (const Bindings& b : frontier) {
+          for (const std::string& tupleKey : predIt->second) {
+            if (auto extended = match(literal, unkey(tupleKey), b)) {
+              next.push_back(std::move(*extended));
+            }
+          }
+        }
+        frontier = std::move(next);
+        if (frontier.empty()) break;
+      }
+      for (const Bindings& b : frontier) {
+        Atom derived{rule.head.predicate, {}};
+        derived.args.reserve(rule.head.args.size());
+        for (const Term& t : rule.head.args) {
+          derived.args.push_back(Term::atom(t.isVar ? b.at(t.text) : t.text));
+        }
+        if (facts_.insert(derived)) changed = true;
+      }
+    }
+  }
+}
+
+void Datalog::saturate() {
+  if (saturated_) return;
+  applyRules();
+  saturated_ = true;
+}
+
+std::vector<Bindings> Datalog::query(const Atom& pattern) {
+  saturate();
+  std::vector<Bindings> out;
+  auto predIt = facts_.byPredicate.find(pattern.predicate);
+  if (predIt == facts_.byPredicate.end()) return out;
+  for (const std::string& tupleKey : predIt->second) {
+    if (auto b = match(pattern, unkey(tupleKey), Bindings{})) out.push_back(std::move(*b));
+  }
+  return out;
+}
+
+bool Datalog::holds(const Atom& pattern) { return !query(pattern).empty(); }
+
+std::size_t Datalog::factCount() {
+  saturate();
+  return facts_.size();
+}
+
+}  // namespace mw::reasoning

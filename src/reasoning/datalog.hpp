@@ -1,0 +1,102 @@
+// A small forward-chaining Datalog engine — the XSB Prolog substitute.
+//
+// §4.6.1: "The Location Service reasons further about these relations using
+// XSB Prolog." The rules MiddleWhere needs are positive Horn clauses over
+// ground spatial facts (ecfp/ecrp/rcc8 relations), for which bottom-up
+// semi-naive evaluation to a fixed point is sound and complete.
+//
+// Terms are either constants or variables; by convention a term is a
+// variable when constructed with Term::var (no uppercase heuristics).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mw::reasoning {
+
+struct Term {
+  bool isVar = false;
+  std::string text;
+
+  static Term var(std::string name) { return Term{true, std::move(name)}; }
+  static Term atom(std::string value) { return Term{false, std::move(value)}; }
+
+  friend bool operator==(const Term&, const Term&) = default;
+};
+
+/// A predicate applied to terms, e.g. ecfp(3105, corridor).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  [[nodiscard]] bool ground() const;
+  friend bool operator==(const Atom&, const Atom&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const Atom& a);
+};
+
+/// head :- body[0], body[1], ... (all positive literals).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  /// Range restriction: every variable in the head must occur in the body
+  /// (otherwise derived facts would not be ground). Checked on addRule.
+  [[nodiscard]] bool rangeRestricted() const;
+};
+
+using Bindings = std::unordered_map<std::string, std::string>;
+
+class Datalog {
+ public:
+  /// Adds a ground fact. Throws ContractError when the atom is not ground.
+  void addFact(const Atom& fact);
+  /// Convenience: predicate with constant arguments.
+  void addFact(const std::string& predicate, const std::vector<std::string>& args);
+
+  /// Adds a rule (invalidates the current fixpoint). Throws ContractError on
+  /// range-restriction violations.
+  void addRule(Rule rule);
+
+  /// Runs semi-naive evaluation to the fixed point. Called lazily by query();
+  /// exposed for benchmarks.
+  void saturate();
+
+  /// All ground facts matching the pattern (variables in the pattern bind
+  /// freely). Each result is one binding of the pattern's variables; for an
+  /// all-constant pattern, an empty Bindings signals a hit.
+  [[nodiscard]] std::vector<Bindings> query(const Atom& pattern);
+
+  /// True if at least one fact matches the (possibly non-ground) pattern.
+  [[nodiscard]] bool holds(const Atom& pattern);
+
+  [[nodiscard]] std::size_t factCount();
+
+ private:
+  struct FactStore {
+    // predicate -> set of argument tuples (joined with '\x1f').
+    std::unordered_map<std::string, std::unordered_set<std::string>> byPredicate;
+    bool insert(const Atom& fact);
+    [[nodiscard]] std::size_t size() const;
+  };
+
+  static std::string key(const std::vector<std::string>& args);
+  static std::vector<std::string> unkey(const std::string& k);
+
+  /// Tries to unify a pattern atom against a ground tuple under existing
+  /// bindings; returns the extended bindings on success.
+  static std::optional<Bindings> match(const Atom& pattern, const std::vector<std::string>& tuple,
+                                       const Bindings& bindings);
+
+  void applyRules();
+
+  FactStore facts_;
+  std::vector<Rule> rules_;
+  bool saturated_ = true;
+};
+
+}  // namespace mw::reasoning

@@ -1,0 +1,32 @@
+#include "reasoning/passages.hpp"
+
+namespace mw::reasoning {
+
+std::string_view toString(EcKind k) {
+  switch (k) {
+    case EcKind::NotEc: return "notEC";
+    case EcKind::ECFP: return "ECFP";
+    case EcKind::ECRP: return "ECRP";
+    case EcKind::ECNP: return "ECNP";
+  }
+  return "?";
+}
+
+bool passageConnects(const Passage& p, const geo::Rect& a, const geo::Rect& b, double eps) {
+  return geo::segmentOnRectBoundary(p.segment, a, eps) &&
+         geo::segmentOnRectBoundary(p.segment, b, eps);
+}
+
+EcKind classifyEc(const geo::Rect& a, const geo::Rect& b, const std::vector<Passage>& passages,
+                  double eps) {
+  if (rcc8(a, b, eps) != Rcc8::EC) return EcKind::NotEc;
+  bool restricted = false;
+  for (const Passage& p : passages) {
+    if (!passageConnects(p, a, b, eps)) continue;
+    if (p.kind == PassageKind::Free) return EcKind::ECFP;
+    restricted = true;
+  }
+  return restricted ? EcKind::ECRP : EcKind::ECNP;
+}
+
+}  // namespace mw::reasoning

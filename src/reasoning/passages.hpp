@@ -1,0 +1,52 @@
+// Passage-refined external connection (§4.6.1).
+//
+// "If two regions are externally connected, it means that it MAY be possible
+// to go from one region to another. ... To make this distinction, we define
+// three additional relations:
+//   ECFP(a,b): EC(a,b) and there is a free passage from a to b
+//   ECRP(a,b): EC(a,b) and there is a restricted passage from a to b
+//   ECNP(a,b): EC(a,b) and there is no passage from a to b"
+//
+// A passage is a door (free or restricted — "a door that is normally locked
+// and which requires either a card swipe or a key") modeled as a line
+// segment lying on the shared boundary of the two regions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/segment.hpp"
+#include "reasoning/rcc8.hpp"
+
+namespace mw::reasoning {
+
+enum class PassageKind { Free, Restricted };
+
+struct Passage {
+  std::string name;  ///< e.g. "Door2"
+  geo::Segment segment;
+  PassageKind kind = PassageKind::Free;
+};
+
+/// The EC refinement relating two externally connected regions.
+enum class EcKind {
+  NotEc,  ///< regions are not externally connected at all
+  ECFP,   ///< free passage
+  ECRP,   ///< restricted passage (no free one)
+  ECNP,   ///< no passage (a plain wall)
+};
+
+std::string_view toString(EcKind k);
+
+/// True if the passage lies on the shared boundary of a and b (i.e. on the
+/// boundary of both rectangles).
+bool passageConnects(const Passage& p, const geo::Rect& a, const geo::Rect& b,
+                     double eps = 1e-9);
+
+/// Classifies the external connection between a and b given the known
+/// passages. A free passage dominates a restricted one.
+EcKind classifyEc(const geo::Rect& a, const geo::Rect& b, const std::vector<Passage>& passages,
+                  double eps = 1e-9);
+
+}  // namespace mw::reasoning

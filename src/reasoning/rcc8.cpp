@@ -1,0 +1,286 @@
+#include "reasoning/rcc8.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "util/error.hpp"
+
+namespace mw::reasoning {
+
+std::string_view toString(Rcc8 r) {
+  switch (r) {
+    case Rcc8::DC: return "DC";
+    case Rcc8::EC: return "EC";
+    case Rcc8::PO: return "PO";
+    case Rcc8::TPP: return "TPP";
+    case Rcc8::NTPP: return "NTPP";
+    case Rcc8::TPPi: return "TPPi";
+    case Rcc8::NTPPi: return "NTPPi";
+    case Rcc8::EQ: return "EQ";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Containment with eps slack: every edge of `inner` within or on `outer`.
+bool containsEps(const geo::Rect& outer, const geo::Rect& inner, double eps) {
+  return inner.lo().x >= outer.lo().x - eps && inner.hi().x <= outer.hi().x + eps &&
+         inner.lo().y >= outer.lo().y - eps && inner.hi().y <= outer.hi().y + eps;
+}
+
+/// Strict containment with eps: inner strictly inside, no boundary contact.
+bool containsStrictEps(const geo::Rect& outer, const geo::Rect& inner, double eps) {
+  return inner.lo().x > outer.lo().x + eps && inner.hi().x < outer.hi().x - eps &&
+         inner.lo().y > outer.lo().y + eps && inner.hi().y < outer.hi().y - eps;
+}
+
+bool equalEps(const geo::Rect& a, const geo::Rect& b, double eps) {
+  return std::abs(a.lo().x - b.lo().x) <= eps && std::abs(a.lo().y - b.lo().y) <= eps &&
+         std::abs(a.hi().x - b.hi().x) <= eps && std::abs(a.hi().y - b.hi().y) <= eps;
+}
+
+/// Closed-set intersection with eps slack.
+bool intersectsEps(const geo::Rect& a, const geo::Rect& b, double eps) {
+  return a.lo().x <= b.hi().x + eps && b.lo().x <= a.hi().x + eps &&
+         a.lo().y <= b.hi().y + eps && b.lo().y <= a.hi().y + eps;
+}
+
+/// Open-set (interior) intersection with eps slack.
+bool interiorsOverlapEps(const geo::Rect& a, const geo::Rect& b, double eps) {
+  return a.lo().x < b.hi().x - eps && b.lo().x < a.hi().x - eps &&
+         a.lo().y < b.hi().y - eps && b.lo().y < a.hi().y - eps;
+}
+
+}  // namespace
+
+Rcc8 rcc8(const geo::Rect& a, const geo::Rect& b, double eps) {
+  mw::util::require(!a.empty() && !b.empty(), "rcc8: regions must be non-empty");
+  if (equalEps(a, b, eps)) return Rcc8::EQ;
+  if (!intersectsEps(a, b, eps)) return Rcc8::DC;
+  const bool interiors = interiorsOverlapEps(a, b, eps);
+  if (!interiors) return Rcc8::EC;
+  if (containsEps(b, a, eps)) {
+    return containsStrictEps(b, a, eps) ? Rcc8::NTPP : Rcc8::TPP;
+  }
+  if (containsEps(a, b, eps)) {
+    return containsStrictEps(a, b, eps) ? Rcc8::NTPPi : Rcc8::TPPi;
+  }
+  return Rcc8::PO;
+}
+
+namespace {
+
+/// Any vertex of `inner` lies (within eps) on an edge of `outer`.
+bool touchesBoundary(const geo::Polygon& inner, const geo::Polygon& outer, double eps) {
+  for (const auto& v : inner.vertices()) {
+    for (std::size_t e = 0; e < outer.size(); ++e) {
+      if (geo::distanceToSegment(v, outer.edge(e)) <= eps) return true;
+    }
+  }
+  return false;
+}
+
+/// Edges of a and b cross or touch.
+bool edgesMeet(const geo::Polygon& a, const geo::Polygon& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (geo::segmentsIntersect(a.edge(i), b.edge(j))) return true;
+    }
+  }
+  return false;
+}
+
+/// A point strictly interior to `poly` (inside, off the boundary): the
+/// centroid when it is interior, otherwise a midpoint probe near a vertex.
+std::optional<geo::Point2> interiorPoint(const geo::Polygon& poly, double eps) {
+  auto offBoundary = [&](geo::Point2 p) {
+    for (std::size_t e = 0; e < poly.size(); ++e) {
+      if (geo::distanceToSegment(p, poly.edge(e)) <= eps) return false;
+    }
+    return poly.contains(p);
+  };
+  geo::Point2 c = poly.centroid();
+  if (offBoundary(c)) return c;
+  // Probe points nudged inwards from edge midpoints.
+  for (std::size_t e = 0; e < poly.size(); ++e) {
+    geo::Point2 m = poly.edge(e).midpoint();
+    geo::Point2 towards = m + (c - m) * 0.01;
+    if (offBoundary(towards)) return towards;
+  }
+  return std::nullopt;
+}
+
+/// Interiors of two simple polygons overlap: either one holds an interior
+/// point of the other, or their edges properly cross.
+bool interiorsOverlap(const geo::Polygon& a, const geo::Polygon& b, double eps) {
+  if (auto pa = interiorPoint(a, eps); pa && b.contains(*pa)) {
+    // pa might sit exactly on b's boundary; require clear interior.
+    bool onB = false;
+    for (std::size_t e = 0; e < b.size(); ++e) {
+      if (geo::distanceToSegment(*pa, b.edge(e)) <= eps) onB = true;
+    }
+    if (!onB) return true;
+  }
+  if (auto pb = interiorPoint(b, eps); pb && a.contains(*pb)) {
+    bool onA = false;
+    for (std::size_t e = 0; e < a.size(); ++e) {
+      if (geo::distanceToSegment(*pb, a.edge(e)) <= eps) onA = true;
+    }
+    if (!onA) return true;
+  }
+  // Proper edge crossings imply interior overlap; grazing touches do not.
+  // Detect by testing midpoints of sub-segments: sample each edge of a and
+  // check for points inside b away from its boundary.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    geo::Segment s = a.edge(i);
+    for (double t : {0.25, 0.5, 0.75}) {
+      geo::Point2 p = s.a + (s.b - s.a) * t;
+      if (!b.contains(p)) continue;
+      bool onB = false;
+      for (std::size_t e = 0; e < b.size(); ++e) {
+        if (geo::distanceToSegment(p, b.edge(e)) <= eps) onB = true;
+      }
+      bool onA = geo::distanceToSegment(p, s) <= eps;  // p is ON a's edge
+      if (!onB && onA) return true;  // a's boundary runs through b's interior
+    }
+  }
+  return false;
+}
+
+bool sameOutline(const geo::Polygon& a, const geo::Polygon& b, double eps) {
+  if (std::abs(a.area() - b.area()) > eps) return false;
+  return a.contains(b) && b.contains(a);
+}
+
+}  // namespace
+
+Rcc8 rcc8(const geo::Polygon& a, const geo::Polygon& b, double eps) {
+  mw::util::require(a.valid() && b.valid(), "rcc8(polygon): regions need >= 3 vertices");
+  // MBR fast filter: disjoint boxes settle it immediately.
+  if (rcc8(a.mbr(), b.mbr(), eps) == Rcc8::DC) return Rcc8::DC;
+  if (sameOutline(a, b, eps)) return Rcc8::EQ;
+
+  const bool aInB = b.contains(a);
+  const bool bInA = a.contains(b);
+  if (aInB && !bInA) return touchesBoundary(a, b, eps) ? Rcc8::TPP : Rcc8::NTPP;
+  if (bInA && !aInB) return touchesBoundary(b, a, eps) ? Rcc8::TPPi : Rcc8::NTPPi;
+
+  const bool meet = edgesMeet(a, b);
+  if (!meet && !a.contains(b.vertices()[0]) && !b.contains(a.vertices()[0])) return Rcc8::DC;
+  return interiorsOverlap(a, b, eps) ? Rcc8::PO : Rcc8::EC;
+}
+
+Rcc8 converse(Rcc8 r) {
+  switch (r) {
+    case Rcc8::TPP: return Rcc8::TPPi;
+    case Rcc8::NTPP: return Rcc8::NTPPi;
+    case Rcc8::TPPi: return Rcc8::TPP;
+    case Rcc8::NTPPi: return Rcc8::NTPP;
+    default: return r;  // DC, EC, PO, EQ are symmetric
+  }
+}
+
+namespace {
+
+constexpr Rcc8Set set(std::initializer_list<Rcc8> relations) {
+  Rcc8Set out = 0;
+  for (Rcc8 r : relations) out |= rcc8Bit(r);
+  return out;
+}
+
+// The standard RCC-8 composition table (Cohn, Bennett, Gooday & Gotts 1997),
+// rows = R1(a,b), columns = R2(b,c) in enum order
+// DC, EC, PO, TPP, NTPP, TPPi, NTPPi, EQ.
+constexpr Rcc8 DC = Rcc8::DC, EC = Rcc8::EC, PO = Rcc8::PO, TPP = Rcc8::TPP,
+               NTPP = Rcc8::NTPP, TPPi = Rcc8::TPPi, NTPPi = Rcc8::NTPPi, EQ = Rcc8::EQ;
+
+const Rcc8Set kComposition[8][8] = {
+    // R1 = DC
+    {kRcc8All,                                  // DC ∘ DC
+     set({DC, EC, PO, TPP, NTPP}),              // DC ∘ EC
+     set({DC, EC, PO, TPP, NTPP}),              // DC ∘ PO
+     set({DC, EC, PO, TPP, NTPP}),              // DC ∘ TPP
+     set({DC, EC, PO, TPP, NTPP}),              // DC ∘ NTPP
+     set({DC}),                                 // DC ∘ TPPi
+     set({DC}),                                 // DC ∘ NTPPi
+     set({DC})},                                // DC ∘ EQ
+    // R1 = EC
+    {set({DC, EC, PO, TPPi, NTPPi}),            // EC ∘ DC
+     set({DC, EC, PO, TPP, TPPi, EQ}),          // EC ∘ EC
+     set({DC, EC, PO, TPP, NTPP}),              // EC ∘ PO
+     set({EC, PO, TPP, NTPP}),                  // EC ∘ TPP
+     set({PO, TPP, NTPP}),                      // EC ∘ NTPP
+     set({DC, EC}),                             // EC ∘ TPPi
+     set({DC}),                                 // EC ∘ NTPPi
+     set({EC})},                                // EC ∘ EQ
+    // R1 = PO
+    {set({DC, EC, PO, TPPi, NTPPi}),            // PO ∘ DC
+     set({DC, EC, PO, TPPi, NTPPi}),            // PO ∘ EC
+     kRcc8All,                                  // PO ∘ PO
+     set({PO, TPP, NTPP}),                      // PO ∘ TPP
+     set({PO, TPP, NTPP}),                      // PO ∘ NTPP
+     set({DC, EC, PO, TPPi, NTPPi}),            // PO ∘ TPPi
+     set({DC, EC, PO, TPPi, NTPPi}),            // PO ∘ NTPPi
+     set({PO})},                                // PO ∘ EQ
+    // R1 = TPP
+    {set({DC}),                                 // TPP ∘ DC
+     set({DC, EC}),                             // TPP ∘ EC
+     set({DC, EC, PO, TPP, NTPP}),              // TPP ∘ PO
+     set({TPP, NTPP}),                          // TPP ∘ TPP
+     set({NTPP}),                               // TPP ∘ NTPP
+     set({DC, EC, PO, TPP, TPPi, EQ}),          // TPP ∘ TPPi
+     set({DC, EC, PO, TPPi, NTPPi}),            // TPP ∘ NTPPi
+     set({TPP})},                               // TPP ∘ EQ
+    // R1 = NTPP
+    {set({DC}),                                 // NTPP ∘ DC
+     set({DC}),                                 // NTPP ∘ EC
+     set({DC, EC, PO, TPP, NTPP}),              // NTPP ∘ PO
+     set({NTPP}),                               // NTPP ∘ TPP
+     set({NTPP}),                               // NTPP ∘ NTPP
+     set({DC, EC, PO, TPP, NTPP}),              // NTPP ∘ TPPi
+     kRcc8All,                                  // NTPP ∘ NTPPi
+     set({NTPP})},                              // NTPP ∘ EQ
+    // R1 = TPPi
+    {set({DC, EC, PO, TPPi, NTPPi}),            // TPPi ∘ DC
+     set({EC, PO, TPPi, NTPPi}),                // TPPi ∘ EC
+     set({PO, TPPi, NTPPi}),                    // TPPi ∘ PO
+     set({PO, TPP, TPPi, EQ}),                  // TPPi ∘ TPP
+     set({PO, TPP, NTPP}),                      // TPPi ∘ NTPP
+     set({TPPi, NTPPi}),                        // TPPi ∘ TPPi
+     set({NTPPi}),                              // TPPi ∘ NTPPi
+     set({TPPi})},                              // TPPi ∘ EQ
+    // R1 = NTPPi
+    {set({DC, EC, PO, TPPi, NTPPi}),            // NTPPi ∘ DC
+     set({PO, TPPi, NTPPi}),                    // NTPPi ∘ EC
+     set({PO, TPPi, NTPPi}),                    // NTPPi ∘ PO
+     set({PO, TPPi, NTPPi}),                    // NTPPi ∘ TPP
+     set({PO, TPP, NTPP, TPPi, NTPPi, EQ}),     // NTPPi ∘ NTPP
+     set({NTPPi}),                              // NTPPi ∘ TPPi
+     set({NTPPi}),                              // NTPPi ∘ NTPPi
+     set({NTPPi})},                             // NTPPi ∘ EQ
+    // R1 = EQ: composition is R2 itself
+    {set({DC}), set({EC}), set({PO}), set({TPP}), set({NTPP}), set({TPPi}), set({NTPPi}),
+     set({EQ})},
+};
+
+}  // namespace
+
+Rcc8Set compose(Rcc8 r1, Rcc8 r2) {
+  return kComposition[static_cast<int>(r1)][static_cast<int>(r2)];
+}
+
+std::vector<Rcc8> rcc8SetElements(Rcc8Set setMask) {
+  std::vector<Rcc8> out;
+  for (int i = 0; i < 8; ++i) {
+    Rcc8 r = static_cast<Rcc8>(i);
+    if (rcc8SetContains(setMask, r)) out.push_back(r);
+  }
+  return out;
+}
+
+bool connected(Rcc8 r) { return r != Rcc8::DC; }
+
+bool partOf(Rcc8 r) { return r == Rcc8::TPP || r == Rcc8::NTPP || r == Rcc8::EQ; }
+
+}  // namespace mw::reasoning

@@ -1,0 +1,95 @@
+#include "reasoning/relations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mw::reasoning {
+
+double containmentProbability(const fusion::LocationEstimate& object, const geo::Rect& region) {
+  if (object.region.empty() || region.empty()) return 0.0;
+  double area = object.region.area();
+  if (area <= 0) {
+    // Degenerate (point) estimate: inside or not.
+    return region.contains(object.region.center()) ? object.probability : 0.0;
+  }
+  auto inter = object.region.intersection(region);
+  double frac = inter ? inter->area() / area : 0.0;
+  return object.probability * frac;
+}
+
+double usageProbability(const fusion::LocationEstimate& person, const geo::Rect& usageRegion) {
+  return containmentProbability(person, usageRegion);
+}
+
+DistanceBounds distanceToRegion(const fusion::LocationEstimate& object, const geo::Rect& region) {
+  DistanceBounds out;
+  out.expected = geo::distance(object.region.center(), region.center());
+  out.min = object.region.distanceTo(region);
+  // Farthest compatible placement: corner of the estimate farthest from the
+  // nearest point of the region — bounded by corner-to-corner distance.
+  double far = 0;
+  const geo::Rect& a = object.region;
+  geo::Point2 ca[4] = {a.lo(), {a.hi().x, a.lo().y}, a.hi(), {a.lo().x, a.hi().y}};
+  geo::Point2 cb[4] = {region.lo(), {region.hi().x, region.lo().y}, region.hi(),
+                       {region.lo().x, region.hi().y}};
+  for (const auto& pa : ca) {
+    for (const auto& pb : cb) far = std::max(far, geo::distance(pa, pb));
+  }
+  out.max = far;
+  return out;
+}
+
+double proximityProbability(const fusion::LocationEstimate& a, const fusion::LocationEstimate& b,
+                            double threshold, int gridResolution) {
+  mw::util::require(threshold >= 0, "proximityProbability: negative threshold");
+  mw::util::require(gridResolution >= 1, "proximityProbability: grid resolution must be >= 1");
+  if (a.region.empty() || b.region.empty()) return 0.0;
+
+  // Quick bounds: if even the farthest placements are within the threshold
+  // the geometric factor is 1; if the closest placements are beyond it, 0.
+  if (a.region.distanceTo(b.region) > threshold) return 0.0;
+
+  const int n = gridResolution;
+  auto sample = [&](const geo::Rect& r, int i, int j) -> geo::Point2 {
+    double fx = (i + 0.5) / n;
+    double fy = (j + 0.5) / n;
+    return {r.lo().x + fx * r.width(), r.lo().y + fy * r.height()};
+  };
+  long hits = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      geo::Point2 pa = sample(a.region, i, j);
+      for (int k = 0; k < n; ++k) {
+        for (int l = 0; l < n; ++l) {
+          if (geo::distance(pa, sample(b.region, k, l)) <= threshold) ++hits;
+        }
+      }
+    }
+  }
+  double geomFraction = static_cast<double>(hits) / (static_cast<double>(n) * n * n * n);
+  return a.probability * b.probability * geomFraction;
+}
+
+double coLocationProbability(const fusion::LocationEstimate& a,
+                             const fusion::LocationEstimate& b, const geo::Rect& region) {
+  return containmentProbability(a, region) * containmentProbability(b, region);
+}
+
+DistanceBounds objectDistance(const fusion::LocationEstimate& a,
+                              const fusion::LocationEstimate& b) {
+  return distanceToRegion(a, b.region);
+}
+
+std::optional<double> objectPathDistance(const fusion::LocationEstimate& a,
+                                         const fusion::LocationEstimate& b,
+                                         const ConnectivityGraph& graph,
+                                         bool includeRestricted) {
+  auto ra = graph.regionAt(a.region.center());
+  auto rb = graph.regionAt(b.region.center());
+  if (!ra || !rb) return std::nullopt;
+  return graph.pathDistance(*ra, *rb, includeRestricted);
+}
+
+}  // namespace mw::reasoning

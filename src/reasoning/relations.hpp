@@ -1,0 +1,67 @@
+// Probabilistic spatial relationships between objects and regions (§4.6.2,
+// §4.6.3).
+//
+// "We also associate probabilities with spatial relations, which are derived
+// from the probabilities of locations of the objects in the relation."
+//
+// Object locations arrive as fusion::LocationEstimate values (an MBR plus
+// the probability the person is inside it); within the MBR the location is
+// taken as uniformly distributed, matching the uniform-prior assumption of
+// §4.1.2.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "fusion/engine.hpp"
+#include "geometry/rect.hpp"
+#include "reasoning/connectivity.hpp"
+
+namespace mw::reasoning {
+
+// --- object ↔ region relations (§4.6.2) ---------------------------------------
+
+/// P(object inside `region`): estimate probability scaled by the fraction of
+/// the estimate's MBR that lies inside the region.
+double containmentProbability(const fusion::LocationEstimate& object, const geo::Rect& region);
+
+/// Usage regions (§4.6.2b): "if a person has to use these objects for some
+/// purpose, he has to be within the usage region of the object." Alias of
+/// containment with intent-revealing naming.
+double usageProbability(const fusion::LocationEstimate& person, const geo::Rect& usageRegion);
+
+/// Euclidean distance between the object estimate's center and the region
+/// center, with the min/max bounds induced by the MBR uncertainty.
+struct DistanceBounds {
+  double expected = 0;  ///< center-to-center
+  double min = 0;       ///< closest compatible placement
+  double max = 0;       ///< farthest compatible placement
+};
+DistanceBounds distanceToRegion(const fusion::LocationEstimate& object, const geo::Rect& region);
+
+// --- object ↔ object relations (§4.6.3) ----------------------------------------
+
+/// P(distance(a,b) <= threshold), treating each object's location as uniform
+/// over its estimate MBR. Evaluated by deterministic grid quadrature
+/// (`gridResolution` cells per axis), scaled by both estimates' confidences.
+double proximityProbability(const fusion::LocationEstimate& a, const fusion::LocationEstimate& b,
+                            double threshold, int gridResolution = 8);
+
+/// P(a and b are in the same region): product of both containment
+/// probabilities in the given symbolic region's rectangle.
+double coLocationProbability(const fusion::LocationEstimate& a,
+                             const fusion::LocationEstimate& b, const geo::Rect& region);
+
+/// Center-to-center Euclidean distance with uncertainty bounds.
+DistanceBounds objectDistance(const fusion::LocationEstimate& a,
+                              const fusion::LocationEstimate& b);
+
+/// Path-distance between the regions containing the two estimates' centers,
+/// using the connectivity graph; nullopt when either center lies in no
+/// region or no route exists.
+std::optional<double> objectPathDistance(const fusion::LocationEstimate& a,
+                                         const fusion::LocationEstimate& b,
+                                         const ConnectivityGraph& graph,
+                                         bool includeRestricted = true);
+
+}  // namespace mw::reasoning

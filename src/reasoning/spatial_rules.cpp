@@ -1,0 +1,52 @@
+#include "reasoning/spatial_rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mw::reasoning {
+
+namespace {
+std::string lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+}  // namespace
+
+void assertSpatialFacts(Datalog& db, const std::vector<NamedRegion>& regions,
+                        const std::vector<Passage>& passages) {
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = 0; j < regions.size(); ++j) {
+      if (i == j) continue;
+      Rcc8 rel = rcc8(regions[i].rect, regions[j].rect);
+      db.addFact(lower(toString(rel)), {regions[i].name, regions[j].name});
+      if (rel == Rcc8::EC) {
+        EcKind kind = classifyEc(regions[i].rect, regions[j].rect, passages);
+        db.addFact(lower(toString(kind)), {regions[i].name, regions[j].name});
+      }
+    }
+  }
+}
+
+void installReachabilityRules(Datalog& db) {
+  auto v = [](const char* name) { return Term::var(name); };
+
+  // connected(X,Y) :- ecfp(X,Y).    (ecfp is asserted symmetrically)
+  db.addRule(Rule{{"connected", {v("X"), v("Y")}}, {{"ecfp", {v("X"), v("Y")}}}});
+  // reachable(X,Y) :- connected(X,Y).
+  db.addRule(Rule{{"reachable", {v("X"), v("Y")}}, {{"connected", {v("X"), v("Y")}}}});
+  // reachable(X,Y) :- connected(X,Z), reachable(Z,Y).
+  db.addRule(Rule{{"reachable", {v("X"), v("Y")}},
+                  {{"connected", {v("X"), v("Z")}}, {"reachable", {v("Z"), v("Y")}}}});
+
+  // openable(X,Y) :- ecfp(X,Y).  openable(X,Y) :- ecrp(X,Y).
+  db.addRule(Rule{{"openable", {v("X"), v("Y")}}, {{"ecfp", {v("X"), v("Y")}}}});
+  db.addRule(Rule{{"openable", {v("X"), v("Y")}}, {{"ecrp", {v("X"), v("Y")}}}});
+  // accessible(X,Y): reachable when restricted passages may be used.
+  db.addRule(Rule{{"accessible", {v("X"), v("Y")}}, {{"openable", {v("X"), v("Y")}}}});
+  db.addRule(Rule{{"accessible", {v("X"), v("Y")}},
+                  {{"openable", {v("X"), v("Z")}}, {"accessible", {v("Z"), v("Y")}}}});
+}
+
+}  // namespace mw::reasoning

@@ -1,0 +1,34 @@
+// Bridges geometric facts into the Datalog engine and installs the standard
+// rule set for route/reachability reasoning (§4.6.1: "The various relations
+// between regions are useful for a number of applications such as
+// route-finding applications").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "reasoning/datalog.hpp"
+#include "reasoning/passages.hpp"
+
+namespace mw::reasoning {
+
+struct NamedRegion {
+  std::string name;
+  geo::Rect rect;
+};
+
+/// Asserts the pairwise RCC-8 relation of every region pair (predicate named
+/// after the relation, lower-cased: dc/ec/po/tpp/ntpp/tppi/ntppi/eq) and the
+/// EC refinements ecfp/ecrp/ecnp where applicable.
+void assertSpatialFacts(Datalog& db, const std::vector<NamedRegion>& regions,
+                        const std::vector<Passage>& passages);
+
+/// Installs the derived-relation rules:
+///   connected(X,Y)  :- ecfp(X,Y).              (symmetric closure asserted)
+///   reachable(X,Y)  :- connected(X,Y).
+///   reachable(X,Y)  :- connected(X,Z), reachable(Z,Y).
+///   accessible(X,Y) :- ecfp or ecrp edge, transitively (locked doors OK).
+void installReachabilityRules(Datalog& db);
+
+}  // namespace mw::reasoning

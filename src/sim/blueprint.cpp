@@ -1,0 +1,214 @@
+#include "sim/blueprint.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mw::sim {
+
+using mw::util::require;
+
+std::vector<const BlueprintRoom*> Blueprint::properRooms() const {
+  std::vector<const BlueprintRoom*> out;
+  for (const auto& r : rooms) {
+    if (!r.isCorridor) out.push_back(&r);
+  }
+  return out;
+}
+
+const BlueprintRoom* Blueprint::roomNamed(const std::string& name) const {
+  for (const auto& r : rooms) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+glob::FrameTree Blueprint::frames() const {
+  glob::FrameTree tree;
+  tree.addRoot(building);
+  for (std::size_t f = 0; f < floorOutlines.size(); ++f) {
+    std::string floorName = building + "/" + std::to_string(f + 1);
+    tree.addFrame(floorName, building, glob::Transform2{floorOutlines[f].lo(), 0});
+    for (const auto& room : rooms) {
+      if (room.floor != static_cast<int>(f)) continue;
+      // Room origin relative to the floor origin.
+      geo::Point2 local = room.rect.lo() - floorOutlines[f].lo();
+      tree.addFrame(floorName + "/" + room.name, floorName, glob::Transform2{local, 0});
+    }
+  }
+  return tree;
+}
+
+void Blueprint::populate(db::SpatialDatabase& database) const {
+  for (std::size_t f = 0; f < floorOutlines.size(); ++f) {
+    std::string floorName = std::to_string(f + 1);
+    std::string floorFrame = building + "/" + floorName;
+    const geo::Rect& outline = floorOutlines[f];
+    // Floor row, in building coordinates.
+    db::SpatialObjectRow floorRow;
+    floorRow.id = util::SpatialObjectId{floorName};
+    floorRow.globPrefix = building;
+    floorRow.objectType = db::ObjectType::Floor;
+    floorRow.geometryType = db::GeometryType::Polygon;
+    floorRow.points = {outline.lo(),
+                       {outline.hi().x, outline.lo().y},
+                       outline.hi(),
+                       {outline.lo().x, outline.hi().y}};
+    database.addObject(floorRow);
+
+    for (const auto& room : rooms) {
+      if (room.floor != static_cast<int>(f)) continue;
+      // Room row in the floor's local frame (§5.1: rows carry a GlobPrefix).
+      geo::Rect local = geo::Rect::fromCorners(room.rect.lo() - outline.lo(),
+                                               room.rect.hi() - outline.lo());
+      db::SpatialObjectRow row;
+      row.id = util::SpatialObjectId{room.name};
+      row.globPrefix = floorFrame;
+      row.objectType = room.isCorridor ? db::ObjectType::Corridor : db::ObjectType::Room;
+      row.geometryType = db::GeometryType::Polygon;
+      row.points = {local.lo(), {local.hi().x, local.lo().y}, local.hi(),
+                    {local.lo().x, local.hi().y}};
+      database.addObject(row);
+    }
+  }
+  // Doors as line rows in building coordinates.
+  for (std::size_t d = 0; d < doors.size(); ++d) {
+    db::SpatialObjectRow row;
+    row.id = util::SpatialObjectId{doors[d].name};
+    row.globPrefix = building;
+    row.objectType = db::ObjectType::Door;
+    row.geometryType = db::GeometryType::Line;
+    row.points = {doors[d].segment.a, doors[d].segment.b};
+    row.properties["passage"] =
+        doors[d].kind == reasoning::PassageKind::Free ? "free" : "restricted";
+    database.addObject(row);
+  }
+}
+
+reasoning::ConnectivityGraph Blueprint::connectivity() const {
+  reasoning::ConnectivityGraph graph;
+  for (const auto& room : rooms) graph.addRegion(room.name, room.rect);
+  for (const auto& door : doors) graph.addPassage(door);
+  // Stairwells: consecutive floors connect through their corridors (the 2D
+  // plane lays floors side by side, so this is an explicit edge).
+  for (std::size_t f = 1; f < floorOutlines.size(); ++f) {
+    std::string below = std::to_string(f) + "00";
+    std::string above = std::to_string(f + 1) + "00";
+    if (graph.hasRegion(below) && graph.hasRegion(above)) {
+      graph.connect(below, above, graph.regionRect(below).center());
+    }
+  }
+  return graph;
+}
+
+geo::Point2 Blueprint::centerOf(const std::string& roomName) const {
+  const BlueprintRoom* room = roomNamed(roomName);
+  require(room != nullptr, "Blueprint::centerOf: unknown room " + roomName);
+  return room->rect.center();
+}
+
+Blueprint generateBlueprint(const BlueprintConfig& config) {
+  require(config.floors >= 1, "generateBlueprint: need at least one floor");
+  require(config.roomsPerSide >= 1, "generateBlueprint: need at least one room per side");
+  require(config.doorWidth < config.roomWidth, "generateBlueprint: door wider than room");
+
+  Blueprint bp;
+  bp.building = config.building;
+
+  const double floorWidth = config.roomsPerSide * config.roomWidth;
+  const double floorHeight = 2 * config.roomDepth + config.corridorWidth;
+
+  for (int f = 0; f < config.floors; ++f) {
+    const double x0 = f * (floorWidth + config.floorGap);
+    geo::Rect outline = geo::Rect::fromOrigin({x0, 0}, floorWidth, floorHeight);
+    bp.floorOutlines.push_back(outline);
+
+    const double corridorY = config.roomDepth;
+    std::string floorNo = std::to_string(f + 1);
+
+    // Central corridor.
+    BlueprintRoom corridor;
+    corridor.name = floorNo + "00";
+    corridor.rect = geo::Rect::fromOrigin({x0, corridorY}, floorWidth, config.corridorWidth);
+    corridor.floor = f;
+    corridor.isCorridor = true;
+    bp.rooms.push_back(corridor);
+
+    for (int i = 0; i < config.roomsPerSide; ++i) {
+      const double rx = x0 + i * config.roomWidth;
+      // South room (below corridor), door on its north wall.
+      BlueprintRoom south;
+      south.name = floorNo + "0" + std::to_string(i + 1);
+      south.rect = geo::Rect::fromOrigin({rx, 0}, config.roomWidth, config.roomDepth);
+      south.floor = f;
+      bp.rooms.push_back(south);
+      double doorX = rx + (config.roomWidth - config.doorWidth) / 2;
+      bp.doors.push_back(reasoning::Passage{
+          "door-" + south.name,
+          {{doorX, corridorY}, {doorX + config.doorWidth, corridorY}},
+          reasoning::PassageKind::Free});
+
+      // North room (above corridor), door on its south wall.
+      BlueprintRoom north;
+      north.name = floorNo + "5" + std::to_string(i + 1);
+      north.rect = geo::Rect::fromOrigin({rx, corridorY + config.corridorWidth},
+                                         config.roomWidth, config.roomDepth);
+      north.floor = f;
+      bp.rooms.push_back(north);
+      const double northDoorY = corridorY + config.corridorWidth;
+      bp.doors.push_back(reasoning::Passage{
+          "door-" + north.name,
+          {{doorX, northDoorY}, {doorX + config.doorWidth, northDoorY}},
+          reasoning::PassageKind::Free});
+    }
+  }
+
+  geo::Rect universe;
+  for (const auto& outline : bp.floorOutlines) universe = universe.unionWith(outline);
+  bp.universe = universe;
+  return bp;
+}
+
+Blueprint paperFloor() {
+  // Table 1: Floor3 (0,0)-(500,100); 3105 (330,0)-(350,30); NetLab
+  // (360,0)-(380,30); LabCorridor (310,0)-(330,30). HCILab placed at
+  // (380,0)-(400,30). The corridor column connects to the rooms; doors
+  // inferred on shared walls where rooms touch the corridor (3105 touches
+  // the corridor at x=330).
+  Blueprint bp;
+  bp.building = "CS";
+  geo::Rect outline = geo::Rect::fromOrigin({0, 0}, 500, 100);
+  bp.floorOutlines.push_back(outline);
+  bp.universe = outline;
+
+  auto addRoom = [&](const char* name, geo::Rect rect, bool corridor) {
+    BlueprintRoom r;
+    r.name = name;
+    r.rect = rect;
+    r.floor = 0;
+    r.isCorridor = corridor;
+    bp.rooms.push_back(r);
+  };
+  addRoom("LabCorridor", geo::Rect::fromOrigin({310, 0}, 20, 30), true);
+  addRoom("3105", geo::Rect::fromOrigin({330, 0}, 20, 30), false);
+  addRoom("NetLab", geo::Rect::fromOrigin({360, 0}, 20, 30), false);
+  addRoom("HCILab", geo::Rect::fromOrigin({380, 0}, 20, 30), false);
+  // A hallway strip above the rooms ties the floor together (Fig 8 shows the
+  // rooms opening onto the floor's circulation space).
+  addRoom("Hallway", geo::Rect::fromOrigin({0, 30}, 500, 20), true);
+
+  bp.doors.push_back(reasoning::Passage{
+      "door-3105", {{330, 10}, {330, 13}}, reasoning::PassageKind::Free});  // to LabCorridor
+  bp.doors.push_back(reasoning::Passage{
+      "door-NetLab-HCILab", {{380, 10}, {380, 13}}, reasoning::PassageKind::Restricted});
+  for (const char* room : {"LabCorridor", "3105", "NetLab", "HCILab"}) {
+    const BlueprintRoom* r = bp.roomNamed(room);
+    double doorX = r->rect.center().x;
+    bp.doors.push_back(reasoning::Passage{std::string("door-hall-") + room,
+                                          {{doorX - 1.5, 30}, {doorX + 1.5, 30}},
+                                          reasoning::PassageKind::Free});
+  }
+  return bp;
+}
+
+}  // namespace mw::sim

@@ -1,0 +1,77 @@
+// Building blueprint generation (§5.1, Fig 8).
+//
+// "The vertices of all the rooms and corridors in the building are obtained
+// from the blueprints of the building." With no real blueprints available,
+// this module generates synthetic ones — floors of rooms flanking a central
+// corridor, with doors on the shared walls — and also reproduces the
+// paper's own Table-1 floor verbatim. A blueprint knows how to populate the
+// spatial database (Table-1 rows), build the coordinate-frame tree (§3) and
+// derive the connectivity graph (§4.6.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "glob/frame.hpp"
+#include "reasoning/connectivity.hpp"
+#include "reasoning/passages.hpp"
+#include "spatialdb/database.hpp"
+
+namespace mw::sim {
+
+struct BlueprintConfig {
+  std::string building = "SC";
+  int floors = 1;
+  int roomsPerSide = 4;       ///< rooms on each side of the corridor
+  double roomWidth = 20;      ///< feet, along the corridor
+  double roomDepth = 28;      ///< feet, away from the corridor
+  double corridorWidth = 10;  ///< feet
+  double doorWidth = 3;       ///< feet
+  double floorGap = 50;       ///< feet between floor outlines in the 2D plane
+};
+
+struct BlueprintRoom {
+  std::string name;       ///< e.g. "3101" (floor 3, room 101)
+  geo::Rect rect;         ///< universe frame
+  int floor = 0;
+  bool isCorridor = false;
+};
+
+/// A generated building. All rects are in the universe (building) frame; the
+/// frame tree and database rows express per-floor/per-room local frames.
+struct Blueprint {
+  std::string building;
+  geo::Rect universe;
+  std::vector<BlueprintRoom> rooms;          ///< rooms and corridors
+  std::vector<reasoning::Passage> doors;     ///< universe frame
+  std::vector<geo::Rect> floorOutlines;      ///< one per floor
+
+  /// Rooms only (no corridors).
+  [[nodiscard]] std::vector<const BlueprintRoom*> properRooms() const;
+  [[nodiscard]] const BlueprintRoom* roomNamed(const std::string& name) const;
+
+  /// Frame tree: building -> floor -> room, translations only.
+  [[nodiscard]] glob::FrameTree frames() const;
+
+  /// Inserts Table-1 rows for floors, rooms, corridors and doors. Rows are
+  /// expressed in their floor's local frame, exercising frame conversion.
+  void populate(db::SpatialDatabase& database) const;
+
+  /// Region connectivity graph with one node per room/corridor and one edge
+  /// per door.
+  [[nodiscard]] reasoning::ConnectivityGraph connectivity() const;
+
+  /// A random point inside a named room (for placing people/devices).
+  [[nodiscard]] geo::Point2 centerOf(const std::string& roomName) const;
+};
+
+/// Generates a synthetic building per the config.
+Blueprint generateBlueprint(const BlueprintConfig& config);
+
+/// The paper's own floor: Table 1 / Fig 8 — rooms 3105, NetLab, HCILab and
+/// the LabCorridor on floor CS/Floor3 (HCILab's vertices are not given in
+/// the paper; we place it adjacent to NetLab).
+Blueprint paperFloor();
+
+}  // namespace mw::sim

@@ -1,0 +1,37 @@
+#include "sim/scenario.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::sim {
+
+Scenario::Scenario(util::VirtualClock& clock, World& world,
+                   adapters::LocationAdapter::Sink sink)
+    : clock_(clock), world_(world), sink_(std::move(sink)) {
+  mw::util::require(static_cast<bool>(sink_), "Scenario: null sink");
+}
+
+void Scenario::addAdapter(std::shared_ptr<adapters::SamplingAdapter> adapter,
+                          util::Duration period) {
+  mw::util::require(static_cast<bool>(adapter), "Scenario::addAdapter: null adapter");
+  mw::util::require(period > util::Duration::zero(), "Scenario::addAdapter: period must be > 0");
+  adapter->connect(sink_);
+  adapters_.push_back(Timed{std::move(adapter), period, clock_.now()});
+}
+
+std::size_t Scenario::run(util::Duration duration, util::Duration tick) {
+  mw::util::require(tick > util::Duration::zero(), "Scenario::run: tick must be > 0");
+  std::size_t emitted = 0;
+  const util::TimePoint end = clock_.now() + duration;
+  while (clock_.now() < end) {
+    clock_.advance(tick);
+    world_.step(tick);
+    for (auto& timed : adapters_) {
+      if (clock_.now() < timed.nextDue) continue;
+      emitted += timed.adapter->sample(world_, clock_, world_.rng());
+      timed.nextDue = clock_.now() + timed.period;
+    }
+  }
+  return emitted;
+}
+
+}  // namespace mw::sim

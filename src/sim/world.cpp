@@ -1,0 +1,148 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mw::sim {
+
+using mw::util::NotFoundError;
+using mw::util::require;
+
+World::World(const Blueprint& blueprint, std::uint64_t seed)
+    : blueprint_(blueprint), graph_(blueprint.connectivity()), rng_(seed) {}
+
+void World::addPerson(const PersonConfig& config) {
+  require(!config.id.empty(), "World::addPerson: empty id");
+  require(!people_.contains(config.id), "World::addPerson: duplicate person");
+  const BlueprintRoom* start = blueprint_.roomNamed(config.startRoom);
+  require(start != nullptr, "World::addPerson: unknown start room " + config.startRoom);
+
+  Person p;
+  p.config = config;
+  p.position = start->rect.center();
+  p.carrying["tag"] = rng_.chance(config.carryTag);
+  p.carrying["badge"] = rng_.chance(config.carryBadge);
+  p.carrying["gps"] = rng_.chance(config.carryGps);
+  p.carrying["phone"] = rng_.chance(config.carryPhone);
+  people_.emplace(config.id, std::move(p));
+  order_.push_back(config.id);
+}
+
+World::Person& World::personRef(const util::MobileObjectId& id) {
+  auto it = people_.find(id);
+  if (it == people_.end()) throw NotFoundError("World: unknown person " + id.str());
+  return it->second;
+}
+
+const World::Person& World::personRef(const util::MobileObjectId& id) const {
+  auto it = people_.find(id);
+  if (it == people_.end()) throw NotFoundError("World: unknown person " + id.str());
+  return it->second;
+}
+
+void World::planRouteTo(Person& person, const std::string& roomName) {
+  person.waypoints.clear();
+  auto from = graph_.regionAt(person.position);
+  if (!from) {
+    // Outside every region (teleported outdoors): walk straight there.
+    person.waypoints.push_back(blueprint_.centerOf(roomName));
+    return;
+  }
+  auto route = graph_.route(*from, roomName);
+  if (!route) return;  // unreachable: stay put
+  // Waypoints: the door midpoints crossed along the route, then the goal
+  // room's center — so people walk through doors, not through walls.
+  for (const auto& via : route->vias) person.waypoints.push_back(via);
+  person.waypoints.push_back(graph_.regionRect(roomName).center());
+}
+
+void World::pickRandomGoal(Person& person) {
+  auto rooms = blueprint_.properRooms();
+  if (rooms.empty()) return;
+  const auto* goal = rooms[static_cast<std::size_t>(
+      rng_.uniformInt(0, static_cast<std::int64_t>(rooms.size()) - 1))];
+  planRouteTo(person, goal->name);
+}
+
+void World::step(util::Duration dt) {
+  double seconds = static_cast<double>(dt.count()) / 1000.0;
+  for (const auto& id : order_) {
+    Person& p = people_.at(id);
+    if (p.outdoors) continue;  // outdoor people idle (GPS scenarios move them manually)
+    // People dwell at their goal before wandering on.
+    if (p.waypoints.empty() && p.dwell > util::Duration::zero()) {
+      p.dwell -= std::min(p.dwell, dt);
+      continue;
+    }
+    double budget = p.config.walkingSpeed * seconds;
+    while (budget > 0) {
+      if (p.waypoints.empty()) {
+        pickRandomGoal(p);
+        if (p.waypoints.empty()) break;
+      }
+      geo::Point2 target = p.waypoints.front();
+      double d = geo::distance(p.position, target);
+      if (d <= budget) {
+        p.position = target;
+        p.waypoints.erase(p.waypoints.begin());
+        budget -= d;
+        if (p.waypoints.empty()) {
+          // Arrived: linger 30-120 s before the next trip.
+          p.dwell = util::sec(rng_.uniformInt(30, 120));
+          break;
+        }
+      } else {
+        geo::Point2 dir = (target - p.position) * (1.0 / d);
+        p.position = p.position + dir * budget;
+        budget = 0;
+      }
+    }
+  }
+}
+
+void World::sendTo(const util::MobileObjectId& person, const std::string& roomName) {
+  require(blueprint_.roomNamed(roomName) != nullptr, "World::sendTo: unknown room " + roomName);
+  planRouteTo(personRef(person), roomName);
+}
+
+void World::teleport(const util::MobileObjectId& person, geo::Point2 where) {
+  Person& p = personRef(person);
+  p.position = where;
+  p.waypoints.clear();
+}
+
+void World::setOutdoors(const util::MobileObjectId& person, bool outdoors) {
+  personRef(person).outdoors = outdoors;
+}
+
+void World::setCarrying(const util::MobileObjectId& person, const std::string& deviceKind,
+                        bool carrying) {
+  personRef(person).carrying[deviceKind] = carrying;
+}
+
+std::optional<std::string> World::currentRoom(const util::MobileObjectId& person) const {
+  return graph_.regionAt(personRef(person).position);
+}
+
+std::vector<util::MobileObjectId> World::people() const { return order_; }
+
+std::optional<geo::Point2> World::position(const util::MobileObjectId& person) const {
+  auto it = people_.find(person);
+  if (it == people_.end()) return std::nullopt;
+  return it->second.position;
+}
+
+bool World::carrying(const util::MobileObjectId& person, const std::string& deviceKind) const {
+  auto it = people_.find(person);
+  if (it == people_.end()) return false;
+  auto kindIt = it->second.carrying.find(deviceKind);
+  return kindIt != it->second.carrying.end() && kindIt->second;
+}
+
+bool World::outdoors(const util::MobileObjectId& person) const {
+  auto it = people_.find(person);
+  return it != people_.end() && it->second.outdoors;
+}
+
+}  // namespace mw::sim

@@ -1,0 +1,88 @@
+// The simulated world: ground truth for people, their devices and movement.
+//
+// Implements adapters::GroundTruth. People move between rooms along routes
+// from the blueprint's connectivity graph at walking speed; whether a person
+// carries each device kind is sampled from the paper's carry probability x
+// ("the value of x can be determined by observing user behavior", §4.1.1)
+// and can be overridden for failure-injection tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adapters/adapter.hpp"
+#include "sim/blueprint.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace mw::sim {
+
+struct PersonConfig {
+  util::MobileObjectId id;
+  std::string startRoom;          ///< name of the starting room
+  double walkingSpeed = 4.0;      ///< feet per second
+  /// Carry probability per device kind; sampled once at spawn.
+  double carryTag = 0.9;          ///< Ubisense tag
+  double carryBadge = 0.8;        ///< RFID badge
+  double carryGps = 0.5;          ///< GPS receiver
+  double carryPhone = 0.9;        ///< Bluetooth-discoverable phone
+};
+
+class World final : public adapters::GroundTruth {
+ public:
+  World(const Blueprint& blueprint, std::uint64_t seed = 42);
+
+  void addPerson(const PersonConfig& config);
+  [[nodiscard]] std::size_t personCount() const noexcept { return people_.size(); }
+
+  /// Advances the world: every person walks toward their current goal and
+  /// picks a new random room when they arrive.
+  void step(util::Duration dt);
+
+  /// Sends a person walking to a specific room (overrides the random goal).
+  void sendTo(const util::MobileObjectId& person, const std::string& roomName);
+  /// Instantly relocates a person (scenario setup).
+  void teleport(const util::MobileObjectId& person, geo::Point2 where);
+  void setOutdoors(const util::MobileObjectId& person, bool outdoors);
+  void setCarrying(const util::MobileObjectId& person, const std::string& deviceKind,
+                   bool carrying);
+  /// The room the person is actually in right now (ground truth).
+  [[nodiscard]] std::optional<std::string> currentRoom(
+      const util::MobileObjectId& person) const;
+
+  // --- adapters::GroundTruth --------------------------------------------------
+  [[nodiscard]] std::vector<util::MobileObjectId> people() const override;
+  [[nodiscard]] std::optional<geo::Point2> position(
+      const util::MobileObjectId& person) const override;
+  [[nodiscard]] bool carrying(const util::MobileObjectId& person,
+                              const std::string& deviceKind) const override;
+  [[nodiscard]] bool outdoors(const util::MobileObjectId& person) const override;
+
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] const Blueprint& blueprint() const noexcept { return blueprint_; }
+
+ private:
+  struct Person {
+    PersonConfig config;
+    geo::Point2 position;
+    bool outdoors = false;
+    std::unordered_map<std::string, bool> carrying;
+    std::vector<geo::Point2> waypoints;  ///< remaining route, front = next
+    util::Duration dwell{0};             ///< time left lingering at the goal
+  };
+
+  Person& personRef(const util::MobileObjectId& id);
+  const Person& personRef(const util::MobileObjectId& id) const;
+  void planRouteTo(Person& person, const std::string& roomName);
+  void pickRandomGoal(Person& person);
+
+  Blueprint blueprint_;
+  reasoning::ConnectivityGraph graph_;
+  util::Rng rng_;
+  std::unordered_map<util::MobileObjectId, Person> people_;
+  std::vector<util::MobileObjectId> order_;  ///< insertion order for determinism
+};
+
+}  // namespace mw::sim

@@ -1,0 +1,362 @@
+#include "spatialdb/database.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "geometry/segment.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mw::db {
+
+using mw::util::ContractError;
+using mw::util::NotFoundError;
+using mw::util::require;
+
+namespace {
+glob::FrameTree singleFrameTree(const std::string& rootFrame) {
+  glob::FrameTree tree;
+  tree.addRoot(rootFrame);
+  return tree;
+}
+}  // namespace
+
+SpatialDatabase::SpatialDatabase(const util::Clock& clock, geo::Rect universe,
+                                 glob::FrameTree frames)
+    : clock_(clock), universe_(universe), frames_(std::move(frames)) {
+  require(!universe_.empty() && universe_.area() > 0,
+          "SpatialDatabase: universe must have positive area");
+  (void)frames_.rootName();  // throws if no root was registered
+}
+
+SpatialDatabase::SpatialDatabase(const util::Clock& clock, geo::Rect universe,
+                                 const std::string& rootFrame)
+    : SpatialDatabase(clock, universe, singleFrameTree(rootFrame)) {}
+
+// --- spatial-object table -----------------------------------------------------
+
+std::string SpatialDatabase::objectKey(const std::string& prefix,
+                                       const util::SpatialObjectId& id) {
+  return prefix + "/" + id.str();
+}
+
+std::string SpatialDatabase::frameFor(const std::string& globPrefix) const {
+  std::string candidate = globPrefix;
+  while (!candidate.empty()) {
+    if (frames_.has(candidate)) return candidate;
+    auto slash = candidate.rfind('/');
+    if (slash == std::string::npos) break;
+    candidate.resize(slash);
+  }
+  return frames_.rootName();
+}
+
+void SpatialDatabase::addObject(SpatialObjectRow row) {
+  row.validate();
+  const std::string frameName = frameFor(row.globPrefix);
+  std::string key = objectKey(row.globPrefix, row.id);
+  require(!objectIndex_.contains(key), "SpatialDatabase::addObject: duplicate key " + key);
+
+  geo::Rect box = frames_.convertRect(frameName, frames_.rootName(), row.mbr());
+  // Degenerate geometries (points, axis-aligned lines) still need a non-empty
+  // box for the index.
+  if (box.area() == 0) box = box.inflated(1e-6);
+
+  std::size_t slot = objects_.size();
+  objects_.push_back(std::move(row));
+  objectIndex_.emplace(std::move(key), slot);
+  objectTree_.insert(box, static_cast<std::uint64_t>(slot));
+  ++liveObjects_;
+}
+
+bool SpatialDatabase::removeObject(const std::string& globPrefix,
+                                   const util::SpatialObjectId& id) {
+  auto it = objectIndex_.find(objectKey(globPrefix, id));
+  if (it == objectIndex_.end()) return false;
+  std::size_t slot = it->second;
+  const SpatialObjectRow& row = *objects_[slot];
+  geo::Rect box = frames_.convertRect(frameFor(row.globPrefix), frames_.rootName(), row.mbr());
+  if (box.area() == 0) box = box.inflated(1e-6);
+  objectTree_.remove(box, static_cast<std::uint64_t>(slot));
+  objects_[slot].reset();
+  objectIndex_.erase(it);
+  --liveObjects_;
+  return true;
+}
+
+std::optional<SpatialObjectRow> SpatialDatabase::object(const std::string& globPrefix,
+                                                        const util::SpatialObjectId& id) const {
+  auto it = objectIndex_.find(objectKey(globPrefix, id));
+  if (it == objectIndex_.end()) return std::nullopt;
+  return objects_[it->second];
+}
+
+std::optional<SpatialObjectRow> SpatialDatabase::objectByGlob(const std::string& fullGlob) const {
+  auto slash = fullGlob.rfind('/');
+  if (slash == std::string::npos) {
+    return object("", util::SpatialObjectId{fullGlob});
+  }
+  return object(fullGlob.substr(0, slash), util::SpatialObjectId{fullGlob.substr(slash + 1)});
+}
+
+std::vector<SpatialObjectRow> SpatialDatabase::objectsOfType(ObjectType type) const {
+  std::vector<SpatialObjectRow> out;
+  for (const auto& row : objects_) {
+    if (row && row->objectType == type) out.push_back(*row);
+  }
+  return out;
+}
+
+std::vector<SpatialObjectRow> SpatialDatabase::objectsIntersecting(
+    const geo::Rect& universeRect) const {
+  std::vector<SpatialObjectRow> out;
+  for (std::uint64_t slot : objectTree_.search(universeRect)) {
+    const auto& row = objects_[static_cast<std::size_t>(slot)];
+    if (row) out.push_back(*row);
+  }
+  return out;
+}
+
+bool SpatialDatabase::rowContains(const SpatialObjectRow& row, geo::Point2 universePoint) const {
+  geo::Point2 local = frames_.convert(frames_.rootName(), frameFor(row.globPrefix), universePoint);
+  switch (row.geometryType) {
+    case GeometryType::Polygon:
+      return row.polygon().contains(local);
+    case GeometryType::Line:
+      return geo::distanceToSegment(local, row.segment()) < 1e-6;
+    case GeometryType::Point:
+      return geo::distance(local, row.point()) < 1e-6;
+  }
+  return false;
+}
+
+std::vector<SpatialObjectRow> SpatialDatabase::objectsContaining(geo::Point2 universePoint) const {
+  std::vector<SpatialObjectRow> out;
+  for (std::uint64_t slot : objectTree_.containing(universePoint)) {
+    const auto& row = objects_[static_cast<std::size_t>(slot)];
+    if (row && rowContains(*row, universePoint)) out.push_back(*row);
+  }
+  return out;
+}
+
+std::vector<SpatialObjectRow> SpatialDatabase::query(
+    const std::function<bool(const SpatialObjectRow&)>& predicate) const {
+  std::vector<SpatialObjectRow> out;
+  for (const auto& row : objects_) {
+    if (row && predicate(*row)) out.push_back(*row);
+  }
+  return out;
+}
+
+std::optional<SpatialObjectRow> SpatialDatabase::nearest(
+    geo::Point2 universePoint,
+    const std::function<bool(const SpatialObjectRow&)>& predicate) const {
+  std::optional<SpatialObjectRow> best;
+  double bestDist = std::numeric_limits<double>::infinity();
+  for (const auto& row : objects_) {
+    if (!row || !predicate(*row)) continue;
+    double d = universeMbr(*row).distanceTo(universePoint);
+    if (d < bestDist) {
+      bestDist = d;
+      best = *row;
+    }
+  }
+  return best;
+}
+
+geo::Rect SpatialDatabase::universeMbr(const SpatialObjectRow& row) const {
+  return frames_.convertRect(frameFor(row.globPrefix), frames_.rootName(), row.mbr());
+}
+
+geo::Polygon SpatialDatabase::universePolygon(const SpatialObjectRow& row) const {
+  return frames_.convertPolygon(frameFor(row.globPrefix), frames_.rootName(), row.polygon());
+}
+
+// --- sensor tables --------------------------------------------------------------
+
+void SpatialDatabase::registerSensor(SensorMeta meta) {
+  require(!meta.sensorId.empty(), "SpatialDatabase::registerSensor: empty sensor id");
+  meta.errorSpec.validate();
+  sensors_[meta.sensorId] = std::move(meta);
+}
+
+std::vector<util::SensorId> SpatialDatabase::sensorIds() const {
+  std::vector<util::SensorId> out;
+  out.reserve(sensors_.size());
+  for (const auto& [id, _] : sensors_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<SensorMeta> SpatialDatabase::sensorMeta(const util::SensorId& id) const {
+  auto it = sensors_.find(id);
+  if (it == sensors_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<SpatialDatabase::SensorHealth> SpatialDatabase::sensorHealth(
+    double silenceFactor) const {
+  require(silenceFactor > 0, "SpatialDatabase::sensorHealth: factor must be positive");
+  const util::TimePoint now = clock_.now();
+  std::vector<SensorHealth> out;
+  for (const auto& id : sensorIds()) {
+    const SensorMeta& meta = sensors_.at(id);
+    SensorHealth h;
+    h.sensorId = id;
+    h.sensorType = meta.sensorType;
+    auto actIt = activity_.find(id);
+    if (actIt != activity_.end() && actIt->second.lastReading) {
+      h.readingCount = actIt->second.readingCount;
+      h.lastReadingAge = now - *actIt->second.lastReading;
+      auto threshold = util::Duration{static_cast<std::int64_t>(
+          static_cast<double>(meta.quality.ttl.count()) * silenceFactor)};
+      h.silent = *h.lastReadingAge > threshold;
+    } else {
+      h.readingCount = 0;
+      h.silent = true;
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+void SpatialDatabase::insertReading(SensorReading reading) {
+  auto metaIt = sensors_.find(reading.sensorId);
+  if (metaIt == sensors_.end()) {
+    throw NotFoundError("SpatialDatabase::insertReading: unregistered sensor '" +
+                        reading.sensorId.str() + "'");
+  }
+  require(!reading.mobileObjectId.empty(), "SpatialDatabase::insertReading: empty mobile object");
+
+  // Convert into the universe frame (§4.1.2 step 1: common format).
+  const std::string frameName = frameFor(reading.globPrefix);
+  const std::string& root = frames_.rootName();
+  if (frameName != root) {
+    reading.location = frames_.convert(frameName, root, reading.location);
+    if (reading.symbolicRegion) {
+      reading.symbolicRegion = frames_.convertRect(frameName, root, *reading.symbolicRegion);
+    }
+    reading.globPrefix = root;
+  }
+
+  auto& perSensor = readings_[reading.mobileObjectId];
+  bool moving = false;
+  if (auto prev = perSensor.find(reading.sensorId); prev != perSensor.end()) {
+    // Rule-1 input (§4.1.2 case 3): "a moving rectangle implies that the
+    // person is carrying a location device". The region moved if its center
+    // shifted by more than a hair since the sensor's previous report.
+    moving = geo::distance(prev->second.reading.rect().center(), reading.rect().center()) > 1e-6;
+  }
+  ReadingSlot slot{reading, moving};
+  perSensor[reading.sensorId] = std::move(slot);
+
+  auto& ring = history_[reading.mobileObjectId];
+  ring.push_back(reading);
+  while (ring.size() > historyCapacity_) ring.pop_front();
+
+  auto& act = activity_[reading.sensorId];
+  ++act.readingCount;
+  act.lastReading = reading.detectionTime;
+
+  fireTriggers(reading);
+}
+
+std::vector<SpatialDatabase::StoredReading> SpatialDatabase::readingsFor(
+    const util::MobileObjectId& id) const {
+  std::vector<StoredReading> out;
+  auto it = readings_.find(id);
+  if (it == readings_.end()) return out;
+  const util::TimePoint now = clock_.now();
+  for (const auto& [sensorId, slot] : it->second) {
+    auto metaIt = sensors_.find(sensorId);
+    if (metaIt == sensors_.end()) continue;
+    util::Duration age = now - slot.reading.detectionTime;
+    if (metaIt->second.quality.expiredAt(age)) continue;
+    out.push_back(StoredReading{slot.reading, slot.moving});
+  }
+  return out;
+}
+
+std::vector<util::MobileObjectId> SpatialDatabase::knownMobileObjects() const {
+  std::vector<util::MobileObjectId> out;
+  out.reserve(readings_.size());
+  for (const auto& [id, _] : readings_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SensorReading> SpatialDatabase::history(const util::MobileObjectId& id,
+                                                    util::Duration window) const {
+  std::vector<SensorReading> out;
+  auto it = history_.find(id);
+  if (it == history_.end()) return out;
+  const util::TimePoint cutoff = clock_.now() - window;
+  for (const auto& reading : it->second) {
+    if (reading.detectionTime >= cutoff) out.push_back(reading);
+  }
+  std::sort(out.begin(), out.end(), [](const SensorReading& a, const SensorReading& b) {
+    return a.detectionTime < b.detectionTime;
+  });
+  return out;
+}
+
+void SpatialDatabase::setHistoryCapacity(std::size_t perObject) {
+  require(perObject >= 1, "SpatialDatabase::setHistoryCapacity: capacity must be >= 1");
+  historyCapacity_ = perObject;
+  for (auto& [_, ring] : history_) {
+    while (ring.size() > historyCapacity_) ring.pop_front();
+  }
+}
+
+void SpatialDatabase::purgeExpired() {
+  const util::TimePoint now = clock_.now();
+  for (auto& [objectId, perSensor] : readings_) {
+    std::erase_if(perSensor, [&](const auto& entry) {
+      auto metaIt = sensors_.find(entry.first);
+      if (metaIt == sensors_.end()) return true;
+      return metaIt->second.quality.expiredAt(now - entry.second.reading.detectionTime);
+    });
+  }
+  std::erase_if(readings_, [](const auto& entry) { return entry.second.empty(); });
+}
+
+void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
+                                     const util::SensorId& sensor) {
+  auto it = readings_.find(object);
+  if (it == readings_.end()) return;
+  it->second.erase(sensor);
+  if (it->second.empty()) readings_.erase(it);
+}
+
+// --- triggers --------------------------------------------------------------------
+
+util::TriggerId SpatialDatabase::createTrigger(TriggerSpec spec) {
+  require(!spec.region.empty(), "SpatialDatabase::createTrigger: empty region");
+  require(static_cast<bool>(spec.callback), "SpatialDatabase::createTrigger: null callback");
+  util::TriggerId id = triggerIds_.next();
+  triggerTree_.insert(spec.region, id.value());
+  triggers_.emplace(id, std::move(spec));
+  return id;
+}
+
+bool SpatialDatabase::dropTrigger(util::TriggerId id) {
+  auto it = triggers_.find(id);
+  if (it == triggers_.end()) return false;
+  triggerTree_.remove(it->second.region, id.value());
+  triggers_.erase(it);
+  return true;
+}
+
+void SpatialDatabase::fireTriggers(const SensorReading& universeReading) {
+  geo::Rect box = universeReading.rect();
+  for (std::uint64_t raw : triggerTree_.search(box)) {
+    util::TriggerId id{raw};
+    auto it = triggers_.find(id);
+    if (it == triggers_.end()) continue;
+    const TriggerSpec& spec = it->second;
+    if (spec.subject && *spec.subject != universeReading.mobileObjectId) continue;
+    spec.callback(TriggerEvent{id, universeReading, spec.region});
+  }
+}
+
+}  // namespace mw::db

@@ -1,0 +1,207 @@
+// The spatial database (§5) — MiddleWhere's PostGIS/PostgreSQL substitute.
+//
+// Stores (a) the model of the physical space as Table-1 rows indexed by an
+// R-tree, (b) sensor readings (Table 2) with per-sensor calibration
+// metadata, and (c) location triggers: "Location triggers are events that
+// are generated when a certain spatial condition is satisfied. ...
+// MiddleWhere interprets these conditions into appropriate database triggers
+// and creates these triggers in the database" (§5.3).
+//
+// All cross-space reasoning happens in the universe frame (the root of the
+// FrameTree); rows and readings are stored in their local frames and
+// converted on ingest/query.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/rtree.hpp"
+#include "glob/frame.hpp"
+#include "spatialdb/sensor.hpp"
+#include "spatialdb/types.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+
+namespace mw::db {
+
+/// Event delivered when a database trigger fires.
+struct TriggerEvent {
+  util::TriggerId id;
+  SensorReading reading;  ///< the reading that satisfied the condition (universe frame)
+  geo::Rect region;       ///< the trigger's region (universe frame)
+};
+
+/// Condition + callback for a database trigger. The DB-level condition is
+/// purely geometric (reading MBR intersects region); probabilistic
+/// thresholding is layered on top by the Location Service (§4.3).
+struct TriggerSpec {
+  geo::Rect region;  ///< universe frame
+  std::optional<util::MobileObjectId> subject;  ///< nullopt = any mobile object
+  std::function<void(const TriggerEvent&)> callback;
+};
+
+class SpatialDatabase {
+ public:
+  /// `universe` is the MBR of the whole modeled world in root-frame
+  /// coordinates — the paper's area(U), "the floor-area of the entire
+  /// building". The FrameTree must already have its root registered.
+  SpatialDatabase(const util::Clock& clock, geo::Rect universe, glob::FrameTree frames);
+
+  /// Convenience: single-frame database whose root frame is `rootFrame`.
+  SpatialDatabase(const util::Clock& clock, geo::Rect universe, const std::string& rootFrame);
+
+  [[nodiscard]] const geo::Rect& universe() const noexcept { return universe_; }
+  [[nodiscard]] glob::FrameTree& frames() noexcept { return frames_; }
+  [[nodiscard]] const glob::FrameTree& frames() const noexcept { return frames_; }
+
+  /// Resolves the coordinate frame for a GLOB prefix: the prefix itself when
+  /// registered, otherwise its nearest registered ancestor ("SC/roomA"
+  /// coordinates are expressed in "SC" when roomA has no frame of its own).
+  /// Falls back to the root frame.
+  [[nodiscard]] std::string frameFor(const std::string& globPrefix) const;
+
+  // --- spatial-object table (Table 1) ---------------------------------------
+
+  /// Inserts a row; throws ContractError on invalid rows or duplicate
+  /// (globPrefix, id) keys, NotFoundError if the row's frame is unknown.
+  void addObject(SpatialObjectRow row);
+  bool removeObject(const std::string& globPrefix, const util::SpatialObjectId& id);
+  [[nodiscard]] std::optional<SpatialObjectRow> object(const std::string& globPrefix,
+                                                       const util::SpatialObjectId& id) const;
+  /// Looks an object up by its full GLOB string ("CS/Floor3/3105").
+  [[nodiscard]] std::optional<SpatialObjectRow> objectByGlob(const std::string& fullGlob) const;
+
+  [[nodiscard]] std::vector<SpatialObjectRow> objectsOfType(ObjectType type) const;
+  /// All rows whose universe-frame MBR intersects `universeRect`.
+  [[nodiscard]] std::vector<SpatialObjectRow> objectsIntersecting(
+      const geo::Rect& universeRect) const;
+  /// All rows whose exact geometry contains the universe-frame point.
+  [[nodiscard]] std::vector<SpatialObjectRow> objectsContaining(geo::Point2 universePoint) const;
+  /// Filter scan — the SQL-query stand-in ("Where is the nearest region that
+  /// has power outlets and high Bluetooth signal?" style predicates).
+  [[nodiscard]] std::vector<SpatialObjectRow> query(
+      const std::function<bool(const SpatialObjectRow&)>& predicate) const;
+  /// Nearest object satisfying `predicate` by universe MBR distance.
+  [[nodiscard]] std::optional<SpatialObjectRow> nearest(
+      geo::Point2 universePoint,
+      const std::function<bool(const SpatialObjectRow&)>& predicate) const;
+
+  [[nodiscard]] std::size_t objectCount() const noexcept { return liveObjects_; }
+
+  /// A row's MBR converted into universe coordinates.
+  [[nodiscard]] geo::Rect universeMbr(const SpatialObjectRow& row) const;
+  /// A row's polygon converted into universe coordinates (Polygon rows only).
+  [[nodiscard]] geo::Polygon universePolygon(const SpatialObjectRow& row) const;
+
+  // --- sensor tables (Table 2 + sensor metadata, §5.2) -----------------------
+
+  void registerSensor(SensorMeta meta);
+  [[nodiscard]] std::optional<SensorMeta> sensorMeta(const util::SensorId& id) const;
+  [[nodiscard]] std::size_t sensorCount() const noexcept { return sensors_.size(); }
+  /// All registered sensor ids, sorted (deterministic snapshots).
+  [[nodiscard]] std::vector<util::SensorId> sensorIds() const;
+
+  /// Operational health of one sensor: how much it has reported and how
+  /// long ago. A sensor silent for many TTLs is likely unplugged — the
+  /// deployment-monitoring hook for "deploy the middleware widely" (§11).
+  struct SensorHealth {
+    util::SensorId sensorId;
+    std::string sensorType;
+    std::size_t readingCount = 0;  ///< readings ingested since registration
+    /// Age of the most recent reading; nullopt if it never reported.
+    std::optional<util::Duration> lastReadingAge;
+    /// lastReadingAge > silenceFactor * TTL (or never reported at all).
+    bool silent = true;
+  };
+  /// Health of every sensor, sorted by id. `silenceFactor` scales each
+  /// sensor's own TTL into its silence threshold.
+  [[nodiscard]] std::vector<SensorHealth> sensorHealth(double silenceFactor = 3.0) const;
+
+  /// Ingests a reading: converts it into the universe frame, derives its
+  /// `moving` attribute from the sensor's previous report, stores it as the
+  /// sensor's latest observation of that mobile object, and fires matching
+  /// triggers synchronously. Throws NotFoundError for unregistered sensors.
+  void insertReading(SensorReading reading);
+
+  /// Fresh (non-expired) readings about one mobile object, one per sensor,
+  /// already converted into the universe frame, plus their derived motion
+  /// flags (used by conflict-resolution rule 1, §4.1.2).
+  struct StoredReading {
+    SensorReading reading;  ///< universe frame
+    bool moving = false;    ///< sensor's region moved since its prior report
+  };
+  [[nodiscard]] std::vector<StoredReading> readingsFor(const util::MobileObjectId& id) const;
+
+  [[nodiscard]] std::vector<util::MobileObjectId> knownMobileObjects() const;
+
+  /// Recent readings about one mobile object across all sensors, oldest
+  /// first, restricted to `window` before now. The history ring is capped at
+  /// historyCapacity() entries per object (Table 2 keeps temporal data; the
+  /// paper's trigger machinery needs only the latest, but trajectory queries
+  /// and movement-pattern learning consume the tail).
+  [[nodiscard]] std::vector<SensorReading> history(const util::MobileObjectId& id,
+                                                   util::Duration window) const;
+  void setHistoryCapacity(std::size_t perObject);
+  [[nodiscard]] std::size_t historyCapacity() const noexcept { return historyCapacity_; }
+
+  /// Drops expired readings eagerly (they are also filtered lazily on read).
+  void purgeExpired();
+
+  /// Force-expires all readings a given sensor made about a mobile object —
+  /// §6.3: on manual logout "the adapter also forces all location
+  /// information relating to that user and obtained from the same device to
+  /// expire immediately."
+  void expireReadings(const util::MobileObjectId& object, const util::SensorId& sensor);
+
+  // --- triggers (§5.3) --------------------------------------------------------
+
+  util::TriggerId createTrigger(TriggerSpec spec);
+  bool dropTrigger(util::TriggerId id);
+  [[nodiscard]] std::size_t triggerCount() const noexcept { return triggers_.size(); }
+
+ private:
+  struct ReadingSlot {
+    SensorReading reading;  // universe frame
+    bool moving = false;
+  };
+
+  [[nodiscard]] static std::string objectKey(const std::string& prefix,
+                                             const util::SpatialObjectId& id);
+  void fireTriggers(const SensorReading& universeReading);
+  [[nodiscard]] bool rowContains(const SpatialObjectRow& row, geo::Point2 universePoint) const;
+
+  const util::Clock& clock_;
+  geo::Rect universe_;
+  glob::FrameTree frames_;
+
+  // Object storage: stable slots + tombstones so R-tree handles stay valid.
+  std::vector<std::optional<SpatialObjectRow>> objects_;
+  std::unordered_map<std::string, std::size_t> objectIndex_;  // key -> slot
+  geo::RTree<std::uint64_t> objectTree_;
+  std::size_t liveObjects_ = 0;
+
+  std::unordered_map<util::SensorId, SensorMeta> sensors_;
+  struct SensorActivity {
+    std::size_t readingCount = 0;
+    std::optional<util::TimePoint> lastReading;
+  };
+  std::unordered_map<util::SensorId, SensorActivity> activity_;
+  // mobile object -> (sensor -> latest reading)
+  std::unordered_map<util::MobileObjectId, std::unordered_map<util::SensorId, ReadingSlot>>
+      readings_;
+  // mobile object -> recent readings, oldest first (ring of historyCapacity_)
+  std::unordered_map<util::MobileObjectId, std::deque<SensorReading>> history_;
+  std::size_t historyCapacity_ = 256;
+
+  util::IdSequencer<util::TriggerId> triggerIds_;
+  std::unordered_map<util::TriggerId, TriggerSpec> triggers_;
+  geo::RTree<std::uint64_t> triggerTree_;
+};
+
+}  // namespace mw::db

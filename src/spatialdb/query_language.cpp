@@ -1,0 +1,208 @@
+#include "spatialdb/query_language.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mw::db {
+
+using mw::util::ParseError;
+
+namespace {
+
+// --- tokenizer ---------------------------------------------------------------------
+
+enum class TokenKind { Word, String, Equals, NotEquals, LParen, RParen, End };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t pos;
+};
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  auto isWordChar = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '-' ||
+           c == '/';
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back({TokenKind::LParen, "(", i++});
+    } else if (c == ')') {
+      out.push_back({TokenKind::RParen, ")", i++});
+    } else if (c == '=') {
+      out.push_back({TokenKind::Equals, "=", i++});
+    } else if (c == '!' && i + 1 < text.size() && text[i + 1] == '=') {
+      out.push_back({TokenKind::NotEquals, "!=", i});
+      i += 2;
+    } else if (c == '"') {
+      std::size_t start = ++i;
+      while (i < text.size() && text[i] != '"') ++i;
+      if (i == text.size()) {
+        throw ParseError("query: unterminated string at position " + std::to_string(start - 1));
+      }
+      out.push_back({TokenKind::String, text.substr(start, i - start), start - 1});
+      ++i;  // closing quote
+    } else if (isWordChar(c)) {
+      std::size_t start = i;
+      while (i < text.size() && isWordChar(text[i])) ++i;
+      out.push_back({TokenKind::Word, text.substr(start, i - start), start});
+    } else {
+      throw ParseError(std::string("query: unexpected character '") + c + "' at position " +
+                       std::to_string(i));
+    }
+  }
+  out.push_back({TokenKind::End, "", text.size()});
+  return out;
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+// --- parser --------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  RowPredicate parse() {
+    RowPredicate p = parseExpr();
+    expect(TokenKind::End, "end of query");
+    return p;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+
+  void expect(TokenKind kind, const std::string& what) {
+    if (peek().kind != kind) {
+      throw ParseError("query: expected " + what + " at position " +
+                       std::to_string(peek().pos));
+    }
+    ++pos_;
+  }
+
+  bool takeKeyword(const char* keyword) {
+    if (peek().kind == TokenKind::Word && lower(peek().text) == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  RowPredicate parseExpr() {
+    RowPredicate left = parseTerm();
+    while (takeKeyword("or")) {
+      RowPredicate right = parseTerm();
+      left = [left, right](const SpatialObjectRow& row) { return left(row) || right(row); };
+    }
+    return left;
+  }
+
+  RowPredicate parseTerm() {
+    RowPredicate left = parseFactor();
+    while (takeKeyword("and")) {
+      RowPredicate right = parseFactor();
+      left = [left, right](const SpatialObjectRow& row) { return left(row) && right(row); };
+    }
+    return left;
+  }
+
+  RowPredicate parseFactor() {
+    if (takeKeyword("not")) {
+      RowPredicate inner = parseFactor();
+      return [inner](const SpatialObjectRow& row) { return !inner(row); };
+    }
+    if (peek().kind == TokenKind::LParen) {
+      ++pos_;
+      RowPredicate inner = parseExpr();
+      expect(TokenKind::RParen, "')'");
+      return inner;
+    }
+    return parseComparison();
+  }
+
+  RowPredicate parseComparison() {
+    if (peek().kind != TokenKind::Word) {
+      throw ParseError("query: expected a field name at position " +
+                       std::to_string(peek().pos));
+    }
+    Token field = take();
+    bool negate = false;
+    if (peek().kind == TokenKind::Equals) {
+      ++pos_;
+    } else if (peek().kind == TokenKind::NotEquals) {
+      negate = true;
+      ++pos_;
+    } else {
+      throw ParseError("query: expected '=' or '!=' at position " +
+                       std::to_string(peek().pos));
+    }
+    if (peek().kind != TokenKind::Word && peek().kind != TokenKind::String) {
+      throw ParseError("query: expected a value at position " + std::to_string(peek().pos));
+    }
+    Token value = take();
+    RowPredicate eq = makeEquals(field, value);
+    if (!negate) return eq;
+    return [eq](const SpatialObjectRow& row) { return !eq(row); };
+  }
+
+  static RowPredicate makeEquals(const Token& field, const Token& value) {
+    const std::string name = lower(field.text);
+    const std::string expected = value.text;
+    if (name == "type") {
+      return [expected = lower(expected), pos = field.pos](const SpatialObjectRow& row) {
+        return lower(std::string(toString(row.objectType))) == expected;
+      };
+    }
+    if (name == "geometry") {
+      return [expected = lower(expected)](const SpatialObjectRow& row) {
+        return lower(std::string(toString(row.geometryType))) == expected;
+      };
+    }
+    if (name == "id") {
+      return [expected](const SpatialObjectRow& row) { return row.id.str() == expected; };
+    }
+    if (name == "prefix") {
+      return [expected](const SpatialObjectRow& row) { return row.globPrefix == expected; };
+    }
+    if (name.rfind("prop.", 0) == 0) {
+      std::string key = field.text.substr(5);
+      if (key.empty()) {
+        throw ParseError("query: empty property key at position " + std::to_string(field.pos));
+      }
+      return [key, expected](const SpatialObjectRow& row) {
+        auto it = row.properties.find(key);
+        return it != row.properties.end() && it->second == expected;
+      };
+    }
+    throw ParseError("query: unknown field '" + field.text + "' at position " +
+                     std::to_string(field.pos));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+RowPredicate compileQuery(const std::string& text) {
+  mw::util::require(!text.empty(), "compileQuery: empty query");
+  return Parser(tokenize(text)).parse();
+}
+
+}  // namespace mw::db

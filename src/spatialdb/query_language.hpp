@@ -1,0 +1,36 @@
+// A small predicate language over spatial-object rows — the SQL stand-in
+// for §5.1's "modeling the physical space allows SQL queries on objects and
+// regions. An example query is 'Where is the nearest region that has power
+// outlets and high Bluetooth signal?'".
+//
+// Grammar (case-insensitive keywords, '#' starts nothing — no comments):
+//
+//   expr       := term ( OR term )*
+//   term       := factor ( AND factor )*
+//   factor     := NOT factor | '(' expr ')' | comparison
+//   comparison := field ( '=' | '!=' ) value
+//   field      := 'type' | 'geometry' | 'id' | 'prefix' | 'prop.' key
+//   value      := bareword | '"' quoted string '"'
+//
+// Examples:
+//   type = Room and prop.outlets = yes
+//   (type = Room or type = Corridor) and not prop.bluetooth = low
+//   prefix = "CS/Floor3"
+//
+// compileQuery returns a reusable predicate; parse errors throw
+// util::ParseError with a position-annotated message.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "spatialdb/types.hpp"
+
+namespace mw::db {
+
+using RowPredicate = std::function<bool(const SpatialObjectRow&)>;
+
+/// Compiles the query text into a predicate over rows.
+RowPredicate compileQuery(const std::string& text);
+
+}  // namespace mw::db

@@ -1,0 +1,42 @@
+#include "spatialdb/sensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mw::db {
+
+geo::Rect SensorReading::rect() const {
+  if (symbolicRegion.has_value()) return *symbolicRegion;
+  return geo::Rect::centeredSquare(location, std::max(detectionRadius, 1e-6));
+}
+
+std::ostream& operator<<(std::ostream& os, const SensorReading& r) {
+  os << r.sensorId << " | " << r.globPrefix << " | " << r.sensorType << " | " << r.mobileObjectId
+     << " | " << r.location << " | " << r.detectionRadius << " | "
+     << r.detectionTime.time_since_epoch().count();
+  return os;
+}
+
+int SensorMeta::confidencePercent() const {
+  return static_cast<int>(std::lround(errorSpec.detect * 100));
+}
+
+std::optional<quality::ConfidencePair> SensorMeta::confidenceFor(double areaA, double areaU,
+                                                                 util::Duration age) const {
+  if (quality.expiredAt(age)) return std::nullopt;
+  quality::ConfidencePair base;
+  if (scaleMisidentifyByArea) {
+    // Area-aware (p, q): both false-positive sources scale with the reading's
+    // share of the coverage universe (see deriveConfidenceAreaScaled).
+    base = quality::deriveConfidenceAreaScaled(errorSpec,
+                                               std::clamp(areaA / areaU, 0.0, 1.0));
+  } else {
+    base = quality::deriveConfidence(errorSpec);
+  }
+  double degraded = quality.confidenceAt(base.p, age);
+  quality::ConfidencePair out{degraded, base.q};
+  if (!out.informative()) return std::nullopt;
+  return out;
+}
+
+}  // namespace mw::db

@@ -1,0 +1,74 @@
+// Sensor reading and sensor metadata rows (§5.2, Table 2).
+//
+//   | SensorId | GlobPrefix | SensorType | MObjectId | ObjLocation |
+//   | DetectionRadius | DetectionTime |
+//
+// plus the per-sensor table:
+//
+//   | SensorId | Confidence(%) | Time-to-live(s) |
+//
+// extended here with the full (x, y, z) error spec and temporal degradation
+// function that §4.1.1/§3.2 require for fusion.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+#include "quality/error_model.hpp"
+#include "quality/tdf.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+
+namespace mw::db {
+
+/// One sensor observation of one mobile object. Coordinates are in the
+/// frame named by `globPrefix`; the database converts to the universe frame
+/// via the FrameTree when it stores the reading ("The first step in our
+/// algorithm is to get all the sensor data in a common format", §4.1.2).
+struct SensorReading {
+  util::SensorId sensorId;
+  std::string globPrefix;       ///< frame of `location`, e.g. "SC/Floor3/3105"
+  std::string sensorType;       ///< "Ubisense", "RF", "Biometric", ...
+  util::MobileObjectId mobileObjectId;
+  geo::Point2 location;         ///< reported center (ObjLocation)
+  double detectionRadius = 0;   ///< error radius; 0 => exact point
+  util::TimePoint detectionTime;
+
+  /// Symbolic sensors (card readers, biometrics bound to a room) report a
+  /// whole region instead of a point+radius; when set it overrides the
+  /// point/radius-derived rectangle.
+  std::optional<geo::Rect> symbolicRegion;
+
+  /// The reading as a minimum bounding rectangle in its own frame (§4.1.2:
+  /// sensor regions are approximated by MBRs).
+  [[nodiscard]] geo::Rect rect() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const SensorReading& r);
+};
+
+/// Per-sensor calibration row. `confidence` is the paper's single
+/// "Confidence(%)" column; the richer errorSpec drives fusion.
+struct SensorMeta {
+  util::SensorId sensorId;
+  std::string sensorType;
+  quality::SensorErrorSpec errorSpec;  ///< x, y, z (z is the *base* value)
+  /// When true, z is scaled by area(A)/area(U) at fusion time (Ubisense and
+  /// RFID in §6 specify z this way).
+  bool scaleMisidentifyByArea = false;
+  quality::QualityProfile quality;     ///< tdf + TTL
+
+  /// The paper's headline confidence column: detection probability with the
+  /// device carried, as a percentage.
+  [[nodiscard]] int confidencePercent() const;
+
+  /// (p, q) for a reading covering `areaA` inside a universe of `areaU`,
+  /// degraded for `age`. Returns nullopt when the reading has expired or
+  /// has degraded into uninformativeness (p <= q).
+  [[nodiscard]] std::optional<quality::ConfidencePair> confidenceFor(double areaA, double areaU,
+                                                                     util::Duration age) const;
+};
+
+}  // namespace mw::db

@@ -1,0 +1,218 @@
+#include "spatialdb/snapshot.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace mw::db {
+
+using util::ByteReader;
+using util::Bytes;
+using util::ByteWriter;
+using util::ParseError;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D575342;  // "MWSB"
+constexpr std::uint16_t kVersion = 1;
+
+enum class TdfKind : std::uint8_t { None = 0, Linear = 1, Exponential = 2, Step = 3 };
+
+void encodeTdf(ByteWriter& w, const quality::TemporalDegradation& tdf) {
+  // The tdf hierarchy is closed (quality/tdf.hpp); identify by probing the
+  // dynamic type and re-deriving parameters from sampled behaviour is
+  // fragile — instead serialize by exact type with its parameters recovered
+  // through dynamic_cast accessors.
+  if (dynamic_cast<const quality::NoDegradation*>(&tdf) != nullptr) {
+    w.u8(static_cast<std::uint8_t>(TdfKind::None));
+    return;
+  }
+  if (const auto* linear = dynamic_cast<const quality::LinearDegradation*>(&tdf)) {
+    w.u8(static_cast<std::uint8_t>(TdfKind::Linear));
+    w.i64(linear->horizon().count());
+    return;
+  }
+  if (const auto* expo = dynamic_cast<const quality::ExponentialDegradation*>(&tdf)) {
+    w.u8(static_cast<std::uint8_t>(TdfKind::Exponential));
+    w.i64(expo->halfLife().count());
+    return;
+  }
+  if (const auto* step = dynamic_cast<const quality::StepDegradation*>(&tdf)) {
+    w.u8(static_cast<std::uint8_t>(TdfKind::Step));
+    const auto& steps = step->steps();
+    w.u32(static_cast<std::uint32_t>(steps.size()));
+    for (const auto& [age, factor] : steps) {
+      w.i64(age.count());
+      w.f64(factor);
+    }
+    return;
+  }
+  throw mw::util::ContractError("snapshotDatabase: unknown tdf type");
+}
+
+std::shared_ptr<const quality::TemporalDegradation> decodeTdf(ByteReader& r) {
+  switch (static_cast<TdfKind>(r.u8())) {
+    case TdfKind::None:
+      return std::make_shared<quality::NoDegradation>();
+    case TdfKind::Linear:
+      return std::make_shared<quality::LinearDegradation>(util::Duration{r.i64()});
+    case TdfKind::Exponential:
+      return std::make_shared<quality::ExponentialDegradation>(util::Duration{r.i64()});
+    case TdfKind::Step: {
+      std::vector<quality::StepDegradation::Step> steps;
+      for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+        util::Duration age{r.i64()};
+        double factor = r.f64();
+        steps.emplace_back(age, factor);
+      }
+      return std::make_shared<quality::StepDegradation>(std::move(steps));
+    }
+  }
+  throw ParseError("restoreDatabase: unknown tdf kind");
+}
+
+}  // namespace
+
+Bytes snapshotDatabase(const SpatialDatabase& database) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u16(kVersion);
+
+  // Universe.
+  w.f64(database.universe().lo().x);
+  w.f64(database.universe().lo().y);
+  w.f64(database.universe().hi().x);
+  w.f64(database.universe().hi().y);
+
+  // Frame tree (root first, parents before children).
+  auto frames = database.frames().records();
+  w.u32(static_cast<std::uint32_t>(frames.size()));
+  for (const auto& f : frames) {
+    w.str(f.name);
+    w.str(f.parent);
+    w.f64(f.toParent.translation.x);
+    w.f64(f.toParent.translation.y);
+    w.f64(f.toParent.rotation);
+  }
+
+  // Spatial-object rows.
+  auto rows = database.query([](const SpatialObjectRow&) { return true; });
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    w.str(row.id.str());
+    w.str(row.globPrefix);
+    w.u8(static_cast<std::uint8_t>(row.objectType));
+    w.u8(static_cast<std::uint8_t>(row.geometryType));
+    w.u32(static_cast<std::uint32_t>(row.points.size()));
+    for (const auto& p : row.points) {
+      w.f64(p.x);
+      w.f64(p.y);
+    }
+    w.u32(static_cast<std::uint32_t>(row.properties.size()));
+    for (const auto& [key, value] : row.properties) {
+      w.str(key);
+      w.str(value);
+    }
+  }
+
+  // Sensor metadata.
+  auto sensorIds = database.sensorIds();
+  w.u32(static_cast<std::uint32_t>(sensorIds.size()));
+  for (const auto& id : sensorIds) {
+    const SensorMeta meta = *database.sensorMeta(id);
+    w.str(meta.sensorId.str());
+    w.str(meta.sensorType);
+    w.f64(meta.errorSpec.carry);
+    w.f64(meta.errorSpec.detect);
+    w.f64(meta.errorSpec.misidentify);
+    w.boolean(meta.scaleMisidentifyByArea);
+    w.i64(meta.quality.ttl.count());
+    encodeTdf(w, *meta.quality.tdf);
+  }
+  return w.take();
+}
+
+SpatialDatabase restoreDatabase(const util::Clock& clock, const Bytes& snapshot) {
+  ByteReader r(snapshot);
+  if (r.u32() != kMagic) throw ParseError("restoreDatabase: bad magic");
+  if (r.u16() != kVersion) throw ParseError("restoreDatabase: unsupported version");
+
+  double lx = r.f64(), ly = r.f64(), hx = r.f64(), hy = r.f64();
+  geo::Rect universe = geo::Rect::fromCorners({lx, ly}, {hx, hy});
+
+  glob::FrameTree frames;
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    std::string name = r.str();
+    std::string parent = r.str();
+    glob::Transform2 t;
+    t.translation.x = r.f64();
+    t.translation.y = r.f64();
+    t.rotation = r.f64();
+    if (parent.empty()) {
+      frames.addRoot(name);
+    } else {
+      frames.addFrame(name, parent, t);
+    }
+  }
+
+  SpatialDatabase database(clock, universe, std::move(frames));
+
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    SpatialObjectRow row;
+    row.id = util::SpatialObjectId{r.str()};
+    row.globPrefix = r.str();
+    std::uint8_t objectType = r.u8();
+    if (objectType > static_cast<std::uint8_t>(ObjectType::Other)) {
+      throw ParseError("restoreDatabase: bad object type");
+    }
+    row.objectType = static_cast<ObjectType>(objectType);
+    std::uint8_t geomType = r.u8();
+    if (geomType > static_cast<std::uint8_t>(GeometryType::Polygon)) {
+      throw ParseError("restoreDatabase: bad geometry type");
+    }
+    row.geometryType = static_cast<GeometryType>(geomType);
+    for (std::uint32_t k = 0, np = r.u32(); k < np; ++k) {
+      double x = r.f64();
+      double y = r.f64();
+      row.points.push_back({x, y});
+    }
+    for (std::uint32_t k = 0, nprops = r.u32(); k < nprops; ++k) {
+      std::string key = r.str();
+      row.properties[key] = r.str();
+    }
+    database.addObject(std::move(row));
+  }
+
+  for (std::uint32_t i = 0, n = r.u32(); i < n; ++i) {
+    SensorMeta meta;
+    meta.sensorId = util::SensorId{r.str()};
+    meta.sensorType = r.str();
+    meta.errorSpec.carry = r.f64();
+    meta.errorSpec.detect = r.f64();
+    meta.errorSpec.misidentify = r.f64();
+    meta.scaleMisidentifyByArea = r.boolean();
+    meta.quality.ttl = util::Duration{r.i64()};
+    meta.quality.tdf = decodeTdf(r);
+    database.registerSensor(std::move(meta));
+  }
+  if (!r.exhausted()) throw ParseError("restoreDatabase: trailing bytes");
+  return database;
+}
+
+void saveSnapshotFile(const SpatialDatabase& database, const std::string& path) {
+  Bytes data = snapshotDatabase(database);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw mw::util::MwError("saveSnapshotFile: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw mw::util::MwError("saveSnapshotFile: write failed for " + path);
+}
+
+SpatialDatabase loadSnapshotFile(const util::Clock& clock, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw mw::util::MwError("loadSnapshotFile: cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return restoreDatabase(clock, data);
+}
+
+}  // namespace mw::db

@@ -1,0 +1,31 @@
+// Spatial-database persistence — the PostgreSQL-durability substrate.
+//
+// A snapshot captures the world model: universe, coordinate-frame tree,
+// every spatial-object row and every sensor-metadata row (including the
+// temporal degradation function). Sensor *readings* are deliberately
+// excluded: they are transient by definition (§3.2 freshness) and would be
+// stale by the time a snapshot is reloaded.
+//
+// The format is the MicroOrb binary codec with a magic/version header, so
+// snapshots can also travel over the wire.
+#pragma once
+
+#include <string>
+
+#include "spatialdb/database.hpp"
+#include "util/bytes.hpp"
+
+namespace mw::db {
+
+/// Serializes the database's world model.
+util::Bytes snapshotDatabase(const SpatialDatabase& database);
+
+/// Reconstructs a database from a snapshot. Throws util::ParseError on
+/// malformed input (including unknown tdf kinds).
+SpatialDatabase restoreDatabase(const util::Clock& clock, const util::Bytes& snapshot);
+
+/// File convenience wrappers. Throw util::MwError on I/O failure.
+void saveSnapshotFile(const SpatialDatabase& database, const std::string& path);
+SpatialDatabase loadSnapshotFile(const util::Clock& clock, const std::string& path);
+
+}  // namespace mw::db

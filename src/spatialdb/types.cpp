@@ -1,0 +1,89 @@
+#include "spatialdb/types.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::db {
+
+std::string_view toString(ObjectType t) {
+  switch (t) {
+    case ObjectType::Building: return "Building";
+    case ObjectType::Floor: return "Floor";
+    case ObjectType::Room: return "Room";
+    case ObjectType::Corridor: return "Corridor";
+    case ObjectType::Door: return "Door";
+    case ObjectType::Wall: return "Wall";
+    case ObjectType::Display: return "Display";
+    case ObjectType::Table: return "Table";
+    case ObjectType::Chair: return "Chair";
+    case ObjectType::Workstation: return "Workstation";
+    case ObjectType::LightSwitch: return "LightSwitch";
+    case ObjectType::PowerOutlet: return "PowerOutlet";
+    case ObjectType::Other: return "Other";
+  }
+  return "?";
+}
+
+std::string_view toString(GeometryType t) {
+  switch (t) {
+    case GeometryType::Point: return "Point";
+    case GeometryType::Line: return "Line";
+    case GeometryType::Polygon: return "Polygon";
+  }
+  return "?";
+}
+
+std::string SpatialObjectRow::fullGlob() const {
+  if (globPrefix.empty()) return id.str();
+  return globPrefix + "/" + id.str();
+}
+
+geo::Rect SpatialObjectRow::mbr() const {
+  geo::Rect r;
+  for (const auto& p : points) r = r.unionWith(geo::Rect::fromCorners(p, p));
+  return r;
+}
+
+geo::Polygon SpatialObjectRow::polygon() const {
+  mw::util::require(geometryType == GeometryType::Polygon,
+                    "SpatialObjectRow::polygon: row is not a polygon");
+  return geo::Polygon{points};
+}
+
+geo::Segment SpatialObjectRow::segment() const {
+  mw::util::require(geometryType == GeometryType::Line && points.size() == 2,
+                    "SpatialObjectRow::segment: row is not a line");
+  return geo::Segment{points[0], points[1]};
+}
+
+geo::Point2 SpatialObjectRow::point() const {
+  mw::util::require(geometryType == GeometryType::Point && points.size() == 1,
+                    "SpatialObjectRow::point: row is not a point");
+  return points[0];
+}
+
+void SpatialObjectRow::validate() const {
+  mw::util::require(!id.empty(), "SpatialObjectRow: empty ObjectIdentifier");
+  switch (geometryType) {
+    case GeometryType::Point:
+      mw::util::require(points.size() == 1, "SpatialObjectRow: point needs exactly 1 vertex");
+      break;
+    case GeometryType::Line:
+      mw::util::require(points.size() == 2, "SpatialObjectRow: line needs exactly 2 vertices");
+      break;
+    case GeometryType::Polygon:
+      mw::util::require(points.size() >= 3, "SpatialObjectRow: polygon needs >= 3 vertices");
+      break;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const SpatialObjectRow& row) {
+  os << row.id << " | " << row.globPrefix << " | " << toString(row.objectType) << " | "
+     << toString(row.geometryType) << " | ";
+  for (std::size_t i = 0; i < row.points.size(); ++i) {
+    if (i) os << ", ";
+    os << row.points[i];
+  }
+  return os;
+}
+
+}  // namespace mw::db

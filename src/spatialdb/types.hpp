@@ -1,0 +1,87 @@
+// Spatial-object rows — the Table 1 schema (§5.1).
+//
+//   | ObjectIdentifier | GlobPrefix | ObjectType | GeometryType | Points |
+//
+// "The ObjectIdentifier is a unique name in the name space of GlobPrefix.
+// The GlobPrefix field specifies the identity of the enclosing space for an
+// object. ... GlobPrefix and ObjectIdentifier make up the combined key for
+// the spatial table."
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/polygon.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/segment.hpp"
+#include "util/ids.hpp"
+
+namespace mw::db {
+
+/// Semantic category of a spatial object ("assigns semantic information to
+/// the object such as Room, Corridor, Floor, chair, table, etc").
+enum class ObjectType {
+  Building,
+  Floor,
+  Room,
+  Corridor,
+  Door,
+  Wall,
+  Display,
+  Table,
+  Chair,
+  Workstation,
+  LightSwitch,
+  PowerOutlet,
+  Other,
+};
+
+std::string_view toString(ObjectType t);
+
+/// Geometry representation chosen for the object ("certain entities such as
+/// non-enclosing walls, light switches, etc are more conveniently
+/// represented with other geometry types such as lines and points").
+enum class GeometryType { Point, Line, Polygon };
+
+std::string_view toString(GeometryType t);
+
+/// One row of the spatial table. All coordinates are in the frame named by
+/// `globPrefix` — the Location Service converts to the universe frame when
+/// reasoning across spaces.
+struct SpatialObjectRow {
+  util::SpatialObjectId id;  ///< ObjectIdentifier, unique within globPrefix
+  std::string globPrefix;    ///< enclosing space, e.g. "CS/Floor3"
+  ObjectType objectType = ObjectType::Other;
+  GeometryType geometryType = GeometryType::Polygon;
+  std::vector<geo::Point2> points;  ///< 1 point / 2 line endpoints / >=3 polygon
+
+  /// Extra spatial properties: location, dimension, orientation, power
+  /// outlets, Bluetooth signal strength, ... (§5.1: "the database also
+  /// stores spatial properties of objects").
+  std::unordered_map<std::string, std::string> properties;
+
+  /// Full hierarchical name: globPrefix + "/" + id.
+  [[nodiscard]] std::string fullGlob() const;
+
+  /// MBR of the geometry (degenerate for points/lines).
+  [[nodiscard]] geo::Rect mbr() const;
+
+  /// Polygon view (only for GeometryType::Polygon rows).
+  [[nodiscard]] geo::Polygon polygon() const;
+  /// Segment view (only for GeometryType::Line rows).
+  [[nodiscard]] geo::Segment segment() const;
+  /// Point view (only for GeometryType::Point rows).
+  [[nodiscard]] geo::Point2 point() const;
+
+  /// Checks the geometry payload matches the declared type; throws
+  /// ContractError when it does not.
+  void validate() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const SpatialObjectRow& row);
+};
+
+}  // namespace mw::db

@@ -1,0 +1,100 @@
+#include "util/bytes.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mw::util {
+
+void ByteWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::boolean(bool v) { u8(v ? 1 : 0); }
+
+void ByteWriter::str(std::string_view v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(reinterpret_cast<const std::uint8_t*>(v.data()), v.size());
+}
+
+void ByteWriter::blob(const Bytes& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v.data(), v.size());
+}
+
+void ByteWriter::raw(const std::uint8_t* data, std::size_t n) {
+  out_.insert(out_.end(), data, data + n);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (pos_ + n > size_) throw ParseError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool ByteReader::boolean() { return u8() != 0; }
+
+std::string ByteReader::str() {
+  std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::blob() {
+  std::uint32_t n = u32();
+  need(n);
+  Bytes b(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
+}  // namespace mw::util

@@ -1,0 +1,67 @@
+// Binary buffer primitives shared by the MicroOrb wire codec.
+//
+// Integers are encoded little-endian at fixed width; doubles are encoded by
+// bit pattern. The writer appends, the reader consumes in order and throws
+// ParseError on truncation — a truncated network frame must never crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mw::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  /// Length-prefixed (u32) string.
+  void str(std::string_view v);
+  /// Length-prefixed (u32) raw bytes.
+  void blob(const Bytes& v);
+  void raw(const std::uint8_t* data, std::size_t n);
+
+  [[nodiscard]] const Bytes& bytes() const noexcept { return out_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  bool boolean();
+  std::string str();
+  Bytes blob();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mw::util

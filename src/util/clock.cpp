@@ -1,0 +1,35 @@
+#include "util/clock.hpp"
+
+#include <stdexcept>
+
+namespace mw::util {
+
+namespace {
+// 2004-11-01T00:00:00Z-ish epoch: an arbitrary but non-zero starting instant.
+constexpr TimePoint kDefaultStart{Duration{1'099'267'200'000LL}};
+}  // namespace
+
+VirtualClock::VirtualClock() : now_(kDefaultStart) {}
+VirtualClock::VirtualClock(TimePoint start) : now_(start) {}
+
+TimePoint VirtualClock::now() const { return now_; }
+
+void VirtualClock::advance(Duration d) {
+  if (d < Duration::zero()) {
+    throw std::invalid_argument("VirtualClock::advance: negative duration");
+  }
+  now_ += d;
+}
+
+void VirtualClock::set(TimePoint t) {
+  if (t < now_) {
+    throw std::invalid_argument("VirtualClock::set: time must not go backwards");
+  }
+  now_ = t;
+}
+
+TimePoint SystemClock::now() const {
+  return std::chrono::time_point_cast<Duration>(std::chrono::system_clock::now());
+}
+
+}  // namespace mw::util

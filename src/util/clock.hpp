@@ -1,0 +1,57 @@
+// Time abstraction.
+//
+// Freshness and temporal degradation (§3.2) make most of MiddleWhere
+// time-dependent. All components take a `Clock&` so that tests and the
+// scenario simulator can run on a deterministic virtual clock while the
+// benchmarks run on the system clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace mw::util {
+
+/// Durations and instants use a fixed epoch with millisecond resolution,
+/// which matches the granularity of the sensor technologies in §6 (TTLs of
+/// seconds to minutes).
+using Duration = std::chrono::milliseconds;
+using TimePoint = std::chrono::time_point<std::chrono::system_clock, Duration>;
+
+/// Source of "now". Implementations must be safe to call concurrently.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Deterministic clock advanced explicitly by the test or simulation driver.
+class VirtualClock final : public Clock {
+ public:
+  /// Starts at an arbitrary fixed epoch (not zero, so that code subtracting
+  /// TTLs from "now" never underflows).
+  VirtualClock();
+  explicit VirtualClock(TimePoint start);
+
+  [[nodiscard]] TimePoint now() const override;
+
+  /// Moves time forward. Negative advances are a programming error.
+  void advance(Duration d);
+  void set(TimePoint t);
+
+ private:
+  TimePoint now_;
+};
+
+/// Wall-clock time; used by benchmarks and the TCP transport.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override;
+};
+
+/// Convenience literal helpers.
+constexpr Duration msec(std::int64_t n) { return Duration{n}; }
+constexpr Duration sec(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration minutes(std::int64_t n) { return Duration{n * 60'000}; }
+
+}  // namespace mw::util

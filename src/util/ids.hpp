@@ -1,0 +1,101 @@
+// Strong identifier types used throughout MiddleWhere.
+//
+// Every entity class (mobile objects, sensors, adapters, subscriptions,
+// triggers, ...) gets its own id type so that ids of different kinds cannot
+// be accidentally interchanged (C++ Core Guidelines I.4: make interfaces
+// precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mw::util {
+
+/// A strongly typed string identifier. `Tag` is a phantom type that makes
+/// each instantiation a distinct type.
+template <typename Tag>
+class StringId {
+ public:
+  StringId() = default;
+  explicit StringId(std::string value) : value_(std::move(value)) {}
+
+  [[nodiscard]] const std::string& str() const noexcept { return value_; }
+  [[nodiscard]] bool empty() const noexcept { return value_.empty(); }
+
+  friend auto operator<=>(const StringId&, const StringId&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const StringId& id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::string value_;
+};
+
+/// A strongly typed numeric identifier, usually allocated by a sequencer.
+template <typename Tag>
+class NumericId {
+ public:
+  constexpr NumericId() = default;
+  constexpr explicit NumericId(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != 0; }
+
+  friend constexpr auto operator<=>(const NumericId&, const NumericId&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const NumericId& id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::uint64_t value_ = 0;  // 0 == invalid / unset
+};
+
+/// Monotonic allocator for a NumericId type. Not thread-safe; each owning
+/// component allocates from its own sequencer.
+template <typename Id>
+class IdSequencer {
+ public:
+  Id next() { return Id{++last_}; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+// --- Identifier kinds -------------------------------------------------------
+
+/// A mobile object: a person or a device a person carries (§1).
+using MobileObjectId = StringId<struct MobileObjectTag>;
+/// A physical sensor instance, e.g. "Ubi-18" (§5.2 Table 2).
+using SensorId = StringId<struct SensorTag>;
+/// A location adapter instance wrapping one sensor deployment (§6).
+using AdapterId = StringId<struct AdapterTag>;
+/// A static spatial object in the world model, e.g. "3105", "NetLab" (§5.1).
+using SpatialObjectId = StringId<struct SpatialObjectTag>;
+
+/// A location trigger registered in the spatial database (§5.3).
+using TriggerId = NumericId<struct TriggerTag>;
+/// An application subscription with the Location Service (§4.3).
+using SubscriptionId = NumericId<struct SubscriptionTag>;
+/// A request in flight on the MicroOrb RPC layer.
+using RequestId = NumericId<struct RequestTag>;
+
+}  // namespace mw::util
+
+namespace std {
+template <typename Tag>
+struct hash<mw::util::StringId<Tag>> {
+  size_t operator()(const mw::util::StringId<Tag>& id) const noexcept {
+    return hash<string>{}(id.str());
+  }
+};
+template <typename Tag>
+struct hash<mw::util::NumericId<Tag>> {
+  size_t operator()(const mw::util::NumericId<Tag>& id) const noexcept {
+    return hash<uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

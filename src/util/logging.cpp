@@ -1,0 +1,30 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace mw::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::setLevel(LogLevel level) {
+  std::lock_guard lock(mutex_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mutex_);
+  return level_;
+}
+
+void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::lock_guard lock(mutex_);
+  if (level < level_) return;
+  std::clog << "[" << kNames[static_cast<int>(level)] << "] " << component << ": " << message
+            << '\n';
+}
+
+}  // namespace mw::util

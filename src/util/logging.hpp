@@ -1,0 +1,67 @@
+// Minimal leveled logger.
+//
+// Default level is Warn so that tests and benchmarks stay quiet; examples
+// raise it to Info to narrate what the middleware is doing.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mw::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+
+  void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mutex_;
+  LogLevel level_ = LogLevel::Warn;
+};
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void logDebug(const std::string& component, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (logger.level() <= LogLevel::Debug)
+    logger.write(LogLevel::Debug, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logInfo(const std::string& component, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (logger.level() <= LogLevel::Info)
+    logger.write(LogLevel::Info, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logWarn(const std::string& component, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (logger.level() <= LogLevel::Warn)
+    logger.write(LogLevel::Warn, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void logError(const std::string& component, Args&&... args) {
+  auto& logger = Logger::instance();
+  if (logger.level() <= LogLevel::Error)
+    logger.write(LogLevel::Error, component, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace mw::util

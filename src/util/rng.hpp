@@ -1,0 +1,31 @@
+// Seeded random number generation for the sensor/world simulators.
+//
+// All stochastic behaviour in the repository flows through this wrapper so
+// that scenarios are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mw::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x6d77'2004) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool chance(double p);
+  /// Normal deviate.
+  double gaussian(double mean, double stddev);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mw::util

@@ -1,0 +1,138 @@
+// Tests for the §1.1 technologies beyond §6's four: Bluetooth beacons and
+// desktop logins.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adapters/bluetooth.hpp"
+#include "adapters/desktop_login.hpp"
+#include "spatialdb/database.hpp"
+#include "util/error.hpp"
+
+namespace mw::adapters {
+namespace {
+
+using mw::util::AdapterId;
+using mw::util::minutes;
+using mw::util::MobileObjectId;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+/// Minimal scripted oracle (mirrors the one in adapters_test.cpp).
+class FakeTruth final : public GroundTruth {
+ public:
+  struct Entry {
+    geo::Point2 position;
+    std::vector<std::string> devices;
+  };
+  std::unordered_map<util::MobileObjectId, Entry> entries;
+  std::vector<util::MobileObjectId> order;
+
+  void add(const char* id, geo::Point2 pos, std::vector<std::string> devices) {
+    MobileObjectId key{id};
+    entries[key] = Entry{pos, std::move(devices)};
+    order.push_back(key);
+  }
+  std::vector<util::MobileObjectId> people() const override { return order; }
+  std::optional<geo::Point2> position(const util::MobileObjectId& p) const override {
+    auto it = entries.find(p);
+    if (it == entries.end()) return std::nullopt;
+    return it->second.position;
+  }
+  bool carrying(const util::MobileObjectId& p, const std::string& kind) const override {
+    auto it = entries.find(p);
+    if (it == entries.end()) return false;
+    const auto& d = it->second.devices;
+    return std::find(d.begin(), d.end(), kind) != d.end();
+  }
+  bool outdoors(const util::MobileObjectId&) const override { return false; }
+};
+
+TEST(BluetoothAdapterTest, MetaAndCoverage) {
+  BluetoothAdapter a(AdapterId{"bt-A"}, SensorId{"bt-1"}, {{50, 50}, 30.0, 0.85, sec(15), ""});
+  EXPECT_EQ(a.adapterType(), "Bluetooth");
+  EXPECT_EQ(a.coverage(), geo::Rect::centeredSquare({50, 50}, 30));
+  auto metas = a.metas();
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_EQ(metas[0].sensorType, "Bluetooth");
+  EXPECT_TRUE(metas[0].scaleMisidentifyByArea);
+  EXPECT_EQ(metas[0].quality.ttl, sec(15));
+  EXPECT_THROW(BluetoothAdapter(AdapterId{"x"}, SensorId{"y"}, {{0, 0}, -1}),
+               mw::util::ContractError);
+}
+
+TEST(BluetoothAdapterTest, DetectsPhonesInRangeOnly) {
+  VirtualClock clock;
+  util::Rng rng{6};
+  BluetoothAdapter a(AdapterId{"bt-A"}, SensorId{"bt-1"},
+                     {{50, 50}, 30.0, 1.0, sec(15), ""});
+  FakeTruth truth;
+  truth.add("near-with-phone", {60, 50}, {"phone"});
+  truth.add("near-no-phone", {55, 50}, {});
+  truth.add("far-with-phone", {200, 200}, {"phone"});
+
+  std::vector<db::SensorReading> readings;
+  a.connect([&](const db::SensorReading& r) { readings.push_back(r); });
+  for (int i = 0; i < 200; ++i) a.sample(truth, clock, rng);
+  ASSERT_GT(readings.size(), 120u) << "y=0.85 over 200 rounds";
+  for (const auto& r : readings) {
+    EXPECT_EQ(r.mobileObjectId.str(), "near-with-phone");
+    ASSERT_TRUE(r.symbolicRegion.has_value());
+    EXPECT_EQ(*r.symbolicRegion, a.coverage());
+  }
+}
+
+TEST(DesktopLoginAdapterTest, LoginPlacesUserAtTheDesk) {
+  VirtualClock clock;
+  db::SpatialDatabase database(clock, geo::Rect::fromOrigin({0, 0}, 100, 100), "U");
+  DesktopLoginAdapter a(
+      AdapterId{"pc-A"}, SensorId{"pc-1"},
+      DesktopLoginConfig{.workstation = {20, 20},
+                         .room = geo::Rect::fromOrigin({10, 10}, 20, 20)});
+  a.registerWith(database);
+  a.connect([&](const db::SensorReading& r) { database.insertReading(r); });
+
+  a.login(MobileObjectId{"alice"}, clock);
+  auto readings = database.readingsFor(MobileObjectId{"alice"});
+  ASSERT_EQ(readings.size(), 1u);
+  EXPECT_EQ(readings[0].reading.rect(), geo::Rect::centeredSquare({20, 20}, 3.0));
+
+  // The session claim decays: after the TTL it is gone.
+  clock.advance(minutes(11));
+  EXPECT_TRUE(database.readingsFor(MobileObjectId{"alice"}).empty());
+}
+
+TEST(DesktopLoginAdapterTest, LogoutExpiresImmediately) {
+  VirtualClock clock;
+  db::SpatialDatabase database(clock, geo::Rect::fromOrigin({0, 0}, 100, 100), "U");
+  DesktopLoginAdapter a(
+      AdapterId{"pc-A"}, SensorId{"pc-1"},
+      DesktopLoginConfig{.workstation = {20, 20},
+                         .room = geo::Rect::fromOrigin({10, 10}, 20, 20)});
+  a.registerWith(database);
+  a.connect([&](const db::SensorReading& r) { database.insertReading(r); });
+  a.login(MobileObjectId{"alice"}, clock);
+  clock.advance(sec(30));
+  a.logout(MobileObjectId{"alice"}, database);
+  EXPECT_TRUE(database.readingsFor(MobileObjectId{"alice"}).empty());
+}
+
+TEST(DesktopLoginAdapterTest, ImpersonationRaisesFalsePositiveRate) {
+  DesktopLoginAdapter trusting(AdapterId{"a"}, SensorId{"s1"},
+                               {{0, 0}, geo::Rect::fromOrigin({0, 0}, 10, 10), 3.0,
+                                minutes(10), /*impersonation=*/0.01, ""});
+  DesktopLoginAdapter shared(AdapterId{"b"}, SensorId{"s2"},
+                             {{0, 0}, geo::Rect::fromOrigin({0, 0}, 10, 10), 3.0,
+                              minutes(10), /*impersonation=*/0.3, ""});
+  auto ct = quality::deriveConfidence(trusting.metas()[0].errorSpec);
+  auto cs = quality::deriveConfidence(shared.metas()[0].errorSpec);
+  EXPECT_LT(ct.q, cs.q);
+  EXPECT_TRUE(cs.informative()) << "still better than nothing";
+  EXPECT_THROW(DesktopLoginAdapter(AdapterId{"c"}, SensorId{"s3"},
+                                   {{0, 0}, geo::Rect{}, 3.0, minutes(10), 0.1, ""}),
+               mw::util::ContractError);
+}
+
+}  // namespace
+}  // namespace mw::adapters

@@ -1,0 +1,229 @@
+// Adapter tests (§6): calibration metadata and simulated sensing behaviour
+// against a scripted ground truth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adapters/biometric.hpp"
+#include "adapters/card_reader.hpp"
+#include "adapters/gps.hpp"
+#include "adapters/rfid.hpp"
+#include "adapters/ubisense.hpp"
+#include "spatialdb/database.hpp"
+#include "util/error.hpp"
+
+namespace mw::adapters {
+namespace {
+
+using mw::util::AdapterId;
+using mw::util::MobileObjectId;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+/// Scripted oracle for adapter tests.
+class FakeTruth final : public GroundTruth {
+ public:
+  struct Entry {
+    geo::Point2 position;
+    bool outdoors = false;
+    std::vector<std::string> devices;
+  };
+  std::unordered_map<util::MobileObjectId, Entry> entries;
+  std::vector<util::MobileObjectId> order;
+
+  void add(const char* id, geo::Point2 pos, std::vector<std::string> devices,
+           bool isOutdoors = false) {
+    MobileObjectId key{id};
+    entries[key] = Entry{pos, isOutdoors, std::move(devices)};
+    order.push_back(key);
+  }
+
+  std::vector<util::MobileObjectId> people() const override { return order; }
+  std::optional<geo::Point2> position(const util::MobileObjectId& p) const override {
+    auto it = entries.find(p);
+    if (it == entries.end()) return std::nullopt;
+    return it->second.position;
+  }
+  bool carrying(const util::MobileObjectId& p, const std::string& kind) const override {
+    auto it = entries.find(p);
+    if (it == entries.end()) return false;
+    const auto& d = it->second.devices;
+    return std::find(d.begin(), d.end(), kind) != d.end();
+  }
+  bool outdoors(const util::MobileObjectId& p) const override {
+    auto it = entries.find(p);
+    return it != entries.end() && it->second.outdoors;
+  }
+};
+
+TEST(AdapterBaseTest, IdentityAndValidation) {
+  UbisenseAdapter a(AdapterId{"ubi-A"}, SensorId{"ubi-1"},
+                    {geo::Rect::fromOrigin({0, 0}, 50, 50), 0.5, 0.9, sec(3), ""});
+  EXPECT_EQ(a.id().str(), "ubi-A");
+  EXPECT_EQ(a.adapterType(), "Ubisense");
+  EXPECT_FALSE(a.connected());
+  EXPECT_THROW(UbisenseAdapter(AdapterId{""}, SensorId{"s"},
+                               {geo::Rect::fromOrigin({0, 0}, 1, 1), 0.5, 0.9, sec(3), ""}),
+               mw::util::ContractError);
+}
+
+TEST(UbisenseAdapterTest, MetaMatchesPaperCalibration) {
+  UbisenseAdapter a(AdapterId{"ubi-A"}, SensorId{"ubi-1"},
+                    {geo::Rect::fromOrigin({0, 0}, 50, 50), 0.5, 0.9, sec(3), ""});
+  auto metas = a.metas();
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_EQ(metas[0].sensorType, "Ubisense");
+  EXPECT_DOUBLE_EQ(metas[0].errorSpec.detect, 0.95);
+  EXPECT_DOUBLE_EQ(metas[0].errorSpec.misidentify, 0.05);
+  EXPECT_TRUE(metas[0].scaleMisidentifyByArea);
+  EXPECT_EQ(metas[0].quality.ttl, sec(3));
+}
+
+TEST(UbisenseAdapterTest, DetectsCarriedTagInCoverage) {
+  VirtualClock clock;
+  util::Rng rng{1};
+  UbisenseAdapter a(AdapterId{"ubi-A"}, SensorId{"ubi-1"},
+                    {geo::Rect::fromOrigin({0, 0}, 50, 50), 0.5, 1.0, sec(3), ""});
+  FakeTruth truth;
+  truth.add("alice", {10, 10}, {"tag"});
+  truth.add("bob", {10, 12}, {});        // tag on the desk: never detected
+  truth.add("carol", {200, 200}, {"tag"});  // outside coverage
+
+  std::vector<db::SensorReading> readings;
+  a.connect([&](const db::SensorReading& r) { readings.push_back(r); });
+  // y = 0.95: over 100 rounds alice must be seen ~95 times, the others never.
+  std::size_t emitted = 0;
+  for (int i = 0; i < 100; ++i) emitted += a.sample(truth, clock, rng);
+  EXPECT_GT(emitted, 80u);
+  EXPECT_LT(emitted, 100u * 1 + 1);
+  for (const auto& r : readings) {
+    EXPECT_EQ(r.mobileObjectId.str(), "alice");
+    EXPECT_NEAR(r.location.x, 10, 1.0);
+    EXPECT_NEAR(r.location.y, 10, 1.0);
+    EXPECT_DOUBLE_EQ(r.detectionRadius, 0.5);
+  }
+}
+
+TEST(RfidAdapterTest, SymbolicAreaOfInterest) {
+  VirtualClock clock;
+  util::Rng rng{2};
+  RfidBadgeAdapter a(AdapterId{"rf-A"}, SensorId{"RF-12"},
+                     {{25, 25}, 15.0, 0.8, sec(60), ""});
+  EXPECT_EQ(a.areaOfInterest(), geo::Rect::centeredSquare({25, 25}, 15));
+  auto metas = a.metas();
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_DOUBLE_EQ(metas[0].errorSpec.detect, 0.75);
+  EXPECT_DOUBLE_EQ(metas[0].errorSpec.misidentify, 0.25);
+
+  FakeTruth truth;
+  truth.add("alice", {30, 30}, {"badge"});   // within 15 ft of the base
+  truth.add("bob", {80, 80}, {"badge"});     // out of range
+  std::vector<db::SensorReading> readings;
+  a.connect([&](const db::SensorReading& r) { readings.push_back(r); });
+  for (int i = 0; i < 200; ++i) a.sample(truth, clock, rng);
+  ASSERT_GT(readings.size(), 100u) << "y=0.75 over 200 rounds";
+  for (const auto& r : readings) {
+    EXPECT_EQ(r.mobileObjectId.str(), "alice");
+    ASSERT_TRUE(r.symbolicRegion.has_value());
+    EXPECT_EQ(*r.symbolicRegion, a.areaOfInterest());
+  }
+}
+
+TEST(BiometricAdapterTest, TwoLogicalSensors) {
+  BiometricAdapter a(AdapterId{"bio-A"}, SensorId{"fp-1"},
+                     adapters::BiometricConfig{.devicePosition = {5, 5},
+                                               .room = geo::Rect::fromOrigin({0, 0}, 10, 10)});
+  auto metas = a.metas();
+  ASSERT_EQ(metas.size(), 2u);
+  EXPECT_EQ(metas[0].sensorId, a.shortSensorId());
+  EXPECT_EQ(metas[1].sensorId, a.longSensorId());
+  EXPECT_EQ(metas[0].quality.ttl, sec(30));
+  EXPECT_EQ(metas[1].quality.ttl, util::minutes(15));
+  EXPECT_DOUBLE_EQ(metas[0].errorSpec.carry, 1.0) << "x=1 for biometrics";
+}
+
+TEST(BiometricAdapterTest, AuthenticateEmitsShortAndLongReadings) {
+  VirtualClock clock;
+  BiometricAdapter a(AdapterId{"bio-A"}, SensorId{"fp-1"},
+                     adapters::BiometricConfig{.devicePosition = {5, 5},
+                                               .room = geo::Rect::fromOrigin({0, 0}, 10, 10)});
+  std::vector<db::SensorReading> readings;
+  a.connect([&](const db::SensorReading& r) { readings.push_back(r); });
+  a.authenticate(MobileObjectId{"alice"}, clock);
+  ASSERT_EQ(readings.size(), 2u);
+  EXPECT_EQ(readings[0].sensorId, a.shortSensorId());
+  EXPECT_DOUBLE_EQ(readings[0].detectionRadius, 2.0);
+  EXPECT_EQ(readings[1].sensorId, a.longSensorId());
+  ASSERT_TRUE(readings[1].symbolicRegion.has_value());
+  EXPECT_EQ(*readings[1].symbolicRegion, geo::Rect::fromOrigin({0, 0}, 10, 10));
+}
+
+TEST(BiometricAdapterTest, LogoutExpiresAndEmitsDeparture) {
+  VirtualClock clock;
+  db::SpatialDatabase database(clock, geo::Rect::fromOrigin({0, 0}, 100, 100), "U");
+  BiometricAdapter a(AdapterId{"bio-A"}, SensorId{"fp-1"},
+                     adapters::BiometricConfig{.devicePosition = {5, 5},
+                                               .room = geo::Rect::fromOrigin({0, 0}, 10, 10)});
+  a.registerWith(database);
+  a.connect([&](const db::SensorReading& r) { database.insertReading(r); });
+
+  a.authenticate(MobileObjectId{"alice"}, clock);
+  EXPECT_EQ(database.readingsFor(MobileObjectId{"alice"}).size(), 2u);
+
+  clock.advance(sec(5));
+  a.logout(MobileObjectId{"alice"}, clock, database);
+  auto readings = database.readingsFor(MobileObjectId{"alice"});
+  ASSERT_EQ(readings.size(), 1u) << "long reading force-expired, departure reading left";
+  EXPECT_EQ(readings[0].reading.sensorId, a.shortSensorId());
+  // The departure reading lives 15 s, not the short sensor's 30 s.
+  clock.advance(sec(16));
+  EXPECT_EQ(database.readingsFor(MobileObjectId{"alice"}).size(), 0u);
+}
+
+TEST(GpsAdapterTest, OnlyWorksOutdoors) {
+  VirtualClock clock;
+  util::Rng rng{3};
+  GpsAdapter a(AdapterId{"gps-A"}, SensorId{"gps-1"}, {15.0, 1.0, sec(10), ""});
+  FakeTruth truth;
+  truth.add("alice", {10, 10}, {"gps"}, /*outdoors=*/true);
+  truth.add("bob", {20, 20}, {"gps"}, /*outdoors=*/false);
+  std::vector<db::SensorReading> readings;
+  a.connect([&](const db::SensorReading& r) { readings.push_back(r); });
+  for (int i = 0; i < 100; ++i) a.sample(truth, clock, rng);
+  EXPECT_GT(readings.size(), 80u);
+  for (const auto& r : readings) {
+    EXPECT_EQ(r.mobileObjectId.str(), "alice") << "no satellite lock indoors";
+    EXPECT_DOUBLE_EQ(r.detectionRadius, 15.0);
+  }
+}
+
+TEST(CardReaderAdapterTest, SwipeEmitsRoomReading) {
+  VirtualClock clock;
+  CardReaderAdapter a(AdapterId{"card-A"}, SensorId{"card-1"},
+                      {geo::Rect::fromOrigin({0, 0}, 10, 10), sec(10), ""});
+  auto metas = a.metas();
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_EQ(metas[0].quality.ttl, sec(10)) << "paper: card readers go stale in 10 s";
+  std::vector<db::SensorReading> readings;
+  a.connect([&](const db::SensorReading& r) { readings.push_back(r); });
+  a.swipe(MobileObjectId{"alice"}, clock);
+  ASSERT_EQ(readings.size(), 1u);
+  ASSERT_TRUE(readings[0].symbolicRegion.has_value());
+  EXPECT_EQ(*readings[0].symbolicRegion, geo::Rect::fromOrigin({0, 0}, 10, 10));
+}
+
+TEST(AdapterRegistrationTest, RegisterWithInstallsAllMetas) {
+  VirtualClock clock;
+  db::SpatialDatabase database(clock, geo::Rect::fromOrigin({0, 0}, 100, 100), "U");
+  BiometricAdapter a(AdapterId{"bio-A"}, SensorId{"fp-1"},
+                     adapters::BiometricConfig{.devicePosition = {5, 5},
+                                               .room = geo::Rect::fromOrigin({0, 0}, 10, 10)});
+  a.registerWith(database);
+  EXPECT_EQ(database.sensorCount(), 2u);
+  EXPECT_TRUE(database.sensorMeta(a.shortSensorId()).has_value());
+  EXPECT_TRUE(database.sensorMeta(a.longSensorId()).has_value());
+}
+
+}  // namespace
+}  // namespace mw::adapters

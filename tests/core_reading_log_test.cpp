@@ -1,0 +1,138 @@
+// Trace record/replay tests: captured sensor streams must reproduce the
+// same fused state when replayed against a fresh stack.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "adapters/ubisense.hpp"
+#include "core/middlewhere.hpp"
+#include "core/reading_log.hpp"
+#include "sim/blueprint.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+#include "util/error.hpp"
+
+namespace mw::core {
+namespace {
+
+using mw::util::MobileObjectId;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+db::SensorReading makeReading(const util::Clock& clock, const char* person, geo::Point2 at) {
+  db::SensorReading r;
+  r.sensorId = SensorId{"ubi-1"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = MobileObjectId{person};
+  r.location = at;
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  return r;
+}
+
+TEST(ReadingLogTest, EncodeDecodeRoundTrip) {
+  VirtualClock clock;
+  ReadingRecorder recorder;
+  recorder.record(makeReading(clock, "alice", {1, 2}));
+  clock.advance(sec(1));
+  auto withRegion = makeReading(clock, "bob", {3, 4});
+  withRegion.symbolicRegion = geo::Rect::fromOrigin({0, 0}, 10, 10);
+  recorder.record(withRegion);
+
+  auto trace = decodeTrace(recorder.encode());
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].mobileObjectId.str(), "alice");
+  EXPECT_EQ(trace[1].symbolicRegion, withRegion.symbolicRegion);
+  EXPECT_EQ(trace[1].detectionTime, withRegion.detectionTime);
+}
+
+TEST(ReadingLogTest, MalformedTraceThrows) {
+  VirtualClock clock;
+  ReadingRecorder recorder;
+  recorder.record(makeReading(clock, "alice", {1, 2}));
+  util::Bytes good = recorder.encode();
+
+  util::Bytes badMagic = good;
+  badMagic[0] ^= 0xFF;
+  EXPECT_THROW(decodeTrace(badMagic), util::ParseError);
+  util::Bytes truncated(good.begin(), good.begin() + 10);
+  EXPECT_THROW(decodeTrace(truncated), util::ParseError);
+  util::Bytes trailing = good;
+  trailing.push_back(7);
+  EXPECT_THROW(decodeTrace(trailing), util::ParseError);
+}
+
+TEST(ReadingLogTest, TeeForwardsAndRecords) {
+  VirtualClock clock;
+  ReadingRecorder recorder;
+  int forwarded = 0;
+  auto sink = recorder.tee([&](const db::SensorReading&) { ++forwarded; });
+  sink(makeReading(clock, "alice", {1, 1}));
+  sink(makeReading(clock, "alice", {2, 2}));
+  EXPECT_EQ(forwarded, 2);
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_THROW((void)recorder.tee(nullptr), mw::util::ContractError);
+}
+
+TEST(ReadingLogTest, ReplayReproducesFusedState) {
+  // Live run: record a simulated scenario while it feeds a service.
+  VirtualClock liveClock;
+  sim::Blueprint bp = sim::generateBlueprint({.building = "SC", .roomsPerSide = 3});
+  Middlewhere live(liveClock, bp.universe, bp.frames());
+  bp.populate(live.database());
+  db::SensorMeta ubi;
+  ubi.sensorId = SensorId{"ubi-1"};
+  ubi.sensorType = "Ubisense";
+  ubi.errorSpec = quality::ubisenseSpec(1.0);
+  ubi.scaleMisidentifyByArea = true;
+  ubi.quality.ttl = sec(5);
+  live.database().registerSensor(ubi);
+
+  sim::World world(bp, 12);
+  world.addPerson({MobileObjectId{"walker"}, "101", 4.0, 1.0, 0.0, 0.0});
+  ReadingRecorder recorder;
+  sim::Scenario scenario(
+      liveClock, world,
+      recorder.tee([&](const db::SensorReading& r) { live.locationService().ingest(r); }));
+  auto adapter = std::make_shared<adapters::UbisenseAdapter>(
+      util::AdapterId{"ubi"}, SensorId{"ubi-1"},
+      adapters::UbisenseConfig{bp.universe, 0.5, 1.0, sec(5), ""});
+  scenario.addAdapter(adapter, sec(1));
+  scenario.run(sec(30));
+  auto liveEstimate = live.locationService().locateObject(MobileObjectId{"walker"});
+  ASSERT_TRUE(liveEstimate.has_value());
+  ASSERT_GT(recorder.size(), 10u);
+
+  // Replay into a FRESH stack whose virtual clock starts at the same epoch.
+  VirtualClock replayClock;
+  Middlewhere replayed(replayClock, bp.universe, bp.frames());
+  bp.populate(replayed.database());
+  replayed.database().registerSensor(ubi);
+  std::size_t delivered = replayTrace(
+      decodeTrace(recorder.encode()),
+      [&](const db::SensorReading& r) { replayed.locationService().ingest(r); }, &replayClock);
+  EXPECT_EQ(delivered, recorder.size());
+
+  auto replayEstimate = replayed.locationService().locateObject(MobileObjectId{"walker"});
+  ASSERT_TRUE(replayEstimate.has_value());
+  EXPECT_EQ(replayEstimate->region, liveEstimate->region);
+  EXPECT_DOUBLE_EQ(replayEstimate->probability, liveEstimate->probability);
+  EXPECT_EQ(replayEstimate->cls, liveEstimate->cls);
+}
+
+TEST(ReadingLogTest, FileRoundTrip) {
+  VirtualClock clock;
+  ReadingRecorder recorder;
+  recorder.record(makeReading(clock, "alice", {1, 2}));
+  std::string path = ::testing::TempDir() + "/mw_trace_test.bin";
+  recorder.saveFile(path);
+  auto trace = loadTraceFile(path);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].mobileObjectId.str(), "alice");
+  std::remove(path.c_str());
+  EXPECT_THROW(loadTraceFile("/nonexistent/trace.bin"), util::MwError);
+}
+
+}  // namespace
+}  // namespace mw::core

@@ -1,0 +1,113 @@
+// Service-level region-to-region relations (§4.6.1): RCC-8, EC refinement
+// through database Door rows, and Datalog reachability.
+#include <gtest/gtest.h>
+
+#include "core/location_service.hpp"
+#include "sim/blueprint.hpp"
+#include "util/error.hpp"
+
+namespace mw::core {
+namespace {
+
+using mw::util::VirtualClock;
+
+struct Fixture {
+  VirtualClock clock;
+  sim::Blueprint bp;
+  db::SpatialDatabase db;
+  LocationService service;
+
+  Fixture()
+      : bp(sim::paperFloor()), db(clock, bp.universe, bp.frames()), service(clock, db) {
+    bp.populate(db);
+  }
+};
+
+TEST(RegionRelationsTest, Rcc8BetweenPaperRooms) {
+  Fixture f;
+  EXPECT_EQ(f.service.regionRelation("CS/1/3105", "CS/1/NetLab"), reasoning::Rcc8::DC)
+      << "3105 ends at x=350, NetLab starts at 360";
+  EXPECT_EQ(f.service.regionRelation("CS/1/NetLab", "CS/1/HCILab"), reasoning::Rcc8::EC);
+  EXPECT_EQ(f.service.regionRelation("CS/1/3105", "CS/1/LabCorridor"), reasoning::Rcc8::EC);
+  EXPECT_EQ(f.service.regionRelation("CS/1/3105", "CS/1"), reasoning::Rcc8::TPP)
+      << "the room touches the floor's boundary (y=0)";
+  EXPECT_EQ(f.service.regionRelation("CS/1", "CS/1/3105"), reasoning::Rcc8::TPPi);
+}
+
+TEST(RegionRelationsTest, UnknownRegionThrows) {
+  Fixture f;
+  EXPECT_THROW((void)f.service.regionRelation("CS/1/3105", "CS/1/Atlantis"),
+               mw::util::NotFoundError);
+}
+
+TEST(RegionRelationsTest, PassageClassification) {
+  Fixture f;
+  // 3105 <-> LabCorridor share a wall with a free door.
+  EXPECT_EQ(f.service.passageRelation("CS/1/3105", "CS/1/LabCorridor"),
+            reasoning::EcKind::ECFP);
+  // NetLab <-> HCILab have only the restricted door.
+  EXPECT_EQ(f.service.passageRelation("CS/1/NetLab", "CS/1/HCILab"),
+            reasoning::EcKind::ECRP);
+  // LabCorridor <-> NetLab: EC via... LabCorridor is at x[310,330], NetLab at
+  // x[360,380]: disjoint, so NotEc.
+  EXPECT_EQ(f.service.passageRelation("CS/1/LabCorridor", "CS/1/NetLab"),
+            reasoning::EcKind::NotEc);
+}
+
+TEST(RegionRelationsTest, DoorPassagesFromDatabase) {
+  Fixture f;
+  auto passages = f.service.doorPassages();
+  EXPECT_EQ(passages.size(), f.bp.doors.size());
+  bool sawRestricted = false;
+  for (const auto& p : passages) {
+    if (p.kind == reasoning::PassageKind::Restricted) sawRestricted = true;
+  }
+  EXPECT_TRUE(sawRestricted) << "the NetLab-HCILab door is restricted";
+}
+
+TEST(RegionRelationsTest, ReachabilityThroughDatalog) {
+  Fixture f;
+  // 3105 -> NetLab: via the hallway, free doors all the way.
+  EXPECT_TRUE(f.service.regionsReachable("CS/1/3105", "CS/1/NetLab"));
+  // Reflexive by convention.
+  EXPECT_TRUE(f.service.regionsReachable("CS/1/3105", "CS/1/3105"));
+  // HCILab is reachable via its own free hallway door too.
+  EXPECT_TRUE(f.service.regionsReachable("CS/1/3105", "CS/1/HCILab"));
+  // An app-defined island region with no doors is unreachable.
+  f.service.defineRegion("CS/1/island", geo::Rect::fromOrigin({450, 60}, 10, 10));
+  EXPECT_FALSE(f.service.regionsReachable("CS/1/3105", "CS/1/island"));
+  EXPECT_FALSE(f.service.regionsReachable("CS/1/3105", "CS/1/island", true));
+}
+
+TEST(RegionRelationsTest, RestrictedOnlyPathNeedsAllowRestricted) {
+  // Build a minimal world where the only way into a vault is a locked door.
+  VirtualClock clock;
+  db::SpatialDatabase db(clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "B");
+  LocationService service(clock, db);
+
+  auto addRoom = [&](const char* id, geo::Rect r) {
+    db::SpatialObjectRow row;
+    row.id = util::SpatialObjectId{id};
+    row.globPrefix = "B";
+    row.objectType = db::ObjectType::Room;
+    row.geometryType = db::GeometryType::Polygon;
+    row.points = {r.lo(), {r.hi().x, r.lo().y}, r.hi(), {r.lo().x, r.hi().y}};
+    db.addObject(row);
+  };
+  addRoom("lobby", geo::Rect::fromOrigin({0, 0}, 20, 20));
+  addRoom("vault", geo::Rect::fromOrigin({20, 0}, 20, 20));
+  db::SpatialObjectRow door;
+  door.id = util::SpatialObjectId{"vaultDoor"};
+  door.globPrefix = "B";
+  door.objectType = db::ObjectType::Door;
+  door.geometryType = db::GeometryType::Line;
+  door.points = {{20, 8}, {20, 12}};
+  door.properties["passage"] = "restricted";
+  db.addObject(door);
+
+  EXPECT_FALSE(service.regionsReachable("B/lobby", "B/vault"));
+  EXPECT_TRUE(service.regionsReachable("B/lobby", "B/vault", /*allowRestricted=*/true));
+}
+
+}  // namespace
+}  // namespace mw::core

@@ -1,0 +1,95 @@
+// Distributed name-service tests: discovery-then-connect, the paper's Gaia
+// Space Repository pattern (§7).
+#include <gtest/gtest.h>
+
+#include "core/middlewhere.hpp"
+#include "core/remote_registry.hpp"
+#include "util/error.hpp"
+
+namespace mw::core {
+namespace {
+
+using mw::util::MobileObjectId;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+TEST(RemoteRegistryTest, AnnounceLookupWithdraw) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+
+  EXPECT_EQ(client.lookup("LocationService"), std::nullopt);
+  client.announce("LocationService", {"127.0.0.1", 4444});
+  EXPECT_EQ(server.entryCount(), 1u);
+  auto ep = client.lookup("LocationService");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->host, "127.0.0.1");
+  EXPECT_EQ(ep->port, 4444);
+
+  // Re-announce replaces.
+  client.announce("LocationService", {"127.0.0.1", 5555});
+  EXPECT_EQ(client.lookup("LocationService")->port, 5555);
+  EXPECT_EQ(server.entryCount(), 1u);
+
+  EXPECT_TRUE(client.withdraw("LocationService"));
+  EXPECT_FALSE(client.withdraw("LocationService"));
+  EXPECT_EQ(client.lookup("LocationService"), std::nullopt);
+}
+
+TEST(RemoteRegistryTest, ListIsSorted) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+  client.announce("zeta", {"127.0.0.1", 1});
+  client.announce("alpha", {"127.0.0.1", 2});
+  client.announce("mid", {"127.0.0.1", 3});
+  EXPECT_EQ(client.list(), (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(RemoteRegistryTest, MultipleClientsShareState) {
+  RegistryServer server;
+  RegistryClient producer("127.0.0.1", server.port());
+  RegistryClient consumer("127.0.0.1", server.port());
+  producer.announce("svc", {"127.0.0.1", 777});
+  auto ep = consumer.lookup("svc");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->port, 777);
+}
+
+TEST(RemoteRegistryTest, DiscoverThenTalkDirectly) {
+  // The paper's full flow: the location service registers itself; an
+  // application discovers it by name, connects, and queries.
+  VirtualClock clock;
+  Middlewhere stack(clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC");
+  db::SensorMeta ubi;
+  ubi.sensorId = SensorId{"ubi-1"};
+  ubi.sensorType = "Ubisense";
+  ubi.errorSpec = quality::ubisenseSpec(1.0);
+  ubi.scaleMisidentifyByArea = true;
+  ubi.quality.ttl = util::sec(30);
+  stack.database().registerSensor(ubi);
+  std::uint16_t servicePort = stack.listen();
+
+  RegistryServer registry;
+  RegistryClient announcer("127.0.0.1", registry.port());
+  announcer.announce("LocationService", {"127.0.0.1", servicePort});
+
+  // The "application" knows only the registry.
+  RegistryClient app("127.0.0.1", registry.port());
+  auto ep = app.lookup("LocationService");
+  ASSERT_TRUE(ep.has_value());
+  auto remote = Middlewhere::connectRemote(ep->host, ep->port);
+
+  db::SensorReading r;
+  r.sensorId = SensorId{"ubi-1"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = MobileObjectId{"alice"};
+  r.location = {5, 5};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  remote->ingest(r);
+  auto est = remote->locate(MobileObjectId{"alice"});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->probability, 0.9);
+}
+
+}  // namespace
+}  // namespace mw::core

@@ -1,0 +1,198 @@
+// Remote access tests: the Location Service over the MicroOrb, in-process
+// and over TCP loopback (§7's CORBA deployment path).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/codec.hpp"
+#include "core/middlewhere.hpp"
+#include "core/registry.hpp"
+
+namespace mw::core {
+namespace {
+
+using mw::util::MobileObjectId;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+std::unique_ptr<Middlewhere> makeStack(const util::Clock& clock) {
+  auto mw = std::make_unique<Middlewhere>(clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC");
+  db::SpatialObjectRow room;
+  room.id = util::SpatialObjectId{"roomA"};
+  room.globPrefix = "SC";
+  room.objectType = db::ObjectType::Room;
+  room.geometryType = db::GeometryType::Polygon;
+  room.points = {{0, 0}, {20, 0}, {20, 20}, {0, 20}};
+  mw->database().addObject(room);
+
+  db::SensorMeta ubi;
+  ubi.sensorId = SensorId{"ubi-1"};
+  ubi.sensorType = "Ubisense";
+  ubi.errorSpec = quality::ubisenseSpec(1.0);
+  ubi.scaleMisidentifyByArea = true;
+  ubi.quality.ttl = util::sec(30);
+  mw->database().registerSensor(ubi);
+  return mw;
+}
+
+db::SensorReading makeReading(const util::Clock& clock, geo::Point2 where) {
+  db::SensorReading r;
+  r.sensorId = SensorId{"ubi-1"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = MobileObjectId{"alice"};
+  r.location = where;
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  return r;
+}
+
+// --- codec ------------------------------------------------------------------------
+
+TEST(CodecTest, RectRoundTrip) {
+  util::ByteWriter w;
+  encodeRect(w, geo::Rect::fromOrigin({1.5, 2.5}, 3, 4));
+  encodeRect(w, geo::Rect{});
+  util::ByteReader r(w.bytes());
+  EXPECT_EQ(decodeRect(r), geo::Rect::fromOrigin({1.5, 2.5}, 3, 4));
+  EXPECT_TRUE(decodeRect(r).empty());
+}
+
+TEST(CodecTest, ReadingRoundTrip) {
+  VirtualClock clock;
+  db::SensorReading reading = makeReading(clock, {7, 8});
+  reading.globPrefix = "SC/3";
+  reading.symbolicRegion = geo::Rect::fromOrigin({0, 0}, 5, 5);
+  util::ByteWriter w;
+  encodeReading(w, reading);
+  util::ByteReader r(w.bytes());
+  db::SensorReading back = decodeReading(r);
+  EXPECT_EQ(back.sensorId, reading.sensorId);
+  EXPECT_EQ(back.globPrefix, reading.globPrefix);
+  EXPECT_EQ(back.mobileObjectId, reading.mobileObjectId);
+  EXPECT_EQ(back.location, reading.location);
+  EXPECT_EQ(back.detectionRadius, reading.detectionRadius);
+  EXPECT_EQ(back.detectionTime, reading.detectionTime);
+  EXPECT_EQ(back.symbolicRegion, reading.symbolicRegion);
+}
+
+TEST(CodecTest, EstimateRoundTrip) {
+  fusion::LocationEstimate est;
+  est.region = geo::Rect::fromOrigin({1, 2}, 3, 4);
+  est.probability = 0.87;
+  est.cls = fusion::ProbabilityClass::High;
+  est.supporting = {SensorId{"a"}, SensorId{"b"}};
+  est.discarded = {SensorId{"c"}};
+  util::ByteWriter w;
+  encodeEstimate(w, est);
+  util::ByteReader r(w.bytes());
+  auto back = decodeEstimate(r);
+  EXPECT_EQ(back.region, est.region);
+  EXPECT_DOUBLE_EQ(back.probability, est.probability);
+  EXPECT_EQ(back.cls, est.cls);
+  EXPECT_EQ(back.supporting, est.supporting);
+  EXPECT_EQ(back.discarded, est.discarded);
+}
+
+// --- in-process remote ---------------------------------------------------------------
+
+TEST(RemoteTest, LocalClientFullLoop) {
+  VirtualClock clock;
+  auto mw = makeStack(clock);
+  auto client = mw->connectLocal();
+
+  client->ingest(makeReading(clock, {5, 5}));
+  auto est = client->locate(MobileObjectId{"alice"});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(est->region.contains(geo::Point2{5, 5}));
+  EXPECT_EQ(client->locateSymbolic(MobileObjectId{"alice"}), "SC/roomA");
+  EXPECT_GT(client->probabilityInRegion(MobileObjectId{"alice"},
+                                        geo::Rect::fromOrigin({0, 0}, 20, 20)),
+            0.9);
+  EXPECT_EQ(client->locate(MobileObjectId{"ghost"}), std::nullopt);
+}
+
+TEST(RemoteTest, SubscriptionOverOrb) {
+  VirtualClock clock;
+  auto mw = makeStack(clock);
+  auto client = mw->connectLocal();
+
+  std::vector<Notification> notes;
+  auto id = client->subscribe(geo::Rect::fromOrigin({0, 0}, 20, 20), std::nullopt, 0.5,
+                              [&](const Notification& n) { notes.push_back(n); });
+  EXPECT_TRUE(id.valid());
+  client->ingest(makeReading(clock, {5, 5}));
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].object.str(), "alice");
+  EXPECT_GT(notes[0].probability, 0.5);
+
+  EXPECT_TRUE(client->unsubscribe(id));
+  client->ingest(makeReading(clock, {6, 5}));
+  EXPECT_EQ(notes.size(), 1u);
+}
+
+TEST(RemoteTest, ServiceRegistryDiscovery) {
+  // Gaia-style discovery: register the service, look it up, use it.
+  VirtualClock clock;
+  auto mw = std::make_shared<Middlewhere>(clock, geo::Rect::fromOrigin({0, 0}, 10, 10), "SC");
+  ServiceRegistry registry;
+  registry.registerService<Middlewhere>("LocationService", mw);
+  EXPECT_EQ(registry.list(), (std::vector<std::string>{"LocationService"}));
+  auto found = registry.lookup<Middlewhere>("LocationService");
+  ASSERT_TRUE(found != nullptr);
+  EXPECT_EQ(registry.lookup<Middlewhere>("nope"), nullptr);
+  EXPECT_EQ(registry.lookup<int>("LocationService"), nullptr) << "wrong type";
+  EXPECT_TRUE(registry.unregisterService("LocationService"));
+  EXPECT_FALSE(registry.unregisterService("LocationService"));
+}
+
+// --- TCP remote -------------------------------------------------------------------------
+
+TEST(RemoteTest, TcpClientFullLoop) {
+  VirtualClock clock;
+  auto mw = makeStack(clock);
+  std::uint16_t port = mw->listen();
+  auto client = Middlewhere::connectRemote("127.0.0.1", port);
+
+  client->ingest(makeReading(clock, {5, 5}));
+  auto est = client->locate(MobileObjectId{"alice"});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->probability, 0.9);
+}
+
+TEST(RemoteTest, OnewayIngestOverTcp) {
+  VirtualClock clock;
+  auto mw = makeStack(clock);
+  std::uint16_t port = mw->listen();
+  auto client = Middlewhere::connectRemote("127.0.0.1", port);
+
+  client->ingestAsync(makeReading(clock, {5, 5}));
+  // Oneway: no reply to wait on; poll the service until the reading lands.
+  std::optional<fusion::LocationEstimate> est;
+  for (int i = 0; i < 200 && !est; ++i) {
+    est = client->locate(MobileObjectId{"alice"});
+    if (!est) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->probability, 0.9);
+}
+
+TEST(RemoteTest, TcpSubscriptionDeliversEvents) {
+  VirtualClock clock;
+  auto mw = makeStack(clock);
+  std::uint16_t port = mw->listen();
+  auto client = Middlewhere::connectRemote("127.0.0.1", port);
+
+  std::atomic<int> count{0};
+  client->subscribe(geo::Rect::fromOrigin({0, 0}, 20, 20), std::nullopt, 0.5,
+                    [&](const Notification&) { count.fetch_add(1); });
+  client->ingest(makeReading(clock, {5, 5}));
+  for (int i = 0; i < 200 && count.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace mw::core

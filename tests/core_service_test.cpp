@@ -1,0 +1,332 @@
+// LocationService tests: ingestion, pull queries, push subscriptions,
+// privacy granularity and relationship queries (§4).
+#include "core/location_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mw::core {
+namespace {
+
+using mw::util::MobileObjectId;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+// World: building "SC", one floor (0,0)-(100,50); rooms A (0,0)-(20,20) and
+// B (40,0)-(60,20); corridor strip above them.
+struct Fixture {
+  VirtualClock clock;
+  db::SpatialDatabase db;
+  LocationService service;
+
+  Fixture() : db(makeDb(clock)), service(clock, db) {
+    service.connectivity().addRegion("roomA", geo::Rect::fromOrigin({0, 0}, 20, 20));
+    service.connectivity().addRegion("roomB", geo::Rect::fromOrigin({40, 0}, 20, 20));
+    service.connectivity().addRegion("corridor", geo::Rect::fromOrigin({0, 20}, 100, 10));
+    service.connectivity().addPassage(
+        {"doorA", {{8, 20}, {11, 20}}, reasoning::PassageKind::Free});
+    service.connectivity().addPassage(
+        {"doorB", {{48, 20}, {51, 20}}, reasoning::PassageKind::Free});
+  }
+
+  static db::SpatialDatabase makeDb(const util::Clock& clock) {
+    db::SpatialDatabase database(clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC");
+    auto addRegion = [&](const char* id, geo::Rect r, db::ObjectType type) {
+      db::SpatialObjectRow row;
+      row.id = util::SpatialObjectId{id};
+      row.globPrefix = "SC";
+      row.objectType = type;
+      row.geometryType = db::GeometryType::Polygon;
+      row.points = {r.lo(), {r.hi().x, r.lo().y}, r.hi(), {r.lo().x, r.hi().y}};
+      database.addObject(row);
+      return row;
+    };
+    addRegion("roomA", geo::Rect::fromOrigin({0, 0}, 20, 20), db::ObjectType::Room);
+    addRegion("roomB", geo::Rect::fromOrigin({40, 0}, 20, 20), db::ObjectType::Room);
+    addRegion("corridor", geo::Rect::fromOrigin({0, 20}, 100, 10), db::ObjectType::Corridor);
+    // Displays for nearestObjectOfType.
+    db::SpatialObjectRow display;
+    display.id = util::SpatialObjectId{"displayA"};
+    display.globPrefix = "SC";
+    display.objectType = db::ObjectType::Display;
+    display.geometryType = db::GeometryType::Point;
+    display.points = {{5, 19}};
+    database.addObject(display);
+    db::SpatialObjectRow display2 = display;
+    display2.id = util::SpatialObjectId{"displayB"};
+    display2.points = {{45, 19}};
+    database.addObject(display2);
+
+    db::SensorMeta ubi;
+    ubi.sensorId = SensorId{"ubi-1"};
+    ubi.sensorType = "Ubisense";
+    ubi.errorSpec = quality::ubisenseSpec(1.0);
+    ubi.scaleMisidentifyByArea = true;
+    ubi.quality.ttl = sec(30);
+    database.registerSensor(ubi);
+    db::SensorMeta ubi2 = ubi;
+    ubi2.sensorId = SensorId{"ubi-2"};
+    database.registerSensor(ubi2);
+    return database;
+  }
+
+  db::SensorReading reading(const char* sensor, const char* person, geo::Point2 where,
+                            double radius = 0.5) {
+    db::SensorReading r;
+    r.sensorId = SensorId{sensor};
+    r.sensorType = "Ubisense";
+    r.mobileObjectId = MobileObjectId{person};
+    r.location = where;
+    r.detectionRadius = radius;
+    r.detectionTime = clock.now();
+    return r;
+  }
+};
+
+TEST(LocationServiceTest, UnknownObjectHasNoLocation) {
+  Fixture f;
+  EXPECT_EQ(f.service.locateObject(MobileObjectId{"ghost"}), std::nullopt);
+  EXPECT_EQ(f.service.locateSymbolic(MobileObjectId{"ghost"}), std::nullopt);
+}
+
+TEST(LocationServiceTest, LocateAfterIngest) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  auto est = f.service.locateObject(MobileObjectId{"alice"});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(est->region.contains(geo::Point2{5, 5}));
+  EXPECT_GT(est->probability, 0.9);
+}
+
+TEST(LocationServiceTest, SymbolicLocationNamesSmallestRegion) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  auto symbolic = f.service.locateSymbolic(MobileObjectId{"alice"});
+  ASSERT_TRUE(symbolic.has_value());
+  EXPECT_EQ(symbolic->str(), "SC/roomA");
+}
+
+TEST(LocationServiceTest, PrivacyGranularityTruncates) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  f.service.setPrivacyGranularity(MobileObjectId{"alice"}, 1);
+  auto symbolic = f.service.locateSymbolic(MobileObjectId{"alice"});
+  ASSERT_TRUE(symbolic.has_value());
+  EXPECT_EQ(symbolic->str(), "SC") << "room withheld, only the building revealed";
+  EXPECT_EQ(f.service.privacyGranularity(MobileObjectId{"alice"}), 1u);
+  EXPECT_EQ(f.service.privacyGranularity(MobileObjectId{"bob"}), std::nullopt);
+  EXPECT_THROW(f.service.setPrivacyGranularity(MobileObjectId{"alice"}, 0),
+               mw::util::ContractError);
+}
+
+TEST(LocationServiceTest, TwoSensorsReinforce) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  double single = f.service.probabilityInRegion(MobileObjectId{"alice"},
+                                                geo::Rect::fromOrigin({0, 0}, 20, 20));
+  f.service.ingest(f.reading("ubi-2", "alice", {5.2, 5.2}));
+  double both = f.service.probabilityInRegion(MobileObjectId{"alice"},
+                                              geo::Rect::fromOrigin({0, 0}, 20, 20));
+  EXPECT_GT(both, single);
+}
+
+TEST(LocationServiceTest, StaleReadingsExpire) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  f.clock.advance(sec(60));  // past the 30 s TTL
+  EXPECT_EQ(f.service.locateObject(MobileObjectId{"alice"}), std::nullopt);
+}
+
+TEST(LocationServiceTest, ObjectsInRegion) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  f.service.ingest(f.reading("ubi-2", "bob", {45, 5}));
+  auto inRoomA =
+      f.service.objectsInRegion(geo::Rect::fromOrigin({0, 0}, 20, 20), 0.5);
+  ASSERT_EQ(inRoomA.size(), 1u);
+  EXPECT_EQ(inRoomA[0].first.str(), "alice");
+  EXPECT_GT(inRoomA[0].second, 0.5);
+}
+
+TEST(LocationServiceTest, DistributionExposed) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  auto dist = f.service.distributionFor(MobileObjectId{"alice"});
+  EXPECT_GE(dist.size(), 2u);  // Top + the sensor rect
+}
+
+TEST(LocationServiceTest, SubscriptionNotifiesOnQualifyingUpdate) {
+  Fixture f;
+  std::vector<Notification> notes;
+  auto id = f.service.subscribe({geo::Rect::fromOrigin({0, 0}, 20, 20),
+                                 std::nullopt,
+                                 0.5,
+                                 std::nullopt,
+                                 false,
+                                 [&](const Notification& n) { notes.push_back(n); }});
+  EXPECT_TRUE(id.valid());
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].object.str(), "alice");
+  EXPECT_GT(notes[0].probability, 0.5);
+  EXPECT_EQ(notes[0].id, id);
+  // An update outside the region does not notify.
+  f.service.ingest(f.reading("ubi-1", "alice", {80, 40}));
+  EXPECT_EQ(notes.size(), 1u);
+}
+
+TEST(LocationServiceTest, SubscriptionSubjectFilter) {
+  Fixture f;
+  int count = 0;
+  f.service.subscribe({geo::Rect::fromOrigin({0, 0}, 20, 20),
+                       MobileObjectId{"alice"},
+                       0.5,
+                       std::nullopt,
+                       false,
+                       [&](const Notification&) { ++count; }});
+  f.service.ingest(f.reading("ubi-1", "bob", {5, 5}));
+  EXPECT_EQ(count, 0);
+  f.service.ingest(f.reading("ubi-2", "alice", {5, 5}));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(LocationServiceTest, SubscriptionThresholdSuppressesWeakEvidence) {
+  Fixture f;
+  int count = 0;
+  f.service.subscribe({geo::Rect::fromOrigin({0, 0}, 20, 20),
+                       std::nullopt,
+                       0.999999,  // nothing is this certain
+                       std::nullopt,
+                       false,
+                       [&](const Notification&) { ++count; }});
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  EXPECT_EQ(count, 0);
+}
+
+TEST(LocationServiceTest, SubscriptionMinClassFilter) {
+  // §4.4: "Applications can, thus, choose to be notified if the location of
+  // the person is known with low, medium, high or very high probability."
+  Fixture f;
+  int veryHigh = 0, low = 0;
+  f.service.subscribe({geo::Rect::fromOrigin({0, 0}, 20, 20), std::nullopt, 0.0,
+                       fusion::ProbabilityClass::VeryHigh, false,
+                       [&](const Notification&) { ++veryHigh; }});
+  f.service.subscribe({geo::Rect::fromOrigin({0, 0}, 20, 20), std::nullopt, 0.0,
+                       fusion::ProbabilityClass::Low, false,
+                       [&](const Notification&) { ++low; }});
+  // A precise Ubisense fix: probability exceeds the sensor's own p, which
+  // classifies as VeryHigh — both subscriptions fire.
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  EXPECT_EQ(veryHigh, 1);
+  EXPECT_EQ(low, 1);
+  // A huge, vague reading: probability classifies below VeryHigh — only the
+  // Low subscription fires.
+  f.service.ingest(f.reading("ubi-2", "bob", {10, 10}, /*radius=*/40));
+  EXPECT_EQ(veryHigh, 1);
+  EXPECT_EQ(low, 2);
+}
+
+TEST(LocationServiceTest, EdgeTriggeredSubscription) {
+  Fixture f;
+  int count = 0;
+  f.service.subscribe({geo::Rect::fromOrigin({0, 0}, 20, 20),
+                       std::nullopt,
+                       0.5,
+                       std::nullopt,
+                       /*onlyOnEntry=*/true,
+                       [&](const Notification&) { ++count; }});
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  f.clock.advance(sec(1));
+  f.service.ingest(f.reading("ubi-1", "alice", {6, 5}));
+  EXPECT_EQ(count, 1) << "second qualifying update suppressed (still inside)";
+  // Leave and re-enter.
+  f.clock.advance(sec(1));
+  f.service.ingest(f.reading("ubi-1", "alice", {80, 40}));
+  f.clock.advance(sec(1));
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  EXPECT_EQ(count, 2) << "re-entry notifies again";
+}
+
+TEST(LocationServiceTest, Unsubscribe) {
+  Fixture f;
+  int count = 0;
+  auto id = f.service.subscribe({geo::Rect::fromOrigin({0, 0}, 20, 20),
+                                 std::nullopt,
+                                 0.5,
+                                 std::nullopt,
+                                 false,
+                                 [&](const Notification&) { ++count; }});
+  EXPECT_TRUE(f.service.unsubscribe(id));
+  EXPECT_FALSE(f.service.unsubscribe(id));
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(f.service.subscriptionCount(), 0u);
+}
+
+TEST(LocationServiceTest, SubscriptionValidation) {
+  Fixture f;
+  EXPECT_THROW(f.service.subscribe({geo::Rect{}, std::nullopt, 0.5, std::nullopt, false,
+                                    [](const Notification&) {}}),
+               mw::util::ContractError);
+  EXPECT_THROW(f.service.subscribe(
+                   {geo::Rect::fromOrigin({0, 0}, 1, 1), std::nullopt, 0.5, std::nullopt,
+                    false, nullptr}),
+               mw::util::ContractError);
+}
+
+TEST(LocationServiceTest, ProximityAndCoLocation) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  f.service.ingest(f.reading("ubi-2", "bob", {6, 5}));
+  EXPECT_GT(f.service.proximity(MobileObjectId{"alice"}, MobileObjectId{"bob"}, 5.0), 0.8);
+  EXPECT_GT(f.service.coLocation(MobileObjectId{"alice"}, MobileObjectId{"bob"}), 0.8)
+      << "both in roomA";
+  EXPECT_DOUBLE_EQ(f.service.proximity(MobileObjectId{"alice"}, MobileObjectId{"ghost"}, 5.0),
+                   0.0);
+}
+
+TEST(LocationServiceTest, CoLocationAtGranularity) {
+  // §4.6.3: co-location "of a specified granularity such as room, floor or
+  // building". alice in roomA, bob in roomB: not room-co-located, but
+  // building-co-located.
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  f.service.ingest(f.reading("ubi-2", "bob", {45, 5}));
+  // Name the building so granularity 0 resolves to it.
+  f.service.defineRegion("SC", geo::Rect::fromOrigin({0, 0}, 100, 50));
+  double roomLevel =
+      f.service.coLocationAt(MobileObjectId{"alice"}, MobileObjectId{"bob"}, 1);
+  double buildingLevel =
+      f.service.coLocationAt(MobileObjectId{"alice"}, MobileObjectId{"bob"}, 0);
+  EXPECT_LT(roomLevel, 0.01) << "different rooms";
+  EXPECT_GT(buildingLevel, 0.8) << "same building";
+  EXPECT_DOUBLE_EQ(
+      f.service.coLocationAt(MobileObjectId{"alice"}, MobileObjectId{"ghost"}, 0), 0.0);
+}
+
+TEST(LocationServiceTest, DistanceQueries) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  f.service.ingest(f.reading("ubi-2", "bob", {45, 5}));
+  auto d = f.service.distanceBetween(MobileObjectId{"alice"}, MobileObjectId{"bob"});
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(d->expected, 40.0, 0.5);
+  auto pd = f.service.pathDistanceBetween(MobileObjectId{"alice"}, MobileObjectId{"bob"});
+  ASSERT_TRUE(pd.has_value());
+  EXPECT_GT(*pd, d->expected) << "walking through the corridor is longer";
+  EXPECT_EQ(f.service.distanceBetween(MobileObjectId{"alice"}, MobileObjectId{"ghost"}),
+            std::nullopt);
+}
+
+TEST(LocationServiceTest, NearestDisplayForFollowMe) {
+  Fixture f;
+  f.service.ingest(f.reading("ubi-1", "alice", {5, 5}));
+  auto display = f.service.nearestObjectOfType(MobileObjectId{"alice"}, db::ObjectType::Display);
+  ASSERT_TRUE(display.has_value());
+  EXPECT_EQ(display->id.str(), "displayA");
+}
+
+}  // namespace
+}  // namespace mw::core

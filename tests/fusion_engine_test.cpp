@@ -1,0 +1,211 @@
+// Tests for the fusion engine pipeline: lattice construction, conflict
+// resolution (§4.1.2 case 3) and single-location inference (§4.2).
+#include "fusion/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mw::fusion {
+namespace {
+
+const geo::Rect kUniverse = geo::Rect::fromOrigin({0, 0}, 100, 100);
+
+FusionInput input(const char* id, geo::Rect r, double p, double q, bool moving = false) {
+  return FusionInput{util::SensorId{id}, r, p, q, moving};
+}
+
+TEST(FusionEngineTest, NoInputsNoEstimate) {
+  FusionEngine engine(kUniverse);
+  EXPECT_EQ(engine.infer({}), std::nullopt);
+}
+
+TEST(FusionEngineTest, UninformativeInputsIgnored) {
+  FusionEngine engine(kUniverse);
+  // p <= q carries no information (expired/degraded readings).
+  FusionInputs ins{input("s1", geo::Rect::fromOrigin({10, 10}, 5, 5), 0.1, 0.5)};
+  EXPECT_EQ(engine.infer(ins), std::nullopt);
+}
+
+TEST(FusionEngineTest, SingleSensorEstimate) {
+  FusionEngine engine(kUniverse);
+  geo::Rect r = geo::Rect::fromOrigin({10, 10}, 5, 5);
+  auto est = engine.infer({input("ubi", r, 0.95, 0.001)});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, r);
+  EXPECT_NEAR(est->probability, singleSensorProbability(input("ubi", r, 0.95, 0.001), kUniverse),
+              1e-12);
+  ASSERT_EQ(est->supporting.size(), 1u);
+  EXPECT_EQ(est->supporting[0].str(), "ubi");
+  EXPECT_TRUE(est->discarded.empty());
+}
+
+TEST(FusionEngineTest, ContainedSensorsPickInnerRegion) {
+  // Case 1 (Fig 2): A inside B — the smallest region (A) is the estimate and
+  // both sensors support it.
+  FusionEngine engine(kUniverse);
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 20, 20);
+  geo::Rect a = geo::Rect::fromOrigin({15, 15}, 5, 5);
+  auto est = engine.infer({input("s1", a, 0.9, 0.01), input("s2", b, 0.8, 0.05)});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, a);
+  EXPECT_EQ(est->supporting.size(), 2u);
+}
+
+TEST(FusionEngineTest, IntersectingSensorsPickOverlap) {
+  // Case 2 (Fig 3): estimate is C = A ∩ B.
+  FusionEngine engine(kUniverse);
+  geo::Rect a = geo::Rect::fromOrigin({10, 10}, 10, 10);
+  geo::Rect b = geo::Rect::fromOrigin({15, 15}, 10, 10);
+  auto est = engine.infer({input("s1", a, 0.9, 0.01), input("s2", b, 0.9, 0.01)});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, *a.intersection(b));
+}
+
+TEST(FusionEngineTest, ConflictMovingRectangleWins) {
+  // Case 3 rule 1: "If either of the rectangles is moving with time, then
+  // take that reading and discard the other one."
+  FusionEngine engine(kUniverse);
+  geo::Rect mov = geo::Rect::fromOrigin({10, 10}, 5, 5);
+  geo::Rect stat = geo::Rect::fromOrigin({60, 60}, 5, 5);
+  // Make the stationary sensor nominally *more* confident: rule 1 must still
+  // prefer the moving one.
+  auto est = engine.infer(
+      {input("badge", mov, 0.7, 0.05, /*moving=*/true), input("desk", stat, 0.99, 0.001)});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, mov);
+  ASSERT_EQ(est->discarded.size(), 1u);
+  EXPECT_EQ(est->discarded[0].str(), "desk");
+}
+
+TEST(FusionEngineTest, ConflictHigherProbabilityWins) {
+  // Case 3 rule 2: neither moving — discard the reading with lower
+  // single-sensor probability.
+  FusionEngine engine(kUniverse);
+  geo::Rect a = geo::Rect::fromOrigin({10, 10}, 5, 5);
+  geo::Rect b = geo::Rect::fromOrigin({60, 60}, 5, 5);
+  FusionInput strong = input("strong", a, 0.99, 0.0001);
+  FusionInput weak = input("weak", b, 0.6, 0.1);
+  auto est = engine.infer({strong, weak});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, a);
+  ASSERT_EQ(est->discarded.size(), 1u);
+  EXPECT_EQ(est->discarded[0].str(), "weak");
+}
+
+TEST(FusionEngineTest, ThreeWayConflictResolvesToOneRegion) {
+  FusionEngine engine(kUniverse);
+  FusionInputs ins{
+      input("a", geo::Rect::fromOrigin({10, 10}, 5, 5), 0.9, 0.01),
+      input("b", geo::Rect::fromOrigin({50, 50}, 5, 5), 0.7, 0.05),
+      input("c", geo::Rect::fromOrigin({80, 10}, 5, 5), 0.6, 0.1),
+  };
+  auto est = engine.infer(ins);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, geo::Rect::fromOrigin({10, 10}, 5, 5));
+  EXPECT_EQ(est->discarded.size(), 2u);
+}
+
+TEST(FusionEngineTest, ConflictResolutionKeepsAgreeingCluster) {
+  // Two overlapping sensors versus one disjoint outlier: the cluster's
+  // intersection wins, only the outlier is discarded.
+  FusionEngine engine(kUniverse);
+  FusionInputs ins{
+      input("u1", geo::Rect::fromOrigin({10, 10}, 10, 10), 0.9, 0.01),
+      input("u2", geo::Rect::fromOrigin({15, 15}, 10, 10), 0.9, 0.01),
+      input("stale", geo::Rect::fromOrigin({70, 70}, 8, 8), 0.8, 0.05),
+  };
+  auto est = engine.infer(ins);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, geo::Rect::fromOrigin({15, 15}, 5, 5));
+  ASSERT_EQ(est->discarded.size(), 1u);
+  EXPECT_EQ(est->discarded[0].str(), "stale");
+}
+
+TEST(FusionEngineTest, Figure56ScenarioInference) {
+  // The paper's worked example: S4 moving, S5 stationary -> "S4 is chosen as
+  // the actual location of the person. S5 is removed from the lattice."
+  FusionEngine engine(kUniverse);
+  FusionInputs ins{
+      input("S1", geo::Rect::fromOrigin({0, 10}, 20, 20), 0.8, 0.05),
+      input("S2", geo::Rect::fromOrigin({12, 14}, 20, 14), 0.8, 0.05),
+      input("S3", geo::Rect::fromOrigin({25, 5}, 25, 25), 0.8, 0.05, /*moving=*/true),
+      input("S4", geo::Rect::fromOrigin({30, 8}, 6, 6), 0.8, 0.05, /*moving=*/true),
+      input("S5", geo::Rect::fromOrigin({70, 70}, 10, 10), 0.9, 0.01),
+  };
+  auto est = engine.infer(ins);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, geo::Rect::fromOrigin({30, 8}, 6, 6)) << "S4 chosen";
+  EXPECT_TRUE(std::find_if(est->discarded.begin(), est->discarded.end(), [](const auto& id) {
+                return id.str() == "S5";
+              }) != est->discarded.end())
+      << "S5 removed";
+}
+
+TEST(FusionEngineTest, RegionQueryAfterConflictResolution) {
+  FusionEngine engine(kUniverse);
+  geo::Rect roomA = geo::Rect::fromOrigin({8, 8}, 10, 10);
+  // q values at the realistic area-scaled magnitude (§6: z ∝ area(A)/area(U)).
+  FusionInputs ins{
+      input("u1", geo::Rect::fromOrigin({10, 10}, 5, 5), 0.9, 0.0001, true),
+      input("stale", geo::Rect::fromOrigin({70, 70}, 8, 8), 0.8, 0.0005),
+  };
+  double p = engine.probabilityInRegion(roomA, ins);
+  EXPECT_GT(p, 0.9) << "stale conflicting reading must not dilute the answer";
+}
+
+TEST(FusionEngineTest, DistributionCoversLatticeAndNormalizes) {
+  FusionEngine engine(kUniverse);
+  FusionInputs ins{
+      input("s1", geo::Rect::fromOrigin({10, 10}, 10, 10), 0.9, 0.01),
+      input("s2", geo::Rect::fromOrigin({15, 15}, 10, 10), 0.9, 0.01),
+  };
+  auto dist = engine.distribution(ins);
+  EXPECT_EQ(dist.size(), 4u);  // Top, s1, s2, s1∩s2
+  int sources = 0;
+  for (const auto& rp : dist) {
+    EXPECT_GE(rp.probability, 0.0);
+    EXPECT_LE(rp.probability, 1.0);
+    if (rp.isSource) ++sources;
+  }
+  EXPECT_EQ(sources, 2);
+
+  auto norm = engine.distribution(ins, /*normalize=*/true);
+  // Single minimal region (the overlap) -> its normalized probability is 1.
+  double maxProb = 0;
+  for (const auto& rp : norm) maxProb = std::max(maxProb, rp.probability);
+  EXPECT_NEAR(maxProb, 1.0, 1e-9);
+}
+
+TEST(FusionEngineTest, EstimateClassificationUsesSensorPs) {
+  FusionEngine engine(kUniverse);
+  geo::Rect r = geo::Rect::fromOrigin({10, 10}, 3, 3);
+  // One very reliable sensor: estimate probability should exceed its p and
+  // classify as VeryHigh.
+  auto est = engine.infer({input("ubi", r, 0.95, 0.00001)});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->probability, 0.95);
+  EXPECT_EQ(est->cls, ProbabilityClass::VeryHigh);
+}
+
+TEST(FusionEngineTest, InputsOutsideUniverseDropped) {
+  FusionEngine engine(kUniverse);
+  FusionInputs ins{
+      input("out", geo::Rect::fromOrigin({500, 500}, 5, 5), 0.9, 0.01),
+      input("in", geo::Rect::fromOrigin({10, 10}, 5, 5), 0.8, 0.05),
+  };
+  auto est = engine.infer(ins);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, geo::Rect::fromOrigin({10, 10}, 5, 5));
+}
+
+TEST(FusionEngineTest, StraddlingInputClippedToUniverse) {
+  FusionEngine engine(kUniverse);
+  // GPS reading half outside the building.
+  auto est = engine.infer({input("gps", geo::Rect::fromOrigin({95, 95}, 10, 10), 0.9, 0.01)});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->region, geo::Rect::fromOrigin({95, 95}, 5, 5));
+}
+
+}  // namespace
+}  // namespace mw::fusion

@@ -1,0 +1,267 @@
+// Tests for the Bayesian fusion formulas (Eqs 1-7, §4.1.2) and the
+// probability-space classification (§4.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fusion/bayes.hpp"
+#include "fusion/classify.hpp"
+#include "util/error.hpp"
+
+namespace mw::fusion {
+namespace {
+
+const geo::Rect kUniverse = geo::Rect::fromOrigin({0, 0}, 100, 100);  // a_U = 10'000
+
+FusionInput input(const char* id, geo::Rect r, double p, double q, bool moving = false) {
+  return FusionInput{util::SensorId{id}, r, p, q, moving};
+}
+
+// --- Eq. 5: single sensor ------------------------------------------------------
+
+TEST(Eq5Test, MatchesClosedForm) {
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 10, 10);  // a_B = 100
+  FusionInput s = input("s2", b, 0.9, 0.05);
+  double expect = (100.0 * 0.9) / (100.0 * 0.9 + 0.05 * (10'000 - 100));
+  EXPECT_NEAR(singleSensorProbability(s, kUniverse), expect, 1e-12);
+}
+
+TEST(Eq5Test, GeneralFormulaReducesToEq5ForOneSensor) {
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 10, 10);
+  FusionInput s = input("s2", b, 0.9, 0.05);
+  EXPECT_NEAR(regionProbability(b, {s}, kUniverse), singleSensorProbability(s, kUniverse), 1e-12);
+}
+
+TEST(Eq5Test, HigherPMeansHigherProbability) {
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 10, 10);
+  double prev = 0;
+  for (double p : {0.3, 0.5, 0.7, 0.9, 0.99}) {
+    double prob = singleSensorProbability(input("s", b, p, 0.05), kUniverse);
+    EXPECT_GT(prob, prev);
+    prev = prob;
+  }
+}
+
+TEST(Eq5Test, LargerRegionEasierToBeIn) {
+  // With fixed p/q, the probability of being inside the reported region
+  // grows with the region's area (there is more prior mass inside).
+  double small = singleSensorProbability(
+      input("s", geo::Rect::fromOrigin({0, 0}, 5, 5), 0.9, 0.05), kUniverse);
+  double large = singleSensorProbability(
+      input("s", geo::Rect::fromOrigin({0, 0}, 50, 50), 0.9, 0.05), kUniverse);
+  EXPECT_GT(large, small);
+}
+
+// --- Eq. 4: contained pair ------------------------------------------------------
+
+TEST(Eq4Test, ClosedFormTransliteration) {
+  // p1=0.9 q1=0.1 areaA=25; p2=0.8 q2=0.05 areaB=400; areaU=10'000.
+  double expectNum = (0.9 * 25 + 0.1 * (400 - 25)) * 0.8;
+  double expectDen = expectNum + 0.1 * 0.05 * (10'000 - 400);
+  EXPECT_NEAR(containedPairProbability(0.9, 0.1, 25, 0.8, 0.05, 400, 10'000),
+              expectNum / expectDen, 1e-12);
+}
+
+TEST(Eq4Test, GeneralFormulaReducesToEq4) {
+  // The derivation-consistent general formula must reproduce the paper's
+  // fully-derived Eq. (4) exactly for the contained-rectangles case.
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 20, 20);  // a_B = 400
+  geo::Rect a = geo::Rect::fromOrigin({15, 15}, 5, 5);    // a_A = 25, inside B
+  FusionInputs ins{input("s1", a, 0.9, 0.1), input("s2", b, 0.8, 0.05)};
+  double viaGeneral = regionProbability(b, ins, kUniverse);
+  double viaEq4 = containedPairProbability(0.9, 0.1, 25, 0.8, 0.05, 400, 10'000);
+  EXPECT_NEAR(viaGeneral, viaEq4, 1e-12);
+}
+
+TEST(Eq4Test, ReinforcementProperty) {
+  // §4.1.2: "P(person_B | s1_A, s2_B) > P(person_B | s2_B) if p1 > q1" —
+  // a second agreeing sensor increases confidence.
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 20, 20);
+  geo::Rect a = geo::Rect::fromOrigin({15, 15}, 5, 5);
+  FusionInput s1 = input("s1", a, 0.9, 0.1);  // p1 > q1
+  FusionInput s2 = input("s2", b, 0.8, 0.05);
+  double both = regionProbability(b, {s1, s2}, kUniverse);
+  double single = regionProbability(b, {s2}, kUniverse);
+  EXPECT_GT(both, single);
+}
+
+TEST(Eq4Test, UninformativeSensorCannotReinforce) {
+  // With p1 == q1 the extra sensor carries no information; probability
+  // must not increase.
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 20, 20);
+  geo::Rect a = geo::Rect::fromOrigin({15, 15}, 5, 5);
+  FusionInput s1 = input("s1", a, 0.3, 0.3);
+  FusionInput s2 = input("s2", b, 0.8, 0.05);
+  double both = regionProbability(b, {s1, s2}, kUniverse);
+  double single = regionProbability(b, {s2}, kUniverse);
+  EXPECT_NEAR(both, single, 1e-9);
+}
+
+// --- Eq. 6 shape: intersecting pair --------------------------------------------
+
+TEST(Eq6Test, IntersectionIsMostLikelyRegion) {
+  // Two overlapping sensors: the person is most likely in the overlap C.
+  geo::Rect a = geo::Rect::fromOrigin({10, 10}, 10, 10);
+  geo::Rect b = geo::Rect::fromOrigin({15, 15}, 10, 10);
+  geo::Rect c = *a.intersection(b);
+  FusionInputs ins{input("s1", a, 0.9, 0.01), input("s2", b, 0.9, 0.01)};
+  double pc = regionProbability(c, ins, kUniverse);
+  // Probability density: compare against the non-overlapping remainder of A
+  // of the same area as C.
+  geo::Rect remainder = geo::Rect::fromOrigin({10, 10}, 5, 5);
+  double pr = regionProbability(remainder, ins, kUniverse);
+  EXPECT_GT(pc, pr) << "overlap beats same-area corner of a single rect";
+  EXPECT_GT(pc, 0.5) << "two agreeing precise sensors are convincing";
+}
+
+TEST(Eq6Test, PaperPrintedEq7DisagreesWithDerivation) {
+  // Documented fidelity note: the verbatim Eq. (7) does not reduce to Eq. (4)
+  // for contained rectangles — we keep it only for comparison.
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 20, 20);
+  geo::Rect a = geo::Rect::fromOrigin({15, 15}, 5, 5);
+  FusionInputs ins{input("s1", a, 0.9, 0.1), input("s2", b, 0.8, 0.05)};
+  double verbatim = regionProbabilityPaperEq7(b, ins, kUniverse);
+  double derived = containedPairProbability(0.9, 0.1, 25, 0.8, 0.05, 400, 10'000);
+  EXPECT_GT(std::abs(verbatim - derived), 0.01);
+}
+
+// --- Eq. 7 (general) -------------------------------------------------------------
+
+TEST(Eq7Test, NoSensorsYieldsUniformPrior) {
+  geo::Rect r = geo::Rect::fromOrigin({0, 0}, 10, 10);
+  EXPECT_NEAR(regionProbability(r, {}, kUniverse), 100.0 / 10'000, 1e-12);
+}
+
+TEST(Eq7Test, WholeUniverseIsCertain) {
+  FusionInputs ins{input("s1", geo::Rect::fromOrigin({5, 5}, 10, 10), 0.9, 0.05)};
+  EXPECT_DOUBLE_EQ(regionProbability(kUniverse, ins, kUniverse), 1.0);
+}
+
+TEST(Eq7Test, EmptyRegionIsImpossible) {
+  FusionInputs ins{input("s1", geo::Rect::fromOrigin({5, 5}, 10, 10), 0.9, 0.05)};
+  EXPECT_DOUBLE_EQ(regionProbability(geo::Rect{}, ins, kUniverse), 0.0);
+  EXPECT_DOUBLE_EQ(regionProbability(geo::Rect::fromOrigin({500, 500}, 5, 5), ins, kUniverse),
+                   0.0)
+      << "region outside the universe";
+}
+
+TEST(Eq7Test, ProbabilityAlwaysInUnitInterval) {
+  geo::Rect a = geo::Rect::fromOrigin({10, 10}, 30, 30);
+  geo::Rect r = geo::Rect::fromOrigin({20, 20}, 10, 10);
+  for (double p : {0.1, 0.5, 0.9, 0.999}) {
+    for (double q : {0.001, 0.2, 0.8}) {
+      double prob = regionProbability(r, {input("s", a, p, q)}, kUniverse);
+      EXPECT_GE(prob, 0.0);
+      EXPECT_LE(prob, 1.0);
+    }
+  }
+}
+
+TEST(Eq7Test, DisjointSensorSuppressesRegion) {
+  // A sensor reporting elsewhere makes this region LESS likely than prior.
+  geo::Rect r = geo::Rect::fromOrigin({0, 0}, 10, 10);
+  geo::Rect elsewhere = geo::Rect::fromOrigin({50, 50}, 10, 10);
+  double prior = 100.0 / 10'000;
+  double post = regionProbability(r, {input("s", elsewhere, 0.9, 0.01)}, kUniverse);
+  EXPECT_LT(post, prior);
+}
+
+TEST(Eq7Test, ManyAgreeingSensorsConverge) {
+  geo::Rect r = geo::Rect::fromOrigin({40, 40}, 4, 4);
+  FusionInputs ins;
+  double prev = 0;
+  for (int n = 1; n <= 6; ++n) {
+    ins.push_back(input(("s" + std::to_string(n)).c_str(),
+                        geo::Rect::fromOrigin({40.0 - n, 40.0 - n}, 4 + 2.0 * n, 4 + 2.0 * n),
+                        0.9, 0.05));
+    double prob = regionProbability(r, ins, kUniverse);
+    EXPECT_GT(prob, prev) << "each agreeing sensor reinforces (n=" << n << ")";
+    prev = prob;
+  }
+  EXPECT_GT(prev, 0.8);
+}
+
+TEST(Eq7Test, NumericalStabilityWithManySensors) {
+  // 64 sensors with tiny areas: the log-space implementation must not
+  // underflow to NaN.
+  geo::Rect r = geo::Rect::fromOrigin({50, 50}, 1, 1);
+  FusionInputs ins;
+  for (int n = 0; n < 64; ++n) {
+    ins.push_back(input(("s" + std::to_string(n)).c_str(),
+                        geo::Rect::centeredSquare({50.5, 50.5}, 0.6 + 0.01 * n), 0.95, 0.001));
+  }
+  double prob = regionProbability(r, ins, kUniverse);
+  EXPECT_FALSE(std::isnan(prob));
+  EXPECT_GT(prob, 0.99);
+}
+
+TEST(Eq7Test, UniverseValidation) {
+  EXPECT_THROW(regionProbability(kUniverse, {}, geo::Rect{}), mw::util::ContractError);
+}
+
+// Parametrized reinforcement sweep: for every (p1, q1) with p1 > q1 the
+// second sensor must strictly reinforce; with p1 < q1 it must weaken.
+struct ReinforceCase {
+  double p1, q1;
+};
+
+class ReinforcementSweep : public ::testing::TestWithParam<ReinforceCase> {};
+
+TEST_P(ReinforcementSweep, SignOfReinforcementFollowsP1MinusQ1) {
+  auto [p1, q1] = GetParam();
+  geo::Rect b = geo::Rect::fromOrigin({10, 10}, 20, 20);
+  geo::Rect a = geo::Rect::fromOrigin({15, 15}, 5, 5);
+  FusionInput s1 = input("s1", a, p1, q1);
+  FusionInput s2 = input("s2", b, 0.8, 0.05);
+  double both = regionProbability(b, {s1, s2}, kUniverse);
+  double single = regionProbability(b, {s2}, kUniverse);
+  if (p1 > q1) {
+    EXPECT_GT(both, single);
+  } else if (p1 < q1) {
+    EXPECT_LT(both, single);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ReinforcementSweep,
+                         ::testing::Values(ReinforceCase{0.95, 0.01}, ReinforceCase{0.7, 0.3},
+                                           ReinforceCase{0.51, 0.49}, ReinforceCase{0.3, 0.6},
+                                           ReinforceCase{0.1, 0.9}, ReinforceCase{0.99, 0.98}));
+
+// --- classification (§4.4) -------------------------------------------------------
+
+TEST(ClassifyTest, PaperBuckets) {
+  // Sensors with p = {0.75, 0.93, 0.99}: min 0.75, median 0.93, max 0.99.
+  auto t = computeThresholds({0.93, 0.75, 0.99});
+  EXPECT_DOUBLE_EQ(t.low, 0.75);
+  EXPECT_DOUBLE_EQ(t.medium, 0.93);
+  EXPECT_DOUBLE_EQ(t.high, 0.99);
+  EXPECT_EQ(classify(0.5, t), ProbabilityClass::Low);
+  EXPECT_EQ(classify(0.75, t), ProbabilityClass::Low) << "inclusive upper bound";
+  EXPECT_EQ(classify(0.8, t), ProbabilityClass::Medium);
+  EXPECT_EQ(classify(0.95, t), ProbabilityClass::High);
+  EXPECT_EQ(classify(0.995, t), ProbabilityClass::VeryHigh);
+}
+
+TEST(ClassifyTest, EvenCountMedianIsMeanOfMiddles) {
+  auto t = computeThresholds({0.6, 0.8, 0.9, 0.99});
+  EXPECT_DOUBLE_EQ(t.medium, 0.85);
+}
+
+TEST(ClassifyTest, NoSensorsEverythingIsLow) {
+  auto t = computeThresholds({});
+  EXPECT_EQ(classify(0.999, t), ProbabilityClass::Low);
+}
+
+TEST(ClassifyTest, SingleSensorCollapsesBuckets) {
+  auto t = computeThresholds({0.9});
+  EXPECT_EQ(classify(0.85, t), ProbabilityClass::Low);
+  EXPECT_EQ(classify(0.95, t), ProbabilityClass::VeryHigh);
+}
+
+TEST(ClassifyTest, ToStringNames) {
+  EXPECT_EQ(toString(ProbabilityClass::Low), "low");
+  EXPECT_EQ(toString(ProbabilityClass::VeryHigh), "very high");
+}
+
+}  // namespace
+}  // namespace mw::fusion

@@ -1,0 +1,157 @@
+// Spatial priors (§4.1.2 movement patterns / §11 future work): the uniform
+// prior must reproduce the classic formula exactly; the dwell prior must
+// shift probability toward frequented regions.
+#include <gtest/gtest.h>
+
+#include "fusion/engine.hpp"
+#include "fusion/prior.hpp"
+#include "util/error.hpp"
+
+namespace mw::fusion {
+namespace {
+
+using mw::util::minutes;
+using mw::util::sec;
+
+const geo::Rect kUniverse = geo::Rect::fromOrigin({0, 0}, 100, 100);
+
+FusionInput input(const char* id, geo::Rect r, double p, double q) {
+  return FusionInput{util::SensorId{id}, r, p, q, false};
+}
+
+// --- UniformPrior ------------------------------------------------------------------
+
+TEST(UniformPriorTest, MassIsAreaFraction) {
+  UniformPrior prior(kUniverse);
+  EXPECT_DOUBLE_EQ(prior.mass(kUniverse), 1.0);
+  EXPECT_DOUBLE_EQ(prior.mass(geo::Rect::fromOrigin({0, 0}, 10, 10)), 0.01);
+  EXPECT_DOUBLE_EQ(prior.mass(geo::Rect::fromOrigin({500, 500}, 10, 10)), 0.0);
+  // Clipped at the universe boundary.
+  EXPECT_DOUBLE_EQ(prior.mass(geo::Rect::fromOrigin({95, 0}, 10, 100)), 0.05);
+  EXPECT_THROW(UniformPrior{geo::Rect{}}, mw::util::ContractError);
+}
+
+TEST(UniformPriorTest, ReproducesClassicFormulaExactly) {
+  UniformPrior prior(kUniverse);
+  FusionInputs ins{input("s1", geo::Rect::fromOrigin({15, 15}, 5, 5), 0.9, 0.001),
+                   input("s2", geo::Rect::fromOrigin({10, 10}, 20, 20), 0.8, 0.01)};
+  for (const geo::Rect& region :
+       {geo::Rect::fromOrigin({10, 10}, 20, 20), geo::Rect::fromOrigin({15, 15}, 5, 5),
+        geo::Rect::fromOrigin({0, 0}, 50, 50), geo::Rect::fromOrigin({60, 60}, 10, 10)}) {
+    EXPECT_NEAR(regionProbabilityWithPrior(region, ins, kUniverse, prior),
+                regionProbability(region, ins, kUniverse), 1e-12);
+  }
+}
+
+// --- RegionDwellPrior ----------------------------------------------------------------
+
+RegionDwellPrior officePrior() {
+  // Two rooms partition part of the floor; the rest is background.
+  return RegionDwellPrior(kUniverse,
+                          {{"office", geo::Rect::fromOrigin({0, 0}, 20, 20)},
+                           {"lab", geo::Rect::fromOrigin({50, 50}, 20, 20)}},
+                          /*smoothingSeconds=*/1.0);
+}
+
+TEST(DwellPriorTest, UnobservedIsNearUniformAcrossCells) {
+  auto prior = officePrior();
+  EXPECT_DOUBLE_EQ(prior.cellFraction("office"), prior.cellFraction("lab"));
+  EXPECT_THROW((void)prior.cellFraction("nope"), mw::util::NotFoundError);
+}
+
+TEST(DwellPriorTest, ObservationsShiftMass) {
+  auto prior = officePrior();
+  // The person spends an hour in the office, nothing in the lab.
+  prior.observe("office", minutes(60));
+  EXPECT_GT(prior.cellFraction("office"), 0.9);
+  geo::Rect officeRect = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  geo::Rect labRect = geo::Rect::fromOrigin({50, 50}, 20, 20);
+  EXPECT_GT(prior.mass(officeRect), 50 * prior.mass(labRect));
+}
+
+TEST(DwellPriorTest, PointObservationsAttributeToContainingCell) {
+  auto prior = officePrior();
+  prior.observe(geo::Point2{10, 10}, minutes(30));  // inside office
+  prior.observe(geo::Point2{90, 90}, minutes(10));  // background
+  EXPECT_GT(prior.cellFraction("office"), prior.cellFraction("lab"));
+  // Background mass exists: a region fully outside both cells has mass.
+  EXPECT_GT(prior.mass(geo::Rect::fromOrigin({80, 80}, 10, 10)), 0.0);
+}
+
+TEST(DwellPriorTest, MassIsAdditiveAndNormalized) {
+  auto prior = officePrior();
+  prior.observe("office", minutes(10));
+  prior.observe("lab", minutes(5));
+  // Sub-cell additivity: halves of the office sum to the office.
+  geo::Rect left = geo::Rect::fromOrigin({0, 0}, 10, 20);
+  geo::Rect right = geo::Rect::fromOrigin({10, 0}, 10, 20);
+  geo::Rect office = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  EXPECT_NEAR(prior.mass(left) + prior.mass(right), prior.mass(office), 1e-12);
+  // Whole universe is certain.
+  EXPECT_NEAR(prior.mass(kUniverse), 1.0, 1e-9);
+}
+
+TEST(DwellPriorTest, Validation) {
+  EXPECT_THROW(RegionDwellPrior(kUniverse, {{"x", geo::Rect{}}}), mw::util::ContractError);
+  EXPECT_THROW(RegionDwellPrior(kUniverse, {{"x", geo::Rect::fromOrigin({200, 0}, 5, 5)}}),
+               mw::util::ContractError)
+      << "cell outside universe";
+  auto prior = officePrior();
+  EXPECT_THROW(prior.observe("office", util::Duration{-1}), mw::util::ContractError);
+}
+
+// --- prior-aware fusion -----------------------------------------------------------------
+
+TEST(PriorFusionTest, LearnedPriorBoostsFrequentedRegion) {
+  // One weak sensor says the person is somewhere in the office. With the
+  // learned "lives in the office" prior, the posterior should be higher
+  // than under the uniform prior.
+  auto prior = std::make_shared<RegionDwellPrior>(officePrior());
+  prior->observe("office", minutes(120));
+
+  geo::Rect office = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  FusionInputs ins{input("rf", office, 0.75, 0.01)};
+  double uniform = regionProbability(office, ins, kUniverse);
+  double learned = regionProbabilityWithPrior(office, ins, kUniverse, *prior);
+  EXPECT_GT(learned, uniform);
+  EXPECT_GT(learned, 0.9);
+}
+
+TEST(PriorFusionTest, LearnedPriorSuppressesNeverVisitedRegion) {
+  auto prior = std::make_shared<RegionDwellPrior>(officePrior());
+  prior->observe("office", minutes(120));
+  geo::Rect lab = geo::Rect::fromOrigin({50, 50}, 20, 20);
+  FusionInputs ins{input("rf", lab, 0.75, 0.01)};
+  double uniform = regionProbability(lab, ins, kUniverse);
+  double learned = regionProbabilityWithPrior(lab, ins, kUniverse, *prior);
+  EXPECT_LT(learned, uniform) << "evidence for the lab is discounted by habit";
+}
+
+TEST(PriorFusionTest, EngineUsesInstalledPrior) {
+  FusionEngine engine(kUniverse);
+  EXPECT_FALSE(engine.hasPrior());
+  geo::Rect office = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  FusionInputs ins{input("rf", office, 0.75, 0.01)};
+  double before = engine.probabilityInRegion(office, ins);
+
+  auto prior = std::make_shared<RegionDwellPrior>(officePrior());
+  prior->observe("office", minutes(120));
+  engine.setPrior(prior);
+  EXPECT_TRUE(engine.hasPrior());
+  double after = engine.probabilityInRegion(office, ins);
+  EXPECT_GT(after, before);
+
+  engine.setPrior(nullptr);
+  EXPECT_NEAR(engine.probabilityInRegion(office, ins), before, 1e-12);
+}
+
+TEST(PriorFusionTest, NoEvidenceReturnsPriorMass) {
+  auto prior = officePrior();
+  prior.observe("office", minutes(60));
+  geo::Rect office = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  EXPECT_NEAR(regionProbabilityWithPrior(office, {}, kUniverse, prior), prior.mass(office),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace mw::fusion

@@ -1,0 +1,55 @@
+#include "geometry/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mw::geo {
+namespace {
+
+TEST(Point2Test, Arithmetic) {
+  Point2 a{1, 2}, b{3, 5};
+  EXPECT_EQ(a + b, (Point2{4, 7}));
+  EXPECT_EQ(b - a, (Point2{2, 3}));
+  EXPECT_EQ(a * 2.5, (Point2{2.5, 5}));
+}
+
+TEST(Point2Test, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Point2{0, 0}, Point2{3, 4}), 5);
+  EXPECT_DOUBLE_EQ(distance(Point2{1, 1}, Point2{1, 1}), 0);
+}
+
+TEST(Point2Test, CrossSignGivesTurnDirection) {
+  Point2 o{0, 0}, a{1, 0};
+  EXPECT_GT(cross(o, a, Point2{1, 1}), 0) << "left turn";
+  EXPECT_LT(cross(o, a, Point2{1, -1}), 0) << "right turn";
+  EXPECT_DOUBLE_EQ(cross(o, a, Point2{2, 0}), 0) << "collinear";
+}
+
+TEST(Point2Test, Dot) {
+  EXPECT_DOUBLE_EQ(dot(Point2{1, 0}, Point2{0, 1}), 0) << "perpendicular";
+  EXPECT_DOUBLE_EQ(dot(Point2{2, 3}, Point2{4, 5}), 23);
+}
+
+TEST(Point2Test, Streams) {
+  std::ostringstream os;
+  os << Point2{1.5, -2};
+  EXPECT_EQ(os.str(), "(1.5,-2)");
+}
+
+TEST(Point3Test, ArithmeticAndProjection) {
+  Point3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, (Point3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Point3{3, 3, 3}));
+  EXPECT_EQ(a.xy(), (Point2{1, 2}));
+  EXPECT_DOUBLE_EQ(distance(Point3{0, 0, 0}, Point3{2, 3, 6}), 7);
+}
+
+TEST(Point3Test, Streams) {
+  std::ostringstream os;
+  os << Point3{1, 2, 3};
+  EXPECT_EQ(os.str(), "(1,2,3)");
+}
+
+}  // namespace
+}  // namespace mw::geo

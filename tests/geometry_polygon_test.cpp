@@ -1,0 +1,129 @@
+#include "geometry/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw::geo {
+namespace {
+
+Polygon unitSquare() { return Polygon{{0, 0}, {1, 0}, {1, 1}, {0, 1}}; }
+
+TEST(PolygonTest, AreaOfSquareEitherWinding) {
+  Polygon ccw{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  Polygon cw{{0, 0}, {0, 4}, {4, 4}, {4, 0}};
+  EXPECT_DOUBLE_EQ(ccw.area(), 16);
+  EXPECT_DOUBLE_EQ(cw.area(), 16);
+}
+
+TEST(PolygonTest, AreaOfTriangle) {
+  Polygon t{{0, 0}, {4, 0}, {0, 3}};
+  EXPECT_DOUBLE_EQ(t.area(), 6);
+}
+
+TEST(PolygonTest, InvalidPolygonHasZeroArea) {
+  Polygon p{{0, 0}, {1, 1}};
+  EXPECT_FALSE(p.valid());
+  EXPECT_EQ(p.area(), 0);
+}
+
+TEST(PolygonTest, Centroid) {
+  EXPECT_EQ(unitSquare().centroid(), (Point2{0.5, 0.5}));
+  Polygon t{{0, 0}, {3, 0}, {0, 3}};
+  EXPECT_EQ(t.centroid(), (Point2{1, 1}));
+}
+
+TEST(PolygonTest, Mbr) {
+  Polygon t{{1, 2}, {5, 0}, {3, 7}};
+  EXPECT_EQ(t.mbr(), Rect::fromCorners({1, 0}, {5, 7}));
+}
+
+TEST(PolygonTest, FromRectRoundTrip) {
+  Rect r = Rect::fromOrigin({2, 3}, 4, 5);
+  Polygon p = Polygon::fromRect(r);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_DOUBLE_EQ(p.area(), r.area());
+  EXPECT_EQ(p.mbr(), r);
+}
+
+TEST(PolygonTest, ContainsPoint) {
+  // L-shaped room: non-convex.
+  Polygon ell{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}};
+  EXPECT_TRUE(ell.contains(Point2{1, 1}));
+  EXPECT_TRUE(ell.contains(Point2{3, 1}));
+  EXPECT_TRUE(ell.contains(Point2{1, 3}));
+  EXPECT_FALSE(ell.contains(Point2{3, 3})) << "the notch is outside";
+  EXPECT_TRUE(ell.contains(Point2{0, 0})) << "boundary counts as inside";
+  EXPECT_TRUE(ell.contains(Point2{2, 3})) << "interior edge of the notch";
+}
+
+TEST(PolygonTest, ContainsPolygon) {
+  Polygon big{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  Polygon small{{2, 2}, {4, 2}, {4, 4}, {2, 4}};
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+}
+
+TEST(PolygonTest, NotchDefeatsVertexOnlyContainment) {
+  // All vertices of `probe` are inside the L, but probe spans the notch.
+  Polygon ell{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}};
+  Polygon probe{{1, 1}, {3.5, 1}, {3.5, 1.5}, {1, 3.5}};
+  // probe crosses into the notch region; contains() must reject it.
+  EXPECT_FALSE(ell.contains(probe));
+}
+
+TEST(PolygonTest, IntersectsOverlapping) {
+  Polygon a{{0, 0}, {4, 0}, {4, 4}, {0, 4}};
+  Polygon b{{2, 2}, {6, 2}, {6, 6}, {2, 6}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+}
+
+TEST(PolygonTest, IntersectsDisjoint) {
+  Polygon a{{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  Polygon b{{5, 5}, {6, 5}, {6, 6}, {5, 6}};
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(PolygonTest, IntersectsContained) {
+  Polygon big{{0, 0}, {10, 0}, {10, 10}, {0, 10}};
+  Polygon small{{2, 2}, {4, 2}, {4, 4}, {2, 4}};
+  EXPECT_TRUE(big.intersects(small)) << "containment counts as intersection";
+}
+
+TEST(ClippedAreaTest, NoOverlapGivesZero) {
+  EXPECT_DOUBLE_EQ(clippedArea(unitSquare(), Rect::fromOrigin({5, 5}, 1, 1)), 0);
+}
+
+TEST(ClippedAreaTest, FullContainmentGivesFullArea) {
+  EXPECT_DOUBLE_EQ(clippedArea(unitSquare(), Rect::fromOrigin({-1, -1}, 3, 3)), 1);
+}
+
+TEST(ClippedAreaTest, HalfOverlap) {
+  Polygon square{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_DOUBLE_EQ(clippedArea(square, Rect::fromOrigin({1, 0}, 4, 4)), 2);
+}
+
+TEST(ClippedAreaTest, TriangleClip) {
+  Polygon tri{{0, 0}, {4, 0}, {0, 4}};
+  // Clip to the lower-left unit square: keeps a unit right triangle corner
+  // region plus the trapezoid... compute exactly: region x,y in [0,1]^2 and
+  // x + y <= 4 -> whole unit square inside the triangle.
+  EXPECT_DOUBLE_EQ(clippedArea(tri, Rect::fromOrigin({0, 0}, 1, 1)), 1);
+  // Clip near the hypotenuse: x,y in [1.5,2.5]x[1.5,2.5] cut by x+y<=4.
+  double a = clippedArea(tri, Rect::fromOrigin({1.5, 1.5}, 1, 1));
+  EXPECT_NEAR(a, 0.5, 1e-9);
+}
+
+TEST(ClippedAreaTest, ClockwiseWindingHandled) {
+  Polygon cw{{0, 0}, {0, 2}, {2, 2}, {2, 0}};
+  EXPECT_DOUBLE_EQ(clippedArea(cw, Rect::fromOrigin({0, 0}, 1, 1)), 1);
+}
+
+TEST(ClippedAreaTest, MatchesRectIntersectionForRectPolygons) {
+  Rect a = Rect::fromOrigin({0, 0}, 5, 3);
+  Rect b = Rect::fromOrigin({2, 1}, 6, 6);
+  double expect = a.intersection(b)->area();
+  EXPECT_NEAR(clippedArea(Polygon::fromRect(a), b), expect, 1e-9);
+}
+
+}  // namespace
+}  // namespace mw::geo

@@ -1,0 +1,217 @@
+#include "geometry/rect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mw::geo {
+namespace {
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.height(), 0);
+}
+
+TEST(RectTest, FromCornersNormalizes) {
+  Rect a = Rect::fromCorners({5, 7}, {1, 2});
+  EXPECT_EQ(a.lo(), (Point2{1, 2}));
+  EXPECT_EQ(a.hi(), (Point2{5, 7}));
+  EXPECT_DOUBLE_EQ(a.area(), 4 * 5);
+}
+
+TEST(RectTest, FromOrigin) {
+  Rect r = Rect::fromOrigin({2, 3}, 4, 5);
+  EXPECT_EQ(r.lo(), (Point2{2, 3}));
+  EXPECT_EQ(r.hi(), (Point2{6, 8}));
+  EXPECT_THROW(Rect::fromOrigin({0, 0}, -1, 1), mw::util::ContractError);
+}
+
+TEST(RectTest, CenteredSquareIsDiscMbr) {
+  Rect r = Rect::centeredSquare({10, 10}, 0.5);  // Ubisense 6" radius
+  EXPECT_EQ(r.lo(), (Point2{9.5, 9.5}));
+  EXPECT_EQ(r.hi(), (Point2{10.5, 10.5}));
+  EXPECT_DOUBLE_EQ(r.area(), 1.0);
+  EXPECT_THROW(Rect::centeredSquare({0, 0}, -1), mw::util::ContractError);
+}
+
+TEST(RectTest, DegenerateRectHasZeroAreaButContainsItsPoint) {
+  Rect r = Rect::fromCorners({3, 3}, {3, 3});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+  EXPECT_TRUE(r.contains(Point2{3, 3}));
+}
+
+TEST(RectTest, ContainsPoint) {
+  Rect r = Rect::fromOrigin({0, 0}, 10, 10);
+  EXPECT_TRUE(r.contains(Point2{5, 5}));
+  EXPECT_TRUE(r.contains(Point2{0, 0}));    // corner
+  EXPECT_TRUE(r.contains(Point2{10, 5}));   // edge
+  EXPECT_FALSE(r.contains(Point2{10.01, 5}));
+  EXPECT_FALSE(r.contains(Point2{-1, 5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer = Rect::fromOrigin({0, 0}, 10, 10);
+  Rect inner = Rect::fromOrigin({2, 2}, 3, 3);
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer)) << "containment is reflexive";
+  // Touching the boundary still counts for (non-strict) containment.
+  Rect touching = Rect::fromOrigin({0, 0}, 5, 5);
+  EXPECT_TRUE(outer.contains(touching));
+  EXPECT_FALSE(outer.containsStrictly(touching));
+  EXPECT_TRUE(outer.containsStrictly(inner));
+}
+
+TEST(RectTest, EmptyRectContainmentConventions) {
+  Rect empty;
+  Rect r = Rect::fromOrigin({0, 0}, 1, 1);
+  EXPECT_TRUE(r.contains(empty)) << "empty set subset of anything";
+  EXPECT_FALSE(empty.contains(r));
+  EXPECT_FALSE(empty.intersects(r));
+  EXPECT_FALSE(r.intersects(empty));
+}
+
+TEST(RectTest, IntersectionBasics) {
+  Rect a = Rect::fromOrigin({0, 0}, 4, 4);
+  Rect b = Rect::fromOrigin({2, 2}, 4, 4);
+  auto c = a.intersection(b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, Rect::fromOrigin({2, 2}, 2, 2));
+  EXPECT_DOUBLE_EQ(c->area(), 4);
+}
+
+TEST(RectTest, IntersectionCommutes) {
+  Rect a = Rect::fromOrigin({0, 0}, 5, 3);
+  Rect b = Rect::fromOrigin({4, 1}, 7, 9);
+  EXPECT_EQ(a.intersection(b), b.intersection(a));
+}
+
+TEST(RectTest, DisjointRectsDoNotIntersect) {
+  Rect a = Rect::fromOrigin({0, 0}, 1, 1);
+  Rect b = Rect::fromOrigin({5, 5}, 1, 1);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_EQ(a.intersection(b), std::nullopt);
+}
+
+TEST(RectTest, EdgeTouchingIntersectsButNotInterior) {
+  Rect a = Rect::fromOrigin({0, 0}, 2, 2);
+  Rect b = Rect::fromOrigin({2, 0}, 2, 2);  // shares the x=2 edge
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.overlapsInterior(b));
+  auto line = a.intersection(b);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_DOUBLE_EQ(line->area(), 0);
+}
+
+TEST(RectTest, UnionCoversBoth) {
+  Rect a = Rect::fromOrigin({0, 0}, 1, 1);
+  Rect b = Rect::fromOrigin({5, 5}, 1, 1);
+  Rect u = a.unionWith(b);
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+  EXPECT_EQ(u, Rect::fromOrigin({0, 0}, 6, 6));
+  EXPECT_EQ(a.unionWith(Rect{}), a) << "union with empty is identity";
+  EXPECT_EQ(Rect{}.unionWith(b), b);
+}
+
+TEST(RectTest, Inflated) {
+  Rect r = Rect::fromOrigin({2, 2}, 2, 2);
+  EXPECT_EQ(r.inflated(1), Rect::fromOrigin({1, 1}, 4, 4));
+  EXPECT_TRUE(r.inflated(-2).empty()) << "deflating past zero yields empty";
+}
+
+TEST(RectTest, DistanceToRect) {
+  Rect a = Rect::fromOrigin({0, 0}, 2, 2);
+  Rect b = Rect::fromOrigin({5, 0}, 2, 2);   // 3 apart horizontally
+  Rect c = Rect::fromOrigin({5, 6}, 2, 2);   // diagonal
+  EXPECT_DOUBLE_EQ(a.distanceTo(b), 3);
+  EXPECT_DOUBLE_EQ(a.distanceTo(c), std::hypot(3, 4));
+  EXPECT_DOUBLE_EQ(a.distanceTo(a), 0);
+  Rect overlap = Rect::fromOrigin({1, 1}, 2, 2);
+  EXPECT_DOUBLE_EQ(a.distanceTo(overlap), 0);
+}
+
+TEST(RectTest, DistanceToPoint) {
+  Rect r = Rect::fromOrigin({0, 0}, 2, 2);
+  EXPECT_DOUBLE_EQ(r.distanceTo(Point2{1, 1}), 0);
+  EXPECT_DOUBLE_EQ(r.distanceTo(Point2{5, 1}), 3);
+  EXPECT_DOUBLE_EQ(r.distanceTo(Point2{5, 6}), 5);
+}
+
+TEST(RectTest, Center) {
+  Rect r = Rect::fromOrigin({0, 0}, 4, 2);
+  EXPECT_EQ(r.center(), (Point2{2, 1}));
+}
+
+TEST(RectTest, ApproxEqual) {
+  Rect a = Rect::fromOrigin({0, 0}, 1, 1);
+  Rect b = Rect::fromOrigin({1e-12, 0}, 1, 1);
+  EXPECT_TRUE(approxEqual(a, b));
+  EXPECT_FALSE(approxEqual(a, Rect::fromOrigin({0.1, 0}, 1, 1)));
+  EXPECT_TRUE(approxEqual(Rect{}, Rect{}));
+  EXPECT_FALSE(approxEqual(Rect{}, a));
+}
+
+// --- property sweep: intersection/containment/union invariants --------------
+
+struct RectPair {
+  Rect a;
+  Rect b;
+};
+
+class RectAlgebra : public ::testing::TestWithParam<RectPair> {};
+
+TEST_P(RectAlgebra, IntersectionIsContainedInBoth) {
+  const auto& [a, b] = GetParam();
+  auto c = a.intersection(b);
+  if (c) {
+    EXPECT_TRUE(a.contains(*c));
+    EXPECT_TRUE(b.contains(*c));
+    EXPECT_LE(c->area(), std::min(a.area(), b.area()) + 1e-12);
+  }
+}
+
+TEST_P(RectAlgebra, UnionContainsBothAndIsCommutative) {
+  const auto& [a, b] = GetParam();
+  Rect u = a.unionWith(b);
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+  EXPECT_EQ(u, b.unionWith(a));
+}
+
+TEST_P(RectAlgebra, InclusionExclusionUpperBound) {
+  const auto& [a, b] = GetParam();
+  auto c = a.intersection(b);
+  double inter = c ? c->area() : 0.0;
+  // area(A ∪ B) as MBR >= area(A) + area(B) - area(A ∩ B)
+  EXPECT_GE(a.unionWith(b).area() + 1e-9, a.area() + b.area() - inter);
+}
+
+TEST_P(RectAlgebra, ContainmentImpliesIntersectionEqualsInner) {
+  const auto& [a, b] = GetParam();
+  if (a.contains(b) && !b.empty()) {
+    auto c = a.intersection(b);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(*c, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, RectAlgebra,
+    ::testing::Values(
+        RectPair{Rect::fromOrigin({0, 0}, 10, 10), Rect::fromOrigin({2, 2}, 2, 2)},
+        RectPair{Rect::fromOrigin({0, 0}, 4, 4), Rect::fromOrigin({2, 2}, 4, 4)},
+        RectPair{Rect::fromOrigin({0, 0}, 1, 1), Rect::fromOrigin({9, 9}, 1, 1)},
+        RectPair{Rect::fromOrigin({0, 0}, 2, 2), Rect::fromOrigin({2, 0}, 2, 2)},
+        RectPair{Rect::fromOrigin({0, 0}, 5, 1), Rect::fromOrigin({0, 0}, 1, 5)},
+        RectPair{Rect::fromOrigin({1, 1}, 3, 3), Rect::fromOrigin({1, 1}, 3, 3)},
+        RectPair{Rect::fromCorners({0, 0}, {0, 0}), Rect::fromOrigin({0, 0}, 1, 1)}));
+
+}  // namespace
+}  // namespace mw::geo

@@ -1,0 +1,150 @@
+#include "geometry/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mw::geo {
+namespace {
+
+TEST(RTreeTest, EmptyTree) {
+  RTree<int> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.search(Rect::fromOrigin({0, 0}, 100, 100)).empty());
+}
+
+TEST(RTreeTest, InsertAndFind) {
+  RTree<int> tree;
+  tree.insert(Rect::fromOrigin({0, 0}, 1, 1), 1);
+  tree.insert(Rect::fromOrigin({5, 5}, 1, 1), 2);
+  auto hits = tree.search(Rect::fromOrigin({0, 0}, 2, 2));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(RTreeTest, InsertEmptyRectThrows) {
+  RTree<int> tree;
+  EXPECT_THROW(tree.insert(Rect{}, 1), mw::util::ContractError);
+}
+
+TEST(RTreeTest, ContainingPoint) {
+  RTree<int> tree;
+  tree.insert(Rect::fromOrigin({0, 0}, 10, 10), 1);
+  tree.insert(Rect::fromOrigin({5, 5}, 10, 10), 2);
+  auto hits = tree.containing(Point2{7, 7});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int>{1, 2}));
+  EXPECT_EQ(tree.containing(Point2{20, 20}).size(), 0u);
+}
+
+TEST(RTreeTest, SplitsGrowHeight) {
+  RTree<int> tree{4};
+  for (int i = 0; i < 100; ++i) {
+    tree.insert(Rect::fromOrigin({static_cast<double>(i % 10) * 2, double(i / 10) * 2}, 1, 1), i);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_GT(tree.height(), 1u);
+  // Every entry still findable.
+  int found = 0;
+  tree.forEach([&](const Rect&, const int&) { ++found; });
+  EXPECT_EQ(found, 100);
+}
+
+TEST(RTreeTest, RemoveExisting) {
+  RTree<int> tree;
+  Rect r = Rect::fromOrigin({1, 1}, 1, 1);
+  tree.insert(r, 7);
+  EXPECT_TRUE(tree.remove(r, 7));
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.search(r).empty());
+}
+
+TEST(RTreeTest, RemoveAbsentReturnsFalse) {
+  RTree<int> tree;
+  tree.insert(Rect::fromOrigin({1, 1}, 1, 1), 7);
+  EXPECT_FALSE(tree.remove(Rect::fromOrigin({2, 2}, 1, 1), 7));
+  EXPECT_FALSE(tree.remove(Rect::fromOrigin({1, 1}, 1, 1), 8));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, RemoveUnderflowCondensesAndKeepsOthers) {
+  RTree<int> tree{4};
+  std::vector<Rect> rects;
+  for (int i = 0; i < 50; ++i) {
+    Rect r = Rect::fromOrigin({static_cast<double>(i * 3), 0}, 2, 2);
+    rects.push_back(r);
+    tree.insert(r, i);
+  }
+  // Remove every other entry.
+  for (int i = 0; i < 50; i += 2) {
+    EXPECT_TRUE(tree.remove(rects[i], i)) << "i=" << i;
+  }
+  EXPECT_EQ(tree.size(), 25u);
+  for (int i = 1; i < 50; i += 2) {
+    auto hits = tree.search(rects[i]);
+    EXPECT_TRUE(std::find(hits.begin(), hits.end(), i) != hits.end()) << "i=" << i;
+  }
+}
+
+TEST(RTreeTest, DuplicateBoxesDistinctValues) {
+  RTree<int> tree;
+  Rect r = Rect::fromOrigin({0, 0}, 1, 1);
+  tree.insert(r, 1);
+  tree.insert(r, 2);
+  auto hits = tree.search(r);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(tree.remove(r, 1));
+  hits = tree.search(r);
+  EXPECT_EQ(hits, (std::vector<int>{2}));
+}
+
+// Property test: R-tree search results always equal a brute-force linear scan,
+// across random workloads of inserts and removes.
+class RTreeVsLinearScan : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RTreeVsLinearScan, SearchEquivalence) {
+  mw::util::Rng rng{GetParam()};
+  RTree<std::size_t> tree{6};
+  std::vector<std::pair<Rect, std::size_t>> reference;
+
+  for (std::size_t i = 0; i < 400; ++i) {
+    Rect r = Rect::fromOrigin({rng.uniform(0, 100), rng.uniform(0, 100)}, rng.uniform(0.1, 10),
+                              rng.uniform(0.1, 10));
+    tree.insert(r, i);
+    reference.emplace_back(r, i);
+  }
+  // Random removals.
+  for (int k = 0; k < 100; ++k) {
+    std::size_t idx = static_cast<std::size_t>(rng.uniformInt(0, std::ssize(reference) - 1));
+    auto [r, v] = reference[idx];
+    ASSERT_TRUE(tree.remove(r, v));
+    reference.erase(reference.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+
+  for (int q = 0; q < 50; ++q) {
+    Rect query = Rect::fromOrigin({rng.uniform(-10, 100), rng.uniform(-10, 100)},
+                                  rng.uniform(0.1, 30), rng.uniform(0.1, 30));
+    auto hits = tree.search(query);
+    std::vector<std::size_t> expect;
+    for (const auto& [r, v] : reference) {
+      if (r.intersects(query)) expect.push_back(v);
+    }
+    std::sort(hits.begin(), hits.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(hits, expect) << "query " << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeVsLinearScan,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u, 9001u));
+
+}  // namespace
+}  // namespace mw::geo

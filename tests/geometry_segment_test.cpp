@@ -1,0 +1,91 @@
+#include "geometry/segment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mw::geo {
+namespace {
+
+TEST(SegmentTest, LengthAndMidpoint) {
+  Segment s{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(s.length(), 5);
+  EXPECT_EQ(s.midpoint(), (Point2{1.5, 2}));
+}
+
+TEST(SegmentTest, MbrOfDiagonal) {
+  Segment s{{4, 1}, {1, 3}};
+  EXPECT_EQ(s.mbr(), Rect::fromCorners({1, 1}, {4, 3}));
+}
+
+TEST(SegmentIntersectTest, CrossingSegments) {
+  EXPECT_TRUE(segmentsIntersect({{0, 0}, {4, 4}}, {{0, 4}, {4, 0}}));
+}
+
+TEST(SegmentIntersectTest, ParallelDisjoint) {
+  EXPECT_FALSE(segmentsIntersect({{0, 0}, {4, 0}}, {{0, 1}, {4, 1}}));
+}
+
+TEST(SegmentIntersectTest, CollinearOverlapping) {
+  EXPECT_TRUE(segmentsIntersect({{0, 0}, {4, 0}}, {{2, 0}, {6, 0}}));
+}
+
+TEST(SegmentIntersectTest, CollinearDisjoint) {
+  EXPECT_FALSE(segmentsIntersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(SegmentIntersectTest, TouchingAtEndpoint) {
+  EXPECT_TRUE(segmentsIntersect({{0, 0}, {2, 2}}, {{2, 2}, {4, 0}}));
+}
+
+TEST(SegmentIntersectTest, TShapedTouch) {
+  EXPECT_TRUE(segmentsIntersect({{0, 0}, {4, 0}}, {{2, 0}, {2, 3}}));
+}
+
+TEST(DistanceToSegmentTest, ProjectionInside) {
+  Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(distanceToSegment({5, 3}, s), 3);
+}
+
+TEST(DistanceToSegmentTest, ProjectionOutsideClampsToEndpoint) {
+  Segment s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(distanceToSegment({13, 4}, s), 5);
+  EXPECT_DOUBLE_EQ(distanceToSegment({-3, 4}, s), 5);
+}
+
+TEST(DistanceToSegmentTest, DegenerateSegmentIsPointDistance) {
+  Segment s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(distanceToSegment({5, 6}, s), 5);
+}
+
+TEST(SegmentOnRectBoundaryTest, DoorOnSharedWall) {
+  // Rooms (0,0)-(4,4); a "door" on the right wall x=4.
+  Rect room = Rect::fromOrigin({0, 0}, 4, 4);
+  Segment door{{4, 1}, {4, 2}};
+  EXPECT_TRUE(segmentOnRectBoundary(door, room));
+  Segment insideSeg{{2, 1}, {2, 2}};
+  EXPECT_FALSE(segmentOnRectBoundary(insideSeg, room));
+  Segment outsideVertical{{5, 1}, {5, 2}};
+  EXPECT_FALSE(segmentOnRectBoundary(outsideVertical, room));
+}
+
+TEST(SegmentOnRectBoundaryTest, HorizontalEdges) {
+  Rect room = Rect::fromOrigin({0, 0}, 4, 4);
+  EXPECT_TRUE(segmentOnRectBoundary({{1, 0}, {2, 0}}, room));
+  EXPECT_TRUE(segmentOnRectBoundary({{1, 4}, {2, 4}}, room));
+  // On the boundary line but beyond the rect's extent.
+  EXPECT_FALSE(segmentOnRectBoundary({{5, 0}, {6, 0}}, room));
+}
+
+TEST(SegmentIntersectsRectTest, Cases) {
+  Rect r = Rect::fromOrigin({0, 0}, 4, 4);
+  EXPECT_TRUE(segmentIntersectsRect({{1, 1}, {2, 2}}, r)) << "fully inside";
+  EXPECT_TRUE(segmentIntersectsRect({{-1, 2}, {5, 2}}, r)) << "crossing through";
+  EXPECT_TRUE(segmentIntersectsRect({{-1, -1}, {1, 1}}, r)) << "one endpoint inside";
+  EXPECT_FALSE(segmentIntersectsRect({{5, 5}, {7, 7}}, r)) << "fully outside";
+  EXPECT_TRUE(segmentIntersectsRect({{4, 1}, {4, 2}}, r)) << "on boundary";
+  EXPECT_FALSE(segmentIntersectsRect({{1, 1}, {2, 2}}, Rect{})) << "empty rect";
+}
+
+}  // namespace
+}  // namespace mw::geo

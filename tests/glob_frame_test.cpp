@@ -1,0 +1,146 @@
+#include "glob/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace mw::glob {
+namespace {
+
+using mw::util::ContractError;
+using mw::util::NotFoundError;
+
+FrameTree buildingTree() {
+  // Building SC; floor 3 offset by (0, 0); room 3216 at (45, 12) on floor 3.
+  FrameTree tree;
+  tree.addRoot("SC");
+  tree.addFrame("SC/3", "SC", Transform2{{0, 0}, 0});
+  tree.addFrame("SC/3/3216", "SC/3", Transform2{{45, 12}, 0});
+  tree.addFrame("SC/3/3105", "SC/3", Transform2{{330, 0}, 0});
+  return tree;
+}
+
+TEST(Transform2Test, IdentityByDefault) {
+  Transform2 t;
+  EXPECT_EQ(t.apply({3, 4}), (geo::Point2{3, 4}));
+  EXPECT_EQ(t.invert({3, 4}), (geo::Point2{3, 4}));
+}
+
+TEST(Transform2Test, TranslationRoundTrip) {
+  Transform2 t{{10, -5}, 0};
+  geo::Point2 p{1, 2};
+  EXPECT_EQ(t.apply(p), (geo::Point2{11, -3}));
+  EXPECT_EQ(t.invert(t.apply(p)), p);
+}
+
+TEST(Transform2Test, RotationBy90) {
+  Transform2 t{{0, 0}, std::numbers::pi / 2};
+  geo::Point2 q = t.apply({1, 0});
+  EXPECT_NEAR(q.x, 0, 1e-12);
+  EXPECT_NEAR(q.y, 1, 1e-12);
+}
+
+TEST(Transform2Test, CompositionMatchesSequentialApplication) {
+  Transform2 a{{3, 4}, 0.3};
+  Transform2 b{{-1, 2}, 1.1};
+  geo::Point2 p{5, 6};
+  geo::Point2 viaCompose = (a * b).apply(p);
+  geo::Point2 viaSeq = a.apply(b.apply(p));
+  EXPECT_NEAR(viaCompose.x, viaSeq.x, 1e-12);
+  EXPECT_NEAR(viaCompose.y, viaSeq.y, 1e-12);
+}
+
+TEST(FrameTreeTest, RootRegistration) {
+  FrameTree tree;
+  tree.addRoot("SC");
+  EXPECT_TRUE(tree.has("SC"));
+  EXPECT_EQ(tree.rootName(), "SC");
+  EXPECT_EQ(tree.parentOf("SC"), std::nullopt);
+  EXPECT_THROW(tree.addRoot("other"), ContractError);
+}
+
+TEST(FrameTreeTest, UnknownFrameThrows) {
+  FrameTree tree;
+  tree.addRoot("SC");
+  EXPECT_THROW(tree.addFrame("SC/9/100", "SC/9", Transform2{}), NotFoundError);
+  EXPECT_THROW((void)tree.toRoot("nope", {0, 0}), NotFoundError);
+  EXPECT_THROW((void)tree.parentOf("nope"), NotFoundError);
+}
+
+TEST(FrameTreeTest, DuplicateFrameThrows) {
+  FrameTree tree = buildingTree();
+  EXPECT_THROW(tree.addFrame("SC/3", "SC", Transform2{}), ContractError);
+}
+
+TEST(FrameTreeTest, RoomToBuildingConversion) {
+  FrameTree tree = buildingTree();
+  // The paper's example: lightswitch1 at (12,3) in room 3216's frame; room
+  // origin is (45,12) on floor 3, floor aligned with the building.
+  geo::Point2 inBuilding = tree.toRoot("SC/3/3216", {12, 3});
+  EXPECT_EQ(inBuilding, (geo::Point2{57, 15}));
+  EXPECT_EQ(tree.fromRoot("SC/3/3216", inBuilding), (geo::Point2{12, 3}));
+}
+
+TEST(FrameTreeTest, RoomToRoomConversion) {
+  FrameTree tree = buildingTree();
+  geo::Point2 in3105 = tree.convert("SC/3/3216", "SC/3/3105", {12, 3});
+  // (12,3) in 3216 == (57,15) on floor == (57-330, 15-0) in 3105.
+  EXPECT_EQ(in3105, (geo::Point2{-273, 15}));
+  // Round trip back.
+  EXPECT_EQ(tree.convert("SC/3/3105", "SC/3/3216", in3105), (geo::Point2{12, 3}));
+}
+
+TEST(FrameTreeTest, SameFrameConversionIsIdentity) {
+  FrameTree tree = buildingTree();
+  geo::Point2 p{4, 4};
+  EXPECT_EQ(tree.convert("SC/3", "SC/3", p), p);
+}
+
+TEST(FrameTreeTest, ConvertRectTranslationExact) {
+  FrameTree tree = buildingTree();
+  geo::Rect local = geo::Rect::fromOrigin({0, 0}, 20, 28);  // room 3216 outline
+  geo::Rect inFloor = tree.convertRect("SC/3/3216", "SC/3", local);
+  EXPECT_EQ(inFloor, geo::Rect::fromOrigin({45, 12}, 20, 28));
+}
+
+TEST(FrameTreeTest, ConvertRectUnderRotationIsMbr) {
+  FrameTree tree;
+  tree.addRoot("U");
+  tree.addFrame("U/rot", "U", Transform2{{0, 0}, std::numbers::pi / 4});
+  geo::Rect unit = geo::Rect::fromOrigin({0, 0}, 1, 1);
+  geo::Rect mbr = tree.convertRect("U/rot", "U", unit);
+  // Rotating the unit square by 45° gives an MBR of sqrt(2) x sqrt(2).
+  EXPECT_NEAR(mbr.width(), std::numbers::sqrt2, 1e-9);
+  EXPECT_NEAR(mbr.height(), std::numbers::sqrt2, 1e-9);
+  EXPECT_GE(mbr.area(), unit.area()) << "MBR over-approximates (§4.1.2)";
+}
+
+TEST(FrameTreeTest, ConvertPolygonPreservesArea) {
+  FrameTree tree;
+  tree.addRoot("U");
+  tree.addFrame("U/rot", "U", Transform2{{5, 7}, 0.7});
+  geo::Polygon tri{{0, 0}, {4, 0}, {0, 3}};
+  geo::Polygon out = tree.convertPolygon("U/rot", "U", tri);
+  EXPECT_NEAR(out.area(), tri.area(), 1e-9) << "rigid transforms preserve area";
+}
+
+TEST(FrameTreeTest, ConvertEmptyRect) {
+  FrameTree tree = buildingTree();
+  EXPECT_TRUE(tree.convertRect("SC/3", "SC", geo::Rect{}).empty());
+}
+
+TEST(FrameTreeTest, DeepHierarchy) {
+  FrameTree tree;
+  tree.addRoot("campus");
+  tree.addFrame("b", "campus", Transform2{{100, 0}, 0});
+  tree.addFrame("b/f", "b", Transform2{{0, 50}, 0});
+  tree.addFrame("b/f/r", "b/f", Transform2{{10, 10}, 0});
+  tree.addFrame("b/f/r/desk", "b/f/r", Transform2{{1, 1}, 0});
+  EXPECT_EQ(tree.toRoot("b/f/r/desk", {0, 0}), (geo::Point2{111, 61}));
+  EXPECT_EQ(tree.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mw::glob

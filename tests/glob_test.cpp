@@ -1,0 +1,143 @@
+#include "glob/glob.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mw::glob {
+namespace {
+
+using mw::util::ParseError;
+
+// --- parsing the paper's own examples (§3.1) --------------------------------
+
+TEST(GlobParseTest, SymbolicPoint) {
+  Glob g = Glob::parse("SC/3/3216/lightswitch1");
+  EXPECT_TRUE(g.isSymbolic());
+  EXPECT_EQ(g.depth(), 4u);
+  EXPECT_EQ(g.name(), "lightswitch1");
+  EXPECT_EQ(g.prefix(), "SC/3/3216");
+  EXPECT_EQ(g.geometryKind(), GeometryKind::Region);
+}
+
+TEST(GlobParseTest, CoordinatePoint) {
+  Glob g = Glob::parse("SC/3/3216/(12,3,4)");
+  EXPECT_TRUE(g.isCoordinate());
+  EXPECT_EQ(g.pathString(), "SC/3/3216");
+  ASSERT_EQ(g.coords().size(), 1u);
+  EXPECT_EQ(g.coords()[0], (geo::Point3{12, 3, 4}));
+  EXPECT_EQ(g.geometryKind(), GeometryKind::Point);
+}
+
+TEST(GlobParseTest, CoordinateLine) {
+  Glob g = Glob::parse("SC/3/3216/(1,3),(4,5)");
+  ASSERT_EQ(g.coords().size(), 2u);
+  EXPECT_EQ(g.coords()[0], (geo::Point3{1, 3, 0}));
+  EXPECT_EQ(g.coords()[1], (geo::Point3{4, 5, 0}));
+  EXPECT_EQ(g.geometryKind(), GeometryKind::Line);
+}
+
+TEST(GlobParseTest, CoordinatePolygonRoom) {
+  Glob g = Glob::parse("SC/3/(45,12),(45,40),(65,40),(65,12)");
+  EXPECT_EQ(g.pathString(), "SC/3");
+  ASSERT_EQ(g.coords().size(), 4u);
+  EXPECT_EQ(g.geometryKind(), GeometryKind::Polygon);
+  auto poly = g.asPolygon();
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_DOUBLE_EQ(poly->area(), 20.0 * 28.0);
+}
+
+TEST(GlobParseTest, SymbolicRegion) {
+  Glob g = Glob::parse("SC/3/3216");
+  EXPECT_TRUE(g.isSymbolic());
+  EXPECT_EQ(g.name(), "3216");
+  EXPECT_EQ(g.geometryKind(), GeometryKind::Region);
+}
+
+TEST(GlobParseTest, NegativeAndFractionalCoordinates) {
+  Glob g = Glob::parse("SC/(-1.5,2.25)");
+  ASSERT_EQ(g.coords().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.coords()[0].x, -1.5);
+  EXPECT_DOUBLE_EQ(g.coords()[0].y, 2.25);
+}
+
+TEST(GlobParseTest, MalformedInputsThrow) {
+  EXPECT_THROW(Glob::parse(""), ParseError);
+  EXPECT_THROW(Glob::parse("SC//3"), ParseError);
+  EXPECT_THROW(Glob::parse("SC/3/"), ParseError);
+  EXPECT_THROW(Glob::parse("SC/(1)"), ParseError);         // tuple needs >= 2 numbers
+  EXPECT_THROW(Glob::parse("SC/(1,2"), ParseError);        // unterminated
+  EXPECT_THROW(Glob::parse("SC/(1,2)x"), ParseError);      // junk after tuple
+  EXPECT_THROW(Glob::parse("SC/(a,b)"), ParseError);       // not numbers
+  EXPECT_THROW(Glob::parse("SC/(1,2),"), ParseError);      // dangling comma
+}
+
+// --- round-tripping ----------------------------------------------------------
+
+TEST(GlobRoundTripTest, SymbolicAndCoordinateFormsSurvive) {
+  for (const char* text :
+       {"SC/3/3216/lightswitch1", "SC/3/3216/(12,3,4)", "SC/3/3216/(1,3),(4,5)", "SC/3/3216",
+        "SC/3/(45,12),(45,40),(65,40),(65,12)"}) {
+    Glob g = Glob::parse(text);
+    EXPECT_EQ(Glob::parse(g.str()), g) << text;
+    EXPECT_EQ(g.str(), text) << "canonical form preserved";
+  }
+}
+
+// --- construction ------------------------------------------------------------
+
+TEST(GlobBuildTest, SymbolicFactoryValidates) {
+  EXPECT_THROW(Glob::symbolic({}), mw::util::ContractError);
+  EXPECT_THROW(Glob::symbolic({"SC", ""}), mw::util::ContractError);
+  EXPECT_THROW(Glob::symbolic({"SC", "a/b"}), mw::util::ContractError);
+  EXPECT_THROW(Glob::symbolic({"SC", "(1,2)"}), mw::util::ContractError);
+  Glob g = Glob::symbolic({"SC", "3", "3216"});
+  EXPECT_EQ(g.str(), "SC/3/3216");
+}
+
+TEST(GlobBuildTest, CoordinateFactoryValidates) {
+  EXPECT_THROW(Glob::coordinate({"SC"}, {}), mw::util::ContractError);
+  Glob g = Glob::coordinate({"SC", "3"}, {{1, 2, 0}});
+  EXPECT_EQ(g.str(), "SC/3/(1,2)");
+}
+
+// --- hierarchy operations ----------------------------------------------------
+
+TEST(GlobHierarchyTest, PrefixRelation) {
+  Glob building = Glob::parse("SC");
+  Glob floor = Glob::parse("SC/3");
+  Glob room = Glob::parse("SC/3/3216");
+  Glob otherFloor = Glob::parse("SC/2");
+  EXPECT_TRUE(building.isPrefixOf(room));
+  EXPECT_TRUE(floor.isPrefixOf(room));
+  EXPECT_TRUE(room.isPrefixOf(room));
+  EXPECT_FALSE(room.isPrefixOf(floor));
+  EXPECT_FALSE(otherFloor.isPrefixOf(room));
+}
+
+TEST(GlobHierarchyTest, TruncationForPrivacy) {
+  // §4.5: "privacy constraints that specify that a user's location can only
+  // be revealed upto a certain granularity (like a room or a floor)".
+  Glob precise = Glob::parse("SC/3/3216/(12,3,4)");
+  EXPECT_EQ(precise.truncated(2).str(), "SC/3");
+  EXPECT_EQ(precise.truncated(3).str(), "SC/3/3216");
+  EXPECT_EQ(precise.truncated(10).str(), "SC/3/3216") << "clamped to depth";
+  EXPECT_TRUE(precise.truncated(2).isSymbolic()) << "coordinates are dropped";
+}
+
+TEST(GlobGeometryTest, AsPointAndMbr) {
+  Glob pt = Glob::parse("SC/3/(7,8)");
+  ASSERT_TRUE(pt.asPoint().has_value());
+  EXPECT_EQ(*pt.asPoint(), (geo::Point2{7, 8}));
+  EXPECT_EQ(pt.asPolygon(), std::nullopt);
+
+  Glob poly = Glob::parse("SC/3/(0,0),(4,0),(4,2),(0,2)");
+  EXPECT_EQ(poly.asPoint(), std::nullopt);
+  EXPECT_EQ(poly.mbr(), geo::Rect::fromOrigin({0, 0}, 4, 2));
+
+  Glob sym = Glob::parse("SC/3/3216");
+  EXPECT_TRUE(sym.mbr().empty()) << "symbolic GLOBs have no inline geometry";
+}
+
+}  // namespace
+}  // namespace mw::glob

@@ -1,0 +1,231 @@
+// End-to-end integration tests: simulated building, four sensor
+// technologies, the MicroOrb, the spatial database, fusion and triggers all
+// wired together — the Fig-1 stack — plus failure injection.
+#include <gtest/gtest.h>
+
+#include "adapters/biometric.hpp"
+#include "adapters/card_reader.hpp"
+#include "adapters/rfid.hpp"
+#include "adapters/ubisense.hpp"
+#include "core/middlewhere.hpp"
+#include "sim/blueprint.hpp"
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace mw {
+namespace {
+
+using core::Middlewhere;
+using core::Notification;
+using mw::util::AdapterId;
+using mw::util::MobileObjectId;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+struct Stack {
+  VirtualClock clock;
+  sim::Blueprint blueprint;
+  std::unique_ptr<Middlewhere> mw;
+  std::unique_ptr<sim::World> world;
+
+  explicit Stack(std::uint64_t seed = 42)
+      : blueprint(sim::generateBlueprint({.building = "SC", .floors = 1, .roomsPerSide = 4})) {
+    mw = std::make_unique<Middlewhere>(clock, blueprint.universe, blueprint.frames());
+    blueprint.populate(mw->database());
+    mw->locationService().connectivity() = blueprint.connectivity();
+    world = std::make_unique<sim::World>(blueprint, seed);
+  }
+
+  core::LocationService& service() { return mw->locationService(); }
+
+  std::shared_ptr<adapters::UbisenseAdapter> ubisense(const char* sensor) {
+    auto a = std::make_shared<adapters::UbisenseAdapter>(
+        AdapterId{std::string(sensor) + "-adapter"}, SensorId{sensor},
+        adapters::UbisenseConfig{blueprint.universe, 0.5, 1.0, sec(5), ""});
+    a->registerWith(mw->database());
+    return a;
+  }
+
+  std::shared_ptr<adapters::RfidBadgeAdapter> rfid(const char* sensor, geo::Point2 base) {
+    auto a = std::make_shared<adapters::RfidBadgeAdapter>(
+        AdapterId{std::string(sensor) + "-adapter"}, SensorId{sensor},
+        adapters::RfidConfig{base, 15.0, 1.0, sec(60), ""});
+    a->registerWith(mw->database());
+    return a;
+  }
+};
+
+TEST(IntegrationTest, TrackedPersonIsLocatedInTheRightRoom) {
+  Stack stack;
+  stack.world->addPerson({MobileObjectId{"alice"}, "101", 4.0, 1.0, 1.0, 0.0});
+
+  sim::Scenario scenario(stack.clock, *stack.world,
+                         [&](const db::SensorReading& r) { stack.service().ingest(r); });
+  scenario.addAdapter(stack.ubisense("ubi-1"), sec(1));
+  scenario.run(sec(10));
+
+  auto est = stack.service().locateObject(MobileObjectId{"alice"});
+  ASSERT_TRUE(est.has_value());
+  auto trueRoom = stack.world->currentRoom(MobileObjectId{"alice"});
+  ASSERT_TRUE(trueRoom.has_value());
+  // The estimate's center must be near the true position. The last reading
+  // can be up to ~2 s old (1 s sampling period + detection jitter) while
+  // alice walks at 4 ft/s, so allow 2 s of walking plus sensor noise.
+  auto truePos = stack.world->position(MobileObjectId{"alice"});
+  EXPECT_LT(geo::distance(est->region.center(), *truePos), 9.0);
+
+  auto symbolic = stack.service().locateSymbolic(MobileObjectId{"alice"});
+  ASSERT_TRUE(symbolic.has_value());
+  EXPECT_EQ(symbolic->name(), *trueRoom);
+}
+
+TEST(IntegrationTest, MultiTechnologyFusionTracksThroughTheBuilding) {
+  Stack stack;
+  stack.world->addPerson({MobileObjectId{"bob"}, "102", 4.0, 1.0, 1.0, 0.0});
+
+  sim::Scenario scenario(stack.clock, *stack.world,
+                         [&](const db::SensorReading& r) { stack.service().ingest(r); });
+  scenario.addAdapter(stack.ubisense("ubi-1"), sec(1));
+  scenario.addAdapter(stack.rfid("rf-1", stack.blueprint.centerOf("102")), sec(2));
+  scenario.run(sec(8));
+
+  auto est = stack.service().locateObject(MobileObjectId{"bob"});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GE(est->supporting.size(), 1u);
+  // Ubisense (6") dominates the estimate; RFID's 15 ft region reinforces.
+  EXPECT_LT(est->region.width(), 2.0);
+  EXPECT_GT(est->probability, 0.9);
+}
+
+TEST(IntegrationTest, RegionTriggerFiresWhenPersonWalksIn) {
+  Stack stack;
+  stack.world->addPerson({MobileObjectId{"carol"}, "101", 6.0, 1.0, 0.0, 0.0});
+
+  const geo::Rect room104 = stack.blueprint.roomNamed("104")->rect;
+  std::vector<Notification> notes;
+  stack.service().subscribe({room104, std::nullopt, 0.5, std::nullopt, /*onlyOnEntry=*/true,
+                             [&](const Notification& n) { notes.push_back(n); }});
+
+  sim::Scenario scenario(stack.clock, *stack.world,
+                         [&](const db::SensorReading& r) { stack.service().ingest(r); });
+  scenario.addAdapter(stack.ubisense("ubi-1"), sec(1));
+
+  stack.world->sendTo(MobileObjectId{"carol"}, "104");
+  scenario.run(sec(60));
+  ASSERT_GE(notes.size(), 1u) << "entry into 104 noticed";
+  EXPECT_EQ(notes[0].object.str(), "carol");
+  EXPECT_GT(notes[0].probability, 0.5);
+}
+
+TEST(IntegrationTest, BiometricAndCardReaderEvents) {
+  Stack stack;
+  stack.world->addPerson({MobileObjectId{"dave"}, "103", 4.0, 0.0, 0.0, 0.0});
+
+  const geo::Rect room103 = stack.blueprint.roomNamed("103")->rect;
+  adapters::BiometricAdapter bio(
+      AdapterId{"bio-103"}, SensorId{"fp-103"},
+      adapters::BiometricConfig{.devicePosition = room103.center(), .room = room103});
+  bio.registerWith(stack.mw->database());
+  bio.connect([&](const db::SensorReading& r) { stack.service().ingest(r); });
+
+  // Dave carries nothing; only the fingerprint login places him.
+  bio.authenticate(MobileObjectId{"dave"}, stack.clock);
+  auto est = stack.service().locateObject(MobileObjectId{"dave"});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(room103.contains(est->region));
+  EXPECT_GT(stack.service().probabilityInRegion(MobileObjectId{"dave"}, room103), 0.5)
+      << "the room-level probability is what the two biometric readings assert";
+
+  // After logout plus 20 s, nothing places him anymore.
+  stack.clock.advance(sec(5));
+  bio.logout(MobileObjectId{"dave"}, stack.clock, stack.mw->database());
+  stack.clock.advance(sec(20));
+  EXPECT_EQ(stack.service().locateObject(MobileObjectId{"dave"}), std::nullopt);
+}
+
+TEST(IntegrationTest, ConflictingStaleBadgeLosesToMovingTag) {
+  // Failure injection: ellen leaves her RFID badge in room 101 (stationary
+  // readings keep coming) while she walks away carrying her Ubisense tag.
+  Stack stack;
+  stack.world->addPerson({MobileObjectId{"ellen"}, "101", 6.0, 1.0, 0.0, 0.0});
+
+  auto rfid = stack.rfid("rf-101", stack.blueprint.centerOf("101"));
+  rfid->connect([&](const db::SensorReading& r) { stack.service().ingest(r); });
+  auto ubi = stack.ubisense("ubi-1");
+  ubi->connect([&](const db::SensorReading& r) { stack.service().ingest(r); });
+
+  // Forge the stale badge: a phantom "ellen" stays at 101 for RFID.
+  // (Simplest: emit the badge reading directly.)
+  sim::Scenario scenario(stack.clock, *stack.world,
+                         [&](const db::SensorReading& r) { stack.service().ingest(r); });
+  scenario.addAdapter(ubi, sec(1));
+
+  stack.world->sendTo(MobileObjectId{"ellen"}, "154");
+  for (int i = 0; i < 30; ++i) {
+    db::SensorReading badge;
+    badge.sensorId = SensorId{"rf-101"};
+    badge.sensorType = "RF";
+    badge.mobileObjectId = MobileObjectId{"ellen"};
+    badge.location = stack.blueprint.centerOf("101");
+    badge.detectionRadius = 15.0;
+    badge.symbolicRegion = geo::Rect::centeredSquare(stack.blueprint.centerOf("101"), 15.0);
+    badge.detectionTime = stack.clock.now();
+    stack.service().ingest(badge);
+    scenario.run(sec(2));
+  }
+
+  auto est = stack.service().locateObject(MobileObjectId{"ellen"});
+  ASSERT_TRUE(est.has_value());
+  auto truePos = stack.world->position(MobileObjectId{"ellen"});
+  EXPECT_LT(geo::distance(est->region.center(), *truePos), 3.0)
+      << "rule 1: the moving Ubisense rect wins over the parked badge";
+}
+
+TEST(IntegrationTest, SensorDropoutDegradesToRemainingTechnology) {
+  Stack stack;
+  stack.world->addPerson({MobileObjectId{"frank"}, "102", 0.0, 1.0, 1.0, 0.0});
+
+  auto ubi = stack.ubisense("ubi-1");
+  auto rfid = stack.rfid("rf-102", stack.blueprint.centerOf("102"));
+  sim::Scenario scenario(stack.clock, *stack.world,
+                         [&](const db::SensorReading& r) { stack.service().ingest(r); });
+  scenario.addAdapter(ubi, sec(1));
+  scenario.addAdapter(rfid, sec(2));
+  scenario.run(sec(6));
+
+  auto fine = stack.service().locateObject(MobileObjectId{"frank"});
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_LT(fine->region.width(), 2.0) << "Ubisense precision while both live";
+
+  // Ubisense "fails": stop carrying the tag; its readings expire in 5 s.
+  stack.world->setCarrying(MobileObjectId{"frank"}, "tag", false);
+  scenario.run(sec(10));
+  auto coarse = stack.service().locateObject(MobileObjectId{"frank"});
+  ASSERT_TRUE(coarse.has_value()) << "RFID alone still locates him";
+  EXPECT_GT(coarse->region.width(), 10.0) << "but only at badge resolution";
+}
+
+TEST(IntegrationTest, FullStackOverTcpOrb) {
+  // Adapters feed the service through a real TCP connection, and the
+  // application queries through another — the paper's CORBA deployment.
+  Stack stack;
+  stack.world->addPerson({MobileObjectId{"gina"}, "101", 4.0, 1.0, 0.0, 0.0});
+
+  std::uint16_t port = stack.mw->listen();
+  auto adapterClient = Middlewhere::connectRemote("127.0.0.1", port);
+  auto appClient = Middlewhere::connectRemote("127.0.0.1", port);
+
+  sim::Scenario scenario(stack.clock, *stack.world,
+                         [&](const db::SensorReading& r) { adapterClient->ingest(r); });
+  scenario.addAdapter(stack.ubisense("ubi-1"), sec(1));
+  scenario.run(sec(5));
+
+  auto est = appClient->locate(MobileObjectId{"gina"});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->probability, 0.9);
+  EXPECT_FALSE(appClient->locateSymbolic(MobileObjectId{"gina"}).empty());
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,239 @@
+#include "lattice/rect_lattice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mw::lattice {
+namespace {
+
+const geo::Rect kUniverse = geo::Rect::fromOrigin({0, 0}, 100, 100);
+
+TEST(RectLatticeTest, EmptyLatticeHasOnlyTop) {
+  RectLattice lat(kUniverse);
+  EXPECT_EQ(lat.size(), 1u);
+  EXPECT_EQ(lat.node(RectLattice::kTop).rect, kUniverse);
+  auto parents = lat.bottomParents();
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], RectLattice::kTop) << "with no sources, Bottom's parent is Top";
+}
+
+TEST(RectLatticeTest, UniverseMustBeNonEmpty) {
+  EXPECT_THROW(RectLattice{geo::Rect{}}, mw::util::ContractError);
+}
+
+TEST(RectLatticeTest, InsertOutsideUniverseThrows) {
+  RectLattice lat(kUniverse);
+  EXPECT_THROW(lat.insert(geo::Rect::fromOrigin({200, 200}, 5, 5)), mw::util::ContractError);
+}
+
+TEST(RectLatticeTest, SingleSensorRect) {
+  RectLattice lat(kUniverse);
+  std::size_t s = lat.insert(geo::Rect::fromOrigin({10, 10}, 5, 5), "s1");
+  EXPECT_EQ(lat.size(), 2u);
+  EXPECT_TRUE(lat.node(s).isSource);
+  EXPECT_EQ(lat.node(s).label, "s1");
+  auto parents = lat.node(s).parents;
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], RectLattice::kTop);
+  EXPECT_EQ(lat.bottomParents(), (std::vector<std::size_t>{s}));
+}
+
+TEST(RectLatticeTest, ContainedRectsChainInHasseOrder) {
+  // Case 1 of §4.1.2: B contains A; lattice Top > B > A.
+  RectLattice lat(kUniverse);
+  std::size_t b = lat.insert(geo::Rect::fromOrigin({10, 10}, 20, 20), "s2");
+  std::size_t a = lat.insert(geo::Rect::fromOrigin({15, 15}, 5, 5), "s1");
+  EXPECT_EQ(lat.size(), 3u) << "A ∩ B == A, no extra node";
+  EXPECT_EQ(lat.node(a).parents, (std::vector<std::size_t>{b}));
+  EXPECT_EQ(lat.node(b).parents, (std::vector<std::size_t>{RectLattice::kTop}));
+  EXPECT_EQ(lat.node(b).children, (std::vector<std::size_t>{a}));
+  EXPECT_EQ(lat.bottomParents(), (std::vector<std::size_t>{a}));
+}
+
+TEST(RectLatticeTest, IntersectingRectsCreateDerivedNode) {
+  // Case 2: A and B intersect, creating C = A ∩ B (Fig 3).
+  RectLattice lat(kUniverse);
+  std::size_t a = lat.insert(geo::Rect::fromOrigin({0, 0}, 10, 10), "s1");
+  std::size_t b = lat.insert(geo::Rect::fromOrigin({5, 5}, 10, 10), "s2");
+  EXPECT_EQ(lat.size(), 4u);
+  std::size_t c = lat.find(geo::Rect::fromOrigin({5, 5}, 5, 5));
+  ASSERT_LT(c, lat.size());
+  EXPECT_FALSE(lat.node(c).isSource);
+  // C's parents are A and B.
+  auto parents = lat.node(c).parents;
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<std::size_t>{a, b}));
+  EXPECT_EQ(lat.bottomParents(), (std::vector<std::size_t>{c}));
+  // C's contributors are both sources.
+  auto contrib = lat.node(c).contributors;
+  std::sort(contrib.begin(), contrib.end());
+  EXPECT_EQ(contrib, (std::vector<std::size_t>{a, b}));
+}
+
+TEST(RectLatticeTest, DisjointRectsAreBothBottomParents) {
+  // Case 3: disjoint rects — a conflict.
+  RectLattice lat(kUniverse);
+  std::size_t a = lat.insert(geo::Rect::fromOrigin({0, 0}, 10, 10), "s1");
+  std::size_t b = lat.insert(geo::Rect::fromOrigin({50, 50}, 10, 10), "s2");
+  auto parents = lat.bottomParents();
+  std::sort(parents.begin(), parents.end());
+  EXPECT_EQ(parents, (std::vector<std::size_t>{a, b}));
+}
+
+TEST(RectLatticeTest, DuplicateRectMergesIntoOneSource) {
+  RectLattice lat(kUniverse);
+  std::size_t a = lat.insert(geo::Rect::fromOrigin({10, 10}, 5, 5), "s1");
+  std::size_t b = lat.insert(geo::Rect::fromOrigin({10, 10}, 5, 5), "s2");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(lat.size(), 2u);
+  EXPECT_EQ(lat.node(a).label, "s1+s2");
+}
+
+TEST(RectLatticeTest, Figure5Scenario) {
+  // The paper's Fig 5/6: five sensor rects. S1-S3 overlap in a chain; S4 is
+  // inside S3; S5 is disjoint from everything.
+  RectLattice lat(kUniverse);
+  std::size_t s1 = lat.insert(geo::Rect::fromOrigin({0, 10}, 20, 20), "S1");
+  std::size_t s2 = lat.insert(geo::Rect::fromOrigin({12, 14}, 20, 14), "S2");
+  std::size_t s3 = lat.insert(geo::Rect::fromOrigin({25, 5}, 25, 25), "S3");
+  std::size_t s4 = lat.insert(geo::Rect::fromOrigin({30, 8}, 6, 6), "S4");
+  std::size_t s5 = lat.insert(geo::Rect::fromOrigin({70, 70}, 10, 10), "S5");
+
+  // Derived intersections: D = S1∩S2, E = S2∩S3 (S1∩S3 empty), S4 ⊂ S3.
+  std::size_t d = lat.find(*lat.node(s1).rect.intersection(lat.node(s2).rect));
+  std::size_t e = lat.find(*lat.node(s2).rect.intersection(lat.node(s3).rect));
+  ASSERT_LT(d, lat.size());
+  ASSERT_LT(e, lat.size());
+  EXPECT_FALSE(lat.node(d).isSource);
+  EXPECT_FALSE(lat.node(e).isSource);
+
+  // Bottom parents: D, E, S4, S5 (the minimal regions).
+  auto parents = lat.bottomParents();
+  std::sort(parents.begin(), parents.end());
+  std::vector<std::size_t> expect{s4, s5, d, e};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(parents, expect);
+
+  // S4's only parent is S3 (it is inside S3 and nothing smaller).
+  EXPECT_EQ(lat.node(s4).parents, (std::vector<std::size_t>{s3}));
+  // S5's only parent is Top.
+  EXPECT_EQ(lat.node(s5).parents, (std::vector<std::size_t>{RectLattice::kTop}));
+}
+
+TEST(RectLatticeTest, TripleOverlapClosure) {
+  // Three mutually overlapping rects: closure must include the pairwise
+  // intersections AND the triple intersection.
+  RectLattice lat(kUniverse);
+  lat.insert(geo::Rect::fromOrigin({0, 0}, 10, 10), "a");
+  lat.insert(geo::Rect::fromOrigin({5, 0}, 10, 10), "b");
+  lat.insert(geo::Rect::fromOrigin({2, 0}, 10, 10), "c");
+  // Triple intersection is x in [5,10] ∩ [2,12] = [5,10] ... compute: a=[0,10],
+  // b=[5,15], c=[2,12] so triple = [5,10].
+  std::size_t triple = lat.find(geo::Rect::fromOrigin({5, 0}, 5, 10));
+  ASSERT_LT(triple, lat.size());
+  auto parents = lat.bottomParents();
+  EXPECT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], triple);
+}
+
+TEST(RectLatticeTest, RemoveSourceRebuildsWithoutIt) {
+  RectLattice lat(kUniverse);
+  lat.insert(geo::Rect::fromOrigin({0, 0}, 10, 10), "s1");
+  std::size_t b = lat.insert(geo::Rect::fromOrigin({5, 5}, 10, 10), "s2");
+  EXPECT_EQ(lat.size(), 4u);
+  lat.removeSource(b);
+  EXPECT_EQ(lat.size(), 2u) << "derived intersection removed with its source";
+  auto sources = lat.sources();
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(lat.node(sources[0]).label, "s1");
+}
+
+TEST(RectLatticeTest, RemoveSourceIgnoresInvalidTargets) {
+  RectLattice lat(kUniverse);
+  std::size_t a = lat.insert(geo::Rect::fromOrigin({0, 0}, 10, 10), "s1");
+  lat.removeSource(RectLattice::kTop);  // no-op
+  lat.removeSource(999);                // no-op
+  EXPECT_EQ(lat.size(), 2u);
+  EXPECT_TRUE(lat.node(a).isSource);
+}
+
+TEST(RectLatticeTest, SourcesListedInInsertionOrder) {
+  RectLattice lat(kUniverse);
+  lat.insert(geo::Rect::fromOrigin({0, 0}, 10, 10), "s1");
+  lat.insert(geo::Rect::fromOrigin({50, 50}, 10, 10), "s2");
+  auto sources = lat.sources();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(lat.node(sources[0]).label, "s1");
+  EXPECT_EQ(lat.node(sources[1]).label, "s2");
+}
+
+// Property tests over random lattices: structural invariants of the Hasse
+// diagram (§4.1.2 Figs 5-6).
+class LatticeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatticeInvariants, HasseDiagramIsConsistent) {
+  mw::util::Rng rng{GetParam()};
+  RectLattice lat(kUniverse);
+  for (int i = 0; i < 8; ++i) {
+    lat.insert(geo::Rect::fromOrigin({rng.uniform(0, 80), rng.uniform(0, 80)},
+                                     rng.uniform(2, 20), rng.uniform(2, 20)),
+               "s" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    const auto& node = lat.node(i);
+    // Parent/child symmetry and genuine containment.
+    for (std::size_t p : node.parents) {
+      EXPECT_TRUE(lat.node(p).rect.contains(node.rect));
+      const auto& back = lat.node(p).children;
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+    for (std::size_t c : node.children) {
+      EXPECT_TRUE(node.rect.contains(lat.node(c).rect));
+    }
+    // Every node except Top has at least one parent.
+    if (i != RectLattice::kTop) {
+      EXPECT_FALSE(node.parents.empty()) << "node " << i << " orphaned";
+    }
+    // Contributors are sources containing the node.
+    for (std::size_t s : node.contributors) {
+      EXPECT_TRUE(lat.node(s).isSource);
+      EXPECT_TRUE(lat.node(s).rect.contains(node.rect));
+    }
+  }
+  // Bottom parents have pairwise interior-disjoint... not necessarily, but
+  // no bottom parent may contain another node.
+  for (std::size_t p : lat.bottomParents()) {
+    for (std::size_t i = 1; i < lat.size(); ++i) {
+      if (i == p) continue;
+      EXPECT_FALSE(lat.node(p).rect.containsStrictly(lat.node(i).rect))
+          << "bottom parent " << p << " strictly contains node " << i;
+    }
+  }
+}
+
+TEST_P(LatticeInvariants, ClosedUnderPairwiseIntersection) {
+  mw::util::Rng rng{GetParam()};
+  RectLattice lat(kUniverse);
+  for (int i = 0; i < 6; ++i) {
+    lat.insert(geo::Rect::fromOrigin({rng.uniform(0, 80), rng.uniform(0, 80)},
+                                     rng.uniform(2, 25), rng.uniform(2, 25)),
+               "s" + std::to_string(i));
+  }
+  for (std::size_t i = 1; i < lat.size(); ++i) {
+    for (std::size_t j = i + 1; j < lat.size(); ++j) {
+      auto inter = lat.node(i).rect.intersection(lat.node(j).rect);
+      if (!inter || inter->area() <= 0) continue;
+      EXPECT_LT(lat.find(*inter), lat.size())
+          << "missing intersection of nodes " << i << " and " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatticeInvariants, ::testing::Values(1u, 7u, 13u, 99u, 2024u));
+
+}  // namespace
+}  // namespace mw::lattice

@@ -1,0 +1,323 @@
+// MicroOrb tests: wire codec, in-process and TCP transports, RPC, pub/sub.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "orb/message.hpp"
+#include "orb/pubsub.hpp"
+#include "orb/rpc.hpp"
+#include "orb/tcp.hpp"
+#include "orb/transport.hpp"
+#include "util/error.hpp"
+
+namespace mw::orb {
+namespace {
+
+using mw::util::ByteReader;
+using mw::util::Bytes;
+using mw::util::ByteWriter;
+
+// --- message codec --------------------------------------------------------------
+
+TEST(MessageTest, RoundTrip) {
+  Message m;
+  m.type = MessageType::Request;
+  m.requestId = 42;
+  m.target = "locateObject";
+  m.payload = {1, 2, 3};
+  Message back = Message::decode(m.encode());
+  EXPECT_EQ(back, m);
+}
+
+TEST(MessageTest, AllTypesRoundTrip) {
+  for (auto t : {MessageType::Request, MessageType::Reply, MessageType::Error,
+                 MessageType::Event}) {
+    Message m;
+    m.type = t;
+    m.target = "x";
+    EXPECT_EQ(Message::decode(m.encode()).type, t);
+  }
+}
+
+TEST(MessageTest, RejectsBadMagicAndType) {
+  Message m;
+  m.target = "x";
+  Bytes frame = m.encode();
+  frame[0] ^= 0xFF;
+  EXPECT_THROW(Message::decode(frame), util::ParseError);
+  frame = m.encode();
+  frame[2] = 99;  // invalid type
+  EXPECT_THROW(Message::decode(frame), util::ParseError);
+}
+
+TEST(MessageTest, RejectsTrailingBytes) {
+  Message m;
+  m.target = "x";
+  Bytes frame = m.encode();
+  frame.push_back(0);
+  EXPECT_THROW(Message::decode(frame), util::ParseError);
+}
+
+// --- in-proc transport -----------------------------------------------------------
+
+TEST(InProcTransportTest, DeliversBothDirections) {
+  auto [a, b] = makeInProcPair();
+  Bytes gotAtB, gotAtA;
+  b->onReceive([&](const Bytes& f) { gotAtB = f; });
+  a->onReceive([&](const Bytes& f) { gotAtA = f; });
+  a->send({1, 2});
+  b->send({3, 4});
+  EXPECT_EQ(gotAtB, (Bytes{1, 2}));
+  EXPECT_EQ(gotAtA, (Bytes{3, 4}));
+}
+
+TEST(InProcTransportTest, BuffersUntilHandlerInstalled) {
+  auto [a, b] = makeInProcPair();
+  a->send({7});
+  a->send({8});
+  std::vector<Bytes> got;
+  b->onReceive([&](const Bytes& f) { got.push_back(f); });
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], Bytes{7});
+  EXPECT_EQ(got[1], Bytes{8});
+}
+
+TEST(InProcTransportTest, SendAfterCloseThrows) {
+  auto [a, b] = makeInProcPair();
+  a->close();
+  EXPECT_THROW(a->send({1}), util::TransportError);
+  EXPECT_FALSE(a->isOpen());
+}
+
+TEST(InProcTransportTest, PeerDestructionDetected) {
+  auto pair = makeInProcPair();
+  auto a = pair.first;
+  pair.second.reset();
+  EXPECT_FALSE(a->isOpen());
+  EXPECT_THROW(a->send({1}), util::TransportError);
+}
+
+// --- RPC ------------------------------------------------------------------------
+
+TEST(RpcTest, EchoCall) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.registerMethod("echo", [](const Bytes& in) { return in; });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  EXPECT_EQ(client.call("echo", {1, 2, 3}), (Bytes{1, 2, 3}));
+}
+
+TEST(RpcTest, UnknownMethodIsRemoteError) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  EXPECT_THROW(client.call("nope", {}), util::MwError);
+}
+
+TEST(RpcTest, MethodExceptionPropagatesAsError) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.registerMethod("boom", [](const Bytes&) -> Bytes {
+    throw std::runtime_error("kapow");
+  });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  try {
+    client.call("boom", {});
+    FAIL() << "expected MwError";
+  } catch (const util::MwError& e) {
+    EXPECT_NE(std::string(e.what()).find("kapow"), std::string::npos);
+  }
+}
+
+TEST(RpcTest, ConcurrentCallsCorrelate) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.registerMethod("inc", [](const Bytes& in) {
+    ByteReader r(in);
+    ByteWriter w;
+    w.u32(r.u32() + 1);
+    return w.take();
+  });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint32_t i = 0; i < 50; ++i) {
+        ByteWriter w;
+        w.u32(i + static_cast<std::uint32_t>(t) * 1000);
+        Bytes reply = client.call("inc", w.take());
+        ByteReader r(reply);
+        if (r.u32() != i + static_cast<std::uint32_t>(t) * 1000 + 1) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(RpcTest, OnewayNotifyExecutesWithoutReply) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  int hits = 0;
+  server.registerMethod("ingest", [&](const Bytes& in) -> Bytes {
+    hits += static_cast<int>(in.size());
+    return {};
+  });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  client.notify("ingest", {1, 2, 3});
+  client.notify("ingest", {4});
+  EXPECT_EQ(hits, 4) << "both oneway requests executed (in-proc is synchronous)";
+  // The client still works for two-way calls afterwards (no stray replies
+  // corrupted its correlation state).
+  server.registerMethod("echo", [](const Bytes& in) { return in; });
+  EXPECT_EQ(client.call("echo", {9}), Bytes{9});
+}
+
+TEST(RpcTest, OnewayErrorsAreSwallowed) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.registerMethod("boom", [](const Bytes&) -> Bytes {
+    throw std::runtime_error("kapow");
+  });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  EXPECT_NO_THROW(client.notify("boom", {}));
+  EXPECT_NO_THROW(client.notify("unknown-method", {}));
+}
+
+TEST(RpcTest, ServerPushEvents) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  std::vector<std::string> topics;
+  client.onEvent([&](const std::string& topic, const Bytes&) { topics.push_back(topic); });
+  server.publish("trigger.42", {});
+  server.publish("trigger.43", {});
+  ASSERT_EQ(topics.size(), 2u);
+  EXPECT_EQ(topics[0], "trigger.42");
+  EXPECT_EQ(topics[1], "trigger.43");
+}
+
+// --- TCP ------------------------------------------------------------------------
+
+TEST(TcpTest, LoopbackRpcRoundTrip) {
+  RpcServer server;
+  server.registerMethod("echo", [](const Bytes& in) { return in; });
+  TcpListener listener(0, [&](std::shared_ptr<Transport> t) { server.serve(std::move(t)); });
+
+  auto transport = tcpConnect("127.0.0.1", listener.port());
+  RpcClient client(transport);
+  EXPECT_EQ(client.call("echo", {9, 9, 9}), (Bytes{9, 9, 9}));
+}
+
+TEST(TcpTest, MultipleClients) {
+  RpcServer server;
+  server.registerMethod("id", [](const Bytes& in) { return in; });
+  TcpListener listener(0, [&](std::shared_ptr<Transport> t) { server.serve(std::move(t)); });
+
+  std::vector<std::unique_ptr<RpcClient>> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back(std::make_unique<RpcClient>(tcpConnect("127.0.0.1", listener.port())));
+  }
+  for (int i = 0; i < 4; ++i) {
+    Bytes payload{static_cast<std::uint8_t>(i)};
+    EXPECT_EQ(clients[static_cast<std::size_t>(i)]->call("id", payload), payload);
+  }
+}
+
+TEST(TcpTest, EventsOverTcp) {
+  RpcServer server;
+  TcpListener listener(0, [&](std::shared_ptr<Transport> t) { server.serve(std::move(t)); });
+  auto transport = tcpConnect("127.0.0.1", listener.port());
+  RpcClient client(transport);
+
+  std::atomic<int> events{0};
+  client.onEvent([&](const std::string&, const Bytes&) { events.fetch_add(1); });
+  // Wait for the server to register the accepted connection.
+  for (int i = 0; i < 100 && server.connectionCount() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(server.connectionCount(), 1u);
+  server.publish("t", {});
+  for (int i = 0; i < 200 && events.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(events.load(), 1);
+}
+
+TEST(TcpTest, LargePayloadRoundTrip) {
+  RpcServer server;
+  server.registerMethod("echo", [](const Bytes& in) { return in; });
+  TcpListener listener(0, [&](std::shared_ptr<Transport> t) { server.serve(std::move(t)); });
+  RpcClient client(tcpConnect("127.0.0.1", listener.port()));
+  // 4 MB payload: exercises multi-chunk send/recv loops on both sides.
+  Bytes big(4 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i * 31);
+  Bytes reply = client.call("echo", big, util::sec(30));
+  EXPECT_EQ(reply, big);
+}
+
+TEST(TcpTest, ConnectToClosedPortThrows) {
+  // Grab an ephemeral port and close the listener; connecting should fail.
+  std::uint16_t port;
+  {
+    TcpListener listener(0, [](std::shared_ptr<Transport>) {});
+    port = listener.port();
+  }
+  EXPECT_THROW(tcpConnect("127.0.0.1", port), util::TransportError);
+}
+
+// --- event bus --------------------------------------------------------------------
+
+TEST(EventBusTest, TopicFiltering) {
+  EventBus bus;
+  int a = 0, b = 0;
+  bus.subscribe("alpha", [&](const std::string&, const Bytes&) { ++a; });
+  bus.subscribe("beta", [&](const std::string&, const Bytes&) { ++b; });
+  bus.publish("alpha", {});
+  bus.publish("alpha", {});
+  bus.publish("beta", {});
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(EventBusTest, WildcardSubscriber) {
+  EventBus bus;
+  std::vector<std::string> seen;
+  bus.subscribeAll([&](const std::string& topic, const Bytes&) { seen.push_back(topic); });
+  bus.publish("x", {});
+  bus.publish("y", {});
+  EXPECT_EQ(seen, (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(EventBusTest, Unsubscribe) {
+  EventBus bus;
+  int n = 0;
+  auto token = bus.subscribe("t", [&](const std::string&, const Bytes&) { ++n; });
+  bus.publish("t", {});
+  EXPECT_TRUE(bus.unsubscribe(token));
+  EXPECT_FALSE(bus.unsubscribe(token));
+  bus.publish("t", {});
+  EXPECT_EQ(n, 1);
+  EXPECT_EQ(bus.subscriberCount(), 0u);
+}
+
+TEST(EventBusTest, Validation) {
+  EventBus bus;
+  EXPECT_THROW(bus.subscribe("", [](const std::string&, const Bytes&) {}),
+               util::ContractError);
+  EXPECT_THROW(bus.subscribe("t", nullptr), util::ContractError);
+}
+
+}  // namespace
+}  // namespace mw::orb

@@ -1,0 +1,68 @@
+// Calibrator tests (§6 calibration process, §11 user studies): the (x,y,z)
+// spec must be recoverable from simulated trials.
+#include <gtest/gtest.h>
+
+#include "quality/calibration.hpp"
+#include "util/rng.hpp"
+
+namespace mw::quality {
+namespace {
+
+TEST(CalibratorTest, FreshCalibratorIsMaximallyUncertain) {
+  Calibrator cal;
+  EXPECT_EQ(cal.trialCount(), 0u);
+  EXPECT_DOUBLE_EQ(cal.detectEstimate(), 0.5) << "Laplace prior";
+  EXPECT_DOUBLE_EQ(cal.misidentifyEstimate(), 0.5);
+  EXPECT_DOUBLE_EQ(cal.carryEstimate(), 1.0) << "biometric default";
+}
+
+TEST(CalibratorTest, RecoversUbisenseParameters) {
+  // Simulate a ground-truthed Ubisense installation: y=0.95, z=0.02, x=0.9.
+  util::Rng rng{2024};
+  Calibrator cal;
+  for (int i = 0; i < 20'000; ++i) {
+    bool present = rng.chance(0.5);
+    bool reported = present ? rng.chance(0.95) : rng.chance(0.02);
+    cal.recordTrial(present, reported);
+    cal.recordCarry(rng.chance(0.9));
+  }
+  auto spec = cal.estimate();
+  EXPECT_NEAR(spec.detect, 0.95, 0.01);
+  EXPECT_NEAR(spec.misidentify, 0.02, 0.01);
+  EXPECT_NEAR(spec.carry, 0.9, 0.01);
+  spec.validate();  // estimates are always a valid spec
+}
+
+TEST(CalibratorTest, SmoothingPreventsCertainty) {
+  Calibrator cal;
+  for (int i = 0; i < 50; ++i) cal.recordTrial(true, true);  // perfect run
+  EXPECT_LT(cal.detectEstimate(), 1.0);
+  EXPECT_GT(cal.detectEstimate(), 0.95);
+  for (int i = 0; i < 50; ++i) cal.recordTrial(false, false);
+  EXPECT_GT(cal.misidentifyEstimate(), 0.0);
+  EXPECT_LT(cal.misidentifyEstimate(), 0.05);
+}
+
+TEST(CalibratorTest, CountsTracked) {
+  Calibrator cal;
+  cal.recordTrial(true, true);
+  cal.recordTrial(false, false);
+  cal.recordCarry(true);
+  EXPECT_EQ(cal.trialCount(), 2u);
+  EXPECT_EQ(cal.carryCount(), 1u);
+}
+
+TEST(CalibratorTest, EstimatesFeedTheErrorModel) {
+  // End to end: calibrate then derive the fusion confidences.
+  Calibrator cal;
+  for (int i = 0; i < 1000; ++i) {
+    cal.recordTrial(true, i % 100 < 75);   // y ≈ 0.75 (the RFID spec)
+    cal.recordTrial(false, i % 100 < 25);  // z ≈ 0.25
+    cal.recordCarry(i % 10 < 8);           // x ≈ 0.8
+  }
+  auto pair = deriveConfidenceAreaScaled(cal.estimate(), 0.01);
+  EXPECT_TRUE(pair.informative());
+}
+
+}  // namespace
+}  // namespace mw::quality

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "quality/error_model.hpp"
+#include "quality/tdf.hpp"
+#include "util/error.hpp"
+
+namespace mw::quality {
+namespace {
+
+using mw::util::Duration;
+using mw::util::minutes;
+using mw::util::msec;
+using mw::util::sec;
+
+// --- error model (§4.1.1) ----------------------------------------------------
+
+TEST(ErrorModelTest, PerfectSensorFullyCarried) {
+  // x=1, y=1, z=0: always right.
+  auto c = deriveConfidence({1.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(c.p, 1.0);
+  EXPECT_DOUBLE_EQ(c.q, 0.0);
+  EXPECT_TRUE(c.informative());
+}
+
+TEST(ErrorModelTest, BiometricAssumptions) {
+  // §6.3: fingerprint x=1 (a finger is always "carried"), y=.99, z=.01.
+  auto c = deriveConfidence(biometricSpec());
+  EXPECT_NEAR(c.p, 0.99, 1e-12);
+  EXPECT_NEAR(c.q, 0.01, 1e-12);
+}
+
+TEST(ErrorModelTest, CarriedDeviceReducesToYandZ) {
+  // With x=1 the formulas collapse: p = y, q = z.
+  for (double y : {0.5, 0.75, 0.95}) {
+    for (double z : {0.01, 0.1, 0.25}) {
+      auto c = deriveConfidence({1.0, y, z});
+      EXPECT_NEAR(c.p, y, 1e-12);
+      EXPECT_NEAR(c.q, z, 1e-12);
+    }
+  }
+}
+
+TEST(ErrorModelTest, NotCarryingDegradesInformativeness) {
+  // Ubisense badge left on the desk: the lower x is, the less informative.
+  auto carried = deriveConfidence(ubisenseSpec(1.0));
+  auto mostly = deriveConfidence(ubisenseSpec(0.8));
+  auto rarely = deriveConfidence(ubisenseSpec(0.2));
+  EXPECT_GT(carried.p - carried.q, mostly.p - mostly.q);
+  EXPECT_GT(mostly.p - mostly.q, rarely.p - rarely.q);
+}
+
+TEST(ErrorModelTest, ResultsAlwaysClampedToUnitInterval) {
+  // The paper's q = z + y(1-x) can exceed 1 for small x and large y+z.
+  auto c = deriveConfidence({0.0, 0.99, 0.9});
+  EXPECT_LE(c.q, 1.0);
+  EXPECT_GE(c.p, 0.0);
+  EXPECT_LE(c.p, 1.0);
+}
+
+TEST(ErrorModelTest, SpecValidationRejectsOutOfRange) {
+  EXPECT_THROW(deriveConfidence({-0.1, 0.9, 0.1}), mw::util::ContractError);
+  EXPECT_THROW(deriveConfidence({0.5, 1.5, 0.1}), mw::util::ContractError);
+  EXPECT_THROW(deriveConfidence({0.5, 0.9, -1}), mw::util::ContractError);
+}
+
+TEST(ErrorModelTest, AreaScaledMisidentification) {
+  // Ubisense: z = 0.05 * area(A)/area(U) (§6.1).
+  EXPECT_DOUBLE_EQ(scaleMisidentifyByArea(0.05, 1.0, 100.0), 0.0005);
+  EXPECT_DOUBLE_EQ(scaleMisidentifyByArea(0.05, 100.0, 100.0), 0.05);
+  EXPECT_DOUBLE_EQ(scaleMisidentifyByArea(0.5, 1000.0, 100.0), 1.0) << "clamped";
+  EXPECT_THROW(scaleMisidentifyByArea(0.05, 1.0, 0.0), mw::util::ContractError);
+}
+
+TEST(ErrorModelTest, TechnologyPresetsMatchPaperSection6) {
+  EXPECT_DOUBLE_EQ(ubisenseSpec(0.9).detect, 0.95);
+  EXPECT_DOUBLE_EQ(ubisenseSpec(0.9).misidentify, 0.05);
+  EXPECT_DOUBLE_EQ(rfidBadgeSpec(0.9).detect, 0.75);
+  EXPECT_DOUBLE_EQ(rfidBadgeSpec(0.9).misidentify, 0.25);
+  EXPECT_DOUBLE_EQ(biometricSpec().carry, 1.0);
+  EXPECT_DOUBLE_EQ(gpsSpec(0.7).detect, 0.99);
+}
+
+// --- area-scaled refinement (see EXPERIMENTS.md fidelity note) ------------------
+
+TEST(AreaScaledModelTest, ReducesToPaperFormulasAtFullArea) {
+  for (double x : {0.5, 0.8, 1.0}) {
+    SensorErrorSpec spec{x, 0.9, 0.05};
+    auto verbatim = deriveConfidence(spec);
+    auto scaled = deriveConfidenceAreaScaled(spec, 1.0);
+    EXPECT_NEAR(scaled.q, verbatim.q, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(AreaScaledModelTest, CarriedDeviceUnaffectedByArea) {
+  // With x=1 there is no uncarried-device term: p = y regardless of area.
+  for (double f : {0.001, 0.1, 1.0}) {
+    auto c = deriveConfidenceAreaScaled({1.0, 0.95, 0.05}, f);
+    EXPECT_NEAR(c.p, 0.95, 1e-12);
+    EXPECT_NEAR(c.q, 0.05 * f, 1e-12);
+  }
+}
+
+TEST(AreaScaledModelTest, SmallReadingsStayInformativeWhenNotAlwaysCarried) {
+  // The verbatim model makes a 1-ft Ubisense fix useless at x=0.9; the
+  // area-scaled model keeps p >> q.
+  SensorErrorSpec spec = ubisenseSpec(0.9);
+  double f = 1.0 / 5000.0;  // tiny region in a big building
+  auto scaled = deriveConfidenceAreaScaled(spec, f);
+  EXPECT_TRUE(scaled.informative());
+  EXPECT_GT(scaled.p / scaled.q, 100.0);
+}
+
+TEST(AreaScaledModelTest, FalsePositiveRateMonotonicInArea) {
+  SensorErrorSpec spec = rfidBadgeSpec(0.8);
+  double prev = -1;
+  for (double f : {0.01, 0.05, 0.2, 0.5, 1.0}) {
+    auto c = deriveConfidenceAreaScaled(spec, f);
+    EXPECT_GT(c.q, prev) << "bigger regions collect more false positives";
+    prev = c.q;
+  }
+}
+
+TEST(AreaScaledModelTest, Validation) {
+  EXPECT_THROW(deriveConfidenceAreaScaled({1, 0.9, 0.1}, -0.1), mw::util::ContractError);
+  EXPECT_THROW(deriveConfidenceAreaScaled({1, 0.9, 0.1}, 1.5), mw::util::ContractError);
+}
+
+// --- temporal degradation (§3.2) ----------------------------------------------
+
+TEST(TdfTest, NoDegradationIsIdentity) {
+  NoDegradation tdf;
+  EXPECT_DOUBLE_EQ(tdf.apply(0.93, minutes(60)), 0.93);
+}
+
+TEST(TdfTest, LinearReachesZeroAtHorizon) {
+  LinearDegradation tdf{minutes(10)};
+  EXPECT_DOUBLE_EQ(tdf.apply(0.8, Duration::zero()), 0.8);
+  EXPECT_DOUBLE_EQ(tdf.apply(0.8, minutes(5)), 0.4);
+  EXPECT_DOUBLE_EQ(tdf.apply(0.8, minutes(10)), 0.0);
+  EXPECT_DOUBLE_EQ(tdf.apply(0.8, minutes(20)), 0.0) << "never negative";
+}
+
+TEST(TdfTest, ExponentialHalvesEachHalfLife) {
+  ExponentialDegradation tdf{sec(30)};
+  EXPECT_DOUBLE_EQ(tdf.apply(0.8, Duration::zero()), 0.8);
+  EXPECT_NEAR(tdf.apply(0.8, sec(30)), 0.4, 1e-12);
+  EXPECT_NEAR(tdf.apply(0.8, sec(60)), 0.2, 1e-12);
+}
+
+TEST(TdfTest, StepAppliesLastReachedThreshold) {
+  StepDegradation tdf{{{sec(10), 0.8}, {sec(60), 0.5}, {minutes(5), 0.1}}};
+  EXPECT_DOUBLE_EQ(tdf.apply(1.0, sec(5)), 1.0);
+  EXPECT_DOUBLE_EQ(tdf.apply(1.0, sec(10)), 0.8);
+  EXPECT_DOUBLE_EQ(tdf.apply(1.0, sec(59)), 0.8);
+  EXPECT_DOUBLE_EQ(tdf.apply(1.0, minutes(2)), 0.5);
+  EXPECT_DOUBLE_EQ(tdf.apply(1.0, minutes(30)), 0.1);
+}
+
+TEST(TdfTest, StepValidation) {
+  EXPECT_THROW(StepDegradation({{sec(10), 0.5}, {sec(10), 0.4}}), mw::util::ContractError)
+      << "non-increasing ages";
+  EXPECT_THROW(StepDegradation({{sec(10), 0.0}}), mw::util::ContractError) << "factor 0";
+  EXPECT_THROW(StepDegradation({{sec(10), 1.5}}), mw::util::ContractError) << "factor > 1";
+}
+
+TEST(TdfTest, ConstructorsRejectNonPositiveDurations) {
+  EXPECT_THROW(LinearDegradation{Duration::zero()}, mw::util::ContractError);
+  EXPECT_THROW(ExponentialDegradation{msec(-5)}, mw::util::ContractError);
+}
+
+// Property: every tdf is monotonically non-increasing in age and never
+// amplifies confidence.
+class TdfMonotonicity : public ::testing::TestWithParam<std::shared_ptr<TemporalDegradation>> {};
+
+TEST_P(TdfMonotonicity, NonIncreasingInAge) {
+  const auto& tdf = *GetParam();
+  double prev = tdf.apply(0.9, Duration::zero());
+  EXPECT_LE(prev, 0.9 + 1e-12);
+  for (int s = 1; s <= 600; s += 7) {
+    double cur = tdf.apply(0.9, sec(s));
+    EXPECT_LE(cur, prev + 1e-12) << "age " << s << "s";
+    EXPECT_GE(cur, 0.0);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTdfs, TdfMonotonicity,
+    ::testing::Values(std::make_shared<NoDegradation>(),
+                      std::make_shared<LinearDegradation>(minutes(5)),
+                      std::make_shared<ExponentialDegradation>(sec(45)),
+                      std::make_shared<StepDegradation>(std::vector<StepDegradation::Step>{
+                          {sec(30), 0.7}, {minutes(2), 0.3}})));
+
+// --- quality profile ----------------------------------------------------------
+
+TEST(QualityProfileTest, TtlExpiryZeroesConfidence) {
+  // Card reader: TTL 10 seconds (§5.2).
+  QualityProfile profile{std::make_shared<NoDegradation>(), sec(10)};
+  EXPECT_DOUBLE_EQ(profile.confidenceAt(0.9, sec(9)), 0.9);
+  EXPECT_DOUBLE_EQ(profile.confidenceAt(0.9, sec(10)), 0.9) << "TTL is inclusive";
+  EXPECT_DOUBLE_EQ(profile.confidenceAt(0.9, sec(11)), 0.0);
+  EXPECT_TRUE(profile.expiredAt(sec(11)));
+  EXPECT_FALSE(profile.expiredAt(sec(10)));
+}
+
+TEST(QualityProfileTest, CombinesTdfAndTtl) {
+  QualityProfile profile{std::make_shared<LinearDegradation>(minutes(10)), minutes(15)};
+  EXPECT_DOUBLE_EQ(profile.confidenceAt(1.0, minutes(5)), 0.5);
+  EXPECT_DOUBLE_EQ(profile.confidenceAt(1.0, minutes(12)), 0.0) << "tdf floor";
+  EXPECT_DOUBLE_EQ(profile.confidenceAt(1.0, minutes(16)), 0.0) << "ttl";
+}
+
+}  // namespace
+}  // namespace mw::quality

@@ -1,0 +1,187 @@
+#include "reasoning/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mw::reasoning {
+namespace {
+
+using geo::Rect;
+
+// A small floor: two rooms off a corridor.
+//   roomA (0,0)-(4,4)   roomB (8,0)-(12,4)
+//   corridor (0,4)-(12,6)
+// Doors: A->corridor at y=4, x in [1,2]; B->corridor at y=4, x in [9,10].
+ConnectivityGraph smallFloor(PassageKind kindB = PassageKind::Free) {
+  ConnectivityGraph g;
+  g.addRegion("roomA", Rect::fromOrigin({0, 0}, 4, 4));
+  g.addRegion("roomB", Rect::fromOrigin({8, 0}, 4, 4));
+  g.addRegion("corridor", Rect::fromOrigin({0, 4}, 12, 2));
+  EXPECT_EQ(g.addPassage({"doorA", {{1, 4}, {2, 4}}, PassageKind::Free}), 1u);
+  EXPECT_EQ(g.addPassage({"doorB", {{9, 4}, {10, 4}}, kindB}), 1u);
+  return g;
+}
+
+TEST(ConnectivityTest, RegionRegistration) {
+  ConnectivityGraph g;
+  g.addRegion("a", Rect::fromOrigin({0, 0}, 1, 1));
+  EXPECT_TRUE(g.hasRegion("a"));
+  EXPECT_FALSE(g.hasRegion("b"));
+  EXPECT_EQ(g.regionCount(), 1u);
+  EXPECT_THROW(g.addRegion("a", Rect::fromOrigin({5, 5}, 1, 1)), mw::util::ContractError);
+  EXPECT_THROW(g.addRegion("", Rect::fromOrigin({0, 0}, 1, 1)), mw::util::ContractError);
+  EXPECT_THROW((void)g.regionRect("nope"), mw::util::NotFoundError);
+}
+
+TEST(ConnectivityTest, PassageAutoConnectsAdjacentRegions) {
+  ConnectivityGraph g = smallFloor();
+  EXPECT_EQ(g.edgeCount(), 2u);
+}
+
+TEST(ConnectivityTest, PassageOnNoSharedBoundaryConnectsNothing) {
+  ConnectivityGraph g;
+  g.addRegion("a", Rect::fromOrigin({0, 0}, 4, 4));
+  g.addRegion("b", Rect::fromOrigin({8, 0}, 4, 4));
+  EXPECT_EQ(g.addPassage({"nowhere", {{6, 1}, {6, 2}}, PassageKind::Free}), 0u);
+}
+
+TEST(ConnectivityTest, EuclideanVsPathDistance) {
+  ConnectivityGraph g = smallFloor();
+  double euclid = g.euclideanDistance("roomA", "roomB");
+  EXPECT_DOUBLE_EQ(euclid, 8.0);  // centers (2,2) and (10,2)
+  auto path = g.pathDistance("roomA", "roomB");
+  ASSERT_TRUE(path.has_value());
+  // Path: (2,2) -> doorA(1.5,4) -> doorB(9.5,4) -> (10,2).
+  double expect = std::hypot(0.5, 2.0) + 8.0 + std::hypot(0.5, 2.0);
+  EXPECT_NEAR(*path, expect, 1e-9);
+  EXPECT_GT(*path, euclid) << "walls make the walk longer than the crow flies";
+}
+
+TEST(ConnectivityTest, RouteSequence) {
+  ConnectivityGraph g = smallFloor();
+  auto r = g.route("roomA", "roomB");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->regions, (std::vector<std::string>{"roomA", "corridor", "roomB"}));
+}
+
+TEST(ConnectivityTest, SameRegionZeroDistance) {
+  ConnectivityGraph g = smallFloor();
+  auto d = g.pathDistance("roomA", "roomA");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+TEST(ConnectivityTest, UnreachableRegion) {
+  ConnectivityGraph g;
+  g.addRegion("a", Rect::fromOrigin({0, 0}, 4, 4));
+  g.addRegion("island", Rect::fromOrigin({50, 50}, 4, 4));
+  EXPECT_EQ(g.pathDistance("a", "island"), std::nullopt);
+  EXPECT_EQ(g.route("a", "island"), std::nullopt);
+}
+
+TEST(ConnectivityTest, RestrictedPassageExcludable) {
+  // Room B is behind a locked door: reachable with a key, not without.
+  ConnectivityGraph g = smallFloor(PassageKind::Restricted);
+  EXPECT_TRUE(g.pathDistance("roomA", "roomB", /*includeRestricted=*/true).has_value());
+  EXPECT_EQ(g.pathDistance("roomA", "roomB", /*includeRestricted=*/false), std::nullopt);
+}
+
+TEST(ConnectivityTest, ExplicitConnectForStairs) {
+  ConnectivityGraph g;
+  g.addRegion("floor1", Rect::fromOrigin({0, 0}, 10, 10));
+  g.addRegion("floor2", Rect::fromOrigin({100, 0}, 10, 10));
+  g.connect("floor1", "floor2", {5, 5});
+  EXPECT_TRUE(g.pathDistance("floor1", "floor2").has_value());
+  EXPECT_THROW(g.connect("floor1", "floor1", {0, 0}), mw::util::ContractError);
+}
+
+TEST(ConnectivityTest, RegionAtPicksSmallestContaining) {
+  ConnectivityGraph g;
+  g.addRegion("floor", Rect::fromOrigin({0, 0}, 100, 100));
+  g.addRegion("room", Rect::fromOrigin({10, 10}, 5, 5));
+  EXPECT_EQ(g.regionAt({12, 12}), "room");
+  EXPECT_EQ(g.regionAt({50, 50}), "floor");
+  EXPECT_EQ(g.regionAt({500, 500}), std::nullopt);
+}
+
+TEST(ConnectivityTest, AStarMatchesDijkstra) {
+  ConnectivityGraph g = smallFloor();
+  auto dijkstra = g.route("roomA", "roomB");
+  auto astar = g.routeAStar("roomA", "roomB");
+  ASSERT_TRUE(dijkstra && astar);
+  EXPECT_NEAR(astar->length, dijkstra->length, 1e-9);
+  EXPECT_EQ(astar->regions, dijkstra->regions);
+  // Unreachable and same-region cases agree too.
+  EXPECT_EQ(g.routeAStar("roomA", "roomA")->length, 0.0);
+  ConnectivityGraph island;
+  island.addRegion("a", Rect::fromOrigin({0, 0}, 4, 4));
+  island.addRegion("b", Rect::fromOrigin({50, 50}, 4, 4));
+  EXPECT_EQ(island.routeAStar("a", "b"), std::nullopt);
+}
+
+TEST(ConnectivityTest, AStarMatchesDijkstraOnRandomGrids) {
+  // Property: over random grid worlds, A* and Dijkstra always agree on the
+  // path length (the Euclidean heuristic is admissible and consistent).
+  mw::util::Rng rng{404};
+  for (int world = 0; world < 10; ++world) {
+    ConnectivityGraph g;
+    constexpr int kSide = 5;
+    for (int x = 0; x < kSide; ++x) {
+      for (int y = 0; y < kSide; ++y) {
+        g.addRegion("r" + std::to_string(x) + "_" + std::to_string(y),
+                    Rect::fromOrigin({x * 12.0, y * 12.0}, 10, 10));
+      }
+    }
+    auto name = [](int x, int y) {
+      return "r" + std::to_string(x) + "_" + std::to_string(y);
+    };
+    // Random subset of grid adjacencies.
+    for (int x = 0; x < kSide; ++x) {
+      for (int y = 0; y < kSide; ++y) {
+        if (x + 1 < kSide && rng.chance(0.8)) {
+          g.connect(name(x, y), name(x + 1, y), {x * 12.0 + 11, y * 12.0 + 5});
+        }
+        if (y + 1 < kSide && rng.chance(0.8)) {
+          g.connect(name(x, y), name(x, y + 1), {x * 12.0 + 5, y * 12.0 + 11});
+        }
+      }
+    }
+    for (int q = 0; q < 20; ++q) {
+      std::string a = name(static_cast<int>(rng.uniformInt(0, kSide - 1)),
+                           static_cast<int>(rng.uniformInt(0, kSide - 1)));
+      std::string b = name(static_cast<int>(rng.uniformInt(0, kSide - 1)),
+                           static_cast<int>(rng.uniformInt(0, kSide - 1)));
+      auto d = g.route(a, b);
+      auto s = g.routeAStar(a, b);
+      ASSERT_EQ(d.has_value(), s.has_value()) << a << "->" << b;
+      if (d) {
+        EXPECT_NEAR(d->length, s->length, 1e-9) << a << "->" << b;
+      }
+    }
+  }
+}
+
+TEST(ConnectivityTest, ShortestOfMultipleRoutes) {
+  // A square of four rooms around a block: two routes from nw to se; the
+  // graph must pick the shorter.
+  ConnectivityGraph g;
+  g.addRegion("nw", Rect::fromOrigin({0, 10}, 10, 10));
+  g.addRegion("ne", Rect::fromOrigin({10, 10}, 30, 10));  // wide: longer way round
+  g.addRegion("sw", Rect::fromOrigin({0, 0}, 10, 10));
+  g.addRegion("se", Rect::fromOrigin({10, 0}, 30, 10));
+  g.addPassage({"nw-ne", {{10, 12}, {10, 14}}, PassageKind::Free});
+  g.addPassage({"nw-sw", {{2, 10}, {4, 10}}, PassageKind::Free});
+  g.addPassage({"ne-se", {{36, 10}, {38, 10}}, PassageKind::Free});
+  g.addPassage({"sw-se", {{10, 2}, {10, 4}}, PassageKind::Free});
+  auto r = g.route("nw", "se");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->regions, (std::vector<std::string>{"nw", "sw", "se"}))
+      << "route through sw is shorter than through the wide ne room";
+}
+
+}  // namespace
+}  // namespace mw::reasoning

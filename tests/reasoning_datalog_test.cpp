@@ -1,0 +1,166 @@
+#include "reasoning/datalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reasoning/spatial_rules.hpp"
+#include "util/error.hpp"
+
+namespace mw::reasoning {
+namespace {
+
+Term v(const char* name) { return Term::var(name); }
+Term c(const char* value) { return Term::atom(value); }
+
+TEST(DatalogTest, GroundFactsAndQueries) {
+  Datalog db;
+  db.addFact("room", {"3105"});
+  db.addFact("room", {"3216"});
+  db.addFact("corridor", {"hall3"});
+  EXPECT_EQ(db.factCount(), 3u);
+  EXPECT_TRUE(db.holds({"room", {c("3105")}}));
+  EXPECT_FALSE(db.holds({"room", {c("hall3")}}));
+  auto rooms = db.query({"room", {v("X")}});
+  EXPECT_EQ(rooms.size(), 2u);
+}
+
+TEST(DatalogTest, DuplicateFactsCollapse) {
+  Datalog db;
+  db.addFact("p", {"a"});
+  db.addFact("p", {"a"});
+  EXPECT_EQ(db.factCount(), 1u);
+}
+
+TEST(DatalogTest, NonGroundFactThrows) {
+  Datalog db;
+  EXPECT_THROW(db.addFact({"p", {v("X")}}), mw::util::ContractError);
+}
+
+TEST(DatalogTest, RangeRestrictionEnforced) {
+  Datalog db;
+  // head variable Y never bound in body.
+  EXPECT_THROW(db.addRule(Rule{{"q", {v("Y")}}, {{"p", {v("X")}}}}), mw::util::ContractError);
+  EXPECT_THROW(db.addRule(Rule{{"q", {c("a")}}, {}}), mw::util::ContractError) << "empty body";
+}
+
+TEST(DatalogTest, SimpleRuleDerivation) {
+  Datalog db;
+  db.addFact("parent", {"alice", "bob"});
+  db.addRule(Rule{{"child", {v("Y"), v("X")}}, {{"parent", {v("X"), v("Y")}}}});
+  EXPECT_TRUE(db.holds({"child", {c("bob"), c("alice")}}));
+}
+
+TEST(DatalogTest, TransitiveClosure) {
+  Datalog db;
+  db.addFact("edge", {"a", "b"});
+  db.addFact("edge", {"b", "c"});
+  db.addFact("edge", {"c", "d"});
+  db.addRule(Rule{{"path", {v("X"), v("Y")}}, {{"edge", {v("X"), v("Y")}}}});
+  db.addRule(Rule{{"path", {v("X"), v("Y")}},
+                  {{"edge", {v("X"), v("Z")}}, {"path", {v("Z"), v("Y")}}}});
+  EXPECT_TRUE(db.holds({"path", {c("a"), c("d")}}));
+  EXPECT_FALSE(db.holds({"path", {c("d"), c("a")}}));
+  auto fromA = db.query({"path", {c("a"), v("Y")}});
+  EXPECT_EQ(fromA.size(), 3u);
+}
+
+TEST(DatalogTest, JoinSharedVariable) {
+  Datalog db;
+  db.addFact("in", {"tom", "3105"});
+  db.addFact("in", {"ann", "3105"});
+  db.addFact("in", {"bob", "3216"});
+  db.addRule(Rule{{"together", {v("A"), v("B")}},
+                  {{"in", {v("A"), v("R")}}, {"in", {v("B"), v("R")}}}});
+  EXPECT_TRUE(db.holds({"together", {c("tom"), c("ann")}}));
+  EXPECT_FALSE(db.holds({"together", {c("tom"), c("bob")}}));
+}
+
+TEST(DatalogTest, IncrementalFactsAfterSaturation) {
+  Datalog db;
+  db.addRule(Rule{{"q", {v("X")}}, {{"p", {v("X")}}}});
+  db.addFact("p", {"a"});
+  EXPECT_TRUE(db.holds({"q", {c("a")}}));
+  db.addFact("p", {"b"});  // must re-saturate lazily
+  EXPECT_TRUE(db.holds({"q", {c("b")}}));
+}
+
+TEST(DatalogTest, ConstantsInRuleHeadAndBody) {
+  Datalog db;
+  db.addFact("swiped", {"alice", "3105"});
+  db.addFact("swiped", {"bob", "vault"});
+  // Anyone who swiped into the vault gets flagged, with a constant head arg.
+  db.addRule(Rule{{"alert", {v("Who"), c("vault-entry")}},
+                  {{"swiped", {v("Who"), c("vault")}}}});
+  EXPECT_TRUE(db.holds({"alert", {c("bob"), c("vault-entry")}}));
+  EXPECT_FALSE(db.holds({"alert", {c("alice"), v("X")}}));
+}
+
+TEST(DatalogTest, MultipleRulesForTheSameHead) {
+  Datalog db;
+  db.addFact("door", {"a", "b"});
+  db.addFact("stair", {"b", "c"});
+  db.addRule(Rule{{"linked", {v("X"), v("Y")}}, {{"door", {v("X"), v("Y")}}}});
+  db.addRule(Rule{{"linked", {v("X"), v("Y")}}, {{"stair", {v("X"), v("Y")}}}});
+  EXPECT_TRUE(db.holds({"linked", {c("a"), c("b")}}));
+  EXPECT_TRUE(db.holds({"linked", {c("b"), c("c")}}));
+  EXPECT_EQ(db.query({"linked", {v("X"), v("Y")}}).size(), 2u);
+}
+
+TEST(DatalogTest, RepeatedVariableInPattern) {
+  Datalog db;
+  db.addFact("pair", {"x", "x"});
+  db.addFact("pair", {"x", "y"});
+  // A repeated variable must bind to the same constant.
+  EXPECT_EQ(db.query({"pair", {v("A"), v("A")}}).size(), 1u);
+}
+
+TEST(DatalogTest, QueryBindingsContainVariableAssignments) {
+  Datalog db;
+  db.addFact("edge", {"a", "b"});
+  auto results = db.query({"edge", {v("From"), v("To")}});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("From"), "a");
+  EXPECT_EQ(results[0].at("To"), "b");
+}
+
+// --- spatial rules bridge ------------------------------------------------------
+
+TEST(SpatialRulesTest, ReachabilityThroughFreeDoors) {
+  // roomA - corridor - roomB (free doors); vault off corridor (locked).
+  std::vector<NamedRegion> regions{
+      {"roomA", geo::Rect::fromOrigin({0, 0}, 4, 4)},
+      {"roomB", geo::Rect::fromOrigin({8, 0}, 4, 4)},
+      {"corridor", geo::Rect::fromOrigin({0, 4}, 12, 2)},
+      {"vault", geo::Rect::fromOrigin({0, 6}, 4, 4)},
+  };
+  std::vector<Passage> passages{
+      {"doorA", {{1, 4}, {2, 4}}, PassageKind::Free},
+      {"doorB", {{9, 4}, {10, 4}}, PassageKind::Free},
+      {"vaultDoor", {{1, 6}, {2, 6}}, PassageKind::Restricted},
+  };
+  Datalog db;
+  assertSpatialFacts(db, regions, passages);
+  installReachabilityRules(db);
+
+  EXPECT_TRUE(db.holds({"ecfp", {c("roomA"), c("corridor")}}));
+  EXPECT_TRUE(db.holds({"ecrp", {c("vault"), c("corridor")}}));
+  EXPECT_TRUE(db.holds({"reachable", {c("roomA"), c("roomB")}}))
+      << "transitively reachable through the corridor";
+  EXPECT_FALSE(db.holds({"reachable", {c("roomA"), c("vault")}}))
+      << "vault needs a key: not freely reachable";
+  EXPECT_TRUE(db.holds({"accessible", {c("roomA"), c("vault")}}))
+      << "but accessible when restricted passages may be used";
+}
+
+TEST(SpatialRulesTest, Rcc8FactsAsserted) {
+  std::vector<NamedRegion> regions{
+      {"floor", geo::Rect::fromOrigin({0, 0}, 100, 100)},
+      {"room", geo::Rect::fromOrigin({10, 10}, 5, 5)},
+  };
+  Datalog db;
+  assertSpatialFacts(db, regions, {});
+  EXPECT_TRUE(db.holds({"ntpp", {c("room"), c("floor")}}));
+  EXPECT_TRUE(db.holds({"ntppi", {c("floor"), c("room")}}));
+}
+
+}  // namespace
+}  // namespace mw::reasoning

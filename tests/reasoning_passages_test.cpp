@@ -1,0 +1,64 @@
+#include "reasoning/passages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw::reasoning {
+namespace {
+
+using geo::Rect;
+
+// Two rooms sharing the x=4 wall, corridor above both.
+const Rect kRoomA = Rect::fromOrigin({0, 0}, 4, 4);
+const Rect kRoomB = Rect::fromOrigin({4, 0}, 4, 4);
+const Rect kFarRoom = Rect::fromOrigin({20, 0}, 4, 4);
+
+TEST(PassagesTest, PassageConnectsSharedWall) {
+  Passage door{"Door1", {{4, 1}, {4, 2}}, PassageKind::Free};
+  EXPECT_TRUE(passageConnects(door, kRoomA, kRoomB));
+  EXPECT_TRUE(passageConnects(door, kRoomB, kRoomA)) << "symmetric";
+  EXPECT_FALSE(passageConnects(door, kRoomA, kFarRoom));
+}
+
+TEST(PassagesTest, PassageOnOneBoundaryOnlyDoesNotConnect) {
+  Passage door{"DoorX", {{0, 1}, {0, 2}}, PassageKind::Free};  // A's far wall
+  EXPECT_FALSE(passageConnects(door, kRoomA, kRoomB));
+}
+
+TEST(PassagesTest, EcfpWithFreeDoor) {
+  std::vector<Passage> ps{{"Door1", {{4, 1}, {4, 2}}, PassageKind::Free}};
+  EXPECT_EQ(classifyEc(kRoomA, kRoomB, ps), EcKind::ECFP);
+}
+
+TEST(PassagesTest, EcrpWithLockedDoorOnly) {
+  // "An example of a restricted passage is a door that is normally locked
+  // and which requires either a card swipe or a key to open."
+  std::vector<Passage> ps{{"SecureDoor", {{4, 1}, {4, 2}}, PassageKind::Restricted}};
+  EXPECT_EQ(classifyEc(kRoomA, kRoomB, ps), EcKind::ECRP);
+}
+
+TEST(PassagesTest, FreeDoorDominatesRestricted) {
+  std::vector<Passage> ps{
+      {"SecureDoor", {{4, 1}, {4, 2}}, PassageKind::Restricted},
+      {"OpenDoor", {{4, 3}, {4, 3.5}}, PassageKind::Free},
+  };
+  EXPECT_EQ(classifyEc(kRoomA, kRoomB, ps), EcKind::ECFP);
+}
+
+TEST(PassagesTest, EcnpPlainWall) {
+  // "two adjacent rooms that just have a wall (with no door) in between are
+  // also externally connected" — but ECNP.
+  EXPECT_EQ(classifyEc(kRoomA, kRoomB, {}), EcKind::ECNP);
+}
+
+TEST(PassagesTest, NotEcForDisjointOrOverlapping) {
+  EXPECT_EQ(classifyEc(kRoomA, kFarRoom, {}), EcKind::NotEc);
+  EXPECT_EQ(classifyEc(kRoomA, Rect::fromOrigin({2, 2}, 4, 4), {}), EcKind::NotEc);
+}
+
+TEST(PassagesTest, DoorElsewhereDoesNotUpgradeEcnp) {
+  std::vector<Passage> ps{{"FarDoor", {{20, 1}, {20, 2}}, PassageKind::Free}};
+  EXPECT_EQ(classifyEc(kRoomA, kRoomB, ps), EcKind::ECNP);
+}
+
+}  // namespace
+}  // namespace mw::reasoning

@@ -1,0 +1,104 @@
+// RCC-8 over exact polygon outlines (§5.1's "more accurate processing ...
+// taking the actual region boundaries").
+#include <gtest/gtest.h>
+
+#include "reasoning/rcc8.hpp"
+#include "util/error.hpp"
+
+namespace mw::reasoning {
+namespace {
+
+using geo::Polygon;
+
+Polygon square(double x, double y, double side) {
+  return Polygon{{x, y}, {x + side, y}, {x + side, y + side}, {x, y + side}};
+}
+
+TEST(Rcc8PolygonTest, Disconnected) {
+  EXPECT_EQ(rcc8(square(0, 0, 2), square(10, 10, 2)), Rcc8::DC);
+}
+
+TEST(Rcc8PolygonTest, Equal) {
+  EXPECT_EQ(rcc8(square(1, 1, 3), square(1, 1, 3)), Rcc8::EQ);
+}
+
+TEST(Rcc8PolygonTest, ExternallyConnectedEdge) {
+  EXPECT_EQ(rcc8(square(0, 0, 4), square(4, 0, 4)), Rcc8::EC);
+}
+
+TEST(Rcc8PolygonTest, ExternallyConnectedCorner) {
+  EXPECT_EQ(rcc8(square(0, 0, 2), square(2, 2, 2)), Rcc8::EC);
+}
+
+TEST(Rcc8PolygonTest, PartialOverlap) {
+  EXPECT_EQ(rcc8(square(0, 0, 4), square(2, 2, 4)), Rcc8::PO);
+}
+
+TEST(Rcc8PolygonTest, ProperParts) {
+  EXPECT_EQ(rcc8(square(2, 2, 2), square(0, 0, 6)), Rcc8::NTPP);
+  EXPECT_EQ(rcc8(square(0, 0, 6), square(2, 2, 2)), Rcc8::NTPPi);
+  EXPECT_EQ(rcc8(square(0, 0, 2), square(0, 0, 6)), Rcc8::TPP);
+  EXPECT_EQ(rcc8(square(0, 0, 6), square(0, 0, 2)), Rcc8::TPPi);
+}
+
+TEST(Rcc8PolygonTest, TriangleInsideSquare) {
+  Polygon tri{{2, 2}, {4, 2}, {3, 4}};
+  EXPECT_EQ(rcc8(tri, square(0, 0, 6)), Rcc8::NTPP);
+  EXPECT_EQ(rcc8(square(0, 0, 6), tri), Rcc8::NTPPi);
+}
+
+TEST(Rcc8PolygonTest, TriangleTouchingSquareEdge) {
+  // Triangle with base on the square's right wall, pointing out.
+  Polygon tri{{6, 2}, {6, 4}, {8, 3}};
+  EXPECT_EQ(rcc8(tri, square(0, 0, 6)), Rcc8::EC);
+}
+
+TEST(Rcc8PolygonTest, NonConvexNotchCases) {
+  // L-shaped region; a square sitting entirely inside its notch touches the
+  // L's boundary but shares no interior: EC. MBR-only reasoning would say
+  // PO/containment — the exact outline must not.
+  Polygon ell{{0, 0}, {6, 0}, {6, 2}, {2, 2}, {2, 6}, {0, 6}};
+  Polygon inNotch = square(3, 3, 2);  // MBR of ell contains it; outline does not
+  EXPECT_EQ(rcc8(ell.mbr(), inNotch.mbr()), Rcc8::NTPPi) << "MBR approximation differs";
+  EXPECT_EQ(rcc8(ell, inNotch), Rcc8::DC) << "exact outline: not even touching";
+  Polygon touchingNotch = square(2, 2, 2);  // touches the inner corner edges
+  EXPECT_EQ(rcc8(ell, touchingNotch), Rcc8::EC);
+  Polygon insideLeg = square(0.5, 2.5, 1);  // fully inside the vertical leg
+  EXPECT_EQ(rcc8(ell, insideLeg), Rcc8::NTPPi);
+}
+
+TEST(Rcc8PolygonTest, ConverseDualityOnPolygons) {
+  Polygon a = square(0, 0, 4);
+  std::vector<Polygon> others{square(10, 0, 2), square(4, 0, 4), square(2, 2, 4),
+                              square(1, 1, 2),  square(0, 0, 4), square(0, 0, 2)};
+  for (const auto& b : others) {
+    EXPECT_EQ(rcc8(b, a), converse(rcc8(a, b)));
+  }
+}
+
+TEST(Rcc8PolygonTest, InvalidPolygonThrows) {
+  Polygon degenerate{{0, 0}, {1, 1}};
+  EXPECT_THROW(rcc8(degenerate, square(0, 0, 2)), mw::util::ContractError);
+}
+
+TEST(Rcc8PolygonTest, AgreesWithRectVersionOnRectangles) {
+  // For axis-aligned rectangles the polygon path must match the O(1) path.
+  struct Pair {
+    geo::Rect a, b;
+  };
+  std::vector<Pair> pairs{
+      {geo::Rect::fromOrigin({0, 0}, 2, 2), geo::Rect::fromOrigin({5, 5}, 2, 2)},
+      {geo::Rect::fromOrigin({0, 0}, 4, 4), geo::Rect::fromOrigin({4, 0}, 4, 4)},
+      {geo::Rect::fromOrigin({0, 0}, 4, 4), geo::Rect::fromOrigin({2, 2}, 4, 4)},
+      {geo::Rect::fromOrigin({1, 1}, 2, 2), geo::Rect::fromOrigin({0, 0}, 6, 6)},
+      {geo::Rect::fromOrigin({0, 0}, 2, 2), geo::Rect::fromOrigin({0, 0}, 6, 6)},
+      {geo::Rect::fromOrigin({1, 1}, 3, 3), geo::Rect::fromOrigin({1, 1}, 3, 3)},
+  };
+  for (const auto& [ra, rb] : pairs) {
+    EXPECT_EQ(rcc8(Polygon::fromRect(ra), Polygon::fromRect(rb)), rcc8(ra, rb))
+        << ra << " vs " << rb;
+  }
+}
+
+}  // namespace
+}  // namespace mw::reasoning

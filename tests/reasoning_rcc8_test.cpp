@@ -1,0 +1,197 @@
+#include "reasoning/rcc8.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mw::reasoning {
+namespace {
+
+using geo::Rect;
+
+TEST(Rcc8Test, Disconnected) {
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 2, 2), Rect::fromOrigin({5, 5}, 2, 2)), Rcc8::DC);
+}
+
+TEST(Rcc8Test, ExternallyConnectedSharedEdge) {
+  // Two rooms sharing a wall.
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 4, 4), Rect::fromOrigin({4, 0}, 4, 4)), Rcc8::EC);
+}
+
+TEST(Rcc8Test, ExternallyConnectedSharedCorner) {
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 2, 2), Rect::fromOrigin({2, 2}, 2, 2)), Rcc8::EC);
+}
+
+TEST(Rcc8Test, PartialOverlap) {
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 4, 4), Rect::fromOrigin({2, 2}, 4, 4)), Rcc8::PO);
+}
+
+TEST(Rcc8Test, TangentialProperPart) {
+  // Inner rect touches the outer boundary.
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 2, 2), Rect::fromOrigin({0, 0}, 6, 6)), Rcc8::TPP);
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 6, 6), Rect::fromOrigin({0, 0}, 2, 2)), Rcc8::TPPi);
+}
+
+TEST(Rcc8Test, NonTangentialProperPart) {
+  EXPECT_EQ(rcc8(Rect::fromOrigin({2, 2}, 2, 2), Rect::fromOrigin({0, 0}, 6, 6)), Rcc8::NTPP);
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 6, 6), Rect::fromOrigin({2, 2}, 2, 2)), Rcc8::NTPPi);
+}
+
+TEST(Rcc8Test, Equal) {
+  EXPECT_EQ(rcc8(Rect::fromOrigin({1, 1}, 3, 3), Rect::fromOrigin({1, 1}, 3, 3)), Rcc8::EQ);
+}
+
+TEST(Rcc8Test, PartialOverlapOneSideFlush) {
+  // Same-height strips overlapping in x: interiors overlap but neither
+  // contains the other.
+  EXPECT_EQ(rcc8(Rect::fromOrigin({0, 0}, 4, 4), Rect::fromOrigin({2, 0}, 4, 4)), Rcc8::PO);
+}
+
+TEST(Rcc8Test, EmptyRegionThrows) {
+  EXPECT_THROW(rcc8(Rect{}, Rect::fromOrigin({0, 0}, 1, 1)), mw::util::ContractError);
+}
+
+TEST(Rcc8Test, ConverseTable) {
+  EXPECT_EQ(converse(Rcc8::DC), Rcc8::DC);
+  EXPECT_EQ(converse(Rcc8::EC), Rcc8::EC);
+  EXPECT_EQ(converse(Rcc8::PO), Rcc8::PO);
+  EXPECT_EQ(converse(Rcc8::EQ), Rcc8::EQ);
+  EXPECT_EQ(converse(Rcc8::TPP), Rcc8::TPPi);
+  EXPECT_EQ(converse(Rcc8::NTPP), Rcc8::NTPPi);
+  EXPECT_EQ(converse(Rcc8::TPPi), Rcc8::TPP);
+  EXPECT_EQ(converse(Rcc8::NTPPi), Rcc8::NTPP);
+}
+
+TEST(Rcc8Test, Predicates) {
+  EXPECT_FALSE(connected(Rcc8::DC));
+  EXPECT_TRUE(connected(Rcc8::EC));
+  EXPECT_TRUE(connected(Rcc8::PO));
+  EXPECT_TRUE(partOf(Rcc8::TPP));
+  EXPECT_TRUE(partOf(Rcc8::NTPP));
+  EXPECT_TRUE(partOf(Rcc8::EQ));
+  EXPECT_FALSE(partOf(Rcc8::TPPi));
+  EXPECT_FALSE(partOf(Rcc8::PO));
+}
+
+TEST(Rcc8Test, ToStringNames) {
+  EXPECT_EQ(toString(Rcc8::DC), "DC");
+  EXPECT_EQ(toString(Rcc8::NTPPi), "NTPPi");
+}
+
+// --- composition table ---------------------------------------------------------
+
+TEST(Rcc8CompositionTest, IdentityOfEquality) {
+  for (int i = 0; i < 8; ++i) {
+    Rcc8 r = static_cast<Rcc8>(i);
+    EXPECT_EQ(compose(Rcc8::EQ, r), rcc8Bit(r)) << toString(r);
+    EXPECT_EQ(compose(r, Rcc8::EQ), rcc8Bit(r)) << toString(r);
+  }
+}
+
+TEST(Rcc8CompositionTest, KnownEntries) {
+  // Strict containment chains compose to strict containment.
+  EXPECT_EQ(compose(Rcc8::NTPP, Rcc8::NTPP), rcc8Bit(Rcc8::NTPP));
+  EXPECT_EQ(compose(Rcc8::TPP, Rcc8::NTPP), rcc8Bit(Rcc8::NTPP));
+  // A part of something disconnected from c is disconnected from c.
+  EXPECT_EQ(compose(Rcc8::TPP, Rcc8::DC), rcc8Bit(Rcc8::DC));
+  EXPECT_EQ(compose(Rcc8::NTPP, Rcc8::DC), rcc8Bit(Rcc8::DC));
+  // Fully ambiguous cells.
+  EXPECT_EQ(compose(Rcc8::DC, Rcc8::DC), kRcc8All);
+  EXPECT_EQ(compose(Rcc8::PO, Rcc8::PO), kRcc8All);
+  EXPECT_EQ(compose(Rcc8::NTPP, Rcc8::NTPPi), kRcc8All);
+}
+
+TEST(Rcc8CompositionTest, ConverseSymmetryOfTheTable) {
+  // compose(R1,R2) must equal the converse of compose(conv(R2), conv(R1)).
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      Rcc8 r1 = static_cast<Rcc8>(i), r2 = static_cast<Rcc8>(j);
+      Rcc8Set forward = compose(r1, r2);
+      Rcc8Set backward = compose(converse(r2), converse(r1));
+      Rcc8Set backConv = 0;
+      for (Rcc8 r : rcc8SetElements(backward)) backConv |= rcc8Bit(converse(r));
+      EXPECT_EQ(forward, backConv) << toString(r1) << " o " << toString(r2);
+    }
+  }
+}
+
+TEST(Rcc8CompositionTest, SetHelpers) {
+  Rcc8Set s = rcc8Bit(Rcc8::DC) | rcc8Bit(Rcc8::EQ);
+  EXPECT_TRUE(rcc8SetContains(s, Rcc8::DC));
+  EXPECT_FALSE(rcc8SetContains(s, Rcc8::PO));
+  EXPECT_EQ(rcc8SetElements(s), (std::vector<Rcc8>{Rcc8::DC, Rcc8::EQ}));
+  EXPECT_EQ(rcc8SetElements(kRcc8All).size(), 8u);
+}
+
+// Property: the table is SOUND — for random rect triples, the observed
+// relation(a,c) is always a member of compose(relation(a,b), relation(b,c)).
+class Rcc8CompositionSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Rcc8CompositionSoundness, ObservedRelationAlwaysInComposedSet) {
+  mw::util::Rng rng{GetParam()};
+  int checked = 0;
+  for (int i = 0; i < 3000; ++i) {
+    auto randomRect = [&] {
+      return Rect::fromOrigin({std::floor(rng.uniform(0, 12)), std::floor(rng.uniform(0, 12))},
+                              std::floor(rng.uniform(1, 8)), std::floor(rng.uniform(1, 8)));
+    };
+    Rect a = randomRect(), b = randomRect(), c = randomRect();
+    Rcc8 ab = rcc8(a, b), bc = rcc8(b, c), ac = rcc8(a, c);
+    EXPECT_TRUE(rcc8SetContains(compose(ab, bc), ac))
+        << toString(ab) << " o " << toString(bc) << " observed " << toString(ac) << " a=" << a
+        << " b=" << b << " c=" << c;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Rcc8CompositionSoundness,
+                         ::testing::Values(3u, 19u, 71u, 113u));
+
+// Property: exactly-one-relation and converse duality over random pairs.
+class Rcc8Properties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Rcc8Properties, ConverseDualityHolds) {
+  mw::util::Rng rng{GetParam()};
+  for (int i = 0; i < 300; ++i) {
+    Rect a = Rect::fromOrigin({rng.uniform(0, 20), rng.uniform(0, 20)},
+                              std::floor(rng.uniform(1, 8)), std::floor(rng.uniform(1, 8)));
+    Rect b = Rect::fromOrigin({std::floor(rng.uniform(0, 20)), std::floor(rng.uniform(0, 20))},
+                              std::floor(rng.uniform(1, 8)), std::floor(rng.uniform(1, 8)));
+    EXPECT_EQ(rcc8(b, a), converse(rcc8(a, b))) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST_P(Rcc8Properties, RelationConsistentWithSetPredicates) {
+  mw::util::Rng rng{GetParam()};
+  for (int i = 0; i < 300; ++i) {
+    Rect a = Rect::fromOrigin({std::floor(rng.uniform(0, 15)), std::floor(rng.uniform(0, 15))},
+                              std::floor(rng.uniform(1, 6)), std::floor(rng.uniform(1, 6)));
+    Rect b = Rect::fromOrigin({std::floor(rng.uniform(0, 15)), std::floor(rng.uniform(0, 15))},
+                              std::floor(rng.uniform(1, 6)), std::floor(rng.uniform(1, 6)));
+    Rcc8 rel = rcc8(a, b);
+    SCOPED_TRACE(::testing::Message() << "a=" << a << " b=" << b << " rel=" << toString(rel));
+    EXPECT_EQ(connected(rel), a.intersects(b));
+    if (rel == Rcc8::EQ) {
+      EXPECT_EQ(a, b);
+    }
+    if (partOf(rel)) {
+      EXPECT_TRUE(b.contains(a));
+    }
+    if (rel == Rcc8::PO) {
+      EXPECT_TRUE(a.overlapsInterior(b));
+      EXPECT_FALSE(a.contains(b));
+      EXPECT_FALSE(b.contains(a));
+    }
+    if (rel == Rcc8::EC) {
+      EXPECT_TRUE(a.intersects(b));
+      EXPECT_FALSE(a.overlapsInterior(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Rcc8Properties, ::testing::Values(11u, 23u, 31u, 47u));
+
+}  // namespace
+}  // namespace mw::reasoning

@@ -1,0 +1,143 @@
+#include "reasoning/relations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mw::reasoning {
+namespace {
+
+using fusion::LocationEstimate;
+using geo::Rect;
+
+LocationEstimate estimate(Rect r, double prob) {
+  LocationEstimate e;
+  e.region = r;
+  e.probability = prob;
+  return e;
+}
+
+TEST(ContainmentTest, FullyInsideScalesByEstimateProbability) {
+  auto est = estimate(Rect::fromOrigin({10, 10}, 2, 2), 0.9);
+  Rect room = Rect::fromOrigin({8, 8}, 10, 10);
+  EXPECT_DOUBLE_EQ(containmentProbability(est, room), 0.9);
+}
+
+TEST(ContainmentTest, PartialOverlapScalesByAreaFraction) {
+  auto est = estimate(Rect::fromOrigin({0, 0}, 4, 4), 0.8);
+  Rect region = Rect::fromOrigin({2, 0}, 10, 10);  // covers right half
+  EXPECT_DOUBLE_EQ(containmentProbability(est, region), 0.8 * 0.5);
+}
+
+TEST(ContainmentTest, DisjointIsZero) {
+  auto est = estimate(Rect::fromOrigin({0, 0}, 2, 2), 0.9);
+  EXPECT_DOUBLE_EQ(containmentProbability(est, Rect::fromOrigin({50, 50}, 5, 5)), 0.0);
+}
+
+TEST(ContainmentTest, DegeneratePointEstimate) {
+  auto est = estimate(Rect::fromCorners({5, 5}, {5, 5}), 0.7);
+  EXPECT_DOUBLE_EQ(containmentProbability(est, Rect::fromOrigin({0, 0}, 10, 10)), 0.7);
+  EXPECT_DOUBLE_EQ(containmentProbability(est, Rect::fromOrigin({20, 20}, 5, 5)), 0.0);
+}
+
+TEST(ContainmentTest, UsageRegionAlias) {
+  // §4.6.2: a display's usage region in front of it.
+  auto person = estimate(Rect::fromOrigin({3, 3}, 1, 1), 0.95);
+  Rect usage = Rect::fromOrigin({2, 2}, 4, 4);
+  EXPECT_DOUBLE_EQ(usageProbability(person, usage), containmentProbability(person, usage));
+}
+
+TEST(DistanceToRegionTest, Bounds) {
+  auto est = estimate(Rect::fromOrigin({0, 0}, 2, 2), 0.9);
+  Rect region = Rect::fromOrigin({5, 0}, 2, 2);
+  auto d = distanceToRegion(est, region);
+  EXPECT_DOUBLE_EQ(d.expected, 5.0);  // centers (1,1) and (6,1)
+  EXPECT_DOUBLE_EQ(d.min, 3.0);       // closest edges
+  EXPECT_DOUBLE_EQ(d.max, std::hypot(7.0, 2.0));
+  EXPECT_LE(d.min, d.expected);
+  EXPECT_LE(d.expected, d.max);
+}
+
+TEST(ProximityTest, DefinitelyWithinThreshold) {
+  auto a = estimate(Rect::fromOrigin({0, 0}, 1, 1), 1.0);
+  auto b = estimate(Rect::fromOrigin({1.5, 0}, 1, 1), 1.0);
+  // max possible distance ~ hypot(2.5,1) < 3.
+  EXPECT_NEAR(proximityProbability(a, b, 3.0), 1.0, 1e-12);
+}
+
+TEST(ProximityTest, DefinitelyBeyondThreshold) {
+  auto a = estimate(Rect::fromOrigin({0, 0}, 1, 1), 1.0);
+  auto b = estimate(Rect::fromOrigin({50, 0}, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(proximityProbability(a, b, 3.0), 0.0);
+}
+
+TEST(ProximityTest, PartialIsBetween) {
+  auto a = estimate(Rect::fromOrigin({0, 0}, 4, 4), 1.0);
+  auto b = estimate(Rect::fromOrigin({5, 0}, 4, 4), 1.0);
+  double p = proximityProbability(a, b, 5.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(ProximityTest, ScalesWithLocationConfidence) {
+  auto a = estimate(Rect::fromOrigin({0, 0}, 1, 1), 0.5);
+  auto b = estimate(Rect::fromOrigin({1, 0}, 1, 1), 0.6);
+  EXPECT_NEAR(proximityProbability(a, b, 10.0), 0.3, 1e-12);
+}
+
+TEST(ProximityTest, Validation) {
+  auto a = estimate(Rect::fromOrigin({0, 0}, 1, 1), 1.0);
+  EXPECT_THROW(proximityProbability(a, a, -1.0), mw::util::ContractError);
+  EXPECT_THROW(proximityProbability(a, a, 1.0, 0), mw::util::ContractError);
+}
+
+TEST(ProximityTest, FinerGridConverges) {
+  auto a = estimate(Rect::fromOrigin({0, 0}, 4, 4), 1.0);
+  auto b = estimate(Rect::fromOrigin({3, 0}, 4, 4), 1.0);
+  double coarse = proximityProbability(a, b, 4.0, 4);
+  double fine = proximityProbability(a, b, 4.0, 16);
+  EXPECT_NEAR(coarse, fine, 0.08) << "quadrature stable across resolutions";
+}
+
+TEST(CoLocationTest, BothInsideRoom) {
+  // §4.6.3: co-location at room granularity.
+  Rect room = Rect::fromOrigin({0, 0}, 10, 10);
+  auto a = estimate(Rect::fromOrigin({1, 1}, 2, 2), 0.9);
+  auto b = estimate(Rect::fromOrigin({6, 6}, 2, 2), 0.8);
+  EXPECT_NEAR(coLocationProbability(a, b, room), 0.72, 1e-12);
+}
+
+TEST(CoLocationTest, OneOutsideKillsIt) {
+  Rect room = Rect::fromOrigin({0, 0}, 10, 10);
+  auto a = estimate(Rect::fromOrigin({1, 1}, 2, 2), 0.9);
+  auto b = estimate(Rect::fromOrigin({60, 60}, 2, 2), 0.8);
+  EXPECT_DOUBLE_EQ(coLocationProbability(a, b, room), 0.0);
+}
+
+TEST(ObjectDistanceTest, SymmetricCenters) {
+  auto a = estimate(Rect::fromOrigin({0, 0}, 2, 2), 1.0);
+  auto b = estimate(Rect::fromOrigin({6, 8}, 2, 2), 1.0);
+  auto d = objectDistance(a, b);
+  EXPECT_DOUBLE_EQ(d.expected, 10.0);  // centers (1,1), (7,9)
+}
+
+TEST(ObjectPathDistanceTest, ThroughCorridor) {
+  ConnectivityGraph g;
+  g.addRegion("roomA", Rect::fromOrigin({0, 0}, 4, 4));
+  g.addRegion("roomB", Rect::fromOrigin({8, 0}, 4, 4));
+  g.addRegion("corridor", Rect::fromOrigin({0, 4}, 12, 2));
+  g.addPassage({"doorA", {{1, 4}, {2, 4}}, PassageKind::Free});
+  g.addPassage({"doorB", {{9, 4}, {10, 4}}, PassageKind::Free});
+
+  auto a = estimate(Rect::fromOrigin({1, 1}, 2, 2), 0.9);   // center (2,2) in roomA
+  auto b = estimate(Rect::fromOrigin({9, 1}, 2, 2), 0.9);   // center (10,2) in roomB
+  auto d = objectPathDistance(a, b, g);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(*d, objectDistance(a, b).expected) << "path longer than Euclidean";
+
+  auto outside = estimate(Rect::fromOrigin({100, 100}, 2, 2), 0.9);
+  EXPECT_EQ(objectPathDistance(a, outside, g), std::nullopt);
+}
+
+}  // namespace
+}  // namespace mw::reasoning

@@ -1,0 +1,106 @@
+// Reading history and trajectory queries.
+#include <gtest/gtest.h>
+
+#include "core/location_service.hpp"
+#include "spatialdb/database.hpp"
+#include "util/error.hpp"
+
+namespace mw::db {
+namespace {
+
+using mw::util::MobileObjectId;
+using mw::util::minutes;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+struct Fixture {
+  VirtualClock clock;
+  SpatialDatabase db;
+
+  Fixture() : db(clock, geo::Rect::fromOrigin({0, 0}, 100, 100), "U") {
+    SensorMeta meta;
+    meta.sensorId = SensorId{"ubi-1"};
+    meta.sensorType = "Ubisense";
+    meta.errorSpec = quality::ubisenseSpec(1.0);
+    meta.quality.ttl = minutes(30);
+    db.registerSensor(meta);
+  }
+
+  void insertAt(geo::Point2 where) {
+    SensorReading r;
+    r.sensorId = SensorId{"ubi-1"};
+    r.sensorType = "Ubisense";
+    r.mobileObjectId = MobileObjectId{"alice"};
+    r.location = where;
+    r.detectionRadius = 0.5;
+    r.detectionTime = clock.now();
+    db.insertReading(r);
+  }
+};
+
+TEST(HistoryTest, EmptyForUnknownObject) {
+  Fixture f;
+  EXPECT_TRUE(f.db.history(MobileObjectId{"ghost"}, minutes(5)).empty());
+}
+
+TEST(HistoryTest, TimeOrderedWithinWindow) {
+  Fixture f;
+  f.insertAt({10, 10});
+  f.clock.advance(sec(30));
+  f.insertAt({20, 10});
+  f.clock.advance(sec(30));
+  f.insertAt({30, 10});
+
+  auto lastMinute = f.db.history(MobileObjectId{"alice"}, sec(61));
+  ASSERT_EQ(lastMinute.size(), 3u);
+  EXPECT_EQ(lastMinute[0].location, (geo::Point2{10, 10}));
+  EXPECT_EQ(lastMinute[2].location, (geo::Point2{30, 10}));
+
+  auto last45s = f.db.history(MobileObjectId{"alice"}, sec(45));
+  ASSERT_EQ(last45s.size(), 2u);
+  EXPECT_EQ(last45s[0].location, (geo::Point2{20, 10}));
+}
+
+TEST(HistoryTest, CapacityRingDropsOldest) {
+  Fixture f;
+  f.db.setHistoryCapacity(3);
+  for (int i = 0; i < 10; ++i) {
+    f.insertAt({static_cast<double>(i), 0});
+    f.clock.advance(sec(1));
+  }
+  auto all = f.db.history(MobileObjectId{"alice"}, minutes(60));
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].location.x, 7);
+  EXPECT_EQ(all[2].location.x, 9);
+  EXPECT_THROW(f.db.setHistoryCapacity(0), mw::util::ContractError);
+}
+
+TEST(HistoryTest, ShrinkingCapacityTrimsExisting) {
+  Fixture f;
+  for (int i = 0; i < 10; ++i) {
+    f.insertAt({static_cast<double>(i), 0});
+    f.clock.advance(sec(1));
+  }
+  f.db.setHistoryCapacity(2);
+  EXPECT_EQ(f.db.history(MobileObjectId{"alice"}, minutes(60)).size(), 2u);
+}
+
+TEST(TrajectoryTest, ServiceExposesTimeOrderedSamples) {
+  Fixture f;
+  mw::core::LocationService service(f.clock, f.db);
+  for (int i = 0; i < 5; ++i) {
+    f.insertAt({static_cast<double>(10 * i), 5});
+    f.clock.advance(sec(10));
+  }
+  auto traj = service.trajectory(MobileObjectId{"alice"}, minutes(5));
+  ASSERT_EQ(traj.size(), 5u);
+  for (std::size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LT(traj[i - 1].when, traj[i].when);
+    EXPECT_LT(traj[i - 1].where.x, traj[i].where.x) << "moving east";
+  }
+  EXPECT_TRUE(service.trajectory(MobileObjectId{"ghost"}, minutes(5)).empty());
+}
+
+}  // namespace
+}  // namespace mw::db

@@ -1,0 +1,120 @@
+// The §5.1 SQL stand-in: predicate query language over spatial-object rows.
+#include <gtest/gtest.h>
+
+#include "spatialdb/database.hpp"
+#include "spatialdb/query_language.hpp"
+#include "util/error.hpp"
+
+namespace mw::db {
+namespace {
+
+using mw::util::ParseError;
+using mw::util::SpatialObjectId;
+using mw::util::VirtualClock;
+
+SpatialObjectRow row(const char* id, ObjectType type,
+                     std::unordered_map<std::string, std::string> props = {}) {
+  SpatialObjectRow r;
+  r.id = SpatialObjectId{id};
+  r.globPrefix = "CS/Floor3";
+  r.objectType = type;
+  r.geometryType = GeometryType::Polygon;
+  r.points = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  r.properties = std::move(props);
+  return r;
+}
+
+TEST(QueryLanguageTest, TypeEquality) {
+  auto p = compileQuery("type = Room");
+  EXPECT_TRUE(p(row("a", ObjectType::Room)));
+  EXPECT_FALSE(p(row("b", ObjectType::Corridor)));
+}
+
+TEST(QueryLanguageTest, CaseInsensitiveKeywordsAndTypes) {
+  auto p = compileQuery("TYPE = room AND NOT type = corridor");
+  EXPECT_TRUE(p(row("a", ObjectType::Room)));
+}
+
+TEST(QueryLanguageTest, PaperExamplePowerOutletsAndBluetooth) {
+  // "Where is the nearest region that has power outlets and high Bluetooth
+  // signal?" — the predicate part.
+  auto p = compileQuery("prop.outlets = yes and prop.bluetooth = high");
+  EXPECT_TRUE(p(row("good", ObjectType::Room, {{"outlets", "yes"}, {"bluetooth", "high"}})));
+  EXPECT_FALSE(p(row("weak", ObjectType::Room, {{"outlets", "yes"}, {"bluetooth", "low"}})));
+  EXPECT_FALSE(p(row("bare", ObjectType::Room)));
+}
+
+TEST(QueryLanguageTest, OrAndParentheses) {
+  auto p = compileQuery("(type = Room or type = Corridor) and prop.wing = east");
+  EXPECT_TRUE(p(row("a", ObjectType::Room, {{"wing", "east"}})));
+  EXPECT_TRUE(p(row("b", ObjectType::Corridor, {{"wing", "east"}})));
+  EXPECT_FALSE(p(row("c", ObjectType::Display, {{"wing", "east"}})));
+  EXPECT_FALSE(p(row("d", ObjectType::Room, {{"wing", "west"}})));
+}
+
+TEST(QueryLanguageTest, NotEqualsAndNegation) {
+  auto neq = compileQuery("type != Door");
+  EXPECT_TRUE(neq(row("a", ObjectType::Room)));
+  EXPECT_FALSE(neq(row("b", ObjectType::Door)));
+  auto notted = compileQuery("not prop.bluetooth = low");
+  EXPECT_TRUE(notted(row("c", ObjectType::Room)));
+  EXPECT_FALSE(notted(row("d", ObjectType::Room, {{"bluetooth", "low"}})));
+}
+
+TEST(QueryLanguageTest, IdPrefixAndQuotedStrings) {
+  auto p = compileQuery("prefix = \"CS/Floor3\" and id = 3105");
+  EXPECT_TRUE(p(row("3105", ObjectType::Room)));
+  EXPECT_FALSE(p(row("3106", ObjectType::Room)));
+  auto geometric = compileQuery("geometry = Polygon");
+  EXPECT_TRUE(geometric(row("x", ObjectType::Room)));
+}
+
+TEST(QueryLanguageTest, PropertyValuesAreCaseSensitive) {
+  auto p = compileQuery("prop.owner = Alice");
+  EXPECT_TRUE(p(row("a", ObjectType::Room, {{"owner", "Alice"}})));
+  EXPECT_FALSE(p(row("b", ObjectType::Room, {{"owner", "alice"}})));
+}
+
+TEST(QueryLanguageTest, ParseErrors) {
+  EXPECT_THROW(compileQuery(""), mw::util::ContractError);
+  EXPECT_THROW(compileQuery("type ="), ParseError);
+  EXPECT_THROW(compileQuery("= Room"), ParseError);
+  EXPECT_THROW(compileQuery("type = Room and"), ParseError);
+  EXPECT_THROW(compileQuery("(type = Room"), ParseError);
+  EXPECT_THROW(compileQuery("bogusfield = x"), ParseError);
+  EXPECT_THROW(compileQuery("prop. = x"), ParseError);
+  EXPECT_THROW(compileQuery("type = \"unterminated"), ParseError);
+  EXPECT_THROW(compileQuery("type ~ Room"), ParseError);
+  EXPECT_THROW(compileQuery("type = Room extra"), ParseError) << "trailing tokens";
+}
+
+TEST(QueryLanguageTest, DrivesDatabaseQueriesEndToEnd) {
+  VirtualClock clock;
+  SpatialDatabase db(clock, geo::Rect::fromOrigin({0, 0}, 100, 100), "CS");
+  auto addAt = [&](const char* id, ObjectType type, geo::Point2 at,
+                   std::unordered_map<std::string, std::string> props) {
+    SpatialObjectRow r;
+    r.id = SpatialObjectId{id};
+    r.globPrefix = "CS";
+    r.objectType = type;
+    r.geometryType = GeometryType::Polygon;
+    r.points = {at, {at.x + 5, at.y}, {at.x + 5, at.y + 5}, {at.x, at.y + 5}};
+    r.properties = std::move(props);
+    db.addObject(r);
+  };
+  addAt("near", ObjectType::Room, {10, 10}, {{"outlets", "yes"}});
+  addAt("far", ObjectType::Room, {80, 80}, {{"outlets", "yes"}, {"bluetooth", "high"}});
+  addAt("close-no-outlet", ObjectType::Room, {5, 5}, {});
+
+  // The paper's full question, answered: nearest region with power outlets
+  // and high Bluetooth signal from (0,0).
+  auto want = compileQuery("prop.outlets = yes and prop.bluetooth = high");
+  auto nearest = db.nearest({0, 0}, want);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(nearest->id.str(), "far");
+
+  EXPECT_EQ(db.query(compileQuery("prop.outlets = yes")).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mw::db

@@ -1,0 +1,175 @@
+// Persistence tests: snapshot/restore of the world model (frames, Table-1
+// rows, sensor calibration incl. tdfs).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/blueprint.hpp"
+#include "spatialdb/snapshot.hpp"
+#include "util/error.hpp"
+
+namespace mw::db {
+namespace {
+
+using mw::util::minutes;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+SpatialDatabase buildOriginal(const util::Clock& clock) {
+  sim::Blueprint bp = sim::generateBlueprint({.building = "SC", .floors = 2, .roomsPerSide = 3});
+  SpatialDatabase db(clock, bp.universe, bp.frames());
+  bp.populate(db);
+
+  SensorMeta ubi;
+  ubi.sensorId = SensorId{"ubi-1"};
+  ubi.sensorType = "Ubisense";
+  ubi.errorSpec = quality::ubisenseSpec(0.9);
+  ubi.scaleMisidentifyByArea = true;
+  ubi.quality.ttl = sec(3);
+  db.registerSensor(ubi);
+
+  SensorMeta rf;
+  rf.sensorId = SensorId{"rf-1"};
+  rf.sensorType = "RF";
+  rf.errorSpec = quality::rfidBadgeSpec(0.8);
+  rf.quality.ttl = sec(60);
+  rf.quality.tdf = std::make_shared<quality::LinearDegradation>(minutes(2));
+  db.registerSensor(rf);
+
+  SensorMeta bio;
+  bio.sensorId = SensorId{"fp-1"};
+  bio.sensorType = "Biometric";
+  bio.errorSpec = quality::biometricSpec();
+  bio.quality.ttl = minutes(15);
+  bio.quality.tdf = std::make_shared<quality::StepDegradation>(
+      std::vector<quality::StepDegradation::Step>{{sec(30), 0.8}, {minutes(5), 0.4}});
+  db.registerSensor(bio);
+
+  SensorMeta gps;
+  gps.sensorId = SensorId{"gps-1"};
+  gps.sensorType = "GPS";
+  gps.errorSpec = quality::gpsSpec(0.7);
+  gps.quality.ttl = sec(10);
+  gps.quality.tdf = std::make_shared<quality::ExponentialDegradation>(sec(20));
+  db.registerSensor(gps);
+  return db;
+}
+
+TEST(SnapshotTest, RoundTripPreservesWorldModel) {
+  VirtualClock clock;
+  SpatialDatabase original = buildOriginal(clock);
+  util::Bytes snapshot = snapshotDatabase(original);
+  SpatialDatabase restored = restoreDatabase(clock, snapshot);
+
+  EXPECT_EQ(restored.universe(), original.universe());
+  EXPECT_EQ(restored.objectCount(), original.objectCount());
+  EXPECT_EQ(restored.sensorCount(), original.sensorCount());
+  EXPECT_EQ(restored.frames().size(), original.frames().size());
+
+  // Spot checks: a room row survives with geometry and type.
+  auto room = restored.objectByGlob("SC/1/101");
+  ASSERT_TRUE(room.has_value());
+  EXPECT_EQ(room->objectType, ObjectType::Room);
+  EXPECT_EQ(restored.universeMbr(*room), original.universeMbr(*original.objectByGlob("SC/1/101")));
+
+  // Frame conversions behave identically.
+  geo::Point2 p{3, 4};
+  EXPECT_EQ(restored.frames().toRoot("SC/2", p), original.frames().toRoot("SC/2", p));
+
+  // Sensor calibration incl. tdfs: degraded confidence matches at any age.
+  for (const char* id : {"ubi-1", "rf-1", "fp-1", "gps-1"}) {
+    auto a = original.sensorMeta(SensorId{id});
+    auto b = restored.sensorMeta(SensorId{id});
+    ASSERT_TRUE(a && b) << id;
+    EXPECT_EQ(a->sensorType, b->sensorType);
+    EXPECT_EQ(a->scaleMisidentifyByArea, b->scaleMisidentifyByArea);
+    EXPECT_EQ(a->quality.ttl, b->quality.ttl);
+    for (int age : {0, 5, 45, 400}) {
+      auto ca = a->confidenceFor(10.0, 10'000.0, sec(age));
+      auto cb = b->confidenceFor(10.0, 10'000.0, sec(age));
+      ASSERT_EQ(ca.has_value(), cb.has_value()) << id << " age " << age;
+      if (ca) {
+        EXPECT_DOUBLE_EQ(ca->p, cb->p) << id << " age " << age;
+        EXPECT_DOUBLE_EQ(ca->q, cb->q) << id << " age " << age;
+      }
+    }
+  }
+}
+
+TEST(SnapshotTest, SnapshotIsDeterministic) {
+  VirtualClock clock;
+  SpatialDatabase db = buildOriginal(clock);
+  EXPECT_EQ(snapshotDatabase(db), snapshotDatabase(db));
+}
+
+TEST(SnapshotTest, ReadingsAreNotSnapshotted) {
+  VirtualClock clock;
+  SpatialDatabase db = buildOriginal(clock);
+  SensorReading r;
+  r.sensorId = SensorId{"ubi-1"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = util::MobileObjectId{"alice"};
+  r.location = {5, 5};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  SpatialDatabase restored = restoreDatabase(clock, snapshotDatabase(db));
+  EXPECT_TRUE(restored.knownMobileObjects().empty()) << "readings are transient";
+}
+
+TEST(SnapshotTest, CorruptedInputThrows) {
+  VirtualClock clock;
+  SpatialDatabase db = buildOriginal(clock);
+  util::Bytes good = snapshotDatabase(db);
+
+  util::Bytes badMagic = good;
+  badMagic[0] ^= 0xFF;
+  EXPECT_THROW(restoreDatabase(clock, badMagic), util::ParseError);
+
+  util::Bytes truncated(good.begin(), good.begin() + static_cast<std::ptrdiff_t>(good.size() / 2));
+  EXPECT_THROW(restoreDatabase(clock, truncated), util::ParseError);
+
+  util::Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_THROW(restoreDatabase(clock, trailing), util::ParseError);
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  VirtualClock clock;
+  SpatialDatabase db = buildOriginal(clock);
+  std::string path = ::testing::TempDir() + "/mw_snapshot_test.bin";
+  saveSnapshotFile(db, path);
+  SpatialDatabase restored = loadSnapshotFile(clock, path);
+  EXPECT_EQ(restored.objectCount(), db.objectCount());
+  EXPECT_EQ(restored.sensorCount(), db.sensorCount());
+  std::remove(path.c_str());
+  EXPECT_THROW(loadSnapshotFile(clock, "/nonexistent/dir/snap.bin"), util::MwError);
+}
+
+TEST(SnapshotTest, RestoredDatabaseIsFullyOperational) {
+  // Not just data equality: triggers and ingest work on the restored copy.
+  VirtualClock clock;
+  SpatialDatabase db = buildOriginal(clock);
+  SpatialDatabase restored = restoreDatabase(clock, snapshotDatabase(db));
+
+  int fired = 0;
+  auto room = restored.objectByGlob("SC/1/101");
+  ASSERT_TRUE(room.has_value());
+  geo::Rect region = restored.universeMbr(*room);
+  restored.createTrigger({region, std::nullopt, [&](const TriggerEvent&) { ++fired; }});
+
+  SensorReading r;
+  r.sensorId = SensorId{"ubi-1"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = util::MobileObjectId{"bob"};
+  r.location = region.center();
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  restored.insertReading(r);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(restored.readingsFor(util::MobileObjectId{"bob"}).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mw::db

@@ -1,0 +1,492 @@
+#include "spatialdb/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mw::db {
+namespace {
+
+using mw::util::ContractError;
+using mw::util::MobileObjectId;
+using mw::util::NotFoundError;
+using mw::util::sec;
+using mw::util::SensorId;
+using mw::util::SpatialObjectId;
+using mw::util::VirtualClock;
+
+// The paper's Table 1 floor (Fig 8): rooms 3105, NetLab and a corridor on
+// floor CS/Floor3.
+SpatialObjectRow floorRow() {
+  return {SpatialObjectId{"Floor3"}, "CS", ObjectType::Floor, GeometryType::Polygon,
+          {{0, 0}, {500, 0}, {500, 100}, {0, 100}},
+          {}};
+}
+
+SpatialObjectRow roomRow(const char* id, double x0, double x1,
+                         ObjectType type = ObjectType::Room) {
+  return {SpatialObjectId{id}, "CS/Floor3", type, GeometryType::Polygon,
+          {{x0, 0}, {x1, 0}, {x1, 30}, {x0, 30}},
+          {}};
+}
+
+SpatialDatabase makeDb(const util::Clock& clock) {
+  glob::FrameTree frames;
+  frames.addRoot("CS");
+  frames.addFrame("CS/Floor3", "CS", glob::Transform2{});
+  SpatialDatabase db(clock, geo::Rect::fromOrigin({0, 0}, 500, 100), std::move(frames));
+  db.addObject(floorRow());
+  db.addObject(roomRow("3105", 330, 350));
+  db.addObject(roomRow("NetLab", 360, 380));
+  db.addObject(roomRow("LabCorridor", 310, 330, ObjectType::Corridor));
+  return db;
+}
+
+SensorMeta ubisenseMeta(const char* id) {
+  SensorMeta meta;
+  meta.sensorId = SensorId{id};
+  meta.sensorType = "Ubisense";
+  meta.errorSpec = quality::ubisenseSpec(1.0);
+  meta.scaleMisidentifyByArea = true;
+  meta.quality.ttl = sec(3);  // paper's sensor table: Ubisense TTL 3s
+  return meta;
+}
+
+TEST(SpatialDbObjectsTest, AddAndLookup) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  EXPECT_EQ(db.objectCount(), 4u);
+  auto room = db.object("CS/Floor3", SpatialObjectId{"3105"});
+  ASSERT_TRUE(room.has_value());
+  EXPECT_EQ(room->objectType, ObjectType::Room);
+  EXPECT_EQ(room->fullGlob(), "CS/Floor3/3105");
+  EXPECT_EQ(db.object("CS/Floor3", SpatialObjectId{"nope"}), std::nullopt);
+}
+
+TEST(SpatialDbObjectsTest, ObjectByGlob) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  auto room = db.objectByGlob("CS/Floor3/NetLab");
+  ASSERT_TRUE(room.has_value());
+  EXPECT_EQ(room->id.str(), "NetLab");
+  EXPECT_EQ(db.objectByGlob("CS/Floor3/ghost"), std::nullopt);
+}
+
+TEST(SpatialDbObjectsTest, DuplicateKeyThrows) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  EXPECT_THROW(db.addObject(roomRow("3105", 100, 120)), ContractError);
+}
+
+TEST(SpatialDbObjectsTest, UnknownPrefixResolvesToNearestAncestorFrame) {
+  // "CS/Floor9" has no frame of its own, so coordinates are interpreted in
+  // the nearest registered ancestor — the building frame "CS".
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  EXPECT_EQ(db.frameFor("CS/Floor9"), "CS");
+  EXPECT_EQ(db.frameFor("CS/Floor3/closet"), "CS/Floor3");
+  EXPECT_EQ(db.frameFor(""), "CS");
+  EXPECT_EQ(db.frameFor("Mars"), "CS") << "foreign prefixes fall back to root";
+  SpatialObjectRow row = roomRow("X", 0, 10);
+  row.globPrefix = "CS/Floor9";
+  db.addObject(row);
+  EXPECT_EQ(db.universeMbr(row), geo::Rect::fromOrigin({0, 0}, 10, 30))
+      << "coordinates read in the building frame";
+}
+
+TEST(SpatialDbObjectsTest, InvalidGeometryThrows) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  SpatialObjectRow row{SpatialObjectId{"p"}, "CS", ObjectType::Other, GeometryType::Polygon,
+                       {{0, 0}, {1, 1}},  // 2 vertices is not a polygon
+                       {}};
+  EXPECT_THROW(db.addObject(row), ContractError);
+}
+
+TEST(SpatialDbObjectsTest, RemoveObject) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  EXPECT_TRUE(db.removeObject("CS/Floor3", SpatialObjectId{"NetLab"}));
+  EXPECT_FALSE(db.removeObject("CS/Floor3", SpatialObjectId{"NetLab"}));
+  EXPECT_EQ(db.objectCount(), 3u);
+  EXPECT_EQ(db.object("CS/Floor3", SpatialObjectId{"NetLab"}), std::nullopt);
+  // Spatial index no longer returns it either.
+  auto hits = db.objectsIntersecting(geo::Rect::fromOrigin({360, 0}, 20, 30));
+  for (const auto& row : hits) EXPECT_NE(row.id.str(), "NetLab");
+}
+
+TEST(SpatialDbObjectsTest, ObjectsOfType) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  EXPECT_EQ(db.objectsOfType(ObjectType::Room).size(), 2u);
+  EXPECT_EQ(db.objectsOfType(ObjectType::Corridor).size(), 1u);
+  EXPECT_EQ(db.objectsOfType(ObjectType::Display).size(), 0u);
+}
+
+TEST(SpatialDbObjectsTest, ObjectsIntersecting) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  auto hits = db.objectsIntersecting(geo::Rect::fromOrigin({335, 5}, 5, 5));
+  // Floor + room 3105.
+  ASSERT_EQ(hits.size(), 2u);
+  std::vector<std::string> ids{hits[0].id.str(), hits[1].id.str()};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::string>{"3105", "Floor3"}));
+}
+
+TEST(SpatialDbObjectsTest, ObjectsContainingUsesExactGeometry) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  auto hits = db.objectsContaining(geo::Point2{340, 10});
+  std::vector<std::string> ids;
+  for (const auto& h : hits) ids.push_back(h.id.str());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::string>{"3105", "Floor3"}));
+  // A point in no room, only the floor.
+  hits = db.objectsContaining(geo::Point2{200, 50});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id.str(), "Floor3");
+}
+
+TEST(SpatialDbObjectsTest, PropertyQuery) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  SpatialObjectRow outlet{SpatialObjectId{"outlet1"},
+                          "CS/Floor3",
+                          ObjectType::PowerOutlet,
+                          GeometryType::Point,
+                          {{340, 1}},
+                          {{"voltage", "120"}}};
+  db.addObject(outlet);
+  auto hits = db.query([](const SpatialObjectRow& row) {
+    auto it = row.properties.find("voltage");
+    return it != row.properties.end() && it->second == "120";
+  });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id.str(), "outlet1");
+}
+
+TEST(SpatialDbObjectsTest, NearestWithPredicate) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  auto nearest = db.nearest(geo::Point2{355, 10}, [](const SpatialObjectRow& row) {
+    return row.objectType == ObjectType::Room;
+  });
+  ASSERT_TRUE(nearest.has_value());
+  // 3105 ends at x=350 (distance 5), NetLab starts at 360 (distance 5) —
+  // either is acceptable; ask for a point strictly nearer NetLab.
+  nearest = db.nearest(geo::Point2{358, 10}, [](const SpatialObjectRow& row) {
+    return row.objectType == ObjectType::Room;
+  });
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(nearest->id.str(), "NetLab");
+  EXPECT_EQ(db.nearest(geo::Point2{0, 0},
+                       [](const SpatialObjectRow&) { return false; }),
+            std::nullopt);
+}
+
+TEST(SpatialDbObjectsTest, FrameConversionOnIngest) {
+  // A room registered in a translated floor frame must land at the right
+  // universe position.
+  VirtualClock clock;
+  glob::FrameTree frames;
+  frames.addRoot("B");
+  frames.addFrame("B/F2", "B", glob::Transform2{{1000, 0}, 0});
+  SpatialDatabase db(clock, geo::Rect::fromOrigin({0, 0}, 2000, 100), std::move(frames));
+  SpatialObjectRow row{SpatialObjectId{"r1"}, "B/F2", ObjectType::Room, GeometryType::Polygon,
+                       {{10, 10}, {20, 10}, {20, 20}, {10, 20}},
+                       {}};
+  db.addObject(row);
+  EXPECT_EQ(db.universeMbr(row), geo::Rect::fromOrigin({1010, 10}, 10, 10));
+  auto hits = db.objectsContaining(geo::Point2{1015, 15});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id.str(), "r1");
+}
+
+// --- sensor tables ------------------------------------------------------------
+
+TEST(SpatialDbSensorsTest, RegisterAndIngest) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+  EXPECT_EQ(db.sensorCount(), 1u);
+  ASSERT_TRUE(db.sensorMeta(SensorId{"Ubi-18"}).has_value());
+  EXPECT_EQ(db.sensorMeta(SensorId{"Ubi-18"})->confidencePercent(), 95);
+
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = MobileObjectId{"ralph-bat"};
+  r.location = {341, 3};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+
+  auto readings = db.readingsFor(MobileObjectId{"ralph-bat"});
+  ASSERT_EQ(readings.size(), 1u);
+  EXPECT_FALSE(readings[0].moving) << "first reading is not 'moving'";
+  EXPECT_EQ(readings[0].reading.rect(), geo::Rect::centeredSquare({341, 3}, 0.5));
+}
+
+TEST(SpatialDbSensorsTest, UnregisteredSensorThrows) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  SensorReading r;
+  r.sensorId = SensorId{"ghost"};
+  r.mobileObjectId = MobileObjectId{"x"};
+  r.detectionTime = clock.now();
+  EXPECT_THROW(db.insertReading(r), NotFoundError);
+}
+
+TEST(SpatialDbSensorsTest, MovingFlagDerivedFromPreviousReading) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {100, 50};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  clock.advance(sec(1));
+  r.location = {105, 50};
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  auto readings = db.readingsFor(MobileObjectId{"tom"});
+  ASSERT_EQ(readings.size(), 1u) << "latest reading per sensor";
+  EXPECT_TRUE(readings[0].moving);
+  // A repeat at the same place clears the flag.
+  clock.advance(sec(1));
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  readings = db.readingsFor(MobileObjectId{"tom"});
+  EXPECT_FALSE(readings[0].moving);
+}
+
+TEST(SpatialDbSensorsTest, TtlExpiryFiltersReadings) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));  // TTL 3s
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {100, 50};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  clock.advance(sec(2));
+  EXPECT_EQ(db.readingsFor(MobileObjectId{"tom"}).size(), 1u);
+  clock.advance(sec(2));
+  EXPECT_EQ(db.readingsFor(MobileObjectId{"tom"}).size(), 0u) << "expired after TTL";
+}
+
+TEST(SpatialDbSensorsTest, PurgeExpiredRemovesStaleRows) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {100, 50};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  EXPECT_EQ(db.knownMobileObjects().size(), 1u);
+  clock.advance(sec(10));
+  db.purgeExpired();
+  EXPECT_EQ(db.knownMobileObjects().size(), 0u);
+}
+
+TEST(SpatialDbSensorsTest, ForceExpireOnLogout) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+  db.registerSensor(ubisenseMeta("Ubi-19"));
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {100, 50};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  r.sensorId = SensorId{"Ubi-19"};
+  db.insertReading(r);
+  db.expireReadings(MobileObjectId{"tom"}, SensorId{"Ubi-18"});
+  auto readings = db.readingsFor(MobileObjectId{"tom"});
+  ASSERT_EQ(readings.size(), 1u);
+  EXPECT_EQ(readings[0].reading.sensorId.str(), "Ubi-19");
+}
+
+TEST(SpatialDbSensorsTest, SymbolicRegionReadingsConvertFrames) {
+  VirtualClock clock;
+  glob::FrameTree frames;
+  frames.addRoot("B");
+  frames.addFrame("B/F1", "B", glob::Transform2{{100, 100}, 0});
+  SpatialDatabase db(clock, geo::Rect::fromOrigin({0, 0}, 1000, 1000), std::move(frames));
+  SensorMeta meta = ubisenseMeta("card-1");
+  meta.sensorType = "CardReader";
+  db.registerSensor(meta);
+
+  SensorReading r;
+  r.sensorId = SensorId{"card-1"};
+  r.globPrefix = "B/F1";
+  r.mobileObjectId = MobileObjectId{"alice"};
+  r.location = {5, 5};
+  r.symbolicRegion = geo::Rect::fromOrigin({0, 0}, 10, 10);  // the room, local frame
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  auto readings = db.readingsFor(MobileObjectId{"alice"});
+  ASSERT_EQ(readings.size(), 1u);
+  EXPECT_EQ(readings[0].reading.rect(), geo::Rect::fromOrigin({100, 100}, 10, 10))
+      << "region stored in universe frame";
+}
+
+TEST(SpatialDbSensorsTest, SensorHealthTracksActivityAndSilence) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));  // TTL 3 s
+  db.registerSensor(ubisenseMeta("Ubi-19"));
+
+  // Never-reporting sensors are silent from the start.
+  auto health = db.sensorHealth();
+  ASSERT_EQ(health.size(), 2u);
+  for (const auto& h : health) {
+    EXPECT_TRUE(h.silent);
+    EXPECT_EQ(h.readingCount, 0u);
+    EXPECT_EQ(h.lastReadingAge, std::nullopt);
+  }
+
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {100, 50};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  clock.advance(sec(2));
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+
+  health = db.sensorHealth();
+  ASSERT_EQ(health.size(), 2u);
+  // sensorIds() sorts: Ubi-18 first.
+  EXPECT_EQ(health[0].sensorId.str(), "Ubi-18");
+  EXPECT_FALSE(health[0].silent);
+  EXPECT_EQ(health[0].readingCount, 2u);
+  ASSERT_TRUE(health[0].lastReadingAge.has_value());
+  EXPECT_EQ(*health[0].lastReadingAge, sec(0));
+  EXPECT_TRUE(health[1].silent) << "Ubi-19 never reported";
+
+  // After 3x TTL of silence, Ubi-18 trips the threshold too.
+  clock.advance(sec(10));
+  health = db.sensorHealth(/*silenceFactor=*/3.0);
+  EXPECT_TRUE(health[0].silent);
+  // A laxer threshold keeps it healthy.
+  EXPECT_FALSE(db.sensorHealth(/*silenceFactor=*/10.0)[0].silent);
+  EXPECT_THROW(db.sensorHealth(0.0), ContractError);
+}
+
+// --- triggers (§5.3) -----------------------------------------------------------
+
+TEST(SpatialDbTriggersTest, FiresOnIntersectingReading) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+
+  std::vector<TriggerEvent> events;
+  geo::Rect room3105 = geo::Rect::fromOrigin({330, 0}, 20, 30);
+  auto id = db.createTrigger(
+      {room3105, std::nullopt, [&](const TriggerEvent& e) { events.push_back(e); }});
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(db.triggerCount(), 1u);
+
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {340, 10};  // inside 3105
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, id);
+  EXPECT_EQ(events[0].reading.mobileObjectId.str(), "tom");
+
+  // A reading elsewhere does not fire.
+  r.location = {100, 50};
+  db.insertReading(r);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(SpatialDbTriggersTest, SubjectFilter) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+  int fired = 0;
+  db.createTrigger({geo::Rect::fromOrigin({330, 0}, 20, 30), MobileObjectId{"alice"},
+                    [&](const TriggerEvent&) { ++fired; }});
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"bob"};
+  r.location = {340, 10};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  EXPECT_EQ(fired, 0) << "wrong subject";
+  r.mobileObjectId = MobileObjectId{"alice"};
+  db.insertReading(r);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SpatialDbTriggersTest, DropTrigger) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+  int fired = 0;
+  auto id = db.createTrigger({geo::Rect::fromOrigin({330, 0}, 20, 30), std::nullopt,
+                              [&](const TriggerEvent&) { ++fired; }});
+  EXPECT_TRUE(db.dropTrigger(id));
+  EXPECT_FALSE(db.dropTrigger(id));
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {340, 10};
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SpatialDbTriggersTest, ValidationOfSpecs) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  EXPECT_THROW(db.createTrigger({geo::Rect{}, std::nullopt, [](const TriggerEvent&) {}}),
+               ContractError);
+  EXPECT_THROW(db.createTrigger({geo::Rect::fromOrigin({0, 0}, 1, 1), std::nullopt, nullptr}),
+               ContractError);
+}
+
+TEST(SpatialDbTriggersTest, ManyTriggersOnlyMatchingFire) {
+  VirtualClock clock;
+  SpatialDatabase db = makeDb(clock);
+  db.registerSensor(ubisenseMeta("Ubi-18"));
+  int fired = 0;
+  // 100 triggers tiled along the corridor; a reading should hit exactly one.
+  for (int i = 0; i < 100; ++i) {
+    db.createTrigger({geo::Rect::fromOrigin({static_cast<double>(i * 5), 40}, 5, 5), std::nullopt,
+                      [&](const TriggerEvent&) { ++fired; }});
+  }
+  SensorReading r;
+  r.sensorId = SensorId{"Ubi-18"};
+  r.mobileObjectId = MobileObjectId{"tom"};
+  r.location = {52.5, 42.5};
+  r.detectionRadius = 0.4;
+  r.detectionTime = clock.now();
+  db.insertReading(r);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace mw::db

@@ -1,0 +1,98 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mw::util {
+namespace {
+
+TEST(BytesTest, RoundTripsAllScalarTypes) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello middleware");
+  w.blob({1, 2, 3});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello middleware");
+  EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, EmptyStringAndBlob) {
+  ByteWriter w;
+  w.str("");
+  w.blob({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.blob().empty());
+}
+
+TEST(BytesTest, SpecialDoubles) {
+  ByteWriter w;
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(std::isinf(r.f64()));
+  EXPECT_EQ(std::signbit(r.f64()), true);
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+TEST(BytesTest, TruncatedInputThrowsParseError) {
+  ByteWriter w;
+  w.u32(7);
+  Bytes data = w.bytes();
+  data.pop_back();
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), ParseError);
+}
+
+TEST(BytesTest, TruncatedStringLengthThrows) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), ParseError);
+}
+
+TEST(BytesTest, RemainingTracksConsumption) {
+  ByteWriter w;
+  w.u32(1);
+  w.u32(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BytesTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  ASSERT_EQ(w.bytes().size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0x02);
+  EXPECT_EQ(w.bytes()[1], 0x01);
+}
+
+}  // namespace
+}  // namespace mw::util

@@ -1,0 +1,62 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mw::util {
+namespace {
+
+TEST(VirtualClockTest, StartsAtNonZeroEpoch) {
+  VirtualClock clock;
+  EXPECT_GT(clock.now().time_since_epoch().count(), 0);
+}
+
+TEST(VirtualClockTest, AdvanceMovesForward) {
+  VirtualClock clock;
+  auto t0 = clock.now();
+  clock.advance(sec(5));
+  EXPECT_EQ(clock.now() - t0, sec(5));
+}
+
+TEST(VirtualClockTest, AdvanceZeroIsNoop) {
+  VirtualClock clock;
+  auto t0 = clock.now();
+  clock.advance(Duration::zero());
+  EXPECT_EQ(clock.now(), t0);
+}
+
+TEST(VirtualClockTest, NegativeAdvanceThrows) {
+  VirtualClock clock;
+  EXPECT_THROW(clock.advance(Duration{-1}), std::invalid_argument);
+}
+
+TEST(VirtualClockTest, SetForwardWorksBackwardThrows) {
+  VirtualClock clock;
+  auto t0 = clock.now();
+  clock.set(t0 + sec(10));
+  EXPECT_EQ(clock.now(), t0 + sec(10));
+  EXPECT_THROW(clock.set(t0), std::invalid_argument);
+}
+
+TEST(VirtualClockTest, CustomStart) {
+  TimePoint start{Duration{42}};
+  VirtualClock clock{start};
+  EXPECT_EQ(clock.now(), start);
+}
+
+TEST(SystemClockTest, AdvancesMonotonically) {
+  SystemClock clock;
+  auto a = clock.now();
+  auto b = clock.now();
+  EXPECT_LE(a, b);
+}
+
+TEST(DurationHelpersTest, Conversions) {
+  EXPECT_EQ(sec(2), msec(2000));
+  EXPECT_EQ(minutes(1), sec(60));
+  EXPECT_EQ(minutes(15), msec(900'000));
+}
+
+}  // namespace
+}  // namespace mw::util

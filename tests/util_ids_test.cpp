@@ -1,0 +1,70 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace mw::util {
+namespace {
+
+TEST(StringIdTest, DefaultIsEmpty) {
+  SensorId id;
+  EXPECT_TRUE(id.empty());
+  EXPECT_EQ(id.str(), "");
+}
+
+TEST(StringIdTest, ComparesByValue) {
+  SensorId a{"ubi-1"};
+  SensorId b{"ubi-1"};
+  SensorId c{"ubi-2"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(StringIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<SensorId, AdapterId>);
+  static_assert(!std::is_same_v<MobileObjectId, SpatialObjectId>);
+}
+
+TEST(StringIdTest, Streams) {
+  std::ostringstream os;
+  os << SensorId{"RF-12"};
+  EXPECT_EQ(os.str(), "RF-12");
+}
+
+TEST(StringIdTest, Hashable) {
+  std::unordered_set<MobileObjectId> set;
+  set.insert(MobileObjectId{"tom-pda"});
+  set.insert(MobileObjectId{"tom-pda"});
+  set.insert(MobileObjectId{"ralph-bat"});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(NumericIdTest, DefaultIsInvalid) {
+  TriggerId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id.value(), 0u);
+}
+
+TEST(NumericIdTest, SequencerAllocatesDistinctValidIds) {
+  IdSequencer<TriggerId> seq;
+  auto a = seq.next();
+  auto b = seq.next();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(NumericIdTest, Hashable) {
+  std::unordered_set<SubscriptionId> set;
+  set.insert(SubscriptionId{1});
+  set.insert(SubscriptionId{1});
+  set.insert(SubscriptionId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mw::util

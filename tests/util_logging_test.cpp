@@ -1,0 +1,65 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <sstream>
+
+namespace mw::util {
+namespace {
+
+/// Captures std::clog for the duration of a test.
+class ClogCapture {
+ public:
+  ClogCapture() : old_(std::clog.rdbuf(buffer_.rdbuf())) {}
+  ~ClogCapture() { std::clog.rdbuf(old_); }
+  [[nodiscard]] std::string text() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = Logger::instance().level(); }
+  void TearDown() override { Logger::instance().setLevel(previous_); }
+  LogLevel previous_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Logger::instance().setLevel(LogLevel::Warn);
+  ClogCapture capture;
+  logDebug("test", "invisible");
+  logInfo("test", "invisible");
+  logWarn("test", "visible warn");
+  logError("test", "visible error");
+  std::string out = capture.text();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("visible warn"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+  EXPECT_NE(out.find("[WARN]"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, DebugLevelShowsEverything) {
+  Logger::instance().setLevel(LogLevel::Debug);
+  ClogCapture capture;
+  logDebug("component", "value=", 42, " flag=", true);
+  std::string out = capture.text();
+  EXPECT_NE(out.find("[DEBUG] component: value=42 flag=1"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesAll) {
+  Logger::instance().setLevel(LogLevel::Off);
+  ClogCapture capture;
+  logError("test", "nope");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LoggingTest, SingletonIdentity) {
+  EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+}  // namespace
+}  // namespace mw::util

@@ -1,0 +1,72 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw::util {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  bool anyDifferent = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.uniform(0, 1) != b.uniform(0, 1)) anyDifferent = true;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng;
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == 0);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceClampsOutOfRange) {
+  Rng rng;
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(RngTest, GaussianRoughlyCentred) {
+  Rng rng{7};
+  double sum = 0;
+  constexpr int kN = 10'000;
+  for (int i = 0; i < kN; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace mw::util
