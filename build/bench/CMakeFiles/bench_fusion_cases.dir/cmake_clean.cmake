@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion_cases.dir/bench_fusion_cases.cpp.o"
+  "CMakeFiles/bench_fusion_cases.dir/bench_fusion_cases.cpp.o.d"
+  "bench_fusion_cases"
+  "bench_fusion_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

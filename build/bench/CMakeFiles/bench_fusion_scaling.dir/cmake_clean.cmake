@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion_scaling.dir/bench_fusion_scaling.cpp.o"
+  "CMakeFiles/bench_fusion_scaling.dir/bench_fusion_scaling.cpp.o.d"
+  "bench_fusion_scaling"
+  "bench_fusion_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

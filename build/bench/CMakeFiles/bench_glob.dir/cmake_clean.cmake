@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_glob.dir/bench_glob.cpp.o"
+  "CMakeFiles/bench_glob.dir/bench_glob.cpp.o.d"
+  "bench_glob"
+  "bench_glob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_glob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_distance.dir/bench_path_distance.cpp.o"
+  "CMakeFiles/bench_path_distance.dir/bench_path_distance.cpp.o.d"
+  "bench_path_distance"
+  "bench_path_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_rcc.cpp" "bench/CMakeFiles/bench_rcc.dir/bench_rcc.cpp.o" "gcc" "bench/CMakeFiles/bench_rcc.dir/bench_rcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapters/CMakeFiles/mw_adapters.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/mw_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatialdb/CMakeFiles/mw_spatialdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/glob/CMakeFiles/mw_glob.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/mw_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoning/CMakeFiles/mw_reasoning.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mw_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mw_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

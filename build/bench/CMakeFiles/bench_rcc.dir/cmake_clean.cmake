@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rcc.dir/bench_rcc.cpp.o"
+  "CMakeFiles/bench_rcc.dir/bench_rcc.cpp.o.d"
+  "bench_rcc"
+  "bench_rcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

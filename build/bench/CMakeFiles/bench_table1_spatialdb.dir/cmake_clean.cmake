@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_spatialdb.dir/bench_table1_spatialdb.cpp.o"
+  "CMakeFiles/bench_table1_spatialdb.dir/bench_table1_spatialdb.cpp.o.d"
+  "bench_table1_spatialdb"
+  "bench_table1_spatialdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_spatialdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_sensor_ingest.dir/bench_table2_sensor_ingest.cpp.o"
+  "CMakeFiles/bench_table2_sensor_ingest.dir/bench_table2_sensor_ingest.cpp.o.d"
+  "bench_table2_sensor_ingest"
+  "bench_table2_sensor_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_sensor_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

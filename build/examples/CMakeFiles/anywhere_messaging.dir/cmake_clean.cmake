@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anywhere_messaging.dir/anywhere_messaging.cpp.o"
+  "CMakeFiles/anywhere_messaging.dir/anywhere_messaging.cpp.o.d"
+  "anywhere_messaging"
+  "anywhere_messaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anywhere_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

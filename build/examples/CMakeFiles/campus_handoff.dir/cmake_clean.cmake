@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_handoff.dir/campus_handoff.cpp.o"
+  "CMakeFiles/campus_handoff.dir/campus_handoff.cpp.o.d"
+  "campus_handoff"
+  "campus_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/follow_me.dir/follow_me.cpp.o"
+  "CMakeFiles/follow_me.dir/follow_me.cpp.o.d"
+  "follow_me"
+  "follow_me.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/follow_me.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

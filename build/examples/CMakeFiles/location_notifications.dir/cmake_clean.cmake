@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_notifications.dir/location_notifications.cpp.o"
+  "CMakeFiles/location_notifications.dir/location_notifications.cpp.o.d"
+  "location_notifications"
+  "location_notifications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_notifications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_dashboard.dir/ops_dashboard.cpp.o"
+  "CMakeFiles/ops_dashboard.dir/ops_dashboard.cpp.o.d"
+  "ops_dashboard"
+  "ops_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

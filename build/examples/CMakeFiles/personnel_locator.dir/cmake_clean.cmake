@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personnel_locator.dir/personnel_locator.cpp.o"
+  "CMakeFiles/personnel_locator.dir/personnel_locator.cpp.o.d"
+  "personnel_locator"
+  "personnel_locator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personnel_locator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for personnel_locator.
+# This may be replaced when dependencies are built.

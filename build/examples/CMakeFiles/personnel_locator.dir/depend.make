@@ -1,0 +1,2 @@
+# Empty dependencies file for personnel_locator.
+# This may be replaced when dependencies are built.

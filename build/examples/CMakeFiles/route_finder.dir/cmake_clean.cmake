@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_finder.dir/route_finder.cpp.o"
+  "CMakeFiles/route_finder.dir/route_finder.cpp.o.d"
+  "route_finder"
+  "route_finder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_finder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geometry")
+subdirs("glob")
+subdirs("quality")
+subdirs("spatialdb")
+subdirs("lattice")
+subdirs("fusion")
+subdirs("reasoning")
+subdirs("orb")
+subdirs("adapters")
+subdirs("sim")
+subdirs("core")

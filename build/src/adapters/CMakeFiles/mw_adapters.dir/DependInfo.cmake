@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapters/adapter.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/adapter.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/adapter.cpp.o.d"
+  "/root/repo/src/adapters/biometric.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/biometric.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/biometric.cpp.o.d"
+  "/root/repo/src/adapters/bluetooth.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/bluetooth.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/bluetooth.cpp.o.d"
+  "/root/repo/src/adapters/card_reader.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/card_reader.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/card_reader.cpp.o.d"
+  "/root/repo/src/adapters/desktop_login.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/desktop_login.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/desktop_login.cpp.o.d"
+  "/root/repo/src/adapters/gps.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/gps.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/gps.cpp.o.d"
+  "/root/repo/src/adapters/rfid.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/rfid.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/rfid.cpp.o.d"
+  "/root/repo/src/adapters/ubisense.cpp" "src/adapters/CMakeFiles/mw_adapters.dir/ubisense.cpp.o" "gcc" "src/adapters/CMakeFiles/mw_adapters.dir/ubisense.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/mw_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatialdb/CMakeFiles/mw_spatialdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/glob/CMakeFiles/mw_glob.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_adapters.dir/adapter.cpp.o"
+  "CMakeFiles/mw_adapters.dir/adapter.cpp.o.d"
+  "CMakeFiles/mw_adapters.dir/biometric.cpp.o"
+  "CMakeFiles/mw_adapters.dir/biometric.cpp.o.d"
+  "CMakeFiles/mw_adapters.dir/bluetooth.cpp.o"
+  "CMakeFiles/mw_adapters.dir/bluetooth.cpp.o.d"
+  "CMakeFiles/mw_adapters.dir/card_reader.cpp.o"
+  "CMakeFiles/mw_adapters.dir/card_reader.cpp.o.d"
+  "CMakeFiles/mw_adapters.dir/desktop_login.cpp.o"
+  "CMakeFiles/mw_adapters.dir/desktop_login.cpp.o.d"
+  "CMakeFiles/mw_adapters.dir/gps.cpp.o"
+  "CMakeFiles/mw_adapters.dir/gps.cpp.o.d"
+  "CMakeFiles/mw_adapters.dir/rfid.cpp.o"
+  "CMakeFiles/mw_adapters.dir/rfid.cpp.o.d"
+  "CMakeFiles/mw_adapters.dir/ubisense.cpp.o"
+  "CMakeFiles/mw_adapters.dir/ubisense.cpp.o.d"
+  "libmw_adapters.a"
+  "libmw_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

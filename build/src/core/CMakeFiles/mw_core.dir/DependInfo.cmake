@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/mw_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/mw_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/location_service.cpp" "src/core/CMakeFiles/mw_core.dir/location_service.cpp.o" "gcc" "src/core/CMakeFiles/mw_core.dir/location_service.cpp.o.d"
+  "/root/repo/src/core/middlewhere.cpp" "src/core/CMakeFiles/mw_core.dir/middlewhere.cpp.o" "gcc" "src/core/CMakeFiles/mw_core.dir/middlewhere.cpp.o.d"
+  "/root/repo/src/core/reading_log.cpp" "src/core/CMakeFiles/mw_core.dir/reading_log.cpp.o" "gcc" "src/core/CMakeFiles/mw_core.dir/reading_log.cpp.o.d"
+  "/root/repo/src/core/region_lattice.cpp" "src/core/CMakeFiles/mw_core.dir/region_lattice.cpp.o" "gcc" "src/core/CMakeFiles/mw_core.dir/region_lattice.cpp.o.d"
+  "/root/repo/src/core/remote.cpp" "src/core/CMakeFiles/mw_core.dir/remote.cpp.o" "gcc" "src/core/CMakeFiles/mw_core.dir/remote.cpp.o.d"
+  "/root/repo/src/core/remote_registry.cpp" "src/core/CMakeFiles/mw_core.dir/remote_registry.cpp.o" "gcc" "src/core/CMakeFiles/mw_core.dir/remote_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/glob/CMakeFiles/mw_glob.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/mw_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatialdb/CMakeFiles/mw_spatialdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mw_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mw_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoning/CMakeFiles/mw_reasoning.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/mw_orb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_core.dir/codec.cpp.o"
+  "CMakeFiles/mw_core.dir/codec.cpp.o.d"
+  "CMakeFiles/mw_core.dir/location_service.cpp.o"
+  "CMakeFiles/mw_core.dir/location_service.cpp.o.d"
+  "CMakeFiles/mw_core.dir/middlewhere.cpp.o"
+  "CMakeFiles/mw_core.dir/middlewhere.cpp.o.d"
+  "CMakeFiles/mw_core.dir/reading_log.cpp.o"
+  "CMakeFiles/mw_core.dir/reading_log.cpp.o.d"
+  "CMakeFiles/mw_core.dir/region_lattice.cpp.o"
+  "CMakeFiles/mw_core.dir/region_lattice.cpp.o.d"
+  "CMakeFiles/mw_core.dir/remote.cpp.o"
+  "CMakeFiles/mw_core.dir/remote.cpp.o.d"
+  "CMakeFiles/mw_core.dir/remote_registry.cpp.o"
+  "CMakeFiles/mw_core.dir/remote_registry.cpp.o.d"
+  "libmw_core.a"
+  "libmw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/bayes.cpp" "src/fusion/CMakeFiles/mw_fusion.dir/bayes.cpp.o" "gcc" "src/fusion/CMakeFiles/mw_fusion.dir/bayes.cpp.o.d"
+  "/root/repo/src/fusion/classify.cpp" "src/fusion/CMakeFiles/mw_fusion.dir/classify.cpp.o" "gcc" "src/fusion/CMakeFiles/mw_fusion.dir/classify.cpp.o.d"
+  "/root/repo/src/fusion/engine.cpp" "src/fusion/CMakeFiles/mw_fusion.dir/engine.cpp.o" "gcc" "src/fusion/CMakeFiles/mw_fusion.dir/engine.cpp.o.d"
+  "/root/repo/src/fusion/prior.cpp" "src/fusion/CMakeFiles/mw_fusion.dir/prior.cpp.o" "gcc" "src/fusion/CMakeFiles/mw_fusion.dir/prior.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mw_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_fusion.dir/bayes.cpp.o"
+  "CMakeFiles/mw_fusion.dir/bayes.cpp.o.d"
+  "CMakeFiles/mw_fusion.dir/classify.cpp.o"
+  "CMakeFiles/mw_fusion.dir/classify.cpp.o.d"
+  "CMakeFiles/mw_fusion.dir/engine.cpp.o"
+  "CMakeFiles/mw_fusion.dir/engine.cpp.o.d"
+  "CMakeFiles/mw_fusion.dir/prior.cpp.o"
+  "CMakeFiles/mw_fusion.dir/prior.cpp.o.d"
+  "libmw_fusion.a"
+  "libmw_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/polygon.cpp" "src/geometry/CMakeFiles/mw_geometry.dir/polygon.cpp.o" "gcc" "src/geometry/CMakeFiles/mw_geometry.dir/polygon.cpp.o.d"
+  "/root/repo/src/geometry/rect.cpp" "src/geometry/CMakeFiles/mw_geometry.dir/rect.cpp.o" "gcc" "src/geometry/CMakeFiles/mw_geometry.dir/rect.cpp.o.d"
+  "/root/repo/src/geometry/rtree.cpp" "src/geometry/CMakeFiles/mw_geometry.dir/rtree.cpp.o" "gcc" "src/geometry/CMakeFiles/mw_geometry.dir/rtree.cpp.o.d"
+  "/root/repo/src/geometry/segment.cpp" "src/geometry/CMakeFiles/mw_geometry.dir/segment.cpp.o" "gcc" "src/geometry/CMakeFiles/mw_geometry.dir/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

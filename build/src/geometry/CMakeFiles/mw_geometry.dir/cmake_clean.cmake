@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/mw_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/mw_geometry.dir/rect.cpp.o"
+  "CMakeFiles/mw_geometry.dir/rect.cpp.o.d"
+  "CMakeFiles/mw_geometry.dir/rtree.cpp.o"
+  "CMakeFiles/mw_geometry.dir/rtree.cpp.o.d"
+  "CMakeFiles/mw_geometry.dir/segment.cpp.o"
+  "CMakeFiles/mw_geometry.dir/segment.cpp.o.d"
+  "libmw_geometry.a"
+  "libmw_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

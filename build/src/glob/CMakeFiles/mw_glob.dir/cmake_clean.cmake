@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_glob.dir/frame.cpp.o"
+  "CMakeFiles/mw_glob.dir/frame.cpp.o.d"
+  "CMakeFiles/mw_glob.dir/glob.cpp.o"
+  "CMakeFiles/mw_glob.dir/glob.cpp.o.d"
+  "libmw_glob.a"
+  "libmw_glob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_glob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_lattice.dir/rect_lattice.cpp.o"
+  "CMakeFiles/mw_lattice.dir/rect_lattice.cpp.o.d"
+  "libmw_lattice.a"
+  "libmw_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

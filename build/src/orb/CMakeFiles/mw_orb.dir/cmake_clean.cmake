@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_orb.dir/message.cpp.o"
+  "CMakeFiles/mw_orb.dir/message.cpp.o.d"
+  "CMakeFiles/mw_orb.dir/pubsub.cpp.o"
+  "CMakeFiles/mw_orb.dir/pubsub.cpp.o.d"
+  "CMakeFiles/mw_orb.dir/rpc.cpp.o"
+  "CMakeFiles/mw_orb.dir/rpc.cpp.o.d"
+  "CMakeFiles/mw_orb.dir/tcp.cpp.o"
+  "CMakeFiles/mw_orb.dir/tcp.cpp.o.d"
+  "CMakeFiles/mw_orb.dir/transport.cpp.o"
+  "CMakeFiles/mw_orb.dir/transport.cpp.o.d"
+  "libmw_orb.a"
+  "libmw_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quality/calibration.cpp" "src/quality/CMakeFiles/mw_quality.dir/calibration.cpp.o" "gcc" "src/quality/CMakeFiles/mw_quality.dir/calibration.cpp.o.d"
+  "/root/repo/src/quality/error_model.cpp" "src/quality/CMakeFiles/mw_quality.dir/error_model.cpp.o" "gcc" "src/quality/CMakeFiles/mw_quality.dir/error_model.cpp.o.d"
+  "/root/repo/src/quality/tdf.cpp" "src/quality/CMakeFiles/mw_quality.dir/tdf.cpp.o" "gcc" "src/quality/CMakeFiles/mw_quality.dir/tdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_quality.dir/calibration.cpp.o"
+  "CMakeFiles/mw_quality.dir/calibration.cpp.o.d"
+  "CMakeFiles/mw_quality.dir/error_model.cpp.o"
+  "CMakeFiles/mw_quality.dir/error_model.cpp.o.d"
+  "CMakeFiles/mw_quality.dir/tdf.cpp.o"
+  "CMakeFiles/mw_quality.dir/tdf.cpp.o.d"
+  "libmw_quality.a"
+  "libmw_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

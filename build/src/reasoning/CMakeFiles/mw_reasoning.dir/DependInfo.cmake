@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reasoning/connectivity.cpp" "src/reasoning/CMakeFiles/mw_reasoning.dir/connectivity.cpp.o" "gcc" "src/reasoning/CMakeFiles/mw_reasoning.dir/connectivity.cpp.o.d"
+  "/root/repo/src/reasoning/datalog.cpp" "src/reasoning/CMakeFiles/mw_reasoning.dir/datalog.cpp.o" "gcc" "src/reasoning/CMakeFiles/mw_reasoning.dir/datalog.cpp.o.d"
+  "/root/repo/src/reasoning/passages.cpp" "src/reasoning/CMakeFiles/mw_reasoning.dir/passages.cpp.o" "gcc" "src/reasoning/CMakeFiles/mw_reasoning.dir/passages.cpp.o.d"
+  "/root/repo/src/reasoning/rcc8.cpp" "src/reasoning/CMakeFiles/mw_reasoning.dir/rcc8.cpp.o" "gcc" "src/reasoning/CMakeFiles/mw_reasoning.dir/rcc8.cpp.o.d"
+  "/root/repo/src/reasoning/relations.cpp" "src/reasoning/CMakeFiles/mw_reasoning.dir/relations.cpp.o" "gcc" "src/reasoning/CMakeFiles/mw_reasoning.dir/relations.cpp.o.d"
+  "/root/repo/src/reasoning/spatial_rules.cpp" "src/reasoning/CMakeFiles/mw_reasoning.dir/spatial_rules.cpp.o" "gcc" "src/reasoning/CMakeFiles/mw_reasoning.dir/spatial_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mw_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mw_lattice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_reasoning.dir/connectivity.cpp.o"
+  "CMakeFiles/mw_reasoning.dir/connectivity.cpp.o.d"
+  "CMakeFiles/mw_reasoning.dir/datalog.cpp.o"
+  "CMakeFiles/mw_reasoning.dir/datalog.cpp.o.d"
+  "CMakeFiles/mw_reasoning.dir/passages.cpp.o"
+  "CMakeFiles/mw_reasoning.dir/passages.cpp.o.d"
+  "CMakeFiles/mw_reasoning.dir/rcc8.cpp.o"
+  "CMakeFiles/mw_reasoning.dir/rcc8.cpp.o.d"
+  "CMakeFiles/mw_reasoning.dir/relations.cpp.o"
+  "CMakeFiles/mw_reasoning.dir/relations.cpp.o.d"
+  "CMakeFiles/mw_reasoning.dir/spatial_rules.cpp.o"
+  "CMakeFiles/mw_reasoning.dir/spatial_rules.cpp.o.d"
+  "libmw_reasoning.a"
+  "libmw_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

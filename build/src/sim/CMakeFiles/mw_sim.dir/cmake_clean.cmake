@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_sim.dir/blueprint.cpp.o"
+  "CMakeFiles/mw_sim.dir/blueprint.cpp.o.d"
+  "CMakeFiles/mw_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mw_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mw_sim.dir/world.cpp.o"
+  "CMakeFiles/mw_sim.dir/world.cpp.o.d"
+  "libmw_sim.a"
+  "libmw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

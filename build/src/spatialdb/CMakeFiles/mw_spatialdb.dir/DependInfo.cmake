@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spatialdb/database.cpp" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/database.cpp.o" "gcc" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/database.cpp.o.d"
+  "/root/repo/src/spatialdb/query_language.cpp" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/query_language.cpp.o" "gcc" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/query_language.cpp.o.d"
+  "/root/repo/src/spatialdb/sensor.cpp" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/sensor.cpp.o" "gcc" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/sensor.cpp.o.d"
+  "/root/repo/src/spatialdb/snapshot.cpp" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/snapshot.cpp.o" "gcc" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/snapshot.cpp.o.d"
+  "/root/repo/src/spatialdb/types.cpp" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/types.cpp.o" "gcc" "src/spatialdb/CMakeFiles/mw_spatialdb.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mw_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/glob/CMakeFiles/mw_glob.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/mw_quality.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_spatialdb.dir/database.cpp.o"
+  "CMakeFiles/mw_spatialdb.dir/database.cpp.o.d"
+  "CMakeFiles/mw_spatialdb.dir/query_language.cpp.o"
+  "CMakeFiles/mw_spatialdb.dir/query_language.cpp.o.d"
+  "CMakeFiles/mw_spatialdb.dir/sensor.cpp.o"
+  "CMakeFiles/mw_spatialdb.dir/sensor.cpp.o.d"
+  "CMakeFiles/mw_spatialdb.dir/snapshot.cpp.o"
+  "CMakeFiles/mw_spatialdb.dir/snapshot.cpp.o.d"
+  "CMakeFiles/mw_spatialdb.dir/types.cpp.o"
+  "CMakeFiles/mw_spatialdb.dir/types.cpp.o.d"
+  "libmw_spatialdb.a"
+  "libmw_spatialdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_spatialdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

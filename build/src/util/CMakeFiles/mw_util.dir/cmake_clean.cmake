@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_util.dir/bytes.cpp.o"
+  "CMakeFiles/mw_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mw_util.dir/clock.cpp.o"
+  "CMakeFiles/mw_util.dir/clock.cpp.o.d"
+  "CMakeFiles/mw_util.dir/logging.cpp.o"
+  "CMakeFiles/mw_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mw_util.dir/rng.cpp.o"
+  "CMakeFiles/mw_util.dir/rng.cpp.o.d"
+  "libmw_util.a"
+  "libmw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapters_test.dir/adapters_extra_test.cpp.o"
+  "CMakeFiles/adapters_test.dir/adapters_extra_test.cpp.o.d"
+  "CMakeFiles/adapters_test.dir/adapters_test.cpp.o"
+  "CMakeFiles/adapters_test.dir/adapters_test.cpp.o.d"
+  "adapters_test"
+  "adapters_test.pdb"
+  "adapters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_test.dir/fusion_engine_test.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion_engine_test.cpp.o.d"
+  "CMakeFiles/fusion_test.dir/fusion_math_test.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion_math_test.cpp.o.d"
+  "CMakeFiles/fusion_test.dir/fusion_prior_test.cpp.o"
+  "CMakeFiles/fusion_test.dir/fusion_prior_test.cpp.o.d"
+  "fusion_test"
+  "fusion_test.pdb"
+  "fusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

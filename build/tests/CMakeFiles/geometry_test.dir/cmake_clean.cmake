@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometry_test.dir/geometry_point_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry_point_test.cpp.o.d"
+  "CMakeFiles/geometry_test.dir/geometry_polygon_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry_polygon_test.cpp.o.d"
+  "CMakeFiles/geometry_test.dir/geometry_rect_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry_rect_test.cpp.o.d"
+  "CMakeFiles/geometry_test.dir/geometry_rtree_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry_rtree_test.cpp.o.d"
+  "CMakeFiles/geometry_test.dir/geometry_segment_test.cpp.o"
+  "CMakeFiles/geometry_test.dir/geometry_segment_test.cpp.o.d"
+  "geometry_test"
+  "geometry_test.pdb"
+  "geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

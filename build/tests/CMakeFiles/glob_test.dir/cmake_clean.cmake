@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glob_test.dir/glob_frame_test.cpp.o"
+  "CMakeFiles/glob_test.dir/glob_frame_test.cpp.o.d"
+  "CMakeFiles/glob_test.dir/glob_test.cpp.o"
+  "CMakeFiles/glob_test.dir/glob_test.cpp.o.d"
+  "glob_test"
+  "glob_test.pdb"
+  "glob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

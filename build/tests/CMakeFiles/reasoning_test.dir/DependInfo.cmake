@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reasoning_connectivity_test.cpp" "tests/CMakeFiles/reasoning_test.dir/reasoning_connectivity_test.cpp.o" "gcc" "tests/CMakeFiles/reasoning_test.dir/reasoning_connectivity_test.cpp.o.d"
+  "/root/repo/tests/reasoning_datalog_test.cpp" "tests/CMakeFiles/reasoning_test.dir/reasoning_datalog_test.cpp.o" "gcc" "tests/CMakeFiles/reasoning_test.dir/reasoning_datalog_test.cpp.o.d"
+  "/root/repo/tests/reasoning_passages_test.cpp" "tests/CMakeFiles/reasoning_test.dir/reasoning_passages_test.cpp.o" "gcc" "tests/CMakeFiles/reasoning_test.dir/reasoning_passages_test.cpp.o.d"
+  "/root/repo/tests/reasoning_rcc8_polygon_test.cpp" "tests/CMakeFiles/reasoning_test.dir/reasoning_rcc8_polygon_test.cpp.o" "gcc" "tests/CMakeFiles/reasoning_test.dir/reasoning_rcc8_polygon_test.cpp.o.d"
+  "/root/repo/tests/reasoning_rcc8_test.cpp" "tests/CMakeFiles/reasoning_test.dir/reasoning_rcc8_test.cpp.o" "gcc" "tests/CMakeFiles/reasoning_test.dir/reasoning_rcc8_test.cpp.o.d"
+  "/root/repo/tests/reasoning_relations_test.cpp" "tests/CMakeFiles/reasoning_test.dir/reasoning_relations_test.cpp.o" "gcc" "tests/CMakeFiles/reasoning_test.dir/reasoning_relations_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/reasoning/CMakeFiles/mw_reasoning.dir/DependInfo.cmake"
+  "/root/repo/build/src/fusion/CMakeFiles/mw_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/lattice/CMakeFiles/mw_lattice.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mw_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reasoning_test.dir/reasoning_connectivity_test.cpp.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_connectivity_test.cpp.o.d"
+  "CMakeFiles/reasoning_test.dir/reasoning_datalog_test.cpp.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_datalog_test.cpp.o.d"
+  "CMakeFiles/reasoning_test.dir/reasoning_passages_test.cpp.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_passages_test.cpp.o.d"
+  "CMakeFiles/reasoning_test.dir/reasoning_rcc8_polygon_test.cpp.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_rcc8_polygon_test.cpp.o.d"
+  "CMakeFiles/reasoning_test.dir/reasoning_rcc8_test.cpp.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_rcc8_test.cpp.o.d"
+  "CMakeFiles/reasoning_test.dir/reasoning_relations_test.cpp.o"
+  "CMakeFiles/reasoning_test.dir/reasoning_relations_test.cpp.o.d"
+  "reasoning_test"
+  "reasoning_test.pdb"
+  "reasoning_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reasoning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

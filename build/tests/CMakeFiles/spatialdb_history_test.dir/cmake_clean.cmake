@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatialdb_history_test.dir/spatialdb_history_test.cpp.o"
+  "CMakeFiles/spatialdb_history_test.dir/spatialdb_history_test.cpp.o.d"
+  "spatialdb_history_test"
+  "spatialdb_history_test.pdb"
+  "spatialdb_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatialdb_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatialdb_query_language_test.dir/spatialdb_query_language_test.cpp.o"
+  "CMakeFiles/spatialdb_query_language_test.dir/spatialdb_query_language_test.cpp.o.d"
+  "spatialdb_query_language_test"
+  "spatialdb_query_language_test.pdb"
+  "spatialdb_query_language_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatialdb_query_language_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatialdb_snapshot_test.dir/spatialdb_snapshot_test.cpp.o"
+  "CMakeFiles/spatialdb_snapshot_test.dir/spatialdb_snapshot_test.cpp.o.d"
+  "spatialdb_snapshot_test"
+  "spatialdb_snapshot_test.pdb"
+  "spatialdb_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatialdb_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatialdb_test.dir/spatialdb_test.cpp.o"
+  "CMakeFiles/spatialdb_test.dir/spatialdb_test.cpp.o.d"
+  "spatialdb_test"
+  "spatialdb_test.pdb"
+  "spatialdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatialdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

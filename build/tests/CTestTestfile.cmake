@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/glob_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/spatialdb_test[1]_include.cmake")
+include("/root/repo/build/tests/spatialdb_history_test[1]_include.cmake")
+include("/root/repo/build/tests/spatialdb_query_language_test[1]_include.cmake")
+include("/root/repo/build/tests/spatialdb_snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/fusion_test[1]_include.cmake")
+include("/root/repo/build/tests/reasoning_test[1]_include.cmake")
+include("/root/repo/build/tests/orb_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/core_region_relations_test[1]_include.cmake")
+include("/root/repo/build/tests/core_remote_registry_test[1]_include.cmake")
+include("/root/repo/build/tests/core_reading_log_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/adapters_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
