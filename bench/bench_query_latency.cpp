@@ -55,15 +55,52 @@ struct Fixture {
 
 }  // namespace
 
+// Default path: repeated queries on an unchanged object hit the per-object
+// fusion cache (no conflict resolution, no lattice rebuild).
 static void BM_LocateObject(benchmark::State& state) {
   Fixture f(10, static_cast<int>(state.range(0)));
   util::MobileObjectId who{"p0"};
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.service->locateObject(who));
   }
-  state.SetLabel(std::to_string(state.range(0)) + " readings/person");
+  state.SetLabel(std::to_string(state.range(0)) + " readings/person (cached)");
 }
 BENCHMARK(BM_LocateObject)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The same query with the cache flushed every iteration: full conflict
+// resolution + lattice rebuild + inference each time. The ratio against
+// BM_LocateObject is the memoization speedup.
+static void BM_LocateObjectUncached(benchmark::State& state) {
+  Fixture f(10, static_cast<int>(state.range(0)));
+  util::MobileObjectId who{"p0"};
+  for (auto _ : state) {
+    f.service->invalidateFusionCache();
+    benchmark::DoNotOptimize(f.service->locateObject(who));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " readings/person (uncached)");
+}
+BENCHMARK(BM_LocateObjectUncached)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Concurrent readers against one shared service: queries take only shared
+// locks on the database and fusion cache, so threads proceed in parallel.
+static Fixture& sharedQueryFixture() {
+  static Fixture f(10, 4);
+  return f;
+}
+
+static void BM_LocateObjectConcurrent(benchmark::State& state) {
+  Fixture& f = sharedQueryFixture();
+  util::MobileObjectId who{"p" + std::to_string(state.thread_index() % 10)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.service->locateObject(who));
+  }
+}
+BENCHMARK(BM_LocateObjectConcurrent)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
 
 static void BM_LocateSymbolic(benchmark::State& state) {
   Fixture f(10, 2);
@@ -81,8 +118,21 @@ static void BM_ProbabilityInRegion(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(f.service->probabilityInRegion(who, room));
   }
+  state.SetLabel("cached");
 }
 BENCHMARK(BM_ProbabilityInRegion);
+
+static void BM_ProbabilityInRegionUncached(benchmark::State& state) {
+  Fixture f(10, 2);
+  util::MobileObjectId who{"p0"};
+  geo::Rect room = f.bp.roomNamed("101")->rect;
+  for (auto _ : state) {
+    f.service->invalidateFusionCache();
+    benchmark::DoNotOptimize(f.service->probabilityInRegion(who, room));
+  }
+  state.SetLabel("uncached");
+}
+BENCHMARK(BM_ProbabilityInRegionUncached);
 
 static void BM_ObjectsInRegion(benchmark::State& state) {
   Fixture f(static_cast<int>(state.range(0)), 2);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Writes the committed machine-readable benchmark artifacts:
+#   BENCH_query_latency.json  — cached/uncached/concurrent query latency
+#   BENCH_ingest.json         — sharded batch-ingest throughput
+#
+# Usage: scripts/bench_json.sh [build-dir] [out-dir]
+# Or via CMake: cmake --build build --target bench_json
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+
+run() {
+  local bin="$1" out="$2"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench_json.sh: missing $bin (build the bench targets first)" >&2
+    exit 1
+  fi
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json \
+         --benchmark_min_time=0.05
+  echo "wrote $out"
+}
+
+run "$BUILD_DIR/bench/bench_query_latency" "$OUT_DIR/BENCH_query_latency.json"
+run "$BUILD_DIR/bench/bench_ingest_parallel" "$OUT_DIR/BENCH_ingest.json"

@@ -10,6 +10,17 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Concurrency discipline under ThreadSanitizer: a separate build tree so the
+# instrumented binaries never mix with the regular ones. Only the suites that
+# exercise threads are run (the rest are covered above).
+cmake -B build-tsan -G Ninja -DMW_SANITIZE=thread
+cmake --build build-tsan
+ctest --test-dir build-tsan -R 'Concurrency|FusionCache|IngestBatch|WorkerPool' \
+      --output-on-failure 2>&1 | tee tsan_output.txt
+
+# Machine-readable benchmark artifacts committed at the repo root.
+scripts/bench_json.sh build .
+
 {
   for b in build/bench/bench_*; do
     [ -x "$b" ] || continue

@@ -3,6 +3,7 @@
 #include "reasoning/spatial_rules.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -13,31 +14,170 @@ using mw::util::MobileObjectId;
 using mw::util::require;
 using mw::util::SubscriptionId;
 
+namespace {
+std::size_t defaultShards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, std::min<std::size_t>(4, hw == 0 ? 1 : hw));
+}
+}  // namespace
+
 LocationService::LocationService(const util::Clock& clock, db::SpatialDatabase& database)
-    : clock_(clock), db_(database), engine_(database.universe()) {}
+    : clock_(clock), db_(database), engine_(database.universe()), shards_(defaultShards()) {}
 
 // --- ingestion --------------------------------------------------------------------
 
-void LocationService::ingest(const db::SensorReading& reading) {
+void LocationService::ingest(const db::SensorReading& reading) { ingestOne(reading); }
+
+std::vector<SubscriptionId> LocationService::takePendingEvaluations(
+    const MobileObjectId& object) {
+  std::vector<SubscriptionId> out;
+  std::lock_guard lock(pendingMutex_);
+  auto firstMine = std::stable_partition(
+      pendingEvaluations_.begin(), pendingEvaluations_.end(),
+      [&](const auto& entry) { return entry.second != object; });
+  for (auto it = firstMine; it != pendingEvaluations_.end(); ++it) out.push_back(it->first);
+  pendingEvaluations_.erase(firstMine, pendingEvaluations_.end());
+  return out;
+}
+
+void LocationService::ingestOne(const db::SensorReading& reading) {
   db_.insertReading(reading);
+  const MobileObjectId& object = reading.mobileObjectId;
   // The database-level trigger (registered in subscribe()) fires during
   // insertReading and marks the subscriptions to evaluate; we evaluate after
-  // the reading is stored so fusion sees it.
-  std::vector<std::pair<SubscriptionId, MobileObjectId>> toEvaluate;
-  toEvaluate.swap(pendingEvaluations_);
-  // Edge-triggered subscriptions must also observe EXITS: a reading that no
-  // longer intersects the region never fires the DB trigger, so every
-  // subscription currently tracking this object as inside is re-evaluated.
-  for (const auto& [subId, state] : subs_) {
-    auto insideIt = state.inside.find(reading.mobileObjectId);
-    if (insideIt == state.inside.end() || !insideIt->second) continue;
-    auto already = std::find(toEvaluate.begin(), toEvaluate.end(),
-                             std::pair{subId, reading.mobileObjectId});
-    if (already == toEvaluate.end()) toEvaluate.emplace_back(subId, reading.mobileObjectId);
+  // the reading is stored so fusion sees it. Only this object's entries are
+  // taken: under batch ingest other shards' triggers interleave in the queue.
+  std::vector<SubscriptionId> toEvaluate = takePendingEvaluations(object);
+  {
+    // Edge-triggered subscriptions must also observe EXITS: a reading that no
+    // longer intersects the region never fires the DB trigger, so every
+    // subscription currently tracking this object as inside is re-evaluated.
+    std::lock_guard lock(subsMutex_);
+    for (const auto& [subId, state] : subs_) {
+      auto insideIt = state.inside.find(object);
+      if (insideIt == state.inside.end() || !insideIt->second) continue;
+      if (std::find(toEvaluate.begin(), toEvaluate.end(), subId) == toEvaluate.end()) {
+        toEvaluate.push_back(subId);
+      }
+    }
   }
-  for (const auto& [subId, object] : toEvaluate) {
-    evaluateSubscription(subId, object);
+  if (toEvaluate.empty()) return;
+
+  // One fusion serves every subscription this reading touched (the insert
+  // bumped the epoch, so this recomputes exactly once).
+  std::shared_ptr<const fusion::FusedState> fused = fusedStateFor(object);
+  std::vector<PendingNotification> notifications;
+  {
+    std::lock_guard lock(subsMutex_);
+    for (SubscriptionId subId : toEvaluate) {
+      evaluateSubscriptionLocked(subId, object, *fused, notifications);
+    }
   }
+  // Callbacks run with no locks held, so they may (un)subscribe or query.
+  for (auto& pending : notifications) pending.callback(pending.notification);
+}
+
+void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
+  if (readings.empty()) return;
+  const std::size_t shardCount = std::min<std::size_t>(shards_, readings.size());
+  if (shardCount <= 1) {
+    for (const auto& reading : readings) ingestOne(reading);
+    return;
+  }
+  // Shard by object so each object's readings keep their relative order —
+  // the invariant that keeps `moving` flags and estimates identical to a
+  // sequential replay.
+  std::vector<std::vector<const db::SensorReading*>> buckets(shardCount);
+  for (const auto& reading : readings) {
+    const std::size_t shard =
+        std::hash<std::string>{}(reading.mobileObjectId.str()) % shardCount;
+    buckets[shard].push_back(&reading);
+  }
+
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(shardCount);
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    jobs.push_back([this, bucket = std::move(bucket)] {
+      for (const db::SensorReading* reading : bucket) ingestOne(*reading);
+    });
+  }
+
+  std::unique_lock poolLock(poolMutex_);
+  if (!pool_ || pool_->threadCount() != shards_) {
+    pool_ = std::make_unique<util::WorkerPool>(shards_);
+  }
+  util::WorkerPool& pool = *pool_;
+  poolLock.unlock();
+  pool.run(std::move(jobs));
+}
+
+void LocationService::setIngestShards(std::size_t n) {
+  require(n >= 1, "LocationService::setIngestShards: shard count must be >= 1");
+  std::lock_guard lock(poolMutex_);
+  shards_ = n;  // the pool is (re)created at the new width on the next batch
+}
+
+// --- fusion cache -------------------------------------------------------------------
+
+std::shared_ptr<const fusion::FusedState> LocationService::fusedStateFor(
+    const MobileObjectId& object) const {
+  // Epoch FIRST, then readings: an insert racing between the two bumps the
+  // epoch we key on, so the entry is conservatively treated as stale by the
+  // next query — the cache can miss needlessly but never serves stale state.
+  const std::uint64_t epoch = db_.readingsEpoch(object);
+  const util::TimePoint now = clock_.now();
+  {
+    std::shared_lock lock(cacheMutex_);
+    auto it = fusionCache_.find(object);
+    if (it != fusionCache_.end() && it->second.epoch == epoch &&
+        now >= it->second.computedAt && now - it->second.computedAt <= cacheTolerance_) {
+      cacheHits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.state;
+    }
+  }
+  cacheMisses_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<fusion::FusedState>(engine_.fuse(fusionInputsFor(object)));
+  {
+    std::unique_lock lock(cacheMutex_);
+    if (!fusionCache_.contains(object) && fusionCache_.size() >= cacheCapacity_) {
+      fusionCache_.erase(fusionCache_.begin());  // arbitrary eviction at capacity
+    }
+    fusionCache_[object] = CacheEntry{epoch, now, state};
+  }
+  return state;
+}
+
+void LocationService::setFusionCacheTolerance(util::Duration tolerance) {
+  require(tolerance >= util::Duration::zero(),
+          "LocationService::setFusionCacheTolerance: negative tolerance");
+  std::unique_lock lock(cacheMutex_);
+  cacheTolerance_ = tolerance;
+}
+
+void LocationService::setFusionCacheCapacity(std::size_t entries) {
+  require(entries >= 1, "LocationService::setFusionCacheCapacity: capacity must be >= 1");
+  std::unique_lock lock(cacheMutex_);
+  cacheCapacity_ = entries;
+  while (fusionCache_.size() > cacheCapacity_) fusionCache_.erase(fusionCache_.begin());
+}
+
+void LocationService::invalidateFusionCache() {
+  std::unique_lock lock(cacheMutex_);
+  fusionCache_.clear();
+}
+
+std::uint64_t LocationService::fusionCacheHits() const noexcept {
+  return cacheHits_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LocationService::fusionCacheMisses() const noexcept {
+  return cacheMisses_.load(std::memory_order_relaxed);
+}
+
+void LocationService::resetFusionCacheCounters() noexcept {
+  cacheHits_.store(0, std::memory_order_relaxed);
+  cacheMisses_.store(0, std::memory_order_relaxed);
 }
 
 // --- fusion plumbing ----------------------------------------------------------------
@@ -65,13 +205,18 @@ fusion::FusionInputs LocationService::fusionInputsFor(const MobileObjectId& obje
 
 std::optional<fusion::LocationEstimate> LocationService::locateObject(
     const MobileObjectId& object) const {
-  return engine_.infer(fusionInputsFor(object));
+  return fusedStateFor(object)->estimate;
 }
 
 // --- symbolic regions (§4.5) ----------------------------------------------------
 
 void LocationService::ensureRegionsIndexed() const {
-  if (regionsIndexed_) return;
+  {
+    std::shared_lock lock(regionsMutex_);
+    if (regionsIndexed_) return;
+  }
+  std::unique_lock lock(regionsMutex_);
+  if (regionsIndexed_) return;  // another thread rebuilt while we waited
   regions_ = RegionLattice{};
   // Enclosing spaces name locations (rooms/corridors/floors/buildings) plus
   // any row flagged as an application-defined region.
@@ -91,7 +236,10 @@ void LocationService::ensureRegionsIndexed() const {
   regionsIndexed_ = true;
 }
 
-void LocationService::reindexRegions() { regionsIndexed_ = false; }
+void LocationService::reindexRegions() {
+  std::unique_lock lock(regionsMutex_);
+  regionsIndexed_ = false;
+}
 
 const RegionLattice& LocationService::regionLattice() const {
   ensureRegionsIndexed();
@@ -171,7 +319,7 @@ void LocationService::defineRegion(const std::string& fullGlob, const geo::Rect&
     }
   }
   db_.addObject(row);
-  regionsIndexed_ = false;
+  reindexRegions();
 }
 
 void LocationService::addStaticObject(db::SpatialObjectRow row,
@@ -179,7 +327,7 @@ void LocationService::addStaticObject(db::SpatialObjectRow row,
   util::SpatialObjectId id = row.id;
   db_.addObject(std::move(row));
   if (usage) setUsageRegion(id, *usage);
-  regionsIndexed_ = false;
+  reindexRegions();
 }
 
 void LocationService::setUsageRegion(const util::SpatialObjectId& object,
@@ -207,7 +355,7 @@ double LocationService::usageProbability(const util::MobileObjectId& person,
 
 double LocationService::probabilityInRegion(const MobileObjectId& object,
                                             const geo::Rect& region) const {
-  return engine_.probabilityInRegion(region, fusionInputsFor(object));
+  return engine_.probabilityInRegion(region, *fusedStateFor(object));
 }
 
 std::vector<std::pair<MobileObjectId, double>> LocationService::objectsInRegion(
@@ -224,7 +372,7 @@ std::vector<std::pair<MobileObjectId, double>> LocationService::objectsInRegion(
 
 std::vector<fusion::RegionProbability> LocationService::distributionFor(
     const MobileObjectId& object) const {
-  return engine_.distribution(fusionInputsFor(object));
+  return engine_.distribution(*fusedStateFor(object));
 }
 
 std::vector<LocationService::TrajectoryPoint> LocationService::trajectory(
@@ -241,41 +389,62 @@ std::vector<LocationService::TrajectoryPoint> LocationService::trajectory(
 SubscriptionId LocationService::subscribe(Subscription subscription) {
   require(static_cast<bool>(subscription.callback), "LocationService::subscribe: null callback");
   require(!subscription.region.empty(), "LocationService::subscribe: empty region");
-  SubscriptionId id = subIds_.next();
+  SubscriptionId id;
+  {
+    std::lock_guard lock(subsMutex_);
+    id = subIds_.next();
+  }
 
   // Geometric prefilter at the database layer (§5.3): the DB trigger fires
   // whenever a reading's rect touches the region; the probabilistic
-  // condition is then evaluated against the fused estimate (§4.3).
+  // condition is then evaluated against the fused estimate (§4.3). The
+  // trigger callback runs outside the DB lock, so only pendingMutex_ is
+  // taken here — never a lock that could cycle with the DB's.
   db::TriggerSpec trigger;
   trigger.region = subscription.region;
   trigger.subject = subscription.subject;
   trigger.callback = [this, id](const db::TriggerEvent& event) {
+    std::lock_guard lock(pendingMutex_);
     pendingEvaluations_.emplace_back(id, event.reading.mobileObjectId);
   };
   util::TriggerId triggerId = db_.createTrigger(std::move(trigger));
 
+  std::lock_guard lock(subsMutex_);
   subs_.emplace(id, SubState{std::move(subscription), triggerId, {}});
   return id;
 }
 
 bool LocationService::unsubscribe(SubscriptionId id) {
-  auto it = subs_.find(id);
-  if (it == subs_.end()) return false;
-  db_.dropTrigger(it->second.trigger);
-  subs_.erase(it);
+  util::TriggerId trigger;
+  {
+    std::lock_guard lock(subsMutex_);
+    auto it = subs_.find(id);
+    if (it == subs_.end()) return false;
+    trigger = it->second.trigger;
+    subs_.erase(it);
+  }
+  db_.dropTrigger(trigger);
   return true;
 }
 
-void LocationService::evaluateSubscription(SubscriptionId id, const MobileObjectId& object) {
+std::size_t LocationService::subscriptionCount() const {
+  std::lock_guard lock(subsMutex_);
+  return subs_.size();
+}
+
+void LocationService::evaluateSubscriptionLocked(SubscriptionId id, const MobileObjectId& object,
+                                                 const fusion::FusedState& fused,
+                                                 std::vector<PendingNotification>& out) {
   auto it = subs_.find(id);
   if (it == subs_.end()) return;  // unsubscribed in the meantime
   SubState& state = it->second;
 
-  fusion::FusionInputs inputs = fusionInputsFor(object);
-  double probability = engine_.probabilityInRegion(state.spec.region, inputs);
+  double probability = engine_.probabilityInRegion(state.spec.region, fused);
+  // Classification thresholds are computed over the pre-conflict inputs, as
+  // the original per-subscription evaluation did.
   std::vector<double> ps;
-  ps.reserve(inputs.size());
-  for (const auto& in : inputs) ps.push_back(in.p);
+  ps.reserve(fused.inputs.size());
+  for (const auto& in : fused.inputs) ps.push_back(in.p);
   fusion::ProbabilityClass cls =
       fusion::classify(probability, fusion::computeThresholds(std::move(ps)));
 
@@ -294,7 +463,7 @@ void LocationService::evaluateSubscription(SubscriptionId id, const MobileObject
   n.probability = probability;
   n.cls = cls;
   n.when = clock_.now();
-  state.spec.callback(n);
+  out.push_back(PendingNotification{state.spec.callback, std::move(n)});
 }
 
 // --- region-to-region relations (§4.6.1) ----------------------------------------------
@@ -364,6 +533,7 @@ bool LocationService::regionsReachable(const std::string& globA, const std::stri
 
 void LocationService::setMovementPrior(std::shared_ptr<const fusion::SpatialPrior> prior) {
   engine_.setPrior(std::move(prior));
+  invalidateFusionCache();  // cached states were fused under the old prior
 }
 
 std::shared_ptr<fusion::RegionDwellPrior> LocationService::makeDwellPrior(

@@ -8,8 +8,14 @@
 // (5) support static objects, (6) deduce higher-level spatial relationships.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +30,7 @@
 #include "spatialdb/database.hpp"
 #include "util/clock.hpp"
 #include "util/ids.hpp"
+#include "util/worker_pool.hpp"
 
 namespace mw::core {
 
@@ -51,6 +58,13 @@ struct Subscription {
   std::function<void(const Notification&)> callback;
 };
 
+/// Thread-safety: ingest/ingestBatch and all pull queries may run
+/// concurrently (reader/writer locks on the database, the fusion cache and
+/// the subscription table). Setup-phase mutators — defineRegion,
+/// addStaticObject, setMovementPrior, setPrivacyGranularity, connectivity(),
+/// reindexRegions — must not race with queries; configure before going
+/// concurrent. Subscription callbacks are invoked with no service lock held,
+/// so they may call back into the service.
 class LocationService {
  public:
   /// The service reads/writes the shared spatial database and fuses with the
@@ -65,6 +79,38 @@ class LocationService {
   /// Adapters push readings here; the service stores them in the database
   /// and evaluates subscriptions whose region the reading touches.
   void ingest(const db::SensorReading& reading);
+
+  /// Batch ingest, fanned across a fixed worker pool. Readings are
+  /// partitioned into shards by hash(MobileObjectId) so every object's
+  /// readings land on one shard in their original relative order — the
+  /// invariant that makes the result (estimates, notification set, `moving`
+  /// flags) identical to sequential ingest, up to cross-object notification
+  /// order. With one shard (or one reading) this degrades to the sequential
+  /// path.
+  void ingestBatch(std::span<const db::SensorReading> readings);
+
+  /// Shard/worker count used by ingestBatch (default: min(4, hardware
+  /// concurrency)). Takes effect on the next batch; do not call while a
+  /// batch is in flight.
+  void setIngestShards(std::size_t n);
+  [[nodiscard]] std::size_t ingestShards() const noexcept { return shards_; }
+
+  // --- fusion cache ------------------------------------------------------------
+
+  /// Repeated queries and subscription evaluations for an object reuse one
+  /// fused state (inputs + lattice + estimate) until the object's readings
+  /// epoch moves (new reading, expiry, sensor re-registration) or `now`
+  /// drifts past the staleness tolerance (default 0: a cached entry is only
+  /// reused at the exact instant it was computed — always exact, and still
+  /// effective because queries between ingests share the same clock tick).
+  void setFusionCacheTolerance(util::Duration tolerance);
+  /// Bounds the number of cached per-object states (default 4096); the
+  /// cheapest entries to lose are evicted arbitrarily beyond it.
+  void setFusionCacheCapacity(std::size_t entries);
+  void invalidateFusionCache();
+  [[nodiscard]] std::uint64_t fusionCacheHits() const noexcept;
+  [[nodiscard]] std::uint64_t fusionCacheMisses() const noexcept;
+  void resetFusionCacheCounters() noexcept;
 
   // --- pull queries (§4.2) -----------------------------------------------------
 
@@ -104,7 +150,7 @@ class LocationService {
 
   util::SubscriptionId subscribe(Subscription subscription);
   bool unsubscribe(util::SubscriptionId id);
-  [[nodiscard]] std::size_t subscriptionCount() const noexcept { return subs_.size(); }
+  [[nodiscard]] std::size_t subscriptionCount() const;
 
   // --- movement-pattern priors (§4.1.2 / §11 future work) ---------------------------
 
@@ -239,6 +285,11 @@ class LocationService {
   /// tdf-degraded confidences.
   [[nodiscard]] fusion::FusionInputs fusionInputsFor(const util::MobileObjectId& object) const;
 
+  /// The memoized fused state for an object at its current readings epoch;
+  /// recomputed on a cache miss. Every fused query routes through this.
+  [[nodiscard]] std::shared_ptr<const fusion::FusedState> fusedStateFor(
+      const util::MobileObjectId& object) const;
+
  private:
   struct SubState {
     Subscription spec;
@@ -247,7 +298,30 @@ class LocationService {
     std::unordered_map<util::MobileObjectId, bool> inside;
   };
 
-  void evaluateSubscription(util::SubscriptionId id, const util::MobileObjectId& object);
+  struct CacheEntry {
+    std::uint64_t epoch = 0;
+    util::TimePoint computedAt;
+    std::shared_ptr<const fusion::FusedState> state;
+  };
+
+  /// A subscription callback queued for invocation once all locks are
+  /// released.
+  struct PendingNotification {
+    std::function<void(const Notification&)> callback;
+    Notification notification;
+  };
+
+  /// Stores one reading and evaluates the subscriptions it touched — the
+  /// unit of work shared by sequential ingest and every batch shard.
+  void ingestOne(const db::SensorReading& reading);
+  /// Removes and returns the queued trigger evaluations for one object.
+  [[nodiscard]] std::vector<util::SubscriptionId> takePendingEvaluations(
+      const util::MobileObjectId& object);
+  /// Evaluates one subscription against a fused state (subsMutex_ held);
+  /// appends the callback to `out` instead of invoking it.
+  void evaluateSubscriptionLocked(util::SubscriptionId id, const util::MobileObjectId& object,
+                                  const fusion::FusedState& fused,
+                                  std::vector<PendingNotification>& out);
   /// Ensures the symbolic lattice reflects the database.
   void ensureRegionsIndexed() const;
   [[nodiscard]] std::optional<geo::Rect> smallestNamedRegionRectAt(geo::Point2 p) const;
@@ -257,16 +331,36 @@ class LocationService {
   fusion::FusionEngine engine_;
   reasoning::ConnectivityGraph graph_;
 
+  mutable std::shared_mutex regionsMutex_;
   mutable RegionLattice regions_;
   mutable bool regionsIndexed_ = false;
   std::unordered_map<util::SpatialObjectId, geo::Rect> usageRegions_;
 
+  // Fusion cache: object -> fused state at (epoch, computedAt).
+  mutable std::shared_mutex cacheMutex_;
+  mutable std::unordered_map<util::MobileObjectId, CacheEntry> fusionCache_;
+  mutable std::atomic<std::uint64_t> cacheHits_{0};
+  mutable std::atomic<std::uint64_t> cacheMisses_{0};
+  util::Duration cacheTolerance_{0};
+  std::size_t cacheCapacity_ = 4096;
+
+  // Subscription table; guards subs_ (incl. per-subscription `inside` maps).
+  mutable std::mutex subsMutex_;
   util::IdSequencer<util::SubscriptionId> subIds_;
   std::unordered_map<util::SubscriptionId, SubState> subs_;
+
   std::unordered_map<util::MobileObjectId, std::size_t> privacy_;
-  /// Subscriptions whose DB trigger fired during the current ingest; they
-  /// are evaluated after the reading is stored so fusion sees it.
+
+  /// Subscriptions whose DB trigger fired during an in-flight ingest; they
+  /// are evaluated after the reading is stored so fusion sees it. Guarded by
+  /// pendingMutex_ (trigger callbacks run concurrently under batch ingest).
+  std::mutex pendingMutex_;
   std::vector<std::pair<util::SubscriptionId, util::MobileObjectId>> pendingEvaluations_;
+
+  // Sharded ingest worker pool, created lazily at the configured width.
+  std::mutex poolMutex_;
+  std::unique_ptr<util::WorkerPool> pool_;
+  std::size_t shards_;
 };
 
 }  // namespace mw::core

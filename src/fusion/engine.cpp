@@ -110,30 +110,39 @@ FusionInputs FusionEngine::resolveConflicts(FusionInputs inputs,
   return active;
 }
 
-std::optional<LocationEstimate> FusionEngine::infer(const FusionInputs& inputs) const {
-  std::vector<util::SensorId> discarded;
-  FusionInputs active = resolveConflicts(inputs, &discarded);
-  if (active.empty()) return std::nullopt;
+FusedState FusionEngine::fuse(const FusionInputs& inputs) const {
+  FusedState state{inputs, {}, {}, lattice::RectLattice(universe_), std::nullopt};
+  state.active = resolveConflicts(inputs, &state.discarded);
+  for (const FusionInput& in : state.active) state.lattice.insert(in.rect, in.sensorId.str());
+  if (state.active.empty()) return state;
 
-  lattice::RectLattice lat(universe_);
-  for (const FusionInput& in : active) lat.insert(in.rect, in.sensorId.str());
   // After conflict resolution usually one minimal region remains; if several
   // do (touching rects cannot be resolved away), pick by the same ranking the
   // conflict rules use.
-  auto candidates = rankBottomParents(lat, active, universe_);
+  auto candidates = rankBottomParents(state.lattice, state.active, universe_);
   const std::size_t best = candidates.front().node;
 
   LocationEstimate est;
-  est.region = lat.node(best).rect;
-  est.probability = priorAwareProbability(est.region, active);
+  est.region = state.lattice.node(best).rect;
+  est.probability = priorAwareProbability(est.region, state.active);
   std::vector<double> ps;
-  for (const FusionInput& in : active) {
+  for (const FusionInput& in : state.active) {
     ps.push_back(in.p);
     if (in.rect.contains(est.region)) est.supporting.push_back(in.sensorId);
   }
   est.cls = classify(est.probability, computeThresholds(std::move(ps)));
-  est.discarded = std::move(discarded);
-  return est;
+  est.discarded = state.discarded;
+  state.estimate = std::move(est);
+  return state;
+}
+
+std::optional<LocationEstimate> FusionEngine::infer(const FusionInputs& inputs) const {
+  return fuse(inputs).estimate;
+}
+
+double FusionEngine::probabilityInRegion(const geo::Rect& region,
+                                         const FusedState& state) const {
+  return priorAwareProbability(region, state.active);
 }
 
 double FusionEngine::probabilityInRegion(const geo::Rect& region,
@@ -142,18 +151,15 @@ double FusionEngine::probabilityInRegion(const geo::Rect& region,
   return priorAwareProbability(region, active);
 }
 
-std::vector<RegionProbability> FusionEngine::distribution(const FusionInputs& inputs,
+std::vector<RegionProbability> FusionEngine::distribution(const FusedState& state,
                                                           bool normalize) const {
-  FusionInputs active = resolveConflicts(inputs, nullptr);
-  lattice::RectLattice lat(universe_);
-  for (const FusionInput& in : active) lat.insert(in.rect, in.sensorId.str());
-
+  const lattice::RectLattice& lat = state.lattice;
   std::vector<RegionProbability> out;
   out.reserve(lat.size());
   for (std::size_t i = 0; i < lat.size(); ++i) {
     const auto& node = lat.node(i);
-    out.push_back(
-        RegionProbability{node.rect, priorAwareProbability(node.rect, active), node.isSource});
+    out.push_back(RegionProbability{node.rect, priorAwareProbability(node.rect, state.active),
+                                    node.isSource});
   }
   if (normalize && !out.empty()) {
     // Normalize over the minimal regions (the partition the paper reports):
@@ -165,6 +171,11 @@ std::vector<RegionProbability> FusionEngine::distribution(const FusionInputs& in
     }
   }
   return out;
+}
+
+std::vector<RegionProbability> FusionEngine::distribution(const FusionInputs& inputs,
+                                                          bool normalize) const {
+  return distribution(fuse(inputs), normalize);
 }
 
 }  // namespace mw::fusion

@@ -34,6 +34,19 @@ struct RegionProbability {
   bool isSource = false;  ///< a sensor rect (vs a derived intersection)
 };
 
+/// Everything the §4.2 pipeline derives from one set of fusion inputs: the
+/// conflict-resolution survivors, the containment lattice built over them,
+/// and the single most-likely location. Computed once by fuse() and shared
+/// by every query type — the Location Service memoizes one FusedState per
+/// (object, readings-epoch) so repeated queries rebuild nothing.
+struct FusedState {
+  FusionInputs inputs;                     ///< as supplied (thresholds classify over these)
+  FusionInputs active;                     ///< informative survivors of conflict resolution
+  std::vector<util::SensorId> discarded;   ///< sensors dropped by conflict resolution
+  lattice::RectLattice lattice;            ///< containment lattice over `active`
+  std::optional<LocationEstimate> estimate;///< nullopt when no informative reading
+};
+
 class FusionEngine {
  public:
   explicit FusionEngine(geo::Rect universe);
@@ -51,6 +64,21 @@ class FusionEngine {
 
   /// Builds the containment lattice from the informative inputs (Figs 5-6).
   [[nodiscard]] lattice::RectLattice buildLattice(const FusionInputs& inputs) const;
+
+  /// Runs the full pipeline ONCE — conflict resolution, one lattice build,
+  /// single-location inference — and returns the reusable state that
+  /// infer/probabilityInRegion/distribution all derive from. Callers that
+  /// issue more than one query against the same inputs should fuse() once
+  /// and use the FusedState overloads below.
+  [[nodiscard]] FusedState fuse(const FusionInputs& inputs) const;
+
+  /// Region query against an already-fused state (no lattice rebuild).
+  [[nodiscard]] double probabilityInRegion(const geo::Rect& region,
+                                           const FusedState& state) const;
+
+  /// Distribution read off an already-fused state's lattice.
+  [[nodiscard]] std::vector<RegionProbability> distribution(const FusedState& state,
+                                                            bool normalize = false) const;
 
   /// Full §4.2 pipeline: build lattice, resolve conflicts among the parents
   /// of Bottom (rule 1: prefer moving rectangles; rule 2: prefer the higher

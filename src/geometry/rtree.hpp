@@ -59,13 +59,28 @@ class RTree {
   /// All values whose boxes intersect `query` (closed-set test).
   [[nodiscard]] std::vector<T> search(const Rect& query) const {
     std::vector<T> out;
-    if (!query.empty()) searchNode(root_.get(), query, out);
+    out.reserve(std::min<std::size_t>(size_, 16));
+    search(query, [&out](const T& value) { out.push_back(value); });
     return out;
+  }
+
+  /// Visitor form of search: calls `fn(value)` for every hit without
+  /// materializing a result vector — the allocation-free path the fusion
+  /// input gathering and trigger matching use on every ingest.
+  template <typename Fn>
+  void search(const Rect& query, Fn&& fn) const {
+    if (!query.empty()) searchNode(root_.get(), query, fn);
   }
 
   /// All values whose boxes contain the point.
   [[nodiscard]] std::vector<T> containing(Point2 p) const {
     return search(Rect::fromCorners(p, p));
+  }
+
+  /// Visitor form of containing.
+  template <typename Fn>
+  void containing(Point2 p, Fn&& fn) const {
+    search(Rect::fromCorners(p, p), std::forward<Fn>(fn));
   }
 
   /// Visits every (box, value); used for exhaustive scans and testing.
@@ -294,13 +309,14 @@ class RTree {
 
   // --- queries ---------------------------------------------------------------
 
-  void searchNode(const Node* n, const Rect& query, std::vector<T>& out) const {
+  template <typename Fn>
+  void searchNode(const Node* n, const Rect& query, Fn& fn) const {
     for (const auto& e : n->entries) {
       if (!e.box.intersects(query)) continue;
       if (n->leaf) {
-        out.push_back(e.value);
+        fn(e.value);
       } else {
-        searchNode(e.child.get(), query, out);
+        searchNode(e.child.get(), query, fn);
       }
     }
   }

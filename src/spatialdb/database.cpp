@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 
 #include "geometry/segment.hpp"
 #include "util/error.hpp"
@@ -19,11 +20,20 @@ glob::FrameTree singleFrameTree(const std::string& rootFrame) {
   tree.addRoot(rootFrame);
   return tree;
 }
+
+/// First instant at which a reading of age 0 at `detectionTime` outlives
+/// `ttl` (expiredAt tests age > ttl, so the boundary is one tick past).
+util::TimePoint expiryInstant(const SensorReading& reading, const SensorMeta& meta) {
+  return reading.detectionTime + meta.quality.ttl + util::Duration{1};
+}
 }  // namespace
 
 SpatialDatabase::SpatialDatabase(const util::Clock& clock, geo::Rect universe,
                                  glob::FrameTree frames)
-    : clock_(clock), universe_(universe), frames_(std::move(frames)) {
+    : clock_(clock),
+      universe_(universe),
+      frames_(std::move(frames)),
+      mutex_(std::make_unique<std::shared_mutex>()) {
   require(!universe_.empty() && universe_.area() > 0,
           "SpatialDatabase: universe must have positive area");
   (void)frames_.rootName();  // throws if no root was registered
@@ -55,13 +65,13 @@ void SpatialDatabase::addObject(SpatialObjectRow row) {
   row.validate();
   const std::string frameName = frameFor(row.globPrefix);
   std::string key = objectKey(row.globPrefix, row.id);
-  require(!objectIndex_.contains(key), "SpatialDatabase::addObject: duplicate key " + key);
-
   geo::Rect box = frames_.convertRect(frameName, frames_.rootName(), row.mbr());
   // Degenerate geometries (points, axis-aligned lines) still need a non-empty
   // box for the index.
   if (box.area() == 0) box = box.inflated(1e-6);
 
+  std::unique_lock lock(*mutex_);
+  require(!objectIndex_.contains(key), "SpatialDatabase::addObject: duplicate key " + key);
   std::size_t slot = objects_.size();
   objects_.push_back(std::move(row));
   objectIndex_.emplace(std::move(key), slot);
@@ -71,6 +81,7 @@ void SpatialDatabase::addObject(SpatialObjectRow row) {
 
 bool SpatialDatabase::removeObject(const std::string& globPrefix,
                                    const util::SpatialObjectId& id) {
+  std::unique_lock lock(*mutex_);
   auto it = objectIndex_.find(objectKey(globPrefix, id));
   if (it == objectIndex_.end()) return false;
   std::size_t slot = it->second;
@@ -84,22 +95,31 @@ bool SpatialDatabase::removeObject(const std::string& globPrefix,
   return true;
 }
 
-std::optional<SpatialObjectRow> SpatialDatabase::object(const std::string& globPrefix,
-                                                        const util::SpatialObjectId& id) const {
+std::optional<SpatialObjectRow> SpatialDatabase::objectLocked(
+    const std::string& globPrefix, const util::SpatialObjectId& id) const {
   auto it = objectIndex_.find(objectKey(globPrefix, id));
   if (it == objectIndex_.end()) return std::nullopt;
   return objects_[it->second];
 }
 
+std::optional<SpatialObjectRow> SpatialDatabase::object(const std::string& globPrefix,
+                                                        const util::SpatialObjectId& id) const {
+  std::shared_lock lock(*mutex_);
+  return objectLocked(globPrefix, id);
+}
+
 std::optional<SpatialObjectRow> SpatialDatabase::objectByGlob(const std::string& fullGlob) const {
+  std::shared_lock lock(*mutex_);
   auto slash = fullGlob.rfind('/');
   if (slash == std::string::npos) {
-    return object("", util::SpatialObjectId{fullGlob});
+    return objectLocked("", util::SpatialObjectId{fullGlob});
   }
-  return object(fullGlob.substr(0, slash), util::SpatialObjectId{fullGlob.substr(slash + 1)});
+  return objectLocked(fullGlob.substr(0, slash),
+                      util::SpatialObjectId{fullGlob.substr(slash + 1)});
 }
 
 std::vector<SpatialObjectRow> SpatialDatabase::objectsOfType(ObjectType type) const {
+  std::shared_lock lock(*mutex_);
   std::vector<SpatialObjectRow> out;
   for (const auto& row : objects_) {
     if (row && row->objectType == type) out.push_back(*row);
@@ -109,11 +129,12 @@ std::vector<SpatialObjectRow> SpatialDatabase::objectsOfType(ObjectType type) co
 
 std::vector<SpatialObjectRow> SpatialDatabase::objectsIntersecting(
     const geo::Rect& universeRect) const {
+  std::shared_lock lock(*mutex_);
   std::vector<SpatialObjectRow> out;
-  for (std::uint64_t slot : objectTree_.search(universeRect)) {
+  objectTree_.search(universeRect, [&](const std::uint64_t& slot) {
     const auto& row = objects_[static_cast<std::size_t>(slot)];
     if (row) out.push_back(*row);
-  }
+  });
   return out;
 }
 
@@ -131,16 +152,18 @@ bool SpatialDatabase::rowContains(const SpatialObjectRow& row, geo::Point2 unive
 }
 
 std::vector<SpatialObjectRow> SpatialDatabase::objectsContaining(geo::Point2 universePoint) const {
+  std::shared_lock lock(*mutex_);
   std::vector<SpatialObjectRow> out;
-  for (std::uint64_t slot : objectTree_.containing(universePoint)) {
+  objectTree_.containing(universePoint, [&](const std::uint64_t& slot) {
     const auto& row = objects_[static_cast<std::size_t>(slot)];
     if (row && rowContains(*row, universePoint)) out.push_back(*row);
-  }
+  });
   return out;
 }
 
 std::vector<SpatialObjectRow> SpatialDatabase::query(
     const std::function<bool(const SpatialObjectRow&)>& predicate) const {
+  std::shared_lock lock(*mutex_);
   std::vector<SpatialObjectRow> out;
   for (const auto& row : objects_) {
     if (row && predicate(*row)) out.push_back(*row);
@@ -151,6 +174,7 @@ std::vector<SpatialObjectRow> SpatialDatabase::query(
 std::optional<SpatialObjectRow> SpatialDatabase::nearest(
     geo::Point2 universePoint,
     const std::function<bool(const SpatialObjectRow&)>& predicate) const {
+  std::shared_lock lock(*mutex_);
   std::optional<SpatialObjectRow> best;
   double bestDist = std::numeric_limits<double>::infinity();
   for (const auto& row : objects_) {
@@ -162,6 +186,11 @@ std::optional<SpatialObjectRow> SpatialDatabase::nearest(
     }
   }
   return best;
+}
+
+std::size_t SpatialDatabase::objectCount() const {
+  std::shared_lock lock(*mutex_);
+  return liveObjects_;
 }
 
 geo::Rect SpatialDatabase::universeMbr(const SpatialObjectRow& row) const {
@@ -177,10 +206,15 @@ geo::Polygon SpatialDatabase::universePolygon(const SpatialObjectRow& row) const
 void SpatialDatabase::registerSensor(SensorMeta meta) {
   require(!meta.sensorId.empty(), "SpatialDatabase::registerSensor: empty sensor id");
   meta.errorSpec.validate();
+  std::unique_lock lock(*mutex_);
   sensors_[meta.sensorId] = std::move(meta);
+  // Calibration/TTL changes alter every cached confidence, so every object's
+  // epoch moves; per-object expiry schedules are recomputed under the new TTLs.
+  ++metaEpoch_;
+  for (auto& [objectId, state] : epochs_) refreshNextExpiryLocked(objectId, state);
 }
 
-std::vector<util::SensorId> SpatialDatabase::sensorIds() const {
+std::vector<util::SensorId> SpatialDatabase::sensorIdsLocked() const {
   std::vector<util::SensorId> out;
   out.reserve(sensors_.size());
   for (const auto& [id, _] : sensors_) out.push_back(id);
@@ -188,7 +222,18 @@ std::vector<util::SensorId> SpatialDatabase::sensorIds() const {
   return out;
 }
 
+std::vector<util::SensorId> SpatialDatabase::sensorIds() const {
+  std::shared_lock lock(*mutex_);
+  return sensorIdsLocked();
+}
+
+std::size_t SpatialDatabase::sensorCount() const {
+  std::shared_lock lock(*mutex_);
+  return sensors_.size();
+}
+
 std::optional<SensorMeta> SpatialDatabase::sensorMeta(const util::SensorId& id) const {
+  std::shared_lock lock(*mutex_);
   auto it = sensors_.find(id);
   if (it == sensors_.end()) return std::nullopt;
   return it->second;
@@ -198,8 +243,9 @@ std::vector<SpatialDatabase::SensorHealth> SpatialDatabase::sensorHealth(
     double silenceFactor) const {
   require(silenceFactor > 0, "SpatialDatabase::sensorHealth: factor must be positive");
   const util::TimePoint now = clock_.now();
+  std::shared_lock lock(*mutex_);
   std::vector<SensorHealth> out;
-  for (const auto& id : sensorIds()) {
+  for (const auto& id : sensorIdsLocked()) {
     const SensorMeta& meta = sensors_.at(id);
     SensorHealth h;
     h.sensorId = id;
@@ -220,53 +266,84 @@ std::vector<SpatialDatabase::SensorHealth> SpatialDatabase::sensorHealth(
   return out;
 }
 
+void SpatialDatabase::refreshNextExpiryLocked(const util::MobileObjectId& id,
+                                              ObjectEpoch& state) const {
+  state.nextExpiry = util::TimePoint::max();
+  auto it = readings_.find(id);
+  if (it == readings_.end()) return;
+  const util::TimePoint now = clock_.now();
+  for (const auto& [sensorId, slot] : it->second) {
+    auto metaIt = sensors_.find(sensorId);
+    if (metaIt == sensors_.end()) continue;
+    const util::TimePoint boundary = expiryInstant(slot.reading, metaIt->second);
+    // Already-expired readings never expire "again"; only pending boundaries
+    // schedule an epoch bump.
+    if (boundary > now) state.nextExpiry = std::min(state.nextExpiry, boundary);
+  }
+}
+
 void SpatialDatabase::insertReading(SensorReading reading) {
-  auto metaIt = sensors_.find(reading.sensorId);
-  if (metaIt == sensors_.end()) {
-    throw NotFoundError("SpatialDatabase::insertReading: unregistered sensor '" +
-                        reading.sensorId.str() + "'");
-  }
   require(!reading.mobileObjectId.empty(), "SpatialDatabase::insertReading: empty mobile object");
-
-  // Convert into the universe frame (§4.1.2 step 1: common format).
-  const std::string frameName = frameFor(reading.globPrefix);
-  const std::string& root = frames_.rootName();
-  if (frameName != root) {
-    reading.location = frames_.convert(frameName, root, reading.location);
-    if (reading.symbolicRegion) {
-      reading.symbolicRegion = frames_.convertRect(frameName, root, *reading.symbolicRegion);
+  SensorReading universeReading;
+  {
+    std::unique_lock lock(*mutex_);
+    auto metaIt = sensors_.find(reading.sensorId);
+    if (metaIt == sensors_.end()) {
+      throw NotFoundError("SpatialDatabase::insertReading: unregistered sensor '" +
+                          reading.sensorId.str() + "'");
     }
-    reading.globPrefix = root;
+
+    // Convert into the universe frame (§4.1.2 step 1: common format).
+    const std::string frameName = frameFor(reading.globPrefix);
+    const std::string& root = frames_.rootName();
+    if (frameName != root) {
+      reading.location = frames_.convert(frameName, root, reading.location);
+      if (reading.symbolicRegion) {
+        reading.symbolicRegion = frames_.convertRect(frameName, root, *reading.symbolicRegion);
+      }
+      reading.globPrefix = root;
+    }
+
+    auto& perSensor = readings_[reading.mobileObjectId];
+    bool moving = false;
+    if (auto prev = perSensor.find(reading.sensorId); prev != perSensor.end()) {
+      // Rule-1 input (§4.1.2 case 3): "a moving rectangle implies that the
+      // person is carrying a location device". The region moved if its center
+      // shifted by more than a hair since the sensor's previous report.
+      moving =
+          geo::distance(prev->second.reading.rect().center(), reading.rect().center()) > 1e-6;
+    }
+    ReadingSlot slot{reading, moving};
+    perSensor[reading.sensorId] = std::move(slot);
+
+    auto& ring = history_[reading.mobileObjectId];
+    ring.push_back(reading);
+    while (ring.size() > historyCapacity_) ring.pop_front();
+
+    auto& act = activity_[reading.sensorId];
+    ++act.readingCount;
+    act.lastReading = reading.detectionTime;
+
+    ObjectEpoch& epoch = epochs_[reading.mobileObjectId];
+    ++epoch.epoch;
+    epoch.nextExpiry =
+        std::min(epoch.nextExpiry, expiryInstant(reading, metaIt->second));
+
+    universeReading = std::move(reading);
   }
-
-  auto& perSensor = readings_[reading.mobileObjectId];
-  bool moving = false;
-  if (auto prev = perSensor.find(reading.sensorId); prev != perSensor.end()) {
-    // Rule-1 input (§4.1.2 case 3): "a moving rectangle implies that the
-    // person is carrying a location device". The region moved if its center
-    // shifted by more than a hair since the sensor's previous report.
-    moving = geo::distance(prev->second.reading.rect().center(), reading.rect().center()) > 1e-6;
-  }
-  ReadingSlot slot{reading, moving};
-  perSensor[reading.sensorId] = std::move(slot);
-
-  auto& ring = history_[reading.mobileObjectId];
-  ring.push_back(reading);
-  while (ring.size() > historyCapacity_) ring.pop_front();
-
-  auto& act = activity_[reading.sensorId];
-  ++act.readingCount;
-  act.lastReading = reading.detectionTime;
-
-  fireTriggers(reading);
+  // Triggers fire outside the write lock so their callbacks may reenter the
+  // database (and so concurrent shards never serialize on user code).
+  fireTriggers(universeReading);
 }
 
 std::vector<SpatialDatabase::StoredReading> SpatialDatabase::readingsFor(
     const util::MobileObjectId& id) const {
+  const util::TimePoint now = clock_.now();
+  std::shared_lock lock(*mutex_);
   std::vector<StoredReading> out;
   auto it = readings_.find(id);
   if (it == readings_.end()) return out;
-  const util::TimePoint now = clock_.now();
+  out.reserve(it->second.size());
   for (const auto& [sensorId, slot] : it->second) {
     auto metaIt = sensors_.find(sensorId);
     if (metaIt == sensors_.end()) continue;
@@ -277,7 +354,28 @@ std::vector<SpatialDatabase::StoredReading> SpatialDatabase::readingsFor(
   return out;
 }
 
+std::uint64_t SpatialDatabase::readingsEpoch(const util::MobileObjectId& id) const {
+  const util::TimePoint now = clock_.now();
+  {
+    std::shared_lock lock(*mutex_);
+    auto it = epochs_.find(id);
+    if (it == epochs_.end()) return metaEpoch_;
+    if (now < it->second.nextExpiry) return metaEpoch_ + it->second.epoch;
+  }
+  // A TTL boundary has been crossed: bump the epoch under the write lock so
+  // cached fusion states keyed on the old value are invalidated exactly once.
+  std::unique_lock lock(*mutex_);
+  auto it = epochs_.find(id);
+  if (it == epochs_.end()) return metaEpoch_;
+  if (now >= it->second.nextExpiry) {
+    ++it->second.epoch;
+    refreshNextExpiryLocked(id, it->second);
+  }
+  return metaEpoch_ + it->second.epoch;
+}
+
 std::vector<util::MobileObjectId> SpatialDatabase::knownMobileObjects() const {
+  std::shared_lock lock(*mutex_);
   std::vector<util::MobileObjectId> out;
   out.reserve(readings_.size());
   for (const auto& [id, _] : readings_) out.push_back(id);
@@ -287,10 +385,11 @@ std::vector<util::MobileObjectId> SpatialDatabase::knownMobileObjects() const {
 
 std::vector<SensorReading> SpatialDatabase::history(const util::MobileObjectId& id,
                                                     util::Duration window) const {
+  const util::TimePoint cutoff = clock_.now() - window;
+  std::shared_lock lock(*mutex_);
   std::vector<SensorReading> out;
   auto it = history_.find(id);
   if (it == history_.end()) return out;
-  const util::TimePoint cutoff = clock_.now() - window;
   for (const auto& reading : it->second) {
     if (reading.detectionTime >= cutoff) out.push_back(reading);
   }
@@ -302,6 +401,7 @@ std::vector<SensorReading> SpatialDatabase::history(const util::MobileObjectId& 
 
 void SpatialDatabase::setHistoryCapacity(std::size_t perObject) {
   require(perObject >= 1, "SpatialDatabase::setHistoryCapacity: capacity must be >= 1");
+  std::unique_lock lock(*mutex_);
   historyCapacity_ = perObject;
   for (auto& [_, ring] : history_) {
     while (ring.size() > historyCapacity_) ring.pop_front();
@@ -310,21 +410,33 @@ void SpatialDatabase::setHistoryCapacity(std::size_t perObject) {
 
 void SpatialDatabase::purgeExpired() {
   const util::TimePoint now = clock_.now();
+  std::unique_lock lock(*mutex_);
   for (auto& [objectId, perSensor] : readings_) {
+    std::size_t before = perSensor.size();
     std::erase_if(perSensor, [&](const auto& entry) {
       auto metaIt = sensors_.find(entry.first);
       if (metaIt == sensors_.end()) return true;
       return metaIt->second.quality.expiredAt(now - entry.second.reading.detectionTime);
     });
+    if (perSensor.size() != before) {
+      ObjectEpoch& epoch = epochs_[objectId];
+      ++epoch.epoch;
+      refreshNextExpiryLocked(objectId, epoch);
+    }
   }
   std::erase_if(readings_, [](const auto& entry) { return entry.second.empty(); });
 }
 
 void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
                                      const util::SensorId& sensor) {
+  std::unique_lock lock(*mutex_);
   auto it = readings_.find(object);
   if (it == readings_.end()) return;
-  it->second.erase(sensor);
+  if (it->second.erase(sensor) > 0) {
+    ObjectEpoch& epoch = epochs_[object];
+    ++epoch.epoch;
+    refreshNextExpiryLocked(object, epoch);
+  }
   if (it->second.empty()) readings_.erase(it);
 }
 
@@ -333,6 +445,7 @@ void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
 util::TriggerId SpatialDatabase::createTrigger(TriggerSpec spec) {
   require(!spec.region.empty(), "SpatialDatabase::createTrigger: empty region");
   require(static_cast<bool>(spec.callback), "SpatialDatabase::createTrigger: null callback");
+  std::unique_lock lock(*mutex_);
   util::TriggerId id = triggerIds_.next();
   triggerTree_.insert(spec.region, id.value());
   triggers_.emplace(id, std::move(spec));
@@ -340,6 +453,7 @@ util::TriggerId SpatialDatabase::createTrigger(TriggerSpec spec) {
 }
 
 bool SpatialDatabase::dropTrigger(util::TriggerId id) {
+  std::unique_lock lock(*mutex_);
   auto it = triggers_.find(id);
   if (it == triggers_.end()) return false;
   triggerTree_.remove(it->second.region, id.value());
@@ -347,16 +461,28 @@ bool SpatialDatabase::dropTrigger(util::TriggerId id) {
   return true;
 }
 
+std::size_t SpatialDatabase::triggerCount() const {
+  std::shared_lock lock(*mutex_);
+  return triggers_.size();
+}
+
 void SpatialDatabase::fireTriggers(const SensorReading& universeReading) {
   geo::Rect box = universeReading.rect();
-  for (std::uint64_t raw : triggerTree_.search(box)) {
-    util::TriggerId id{raw};
-    auto it = triggers_.find(id);
-    if (it == triggers_.end()) continue;
-    const TriggerSpec& spec = it->second;
-    if (spec.subject && *spec.subject != universeReading.mobileObjectId) continue;
-    spec.callback(TriggerEvent{id, universeReading, spec.region});
+  // Match under the shared lock, invoke outside it: callbacks are user code
+  // and must be free to call back into the database.
+  std::vector<std::pair<std::function<void(const TriggerEvent&)>, TriggerEvent>> toFire;
+  {
+    std::shared_lock lock(*mutex_);
+    triggerTree_.search(box, [&](const std::uint64_t& raw) {
+      util::TriggerId id{raw};
+      auto it = triggers_.find(id);
+      if (it == triggers_.end()) return;
+      const TriggerSpec& spec = it->second;
+      if (spec.subject && *spec.subject != universeReading.mobileObjectId) return;
+      toFire.emplace_back(spec.callback, TriggerEvent{id, universeReading, spec.region});
+    });
   }
+  for (auto& [callback, event] : toFire) callback(event);
 }
 
 }  // namespace mw::db

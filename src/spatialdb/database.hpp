@@ -12,10 +12,12 @@
 // converted on ingest/query.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,6 +48,12 @@ struct TriggerSpec {
   std::function<void(const TriggerEvent&)> callback;
 };
 
+/// Thread-safety: reads and writes are guarded by one reader/writer lock, so
+/// pull queries run concurrently with each other and serialize only against
+/// ingest. Exceptions, documented per method: the FrameTree accessors return
+/// unguarded references (frames are set up before concurrent operation), and
+/// trigger callbacks run OUTSIDE the lock — they may reenter the database,
+/// and a callback may still fire once after dropTrigger() returns.
 class SpatialDatabase {
  public:
   /// `universe` is the MBR of the whole modeled world in root-frame
@@ -92,7 +100,7 @@ class SpatialDatabase {
       geo::Point2 universePoint,
       const std::function<bool(const SpatialObjectRow&)>& predicate) const;
 
-  [[nodiscard]] std::size_t objectCount() const noexcept { return liveObjects_; }
+  [[nodiscard]] std::size_t objectCount() const;
 
   /// A row's MBR converted into universe coordinates.
   [[nodiscard]] geo::Rect universeMbr(const SpatialObjectRow& row) const;
@@ -103,7 +111,7 @@ class SpatialDatabase {
 
   void registerSensor(SensorMeta meta);
   [[nodiscard]] std::optional<SensorMeta> sensorMeta(const util::SensorId& id) const;
-  [[nodiscard]] std::size_t sensorCount() const noexcept { return sensors_.size(); }
+  [[nodiscard]] std::size_t sensorCount() const;
   /// All registered sensor ids, sorted (deterministic snapshots).
   [[nodiscard]] std::vector<util::SensorId> sensorIds() const;
 
@@ -138,6 +146,15 @@ class SpatialDatabase {
   };
   [[nodiscard]] std::vector<StoredReading> readingsFor(const util::MobileObjectId& id) const;
 
+  /// The object's *readings epoch*: a monotonically increasing counter that
+  /// changes whenever the fusion-relevant state of the object's readings can
+  /// have changed — on insertReading, on forced or TTL expiry, and on sensor
+  /// (re)registration (calibration changes alter every confidence). TTL
+  /// expiry is detected lazily: the first readingsEpoch() call after a
+  /// stored reading outlives its TTL observes a bumped value. The Location
+  /// Service keys its fusion cache on (object, epoch).
+  [[nodiscard]] std::uint64_t readingsEpoch(const util::MobileObjectId& id) const;
+
   [[nodiscard]] std::vector<util::MobileObjectId> knownMobileObjects() const;
 
   /// Recent readings about one mobile object across all sensors, oldest
@@ -163,7 +180,7 @@ class SpatialDatabase {
 
   util::TriggerId createTrigger(TriggerSpec spec);
   bool dropTrigger(util::TriggerId id);
-  [[nodiscard]] std::size_t triggerCount() const noexcept { return triggers_.size(); }
+  [[nodiscard]] std::size_t triggerCount() const;
 
  private:
   struct ReadingSlot {
@@ -171,14 +188,33 @@ class SpatialDatabase {
     bool moving = false;
   };
 
+  /// Per-object epoch state. `nextExpiry` is the first instant at which some
+  /// currently fresh reading of the object outlives its TTL (TimePoint::max
+  /// when nothing is pending); crossing it lazily bumps `epoch`.
+  struct ObjectEpoch {
+    std::uint64_t epoch = 0;
+    util::TimePoint nextExpiry = util::TimePoint::max();
+  };
+
   [[nodiscard]] static std::string objectKey(const std::string& prefix,
                                              const util::SpatialObjectId& id);
   void fireTriggers(const SensorReading& universeReading);
   [[nodiscard]] bool rowContains(const SpatialObjectRow& row, geo::Point2 universePoint) const;
+  [[nodiscard]] std::optional<SpatialObjectRow> objectLocked(
+      const std::string& globPrefix, const util::SpatialObjectId& id) const;
+  [[nodiscard]] std::vector<util::SensorId> sensorIdsLocked() const;
+  /// Recomputes epochs_[id].nextExpiry from the stored readings (lock held).
+  void refreshNextExpiryLocked(const util::MobileObjectId& id, ObjectEpoch& state) const;
 
   const util::Clock& clock_;
   geo::Rect universe_;
   glob::FrameTree frames_;
+
+  /// One reader/writer lock over all tables (behind unique_ptr so the
+  /// database stays movable for snapshot restore). Mutators take it
+  /// exclusively; const queries take it shared. Lazy TTL-epoch bumps are the
+  /// one place a const method upgrades to the exclusive lock.
+  mutable std::unique_ptr<std::shared_mutex> mutex_;
 
   // Object storage: stable slots + tombstones so R-tree handles stay valid.
   std::vector<std::optional<SpatialObjectRow>> objects_;
@@ -195,6 +231,10 @@ class SpatialDatabase {
   // mobile object -> (sensor -> latest reading)
   std::unordered_map<util::MobileObjectId, std::unordered_map<util::SensorId, ReadingSlot>>
       readings_;
+  // mobile object -> readings epoch (mutable: lazily bumped on TTL expiry)
+  mutable std::unordered_map<util::MobileObjectId, ObjectEpoch> epochs_;
+  // bumped on sensor (re)registration; added into every object's epoch
+  std::uint64_t metaEpoch_ = 0;
   // mobile object -> recent readings, oldest first (ring of historyCapacity_)
   std::unordered_map<util::MobileObjectId, std::deque<SensorReading>> history_;
   std::size_t historyCapacity_ = 256;

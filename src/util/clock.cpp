@@ -9,23 +9,29 @@ namespace {
 constexpr TimePoint kDefaultStart{Duration{1'099'267'200'000LL}};
 }  // namespace
 
-VirtualClock::VirtualClock() : now_(kDefaultStart) {}
-VirtualClock::VirtualClock(TimePoint start) : now_(start) {}
+VirtualClock::VirtualClock() : nowMs_(kDefaultStart.time_since_epoch().count()) {}
+VirtualClock::VirtualClock(TimePoint start) : nowMs_(start.time_since_epoch().count()) {}
 
-TimePoint VirtualClock::now() const { return now_; }
+TimePoint VirtualClock::now() const {
+  return TimePoint{Duration{nowMs_.load(std::memory_order_relaxed)}};
+}
 
 void VirtualClock::advance(Duration d) {
   if (d < Duration::zero()) {
     throw std::invalid_argument("VirtualClock::advance: negative duration");
   }
-  now_ += d;
+  nowMs_.fetch_add(d.count(), std::memory_order_relaxed);
 }
 
 void VirtualClock::set(TimePoint t) {
-  if (t < now_) {
-    throw std::invalid_argument("VirtualClock::set: time must not go backwards");
+  const Duration::rep target = t.time_since_epoch().count();
+  Duration::rep current = nowMs_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (target < current) {
+      throw std::invalid_argument("VirtualClock::set: time must not go backwards");
+    }
+    if (nowMs_.compare_exchange_weak(current, target, std::memory_order_relaxed)) return;
   }
-  now_ = t;
 }
 
 TimePoint SystemClock::now() const {

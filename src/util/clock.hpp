@@ -6,6 +6,7 @@
 // benchmarks run on the system clock.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -26,6 +27,8 @@ class Clock {
 };
 
 /// Deterministic clock advanced explicitly by the test or simulation driver.
+/// now()/advance()/set() are safe to call concurrently (the concurrency
+/// stress tests advance virtual time while ingest workers read it).
 class VirtualClock final : public Clock {
  public:
   /// Starts at an arbitrary fixed epoch (not zero, so that code subtracting
@@ -40,7 +43,7 @@ class VirtualClock final : public Clock {
   void set(TimePoint t);
 
  private:
-  TimePoint now_;
+  std::atomic<Duration::rep> nowMs_;  ///< milliseconds since the TimePoint epoch
 };
 
 /// Wall-clock time; used by benchmarks and the TCP transport.

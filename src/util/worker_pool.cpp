@@ -1,0 +1,64 @@
+#include "util/worker_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace mw::util {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  require(threads >= 1, "WorkerPool: thread count must be >= 1");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(m_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::run(std::vector<std::function<void()>> jobs) {
+  if (jobs.empty()) return;
+  auto batch = std::make_shared<Batch>();
+  batch->remaining = jobs.size();
+  {
+    std::lock_guard lock(m_);
+    for (auto& job : jobs) queue_.push_back(Task{std::move(job), batch});
+  }
+  wake_.notify_all();
+
+  std::unique_lock lock(batch->m);
+  batch->done.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void WorkerPool::workerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(m_);
+      wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      task.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(task.batch->m);
+      if (error && !task.batch->error) task.batch->error = error;
+      --task.batch->remaining;
+    }
+    task.batch->done.notify_all();
+  }
+}
+
+}  // namespace mw::util

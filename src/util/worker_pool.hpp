@@ -1,0 +1,58 @@
+// Fixed-size worker pool used by the Location Service's sharded batch
+// ingest. Deliberately minimal: a bounded set of threads created once,
+// fed from a single queue, with batch-scoped completion waiting — the
+// building block the ROADMAP's "millions of users" ingest fan-out needs
+// without dragging in an async framework.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mw::util {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers (>= 1). Threads live until destruction.
+  explicit WorkerPool(std::size_t threads);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  [[nodiscard]] std::size_t threadCount() const noexcept { return workers_.size(); }
+
+  /// Runs every job on the pool and blocks until all of them have finished.
+  /// Jobs from concurrent run() calls interleave in the queue; each call
+  /// waits only for its own batch. The first exception thrown by a job in
+  /// the batch is rethrown here (after the whole batch has drained).
+  void run(std::vector<std::function<void()>> jobs);
+
+ private:
+  /// Completion state shared by the jobs of one run() call.
+  struct Batch {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<Batch> batch;
+  };
+
+  void workerLoop();
+
+  std::mutex m_;
+  std::condition_variable wake_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mw::util

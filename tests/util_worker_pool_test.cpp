@@ -1,0 +1,75 @@
+// WorkerPool: fixed-thread batch executor used by sharded ingest.
+#include "util/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mw::util {
+namespace {
+
+TEST(WorkerPoolTest, RunsEveryJobExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.threadCount(), 4u);
+  std::vector<std::atomic<int>> counts(64);
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    jobs.push_back([&counts, i] { counts[i].fetch_add(1); });
+  }
+  pool.run(std::move(jobs));
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(WorkerPoolTest, RunReturnsOnlyAfterAllJobsFinish) {
+  WorkerPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.run(std::move(jobs));
+  EXPECT_EQ(done.load(), 8);  // the barrier held
+}
+
+TEST(WorkerPoolTest, SequentialBatchesReuseThreads) {
+  WorkerPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 4; ++i) jobs.push_back([&total] { total.fetch_add(1); });
+    pool.run(std::move(jobs));
+  }
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(WorkerPoolTest, PropagatesFirstException) {
+  WorkerPool pool(2);
+  std::vector<std::function<void()>> jobs;
+  jobs.push_back([] {});
+  jobs.push_back([] { throw std::runtime_error("shard failed"); });
+  jobs.push_back([] {});
+  EXPECT_THROW(pool.run(std::move(jobs)), std::runtime_error);
+  // The pool survives a failed batch.
+  std::atomic<int> ok{0};
+  pool.run({[&ok] { ok.fetch_add(1); }});
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(WorkerPoolTest, EmptyBatchIsANoop) {
+  WorkerPool pool(1);
+  pool.run({});
+}
+
+TEST(WorkerPoolTest, RejectsZeroThreads) { EXPECT_THROW(WorkerPool{0}, ContractError); }
+
+}  // namespace
+}  // namespace mw::util
