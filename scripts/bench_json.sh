@@ -2,6 +2,7 @@
 # Writes the committed machine-readable benchmark artifacts:
 #   BENCH_query_latency.json  — cached/uncached/concurrent query latency
 #   BENCH_ingest.json         — sharded batch-ingest throughput
+#   BENCH_region_poll.json    — region population cache repolling
 #
 # Usage: scripts/bench_json.sh [build-dir] [out-dir]
 # Or via CMake: cmake --build build --target bench_json
@@ -23,3 +24,4 @@ run() {
 
 run "$BUILD_DIR/bench/bench_query_latency" "$OUT_DIR/BENCH_query_latency.json"
 run "$BUILD_DIR/bench/bench_ingest_parallel" "$OUT_DIR/BENCH_ingest.json"
+run "$BUILD_DIR/bench/bench_region_poll" "$OUT_DIR/BENCH_region_poll.json"

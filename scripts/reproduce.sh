@@ -5,7 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Prefer Ninja when it is installed, but don't require it — fall back to
+# CMake's default generator (usually Makefiles) otherwise.
+GEN=()
+if command -v ninja >/dev/null 2>&1; then
+  GEN=(-G Ninja)
+fi
+
+cmake -B build "${GEN[@]}"
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
@@ -13,9 +20,9 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # Concurrency discipline under ThreadSanitizer: a separate build tree so the
 # instrumented binaries never mix with the regular ones. Only the suites that
 # exercise threads are run (the rest are covered above).
-cmake -B build-tsan -G Ninja -DMW_SANITIZE=thread
+cmake -B build-tsan "${GEN[@]}" -DMW_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -R 'Concurrency|FusionCache|IngestBatch|WorkerPool' \
+ctest --test-dir build-tsan -R 'Concurrency|FusionCache|IngestBatch|WorkerPool|RegionCache' \
       --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Machine-readable benchmark artifacts committed at the repo root.

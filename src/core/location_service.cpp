@@ -3,6 +3,7 @@
 #include "reasoning/spatial_rules.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <thread>
 
 #include "util/error.hpp"
@@ -127,23 +128,25 @@ std::shared_ptr<const fusion::FusedState> LocationService::fusedStateFor(
   // next query — the cache can miss needlessly but never serves stale state.
   const std::uint64_t epoch = db_.readingsEpoch(object);
   const util::TimePoint now = clock_.now();
+  const util::Duration tolerance = cacheToleranceNow();
   {
     std::shared_lock lock(cacheMutex_);
     auto it = fusionCache_.find(object);
-    if (it != fusionCache_.end() && it->second.epoch == epoch &&
-        now >= it->second.computedAt && now - it->second.computedAt <= cacheTolerance_) {
+    if (it != fusionCache_.end() && it->second->freshAt(epoch, now, tolerance)) {
       cacheHits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second.state;
+      return it->second;
     }
   }
   cacheMisses_.fetch_add(1, std::memory_order_relaxed);
   auto state = std::make_shared<fusion::FusedState>(engine_.fuse(fusionInputsFor(object)));
+  state->epoch = epoch;
+  state->computedAt = now;
   {
     std::unique_lock lock(cacheMutex_);
     if (!fusionCache_.contains(object) && fusionCache_.size() >= cacheCapacity_) {
       fusionCache_.erase(fusionCache_.begin());  // arbitrary eviction at capacity
     }
-    fusionCache_[object] = CacheEntry{epoch, now, state};
+    fusionCache_[object] = state;
   }
   return state;
 }
@@ -151,8 +154,7 @@ std::shared_ptr<const fusion::FusedState> LocationService::fusedStateFor(
 void LocationService::setFusionCacheTolerance(util::Duration tolerance) {
   require(tolerance >= util::Duration::zero(),
           "LocationService::setFusionCacheTolerance: negative tolerance");
-  std::unique_lock lock(cacheMutex_);
-  cacheTolerance_ = tolerance;
+  cacheTolerance_.store(tolerance.count(), std::memory_order_relaxed);
 }
 
 void LocationService::setFusionCacheCapacity(std::size_t entries) {
@@ -163,8 +165,13 @@ void LocationService::setFusionCacheCapacity(std::size_t entries) {
 }
 
 void LocationService::invalidateFusionCache() {
-  std::unique_lock lock(cacheMutex_);
-  fusionCache_.clear();
+  {
+    std::unique_lock lock(cacheMutex_);
+    fusionCache_.clear();
+  }
+  // Region populations carry probabilities derived from the dropped states
+  // (same engine configuration), so the L2 level flushes with the L1.
+  invalidateRegionCache();
 }
 
 std::uint64_t LocationService::fusionCacheHits() const noexcept {
@@ -178,6 +185,54 @@ std::uint64_t LocationService::fusionCacheMisses() const noexcept {
 void LocationService::resetFusionCacheCounters() noexcept {
   cacheHits_.store(0, std::memory_order_relaxed);
   cacheMisses_.store(0, std::memory_order_relaxed);
+}
+
+// --- region population cache --------------------------------------------------------
+
+std::size_t LocationService::RegionKeyHash::operator()(const RegionKey& k) const noexcept {
+  auto mix = [](std::size_t seed, double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return seed ^ (std::hash<std::uint64_t>{}(bits) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                   (seed >> 2));
+  };
+  std::size_t h = 0;
+  h = mix(h, k.region.lo().x);
+  h = mix(h, k.region.lo().y);
+  h = mix(h, k.region.hi().x);
+  h = mix(h, k.region.hi().y);
+  return mix(h, k.minProbability);
+}
+
+void LocationService::setRegionCacheCapacity(std::size_t entries) {
+  require(entries >= 1, "LocationService::setRegionCacheCapacity: capacity must be >= 1");
+  std::unique_lock lock(regionCacheMutex_);
+  regionCacheCapacity_ = entries;
+  while (regionCache_.size() > regionCacheCapacity_) regionCache_.erase(regionCache_.begin());
+}
+
+void LocationService::invalidateRegionCache() {
+  std::unique_lock lock(regionCacheMutex_);
+  regionCache_.clear();
+}
+
+std::uint64_t LocationService::regionCacheHits() const noexcept {
+  return regionCacheHits_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LocationService::regionCacheMisses() const noexcept {
+  return regionCacheMisses_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LocationService::regionCacheRevalidations() const noexcept {
+  return regionCacheRevalidations_.load(std::memory_order_relaxed);
+}
+
+void LocationService::resetRegionCacheCounters() noexcept {
+  regionCacheHits_.store(0, std::memory_order_relaxed);
+  regionCacheMisses_.store(0, std::memory_order_relaxed);
+  regionCacheRevalidations_.store(0, std::memory_order_relaxed);
 }
 
 // --- fusion plumbing ----------------------------------------------------------------
@@ -360,14 +415,94 @@ double LocationService::probabilityInRegion(const MobileObjectId& object,
 
 std::vector<std::pair<MobileObjectId, double>> LocationService::objectsInRegion(
     const geo::Rect& region, double minProbability) const {
-  std::vector<std::pair<MobileObjectId, double>> out;
-  for (const auto& object : db_.knownMobileObjects()) {
-    double p = probabilityInRegion(object, region);
-    if (p >= minProbability) out.emplace_back(object, p);
+  const RegionKey key{region, minProbability};
+  // Catalog FIRST, then discovery and member epochs: a structural change
+  // racing the poll bumps the value we store, so the next poll rebuilds —
+  // the same conservative discipline as the per-object cache.
+  const std::uint64_t catalog = db_.catalogEpoch();
+  const util::TimePoint now = clock_.now();
+  const util::Duration tolerance = cacheToleranceNow();
+
+  RegionCacheEntry entry;
+  bool cached = false;
+  {
+    std::shared_lock lock(regionCacheMutex_);
+    auto it = regionCache_.find(key);
+    if (it != regionCache_.end() && it->second.catalog == catalog) {
+      entry = it->second;  // copied: revalidation runs outside the lock
+      cached = true;
+    }
   }
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Candidate discovery: one R-tree pass over the per-object evidence boxes.
+  std::vector<MobileObjectId> candidates = db_.mobileObjectsIntersecting(region);
+
+  // Revalidate the population: fresh members are reused outright; stale or
+  // new members re-fuse through the per-object cache, so a poll following an
+  // ingest that already fused the moved object shares that fusion pass.
+  std::unordered_map<MobileObjectId, RegionMember> members;
+  members.reserve(candidates.size());
+  std::uint64_t refused = 0;
+  for (auto& object : candidates) {
+    if (cached) {
+      auto it = entry.members.find(object);
+      if (it != entry.members.end() &&
+          it->second.state->freshAt(db_.readingsEpoch(object), now, tolerance)) {
+        members.emplace(std::move(object), std::move(it->second));
+        continue;
+      }
+    }
+    RegionMember member;
+    member.state = fusedStateFor(object);
+    member.probability = engine_.probabilityInRegion(region, *member.state);
+    ++refused;
+    members.emplace(std::move(object), std::move(member));
+  }
+
+  const bool changed = !cached || refused > 0 || members.size() != entry.members.size();
+  if (changed) {
+    entry.result.clear();
+    for (const auto& [object, member] : members) {
+      if (member.probability >= minProbability) {
+        entry.result.emplace_back(object, member.probability);
+      }
+    }
+    // Descending probability; ties broken by id so the answer is stable
+    // across the unordered member map's iteration order.
+    std::sort(entry.result.begin(), entry.result.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+  entry.catalog = catalog;
+  entry.members = std::move(members);
+
+  if (cached) {
+    regionCacheHits_.fetch_add(1, std::memory_order_relaxed);
+    regionCacheRevalidations_.fetch_add(refused, std::memory_order_relaxed);
+  } else {
+    regionCacheMisses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<std::pair<MobileObjectId, double>> out = entry.result;
+  {
+    std::unique_lock lock(regionCacheMutex_);
+    if (!regionCache_.contains(key) && regionCache_.size() >= regionCacheCapacity_) {
+      regionCache_.erase(regionCache_.begin());  // arbitrary eviction at capacity
+    }
+    regionCache_[key] = std::move(entry);
+  }
   return out;
+}
+
+std::vector<std::pair<MobileObjectId, double>> LocationService::objectsInRegion(
+    const std::string& regionGlob, double minProbability) const {
+  auto rect = resolveRegion(regionGlob);
+  if (!rect) {
+    throw mw::util::NotFoundError("LocationService::objectsInRegion: unknown region '" +
+                                  regionGlob + "'");
+  }
+  return objectsInRegion(*rect, minProbability);
 }
 
 std::vector<fusion::RegionProbability> LocationService::distributionFor(

@@ -107,10 +107,40 @@ class LocationService {
   /// Bounds the number of cached per-object states (default 4096); the
   /// cheapest entries to lose are evicted arbitrarily beyond it.
   void setFusionCacheCapacity(std::size_t entries);
+  /// Drops both cache levels (per-object states and region populations):
+  /// everything cached was computed under the current engine configuration,
+  /// so a prior change must flush both.
   void invalidateFusionCache();
   [[nodiscard]] std::uint64_t fusionCacheHits() const noexcept;
   [[nodiscard]] std::uint64_t fusionCacheMisses() const noexcept;
   void resetFusionCacheCounters() noexcept;
+
+  // --- region population cache -------------------------------------------------
+
+  /// The second cache level: objectsInRegion memoizes, per (region, query
+  /// params) key, the population it answered with — a vector of (object,
+  /// epoch, tick, probability) members. A later poll revalidates members
+  /// against their current readings epochs and re-fuses ONLY the stale ones
+  /// (through the per-object cache above), so repolling an N-person region
+  /// costs O(changed objects) fusions instead of O(N). Candidate discovery
+  /// runs once per poll as a single R-tree pass over the database's
+  /// per-object evidence boxes; a catalogEpoch move (spatial-object
+  /// insert/delete, sensor (de)registration, population change) forces a
+  /// full rebuild. Staleness tolerance is shared with the fusion cache
+  /// (setFusionCacheTolerance).
+  /// Bounds the number of cached region populations (default 256).
+  void setRegionCacheCapacity(std::size_t entries);
+  void invalidateRegionCache();
+  /// A poll answered from a cached population (possibly after re-fusing some
+  /// stale members).
+  [[nodiscard]] std::uint64_t regionCacheHits() const noexcept;
+  /// A poll that rebuilt its population from scratch (first poll for the
+  /// key, capacity eviction, or catalog epoch move).
+  [[nodiscard]] std::uint64_t regionCacheMisses() const noexcept;
+  /// Members re-fused during cache hits — the partial-revalidation count;
+  /// hits with 0 revalidations reused every member unchanged.
+  [[nodiscard]] std::uint64_t regionCacheRevalidations() const noexcept;
+  void resetRegionCacheCounters() noexcept;
 
   // --- pull queries (§4.2) -----------------------------------------------------
 
@@ -127,10 +157,21 @@ class LocationService {
   [[nodiscard]] double probabilityInRegion(const util::MobileObjectId& object,
                                            const geo::Rect& region) const;
 
-  /// "Who are the people in room 3105?" — every known mobile object whose
-  /// fused probability of being in the region reaches `minProbability`.
+  /// "Who are the people in room 3105?" — every mobile object with sensor
+  /// evidence intersecting the region whose fused probability of being
+  /// inside reaches `minProbability`, sorted by descending probability.
+  /// Candidates are discovered through the readings R-tree: an object whose
+  /// entire evidence lies elsewhere is not reported, even when its diffuse
+  /// misidentification mass would technically clear a tiny threshold.
+  /// Served from the region population cache (see the cache section below).
   [[nodiscard]] std::vector<std::pair<util::MobileObjectId, double>> objectsInRegion(
       const geo::Rect& region, double minProbability) const;
+
+  /// The same, keyed by a named region ("SC/Floor3/3105" or an app-defined
+  /// GLOB): resolves the name through the symbolic-region lattice and polls
+  /// its universe-frame MBR. Throws NotFoundError for unknown names.
+  [[nodiscard]] std::vector<std::pair<util::MobileObjectId, double>> objectsInRegion(
+      const std::string& regionGlob, double minProbability) const;
 
   /// The fused spatial probability distribution for an object.
   [[nodiscard]] std::vector<fusion::RegionProbability> distributionFor(
@@ -298,10 +339,35 @@ class LocationService {
     std::unordered_map<util::MobileObjectId, bool> inside;
   };
 
-  struct CacheEntry {
-    std::uint64_t epoch = 0;
-    util::TimePoint computedAt;
+  // --- region population cache internals ---------------------------------------
+
+  /// Cache key: the polled region plus the query parameters that shape the
+  /// answer. Hashed bitwise — keys come from repeated polls of the same
+  /// rect, so exact equality is the right notion.
+  struct RegionKey {
+    geo::Rect region;
+    double minProbability = 0;
+    bool operator==(const RegionKey& o) const noexcept {
+      return region == o.region && minProbability == o.minProbability;
+    }
+  };
+  struct RegionKeyHash {
+    std::size_t operator()(const RegionKey& k) const noexcept;
+  };
+
+  /// One population member: the fused state the member's probability was
+  /// read from (pinning the memoized state so revalidation can reuse it even
+  /// after fusion-cache eviction) plus that probability.
+  struct RegionMember {
     std::shared_ptr<const fusion::FusedState> state;
+    double probability = 0;
+  };
+
+  struct RegionCacheEntry {
+    std::uint64_t catalog = 0;  ///< db catalog epoch the population was discovered at
+    std::unordered_map<util::MobileObjectId, RegionMember> members;
+    /// The filtered, probability-sorted answer for the key as of `members`.
+    std::vector<std::pair<util::MobileObjectId, double>> result;
   };
 
   /// A subscription callback queued for invocation once all locks are
@@ -322,6 +388,9 @@ class LocationService {
   void evaluateSubscriptionLocked(util::SubscriptionId id, const util::MobileObjectId& object,
                                   const fusion::FusedState& fused,
                                   std::vector<PendingNotification>& out);
+  [[nodiscard]] util::Duration cacheToleranceNow() const noexcept {
+    return util::Duration{cacheTolerance_.load(std::memory_order_relaxed)};
+  }
   /// Ensures the symbolic lattice reflects the database.
   void ensureRegionsIndexed() const;
   [[nodiscard]] std::optional<geo::Rect> smallestNamedRegionRectAt(geo::Point2 p) const;
@@ -336,13 +405,24 @@ class LocationService {
   mutable bool regionsIndexed_ = false;
   std::unordered_map<util::SpatialObjectId, geo::Rect> usageRegions_;
 
-  // Fusion cache: object -> fused state at (epoch, computedAt).
+  // Fusion cache (L1): object -> fused state, stamped with (epoch, computedAt).
   mutable std::shared_mutex cacheMutex_;
-  mutable std::unordered_map<util::MobileObjectId, CacheEntry> fusionCache_;
+  mutable std::unordered_map<util::MobileObjectId, std::shared_ptr<const fusion::FusedState>>
+      fusionCache_;
   mutable std::atomic<std::uint64_t> cacheHits_{0};
   mutable std::atomic<std::uint64_t> cacheMisses_{0};
-  util::Duration cacheTolerance_{0};
+  /// Staleness tolerance in Duration ticks, shared by both cache levels;
+  /// atomic so polls can read it without holding the fusion-cache lock.
+  std::atomic<util::Duration::rep> cacheTolerance_{0};
   std::size_t cacheCapacity_ = 4096;
+
+  // Region population cache (L2): (region, params) -> revalidatable population.
+  mutable std::shared_mutex regionCacheMutex_;
+  mutable std::unordered_map<RegionKey, RegionCacheEntry, RegionKeyHash> regionCache_;
+  mutable std::atomic<std::uint64_t> regionCacheHits_{0};
+  mutable std::atomic<std::uint64_t> regionCacheMisses_{0};
+  mutable std::atomic<std::uint64_t> regionCacheRevalidations_{0};
+  std::size_t regionCacheCapacity_ = 256;
 
   // Subscription table; guards subs_ (incl. per-subscription `inside` maps).
   mutable std::mutex subsMutex_;

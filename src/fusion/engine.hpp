@@ -11,6 +11,7 @@
 #include "fusion/fusion_input.hpp"
 #include "geometry/rect.hpp"
 #include "lattice/rect_lattice.hpp"
+#include "util/clock.hpp"
 #include "util/ids.hpp"
 
 namespace mw::fusion {
@@ -45,6 +46,22 @@ struct FusedState {
   std::vector<util::SensorId> discarded;   ///< sensors dropped by conflict resolution
   lattice::RectLattice lattice;            ///< containment lattice over `active`
   std::optional<LocationEstimate> estimate;///< nullopt when no informative reading
+
+  /// Cache stamps, set by the memoizing layer (not by fuse()): the readings
+  /// epoch and clock tick the inputs were gathered at. Both cache levels —
+  /// the per-object fusion cache and the region population cache — share
+  /// this one staleness test instead of re-deriving it.
+  std::uint64_t epoch = 0;
+  util::TimePoint computedAt{};
+
+  /// Cheap staleness check: the state is reusable iff the object's readings
+  /// epoch has not moved and `now` is within `tolerance` of the tick the
+  /// state was computed at (sensor confidences decay continuously with age,
+  /// so a later tick means different inputs even at the same epoch).
+  [[nodiscard]] bool freshAt(std::uint64_t currentEpoch, util::TimePoint now,
+                             util::Duration tolerance) const noexcept {
+    return epoch == currentEpoch && now >= computedAt && now - computedAt <= tolerance;
+  }
 };
 
 class FusionEngine {

@@ -11,7 +11,8 @@ namespace {
 
 /// One endpoint of an in-process pair. Sending locks only the peer's state,
 /// so a handler on side A may send back to side B without self-deadlock.
-class InProcTransport final : public Transport, public std::enable_shared_from_this<InProcTransport> {
+class InProcTransport final : public Transport,
+                              public std::enable_shared_from_this<InProcTransport> {
  public:
   void send(const util::Bytes& frame) override {
     std::shared_ptr<InProcTransport> peer;

@@ -77,6 +77,7 @@ void SpatialDatabase::addObject(SpatialObjectRow row) {
   objectIndex_.emplace(std::move(key), slot);
   objectTree_.insert(box, static_cast<std::uint64_t>(slot));
   ++liveObjects_;
+  ++catalogEpoch_;
 }
 
 bool SpatialDatabase::removeObject(const std::string& globPrefix,
@@ -92,6 +93,7 @@ bool SpatialDatabase::removeObject(const std::string& globPrefix,
   objects_[slot].reset();
   objectIndex_.erase(it);
   --liveObjects_;
+  ++catalogEpoch_;
   return true;
 }
 
@@ -211,7 +213,22 @@ void SpatialDatabase::registerSensor(SensorMeta meta) {
   // Calibration/TTL changes alter every cached confidence, so every object's
   // epoch moves; per-object expiry schedules are recomputed under the new TTLs.
   ++metaEpoch_;
+  ++catalogEpoch_;
   for (auto& [objectId, state] : epochs_) refreshNextExpiryLocked(objectId, state);
+}
+
+bool SpatialDatabase::deregisterSensor(const util::SensorId& id) {
+  std::unique_lock lock(*mutex_);
+  if (sensors_.erase(id) == 0) return false;
+  activity_.erase(id);
+  // Stored readings from the sensor stay in place but are skipped on every
+  // read path (their metadata lookup fails), so each object's fusion inputs
+  // change: bump every epoch via metaEpoch_ and reschedule expiries over the
+  // surviving sensors. Re-registration later bumps the epochs again.
+  ++metaEpoch_;
+  ++catalogEpoch_;
+  for (auto& [objectId, state] : epochs_) refreshNextExpiryLocked(objectId, state);
+  return true;
 }
 
 std::vector<util::SensorId> SpatialDatabase::sensorIdsLocked() const {
@@ -304,6 +321,8 @@ void SpatialDatabase::insertReading(SensorReading reading) {
       reading.globPrefix = root;
     }
 
+    // A first reading brings a new member into the tracked population.
+    if (!readings_.contains(reading.mobileObjectId)) ++catalogEpoch_;
     auto& perSensor = readings_[reading.mobileObjectId];
     bool moving = false;
     if (auto prev = perSensor.find(reading.sensorId); prev != perSensor.end()) {
@@ -329,6 +348,7 @@ void SpatialDatabase::insertReading(SensorReading reading) {
     epoch.nextExpiry =
         std::min(epoch.nextExpiry, expiryInstant(reading, metaIt->second));
 
+    reindexMobileBoxLocked(reading.mobileObjectId);
     universeReading = std::move(reading);
   }
   // Triggers fire outside the write lock so their callbacks may reenter the
@@ -372,6 +392,51 @@ std::uint64_t SpatialDatabase::readingsEpoch(const util::MobileObjectId& id) con
     refreshNextExpiryLocked(id, it->second);
   }
   return metaEpoch_ + it->second.epoch;
+}
+
+std::uint64_t SpatialDatabase::catalogEpoch() const {
+  std::shared_lock lock(*mutex_);
+  return catalogEpoch_;
+}
+
+void SpatialDatabase::reindexMobileBoxLocked(const util::MobileObjectId& id) {
+  auto slotIt = mobileSlotIndex_.find(id);
+  std::size_t slot;
+  if (slotIt == mobileSlotIndex_.end()) {
+    slot = mobileSlots_.size();
+    mobileSlots_.push_back(id);
+    mobileBoxes_.push_back(geo::Rect{});
+    mobileSlotIndex_.emplace(id, slot);
+  } else {
+    slot = slotIt->second;
+  }
+
+  geo::Rect box;
+  auto readingsIt = readings_.find(id);
+  if (readingsIt != readings_.end()) {
+    for (const auto& [sensorId, stored] : readingsIt->second) {
+      box = box.unionWith(stored.reading.rect());
+    }
+  }
+  // Degenerate evidence (a single exact-point reading) still needs a
+  // non-empty box for the index, mirroring addObject.
+  if (!box.empty() && box.area() == 0) box = box.inflated(1e-6);
+
+  if (!mobileBoxes_[slot].empty()) {
+    readingTree_.remove(mobileBoxes_[slot], static_cast<std::uint64_t>(slot));
+  }
+  if (!box.empty()) readingTree_.insert(box, static_cast<std::uint64_t>(slot));
+  mobileBoxes_[slot] = box;
+}
+
+std::vector<util::MobileObjectId> SpatialDatabase::mobileObjectsIntersecting(
+    const geo::Rect& universeRect) const {
+  std::shared_lock lock(*mutex_);
+  std::vector<util::MobileObjectId> out;
+  readingTree_.search(universeRect, [&](const std::uint64_t& slot) {
+    out.push_back(mobileSlots_[static_cast<std::size_t>(slot)]);
+  });
+  return out;
 }
 
 std::vector<util::MobileObjectId> SpatialDatabase::knownMobileObjects() const {
@@ -424,7 +489,12 @@ void SpatialDatabase::purgeExpired() {
       refreshNextExpiryLocked(objectId, epoch);
     }
   }
+  std::size_t beforeObjects = readings_.size();
   std::erase_if(readings_, [](const auto& entry) { return entry.second.empty(); });
+  if (readings_.size() != beforeObjects) ++catalogEpoch_;
+  // Shrink evidence boxes to the surviving readings (iterates every slot, not
+  // just the purged ones — purge is the explicit slow-path maintenance call).
+  for (const auto& id : mobileSlots_) reindexMobileBoxLocked(id);
 }
 
 void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
@@ -437,7 +507,11 @@ void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
     ++epoch.epoch;
     refreshNextExpiryLocked(object, epoch);
   }
-  if (it->second.empty()) readings_.erase(it);
+  if (it->second.empty()) {
+    readings_.erase(it);
+    ++catalogEpoch_;
+  }
+  reindexMobileBoxLocked(object);
 }
 
 // --- triggers --------------------------------------------------------------------

@@ -110,6 +110,11 @@ class SpatialDatabase {
   // --- sensor tables (Table 2 + sensor metadata, §5.2) -----------------------
 
   void registerSensor(SensorMeta meta);
+  /// Removes a sensor's calibration row. Its stored readings become invisible
+  /// to readingsFor/fusion immediately (readings are interpreted through the
+  /// metadata table), every object's readings epoch moves, and the catalog
+  /// epoch is bumped. Returns false for unknown sensors.
+  bool deregisterSensor(const util::SensorId& id);
   [[nodiscard]] std::optional<SensorMeta> sensorMeta(const util::SensorId& id) const;
   [[nodiscard]] std::size_t sensorCount() const;
   /// All registered sensor ids, sorted (deterministic snapshots).
@@ -155,7 +160,26 @@ class SpatialDatabase {
   /// Service keys its fusion cache on (object, epoch).
   [[nodiscard]] std::uint64_t readingsEpoch(const util::MobileObjectId& id) const;
 
+  /// The database's *catalog epoch*: a monotonically increasing counter that
+  /// changes whenever the answer to "which objects could a region query ever
+  /// involve" can have changed — on spatial-object insert/delete, on sensor
+  /// (de)registration, and when a mobile object appears (first reading) or
+  /// disappears (its last stored reading is removed). Cross-object caches
+  /// (the Location Service's region population cache) key their candidate
+  /// discovery on it; per-object staleness is covered by readingsEpoch.
+  [[nodiscard]] std::uint64_t catalogEpoch() const;
+
   [[nodiscard]] std::vector<util::MobileObjectId> knownMobileObjects() const;
+
+  /// Mobile objects with at least one stored reading whose MBR intersects
+  /// `universeRect` — one R-tree pass over per-object evidence boxes, the
+  /// candidate-discovery primitive for region population queries. The
+  /// indexed box is the union of the object's stored reading rects and is
+  /// only recomputed on insert/expiry, so it is a conservative superset
+  /// while readings age out lazily: discovery can over-approximate but
+  /// never misses an object with fresh evidence in the region.
+  [[nodiscard]] std::vector<util::MobileObjectId> mobileObjectsIntersecting(
+      const geo::Rect& universeRect) const;
 
   /// Recent readings about one mobile object across all sensors, oldest
   /// first, restricted to `window` before now. The history ring is capped at
@@ -205,6 +229,9 @@ class SpatialDatabase {
   [[nodiscard]] std::vector<util::SensorId> sensorIdsLocked() const;
   /// Recomputes epochs_[id].nextExpiry from the stored readings (lock held).
   void refreshNextExpiryLocked(const util::MobileObjectId& id, ObjectEpoch& state) const;
+  /// Re-indexes the object's evidence box in the readings R-tree from its
+  /// current stored readings (write lock held).
+  void reindexMobileBoxLocked(const util::MobileObjectId& id);
 
   const util::Clock& clock_;
   geo::Rect universe_;
@@ -235,6 +262,15 @@ class SpatialDatabase {
   mutable std::unordered_map<util::MobileObjectId, ObjectEpoch> epochs_;
   // bumped on sensor (re)registration; added into every object's epoch
   std::uint64_t metaEpoch_ = 0;
+  // structural version for cross-object caches (see catalogEpoch())
+  std::uint64_t catalogEpoch_ = 0;
+
+  // Evidence index: per-object union MBR of stored readings, R-tree keyed by
+  // a stable slot (slots are never reused for a different object).
+  geo::RTree<std::uint64_t> readingTree_;
+  std::vector<util::MobileObjectId> mobileSlots_;  // slot -> object id
+  std::unordered_map<util::MobileObjectId, std::size_t> mobileSlotIndex_;
+  std::vector<geo::Rect> mobileBoxes_;  // slot -> indexed box (empty = not indexed)
   // mobile object -> recent readings, oldest first (ring of historyCapacity_)
   std::unordered_map<util::MobileObjectId, std::deque<SensorReading>> history_;
   std::size_t historyCapacity_ = 256;
