@@ -22,7 +22,8 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 # exercise threads are run (the rest are covered above).
 cmake -B build-tsan "${GEN[@]}" -DMW_SANITIZE=thread
 cmake --build build-tsan
-ctest --test-dir build-tsan -R 'Concurrency|FusionCache|IngestBatch|WorkerPool|RegionCache' \
+ctest --test-dir build-tsan \
+      -R 'Concurrency|FusionCache|IngestBatch|WorkerPool|RegionCache|ReadingStore' \
       --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Machine-readable benchmark artifacts committed at the repo root.

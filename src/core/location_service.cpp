@@ -87,7 +87,9 @@ void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
   }
   // Shard by object so each object's readings keep their relative order —
   // the invariant that keeps `moving` flags and estimates identical to a
-  // sequential replay.
+  // sequential replay. Each shard appends straight into the reading store's
+  // stripes (per-object locks only), so shards never serialize on a
+  // database-wide lock.
   std::vector<std::vector<const db::SensorReading*>> buckets(shardCount);
   for (const auto& reading : readings) {
     const std::size_t shard =
@@ -95,6 +97,8 @@ void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
     buckets[shard].push_back(&reading);
   }
 
+  // At most shardCount jobs — small batches under-fill the pool rather than
+  // forcing it down to their size.
   std::vector<std::function<void()>> jobs;
   jobs.reserve(shardCount);
   for (auto& bucket : buckets) {
@@ -104,9 +108,13 @@ void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
     });
   }
 
+  // The pool is keyed on shards_ alone: setIngestShards drops it on a width
+  // change, so a live pool always has shards_ threads and batch size never
+  // triggers a rebuild.
   std::unique_lock poolLock(poolMutex_);
-  if (!pool_ || pool_->threadCount() != shards_) {
+  if (!pool_) {
     pool_ = std::make_unique<util::WorkerPool>(shards_);
+    poolRecreations_.fetch_add(1, std::memory_order_relaxed);
   }
   util::WorkerPool& pool = *pool_;
   poolLock.unlock();
@@ -116,7 +124,8 @@ void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
 void LocationService::setIngestShards(std::size_t n) {
   require(n >= 1, "LocationService::setIngestShards: shard count must be >= 1");
   std::lock_guard lock(poolMutex_);
-  shards_ = n;  // the pool is (re)created at the new width on the next batch
+  if (n != shards_) pool_.reset();  // rebuilt at the new width on the next batch
+  shards_ = n;
 }
 
 // --- fusion cache -------------------------------------------------------------------

@@ -95,6 +95,27 @@ class LocationService {
   void setIngestShards(std::size_t n);
   [[nodiscard]] std::size_t ingestShards() const noexcept { return shards_; }
 
+  /// Times the worker pool was (re)built — exactly once per configured
+  /// width, never per batch: the pool is keyed on ingestShards() alone, so
+  /// small batches (which submit fewer jobs than the pool has threads) reuse
+  /// it untouched.
+  [[nodiscard]] std::uint64_t ingestPoolRecreations() const noexcept {
+    return poolRecreations_.load(std::memory_order_relaxed);
+  }
+
+  /// Reading-store contention stats, surfaced here next to the cache
+  /// counters so ops dashboards read one object. Inserts that found their
+  /// object's writer lock held (two shards cannot collide on an object —
+  /// sharding is by object — so nonzero values mean concurrent ingest*()
+  /// callers raced on one object).
+  [[nodiscard]] std::uint64_t ingestWriterContentions() const noexcept {
+    return db_.readingWriterContentions();
+  }
+  /// Epoch reads that raced a lazy TTL expiry and re-read the snapshot.
+  [[nodiscard]] std::uint64_t ingestSnapshotRetries() const noexcept {
+    return db_.readingSnapshotRetries();
+  }
+
   // --- fusion cache ------------------------------------------------------------
 
   /// Repeated queries and subscription evaluations for an object reuse one
@@ -437,10 +458,12 @@ class LocationService {
   std::mutex pendingMutex_;
   std::vector<std::pair<util::SubscriptionId, util::MobileObjectId>> pendingEvaluations_;
 
-  // Sharded ingest worker pool, created lazily at the configured width.
+  // Sharded ingest worker pool, created lazily at the configured width and
+  // keyed on shards_ alone (setIngestShards drops it; batch size never does).
   std::mutex poolMutex_;
   std::unique_ptr<util::WorkerPool> pool_;
   std::size_t shards_;
+  mutable std::atomic<std::uint64_t> poolRecreations_{0};
 };
 
 }  // namespace mw::core

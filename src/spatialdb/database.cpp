@@ -20,12 +20,6 @@ glob::FrameTree singleFrameTree(const std::string& rootFrame) {
   tree.addRoot(rootFrame);
   return tree;
 }
-
-/// First instant at which a reading of age 0 at `detectionTime` outlives
-/// `ttl` (expiredAt tests age > ttl, so the boundary is one tick past).
-util::TimePoint expiryInstant(const SensorReading& reading, const SensorMeta& meta) {
-  return reading.detectionTime + meta.quality.ttl + util::Duration{1};
-}
 }  // namespace
 
 SpatialDatabase::SpatialDatabase(const util::Clock& clock, geo::Rect universe,
@@ -33,7 +27,9 @@ SpatialDatabase::SpatialDatabase(const util::Clock& clock, geo::Rect universe,
     : clock_(clock),
       universe_(universe),
       frames_(std::move(frames)),
-      mutex_(std::make_unique<std::shared_mutex>()) {
+      mutex_(std::make_unique<std::shared_mutex>()),
+      store_(std::make_unique<ReadingStore>(clock)),
+      triggersMutex_(std::make_unique<std::shared_mutex>()) {
   require(!universe_.empty() && universe_.area() > 0,
           "SpatialDatabase: universe must have positive area");
   (void)frames_.rootName();  // throws if no root was registered
@@ -77,7 +73,7 @@ void SpatialDatabase::addObject(SpatialObjectRow row) {
   objectIndex_.emplace(std::move(key), slot);
   objectTree_.insert(box, static_cast<std::uint64_t>(slot));
   ++liveObjects_;
-  ++catalogEpoch_;
+  store_->bumpCatalogEpoch();
 }
 
 bool SpatialDatabase::removeObject(const std::string& globPrefix,
@@ -93,7 +89,7 @@ bool SpatialDatabase::removeObject(const std::string& globPrefix,
   objects_[slot].reset();
   objectIndex_.erase(it);
   --liveObjects_;
-  ++catalogEpoch_;
+  store_->bumpCatalogEpoch();
   return true;
 }
 
@@ -205,74 +201,56 @@ geo::Polygon SpatialDatabase::universePolygon(const SpatialObjectRow& row) const
 
 // --- sensor tables --------------------------------------------------------------
 
+void SpatialDatabase::noteSensorTableChanged() {
+  // The one shared epoch-bump path for every sensor-table mutation:
+  // calibration/TTL changes alter every cached confidence (meta epoch moves
+  // every object's readings epoch, expiry schedules are recomputed under the
+  // new TTLs) and reshape the answerable population (catalog epoch).
+  store_->noteSensorTableChanged();
+  store_->bumpCatalogEpoch();
+}
+
 void SpatialDatabase::registerSensor(SensorMeta meta) {
   require(!meta.sensorId.empty(), "SpatialDatabase::registerSensor: empty sensor id");
   meta.errorSpec.validate();
-  std::unique_lock lock(*mutex_);
-  sensors_[meta.sensorId] = std::move(meta);
-  // Calibration/TTL changes alter every cached confidence, so every object's
-  // epoch moves; per-object expiry schedules are recomputed under the new TTLs.
-  ++metaEpoch_;
-  ++catalogEpoch_;
-  for (auto& [objectId, state] : epochs_) refreshNextExpiryLocked(objectId, state);
+  store_->publishSensor(std::move(meta));
+  noteSensorTableChanged();
 }
 
 bool SpatialDatabase::deregisterSensor(const util::SensorId& id) {
-  std::unique_lock lock(*mutex_);
-  if (sensors_.erase(id) == 0) return false;
-  activity_.erase(id);
   // Stored readings from the sensor stay in place but are skipped on every
   // read path (their metadata lookup fails), so each object's fusion inputs
-  // change: bump every epoch via metaEpoch_ and reschedule expiries over the
-  // surviving sensors. Re-registration later bumps the epochs again.
-  ++metaEpoch_;
-  ++catalogEpoch_;
-  for (auto& [objectId, state] : epochs_) refreshNextExpiryLocked(objectId, state);
+  // change. Re-registration later bumps the epochs again.
+  if (!store_->retireSensor(id)) return false;
+  noteSensorTableChanged();
   return true;
 }
 
-std::vector<util::SensorId> SpatialDatabase::sensorIdsLocked() const {
-  std::vector<util::SensorId> out;
-  out.reserve(sensors_.size());
-  for (const auto& [id, _] : sensors_) out.push_back(id);
-  std::sort(out.begin(), out.end());
-  return out;
-}
+std::vector<util::SensorId> SpatialDatabase::sensorIds() const { return store_->sensorIds(); }
 
-std::vector<util::SensorId> SpatialDatabase::sensorIds() const {
-  std::shared_lock lock(*mutex_);
-  return sensorIdsLocked();
-}
-
-std::size_t SpatialDatabase::sensorCount() const {
-  std::shared_lock lock(*mutex_);
-  return sensors_.size();
-}
+std::size_t SpatialDatabase::sensorCount() const { return store_->sensorCount(); }
 
 std::optional<SensorMeta> SpatialDatabase::sensorMeta(const util::SensorId& id) const {
-  std::shared_lock lock(*mutex_);
-  auto it = sensors_.find(id);
-  if (it == sensors_.end()) return std::nullopt;
-  return it->second;
+  return store_->sensorMeta(id);
 }
 
 std::vector<SpatialDatabase::SensorHealth> SpatialDatabase::sensorHealth(
     double silenceFactor) const {
   require(silenceFactor > 0, "SpatialDatabase::sensorHealth: factor must be positive");
   const util::TimePoint now = clock_.now();
-  std::shared_lock lock(*mutex_);
   std::vector<SensorHealth> out;
-  for (const auto& id : sensorIdsLocked()) {
-    const SensorMeta& meta = sensors_.at(id);
+  for (const auto& id : store_->sensorIds()) {
+    const auto meta = store_->sensorMeta(id);
+    const auto activity = store_->activity(id);
+    if (!meta || !activity) continue;  // deregistered between the two loads
     SensorHealth h;
     h.sensorId = id;
-    h.sensorType = meta.sensorType;
-    auto actIt = activity_.find(id);
-    if (actIt != activity_.end() && actIt->second.lastReading) {
-      h.readingCount = actIt->second.readingCount;
-      h.lastReadingAge = now - *actIt->second.lastReading;
+    h.sensorType = meta->sensorType;
+    if (activity->lastReading) {
+      h.readingCount = activity->readingCount;
+      h.lastReadingAge = now - *activity->lastReading;
       auto threshold = util::Duration{static_cast<std::int64_t>(
-          static_cast<double>(meta.quality.ttl.count()) * silenceFactor)};
+          static_cast<double>(meta->quality.ttl.count()) * silenceFactor)};
       h.silent = *h.lastReadingAge > threshold;
     } else {
       h.readingCount = 0;
@@ -283,235 +261,70 @@ std::vector<SpatialDatabase::SensorHealth> SpatialDatabase::sensorHealth(
   return out;
 }
 
-void SpatialDatabase::refreshNextExpiryLocked(const util::MobileObjectId& id,
-                                              ObjectEpoch& state) const {
-  state.nextExpiry = util::TimePoint::max();
-  auto it = readings_.find(id);
-  if (it == readings_.end()) return;
-  const util::TimePoint now = clock_.now();
-  for (const auto& [sensorId, slot] : it->second) {
-    auto metaIt = sensors_.find(sensorId);
-    if (metaIt == sensors_.end()) continue;
-    const util::TimePoint boundary = expiryInstant(slot.reading, metaIt->second);
-    // Already-expired readings never expire "again"; only pending boundaries
-    // schedule an epoch bump.
-    if (boundary > now) state.nextExpiry = std::min(state.nextExpiry, boundary);
-  }
-}
-
 void SpatialDatabase::insertReading(SensorReading reading) {
   require(!reading.mobileObjectId.empty(), "SpatialDatabase::insertReading: empty mobile object");
-  SensorReading universeReading;
-  {
-    std::unique_lock lock(*mutex_);
-    auto metaIt = sensors_.find(reading.sensorId);
-    if (metaIt == sensors_.end()) {
-      throw NotFoundError("SpatialDatabase::insertReading: unregistered sensor '" +
-                          reading.sensorId.str() + "'");
+
+  // Convert into the universe frame (§4.1.2 step 1: common format). The
+  // FrameTree is set up before concurrent operation, so no lock is needed.
+  const std::string frameName = frameFor(reading.globPrefix);
+  const std::string& root = frames_.rootName();
+  if (frameName != root) {
+    reading.location = frames_.convert(frameName, root, reading.location);
+    if (reading.symbolicRegion) {
+      reading.symbolicRegion = frames_.convertRect(frameName, root, *reading.symbolicRegion);
     }
-
-    // Convert into the universe frame (§4.1.2 step 1: common format).
-    const std::string frameName = frameFor(reading.globPrefix);
-    const std::string& root = frames_.rootName();
-    if (frameName != root) {
-      reading.location = frames_.convert(frameName, root, reading.location);
-      if (reading.symbolicRegion) {
-        reading.symbolicRegion = frames_.convertRect(frameName, root, *reading.symbolicRegion);
-      }
-      reading.globPrefix = root;
-    }
-
-    // A first reading brings a new member into the tracked population.
-    if (!readings_.contains(reading.mobileObjectId)) ++catalogEpoch_;
-    auto& perSensor = readings_[reading.mobileObjectId];
-    bool moving = false;
-    if (auto prev = perSensor.find(reading.sensorId); prev != perSensor.end()) {
-      // Rule-1 input (§4.1.2 case 3): "a moving rectangle implies that the
-      // person is carrying a location device". The region moved if its center
-      // shifted by more than a hair since the sensor's previous report.
-      moving =
-          geo::distance(prev->second.reading.rect().center(), reading.rect().center()) > 1e-6;
-    }
-    ReadingSlot slot{reading, moving};
-    perSensor[reading.sensorId] = std::move(slot);
-
-    auto& ring = history_[reading.mobileObjectId];
-    ring.push_back(reading);
-    while (ring.size() > historyCapacity_) ring.pop_front();
-
-    auto& act = activity_[reading.sensorId];
-    ++act.readingCount;
-    act.lastReading = reading.detectionTime;
-
-    ObjectEpoch& epoch = epochs_[reading.mobileObjectId];
-    ++epoch.epoch;
-    epoch.nextExpiry =
-        std::min(epoch.nextExpiry, expiryInstant(reading, metaIt->second));
-
-    reindexMobileBoxLocked(reading.mobileObjectId);
-    universeReading = std::move(reading);
+    reading.globPrefix = root;
   }
-  // Triggers fire outside the write lock so their callbacks may reenter the
+
+  // The append touches only the object's own stripe — never the catalog
+  // lock — so concurrent inserts on different objects scale across cores.
+  const ReadingStore::AppendResult result = store_->append(reading);
+  // A first reading brings a new member into the tracked population.
+  if (result.newObject) store_->bumpCatalogEpoch();
+
+  // Triggers fire outside every lock so their callbacks may reenter the
   // database (and so concurrent shards never serialize on user code).
-  fireTriggers(universeReading);
+  fireTriggers(reading);
 }
 
 std::vector<SpatialDatabase::StoredReading> SpatialDatabase::readingsFor(
     const util::MobileObjectId& id) const {
-  const util::TimePoint now = clock_.now();
-  std::shared_lock lock(*mutex_);
-  std::vector<StoredReading> out;
-  auto it = readings_.find(id);
-  if (it == readings_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [sensorId, slot] : it->second) {
-    auto metaIt = sensors_.find(sensorId);
-    if (metaIt == sensors_.end()) continue;
-    util::Duration age = now - slot.reading.detectionTime;
-    if (metaIt->second.quality.expiredAt(age)) continue;
-    out.push_back(StoredReading{slot.reading, slot.moving});
-  }
-  return out;
+  return store_->freshReadings(id);
 }
 
 std::uint64_t SpatialDatabase::readingsEpoch(const util::MobileObjectId& id) const {
-  const util::TimePoint now = clock_.now();
-  {
-    std::shared_lock lock(*mutex_);
-    auto it = epochs_.find(id);
-    if (it == epochs_.end()) return metaEpoch_;
-    if (now < it->second.nextExpiry) return metaEpoch_ + it->second.epoch;
-  }
-  // A TTL boundary has been crossed: bump the epoch under the write lock so
-  // cached fusion states keyed on the old value are invalidated exactly once.
-  std::unique_lock lock(*mutex_);
-  auto it = epochs_.find(id);
-  if (it == epochs_.end()) return metaEpoch_;
-  if (now >= it->second.nextExpiry) {
-    ++it->second.epoch;
-    refreshNextExpiryLocked(id, it->second);
-  }
-  return metaEpoch_ + it->second.epoch;
+  return store_->epochOf(id);
 }
 
-std::uint64_t SpatialDatabase::catalogEpoch() const {
-  std::shared_lock lock(*mutex_);
-  return catalogEpoch_;
-}
-
-void SpatialDatabase::reindexMobileBoxLocked(const util::MobileObjectId& id) {
-  auto slotIt = mobileSlotIndex_.find(id);
-  std::size_t slot;
-  if (slotIt == mobileSlotIndex_.end()) {
-    slot = mobileSlots_.size();
-    mobileSlots_.push_back(id);
-    mobileBoxes_.push_back(geo::Rect{});
-    mobileSlotIndex_.emplace(id, slot);
-  } else {
-    slot = slotIt->second;
-  }
-
-  geo::Rect box;
-  auto readingsIt = readings_.find(id);
-  if (readingsIt != readings_.end()) {
-    for (const auto& [sensorId, stored] : readingsIt->second) {
-      box = box.unionWith(stored.reading.rect());
-    }
-  }
-  // Degenerate evidence (a single exact-point reading) still needs a
-  // non-empty box for the index, mirroring addObject.
-  if (!box.empty() && box.area() == 0) box = box.inflated(1e-6);
-
-  if (!mobileBoxes_[slot].empty()) {
-    readingTree_.remove(mobileBoxes_[slot], static_cast<std::uint64_t>(slot));
-  }
-  if (!box.empty()) readingTree_.insert(box, static_cast<std::uint64_t>(slot));
-  mobileBoxes_[slot] = box;
-}
+std::uint64_t SpatialDatabase::catalogEpoch() const { return store_->catalogEpoch(); }
 
 std::vector<util::MobileObjectId> SpatialDatabase::mobileObjectsIntersecting(
     const geo::Rect& universeRect) const {
-  std::shared_lock lock(*mutex_);
-  std::vector<util::MobileObjectId> out;
-  readingTree_.search(universeRect, [&](const std::uint64_t& slot) {
-    out.push_back(mobileSlots_[static_cast<std::size_t>(slot)]);
-  });
-  return out;
+  return store_->objectsIntersecting(universeRect);
 }
 
 std::vector<util::MobileObjectId> SpatialDatabase::knownMobileObjects() const {
-  std::shared_lock lock(*mutex_);
-  std::vector<util::MobileObjectId> out;
-  out.reserve(readings_.size());
-  for (const auto& [id, _] : readings_) out.push_back(id);
-  std::sort(out.begin(), out.end());
-  return out;
+  return store_->knownObjects();
 }
 
 std::vector<SensorReading> SpatialDatabase::history(const util::MobileObjectId& id,
                                                     util::Duration window) const {
-  const util::TimePoint cutoff = clock_.now() - window;
-  std::shared_lock lock(*mutex_);
-  std::vector<SensorReading> out;
-  auto it = history_.find(id);
-  if (it == history_.end()) return out;
-  for (const auto& reading : it->second) {
-    if (reading.detectionTime >= cutoff) out.push_back(reading);
-  }
-  std::sort(out.begin(), out.end(), [](const SensorReading& a, const SensorReading& b) {
-    return a.detectionTime < b.detectionTime;
-  });
-  return out;
+  return store_->history(id, window);
 }
 
 void SpatialDatabase::setHistoryCapacity(std::size_t perObject) {
-  require(perObject >= 1, "SpatialDatabase::setHistoryCapacity: capacity must be >= 1");
-  std::unique_lock lock(*mutex_);
-  historyCapacity_ = perObject;
-  for (auto& [_, ring] : history_) {
-    while (ring.size() > historyCapacity_) ring.pop_front();
-  }
+  store_->setHistoryCapacity(perObject);
 }
 
 void SpatialDatabase::purgeExpired() {
-  const util::TimePoint now = clock_.now();
-  std::unique_lock lock(*mutex_);
-  for (auto& [objectId, perSensor] : readings_) {
-    std::size_t before = perSensor.size();
-    std::erase_if(perSensor, [&](const auto& entry) {
-      auto metaIt = sensors_.find(entry.first);
-      if (metaIt == sensors_.end()) return true;
-      return metaIt->second.quality.expiredAt(now - entry.second.reading.detectionTime);
-    });
-    if (perSensor.size() != before) {
-      ObjectEpoch& epoch = epochs_[objectId];
-      ++epoch.epoch;
-      refreshNextExpiryLocked(objectId, epoch);
-    }
-  }
-  std::size_t beforeObjects = readings_.size();
-  std::erase_if(readings_, [](const auto& entry) { return entry.second.empty(); });
-  if (readings_.size() != beforeObjects) ++catalogEpoch_;
-  // Shrink evidence boxes to the surviving readings (iterates every slot, not
-  // just the purged ones — purge is the explicit slow-path maintenance call).
-  for (const auto& id : mobileSlots_) reindexMobileBoxLocked(id);
+  if (store_->purgeExpired() > 0) store_->bumpCatalogEpoch();
 }
 
 void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
                                      const util::SensorId& sensor) {
-  std::unique_lock lock(*mutex_);
-  auto it = readings_.find(object);
-  if (it == readings_.end()) return;
-  if (it->second.erase(sensor) > 0) {
-    ObjectEpoch& epoch = epochs_[object];
-    ++epoch.epoch;
-    refreshNextExpiryLocked(object, epoch);
-  }
-  if (it->second.empty()) {
-    readings_.erase(it);
-    ++catalogEpoch_;
-  }
-  reindexMobileBoxLocked(object);
+  bool disappeared = false;
+  store_->expireReadings(object, sensor, disappeared);
+  if (disappeared) store_->bumpCatalogEpoch();
 }
 
 // --- triggers --------------------------------------------------------------------
@@ -519,7 +332,7 @@ void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
 util::TriggerId SpatialDatabase::createTrigger(TriggerSpec spec) {
   require(!spec.region.empty(), "SpatialDatabase::createTrigger: empty region");
   require(static_cast<bool>(spec.callback), "SpatialDatabase::createTrigger: null callback");
-  std::unique_lock lock(*mutex_);
+  std::unique_lock lock(*triggersMutex_);
   util::TriggerId id = triggerIds_.next();
   triggerTree_.insert(spec.region, id.value());
   triggers_.emplace(id, std::move(spec));
@@ -527,7 +340,7 @@ util::TriggerId SpatialDatabase::createTrigger(TriggerSpec spec) {
 }
 
 bool SpatialDatabase::dropTrigger(util::TriggerId id) {
-  std::unique_lock lock(*mutex_);
+  std::unique_lock lock(*triggersMutex_);
   auto it = triggers_.find(id);
   if (it == triggers_.end()) return false;
   triggerTree_.remove(it->second.region, id.value());
@@ -536,17 +349,17 @@ bool SpatialDatabase::dropTrigger(util::TriggerId id) {
 }
 
 std::size_t SpatialDatabase::triggerCount() const {
-  std::shared_lock lock(*mutex_);
+  std::shared_lock lock(*triggersMutex_);
   return triggers_.size();
 }
 
 void SpatialDatabase::fireTriggers(const SensorReading& universeReading) {
   geo::Rect box = universeReading.rect();
-  // Match under the shared lock, invoke outside it: callbacks are user code
-  // and must be free to call back into the database.
+  // Match under the shared trigger lock, invoke outside it: callbacks are
+  // user code and must be free to call back into the database.
   std::vector<std::pair<std::function<void(const TriggerEvent&)>, TriggerEvent>> toFire;
   {
-    std::shared_lock lock(*mutex_);
+    std::shared_lock lock(*triggersMutex_);
     triggerTree_.search(box, [&](const std::uint64_t& raw) {
       util::TriggerId id{raw};
       auto it = triggers_.find(id);

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -25,6 +24,7 @@
 #include "geometry/rect.hpp"
 #include "geometry/rtree.hpp"
 #include "glob/frame.hpp"
+#include "spatialdb/reading_store.hpp"
 #include "spatialdb/sensor.hpp"
 #include "spatialdb/types.hpp"
 #include "util/clock.hpp"
@@ -48,12 +48,25 @@ struct TriggerSpec {
   std::function<void(const TriggerEvent&)> callback;
 };
 
-/// Thread-safety: reads and writes are guarded by one reader/writer lock, so
-/// pull queries run concurrently with each other and serialize only against
-/// ingest. Exceptions, documented per method: the FrameTree accessors return
-/// unguarded references (frames are set up before concurrent operation), and
-/// trigger callbacks run OUTSIDE the lock — they may reenter the database,
-/// and a callback may still fire once after dropTrigger() returns.
+/// Thread-safety: the database is split into three independently
+/// synchronized parts, so a long catalog operation can never stall sensor
+/// ingest:
+///
+///   1. the static catalog (spatial-object table + its R-tree) behind one
+///      reader/writer lock — mutators exclusive, const queries shared;
+///   2. the trigger table behind its own reader/writer lock (trigger
+///      matching is on the ingest hot path, so it must not serialize with
+///      catalog writers);
+///   3. the sensor readings + sensor metadata in a striped `ReadingStore`
+///      (see reading_store.hpp): concurrent insertReading calls on
+///      different objects never contend, and readers pin epoch-published
+///      immutable snapshots under a per-object slot lock held only for the
+///      pointer copy.
+///
+/// The FrameTree accessors return unguarded references (frames are set up
+/// before concurrent operation), and trigger callbacks run OUTSIDE every
+/// lock — they may reenter the database, and a callback may still fire once
+/// after dropTrigger() returns.
 class SpatialDatabase {
  public:
   /// `universe` is the MBR of the whole modeled world in root-frame
@@ -140,15 +153,15 @@ class SpatialDatabase {
   /// `moving` attribute from the sensor's previous report, stores it as the
   /// sensor's latest observation of that mobile object, and fires matching
   /// triggers synchronously. Throws NotFoundError for unregistered sensors.
+  /// Lock-free with respect to the catalog: appends go to the reading
+  /// store's stripes, so concurrent inserts on different objects never
+  /// contend and catalog writers never stall ingest.
   void insertReading(SensorReading reading);
 
   /// Fresh (non-expired) readings about one mobile object, one per sensor,
   /// already converted into the universe frame, plus their derived motion
   /// flags (used by conflict-resolution rule 1, §4.1.2).
-  struct StoredReading {
-    SensorReading reading;  ///< universe frame
-    bool moving = false;    ///< sensor's region moved since its prior report
-  };
+  using StoredReading = ReadingStore::StoredReading;
   [[nodiscard]] std::vector<StoredReading> readingsFor(const util::MobileObjectId& id) const;
 
   /// The object's *readings epoch*: a monotonically increasing counter that
@@ -172,12 +185,13 @@ class SpatialDatabase {
   [[nodiscard]] std::vector<util::MobileObjectId> knownMobileObjects() const;
 
   /// Mobile objects with at least one stored reading whose MBR intersects
-  /// `universeRect` — one R-tree pass over per-object evidence boxes, the
-  /// candidate-discovery primitive for region population queries. The
-  /// indexed box is the union of the object's stored reading rects and is
-  /// only recomputed on insert/expiry, so it is a conservative superset
-  /// while readings age out lazily: discovery can over-approximate but
-  /// never misses an object with fresh evidence in the region.
+  /// `universeRect` — one pass over the store's published per-object
+  /// evidence boxes, the candidate-discovery primitive for region
+  /// population queries. The box is the union of the object's stored
+  /// reading rects and is only recomputed on insert/expiry, so it is a
+  /// conservative superset while readings age out lazily: discovery can
+  /// over-approximate but never misses an object with fresh evidence in the
+  /// region.
   [[nodiscard]] std::vector<util::MobileObjectId> mobileObjectsIntersecting(
       const geo::Rect& universeRect) const;
 
@@ -189,7 +203,9 @@ class SpatialDatabase {
   [[nodiscard]] std::vector<SensorReading> history(const util::MobileObjectId& id,
                                                    util::Duration window) const;
   void setHistoryCapacity(std::size_t perObject);
-  [[nodiscard]] std::size_t historyCapacity() const noexcept { return historyCapacity_; }
+  [[nodiscard]] std::size_t historyCapacity() const noexcept {
+    return store_->historyCapacity();
+  }
 
   /// Drops expired readings eagerly (they are also filtered lazily on read).
   void purgeExpired();
@@ -200,6 +216,17 @@ class SpatialDatabase {
   /// expire immediately."
   void expireReadings(const util::MobileObjectId& object, const util::SensorId& sensor);
 
+  // --- reading-store stats ----------------------------------------------------
+
+  /// Inserts that contended with another writer on the same object.
+  [[nodiscard]] std::uint64_t readingWriterContentions() const noexcept {
+    return store_->writerContentions();
+  }
+  /// readingsEpoch calls that raced another thread's lazy TTL bump.
+  [[nodiscard]] std::uint64_t readingSnapshotRetries() const noexcept {
+    return store_->snapshotRetries();
+  }
+
   // --- triggers (§5.3) --------------------------------------------------------
 
   util::TriggerId createTrigger(TriggerSpec spec);
@@ -207,40 +234,24 @@ class SpatialDatabase {
   [[nodiscard]] std::size_t triggerCount() const;
 
  private:
-  struct ReadingSlot {
-    SensorReading reading;  // universe frame
-    bool moving = false;
-  };
-
-  /// Per-object epoch state. `nextExpiry` is the first instant at which some
-  /// currently fresh reading of the object outlives its TTL (TimePoint::max
-  /// when nothing is pending); crossing it lazily bumps `epoch`.
-  struct ObjectEpoch {
-    std::uint64_t epoch = 0;
-    util::TimePoint nextExpiry = util::TimePoint::max();
-  };
-
   [[nodiscard]] static std::string objectKey(const std::string& prefix,
                                              const util::SpatialObjectId& id);
   void fireTriggers(const SensorReading& universeReading);
   [[nodiscard]] bool rowContains(const SpatialObjectRow& row, geo::Point2 universePoint) const;
   [[nodiscard]] std::optional<SpatialObjectRow> objectLocked(
       const std::string& globPrefix, const util::SpatialObjectId& id) const;
-  [[nodiscard]] std::vector<util::SensorId> sensorIdsLocked() const;
-  /// Recomputes epochs_[id].nextExpiry from the stored readings (lock held).
-  void refreshNextExpiryLocked(const util::MobileObjectId& id, ObjectEpoch& state) const;
-  /// Re-indexes the object's evidence box in the readings R-tree from its
-  /// current stored readings (write lock held).
-  void reindexMobileBoxLocked(const util::MobileObjectId& id);
+  /// The single epoch-bump path for sensor-table changes: register and
+  /// deregister both go through here, so the meta epoch (every object's
+  /// reported readings epoch) and the catalog epoch can never drift apart.
+  void noteSensorTableChanged();
 
   const util::Clock& clock_;
   geo::Rect universe_;
   glob::FrameTree frames_;
 
-  /// One reader/writer lock over all tables (behind unique_ptr so the
-  /// database stays movable for snapshot restore). Mutators take it
-  /// exclusively; const queries take it shared. Lazy TTL-epoch bumps are the
-  /// one place a const method upgrades to the exclusive lock.
+  /// Catalog lock: the spatial-object table and its R-tree only (behind
+  /// unique_ptr so the database stays movable for snapshot restore).
+  /// Mutators take it exclusively; const queries take it shared.
   mutable std::unique_ptr<std::shared_mutex> mutex_;
 
   // Object storage: stable slots + tombstones so R-tree handles stay valid.
@@ -249,32 +260,15 @@ class SpatialDatabase {
   geo::RTree<std::uint64_t> objectTree_;
   std::size_t liveObjects_ = 0;
 
-  std::unordered_map<util::SensorId, SensorMeta> sensors_;
-  struct SensorActivity {
-    std::size_t readingCount = 0;
-    std::optional<util::TimePoint> lastReading;
-  };
-  std::unordered_map<util::SensorId, SensorActivity> activity_;
-  // mobile object -> (sensor -> latest reading)
-  std::unordered_map<util::MobileObjectId, std::unordered_map<util::SensorId, ReadingSlot>>
-      readings_;
-  // mobile object -> readings epoch (mutable: lazily bumped on TTL expiry)
-  mutable std::unordered_map<util::MobileObjectId, ObjectEpoch> epochs_;
-  // bumped on sensor (re)registration; added into every object's epoch
-  std::uint64_t metaEpoch_ = 0;
-  // structural version for cross-object caches (see catalogEpoch())
-  std::uint64_t catalogEpoch_ = 0;
+  /// Sensor readings, sensor metadata, per-object epochs, evidence boxes and
+  /// history rings — everything the ingest hot path touches (see
+  /// reading_store.hpp). Also hosts the atomic catalog epoch so the
+  /// database stays movable.
+  std::unique_ptr<ReadingStore> store_;
 
-  // Evidence index: per-object union MBR of stored readings, R-tree keyed by
-  // a stable slot (slots are never reused for a different object).
-  geo::RTree<std::uint64_t> readingTree_;
-  std::vector<util::MobileObjectId> mobileSlots_;  // slot -> object id
-  std::unordered_map<util::MobileObjectId, std::size_t> mobileSlotIndex_;
-  std::vector<geo::Rect> mobileBoxes_;  // slot -> indexed box (empty = not indexed)
-  // mobile object -> recent readings, oldest first (ring of historyCapacity_)
-  std::unordered_map<util::MobileObjectId, std::deque<SensorReading>> history_;
-  std::size_t historyCapacity_ = 256;
-
+  /// Trigger lock: the trigger table and its R-tree. Separate from the
+  /// catalog lock because trigger matching runs on every insertReading.
+  mutable std::unique_ptr<std::shared_mutex> triggersMutex_;
   util::IdSequencer<util::TriggerId> triggerIds_;
   std::unordered_map<util::TriggerId, TriggerSpec> triggers_;
   geo::RTree<std::uint64_t> triggerTree_;

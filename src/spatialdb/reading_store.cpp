@@ -1,0 +1,424 @@
+#include "spatialdb/reading_store.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "geometry/point.hpp"
+#include "util/error.hpp"
+
+namespace mw::db {
+
+using mw::util::NotFoundError;
+using mw::util::require;
+
+namespace {
+/// First instant at which a reading of age 0 at `detectionTime` outlives
+/// `ttl` (expiredAt tests age > ttl, so the boundary is one tick past).
+util::TimePoint expiryInstant(const SensorReading& reading, const SensorMeta& meta) {
+  return reading.detectionTime + meta.quality.ttl + util::Duration{1};
+}
+}  // namespace
+
+ReadingStore::ReadingStore(const util::Clock& clock, std::size_t stripes) : clock_(clock) {
+  require(stripes >= 1, "ReadingStore: stripe count must be >= 1");
+  stripes_.reserve(stripes);
+  for (std::size_t i = 0; i < stripes; ++i) stripes_.push_back(std::make_unique<Stripe>());
+}
+
+// --- sensor-metadata table ----------------------------------------------------
+
+void ReadingStore::publishSensor(SensorMeta meta) {
+  std::lock_guard lock(metaWriteMutex_);
+  auto next = std::make_shared<MetaTable>(*loadMetas());
+  auto it = next->find(meta.sensorId);
+  if (it != next->end()) {
+    it->second.meta = std::move(meta);  // recalibration keeps the activity row
+  } else {
+    util::SensorId id = meta.sensorId;
+    next->emplace(std::move(id),
+                  SensorEntry{std::move(meta), std::make_shared<ActivityCell>()});
+  }
+  MetaTablePtr pub = std::move(next);
+  {
+    std::unique_lock slot(metaSlotMutex_);
+    metas_.swap(pub);
+  }  // the previous table's refcount drops after unlock
+}
+
+bool ReadingStore::retireSensor(const util::SensorId& id) {
+  std::lock_guard lock(metaWriteMutex_);
+  MetaTablePtr cur = loadMetas();
+  if (!cur->contains(id)) return false;
+  auto next = std::make_shared<MetaTable>(*cur);
+  next->erase(id);
+  MetaTablePtr pub = std::move(next);
+  {
+    std::unique_lock slot(metaSlotMutex_);
+    metas_.swap(pub);
+  }
+  return true;
+}
+
+std::optional<SensorMeta> ReadingStore::sensorMeta(const util::SensorId& id) const {
+  MetaTablePtr metas = loadMetas();
+  auto it = metas->find(id);
+  if (it == metas->end()) return std::nullopt;
+  return it->second.meta;
+}
+
+std::vector<util::SensorId> ReadingStore::sensorIds() const {
+  MetaTablePtr metas = loadMetas();
+  std::vector<util::SensorId> out;
+  out.reserve(metas->size());
+  for (const auto& [id, _] : *metas) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ReadingStore::sensorCount() const {
+  return loadMetas()->size();
+}
+
+std::optional<ReadingStore::SensorActivity> ReadingStore::activity(
+    const util::SensorId& id) const {
+  MetaTablePtr metas = loadMetas();
+  auto it = metas->find(id);
+  if (it == metas->end()) return std::nullopt;
+  SensorActivity out;
+  out.readingCount =
+      static_cast<std::size_t>(it->second.cell->readingCount.load(std::memory_order_relaxed));
+  const util::Duration::rep last = it->second.cell->lastReadingMs.load(std::memory_order_relaxed);
+  if (last != ActivityCell::kNoReading) {
+    out.lastReading = util::TimePoint{util::Duration{last}};
+  }
+  return out;
+}
+
+void ReadingStore::noteSensorTableChanged() {
+  metaEpoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Calibration/TTL changes reschedule every object's pending expiry under
+  // the new table; epochs need no per-object bump because metaEpoch is added
+  // into every reported value.
+  MetaTablePtr metas = loadMetas();
+  const util::TimePoint now = clock_.now();
+  for (const auto& stripe : stripes_) {
+    std::vector<ObjectLog*> logs;
+    {
+      std::shared_lock lock(stripe->mapMutex);
+      logs.reserve(stripe->logs.size());
+      for (const auto& [_, log] : stripe->logs) logs.push_back(log.get());
+    }
+    for (ObjectLog* log : logs) {
+      std::lock_guard lock(log->writeMutex);
+      SnapshotPtr cur = loadSnap(*log);
+      const util::TimePoint boundary = nextExpiryOf(cur->readings, *metas, now);
+      if (boundary == cur->nextExpiry) continue;
+      auto next = std::make_shared<Snapshot>(*cur);
+      next->nextExpiry = boundary;
+      storeSnap(*log, std::move(next));
+    }
+  }
+}
+
+// --- internals ----------------------------------------------------------------
+
+ReadingStore::SnapshotPtr ReadingStore::loadSnap(const ObjectLog& log) {
+  std::shared_lock lock(log.snapMutex);
+  return log.snap;
+}
+
+void ReadingStore::storeSnap(ObjectLog& log, SnapshotPtr next) {
+  {
+    std::unique_lock lock(log.snapMutex);
+    log.snap.swap(next);
+  }
+  // `next` now holds the previous snapshot; its refcount drops (and the
+  // snapshot possibly frees) outside the slot lock.
+}
+
+ReadingStore::MetaTablePtr ReadingStore::loadMetas() const {
+  std::shared_lock lock(metaSlotMutex_);
+  return metas_;
+}
+
+ReadingStore::Stripe& ReadingStore::stripeFor(const util::MobileObjectId& id) const {
+  const std::size_t h = std::hash<std::string>{}(id.str());
+  return *stripes_[h % stripes_.size()];
+}
+
+ReadingStore::ObjectLog* ReadingStore::findLog(const util::MobileObjectId& id) const {
+  Stripe& stripe = stripeFor(id);
+  std::shared_lock lock(stripe.mapMutex);
+  auto it = stripe.logs.find(id);
+  return it == stripe.logs.end() ? nullptr : it->second.get();
+}
+
+ReadingStore::ObjectLog& ReadingStore::obtainLog(const util::MobileObjectId& id) {
+  Stripe& stripe = stripeFor(id);
+  {
+    std::shared_lock lock(stripe.mapMutex);
+    auto it = stripe.logs.find(id);
+    if (it != stripe.logs.end()) return *it->second;
+  }
+  std::unique_lock lock(stripe.mapMutex);
+  auto& slot = stripe.logs[id];
+  if (!slot) slot = std::make_unique<ObjectLog>();
+  return *slot;
+}
+
+std::unique_lock<std::mutex> ReadingStore::lockWriter(ObjectLog& log) const {
+  std::unique_lock lock(log.writeMutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    writerContentions_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+geo::Rect ReadingStore::unionBox(
+    const std::vector<std::pair<util::SensorId, StoredReading>>& readings) {
+  geo::Rect box;
+  for (const auto& [_, stored] : readings) box = box.unionWith(stored.reading.rect());
+  // Degenerate evidence (a single exact-point reading) still needs a
+  // non-empty box for intersection tests, mirroring the object table.
+  if (!box.empty() && box.area() == 0) box = box.inflated(1e-6);
+  return box;
+}
+
+util::TimePoint ReadingStore::nextExpiryOf(
+    const std::vector<std::pair<util::SensorId, StoredReading>>& readings,
+    const MetaTable& metas, util::TimePoint now) {
+  util::TimePoint next = util::TimePoint::max();
+  for (const auto& [sensorId, stored] : readings) {
+    auto it = metas.find(sensorId);
+    if (it == metas.end()) continue;
+    const util::TimePoint boundary = expiryInstant(stored.reading, it->second.meta);
+    if (boundary > now) next = std::min(next, boundary);
+  }
+  return next;
+}
+
+// --- appends ------------------------------------------------------------------
+
+ReadingStore::AppendResult ReadingStore::append(const SensorReading& universeReading) {
+  MetaTablePtr metas = loadMetas();
+  auto metaIt = metas->find(universeReading.sensorId);
+  if (metaIt == metas->end()) {
+    throw NotFoundError("SpatialDatabase::insertReading: unregistered sensor '" +
+                        universeReading.sensorId.str() + "'");
+  }
+  const SensorMeta& meta = metaIt->second.meta;
+
+  ObjectLog& log = obtainLog(universeReading.mobileObjectId);
+  std::unique_lock lock = lockWriter(log);
+  SnapshotPtr old = loadSnap(log);
+  const bool newObject = old->readings.empty();
+
+  auto next = std::make_shared<Snapshot>();
+  next->readings.reserve(old->readings.size() + 1);
+  bool moving = false;
+  // Freshest report first: conflict resolution ranks candidate regions by
+  // probability, and when time-decay leaves two readings tied the earlier
+  // input wins — the published behaviour is that the most recent evidence
+  // breaks such ties.
+  next->readings.emplace_back(universeReading.sensorId, StoredReading{universeReading, false});
+  for (const auto& entry : old->readings) {
+    if (entry.first == universeReading.sensorId) {
+      // Rule-1 input (§4.1.2 case 3): the region moved if its center shifted
+      // by more than a hair since the sensor's previous report.
+      moving = geo::distance(entry.second.reading.rect().center(),
+                             universeReading.rect().center()) > 1e-6;
+      continue;  // replaced by the fresh report above
+    }
+    next->readings.push_back(entry);
+  }
+  next->readings.front().second.moving = moving;
+  next->epoch = old->epoch + 1;
+  next->nextExpiry = std::min(old->nextExpiry, expiryInstant(universeReading, meta));
+  next->box = unionBox(next->readings);
+
+  log.historyRing.push_back(universeReading);
+  const std::size_t capacity = historyCapacity_.load(std::memory_order_relaxed);
+  while (log.historyRing.size() > capacity) log.historyRing.pop_front();
+
+  ActivityCell& cell = *metaIt->second.cell;
+  cell.readingCount.fetch_add(1, std::memory_order_relaxed);
+  cell.lastReadingMs.store(universeReading.detectionTime.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+
+  storeSnap(log, std::move(next));
+  return AppendResult{newObject};
+}
+
+// --- snapshot reads -----------------------------------------------------------
+
+std::vector<ReadingStore::StoredReading> ReadingStore::freshReadings(
+    const util::MobileObjectId& id) const {
+  std::vector<StoredReading> out;
+  const ObjectLog* log = findLog(id);
+  if (log == nullptr) return out;
+  MetaTablePtr metas = loadMetas();
+  SnapshotPtr snap = loadSnap(*log);
+  const util::TimePoint now = clock_.now();
+  out.reserve(snap->readings.size());
+  for (const auto& [sensorId, stored] : snap->readings) {
+    auto metaIt = metas->find(sensorId);
+    if (metaIt == metas->end()) continue;  // deregistered: invisible immediately
+    if (metaIt->second.meta.quality.expiredAt(now - stored.reading.detectionTime)) continue;
+    out.push_back(stored);
+  }
+  return out;
+}
+
+std::uint64_t ReadingStore::epochOf(const util::MobileObjectId& id) const {
+  const std::uint64_t metaEpoch = metaEpoch_.load(std::memory_order_acquire);
+  ObjectLog* log = findLog(id);
+  if (log == nullptr) return metaEpoch;
+  SnapshotPtr snap = loadSnap(*log);
+  const util::TimePoint now = clock_.now();
+  if (now < snap->nextExpiry) return metaEpoch + snap->epoch;
+
+  // A TTL boundary has been crossed: publish the bump under the object's
+  // writer lock so cached fusion states keyed on the old value are
+  // invalidated exactly once.
+  std::lock_guard lock(log->writeMutex);
+  SnapshotPtr cur = loadSnap(*log);
+  if (now < cur->nextExpiry) {
+    // Another thread advanced the snapshot while we waited for the lock.
+    snapshotRetries_.fetch_add(1, std::memory_order_relaxed);
+    return metaEpoch + cur->epoch;
+  }
+  MetaTablePtr metas = loadMetas();
+  auto next = std::make_shared<Snapshot>(*cur);
+  next->epoch = cur->epoch + 1;
+  next->nextExpiry = nextExpiryOf(next->readings, *metas, now);
+  const std::uint64_t result = metaEpoch + next->epoch;
+  storeSnap(*log, std::move(next));
+  return result;
+}
+
+std::vector<util::MobileObjectId> ReadingStore::knownObjects() const {
+  std::vector<util::MobileObjectId> out;
+  for (const auto& stripe : stripes_) {
+    std::shared_lock lock(stripe->mapMutex);
+    for (const auto& [id, log] : stripe->logs) {
+      if (!loadSnap(*log)->readings.empty()) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<util::MobileObjectId> ReadingStore::objectsIntersecting(
+    const geo::Rect& universeRect) const {
+  std::vector<util::MobileObjectId> out;
+  for (const auto& stripe : stripes_) {
+    std::shared_lock lock(stripe->mapMutex);
+    for (const auto& [id, log] : stripe->logs) {
+      SnapshotPtr snap = loadSnap(*log);
+      if (!snap->box.empty() && snap->box.intersects(universeRect)) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<SensorReading> ReadingStore::history(const util::MobileObjectId& id,
+                                                 util::Duration window) const {
+  const util::TimePoint cutoff = clock_.now() - window;
+  std::vector<SensorReading> out;
+  ObjectLog* log = findLog(id);
+  if (log == nullptr) return out;
+  {
+    std::lock_guard lock(log->writeMutex);
+    for (const auto& reading : log->historyRing) {
+      if (reading.detectionTime >= cutoff) out.push_back(reading);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const SensorReading& a, const SensorReading& b) {
+    return a.detectionTime < b.detectionTime;
+  });
+  return out;
+}
+
+void ReadingStore::setHistoryCapacity(std::size_t perObject) {
+  require(perObject >= 1, "SpatialDatabase::setHistoryCapacity: capacity must be >= 1");
+  historyCapacity_.store(perObject, std::memory_order_relaxed);
+  for (const auto& stripe : stripes_) {
+    std::vector<ObjectLog*> logs;
+    {
+      std::shared_lock lock(stripe->mapMutex);
+      logs.reserve(stripe->logs.size());
+      for (const auto& [_, log] : stripe->logs) logs.push_back(log.get());
+    }
+    for (ObjectLog* log : logs) {
+      std::lock_guard lock(log->writeMutex);
+      while (log->historyRing.size() > perObject) log->historyRing.pop_front();
+    }
+  }
+}
+
+// --- maintenance --------------------------------------------------------------
+
+std::size_t ReadingStore::purgeExpired() {
+  MetaTablePtr metas = loadMetas();
+  const util::TimePoint now = clock_.now();
+  std::size_t disappeared = 0;
+  for (const auto& stripe : stripes_) {
+    std::vector<ObjectLog*> logs;
+    {
+      std::shared_lock lock(stripe->mapMutex);
+      logs.reserve(stripe->logs.size());
+      for (const auto& [_, log] : stripe->logs) logs.push_back(log.get());
+    }
+    for (ObjectLog* log : logs) {
+      std::lock_guard lock(log->writeMutex);
+      SnapshotPtr cur = loadSnap(*log);
+      if (cur->readings.empty()) continue;
+      auto next = std::make_shared<Snapshot>();
+      next->readings.reserve(cur->readings.size());
+      for (const auto& entry : cur->readings) {
+        auto metaIt = metas->find(entry.first);
+        if (metaIt == metas->end()) continue;  // orphaned by deregistration
+        if (metaIt->second.meta.quality.expiredAt(now - entry.second.reading.detectionTime)) {
+          continue;
+        }
+        next->readings.push_back(entry);
+      }
+      if (next->readings.size() == cur->readings.size()) continue;
+      next->epoch = cur->epoch + 1;
+      next->box = unionBox(next->readings);
+      next->nextExpiry = nextExpiryOf(next->readings, *metas, now);
+      if (next->readings.empty()) ++disappeared;
+      storeSnap(*log, std::move(next));
+    }
+  }
+  return disappeared;
+}
+
+bool ReadingStore::expireReadings(const util::MobileObjectId& object,
+                                  const util::SensorId& sensor, bool& objectDisappeared) {
+  objectDisappeared = false;
+  ObjectLog* log = findLog(object);
+  if (log == nullptr) return false;
+  std::lock_guard lock(log->writeMutex);
+  SnapshotPtr cur = loadSnap(*log);
+  auto it = std::find_if(cur->readings.begin(), cur->readings.end(),
+                         [&](const auto& entry) { return entry.first == sensor; });
+  if (it == cur->readings.end()) return false;
+  auto next = std::make_shared<Snapshot>();
+  next->readings.reserve(cur->readings.size() - 1);
+  for (const auto& entry : cur->readings) {
+    if (entry.first != sensor) next->readings.push_back(entry);
+  }
+  next->epoch = cur->epoch + 1;
+  next->box = unionBox(next->readings);
+  MetaTablePtr metas = loadMetas();
+  next->nextExpiry = nextExpiryOf(next->readings, *metas, clock_.now());
+  objectDisappeared = next->readings.empty();
+  storeSnap(*log, std::move(next));
+  return true;
+}
+
+}  // namespace mw::db
