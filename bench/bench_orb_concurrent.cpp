@@ -1,0 +1,207 @@
+// Concurrent MicroOrb serving path: multi-client mixed read/ingest workload
+// and wire-batched ingest over TCP loopback. Lane count 0 is the historical
+// single-threaded POA (inline on the reader thread); 1 and 4 exercise the
+// dispatcher. Batch size 1 is the per-reading ingestAsync baseline the
+// BatchingIngestClient has to beat. p50/p99 call latencies and the server's
+// serving-path stats land in the JSON counters; "hardware_concurrency" in
+// the context makes the lane curve interpretable per host.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/location_service.hpp"
+#include "core/remote.hpp"
+#include "orb/rpc.hpp"
+#include "orb/tcp.hpp"
+#include "quality/error_model.hpp"
+#include "spatialdb/database.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+
+namespace {
+
+/// The serving stack assembled by hand (instead of core::Middlewhere) so the
+/// lane count is a benchmark axis.
+struct ServerFixture {
+  util::VirtualClock clock;
+  db::SpatialDatabase database;
+  core::LocationService service;
+  orb::RpcServer server;
+  std::unique_ptr<orb::TcpListener> listener;
+
+  explicit ServerFixture(std::size_t lanes)
+      : database(clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC"),
+        service(clock, database) {
+    db::SpatialObjectRow room;
+    room.id = util::SpatialObjectId{"roomA"};
+    room.globPrefix = "SC";
+    room.objectType = db::ObjectType::Room;
+    room.geometryType = db::GeometryType::Polygon;
+    room.points = {{0, 0}, {40, 0}, {40, 40}, {0, 40}};
+    database.addObject(room);
+
+    db::SensorMeta ubi;
+    ubi.sensorId = util::SensorId{"ubi-1"};
+    ubi.sensorType = "Ubisense";
+    ubi.errorSpec = quality::ubisenseSpec(1.0);
+    ubi.scaleMisidentifyByArea = true;
+    ubi.quality.ttl = util::minutes(10);
+    database.registerSensor(ubi);
+
+    core::exposeLocationService(server, service);
+    if (lanes > 0) server.enableDispatcher(lanes);
+    listener = std::make_unique<orb::TcpListener>(
+        0, [this](std::shared_ptr<orb::Transport> t) { server.serve(std::move(t)); });
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return listener->port(); }
+
+  db::SensorReading makeReading(const std::string& object, geo::Point2 where) const {
+    db::SensorReading r;
+    r.sensorId = util::SensorId{"ubi-1"};
+    r.sensorType = "Ubisense";
+    r.mobileObjectId = util::MobileObjectId{object};
+    r.location = where;
+    r.detectionRadius = 0.5;
+    r.detectionTime = clock.now();
+    return r;
+  }
+
+  /// Spins until `expected` readings have been accepted (oneway traffic).
+  void drainTo(std::uint64_t expected) const {
+    while (service.ingestedReadings() < expected) std::this_thread::yield();
+  }
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void exportServerStats(benchmark::State& state, const ServerFixture& f) {
+  const auto stats = f.server.stats();
+  state.counters["dispatched_requests"] = static_cast<double>(stats.dispatchedRequests);
+  state.counters["inline_requests"] = static_cast<double>(stats.inlineRequests);
+  state.counters["undecodable_frames"] = static_cast<double>(stats.undecodableFrames);
+  state.counters["unknown_method_errors"] = static_cast<double>(stats.unknownMethodErrors);
+  state.counters["oneway_exceptions"] = static_cast<double>(stats.onewayExceptions);
+}
+
+}  // namespace
+
+// Mixed workload: half the client threads issue blocking pull queries
+// (locate/probabilityInRegion), half push readings (blocking ingest, so every
+// op is a measured round trip). Arg = executor lanes; 0 = inline POA.
+static void BM_MixedRemoteWorkload(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  ServerFixture f(lanes);
+
+  constexpr int kThreads = 4;  // 2 readers + 2 ingesters
+  constexpr int kOpsPerThread = 64;
+  std::vector<double> latenciesUs;
+
+  for (auto _ : state) {
+    std::vector<std::vector<double>> perThread(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&f, &perThread, t] {
+        core::RemoteLocationClient client(
+            std::make_shared<orb::RpcClient>(orb::tcpConnect("127.0.0.1", f.port())));
+        const bool reader = (t % 2 == 0);
+        const std::string object = "p" + std::to_string(t / 2);
+        auto& lat = perThread[static_cast<std::size_t>(t)];
+        lat.reserve(kOpsPerThread);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          const auto start = std::chrono::steady_clock::now();
+          if (reader) {
+            if (i % 2 == 0) {
+              benchmark::DoNotOptimize(client.locate(util::MobileObjectId{object}));
+            } else {
+              benchmark::DoNotOptimize(client.probabilityInRegion(
+                  util::MobileObjectId{object}, geo::Rect::fromOrigin({0, 0}, 40, 40)));
+            }
+          } else {
+            client.ingest(f.makeReading(object, {5.0 + t, 5.0 + (i % 30)}));
+          }
+          const auto stop = std::chrono::steady_clock::now();
+          lat.push_back(std::chrono::duration<double, std::micro>(stop - start).count());
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (auto& lat : perThread) {
+      latenciesUs.insert(latenciesUs.end(), lat.begin(), lat.end());
+    }
+  }
+
+  std::sort(latenciesUs.begin(), latenciesUs.end());
+  state.counters["p50_us"] = percentile(latenciesUs, 0.50);
+  state.counters["p99_us"] = percentile(latenciesUs, 0.99);
+  exportServerStats(state, f);
+  state.SetItemsProcessed(state.iterations() * kThreads * kOpsPerThread);
+  state.SetLabel(std::to_string(lanes) + " lanes");
+}
+BENCHMARK(BM_MixedRemoteWorkload)->Arg(0)->Arg(1)->Arg(4)->UseRealTime();
+
+// End-to-end ingest throughput: readings pushed over the wire until the
+// service has processed all of them. Batch size 1 sends one oneway frame per
+// reading (the ingestAsync path); larger sizes coalesce through the
+// BatchingIngestClient into single "ingestBatch" frames.
+static void BM_RemoteIngestBatched(benchmark::State& state) {
+  const auto batchSize = static_cast<std::size_t>(state.range(0));
+  ServerFixture f(4);
+  core::RemoteLocationClient client(
+      std::make_shared<orb::RpcClient>(orb::tcpConnect("127.0.0.1", f.port())));
+
+  constexpr std::uint64_t kReadings = 1024;
+  util::Rng rng{7};
+  std::vector<db::SensorReading> readings;
+  readings.reserve(kReadings);
+  for (std::uint64_t i = 0; i < kReadings; ++i) {
+    readings.push_back(f.makeReading("p" + std::to_string(i % 16),
+                                     {rng.uniform(1, 39), rng.uniform(1, 39)}));
+  }
+
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    if (batchSize <= 1) {
+      for (const auto& r : readings) client.ingestAsync(r);
+    } else {
+      auto rpc = std::make_shared<orb::RpcClient>(orb::tcpConnect("127.0.0.1", f.port()));
+      core::BatchingIngestClient::Options opts;
+      opts.maxBatch = batchSize;
+      opts.maxDelay = util::msec(50);
+      core::BatchingIngestClient batcher(rpc, opts);
+      for (const auto& r : readings) batcher.ingest(r);
+      batcher.flush();
+    }
+    sent += kReadings;
+    f.drainTo(sent);  // throughput includes server-side processing
+  }
+
+  exportServerStats(state, f);
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+  state.SetLabel(batchSize <= 1 ? "per-reading ingestAsync"
+                                : "batch " + std::to_string(batchSize));
+}
+BENCHMARK(BM_RemoteIngestBatched)->Arg(1)->Arg(16)->Arg(64)->Arg(256)->UseRealTime();
+
+// Custom main: record the host's core count next to the lane curve.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("hardware_concurrency",
+                              std::to_string(std::thread::hardware_concurrency()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #   BENCH_query_latency.json  — cached/uncached/concurrent query latency
 #   BENCH_ingest.json         — sharded batch-ingest throughput
 #   BENCH_region_poll.json    — region population cache repolling
+#   BENCH_orb.json            — concurrent ORB serving path + wire batches
 #
 # Usage: scripts/bench_json.sh [build-dir] [out-dir]
 # Or via CMake: cmake --build build --target bench_json
@@ -25,3 +26,4 @@ run() {
 run "$BUILD_DIR/bench/bench_query_latency" "$OUT_DIR/BENCH_query_latency.json"
 run "$BUILD_DIR/bench/bench_ingest_parallel" "$OUT_DIR/BENCH_ingest.json"
 run "$BUILD_DIR/bench/bench_region_poll" "$OUT_DIR/BENCH_region_poll.json"
+run "$BUILD_DIR/bench/bench_orb_concurrent" "$OUT_DIR/BENCH_orb.json"

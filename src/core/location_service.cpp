@@ -27,7 +27,10 @@ LocationService::LocationService(const util::Clock& clock, db::SpatialDatabase& 
 
 // --- ingestion --------------------------------------------------------------------
 
-void LocationService::ingest(const db::SensorReading& reading) { ingestOne(reading); }
+void LocationService::ingest(const db::SensorReading& reading) {
+  ingestOne(reading);
+  ingestedReadings_.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::vector<SubscriptionId> LocationService::takePendingEvaluations(
     const MobileObjectId& object) {
@@ -80,6 +83,8 @@ void LocationService::ingestOne(const db::SensorReading& reading) {
 
 void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
   if (readings.empty()) return;
+  ingestedBatches_.fetch_add(1, std::memory_order_relaxed);
+  ingestedReadings_.fetch_add(readings.size(), std::memory_order_relaxed);
   const std::size_t shardCount = std::min<std::size_t>(shards_, readings.size());
   if (shardCount <= 1) {
     for (const auto& reading : readings) ingestOne(reading);

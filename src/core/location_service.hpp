@@ -116,6 +116,17 @@ class LocationService {
     return db_.readingSnapshotRetries();
   }
 
+  /// Readings accepted through ingest() and ingestBatch() combined — the
+  /// drain marker remote benches and batching clients poll to know when
+  /// oneway traffic has actually been processed.
+  [[nodiscard]] std::uint64_t ingestedReadings() const noexcept {
+    return ingestedReadings_.load(std::memory_order_relaxed);
+  }
+  /// ingestBatch() calls accepted (wire batches land here one call each).
+  [[nodiscard]] std::uint64_t ingestedBatches() const noexcept {
+    return ingestedBatches_.load(std::memory_order_relaxed);
+  }
+
   // --- fusion cache ------------------------------------------------------------
 
   /// Repeated queries and subscription evaluations for an object reuse one
@@ -464,6 +475,9 @@ class LocationService {
   std::unique_ptr<util::WorkerPool> pool_;
   std::size_t shards_;
   mutable std::atomic<std::uint64_t> poolRecreations_{0};
+
+  std::atomic<std::uint64_t> ingestedReadings_{0};
+  std::atomic<std::uint64_t> ingestedBatches_{0};
 };
 
 }  // namespace mw::core

@@ -1,13 +1,22 @@
 #include "core/middlewhere.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "orb/transport.hpp"
 
 namespace mw::core {
+
+std::size_t Middlewhere::defaultDispatchLanes() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 2 : hw, 2, 8);
+}
 
 Middlewhere::Middlewhere(const util::Clock& clock, geo::Rect universe, glob::FrameTree frames)
     : clock_(clock), db_(clock, universe, std::move(frames)) {
   service_ = std::make_unique<LocationService>(clock_, db_);
   exposeLocationService(rpcServer_, *service_);
+  rpcServer_.enableDispatcher(defaultDispatchLanes());
 }
 
 Middlewhere::Middlewhere(const util::Clock& clock, geo::Rect universe,
@@ -15,6 +24,7 @@ Middlewhere::Middlewhere(const util::Clock& clock, geo::Rect universe,
     : clock_(clock), db_(clock, universe, rootFrame) {
   service_ = std::make_unique<LocationService>(clock_, db_);
   exposeLocationService(rpcServer_, *service_);
+  rpcServer_.enableDispatcher(defaultDispatchLanes());
 }
 
 std::uint16_t Middlewhere::listen(std::uint16_t port) {

@@ -28,6 +28,15 @@ class Middlewhere {
   [[nodiscard]] LocationService& locationService() noexcept { return *service_; }
   [[nodiscard]] ServiceRegistry& registry() noexcept { return registry_; }
   [[nodiscard]] const util::Clock& clock() const noexcept { return clock_; }
+  /// The MicroOrb endpoint (serving stats, dispatcher control). The
+  /// dispatcher is enabled at construction with defaultDispatchLanes(), so
+  /// remote requests run concurrently off the transport reader threads;
+  /// rpcServer().enableDispatcher(0) restores the paper's single-threaded
+  /// POA behavior per connection.
+  [[nodiscard]] orb::RpcServer& rpcServer() noexcept { return rpcServer_; }
+
+  /// Executor lanes used by default: 2..8, scaled to the host's core count.
+  [[nodiscard]] static std::size_t defaultDispatchLanes();
 
   /// Exposes the Location Service over TCP loopback; returns the bound port.
   /// Clients connect with connectRemote().

@@ -1,6 +1,7 @@
 #include "core/remote.hpp"
 
-#include <mutex>
+#include <string>
+#include <utility>
 
 #include "core/codec.hpp"
 #include "util/error.hpp"
@@ -36,54 +37,99 @@ Notification decodeNotification(const Bytes& payload) {
   return n;
 }
 
+Bytes encodeReadingBatch(std::span<const db::SensorReading> readings) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(readings.size()));
+  for (const auto& reading : readings) encodeReading(w, reading);
+  return w.take();
+}
+
+std::vector<db::SensorReading> decodeReadingBatch(const Bytes& payload) {
+  ByteReader r(payload);
+  std::vector<db::SensorReading> readings;
+  const std::uint32_t count = r.u32();
+  readings.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) readings.push_back(decodeReading(r));
+  return readings;
+}
+
+/// Lane rule for "ingest": hash(object), skipping the three string fields
+/// that precede mobileObjectId on the wire (codec.cpp layout). Same object
+/// => same lane => the object's readings keep their relative order across
+/// however many connections feed the server — the in-process per-object
+/// shard invariant, enforced at the transport layer.
+std::size_t readingObjectLane(const Bytes& payload, std::uintptr_t /*connection*/) {
+  ByteReader r(payload);
+  r.str();  // sensorId
+  r.str();  // globPrefix
+  r.str();  // sensorType
+  return std::hash<std::string>{}(r.str());
+}
+
 }  // namespace
 
 void exposeLocationService(orb::RpcServer& server, LocationService& service) {
-  // One mutex serializes all service access: requests can arrive on several
-  // transports' reader threads concurrently, and the LocationService (like
-  // the spatial database under it) is single-threaded by design.
-  auto gate = std::make_shared<std::mutex>();
+  // No gate: the LocationService is thread-safe (see remote.hpp). Ordering
+  // is preserved where it matters by lane routing, not by serialization.
+  server.registerMethod(
+      "ingest",
+      [&service](const Bytes& args) -> Bytes {
+        ByteReader r(args);
+        db::SensorReading reading = decodeReading(r);
+        service.ingest(reading);
+        return {};
+      },
+      readingObjectLane);
 
-  server.registerMethod("ingest", [&service, gate](const Bytes& args) -> Bytes {
-    ByteReader r(args);
-    db::SensorReading reading = decodeReading(r);
-    std::lock_guard lock(*gate);
-    service.ingest(reading);
+  // Batches ride the connection lane (the dispatcher default): one adapter's
+  // batches stay FIFO relative to each other, and the service's own sharded
+  // ingestBatch preserves per-object order inside each batch.
+  server.registerMethod("ingestBatch", [&service](const Bytes& args) -> Bytes {
+    std::vector<db::SensorReading> readings = decodeReadingBatch(args);
+    service.ingestBatch(readings);
     return {};
   });
 
-  server.registerMethod("locate", [&service, gate](const Bytes& args) -> Bytes {
-    ByteReader r(args);
-    util::MobileObjectId object{r.str()};
-    ByteWriter w;
-    std::lock_guard lock(*gate);
-    auto est = service.locateObject(object);
-    w.boolean(est.has_value());
-    if (est) encodeEstimate(w, *est);
-    return w.take();
-  });
+  server.registerMethod(
+      "locate",
+      [&service](const Bytes& args) -> Bytes {
+        ByteReader r(args);
+        util::MobileObjectId object{r.str()};
+        ByteWriter w;
+        auto est = service.locateObject(object);
+        w.boolean(est.has_value());
+        if (est) encodeEstimate(w, *est);
+        return w.take();
+      },
+      orb::RpcServer::roundRobinLanes());
 
-  server.registerMethod("locateSymbolic", [&service, gate](const Bytes& args) -> Bytes {
-    ByteReader r(args);
-    util::MobileObjectId object{r.str()};
-    std::lock_guard lock(*gate);
-    auto symbolic = service.locateSymbolic(object);
-    ByteWriter w;
-    w.str(symbolic ? symbolic->str() : "");
-    return w.take();
-  });
+  server.registerMethod(
+      "locateSymbolic",
+      [&service](const Bytes& args) -> Bytes {
+        ByteReader r(args);
+        util::MobileObjectId object{r.str()};
+        auto symbolic = service.locateSymbolic(object);
+        ByteWriter w;
+        w.str(symbolic ? symbolic->str() : "");
+        return w.take();
+      },
+      orb::RpcServer::roundRobinLanes());
 
-  server.registerMethod("probabilityInRegion", [&service, gate](const Bytes& args) -> Bytes {
-    ByteReader r(args);
-    util::MobileObjectId object{r.str()};
-    geo::Rect region = decodeRect(r);
-    ByteWriter w;
-    std::lock_guard lock(*gate);
-    w.f64(service.probabilityInRegion(object, region));
-    return w.take();
-  });
+  server.registerMethod(
+      "probabilityInRegion",
+      [&service](const Bytes& args) -> Bytes {
+        ByteReader r(args);
+        util::MobileObjectId object{r.str()};
+        geo::Rect region = decodeRect(r);
+        ByteWriter w;
+        w.f64(service.probabilityInRegion(object, region));
+        return w.take();
+      },
+      orb::RpcServer::roundRobinLanes());
 
-  server.registerMethod("subscribe", [&service, &server, gate](const Bytes& args) -> Bytes {
+  // subscribe/unsubscribe keep the connection lane: a client that
+  // unsubscribes right after subscribing must see the two execute in order.
+  server.registerMethod("subscribe", [&service, &server](const Bytes& args) -> Bytes {
     ByteReader r(args);
     Subscription sub;
     sub.region = decodeRect(r);
@@ -94,18 +140,16 @@ void exposeLocationService(orb::RpcServer& server, LocationService& service) {
     sub.callback = [&server](const Notification& n) {
       server.publish("notify." + std::to_string(n.id.value()), encodeNotification(n));
     };
-    std::lock_guard lock(*gate);
     util::SubscriptionId id = service.subscribe(std::move(sub));
     ByteWriter w;
     w.u64(id.value());
     return w.take();
   });
 
-  server.registerMethod("unsubscribe", [&service, gate](const Bytes& args) -> Bytes {
+  server.registerMethod("unsubscribe", [&service](const Bytes& args) -> Bytes {
     ByteReader r(args);
     util::SubscriptionId id{r.u64()};
     ByteWriter w;
-    std::lock_guard lock(*gate);
     w.boolean(service.unsubscribe(id));
     return w.take();
   });
@@ -138,6 +182,16 @@ void RemoteLocationClient::ingestAsync(const db::SensorReading& reading) {
   ByteWriter w;
   encodeReading(w, reading);
   rpc_->notify("ingest", w.take());
+}
+
+void RemoteLocationClient::ingestBatch(std::span<const db::SensorReading> readings) {
+  if (readings.empty()) return;
+  rpc_->call("ingestBatch", encodeReadingBatch(readings));
+}
+
+void RemoteLocationClient::ingestBatchAsync(std::span<const db::SensorReading> readings) {
+  if (readings.empty()) return;
+  rpc_->notify("ingestBatch", encodeReadingBatch(readings));
 }
 
 std::optional<fusion::LocationEstimate> RemoteLocationClient::locate(
@@ -196,6 +250,82 @@ bool RemoteLocationClient::unsubscribe(util::SubscriptionId id) {
   Bytes reply = rpc_->call("unsubscribe", w.take());
   ByteReader r(reply);
   return r.boolean();
+}
+
+// --- BatchingIngestClient ---------------------------------------------------------
+
+BatchingIngestClient::BatchingIngestClient(std::shared_ptr<orb::RpcClient> rpc,
+                                           Options options)
+    : rpc_(std::move(rpc)), options_(options) {
+  mw::util::require(static_cast<bool>(rpc_), "BatchingIngestClient: null rpc client");
+  mw::util::require(options_.maxBatch >= 1, "BatchingIngestClient: maxBatch must be >= 1");
+  buffer_.reserve(options_.maxBatch);
+  flusher_ = std::thread([this] { flusherLoop(); });
+}
+
+BatchingIngestClient::~BatchingIngestClient() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  flusher_.join();
+  // Flush on destruction: whatever is still buffered goes out now.
+  std::lock_guard lock(mutex_);
+  sendLocked();
+}
+
+void BatchingIngestClient::ingest(const db::SensorReading& reading) {
+  std::lock_guard lock(mutex_);
+  buffer_.push_back(reading);
+  if (buffer_.size() >= options_.maxBatch) {
+    sendLocked();
+    return;
+  }
+  if (buffer_.size() == 1) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(options_.maxDelay.count());
+    wake_.notify_all();  // re-arm the flusher's timer
+  }
+}
+
+void BatchingIngestClient::flush() {
+  std::lock_guard lock(mutex_);
+  sendLocked();
+}
+
+void BatchingIngestClient::sendLocked() {
+  if (buffer_.empty()) return;
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(buffer_.size()));
+  for (const auto& reading : buffer_) encodeReading(w, reading);
+  // Sending under the lock serializes batches in buffered order; a size
+  // flush on a producer thread cannot overtake a deadline flush in flight.
+  try {
+    rpc_->notify("ingestBatch", w.take());
+    batchesSent_.fetch_add(1, std::memory_order_relaxed);
+    readingsSent_.fetch_add(buffer_.size(), std::memory_order_relaxed);
+  } catch (const util::TransportError&) {
+    // Oneway semantics on a dead connection: the batch is dropped, like
+    // readings pushed at a restarting service. Callers keep running.
+  }
+  buffer_.clear();
+}
+
+void BatchingIngestClient::flusherLoop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stopping_) return;
+    if (buffer_.empty()) {
+      wake_.wait(lock, [&] { return stopping_ || !buffer_.empty(); });
+      continue;
+    }
+    if (wake_.wait_until(lock, deadline_,
+                         [&] { return stopping_ || buffer_.empty(); })) {
+      continue;  // stopping, or a size/manual flush beat the deadline
+    }
+    sendLocked();  // deadline reached with readings still buffered
+  }
 }
 
 }  // namespace mw::core

@@ -8,25 +8,43 @@
 // exposeLocationService() registers the RPC methods on a server; the
 // RemoteLocationClient is the typed stub applications use. Subscriptions
 // arrive back as MicroOrb events on topic "notify.<subscriptionId>".
+//
+// Concurrency model: the paper's deployment ran a single-threaded CORBA POA,
+// and this layer used to mirror it with one mutex around every method. The
+// LocationService is now thread-safe (reader/writer locks, striped reading
+// store, epoch-stamped caches), so the gate is gone: pull queries call the
+// service directly from whichever thread carries the request, and with
+// RpcServer::enableDispatcher the server fans requests out over executor
+// lanes. Ordering-sensitive methods route deterministically — "ingest" by
+// hash(object) so one object's readings keep their relative order across
+// lanes (the PR-3 shard invariant, lifted to the transport layer), and
+// "ingestBatch" by connection so one adapter's batches stay FIFO — while
+// "locate"/"locateSymbolic"/"probabilityInRegion" spread round-robin so a
+// query storm is never serialized behind ingest traffic.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
+#include <thread>
+#include <vector>
 
 #include "core/location_service.hpp"
 #include "orb/rpc.hpp"
 
 namespace mw::core {
 
-/// Registers the service's methods ("ingest", "locate", "locateSymbolic",
-/// "probabilityInRegion", "subscribe", "unsubscribe") on the RPC server.
+/// Registers the service's methods ("ingest", "ingestBatch", "locate",
+/// "locateSymbolic", "probabilityInRegion", "subscribe", "unsubscribe") on
+/// the RPC server, with the lane routing rules described above.
 /// Subscription notifications are published as events through the server.
-///
-/// The LocationService itself is single-threaded; requests may arrive
-/// concurrently from several transports' reader threads, so every method is
-/// serialized through one internal mutex (the CORBA single-threaded-POA
-/// model the paper's deployment used).
+/// The service must be configured (regions, sensors) before traffic arrives;
+/// enable concurrency with server.enableDispatcher(lanes).
 void exposeLocationService(orb::RpcServer& server, LocationService& service);
 
 /// Typed client stub over an RpcClient connection.
@@ -40,6 +58,14 @@ class RemoteLocationClient {
   /// Oneway variant: returns as soon as the reading is on the wire, without
   /// waiting for the service to process it (high-rate adapters).
   void ingestAsync(const db::SensorReading& reading);
+
+  /// Ships a whole batch as ONE wire frame feeding
+  /// LocationService::ingestBatch — one framing + syscall round trip instead
+  /// of one per reading. Blocks until the server has processed the batch.
+  void ingestBatch(std::span<const db::SensorReading> readings);
+
+  /// Oneway batch: one frame on the wire, no reply awaited.
+  void ingestBatchAsync(std::span<const db::SensorReading> readings);
 
   [[nodiscard]] std::optional<fusion::LocationEstimate> locate(
       const util::MobileObjectId& object);
@@ -61,6 +87,60 @@ class RemoteLocationClient {
   std::shared_ptr<orb::RpcClient> rpc_;
   std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::function<void(const Notification&)>> callbacks_;
+};
+
+/// Adapter-side coalescer: buffers single readings and ships them as oneway
+/// "ingestBatch" frames, cutting per-reading framing + syscall cost for
+/// high-rate adapters. A batch goes on the wire when `maxBatch` readings are
+/// buffered, when `maxDelay` (wall clock — this is wire pacing, not model
+/// time) has elapsed since the first buffered reading, on flush(), and on
+/// destruction. Sends happen under the buffer lock, so readings from any
+/// number of producer threads leave in buffered order. ingest() fits
+/// adapters::LocationAdapter::Sink directly.
+class BatchingIngestClient {
+ public:
+  struct Options {
+    std::size_t maxBatch = 64;
+    util::Duration maxDelay = util::msec(5);
+  };
+
+  explicit BatchingIngestClient(std::shared_ptr<orb::RpcClient> rpc)
+      : BatchingIngestClient(std::move(rpc), Options()) {}
+  BatchingIngestClient(std::shared_ptr<orb::RpcClient> rpc, Options options);
+  ~BatchingIngestClient();
+
+  BatchingIngestClient(const BatchingIngestClient&) = delete;
+  BatchingIngestClient& operator=(const BatchingIngestClient&) = delete;
+
+  /// Buffers one reading; sends a batch when the size threshold is reached.
+  void ingest(const db::SensorReading& reading);
+
+  /// Sends whatever is buffered now.
+  void flush();
+
+  [[nodiscard]] std::uint64_t batchesSent() const noexcept {
+    return batchesSent_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t readingsSent() const noexcept {
+    return readingsSent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Encodes and sends buffer_ (mutex_ held), clearing it.
+  void sendLocked();
+  void flusherLoop();
+
+  std::shared_ptr<orb::RpcClient> rpc_;
+  Options options_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<db::SensorReading> buffer_;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> batchesSent_{0};
+  std::atomic<std::uint64_t> readingsSent_{0};
+  std::thread flusher_;
 };
 
 }  // namespace mw::core

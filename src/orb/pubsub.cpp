@@ -10,30 +10,55 @@ EventBus::SubscriptionToken EventBus::subscribe(const std::string& topic, Handle
   mw::util::require(!topic.empty(), "EventBus::subscribe: empty topic (use subscribeAll)");
   mw::util::require(static_cast<bool>(handler), "EventBus::subscribe: null handler");
   std::lock_guard lock(mutex_);
-  entries_.push_back(Entry{++next_, topic, std::move(handler)});
-  return entries_.back().token;
+  const SubscriptionToken token = ++next_;
+  byTopic_[topic].push_back(Entry{token, std::move(handler)});
+  topicOf_[token] = topic;
+  return token;
 }
 
 EventBus::SubscriptionToken EventBus::subscribeAll(Handler handler) {
   mw::util::require(static_cast<bool>(handler), "EventBus::subscribeAll: null handler");
   std::lock_guard lock(mutex_);
-  entries_.push_back(Entry{++next_, "", std::move(handler)});
-  return entries_.back().token;
+  const SubscriptionToken token = ++next_;
+  wildcards_.push_back(Entry{token, std::move(handler)});
+  topicOf_[token] = "";
+  return token;
 }
 
 bool EventBus::unsubscribe(SubscriptionToken token) {
   std::lock_guard lock(mutex_);
-  auto before = entries_.size();
-  std::erase_if(entries_, [token](const Entry& e) { return e.token == token; });
-  return entries_.size() != before;
+  auto where = topicOf_.find(token);
+  if (where == topicOf_.end()) return false;
+  auto drop = [token](const Entry& e) { return e.token == token; };
+  if (where->second.empty()) {
+    std::erase_if(wildcards_, drop);
+  } else {
+    auto bucket = byTopic_.find(where->second);
+    std::erase_if(bucket->second, drop);
+    if (bucket->second.empty()) byTopic_.erase(bucket);
+  }
+  topicOf_.erase(where);
+  return true;
 }
 
 void EventBus::publish(const std::string& topic, const util::Bytes& payload) {
+  // Merge the topic's bucket with the wildcard list by token so delivery
+  // order stays global subscription order; both lists are token-ascending.
   std::vector<Handler> handlers;
   {
     std::lock_guard lock(mutex_);
-    for (const Entry& e : entries_) {
-      if (e.topic.empty() || e.topic == topic) handlers.push_back(e.handler);
+    auto bucket = byTopic_.find(topic);
+    const std::vector<Entry> empty;
+    const std::vector<Entry>& exact = bucket == byTopic_.end() ? empty : bucket->second;
+    handlers.reserve(exact.size() + wildcards_.size());
+    std::size_t e = 0, w = 0;
+    while (e < exact.size() || w < wildcards_.size()) {
+      if (w == wildcards_.size() ||
+          (e < exact.size() && exact[e].token < wildcards_[w].token)) {
+        handlers.push_back(exact[e++].handler);
+      } else {
+        handlers.push_back(wildcards_[w++].handler);
+      }
     }
   }
   for (const auto& h : handlers) h(topic, payload);
@@ -41,7 +66,7 @@ void EventBus::publish(const std::string& topic, const util::Bytes& payload) {
 
 std::size_t EventBus::subscriberCount() const {
   std::lock_guard lock(mutex_);
-  return entries_.size();
+  return topicOf_.size();
 }
 
 }  // namespace mw::orb

@@ -3,6 +3,12 @@
 // Inside a process, MiddleWhere components decouple through topics (trigger
 // notifications, adapter lifecycle). The bus can be bridged onto the RPC
 // layer by subscribing a forwarder that calls RpcServer::publish.
+//
+// Exact-topic subscriptions are indexed in a hash map (every remote
+// subscription gets its own "notify.<id>" topic, so the exact-topic set
+// grows with the subscriber count); wildcard subscriptions live in a
+// separate list. publish() therefore touches O(matching) entries, not
+// O(subscribers).
 #pragma once
 
 #include <functional>
@@ -29,20 +35,25 @@ class EventBus {
 
   bool unsubscribe(SubscriptionToken token);
 
-  /// Delivers synchronously to all matching handlers, in subscription order.
+  /// Delivers synchronously to all matching handlers, in subscription order
+  /// (exact and wildcard subscriptions interleaved by subscription time).
   void publish(const std::string& topic, const util::Bytes& payload);
 
   [[nodiscard]] std::size_t subscriberCount() const;
 
  private:
   struct Entry {
-    SubscriptionToken token;
-    std::string topic;  // empty = wildcard
+    SubscriptionToken token;  ///< monotonically increasing = subscription order
     Handler handler;
   };
 
   mutable std::mutex mutex_;
-  std::vector<Entry> entries_;
+  /// Exact-topic index; entries within a bucket are token-ordered (appended).
+  std::unordered_map<std::string, std::vector<Entry>> byTopic_;
+  std::vector<Entry> wildcards_;
+  /// token -> topic, so unsubscribe() finds its bucket without a scan
+  /// ("" = wildcard).
+  std::unordered_map<SubscriptionToken, std::string> topicOf_;
   SubscriptionToken next_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "orb/rpc.hpp"
 
 #include <chrono>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -9,11 +10,78 @@ namespace mw::orb {
 using mw::util::MwError;
 using mw::util::TransportError;
 
+namespace {
+
+/// Finalizer of splitmix64. Connection keys are pointer values, whose low
+/// bits are constant under alignment — mixed, they spread evenly over any
+/// lane count.
+std::size_t mixConnectionKey(std::uintptr_t key) {
+  std::uint64_t x = static_cast<std::uint64_t>(key);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+}  // namespace
+
+RpcServer::~RpcServer() {
+  // Join every reader thread first: swap the connection list out under the
+  // lock, then drop the references (TcpTransport's destructor joins its
+  // reader; an in-flight handleFrame completes — and may still enqueue onto
+  // the dispatcher — before that join returns).
+  std::vector<std::shared_ptr<Transport>> conns;
+  {
+    std::lock_guard lock(mutex_);
+    conns.swap(connections_);
+  }
+  conns.clear();
+  // No reader thread is left; drain and join the lanes. Queued requests
+  // still execute (their owners pin the transports), and late frames from
+  // still-open in-process peers fall back to inline execution.
+  std::unique_ptr<util::WorkerPool> lanes;
+  {
+    std::lock_guard lock(mutex_);
+    lanes = std::move(dispatcher_);
+  }
+  lanes.reset();
+}
+
 void RpcServer::registerMethod(const std::string& name, Method method) {
+  registerMethod(name, std::move(method), nullptr);
+}
+
+void RpcServer::registerMethod(const std::string& name, Method method, LaneSelector lane) {
   mw::util::require(!name.empty(), "RpcServer::registerMethod: empty name");
   mw::util::require(static_cast<bool>(method), "RpcServer::registerMethod: null method");
   std::lock_guard lock(mutex_);
-  methods_[name] = std::move(method);
+  methods_[name] = {std::move(method), std::move(lane)};
+}
+
+void RpcServer::enableDispatcher(std::size_t lanes) {
+  std::unique_ptr<util::WorkerPool> old;
+  {
+    std::lock_guard lock(mutex_);
+    old = std::move(dispatcher_);
+    if (lanes > 0) dispatcher_ = std::make_unique<util::WorkerPool>(lanes);
+  }
+  // The old pool drains outside the lock: its queued requests may publish
+  // events, which re-enter the server mutex.
+  old.reset();
+}
+
+std::size_t RpcServer::dispatchLanes() const {
+  std::lock_guard lock(mutex_);
+  return dispatcher_ ? dispatcher_->threadCount() : 0;
+}
+
+RpcServer::LaneSelector RpcServer::roundRobinLanes() {
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  return [next](const util::Bytes&, std::uintptr_t) {
+    return next->fetch_add(1, std::memory_order_relaxed);
+  };
 }
 
 void RpcServer::serve(std::shared_ptr<Transport> transport) {
@@ -21,21 +89,29 @@ void RpcServer::serve(std::shared_ptr<Transport> transport) {
     std::lock_guard lock(mutex_);
     connections_.push_back(transport);
   }
-  // The handler deliberately captures a raw pointer, NOT a shared_ptr: a
-  // transport's own reader thread must never hold (and thus never drop the
-  // last) reference to it, or the destructor would join the thread from
-  // itself. The server's connection list owns the transport, and
-  // ~RpcServer destroys connections_ (joining reader threads) before the
-  // method table, so the raw pointer stays valid for every delivery.
+  // The handler captures a raw pointer for the inline path, NOT a
+  // shared_ptr: a transport's own reader thread must never hold (and thus
+  // never drop the last) reference to it, or the destructor would join the
+  // thread from itself. The connection list owns the transport and
+  // ~RpcServer joins every reader before anything else dies, so the raw
+  // pointer stays valid for every inline delivery. Dispatched requests
+  // instead lock the weak_ptr at enqueue time, pinning the transport until
+  // their lane executes them (a pruned connection's queued requests find
+  // the weak_ptr expired and are dropped).
   Transport* raw = transport.get();
-  transport->onReceive([this, raw](const util::Bytes& frame) { handleFrame(raw, frame); });
+  std::weak_ptr<Transport> weak = transport;
+  transport->onReceive([this, raw, weak = std::move(weak)](const util::Bytes& frame) {
+    handleFrame(raw, weak, frame);
+  });
 }
 
-void RpcServer::handleFrame(Transport* transport, const util::Bytes& frame) {
+void RpcServer::handleFrame(Transport* transport, const std::weak_ptr<Transport>& weak,
+                            const util::Bytes& frame) {
   Message request;
   try {
     request = Message::decode(frame);
   } catch (const MwError&) {
+    undecodableFrames_.fetch_add(1, std::memory_order_relaxed);
     return;  // drop undecodable frames, like an ORB would drop junk
   }
   if (request.type != MessageType::Request) return;
@@ -43,18 +119,51 @@ void RpcServer::handleFrame(Transport* transport, const util::Bytes& frame) {
   Method method;
   {
     std::lock_guard lock(mutex_);
+    LaneSelector* selector = nullptr;
     auto it = methods_.find(request.target);
-    if (it != methods_.end()) method = it->second;
+    if (it != methods_.end()) {
+      method = it->second.first;
+      if (it->second.second) selector = &it->second.second;
+    }
+    if (dispatcher_) {
+      // Decode-and-enqueue path: pick the lane, pin the transport, hand off.
+      const auto connection = reinterpret_cast<std::uintptr_t>(transport);
+      std::size_t lane = mixConnectionKey(connection);
+      if (selector) {
+        try {
+          lane = (*selector)(request.payload, connection);
+        } catch (...) {
+          // Malformed payload: keep the connection default; the method
+          // itself will produce the decode error for the caller.
+        }
+      }
+      std::shared_ptr<Transport> owner = weak.lock();
+      if (!owner) return;  // connection already dismantled
+      dispatchedRequests_.fetch_add(1, std::memory_order_relaxed);
+      dispatcher_->post(lane % dispatcher_->threadCount(),
+                        [this, owner = std::move(owner), request = std::move(request),
+                         method = std::move(method)] { execute(owner.get(), request, method); });
+      return;
+    }
   }
+  // Inline path (no dispatcher): execute on the reader thread, outside the
+  // server lock so methods may publish events.
+  inlineRequests_.fetch_add(1, std::memory_order_relaxed);
+  execute(transport, request, method);
+}
 
+void RpcServer::execute(Transport* transport, const Message& request, const Method& method) {
   // Oneway invocation (requestId 0): execute, send nothing back.
   if (request.requestId == 0) {
-    if (method) {
-      try {
-        method(request.payload);
-      } catch (const std::exception&) {
-        // Oneway semantics: the caller asked not to hear about it.
-      }
+    if (!method) {
+      unknownMethodErrors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    try {
+      method(request.payload);
+    } catch (const std::exception&) {
+      // Oneway semantics: the caller asked not to hear about it.
+      onewayExceptions_.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
@@ -63,6 +172,7 @@ void RpcServer::handleFrame(Transport* transport, const util::Bytes& frame) {
   reply.requestId = request.requestId;
   reply.target = request.target;
   if (!method) {
+    unknownMethodErrors_.fetch_add(1, std::memory_order_relaxed);
     reply.type = MessageType::Error;
     util::ByteWriter w;
     w.str("unknown method: " + request.target);
@@ -110,6 +220,16 @@ void RpcServer::publish(const std::string& topic, const util::Bytes& payload) {
 std::size_t RpcServer::connectionCount() const {
   std::lock_guard lock(mutex_);
   return connections_.size();
+}
+
+RpcServer::Stats RpcServer::stats() const {
+  Stats s;
+  s.undecodableFrames = undecodableFrames_.load(std::memory_order_relaxed);
+  s.unknownMethodErrors = unknownMethodErrors_.load(std::memory_order_relaxed);
+  s.onewayExceptions = onewayExceptions_.load(std::memory_order_relaxed);
+  s.dispatchedRequests = dispatchedRequests_.load(std::memory_order_relaxed);
+  s.inlineRequests = inlineRequests_.load(std::memory_order_relaxed);
+  return s;
 }
 
 RpcClient::RpcClient(std::shared_ptr<Transport> transport) : transport_(std::move(transport)) {

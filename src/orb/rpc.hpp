@@ -1,11 +1,21 @@
 // Request/reply RPC over a Transport, plus asynchronous event delivery.
 //
 // Server side: register named methods, then serve any number of transports.
+// By default a request executes inline on the transport's reader thread (the
+// historical single-threaded behavior). With enableDispatcher(N) the reader
+// threads only decode and enqueue: decoded requests are handed to N executor
+// lanes (a util::WorkerPool), each lane a FIFO, and replies are written back
+// through the owning transport. A per-method LaneSelector chooses the lane —
+// same lane means same execution order, so ordering-sensitive methods (e.g.
+// sensor ingest keyed by object) route deterministically while order-free
+// reads spread round-robin across every lane.
 // Client side: blocking call() with timeout; event handlers for server-push
 // Event messages (trigger notifications, §4.3).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -16,6 +26,7 @@
 #include "orb/message.hpp"
 #include "orb/transport.hpp"
 #include "util/clock.hpp"
+#include "util/worker_pool.hpp"
 
 namespace mw::orb {
 
@@ -25,7 +36,47 @@ class RpcServer {
   /// Exceptions become Error replies carrying the exception text.
   using Method = std::function<util::Bytes(const util::Bytes&)>;
 
+  /// Picks the executor lane for a dispatched request. `connection` is an
+  /// opaque key identifying the transport the request arrived on (stable for
+  /// the connection's lifetime). The returned value is taken modulo the lane
+  /// count. Requests routed to the same lane execute in arrival order; a
+  /// selector that throws falls back to the per-connection default.
+  using LaneSelector =
+      std::function<std::size_t(const util::Bytes& payload, std::uintptr_t connection)>;
+
+  /// Serving-path observability. All counters are cumulative since
+  /// construction; handleFrame used to drop every one of these silently.
+  struct Stats {
+    std::uint64_t undecodableFrames = 0;   ///< junk frames dropped before dispatch
+    std::uint64_t unknownMethodErrors = 0; ///< requests naming no registered method
+    std::uint64_t onewayExceptions = 0;    ///< exceptions swallowed by oneway semantics
+    std::uint64_t dispatchedRequests = 0;  ///< requests executed on a lane
+    std::uint64_t inlineRequests = 0;      ///< requests executed on the reader thread
+  };
+
+  RpcServer() = default;
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
   void registerMethod(const std::string& name, Method method);
+  /// Registers a method with an explicit lane routing rule (used only while
+  /// the dispatcher is enabled).
+  void registerMethod(const std::string& name, Method method, LaneSelector lane);
+
+  /// Switches the serving path from inline execution to `lanes` executor
+  /// threads. Safe to call while serving; passing 0 restores inline
+  /// execution. Methods without a LaneSelector route by connection, so one
+  /// client's pipelined requests keep their order while different clients
+  /// run in parallel.
+  void enableDispatcher(std::size_t lanes);
+  [[nodiscard]] std::size_t dispatchLanes() const;
+
+  /// A selector that spreads requests round-robin over all lanes — for
+  /// thread-safe, order-free methods (pull queries) that should never queue
+  /// behind one another.
+  [[nodiscard]] static LaneSelector roundRobinLanes();
 
   /// Starts serving requests arriving on this transport. The server keeps
   /// the transport alive; events published via publish() go to every served
@@ -37,14 +88,30 @@ class RpcServer {
 
   [[nodiscard]] std::size_t connectionCount() const;
 
+  [[nodiscard]] Stats stats() const;
+
  private:
-  void handleFrame(Transport* transport, const util::Bytes& frame);
+  void handleFrame(Transport* transport, const std::weak_ptr<Transport>& weak,
+                   const util::Bytes& frame);
+  /// Executes one decoded request and writes the reply (two-way) through
+  /// `transport`. Shared by the inline and dispatched paths.
+  void execute(Transport* transport, const Message& request, const Method& method);
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, Method> methods_;
-  /// Owns served transports. Declared last so ~RpcServer tears connections
-  /// down (joining their reader threads) before the method table dies.
+  std::unordered_map<std::string, std::pair<Method, LaneSelector>> methods_;
+  /// Owns served transports. Declared after the method table so ~RpcServer
+  /// tears connections down (joining their reader threads) before the
+  /// method table dies.
   std::vector<std::shared_ptr<Transport>> connections_;
+  /// Executor lanes; null = inline execution. Torn down explicitly by
+  /// ~RpcServer after every reader thread is joined.
+  std::unique_ptr<util::WorkerPool> dispatcher_;
+
+  std::atomic<std::uint64_t> undecodableFrames_{0};
+  std::atomic<std::uint64_t> unknownMethodErrors_{0};
+  std::atomic<std::uint64_t> onewayExceptions_{0};
+  std::atomic<std::uint64_t> dispatchedRequests_{0};
+  std::atomic<std::uint64_t> inlineRequests_{0};
 };
 
 class RpcClient {

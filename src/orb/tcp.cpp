@@ -57,6 +57,7 @@ class TcpTransport final : public Transport {
   ~TcpTransport() override {
     close();
     if (reader_.joinable()) reader_.join();
+    closeFd(fd_);
   }
 
   void send(const util::Bytes& frame) override {
@@ -101,8 +102,9 @@ class TcpTransport final : public Transport {
       dispatch(frame);
     }
     open_.store(false);
-    closeFd(fd_);
-    fd_ = -1;
+    // The fd stays open until destruction: send()/close() on other threads
+    // still read it, and the number must not be recycled by the kernel
+    // while they can. The destructor closes it after joining this thread.
   }
 
   void dispatch(const util::Bytes& frame) {
@@ -118,7 +120,7 @@ class TcpTransport final : public Transport {
     handler(frame);
   }
 
-  int fd_;
+  const int fd_;  ///< immutable while any thread can reach the transport
   std::atomic<bool> open_{true};
   std::mutex sendMutex_;
   std::mutex handlerMutex_;

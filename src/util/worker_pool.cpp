@@ -6,9 +6,10 @@ namespace mw::util {
 
 WorkerPool::WorkerPool(std::size_t threads) {
   require(threads >= 1, "WorkerPool: thread count must be >= 1");
+  lanes_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
   }
 }
 
@@ -36,15 +37,37 @@ void WorkerPool::run(std::vector<std::function<void()>> jobs) {
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
-void WorkerPool::workerLoop() {
+void WorkerPool::post(std::size_t lane, std::function<void()> fn) {
+  require(static_cast<bool>(fn), "WorkerPool::post: null job");
+  {
+    std::lock_guard lock(m_);
+    lanes_[lane % lanes_.size()].push_back(std::move(fn));
+  }
+  wake_.notify_all();
+}
+
+void WorkerPool::workerLoop(std::size_t index) {
   for (;;) {
+    std::function<void()> laneJob;
     Task task;
     {
       std::unique_lock lock(m_);
-      wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      wake_.wait(lock, [&] {
+        return stopping_ || !queue_.empty() || !lanes_[index].empty();
+      });
+      if (!lanes_[index].empty()) {
+        laneJob = std::move(lanes_[index].front());
+        lanes_[index].pop_front();
+      } else if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        return;  // stopping_ and both queues drained
+      }
+    }
+    if (laneJob) {
+      laneJob();  // posted jobs must not throw (see header)
+      continue;
     }
     std::exception_ptr error;
     try {

@@ -1,6 +1,7 @@
 // Fixed-size worker pool used by the Location Service's sharded batch
-// ingest. Deliberately minimal: a bounded set of threads created once,
-// fed from a single queue, with batch-scoped completion waiting — the
+// ingest and the MicroOrb's request dispatcher. Deliberately minimal: a
+// bounded set of threads created once, fed from a shared batch queue plus
+// one FIFO lane per worker, with batch-scoped completion waiting — the
 // building block the ROADMAP's "millions of users" ingest fan-out needs
 // without dragging in an async framework.
 #pragma once
@@ -32,6 +33,14 @@ class WorkerPool {
   /// the batch is rethrown here (after the whole batch has drained).
   void run(std::vector<std::function<void()>> jobs);
 
+  /// Asynchronous lane-pinned submission: `fn` runs on worker
+  /// `lane % threadCount()`, after every job previously posted to that lane
+  /// (FIFO per lane, no ordering across lanes). Returns as soon as the job
+  /// is enqueued; jobs already posted when the destructor runs are drained
+  /// before the threads exit. Posted jobs must not throw — there is no
+  /// caller left to rethrow to, so an escaping exception terminates.
+  void post(std::size_t lane, std::function<void()> fn);
+
  private:
   /// Completion state shared by the jobs of one run() call.
   struct Batch {
@@ -46,11 +55,14 @@ class WorkerPool {
     std::shared_ptr<Batch> batch;
   };
 
-  void workerLoop();
+  void workerLoop(std::size_t index);
 
   std::mutex m_;
   std::condition_variable wake_;
   std::deque<Task> queue_;
+  /// One FIFO per worker for post(); drained before the shared batch queue
+  /// so a lane never reorders behind batch work it did not submit.
+  std::vector<std::deque<std::function<void()>>> lanes_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

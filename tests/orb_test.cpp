@@ -3,7 +3,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
+#include <numeric>
 #include <thread>
+#include <vector>
 
 #include "orb/message.hpp"
 #include "orb/pubsub.hpp"
@@ -277,6 +281,166 @@ TEST(TcpTest, ConnectToClosedPortThrows) {
   EXPECT_THROW(tcpConnect("127.0.0.1", port), util::TransportError);
 }
 
+// --- serving stats ----------------------------------------------------------------
+
+TEST(RpcStatsTest, CountsUndecodableFrames) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.serve(serverSide);
+  clientSide->send({0xde, 0xad, 0xbe, 0xef});  // not a Message frame
+  clientSide->send({0x01});
+  EXPECT_EQ(server.stats().undecodableFrames, 2u);
+}
+
+TEST(RpcStatsTest, CountsUnknownMethodErrors) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  EXPECT_THROW(client.call("nope", {}), util::MwError);
+  client.notify("also-nope", {});
+  EXPECT_EQ(server.stats().unknownMethodErrors, 2u);
+}
+
+TEST(RpcStatsTest, CountsSwallowedOnewayExceptions) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.registerMethod("boom", [](const Bytes&) -> Bytes {
+    throw std::runtime_error("kapow");
+  });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  client.notify("boom", {});
+  client.notify("boom", {});
+  EXPECT_EQ(server.stats().onewayExceptions, 2u);
+  // Two-way errors travel back to the caller instead of being counted here.
+  EXPECT_THROW(client.call("boom", {}), util::MwError);
+  EXPECT_EQ(server.stats().onewayExceptions, 2u);
+}
+
+TEST(RpcStatsTest, SplitsInlineFromDispatchedRequests) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.registerMethod("echo", [](const Bytes& in) { return in; });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  client.call("echo", {1});
+  EXPECT_EQ(server.stats().inlineRequests, 1u);
+  EXPECT_EQ(server.stats().dispatchedRequests, 0u);
+  server.enableDispatcher(2);
+  client.call("echo", {2});
+  EXPECT_EQ(server.stats().inlineRequests, 1u);
+  EXPECT_EQ(server.stats().dispatchedRequests, 1u);
+}
+
+// --- dispatcher -------------------------------------------------------------------
+
+TEST(RpcDispatcherTest, ExecutesOffTheReaderThread) {
+  // With an in-proc transport the "reader thread" is the caller itself; a
+  // dispatched request must therefore run on some other thread.
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.enableDispatcher(2);
+  EXPECT_EQ(server.dispatchLanes(), 2u);
+  std::thread::id executedOn;
+  server.registerMethod("who", [&](const Bytes&) -> Bytes {
+    executedOn = std::this_thread::get_id();
+    return {};
+  });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  client.call("who", {});
+  EXPECT_NE(executedOn, std::this_thread::get_id());
+}
+
+TEST(RpcDispatcherTest, SlowLaneDoesNotStallOtherLane) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.enableDispatcher(2);
+  std::promise<void> release;
+  std::shared_future<void> released = release.get_future().share();
+  server.registerMethod(
+      "slow",
+      [released](const Bytes&) -> Bytes {
+        released.wait();
+        return {};
+      },
+      [](const Bytes&, std::uintptr_t) { return std::size_t{0}; });
+  server.registerMethod(
+      "fast", [](const Bytes& in) { return in; },
+      [](const Bytes&, std::uintptr_t) { return std::size_t{1}; });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+
+  std::thread blocked([&] { client.call("slow", {}, util::sec(30)); });
+  // While lane 0 is parked inside "slow", lane 1 still serves "fast".
+  EXPECT_EQ(client.call("fast", {7}), Bytes{7});
+  release.set_value();
+  blocked.join();
+}
+
+TEST(RpcDispatcherTest, SameLanePreservesRequestOrder) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.enableDispatcher(4);
+  std::mutex m;
+  std::vector<std::uint32_t> seen;
+  server.registerMethod(
+      "append",
+      [&](const Bytes& in) -> Bytes {
+        ByteReader r(in);
+        std::lock_guard lock(m);
+        seen.push_back(r.u32());
+        return {};
+      },
+      [](const Bytes&, std::uintptr_t) { return std::size_t{0}; });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    ByteWriter w;
+    w.u32(i);
+    client.notify("append", w.take());
+  }
+  server.enableDispatcher(0);  // drains the old lanes before returning
+  std::vector<std::uint32_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(RpcDispatcherTest, DisablingRestoresInlineExecution) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  server.enableDispatcher(2);
+  server.enableDispatcher(0);
+  EXPECT_EQ(server.dispatchLanes(), 0u);
+  std::thread::id executedOn;
+  server.registerMethod("who", [&](const Bytes&) -> Bytes {
+    executedOn = std::this_thread::get_id();
+    return {};
+  });
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+  client.call("who", {});
+  EXPECT_EQ(executedOn, std::this_thread::get_id());
+}
+
+TEST(RpcDispatcherTest, ServerDestructionDrainsQueuedOnewayRequests) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  std::atomic<int> hits{0};
+  {
+    RpcServer server;
+    server.enableDispatcher(2);
+    server.registerMethod("ingest", [&](const Bytes&) -> Bytes {
+      hits.fetch_add(1);
+      return {};
+    });
+    server.serve(serverSide);
+    RpcClient client(clientSide);
+    for (int i = 0; i < 32; ++i) client.notify("ingest", {});
+  }
+  EXPECT_EQ(hits.load(), 32);
+}
+
 // --- event bus --------------------------------------------------------------------
 
 TEST(EventBusTest, TopicFiltering) {
@@ -309,6 +473,53 @@ TEST(EventBusTest, Unsubscribe) {
   EXPECT_FALSE(bus.unsubscribe(token));
   bus.publish("t", {});
   EXPECT_EQ(n, 1);
+  EXPECT_EQ(bus.subscriberCount(), 0u);
+}
+
+TEST(EventBusTest, ExactAndWildcardInterleaveInSubscriptionOrder) {
+  // The exact-topic index must not reorder delivery relative to wildcard
+  // subscribers registered in between.
+  EventBus bus;
+  std::vector<int> order;
+  bus.subscribe("t", [&](const std::string&, const Bytes&) { order.push_back(1); });
+  bus.subscribeAll([&](const std::string&, const Bytes&) { order.push_back(2); });
+  bus.subscribe("t", [&](const std::string&, const Bytes&) { order.push_back(3); });
+  bus.subscribe("other", [&](const std::string&, const Bytes&) { order.push_back(99); });
+  bus.subscribeAll([&](const std::string&, const Bytes&) { order.push_back(4); });
+  bus.publish("t", {});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventBusTest, ManyTopicsFanOutOnlyToMatches) {
+  // With the per-topic index, publish touches the matching bucket only; the
+  // observable contract is that no handler for another topic ever fires.
+  EventBus bus;
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 64; ++i) {
+    bus.subscribe("topic." + std::to_string(i), [&counts, i](const std::string&, const Bytes&) {
+      ++counts[static_cast<std::size_t>(i)];
+    });
+  }
+  bus.publish("topic.7", {});
+  bus.publish("topic.7", {});
+  bus.publish("topic.63", {});
+  bus.publish("topic.nope", {});
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], i == 7 ? 2 : (i == 63 ? 1 : 0)) << i;
+  }
+}
+
+TEST(EventBusTest, UnsubscribeFromTopicIndex) {
+  EventBus bus;
+  int exact = 0, all = 0;
+  auto t1 = bus.subscribe("t", [&](const std::string&, const Bytes&) { ++exact; });
+  auto t2 = bus.subscribeAll([&](const std::string&, const Bytes&) { ++all; });
+  EXPECT_TRUE(bus.unsubscribe(t1));
+  bus.publish("t", {});
+  EXPECT_EQ(exact, 0);
+  EXPECT_EQ(all, 1);
+  EXPECT_TRUE(bus.unsubscribe(t2));
+  EXPECT_FALSE(bus.unsubscribe(t2));
   EXPECT_EQ(bus.subscriberCount(), 0u);
 }
 

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -70,6 +74,76 @@ TEST(WorkerPoolTest, EmptyBatchIsANoop) {
 }
 
 TEST(WorkerPoolTest, RejectsZeroThreads) { EXPECT_THROW(WorkerPool{0}, ContractError); }
+
+TEST(WorkerPoolTest, PostedJobsOnOneLaneRunInFifoOrder) {
+  WorkerPool pool(4);
+  std::vector<int> seen;
+  std::mutex m;
+  std::promise<void> done;
+  for (int i = 0; i < 100; ++i) {
+    pool.post(2, [&, i] {
+      std::lock_guard lock(m);
+      seen.push_back(i);
+      if (i == 99) done.set_value();
+    });
+  }
+  done.get_future().wait();
+  std::vector<int> expected(100);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(WorkerPoolTest, LaneIndexWrapsModuloThreadCount) {
+  WorkerPool pool(2);
+  std::atomic<int> hits{0};
+  std::promise<void> done;
+  pool.post(0, [&] { hits.fetch_add(1); });
+  pool.post(5, [&] { hits.fetch_add(1); });          // lane 5 % 2 == 1
+  pool.post(1'000'003, [&] {                          // any index is legal
+    hits.fetch_add(1);
+    done.set_value();
+  });
+  done.get_future().wait();
+  EXPECT_GE(hits.load(), 2);
+}
+
+TEST(WorkerPoolTest, PostedJobsDrainOnDestruction) {
+  std::atomic<int> hits{0};
+  {
+    WorkerPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.post(static_cast<std::size_t>(i), [&hits] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        hits.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(WorkerPoolTest, PostInterleavesWithRunBatches) {
+  std::atomic<int> posted{0};
+  std::atomic<int> batched{0};
+  {
+    WorkerPool pool(2);
+    for (int round = 0; round < 8; ++round) {
+      for (int i = 0; i < 4; ++i) {
+        pool.post(static_cast<std::size_t>(i), [&posted] { posted.fetch_add(1); });
+      }
+      std::vector<std::function<void()>> jobs;
+      for (int i = 0; i < 4; ++i) jobs.push_back([&batched] { batched.fetch_add(1); });
+      pool.run(std::move(jobs));  // the run() barrier still holds alongside post()
+      EXPECT_EQ(batched.load(), (round + 1) * 4);
+    }
+  }
+  // Destruction drained whatever posted work was still queued.
+  EXPECT_EQ(posted.load(), 32);
+}
+
+TEST(WorkerPoolTest, PostRejectsNullJob) {
+  WorkerPool pool(1);
+  EXPECT_THROW(pool.post(0, nullptr), ContractError);
+}
 
 }  // namespace
 }  // namespace mw::util
