@@ -1,0 +1,151 @@
+// Sharded location-service cluster: routed and scatter-gather costs as the
+// cluster widens (1, 2, 4 shard processes behind one registry). Width 1 is
+// the baseline — the router in front of a single shard measures pure
+// indirection overhead; wider clusters show what hash-routing buys on the
+// object-keyed path and what fan-out costs on the region path. The router's
+// scatter/degraded counters land in the JSON so a degraded run is visible in
+// the artifact, and "hardware_concurrency" in the context makes the width
+// curve interpretable per host.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_location_service.hpp"
+#include "cluster/shard_host.hpp"
+#include "core/remote_registry.hpp"
+#include "quality/error_model.hpp"
+#include "util/rng.hpp"
+
+using namespace mw;
+
+namespace {
+
+/// A registry, N shard hosts sharing one world config, and the router.
+struct ClusterFixture {
+  util::VirtualClock clock;
+  core::RegistryServer registry;
+  std::vector<std::unique_ptr<cluster::ShardHost>> hosts;
+  std::unique_ptr<cluster::ClusterLocationService> router;
+
+  explicit ClusterFixture(std::size_t shards) {
+    for (std::size_t i = 0; i < shards; ++i) {
+      cluster::ShardHost::Options opts;
+      opts.index = i;
+      opts.total = shards;
+      auto host = std::make_unique<cluster::ShardHost>(
+          clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC", "127.0.0.1", registry.port(),
+          opts);
+      configureWorld(host->core());
+      host->start();
+      hosts.push_back(std::move(host));
+    }
+    router = std::make_unique<cluster::ClusterLocationService>("127.0.0.1", registry.port());
+  }
+
+  static void configureWorld(core::Middlewhere& mw) {
+    db::SpatialObjectRow room;
+    room.id = util::SpatialObjectId{"roomA"};
+    room.globPrefix = "SC";
+    room.objectType = db::ObjectType::Room;
+    room.geometryType = db::GeometryType::Polygon;
+    room.points = {{0, 0}, {40, 0}, {40, 40}, {0, 40}};
+    mw.database().addObject(room);
+
+    db::SensorMeta ubi;
+    ubi.sensorId = util::SensorId{"ubi-1"};
+    ubi.sensorType = "Ubisense";
+    ubi.errorSpec = quality::ubisenseSpec(1.0);
+    ubi.scaleMisidentifyByArea = true;
+    ubi.quality.ttl = util::minutes(10);
+    mw.database().registerSensor(ubi);
+  }
+
+  db::SensorReading makeReading(const std::string& object, geo::Point2 where) const {
+    db::SensorReading r;
+    r.sensorId = util::SensorId{"ubi-1"};
+    r.sensorType = "Ubisense";
+    r.mobileObjectId = util::MobileObjectId{object};
+    r.location = where;
+    r.detectionRadius = 0.5;
+    r.detectionTime = clock.now();
+    return r;
+  }
+
+  void exportStats(benchmark::State& state) const {
+    const auto stats = router->stats();
+    state.counters["scatter_gathers"] = static_cast<double>(stats.scatterGathers);
+    state.counters["degraded_queries"] = static_cast<double>(stats.degradedQueries);
+    state.counters["failed_routed_calls"] = static_cast<double>(stats.failedRoutedCalls);
+    std::uint64_t reconnects = 0;
+    for (const auto& shard : stats.shards) reconnects += shard.reconnects;
+    state.counters["reconnects"] = static_cast<double>(reconnects);
+  }
+};
+
+}  // namespace
+
+// Object-keyed path: blocking ingest + locate round trips routed by
+// hash(object) to the owning shard. Arg = cluster width.
+static void BM_ClusterRoutedIngestLocate(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  ClusterFixture f(shards);
+
+  constexpr int kObjects = 16;
+  util::Rng rng{7};
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kObjects; ++i) {
+      const std::string object = "p" + std::to_string(i);
+      f.router->ingest(f.makeReading(object, {rng.uniform(1, 39), rng.uniform(1, 39)}));
+      benchmark::DoNotOptimize(f.router->locate(util::MobileObjectId{object}));
+      ops += 2;
+    }
+  }
+
+  f.exportStats(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(std::to_string(shards) + " shard(s)");
+}
+BENCHMARK(BM_ClusterRoutedIngestLocate)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Region path: every poll scatters to all N shards and merges — the fan-out
+// cost the router pays for cluster-wide answers.
+static void BM_ClusterRegionPoll(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  ClusterFixture f(shards);
+
+  constexpr int kObjects = 32;
+  util::Rng rng{11};
+  for (int i = 0; i < kObjects; ++i) {
+    f.router->ingest(
+        f.makeReading("p" + std::to_string(i), {rng.uniform(1, 39), rng.uniform(1, 39)}));
+  }
+
+  const auto region = geo::Rect::fromOrigin({0, 0}, 40, 40);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.router->objectsInRegion(region, 0.2));
+    benchmark::DoNotOptimize(f.router->probabilityInRegion(util::MobileObjectId{"p0"}, region));
+    ops += 2;
+  }
+
+  f.exportStats(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(std::to_string(shards) + " shard(s)");
+}
+BENCHMARK(BM_ClusterRegionPoll)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Custom main: record the host's core count next to the width curve.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("hardware_concurrency",
+                              std::to_string(std::thread::hardware_concurrency()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #   BENCH_ingest.json         — sharded batch-ingest throughput
 #   BENCH_region_poll.json    — region population cache repolling
 #   BENCH_orb.json            — concurrent ORB serving path + wire batches
+#   BENCH_cluster.json        — sharded cluster routed + scatter-gather paths
 #
 # Usage: scripts/bench_json.sh [build-dir] [out-dir]
 # Or via CMake: cmake --build build --target bench_json
@@ -27,3 +28,4 @@ run "$BUILD_DIR/bench/bench_query_latency" "$OUT_DIR/BENCH_query_latency.json"
 run "$BUILD_DIR/bench/bench_ingest_parallel" "$OUT_DIR/BENCH_ingest.json"
 run "$BUILD_DIR/bench/bench_region_poll" "$OUT_DIR/BENCH_region_poll.json"
 run "$BUILD_DIR/bench/bench_orb_concurrent" "$OUT_DIR/BENCH_orb.json"
+run "$BUILD_DIR/bench/bench_cluster" "$OUT_DIR/BENCH_cluster.json"

@@ -1,0 +1,473 @@
+#include "cluster/cluster_location_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "orb/tcp.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mw::cluster {
+
+namespace {
+
+/// Claim sentinel for a per-shard subscription registration in flight.
+constexpr std::uint64_t kSubPending = ~0ULL;
+
+}  // namespace
+
+ClusterLocationService::ClusterLocationService(const std::string& registryHost,
+                                               std::uint16_t registryPort, Options options)
+    : options_(options), registry_(registryHost, registryPort) {
+  ShardMap map = resolveShardMap(registry_);
+  if (map.total == 0) {
+    throw mw::util::NotFoundError(
+        "ClusterLocationService: no location.shard.* entry in the registry");
+  }
+  total_ = map.total;
+  auto shards = std::make_shared<std::vector<std::shared_ptr<Shard>>>();
+  shards->reserve(total_);
+  for (std::size_t i = 0; i < total_; ++i) {
+    auto shard = std::make_shared<Shard>(options_.retry);
+    shard->index = i;
+    shard->endpoint = map.endpoints[i];
+    shards->push_back(std::move(shard));
+  }
+  {
+    std::lock_guard lock(shardsMutex_);
+    shards_ = std::move(shards);
+  }
+}
+
+std::shared_ptr<std::vector<std::shared_ptr<ClusterLocationService::Shard>>>
+ClusterLocationService::shardsSnapshot() const {
+  std::lock_guard lock(shardsMutex_);
+  return shards_;
+}
+
+std::size_t ClusterLocationService::shardCount() const { return total_; }
+
+std::size_t ClusterLocationService::shardFor(const util::MobileObjectId& object) const {
+  return shardForObject(object, total_);
+}
+
+void ClusterLocationService::refreshShardMap() {
+  ShardMap map = resolveShardMap(registry_);
+  if (map.total != 0 && map.total != total_) {
+    throw mw::util::ContractError(
+        "ClusterLocationService::refreshShardMap: cluster width changed (" +
+        std::to_string(total_) + " -> " + std::to_string(map.total) +
+        "); repartitioning needs a new router");
+  }
+  auto shards = shardsSnapshot();
+  for (std::size_t i = 0; i < total_; ++i) {
+    Shard& shard = *(*shards)[i];
+    const std::optional<core::Endpoint> fresh = map.total == 0 ? std::nullopt : map.endpoints[i];
+    std::unique_lock lock(shard.connectMutex);
+    if (shard.endpoint == fresh) continue;
+    shard.endpoint = fresh;
+    if (shard.client) {
+      shard.client.reset();
+      lock.unlock();
+      clearShardSubscriptions(shard);
+    }
+  }
+}
+
+std::shared_ptr<core::RemoteLocationClient> ClusterLocationService::clientFor(Shard& shard) {
+  std::shared_ptr<core::RemoteLocationClient> fresh;
+  {
+    std::lock_guard lock(shard.connectMutex);
+    if (shard.client) return shard.client;
+    if (!shard.endpoint) return nullptr;
+    try {
+      auto transport = orb::tcpConnect(shard.endpoint->host, shard.endpoint->port);
+      auto rpc = std::make_shared<orb::RpcClient>(std::move(transport));
+      rpc->setCallTimeout(options_.retry.callDeadline);
+      fresh = std::make_shared<core::RemoteLocationClient>(std::move(rpc));
+      shard.client = fresh;
+      shard.health.recordReconnect();
+    } catch (const util::TransportError&) {
+      return nullptr;
+    }
+  }
+  // Outside the connect lock: a fresh connection carries none of the
+  // cluster's subscriptions — replay them before traffic flows.
+  replaySubscriptions(shard, *fresh);
+  return fresh;
+}
+
+void ClusterLocationService::dropClient(Shard& shard) {
+  {
+    std::lock_guard lock(shard.connectMutex);
+    shard.client.reset();
+  }
+  clearShardSubscriptions(shard);
+}
+
+void ClusterLocationService::clearShardSubscriptions(Shard& shard) {
+  // The connection is gone, and with it every subscription registered on
+  // it; zero the slots so the next reconnect replays them.
+  std::lock_guard lock(subsMutex_);
+  for (auto& [id, sub] : subs_) {
+    if (sub->shardSubIds[shard.index] != kSubPending) sub->shardSubIds[shard.index] = 0;
+  }
+}
+
+template <typename R>
+std::optional<R> ClusterLocationService::callShard(
+    Shard& shard, const std::function<R(core::RemoteLocationClient&)>& fn) {
+  if (shard.health.down() && !shard.health.tryClaimProbe()) return std::nullopt;
+  const std::size_t attempts = 1 + options_.retry.maxRetries;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      shard.health.recordRetry();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.retry.backoffDelay(attempt - 1).count()));
+    }
+    auto client = clientFor(shard);
+    if (!client) {
+      shard.health.recordFailure(/*timedOut=*/false);
+      if (shard.health.down() && attempt + 1 < attempts && !shard.health.tryClaimProbe()) {
+        return std::nullopt;  // went down mid-budget; stop hammering
+      }
+      continue;
+    }
+    shard.health.recordCall();
+    try {
+      R result = fn(*client);
+      shard.health.recordSuccess();
+      return result;
+    } catch (const util::TimeoutError&) {
+      // Slow, not provably dead: keep the connection (a late reply is
+      // discarded by the RpcClient), back off, retry.
+      shard.health.recordFailure(/*timedOut=*/true);
+    } catch (const util::TransportError&) {
+      // Connection gone: reconnect on the next attempt.
+      shard.health.recordFailure(/*timedOut=*/false);
+      dropClient(shard);
+    }
+    // util::MwError (an Error reply) propagates: the shard is healthy and
+    // answered — the error belongs to the caller, not the failure policy.
+  }
+  return std::nullopt;
+}
+
+void ClusterLocationService::probeDownShards() {
+  auto shards = shardsSnapshot();
+  for (const auto& shard : *shards) {
+    if (!shard->health.down()) continue;
+    callShard<bool>(*shard, [](core::RemoteLocationClient& client) {
+      client.ping();
+      return true;
+    });
+  }
+}
+
+// --- object-routed calls ------------------------------------------------------
+
+void ClusterLocationService::ingest(const db::SensorReading& reading) {
+  auto shards = shardsSnapshot();
+  Shard& shard = *(*shards)[shardForObject(reading.mobileObjectId, total_)];
+  auto ok = callShard<bool>(shard, [&](core::RemoteLocationClient& client) {
+    client.ingest(reading);
+    return true;
+  });
+  if (!ok) {
+    failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+    droppedIngestReadings_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ClusterLocationService::ingestBatch(std::span<const db::SensorReading> readings) {
+  if (readings.empty()) return;
+  auto shards = shardsSnapshot();
+  // Partition by owning shard; a stable partition keeps each object's
+  // readings in their original relative order inside its sub-batch.
+  std::vector<std::vector<db::SensorReading>> parts(total_);
+  for (const auto& reading : readings) {
+    parts[shardForObject(reading.mobileObjectId, total_)].push_back(reading);
+  }
+  for (std::size_t i = 0; i < total_; ++i) {
+    if (parts[i].empty()) continue;
+    Shard& shard = *(*shards)[i];
+    auto ok = callShard<bool>(shard, [&](core::RemoteLocationClient& client) {
+      client.ingestBatch(parts[i]);
+      return true;
+    });
+    if (!ok) {
+      failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+      droppedIngestReadings_.fetch_add(parts[i].size(), std::memory_order_relaxed);
+    }
+  }
+}
+
+std::optional<fusion::LocationEstimate> ClusterLocationService::locate(
+    const util::MobileObjectId& object) {
+  auto shards = shardsSnapshot();
+  Shard& shard = *(*shards)[shardForObject(object, total_)];
+  auto result = callShard<std::optional<fusion::LocationEstimate>>(
+      shard, [&](core::RemoteLocationClient& client) { return client.locate(object); });
+  if (!result) {
+    failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return *result;
+}
+
+std::string ClusterLocationService::locateSymbolic(const util::MobileObjectId& object) {
+  auto shards = shardsSnapshot();
+  Shard& shard = *(*shards)[shardForObject(object, total_)];
+  auto result = callShard<std::string>(
+      shard, [&](core::RemoteLocationClient& client) { return client.locateSymbolic(object); });
+  if (!result) {
+    failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+    return "";
+  }
+  return *result;
+}
+
+// --- scatter-gather -----------------------------------------------------------
+
+template <typename R>
+std::vector<std::optional<R>> ClusterLocationService::scatter(
+    const std::vector<std::shared_ptr<Shard>>& shards,
+    const std::function<R(core::RemoteLocationClient&)>& fn) {
+  std::vector<std::optional<R>> results(shards.size());
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  std::mutex errorMutex;
+  std::exception_ptr error;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        results[i] = callShard<R>(*shards[i], fn);
+      } catch (...) {
+        // A remote application error (util::MwError) — keep the first.
+        std::lock_guard lock(errorMutex);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (error) std::rethrow_exception(error);
+  return results;
+}
+
+double ClusterLocationService::probabilityInRegion(const util::MobileObjectId& object,
+                                                   const geo::Rect& region) {
+  auto shards = shardsSnapshot();
+  scatterGathers_.fetch_add(1, std::memory_order_relaxed);
+  auto replies = scatter<core::RemoteLocationClient::RegionProbability>(
+      *shards, [&](core::RemoteLocationClient& client) {
+        return client.probabilityInRegionEx(object, region);
+      });
+
+  std::size_t answered = 0;
+  bool anyEvidence = false;
+  double best = 0;
+  double bestPrior = 0;
+  for (const auto& reply : replies) {
+    if (!reply) continue;
+    ++answered;
+    if (reply->hasEvidence) {
+      best = anyEvidence ? std::max(best, reply->probability) : reply->probability;
+      anyEvidence = true;
+    } else {
+      bestPrior = std::max(bestPrior, reply->probability);
+    }
+  }
+  if (answered == 0) {
+    throw mw::util::TransportError(
+        "ClusterLocationService::probabilityInRegion: no shard answered");
+  }
+  if (answered < total_) degradedQueries_.fetch_add(1, std::memory_order_relaxed);
+  // The owning shard's fused answer wins; with no evidence anywhere every
+  // shard reported the same prior mass, so any of them is THE answer.
+  return anyEvidence ? best : bestPrior;
+}
+
+ClusterLocationService::RegionQueryResult ClusterLocationService::objectsInRegionDetailed(
+    const geo::Rect& region, double minProbability) {
+  auto shards = shardsSnapshot();
+  scatterGathers_.fetch_add(1, std::memory_order_relaxed);
+  using Members = std::vector<std::pair<util::MobileObjectId, double>>;
+  auto replies = scatter<Members>(*shards, [&](core::RemoteLocationClient& client) {
+    return client.objectsInRegion(region, minProbability);
+  });
+
+  RegionQueryResult result;
+  // Objects are disjoint across shards by construction; the map guards the
+  // transient overlap a stale shard map could produce (keep the higher-
+  // probability sighting).
+  std::unordered_map<std::string, double> merged;
+  for (const auto& reply : replies) {
+    if (!reply) continue;
+    ++result.shardsAnswered;
+    for (const auto& [object, probability] : *reply) {
+      auto [it, inserted] = merged.emplace(object.str(), probability);
+      if (!inserted && probability > it->second) it->second = probability;
+    }
+  }
+  if (result.shardsAnswered == 0) {
+    throw mw::util::TransportError("ClusterLocationService::objectsInRegion: no shard answered");
+  }
+  result.degraded = result.shardsAnswered < total_;
+  if (result.degraded) degradedQueries_.fetch_add(1, std::memory_order_relaxed);
+
+  result.members.reserve(merged.size());
+  for (auto& [object, probability] : merged) {
+    result.members.emplace_back(util::MobileObjectId{object}, probability);
+  }
+  // The LocationService's own answer ordering: descending probability, ties
+  // by id — so a healthy cluster's merge is byte-for-byte the oracle's.
+  std::sort(result.members.begin(), result.members.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return result;
+}
+
+std::vector<std::pair<util::MobileObjectId, double>> ClusterLocationService::objectsInRegion(
+    const geo::Rect& region, double minProbability) {
+  return objectsInRegionDetailed(region, minProbability).members;
+}
+
+// --- push: cluster-wide subscriptions ----------------------------------------
+
+util::SubscriptionId ClusterLocationService::subscribe(
+    const geo::Rect& region, std::optional<util::MobileObjectId> subject, double threshold,
+    std::function<void(const core::Notification&)> callback) {
+  auto sub = std::make_shared<ClusterSub>();
+  sub->region = region;
+  sub->subject = std::move(subject);
+  sub->threshold = threshold;
+  sub->callback = std::move(callback);
+  sub->shardSubIds.assign(total_, 0);
+
+  util::SubscriptionId clusterId;
+  {
+    std::lock_guard lock(subsMutex_);
+    clusterId = subIds_.next();
+    subs_.emplace(clusterId.value(), sub);
+  }
+  auto shards = shardsSnapshot();
+  for (const auto& shard : *shards) {
+    subscribeOnShard(*shard, clusterId, *sub);
+  }
+  return clusterId;
+}
+
+void ClusterLocationService::subscribeOnShard(Shard& shard, util::SubscriptionId clusterId,
+                                              ClusterSub& sub) {
+  {
+    // Claim the slot: either the initial fan-out or a reconnect replay
+    // registers on a given shard, never both.
+    std::lock_guard lock(subsMutex_);
+    if (sub.shardSubIds[shard.index] != 0) return;
+    sub.shardSubIds[shard.index] = kSubPending;
+  }
+  auto emit = [callback = sub.callback, clusterId](const core::Notification& n) {
+    core::Notification out = n;
+    out.id = clusterId;  // one client-facing id, whichever shard matched
+    callback(out);
+  };
+  auto shardSubId = callShard<std::uint64_t>(shard, [&](core::RemoteLocationClient& client) {
+        return client.subscribe(sub.region, sub.subject, sub.threshold, emit).value();
+      });
+  std::unique_lock lock(subsMutex_);
+  const bool live = subs_.contains(clusterId.value());
+  sub.shardSubIds[shard.index] = (shardSubId && live) ? *shardSubId : 0;
+  if (shardSubId && !live) {
+    // unsubscribe() won the race while registration was in flight; take the
+    // orphan back down (best effort).
+    lock.unlock();
+    callShard<bool>(shard, [&](core::RemoteLocationClient& client) {
+      return client.unsubscribe(util::SubscriptionId{*shardSubId});
+    });
+  }
+}
+
+void ClusterLocationService::replaySubscriptions(Shard& shard, core::RemoteLocationClient& client) {
+  // Collect the subscriptions missing on this shard, then register each
+  // directly on the fresh client (single attempt — a failure leaves the
+  // slot empty for the next reconnect).
+  std::vector<std::pair<util::SubscriptionId, std::shared_ptr<ClusterSub>>> missing;
+  {
+    std::lock_guard lock(subsMutex_);
+    for (auto& [id, sub] : subs_) {
+      if (sub->shardSubIds[shard.index] != 0) continue;
+      sub->shardSubIds[shard.index] = kSubPending;
+      missing.emplace_back(util::SubscriptionId{id}, sub);
+    }
+  }
+  for (auto& [clusterId, sub] : missing) {
+    std::uint64_t shardSubId = 0;
+    try {
+      auto emit = [callback = sub->callback, clusterId = clusterId](const core::Notification& n) {
+        core::Notification out = n;
+        out.id = clusterId;
+        callback(out);
+      };
+      shardSubId = client.subscribe(sub->region, sub->subject, sub->threshold, emit).value();
+    } catch (const util::TransportError&) {
+      // Fresh connection already gone; the next reconnect replays again.
+    }
+    std::lock_guard lock(subsMutex_);
+    sub->shardSubIds[shard.index] = subs_.contains(clusterId.value()) ? shardSubId : 0;
+  }
+}
+
+bool ClusterLocationService::unsubscribe(util::SubscriptionId id) {
+  std::shared_ptr<ClusterSub> sub;
+  {
+    std::lock_guard lock(subsMutex_);
+    auto it = subs_.find(id.value());
+    if (it == subs_.end()) return false;
+    sub = it->second;
+    subs_.erase(it);
+  }
+  auto shards = shardsSnapshot();
+  for (const auto& shard : *shards) {
+    std::uint64_t shardSubId;
+    {
+      std::lock_guard lock(subsMutex_);
+      shardSubId = sub->shardSubIds[shard->index];
+    }
+    if (shardSubId == 0 || shardSubId == kSubPending) continue;
+    callShard<bool>(*shard, [&](core::RemoteLocationClient& client) {
+      return client.unsubscribe(util::SubscriptionId{shardSubId});
+    });
+  }
+  return true;
+}
+
+ClusterLocationService::Stats ClusterLocationService::stats() const {
+  Stats stats;
+  auto shards = shardsSnapshot();
+  stats.shards.reserve(shards->size());
+  for (const auto& shard : *shards) {
+    ShardStats s;
+    {
+      std::lock_guard lock(shard->connectMutex);
+      s.announced = shard->endpoint.has_value();
+    }
+    s.down = shard->health.down();
+    s.calls = shard->health.calls();
+    s.failures = shard->health.failures();
+    s.timeouts = shard->health.timeouts();
+    s.retries = shard->health.retries();
+    s.reconnects = shard->health.reconnects();
+    stats.shards.push_back(s);
+  }
+  stats.scatterGathers = scatterGathers_.load(std::memory_order_relaxed);
+  stats.degradedQueries = degradedQueries_.load(std::memory_order_relaxed);
+  stats.failedRoutedCalls = failedRoutedCalls_.load(std::memory_order_relaxed);
+  stats.droppedIngestReadings = droppedIngestReadings_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mw::cluster

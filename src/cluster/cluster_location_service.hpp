@@ -1,0 +1,228 @@
+// The cluster router: presents the LocationService API over N shard
+// processes resolved from the registry, so applications talk to "the
+// location service" without knowing the partition exists.
+//
+// Routing: object-keyed calls (ingest, ingestBatch, locate, locateSymbolic)
+// go to shardForObject(o, N) — one object, one shard, one ordering domain
+// (see shard_map.hpp for the end-to-end ordering argument). Region-keyed
+// calls (probabilityInRegion, objectsInRegion) scatter to every live shard
+// in parallel and merge: populations concatenate (objects are disjoint
+// across shards) and re-sort with the service's own comparator, region
+// probabilities prefer the evidence-bearing answer over the bare priors
+// evidence-free shards report. subscribe() fans the trigger out to every
+// shard and re-emits each shard's notifications through the caller's single
+// callback under one cluster-wide subscription id.
+//
+// Failure model: every call carries a deadline (util::TimeoutError) and a
+// bounded retry budget with exponential backoff (health.hpp). A transport
+// error drops the shard's connection (the next attempt reconnects — and
+// replays the cluster's live subscriptions onto the fresh connection); a
+// shard failing `downAfterFailures` times in a row is marked down and fails
+// fast until a probe re-admits it. Scatter-gather over a cluster with down
+// or failing shards still answers — partially, carrying a `degraded` flag —
+// and routed calls to a down shard return "unknown" instead of blocking.
+// Per-shard error counters surface in stats().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/health.hpp"
+#include "cluster/shard_map.hpp"
+#include "core/location_service.hpp"
+#include "core/remote.hpp"
+#include "core/remote_registry.hpp"
+
+namespace mw::cluster {
+
+class ClusterLocationService {
+ public:
+  struct Options {
+    RetryPolicy retry;
+  };
+
+  /// Per-shard view of stats(): health + cumulative error counters.
+  struct ShardStats {
+    bool announced = false;  ///< endpoint known from the registry
+    bool down = false;
+    std::uint64_t calls = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t reconnects = 0;
+  };
+  struct Stats {
+    std::vector<ShardStats> shards;
+    std::uint64_t scatterGathers = 0;
+    /// Scatter-gathers that answered from a strict subset of the shards.
+    std::uint64_t degradedQueries = 0;
+    /// Object-routed calls that exhausted their retry budget (the caller
+    /// got "unknown" / a dropped reading instead of an answer).
+    std::uint64_t failedRoutedCalls = 0;
+    std::uint64_t droppedIngestReadings = 0;
+  };
+
+  /// Resolves the shard map from the registry. Throws util::TransportError
+  /// when the registry is unreachable and util::NotFoundError when no shard
+  /// is announced.
+  ClusterLocationService(const std::string& registryHost, std::uint16_t registryPort,
+                         Options options = {});
+
+  ClusterLocationService(const ClusterLocationService&) = delete;
+  ClusterLocationService& operator=(const ClusterLocationService&) = delete;
+
+  [[nodiscard]] std::size_t shardCount() const;
+  [[nodiscard]] std::size_t shardFor(const util::MobileObjectId& object) const;
+
+  /// Re-resolves the shard map from the registry: newly announced shards
+  /// become routable, changed endpoints drop their stale connections. The
+  /// cluster width N must not change (that is a repartition, not a
+  /// refresh); util::ContractError otherwise.
+  void refreshShardMap();
+
+  /// Attempts one probe on every down shard whose probe timer has lapsed
+  /// (routed calls also probe lazily; this is for impatient callers).
+  void probeDownShards();
+
+  // --- object-routed calls -----------------------------------------------------
+
+  /// Routed to the owning shard. A reading the shard cluster cannot accept
+  /// (owner down, retries exhausted) is dropped and counted — push-model
+  /// semantics, like oneway ingest at a restarting service.
+  void ingest(const db::SensorReading& reading);
+
+  /// Splits the batch by owning shard (preserving each object's relative
+  /// order) and ships one sub-batch per shard.
+  void ingestBatch(std::span<const db::SensorReading> readings);
+
+  /// nullopt when the object is unknown — or when its owning shard is
+  /// unreachable (counted in stats().failedRoutedCalls; availability over
+  /// an exception on the query path).
+  [[nodiscard]] std::optional<fusion::LocationEstimate> locate(const util::MobileObjectId& object);
+
+  /// "" when unknown or the owning shard is unreachable.
+  [[nodiscard]] std::string locateSymbolic(const util::MobileObjectId& object);
+
+  // --- scatter-gather calls ----------------------------------------------------
+
+  /// Scatter to all shards; the owning shard's evidence-bearing answer wins
+  /// over the bare priors the others report. Throws util::TransportError
+  /// when NO shard answered.
+  [[nodiscard]] double probabilityInRegion(const util::MobileObjectId& object,
+                                           const geo::Rect& region);
+
+  struct RegionQueryResult {
+    std::vector<std::pair<util::MobileObjectId, double>> members;
+    /// True when at least one shard did not answer: `members` is a correct
+    /// answer for the shards that did, but may miss the silent shards'
+    /// objects.
+    bool degraded = false;
+    std::size_t shardsAnswered = 0;
+  };
+
+  /// Scatter-gather population query with the partial-result contract made
+  /// explicit. Throws util::TransportError when NO shard answered.
+  [[nodiscard]] RegionQueryResult objectsInRegionDetailed(const geo::Rect& region,
+                                                          double minProbability);
+
+  /// Convenience wrapper discarding the degraded flag (still visible via
+  /// stats().degradedQueries).
+  [[nodiscard]] std::vector<std::pair<util::MobileObjectId, double>> objectsInRegion(
+      const geo::Rect& region, double minProbability);
+
+  // --- push: cluster-wide subscriptions ---------------------------------------
+
+  /// Fans the subscription out to every shard; matching notifications from
+  /// any shard arrive on `callback` carrying the single cluster-wide id
+  /// this returns. Shards that are down at subscribe time (or that drop
+  /// their connection later) get the subscription replayed when they
+  /// reconnect.
+  util::SubscriptionId subscribe(const geo::Rect& region,
+                                 std::optional<util::MobileObjectId> subject, double threshold,
+                                 std::function<void(const core::Notification&)> callback);
+  bool unsubscribe(util::SubscriptionId id);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const RetryPolicy& policy) : health(policy) {}
+
+    std::size_t index = 0;
+    ShardHealth health;
+    /// Guards endpoint + client (re)creation; never held across an RPC.
+    std::mutex connectMutex;
+    std::optional<core::Endpoint> endpoint;
+    std::shared_ptr<core::RemoteLocationClient> client;
+  };
+
+  /// The subscription spec kept for fan-out and reconnect replay.
+  struct ClusterSub {
+    geo::Rect region;
+    std::optional<util::MobileObjectId> subject;
+    double threshold = 0;
+    std::function<void(const core::Notification&)> callback;
+    /// Per-shard subscription id (0 = not registered on that shard).
+    std::vector<std::uint64_t> shardSubIds;
+  };
+
+  [[nodiscard]] std::shared_ptr<std::vector<std::shared_ptr<Shard>>> shardsSnapshot() const;
+
+  /// Connected client for the shard, creating (and replaying subscriptions
+  /// onto) a fresh connection if needed; null when the shard has no
+  /// endpoint or connecting failed.
+  [[nodiscard]] std::shared_ptr<core::RemoteLocationClient> clientFor(Shard& shard);
+  /// Drops the connection and zeroes the shard's subscription slots (they
+  /// died with the connection; the next reconnect replays them).
+  void dropClient(Shard& shard);
+  void clearShardSubscriptions(Shard& shard);
+
+  /// Runs `fn` against the shard under the retry/backoff/deadline policy.
+  /// Returns nullopt after the budget is exhausted (or immediately for a
+  /// down shard between probes). util::MwError from the remote side (the
+  /// shard answered with an application error) propagates.
+  template <typename R>
+  std::optional<R> callShard(Shard& shard, const std::function<R(core::RemoteLocationClient&)>& fn);
+
+  /// Runs `fn` against every shard concurrently (one thread per shard);
+  /// results[i] is nullopt where shard i's budget was exhausted.
+  template <typename R>
+  std::vector<std::optional<R>> scatter(
+      const std::vector<std::shared_ptr<Shard>>& shards,
+      const std::function<R(core::RemoteLocationClient&)>& fn);
+
+  /// Registers one cluster subscription on one shard under the claim
+  /// protocol (either the initial fan-out or a reconnect replay registers,
+  /// never both; failures leave the slot empty for the next replay).
+  void subscribeOnShard(Shard& shard, util::SubscriptionId clusterId, ClusterSub& sub);
+  /// Replays every missing subscription onto a freshly connected shard.
+  void replaySubscriptions(Shard& shard, core::RemoteLocationClient& client);
+
+  const Options options_;
+  core::RegistryClient registry_;
+  std::size_t total_ = 0;
+
+  /// Snapshot-published shard list (repo idiom: pointer swap under a mutex,
+  /// readers pin the snapshot and never hold the lock during RPCs).
+  mutable std::mutex shardsMutex_;
+  std::shared_ptr<std::vector<std::shared_ptr<Shard>>> shards_;
+
+  std::mutex subsMutex_;
+  util::IdSequencer<util::SubscriptionId> subIds_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ClusterSub>> subs_;
+
+  std::atomic<std::uint64_t> scatterGathers_{0};
+  std::atomic<std::uint64_t> degradedQueries_{0};
+  std::atomic<std::uint64_t> failedRoutedCalls_{0};
+  std::atomic<std::uint64_t> droppedIngestReadings_{0};
+};
+
+}  // namespace mw::cluster

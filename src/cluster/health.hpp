@@ -1,0 +1,133 @@
+// Failure handling policy for the cluster router: per-call deadlines,
+// bounded retry with exponential backoff, and a per-shard health state
+// machine (up -> down after consecutive failures -> probed back up).
+//
+// The policy distinguishes the two failure flavors util::TimeoutError vs
+// util::TransportError expose: a timeout means "slow — the shard may still
+// be working; keep the connection, back off, retry", a transport error
+// means "gone — drop the connection and reconnect". Both count toward the
+// consecutive-failure threshold that marks a shard down; once down, calls
+// fail fast (no deadline burned) until the probe interval elapses, at which
+// point the next call doubles as a health probe and a success re-admits the
+// shard.
+//
+// All health state is lock-free (atomics): the router's hot path reads
+// down()/probeDue() on every routed call from any number of threads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace mw::cluster {
+
+/// Knobs for one router instance; applied uniformly to every shard.
+struct RetryPolicy {
+  /// Per-call deadline (RpcClient::setCallTimeout). A dead shard costs at
+  /// most attempts * (deadline + backoff), never a hung caller.
+  util::Duration callDeadline = util::sec(2);
+  /// Re-attempts after the first try (total attempts = 1 + maxRetries).
+  std::size_t maxRetries = 2;
+  /// Backoff before retry r (0-based): backoffBase * 2^r, capped at
+  /// backoffMax. Wall-clock (wire pacing, like BatchingIngestClient).
+  util::Duration backoffBase = util::msec(10);
+  util::Duration backoffMax = util::msec(500);
+  /// Consecutive failures after which the shard is marked down.
+  std::size_t downAfterFailures = 3;
+  /// While down, one call per interval is let through as a probe.
+  util::Duration probeInterval = util::msec(250);
+
+  [[nodiscard]] util::Duration backoffDelay(std::size_t retry) const noexcept {
+    auto delay = backoffBase;
+    for (std::size_t i = 0; i < retry && delay < backoffMax; ++i) delay += delay;
+    return delay < backoffMax ? delay : backoffMax;
+  }
+};
+
+/// Per-shard health tracker + error counters (all cumulative). Thread-safe.
+class ShardHealth {
+ public:
+  explicit ShardHealth(const RetryPolicy& policy) : policy_(policy) {}
+
+  /// An attempt was sent (before knowing the outcome).
+  void recordCall() noexcept { calls_.fetch_add(1, std::memory_order_relaxed); }
+  /// A retry attempt (attempt > 0) is about to run.
+  void recordRetry() noexcept { retries_.fetch_add(1, std::memory_order_relaxed); }
+  /// The connection was (re)established.
+  void recordReconnect() noexcept { reconnects_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// The shard answered: clears the consecutive-failure streak and re-admits
+  /// a down shard.
+  void recordSuccess() noexcept {
+    streak_.store(0, std::memory_order_relaxed);
+    down_.store(false, std::memory_order_relaxed);
+  }
+
+  /// One failed attempt; `timedOut` selects the counter. Crossing the
+  /// consecutive-failure threshold marks the shard down and arms the probe
+  /// timer.
+  void recordFailure(bool timedOut) noexcept {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    if (timedOut) timeouts_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t streak = streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (streak >= policy_.downAfterFailures) {
+      down_.store(true, std::memory_order_relaxed);
+      armProbe();
+    }
+  }
+
+  [[nodiscard]] bool down() const noexcept { return down_.load(std::memory_order_relaxed); }
+
+  /// Down and the probe interval has elapsed: the next call should go
+  /// through as a health probe. Claims the probe slot (resets the timer) so
+  /// concurrent callers don't all storm the dead shard at once.
+  [[nodiscard]] bool tryClaimProbe() noexcept {
+    if (!down()) return false;
+    const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+    auto due = probeAt_.load(std::memory_order_relaxed);
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(policy_.probeInterval)
+            .count();
+    return now >= due &&
+           probeAt_.compare_exchange_strong(due, now + interval, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t calls() const noexcept {
+    return calls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t retries() const noexcept {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void armProbe() noexcept {
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(policy_.probeInterval)
+            .count();
+    probeAt_.store(std::chrono::steady_clock::now().time_since_epoch().count() + interval,
+                   std::memory_order_relaxed);
+  }
+
+  const RetryPolicy policy_;
+  std::atomic<bool> down_{false};
+  std::atomic<std::uint64_t> streak_{0};
+  std::atomic<std::chrono::steady_clock::rep> probeAt_{0};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+};
+
+}  // namespace mw::cluster

@@ -1,0 +1,71 @@
+#include "cluster/shard_host.hpp"
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mw::cluster {
+
+ShardHost::ShardHost(const util::Clock& clock, geo::Rect universe, const std::string& rootFrame,
+                     const std::string& registryHost, std::uint16_t registryPort,
+                     Options options)
+    : core_(std::make_unique<core::Middlewhere>(clock, universe, rootFrame)),
+      registry_(registryHost, registryPort),
+      options_(options),
+      name_(shardName(options.index, options.total)) {
+  mw::util::require(options_.announceTtl.count() == 0 ||
+                        options_.heartbeatPeriod < options_.announceTtl,
+                    "ShardHost: heartbeatPeriod must undercut announceTtl");
+}
+
+ShardHost::~ShardHost() { stop(); }
+
+void ShardHost::start() {
+  mw::util::require(!running_, "ShardHost::start: already running");
+  port_ = core_->listen(options_.port);
+  announceOnce();
+  running_ = true;
+  if (options_.announceTtl.count() > 0) {
+    heartbeat_ = std::thread([this] { heartbeatLoop(); });
+  }
+  util::logInfo("ShardHost", name_, " serving on port ", port_);
+}
+
+void ShardHost::stop() {
+  if (!running_) return;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  stopCv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  try {
+    registry_.withdraw(name_);
+  } catch (const util::TransportError&) {
+    // Registry gone; the TTL expires the entry on its own.
+  }
+  running_ = false;
+}
+
+void ShardHost::announceOnce() {
+  registry_.announce(name_, core::Endpoint{"127.0.0.1", port_}, options_.announceTtl);
+}
+
+void ShardHost::heartbeatLoop() {
+  std::unique_lock lock(mutex_);
+  while (!stopCv_.wait_for(lock, std::chrono::milliseconds(options_.heartbeatPeriod.count()),
+                           [&] { return stopping_; })) {
+    lock.unlock();
+    try {
+      announceOnce();
+    } catch (const util::TransportError&) {
+      // Registry unreachable this tick: the entry may expire (and the
+      // cluster will treat this shard as unannounced) until a later
+      // heartbeat gets through.
+      heartbeatFailures_.fetch_add(1, std::memory_order_relaxed);
+      util::logWarn("ShardHost", name_, ": heartbeat failed (registry unreachable)");
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace mw::cluster

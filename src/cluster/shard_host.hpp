@@ -1,0 +1,88 @@
+// One shard of the location-service cluster: a full Middlewhere core (its
+// own spatial database, LocationService and concurrent RpcServer) listening
+// on its own TCP port, announced in the RegistryServer under
+// "location.shard.<i>/<N>" with a TTL heartbeat.
+//
+// Lifecycle: construct, configure the world through core() (regions,
+// sensors — the same setup every shard of a cluster must share so fused
+// answers match the single-process oracle), then start(). start() binds the
+// port, announces, and spawns the heartbeat thread that re-announces every
+// heartbeatPeriod so the registry entry outlives its TTL exactly as long as
+// the process does; a crashed shard stops heartbeating and expires from
+// list(). stop() (also run by the destructor) halts the heartbeat and
+// withdraws the entry.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/shard_map.hpp"
+#include "core/middlewhere.hpp"
+#include "core/remote_registry.hpp"
+
+namespace mw::cluster {
+
+class ShardHost {
+ public:
+  struct Options {
+    std::size_t index = 0;  ///< this shard's slot, < total
+    std::size_t total = 1;  ///< cluster width N
+    std::uint16_t port = 0;  ///< service port (0 = ephemeral)
+    /// Registry-entry TTL; zero disables expiry (and the heartbeat thread).
+    util::Duration announceTtl = util::sec(2);
+    /// Re-announce period; must undercut the TTL with margin.
+    util::Duration heartbeatPeriod = util::msec(500);
+  };
+
+  /// Builds the core (not yet listening) and connects to the registry.
+  /// Throws util::TransportError when the registry is unreachable.
+  ShardHost(const util::Clock& clock, geo::Rect universe, const std::string& rootFrame,
+            const std::string& registryHost, std::uint16_t registryPort, Options options);
+  ~ShardHost();
+
+  ShardHost(const ShardHost&) = delete;
+  ShardHost& operator=(const ShardHost&) = delete;
+
+  /// The shard's own middleware stack; configure the world here before
+  /// start().
+  [[nodiscard]] core::Middlewhere& core() noexcept { return *core_; }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Bound service port; valid after start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  /// Heartbeats that failed to reach the registry (logged at warn).
+  [[nodiscard]] std::uint64_t heartbeatFailures() const noexcept {
+    return heartbeatFailures_.load(std::memory_order_relaxed);
+  }
+
+  /// Binds the service port, announces the shard, starts heartbeating.
+  void start();
+  /// Stops the heartbeat and withdraws the registry entry (best effort —
+  /// a dead registry cannot be withdrawn from, but the TTL cleans up).
+  void stop();
+
+ private:
+  void heartbeatLoop();
+  void announceOnce();
+
+  std::unique_ptr<core::Middlewhere> core_;
+  core::RegistryClient registry_;
+  const Options options_;
+  const std::string name_;
+  std::uint16_t port_ = 0;
+  bool running_ = false;
+
+  std::mutex mutex_;
+  std::condition_variable stopCv_;
+  bool stopping_ = false;
+  std::thread heartbeat_;
+  std::atomic<std::uint64_t> heartbeatFailures_{0};
+};
+
+}  // namespace mw::cluster

@@ -1,0 +1,80 @@
+#include "cluster/shard_map.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace mw::cluster {
+
+std::string shardName(std::size_t index, std::size_t total) {
+  mw::util::require(total > 0, "shardName: total must be positive");
+  mw::util::require(index < total, "shardName: index out of range");
+  return kShardNamePrefix + std::to_string(index) + "/" + std::to_string(total);
+}
+
+std::optional<ParsedShardName> parseShardName(const std::string& name) {
+  const std::string_view prefix = kShardNamePrefix;
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string_view rest = std::string_view(name).substr(prefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const std::string_view indexPart = rest.substr(0, slash);
+  const std::string_view totalPart = rest.substr(slash + 1);
+  ParsedShardName parsed;
+  auto [ip, iec] = std::from_chars(indexPart.data(), indexPart.data() + indexPart.size(),
+                                   parsed.index);
+  auto [tp, tec] = std::from_chars(totalPart.data(), totalPart.data() + totalPart.size(),
+                                   parsed.total);
+  if (iec != std::errc{} || ip != indexPart.data() + indexPart.size()) return std::nullopt;
+  if (tec != std::errc{} || tp != totalPart.data() + totalPart.size()) return std::nullopt;
+  if (parsed.total == 0 || parsed.index >= parsed.total) return std::nullopt;
+  return parsed;
+}
+
+std::size_t shardForObject(const util::MobileObjectId& object, std::size_t total) {
+  mw::util::require(total > 0, "shardForObject: total must be positive");
+  // FNV-1a, 64-bit: platform-independent, unlike std::hash<std::string>.
+  std::uint64_t x = 0xcbf29ce484222325ULL;
+  for (const char c : object.str()) {
+    x ^= static_cast<std::uint8_t>(c);
+    x *= 0x100000001b3ULL;
+  }
+  // splitmix64 finalizer — the same mix the RpcServer applies to connection
+  // keys — so short ids with shared prefixes still spread over every shard.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % total);
+}
+
+std::size_t ShardMap::announcedCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& ep : endpoints) {
+    if (ep) ++n;
+  }
+  return n;
+}
+
+ShardMap resolveShardMap(core::RegistryClient& registry) {
+  ShardMap map;
+  for (const std::string& name : registry.list()) {
+    auto parsed = parseShardName(name);
+    if (!parsed) continue;  // unrelated service sharing the registry
+    if (map.total == 0) {
+      map.total = parsed->total;
+      map.endpoints.resize(map.total);
+    } else if (map.total != parsed->total) {
+      throw mw::util::ContractError("resolveShardMap: inconsistent shard totals in registry (" +
+                                    std::to_string(map.total) + " vs " +
+                                    std::to_string(parsed->total) + ")");
+    }
+    // The entry can expire between list() and lookup(); a nullopt lookup
+    // just leaves the slot unannounced.
+    map.endpoints[parsed->index] = registry.lookup(name);
+  }
+  return map;
+}
+
+}  // namespace mw::cluster

@@ -1,0 +1,69 @@
+// Shard naming and object partitioning for the location-service cluster.
+//
+// A cluster of N LocationService processes partitions the mobile-object
+// space by hash: shard i owns every object with shardForObject(o, N) == i.
+// Each shard announces itself in the RegistryServer under the name
+// "location.shard.<i>/<N>" — the index and the total are both in the name,
+// so a router can resolve the whole topology from a bare registry.list()
+// (discovery-then-route, the Gaia Space Repository pattern of §7 stretched
+// over the rendezvous-style service location of PAPERS.md).
+//
+// Ordering invariant: the router sends every reading for object o to shard
+// shardForObject(o, N); inside the shard the RpcServer's "ingest" lane
+// selector routes by hash(object) again. One object therefore flows through
+// one TCP ordering domain into one executor lane into one reading-store
+// stripe — per-object ordering holds end-to-end, so a sharded replay is
+// byte-identical to a sequential one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/remote_registry.hpp"
+#include "util/ids.hpp"
+
+namespace mw::cluster {
+
+/// Registry-name prefix shared by every shard announcement.
+inline constexpr const char* kShardNamePrefix = "location.shard.";
+
+/// "location.shard.<index>/<total>".
+[[nodiscard]] std::string shardName(std::size_t index, std::size_t total);
+
+struct ParsedShardName {
+  std::size_t index = 0;
+  std::size_t total = 0;
+};
+
+/// Inverse of shardName(); nullopt for anything malformed (wrong prefix,
+/// non-numeric fields, index >= total, total == 0).
+[[nodiscard]] std::optional<ParsedShardName> parseShardName(const std::string& name);
+
+/// The owning shard for an object: FNV-1a over the id bytes, finished with
+/// the splitmix64 mix (the same finalizer the RpcServer lane selector uses
+/// for connection keys), modulo the shard count. Deterministic across
+/// processes and platforms — a router restart routes every object exactly
+/// where its readings already live.
+[[nodiscard]] std::size_t shardForObject(const util::MobileObjectId& object, std::size_t total);
+
+/// A resolved cluster topology: `endpoints[i]` is shard i's announced
+/// endpoint, nullopt while unannounced (never started, crashed and expired
+/// from the registry, ...).
+struct ShardMap {
+  std::size_t total = 0;
+  std::vector<std::optional<core::Endpoint>> endpoints;
+
+  [[nodiscard]] std::size_t announcedCount() const noexcept;
+  [[nodiscard]] bool complete() const noexcept { return announcedCount() == total; }
+};
+
+/// Resolves the shard map from a live registry: lists every
+/// "location.shard.*" entry, checks that all announcements agree on the
+/// total, and looks each one up. Throws util::ContractError on inconsistent
+/// totals (two clusters sharing one registry is a deployment error) and
+/// returns an empty map (total 0) when no shard is announced.
+[[nodiscard]] ShardMap resolveShardMap(core::RegistryClient& registry);
+
+}  // namespace mw::cluster

@@ -286,7 +286,7 @@ void LocationService::ensureRegionsIndexed() const {
   }
   std::unique_lock lock(regionsMutex_);
   if (regionsIndexed_) return;  // another thread rebuilt while we waited
-  regions_ = RegionLattice{};
+  regions_.clear();
   // Enclosing spaces name locations (rooms/corridors/floors/buildings) plus
   // any row flagged as an application-defined region.
   for (const auto& row : db_.query([](const db::SpatialObjectRow& r) {

@@ -17,8 +17,14 @@ std::size_t RegionLattice::add(const std::string& glob, const geo::Rect& rect,
   std::size_t index = nodes_.size();
   nodes_.push_back(Node{glob, rect, std::move(properties), {}, {}, 0});
   byName_.emplace(glob, index);
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return index;
+}
+
+void RegionLattice::clear() {
+  nodes_.clear();
+  byName_.clear();
+  dirty_.store(false, std::memory_order_release);
 }
 
 const RegionLattice::Node& RegionLattice::node(std::size_t index) const {
@@ -72,7 +78,11 @@ std::optional<std::size_t> RegionLattice::atGranularity(geo::Point2 p,
 }
 
 void RegionLattice::refreshEdges() const {
-  if (!dirty_) return;
+  // Double-checked: the relaxed fast path sees either a fully published
+  // rebuild (acquire below pairs with the release store) or takes the lock.
+  if (!dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(refreshMutex_);
+  if (!dirty_.load(std::memory_order_relaxed)) return;
   const std::size_t n = nodes_.size();
   for (auto& node : nodes_) {
     node.parents.clear();
@@ -115,7 +125,7 @@ void RegionLattice::refreshEdges() const {
     for (std::size_t p : nodes_[idx].parents) depth = std::max(depth, nodes_[p].depth + 1);
     nodes_[idx].depth = depth;
   }
-  dirty_ = false;
+  dirty_.store(false, std::memory_order_release);
 }
 
 }  // namespace mw::core

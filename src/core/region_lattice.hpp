@@ -13,6 +13,8 @@
 // like the fusion lattice, but keyed by name.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,10 +37,31 @@ class RegionLattice {
     std::size_t depth = 0;
   };
 
+  RegionLattice() = default;
+
+  // Movable but not copyable; the refresh mutex stays with each instance.
+  // Moves, like `add`, are configuration-time: never concurrent with reads.
+  RegionLattice(RegionLattice&& other) noexcept
+      : nodes_(std::move(other.nodes_)),
+        byName_(std::move(other.byName_)),
+        dirty_(other.dirty_.load(std::memory_order_relaxed)) {}
+  RegionLattice& operator=(RegionLattice&& other) noexcept {
+    nodes_ = std::move(other.nodes_);
+    byName_ = std::move(other.byName_);
+    dirty_.store(other.dirty_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  RegionLattice(const RegionLattice&) = delete;
+  RegionLattice& operator=(const RegionLattice&) = delete;
+
   /// Adds a named region. Throws ContractError on duplicate names or empty
   /// rects.
   std::size_t add(const std::string& glob, const geo::Rect& rect,
                   std::unordered_map<std::string, std::string> properties = {});
+
+  /// Drops every region; the lattice is empty and clean afterwards. Like
+  /// `add`, must be externally serialized against concurrent reads.
+  void clear();
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] const Node& node(std::size_t index) const;
@@ -57,12 +80,17 @@ class RegionLattice {
                                                          std::size_t maxDepth) const;
 
   /// Recomputes Hasse edges and depths; called lazily by the accessors.
+  /// Safe to race from concurrent const readers (e.g. dispatcher lanes
+  /// serving locateSymbolic): the rebuild is serialized and publishes via
+  /// `dirty_`. Mutation (`add`) must still be externally serialized against
+  /// reads — it is a configuration-time operation.
   void refreshEdges() const;
 
  private:
   mutable std::vector<Node> nodes_;
   std::unordered_map<std::string, std::size_t> byName_;
-  mutable bool dirty_ = false;
+  mutable std::mutex refreshMutex_;
+  mutable std::atomic<bool> dirty_{false};
 };
 
 }  // namespace mw::core

@@ -5,6 +5,7 @@
 
 #include "core/codec.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 
 namespace mw::core {
 
@@ -127,6 +128,45 @@ void exposeLocationService(orb::RpcServer& server, LocationService& service) {
       },
       orb::RpcServer::roundRobinLanes());
 
+  // The scatter-gather variant: the probability plus an evidence flag, so a
+  // router can tell the owning shard's fused answer from the bare prior a
+  // shard with no readings for the object would report.
+  server.registerMethod(
+      "probabilityInRegionEx",
+      [&service](const Bytes& args) -> Bytes {
+        ByteReader r(args);
+        util::MobileObjectId object{r.str()};
+        geo::Rect region = decodeRect(r);
+        auto state = service.fusedStateFor(object);
+        ByteWriter w;
+        w.f64(service.engine().probabilityInRegion(region, *state));
+        w.boolean(!state->active.empty());
+        return w.take();
+      },
+      orb::RpcServer::roundRobinLanes());
+
+  server.registerMethod(
+      "objectsInRegion",
+      [&service](const Bytes& args) -> Bytes {
+        ByteReader r(args);
+        geo::Rect region = decodeRect(r);
+        double minProbability = r.f64();
+        auto members = service.objectsInRegion(region, minProbability);
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(members.size()));
+        for (const auto& [object, probability] : members) {
+          w.str(object.str());
+          w.f64(probability);
+        }
+        return w.take();
+      },
+      orb::RpcServer::roundRobinLanes());
+
+  // Liveness probe: answers as long as the serving path is alive. Routers
+  // use it to re-admit a shard that was marked down.
+  server.registerMethod(
+      "ping", [](const Bytes&) -> Bytes { return {}; }, orb::RpcServer::roundRobinLanes());
+
   // subscribe/unsubscribe keep the connection lane: a client that
   // unsubscribes right after subscribing must see the two execute in order.
   server.registerMethod("subscribe", [&service, &server](const Bytes& args) -> Bytes {
@@ -222,6 +262,43 @@ double RemoteLocationClient::probabilityInRegion(const util::MobileObjectId& obj
   return r.f64();
 }
 
+RemoteLocationClient::RegionProbability RemoteLocationClient::probabilityInRegionEx(
+    const util::MobileObjectId& object, const geo::Rect& region) {
+  ByteWriter w;
+  w.str(object.str());
+  encodeRect(w, region);
+  Bytes reply = rpc_->call("probabilityInRegionEx", w.take());
+  ByteReader r(reply);
+  RegionProbability result;
+  result.probability = r.f64();
+  result.hasEvidence = r.boolean();
+  return result;
+}
+
+std::vector<std::pair<util::MobileObjectId, double>> RemoteLocationClient::objectsInRegion(
+    const geo::Rect& region, double minProbability) {
+  ByteWriter w;
+  encodeRect(w, region);
+  w.f64(minProbability);
+  Bytes reply = rpc_->call("objectsInRegion", w.take());
+  ByteReader r(reply);
+  std::vector<std::pair<util::MobileObjectId, double>> members;
+  const std::uint32_t count = r.u32();
+  members.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    util::MobileObjectId object{r.str()};
+    double probability = r.f64();
+    members.emplace_back(std::move(object), probability);
+  }
+  return members;
+}
+
+void RemoteLocationClient::ping() { rpc_->call("ping", {}); }
+
+void RemoteLocationClient::setCallTimeout(util::Duration timeout) {
+  rpc_->setCallTimeout(timeout);
+}
+
 util::SubscriptionId RemoteLocationClient::subscribe(
     const geo::Rect& region, std::optional<util::MobileObjectId> subject, double threshold,
     std::function<void(const Notification&)> callback) {
@@ -307,7 +384,14 @@ void BatchingIngestClient::sendLocked() {
     readingsSent_.fetch_add(buffer_.size(), std::memory_order_relaxed);
   } catch (const util::TransportError&) {
     // Oneway semantics on a dead connection: the batch is dropped, like
-    // readings pushed at a restarting service. Callers keep running.
+    // readings pushed at a restarting service. Callers keep running, but
+    // the loss is counted and logged so tests and operators can tell a
+    // clean drain from a drop (this used to vanish silently, including in
+    // the destructor's final flush).
+    flushFailures_.fetch_add(1, std::memory_order_relaxed);
+    droppedReadings_.fetch_add(buffer_.size(), std::memory_order_relaxed);
+    util::logWarn("BatchingIngestClient",
+                  "flush failed on dead connection; dropped ", buffer_.size(), " reading(s)");
   }
   buffer_.clear();
 }

@@ -40,8 +40,9 @@
 namespace mw::core {
 
 /// Registers the service's methods ("ingest", "ingestBatch", "locate",
-/// "locateSymbolic", "probabilityInRegion", "subscribe", "unsubscribe") on
-/// the RPC server, with the lane routing rules described above.
+/// "locateSymbolic", "probabilityInRegion", "probabilityInRegionEx",
+/// "objectsInRegion", "subscribe", "unsubscribe", "ping") on the RPC
+/// server, with the lane routing rules described above.
 /// Subscription notifications are published as events through the server.
 /// The service must be configured (regions, sensors) before traffic arrives;
 /// enable concurrency with server.enableDispatcher(lanes).
@@ -75,6 +76,31 @@ class RemoteLocationClient {
 
   [[nodiscard]] double probabilityInRegion(const util::MobileObjectId& object,
                                            const geo::Rect& region);
+
+  /// probabilityInRegion plus whether the answering service actually holds
+  /// sensor evidence for the object. A service with no readings answers with
+  /// the bare prior mass of the region — indistinguishable from a real fused
+  /// value by number alone, so scatter-gather routers need the flag to pick
+  /// the owning shard's answer over the (N-1) evidence-free priors.
+  struct RegionProbability {
+    double probability = 0;
+    bool hasEvidence = false;
+  };
+  [[nodiscard]] RegionProbability probabilityInRegionEx(const util::MobileObjectId& object,
+                                                        const geo::Rect& region);
+
+  /// Region population query (mirrors LocationService::objectsInRegion):
+  /// members with fused P(inside) >= minProbability, sorted by descending
+  /// probability with ties broken by object id.
+  [[nodiscard]] std::vector<std::pair<util::MobileObjectId, double>> objectsInRegion(
+      const geo::Rect& region, double minProbability);
+
+  /// Round-trip liveness check; throws like any call when the peer is gone.
+  void ping();
+
+  /// Deadline applied to every blocking call made through this stub
+  /// (delegates to the underlying RpcClient).
+  void setCallTimeout(util::Duration timeout);
 
   /// Region-entry subscription; notifications arrive on the callback from
   /// the client's event thread.
@@ -124,6 +150,17 @@ class BatchingIngestClient {
   [[nodiscard]] std::uint64_t readingsSent() const noexcept {
     return readingsSent_.load(std::memory_order_relaxed);
   }
+  /// Flushes that failed on a dead connection. Oneway semantics drop the
+  /// batch (callers keep running), but the drop is counted and logged at
+  /// warn — it used to vanish silently, which made "did the destructor lose
+  /// my readings?" unanswerable in tests.
+  [[nodiscard]] std::uint64_t flushFailures() const noexcept {
+    return flushFailures_.load(std::memory_order_relaxed);
+  }
+  /// Readings lost to failed flushes (the sum of the dropped batch sizes).
+  [[nodiscard]] std::uint64_t droppedReadings() const noexcept {
+    return droppedReadings_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Encodes and sends buffer_ (mutex_ held), clearing it.
@@ -140,6 +177,8 @@ class BatchingIngestClient {
   bool stopping_ = false;
   std::atomic<std::uint64_t> batchesSent_{0};
   std::atomic<std::uint64_t> readingsSent_{0};
+  std::atomic<std::uint64_t> flushFailures_{0};
+  std::atomic<std::uint64_t> droppedReadings_{0};
   std::thread flusher_;
 };
 

@@ -16,9 +16,15 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     ByteReader r(args);
     std::string name = r.str();
     Endpoint ep{r.str(), r.u16()};
+    const std::uint32_t ttlMs = r.u32();
     mw::util::require(!name.empty(), "registry.announce: empty name");
+    Entry entry;
+    entry.endpoint = std::move(ep);
+    entry.expiresAt = ttlMs == 0 ? std::chrono::steady_clock::time_point::max()
+                                 : std::chrono::steady_clock::now() +
+                                       std::chrono::milliseconds(ttlMs);
     std::lock_guard lock(mutex_);
-    entries_[name] = std::move(ep);
+    entries_[name] = std::move(entry);
     return {};
   });
   rpc_.registerMethod("registry.lookup", [this](const Bytes& args) -> Bytes {
@@ -26,11 +32,12 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     std::string name = r.str();
     ByteWriter w;
     std::lock_guard lock(mutex_);
+    pruneExpiredLocked();
     auto it = entries_.find(name);
     w.boolean(it != entries_.end());
     if (it != entries_.end()) {
-      w.str(it->second.host);
-      w.u16(it->second.port);
+      w.str(it->second.endpoint.host);
+      w.u16(it->second.endpoint.port);
     }
     return w.take();
   });
@@ -38,6 +45,7 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     std::vector<std::string> names;
     {
       std::lock_guard lock(mutex_);
+      pruneExpiredLocked();
       names.reserve(entries_.size());
       for (const auto& [name, _] : entries_) names.push_back(name);
     }
@@ -53,6 +61,7 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     bool removed;
     {
       std::lock_guard lock(mutex_);
+      pruneExpiredLocked();
       removed = entries_.erase(name) > 0;
     }
     ByteWriter w;
@@ -63,19 +72,28 @@ RegistryServer::RegistryServer(std::uint16_t port) {
       port, [this](std::shared_ptr<orb::Transport> t) { rpc_.serve(std::move(t)); });
 }
 
+void RegistryServer::pruneExpiredLocked() const {
+  const auto now = std::chrono::steady_clock::now();
+  std::erase_if(entries_, [&](const auto& kv) { return kv.second.expiresAt <= now; });
+}
+
 std::size_t RegistryServer::entryCount() const {
   std::lock_guard lock(mutex_);
+  pruneExpiredLocked();
   return entries_.size();
 }
 
 RegistryClient::RegistryClient(const std::string& host, std::uint16_t port)
     : rpc_(std::make_shared<orb::RpcClient>(orb::tcpConnect(host, port))) {}
 
-void RegistryClient::announce(const std::string& name, const Endpoint& endpoint) {
+void RegistryClient::announce(const std::string& name, const Endpoint& endpoint,
+                              util::Duration ttl) {
+  mw::util::require(ttl.count() >= 0, "RegistryClient::announce: negative TTL");
   ByteWriter w;
   w.str(name);
   w.str(endpoint.host);
   w.u16(endpoint.port);
+  w.u32(static_cast<std::uint32_t>(ttl.count()));
   rpc_->call("registry.announce", w.take());
 }
 

@@ -6,8 +6,16 @@
 // The RegistryServer listens on TCP; services announce (name -> host:port)
 // endpoints; applications look names up and connect directly — exactly the
 // discovery-then-talk-directly pattern the paper describes.
+//
+// Liveness: an announce may carry a TTL; the entry expires unless the owner
+// re-announces (heartbeats) before the TTL lapses, so a crashed service
+// disappears from lookup()/list() instead of lingering as a dead endpoint.
+// Expiry is lazy (checked on every read), matching the reading-store's lazy
+// TTL discipline — no background reaper thread. A TTL of zero means the
+// entry never expires (the pre-TTL behavior).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -18,6 +26,7 @@
 
 #include "orb/rpc.hpp"
 #include "orb/tcp.hpp"
+#include "util/clock.hpp"
 
 namespace mw::core {
 
@@ -37,8 +46,19 @@ class RegistryServer {
   [[nodiscard]] std::size_t entryCount() const;
 
  private:
+  struct Entry {
+    Endpoint endpoint;
+    /// Expiry instant; time_point::max() = never (TTL 0). Steady clock: the
+    /// registry measures heartbeat gaps, not calendar time.
+    std::chrono::steady_clock::time_point expiresAt;
+  };
+
+  /// Drops every expired entry (mutex_ held). Expiry mutates on the read
+  /// path — that is what "lazy" means here — so the map is mutable.
+  void pruneExpiredLocked() const;
+
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, Endpoint> entries_;
+  mutable std::unordered_map<std::string, Entry> entries_;
   orb::RpcServer rpc_;
   std::unique_ptr<orb::TcpListener> listener_;
 };
@@ -47,8 +67,12 @@ class RegistryClient {
  public:
   RegistryClient(const std::string& host, std::uint16_t port);
 
-  /// Publishes or replaces a service endpoint.
-  void announce(const std::string& name, const Endpoint& endpoint);
+  /// Publishes or replaces a service endpoint. With a nonzero `ttl` the
+  /// entry expires unless re-announced (same name, any endpoint) within the
+  /// TTL — call announce() periodically as a heartbeat. TTL zero (the
+  /// default) registers the entry forever.
+  void announce(const std::string& name, const Endpoint& endpoint,
+                util::Duration ttl = util::Duration::zero());
   /// Resolves a name; nullopt when not registered.
   [[nodiscard]] std::optional<Endpoint> lookup(const std::string& name);
   /// All registered names, sorted.

@@ -271,6 +271,19 @@ void RpcClient::handleFrame(const util::Bytes& frame) {
   cv_.notify_all();
 }
 
+util::Bytes RpcClient::call(const std::string& method, const util::Bytes& args) {
+  return call(method, args, callTimeout());
+}
+
+void RpcClient::setCallTimeout(util::Duration timeout) {
+  mw::util::require(timeout.count() > 0, "RpcClient::setCallTimeout: timeout must be positive");
+  callTimeoutMs_.store(timeout.count(), std::memory_order_relaxed);
+}
+
+util::Duration RpcClient::callTimeout() const {
+  return util::Duration{callTimeoutMs_.load(std::memory_order_relaxed)};
+}
+
 util::Bytes RpcClient::call(const std::string& method, const util::Bytes& args,
                             util::Duration timeout) {
   std::uint64_t id;
@@ -297,7 +310,7 @@ util::Bytes RpcClient::call(const std::string& method, const util::Bytes& args,
                          [&] { return pending_.at(id).done; });
   Pending result = std::move(pending_.at(id));
   pending_.erase(id);
-  if (!ok) throw TransportError("RpcClient::call: timeout on " + method);
+  if (!ok) throw mw::util::TimeoutError("RpcClient::call: timeout on " + method);
   if (result.isError) {
     util::ByteReader r(result.payload);
     throw MwError("RpcClient::call: remote error: " + r.str());

@@ -127,10 +127,17 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
-  /// Blocking call; throws util::TransportError on timeout/disconnect and
-  /// util::MwError when the server replied with an Error message.
-  util::Bytes call(const std::string& method, const util::Bytes& args,
-                   util::Duration timeout = util::sec(5));
+  /// Blocking call; throws util::TimeoutError when the deadline expires with
+  /// no reply, util::TransportError on disconnect, and util::MwError when
+  /// the server replied with an Error message. Without an explicit timeout
+  /// the per-client deadline (setCallTimeout, default 5 s) applies.
+  util::Bytes call(const std::string& method, const util::Bytes& args);
+  util::Bytes call(const std::string& method, const util::Bytes& args, util::Duration timeout);
+
+  /// Per-client default deadline used by call() when none is passed. Routers
+  /// shrink this so a dead shard costs a bounded wait instead of 5 s.
+  void setCallTimeout(util::Duration timeout);
+  [[nodiscard]] util::Duration callTimeout() const;
 
   /// Fire-and-forget invocation (CORBA "oneway"): the request carries id 0,
   /// the server executes the method but sends no reply, and errors are
@@ -153,6 +160,7 @@ class RpcClient {
   void handleFrame(const util::Bytes& frame);
 
   std::shared_ptr<Transport> transport_;
+  std::atomic<util::Duration::rep> callTimeoutMs_{5000};
   std::mutex mutex_;
   std::condition_variable cv_;
   std::uint64_t nextId_ = 0;

@@ -41,6 +41,15 @@ class TransportError : public MwError {
   explicit TransportError(const std::string& what) : MwError(what) {}
 };
 
+/// A call's deadline expired before the peer answered. Distinct from the
+/// base TransportError so retry/backoff policies can tell "slow" (the peer
+/// may still be working; back off) from "down" (the connection is gone;
+/// reconnect or fail over).
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransportError(what) {}
+};
+
 /// Throws ContractError if `cond` is false. Use for cheap precondition
 /// checks on public API boundaries.
 inline void require(bool cond, const std::string& what) {

@@ -1,0 +1,507 @@
+// Cluster tests: N LocationService shard processes behind the registry,
+// fronted by the ClusterLocationService router. The load-bearing property is
+// oracle equivalence — a sharded cluster answers byte-for-byte like one
+// single-process service fed the same readings — plus graceful degradation
+// when a shard dies.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_location_service.hpp"
+#include "cluster/shard_host.hpp"
+#include "cluster/shard_map.hpp"
+#include "core/codec.hpp"
+#include "core/middlewhere.hpp"
+#include "core/remote_registry.hpp"
+#include "util/error.hpp"
+
+namespace mw::cluster {
+namespace {
+
+using mw::util::MobileObjectId;
+using mw::util::SensorId;
+using mw::util::VirtualClock;
+
+geo::Rect universe() { return geo::Rect::fromOrigin({0, 0}, 100, 50); }
+
+/// The shared world every shard AND the oracle must agree on: one room, one
+/// calibrated Ubisense sensor. Identical configuration is what makes fused
+/// answers comparable across deployments.
+void configureWorld(core::Middlewhere& mw) {
+  db::SpatialObjectRow room;
+  room.id = util::SpatialObjectId{"roomA"};
+  room.globPrefix = "SC";
+  room.objectType = db::ObjectType::Room;
+  room.geometryType = db::GeometryType::Polygon;
+  room.points = {{0, 0}, {20, 0}, {20, 20}, {0, 20}};
+  mw.database().addObject(room);
+
+  db::SensorMeta ubi;
+  ubi.sensorId = SensorId{"ubi-1"};
+  ubi.sensorType = "Ubisense";
+  ubi.errorSpec = quality::ubisenseSpec(1.0);
+  ubi.scaleMisidentifyByArea = true;
+  ubi.quality.ttl = util::sec(30);
+  mw.database().registerSensor(ubi);
+}
+
+db::SensorReading makeReading(const util::Clock& clock, geo::Point2 where,
+                              const std::string& object) {
+  db::SensorReading r;
+  r.sensorId = SensorId{"ubi-1"};
+  r.sensorType = "Ubisense";
+  r.mobileObjectId = MobileObjectId{object};
+  r.location = where;
+  r.detectionRadius = 0.5;
+  r.detectionTime = clock.now();
+  return r;
+}
+
+/// Tight-but-not-hair-trigger failure knobs so degraded-mode tests converge
+/// in milliseconds instead of the production seconds.
+RetryPolicy fastRetry() {
+  RetryPolicy p;
+  p.callDeadline = util::sec(2);
+  p.maxRetries = 1;
+  p.backoffBase = util::msec(2);
+  p.backoffMax = util::msec(10);
+  p.downAfterFailures = 2;
+  p.probeInterval = util::msec(30);
+  return p;
+}
+
+util::Bytes estimateBytes(const fusion::LocationEstimate& est) {
+  util::ByteWriter w;
+  core::encodeEstimate(w, est);
+  return w.bytes();
+}
+
+// --- shard map unit tests -------------------------------------------------------
+
+TEST(ShardMapTest, ShardNameRoundTrip) {
+  EXPECT_EQ(shardName(0, 1), "location.shard.0/1");
+  EXPECT_EQ(shardName(3, 8), "location.shard.3/8");
+  auto parsed = parseShardName("location.shard.3/8");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->index, 3u);
+  EXPECT_EQ(parsed->total, 8u);
+  for (std::size_t total : {1u, 2u, 5u}) {
+    for (std::size_t i = 0; i < total; ++i) {
+      auto back = parseShardName(shardName(i, total));
+      ASSERT_TRUE(back.has_value());
+      EXPECT_EQ(back->index, i);
+      EXPECT_EQ(back->total, total);
+    }
+  }
+}
+
+TEST(ShardMapTest, ParseRejectsMalformedNames) {
+  EXPECT_EQ(parseShardName(""), std::nullopt);
+  EXPECT_EQ(parseShardName("LocationService"), std::nullopt);
+  EXPECT_EQ(parseShardName("location.shard."), std::nullopt);
+  EXPECT_EQ(parseShardName("location.shard.1"), std::nullopt) << "no /total";
+  EXPECT_EQ(parseShardName("location.shard./4"), std::nullopt);
+  EXPECT_EQ(parseShardName("location.shard.x/4"), std::nullopt);
+  EXPECT_EQ(parseShardName("location.shard.1/x"), std::nullopt);
+  EXPECT_EQ(parseShardName("location.shard.4/4"), std::nullopt) << "index >= total";
+  EXPECT_EQ(parseShardName("location.shard.0/0"), std::nullopt) << "empty cluster";
+  EXPECT_EQ(parseShardName("location.shard.1/4trailing"), std::nullopt);
+}
+
+TEST(ShardMapTest, ShardForObjectIsDeterministicInRangeAndSpreads) {
+  const std::size_t total = 4;
+  std::set<std::size_t> hit;
+  for (int i = 0; i < 200; ++i) {
+    MobileObjectId object{"user-" + std::to_string(i)};
+    const std::size_t shard = shardForObject(object, total);
+    EXPECT_LT(shard, total);
+    EXPECT_EQ(shard, shardForObject(object, total)) << "same object, same shard";
+    hit.insert(shard);
+  }
+  EXPECT_EQ(hit.size(), total) << "200 objects should land on every shard of 4";
+  EXPECT_EQ(shardForObject(MobileObjectId{"anyone"}, 1), 0u);
+}
+
+TEST(ShardMapTest, ResolveFromRegistry) {
+  core::RegistryServer registry;
+  core::RegistryClient client("127.0.0.1", registry.port());
+
+  auto empty = resolveShardMap(client);
+  EXPECT_EQ(empty.total, 0u);
+  EXPECT_EQ(empty.announcedCount(), 0u);
+
+  client.announce(shardName(1, 2), {"127.0.0.1", 7001});
+  auto partial = resolveShardMap(client);
+  EXPECT_EQ(partial.total, 2u);
+  EXPECT_EQ(partial.announcedCount(), 1u);
+  EXPECT_FALSE(partial.complete());
+  EXPECT_EQ(partial.endpoints[0], std::nullopt);
+  ASSERT_TRUE(partial.endpoints[1].has_value());
+  EXPECT_EQ(partial.endpoints[1]->port, 7001);
+
+  client.announce(shardName(0, 2), {"127.0.0.1", 7000});
+  client.announce("LocationService", {"127.0.0.1", 9999});  // non-shard noise
+  auto full = resolveShardMap(client);
+  EXPECT_TRUE(full.complete());
+  EXPECT_EQ(full.endpoints[0]->port, 7000);
+
+  // Two clusters of different widths in one registry is a deployment error.
+  client.announce(shardName(2, 3), {"127.0.0.1", 7002});
+  EXPECT_THROW(resolveShardMap(client), util::ContractError);
+}
+
+// --- cluster fixture ------------------------------------------------------------
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void startCluster(std::size_t n) {
+    registry_ = std::make_unique<core::RegistryServer>();
+    for (std::size_t i = 0; i < n; ++i) {
+      hosts_.push_back(startShard(i, n));
+    }
+    ClusterLocationService::Options opts;
+    opts.retry = fastRetry();
+    router_ = std::make_unique<ClusterLocationService>("127.0.0.1", registry_->port(), opts);
+    oracle_ = std::make_unique<core::Middlewhere>(clock_, universe(), "SC");
+    configureWorld(*oracle_);
+    oracleClient_ = oracle_->connectLocal();
+  }
+
+  std::unique_ptr<ShardHost> startShard(std::size_t index, std::size_t total) {
+    ShardHost::Options opts;
+    opts.index = index;
+    opts.total = total;
+    opts.announceTtl = util::sec(5);
+    opts.heartbeatPeriod = util::msec(100);
+    auto host = std::make_unique<ShardHost>(clock_, universe(), "SC", "127.0.0.1",
+                                            registry_->port(), opts);
+    configureWorld(host->core());
+    host->start();
+    return host;
+  }
+
+  /// Feeds the same reading to the cluster and to the single-process oracle.
+  void ingestBoth(const db::SensorReading& reading) {
+    router_->ingest(reading);
+    oracleClient_->ingest(reading);
+  }
+
+  /// An object id owned by `shard` (deterministic: scans a fixed namespace).
+  std::string objectOwnedBy(std::size_t shard) const {
+    for (int i = 0; i < 1000; ++i) {
+      std::string name = "obj-" + std::to_string(i);
+      if (shardForObject(MobileObjectId{name}, router_->shardCount()) == shard) return name;
+    }
+    ADD_FAILURE() << "no object found for shard " << shard;
+    return "obj-0";
+  }
+
+  VirtualClock clock_;
+  std::unique_ptr<core::RegistryServer> registry_;
+  std::vector<std::unique_ptr<ShardHost>> hosts_;
+  std::unique_ptr<ClusterLocationService> router_;
+  std::unique_ptr<core::Middlewhere> oracle_;
+  /// In-process client to the oracle: the same marshalling path the router
+  /// uses, so answers are comparable byte-for-byte.
+  std::unique_ptr<core::RemoteLocationClient> oracleClient_;
+};
+
+// --- oracle equivalence ---------------------------------------------------------
+
+TEST_F(ClusterTest, ShardedLocateMatchesSingleProcessOracle) {
+  startCluster(2);
+  std::vector<std::string> objects;
+  for (int i = 0; i < 12; ++i) objects.push_back("obj-" + std::to_string(i));
+
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const double x = 1.0 + static_cast<double>(i % 6) * 3.0;
+    const double y = 2.0 + static_cast<double>(i / 6) * 5.0;
+    ingestBoth(makeReading(clock_, {x, y}, objects[i]));
+    clock_.advance(util::msec(50));
+    ingestBoth(makeReading(clock_, {x + 0.5, y}, objects[i]));
+  }
+
+  // Both shards must actually own traffic, or the test proves nothing.
+  EXPECT_GT(hosts_[0]->core().locationService().ingestedReadings(), 0u);
+  EXPECT_GT(hosts_[1]->core().locationService().ingestedReadings(), 0u);
+
+  for (const auto& name : objects) {
+    MobileObjectId object{name};
+    auto fromCluster = router_->locate(object);
+    auto fromOracle = oracleClient_->locate(object);
+    ASSERT_TRUE(fromCluster.has_value()) << name;
+    ASSERT_TRUE(fromOracle.has_value()) << name;
+    EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle))
+        << name << ": sharded locate must be byte-identical to the oracle";
+    EXPECT_EQ(router_->locateSymbolic(object), oracleClient_->locateSymbolic(object)) << name;
+  }
+  EXPECT_EQ(router_->locate(MobileObjectId{"ghost"}), std::nullopt);
+  EXPECT_EQ(router_->stats().failedRoutedCalls, 0u) << "unknown object is a miss, not a failure";
+}
+
+TEST_F(ClusterTest, ProbabilityInRegionPrefersEvidenceOverPriors) {
+  startCluster(2);
+  const auto region = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  const std::string inhabitant = objectOwnedBy(0);
+  ingestBoth(makeReading(clock_, {5, 5}, inhabitant));
+
+  // Evidence case: only the owning shard has readings; the other (N-1)
+  // shards answer with the bare prior. The merge must pick the fused value.
+  EXPECT_DOUBLE_EQ(router_->probabilityInRegion(MobileObjectId{inhabitant}, region),
+                   oracleClient_->probabilityInRegion(MobileObjectId{inhabitant}, region));
+
+  // No-evidence case: every shard reports the same prior mass; the cluster
+  // must agree with the oracle's prior answer, not invent a zero.
+  EXPECT_DOUBLE_EQ(router_->probabilityInRegion(MobileObjectId{"ghost"}, region),
+                   oracleClient_->probabilityInRegion(MobileObjectId{"ghost"}, region));
+  EXPECT_EQ(router_->stats().degradedQueries, 0u);
+}
+
+TEST_F(ClusterTest, ObjectsInRegionMergesAcrossShards) {
+  startCluster(2);
+  const auto region = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  for (int i = 0; i < 10; ++i) {
+    ingestBoth(makeReading(clock_, {2.0 + i, 3.0 + (i % 4)}, "obj-" + std::to_string(i)));
+  }
+  // One object outside the region, to prove filtering matches too.
+  ingestBoth(makeReading(clock_, {60, 40}, "outsider"));
+
+  auto fromCluster = router_->objectsInRegionDetailed(region, 0.5);
+  auto fromOracle = oracleClient_->objectsInRegion(region, 0.5);
+  EXPECT_FALSE(fromCluster.degraded);
+  EXPECT_EQ(fromCluster.shardsAnswered, 2u);
+  ASSERT_EQ(fromCluster.members.size(), fromOracle.size());
+  for (std::size_t i = 0; i < fromOracle.size(); ++i) {
+    EXPECT_EQ(fromCluster.members[i].first, fromOracle[i].first) << "rank " << i;
+    EXPECT_DOUBLE_EQ(fromCluster.members[i].second, fromOracle[i].second) << "rank " << i;
+  }
+  EXPECT_GE(router_->stats().scatterGathers, 1u);
+}
+
+TEST_F(ClusterTest, IngestBatchSplitsByOwningShard) {
+  startCluster(2);
+  std::vector<db::SensorReading> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back(makeReading(clock_, {1.0 + i % 5, 2.0 + i % 7}, "obj-" + std::to_string(i)));
+  }
+  router_->ingestBatch(batch);
+  oracleClient_->ingestBatch(batch);
+
+  EXPECT_EQ(hosts_[0]->core().locationService().ingestedReadings() +
+                hosts_[1]->core().locationService().ingestedReadings(),
+            batch.size())
+      << "every reading lands on exactly one shard";
+  EXPECT_GT(hosts_[0]->core().locationService().ingestedReadings(), 0u);
+  EXPECT_GT(hosts_[1]->core().locationService().ingestedReadings(), 0u);
+
+  for (const auto& reading : batch) {
+    auto fromCluster = router_->locate(reading.mobileObjectId);
+    auto fromOracle = oracleClient_->locate(reading.mobileObjectId);
+    ASSERT_TRUE(fromCluster.has_value());
+    ASSERT_TRUE(fromOracle.has_value());
+    EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle));
+  }
+}
+
+// --- degraded mode --------------------------------------------------------------
+
+TEST_F(ClusterTest, KillOneShardDegradesButKeepsAnswering) {
+  startCluster(2);
+  const auto region = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  const std::string onLive = objectOwnedBy(0);
+  const std::string onDead = objectOwnedBy(1);
+  ingestBoth(makeReading(clock_, {4, 4}, onLive));
+  ingestBoth(makeReading(clock_, {8, 8}, onDead));
+  ASSERT_TRUE(router_->locate(MobileObjectId{onDead}).has_value());
+
+  hosts_[1].reset();  // the shard process dies: port closed, entry withdrawn
+
+  // Scatter-gather still answers — partially, and says so.
+  auto population = router_->objectsInRegionDetailed(region, 0.5);
+  EXPECT_TRUE(population.degraded);
+  EXPECT_EQ(population.shardsAnswered, 1u);
+  ASSERT_EQ(population.members.size(), 1u);
+  EXPECT_EQ(population.members[0].first, MobileObjectId{onLive});
+
+  // Routed calls: the live shard's objects answer, the dead shard's return
+  // "unknown" instead of hanging or throwing.
+  ASSERT_TRUE(router_->locate(MobileObjectId{onLive}).has_value());
+  EXPECT_EQ(router_->locate(MobileObjectId{onDead}), std::nullopt);
+  EXPECT_GT(router_->probabilityInRegion(MobileObjectId{onLive}, region), 0.9);
+
+  auto stats = router_->stats();
+  EXPECT_TRUE(stats.shards[1].down) << "consecutive failures must mark the shard down";
+  EXPECT_FALSE(stats.shards[0].down);
+  EXPECT_GT(stats.shards[1].failures, 0u);
+  EXPECT_GT(stats.degradedQueries, 0u);
+  EXPECT_GT(stats.failedRoutedCalls, 0u);
+
+  // Down shards fail fast: a routed call between probes costs ~nothing.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(router_->locate(MobileObjectId{onDead}), std::nullopt);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(500));
+}
+
+TEST_F(ClusterTest, RestartedShardIsReadmittedByProbe) {
+  startCluster(2);
+  const std::string object = objectOwnedBy(1);
+  ingestBoth(makeReading(clock_, {5, 5}, object));
+
+  hosts_[1].reset();
+  EXPECT_EQ(router_->locate(MobileObjectId{object}), std::nullopt);
+  ASSERT_TRUE(router_->stats().shards[1].down);
+
+  // Restart shard 1 on a fresh port; the heartbeat re-announces it.
+  hosts_[1] = startShard(1, 2);
+  router_->refreshShardMap();
+
+  // Probe until the health machine re-admits it (probeInterval is 30ms).
+  for (int i = 0; i < 200 && router_->stats().shards[1].down; ++i) {
+    router_->probeDownShards();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(router_->stats().shards[1].down);
+
+  // The restarted shard is empty (state died with the process); new
+  // readings route to it and answer again.
+  router_->ingest(makeReading(clock_, {6, 6}, object));
+  auto est = router_->locate(MobileObjectId{object});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->probability, 0.9);
+}
+
+// --- subscriptions --------------------------------------------------------------
+
+TEST_F(ClusterTest, SubscriptionFansOutAndCarriesOneClusterId) {
+  startCluster(2);
+  const auto region = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  const std::string onShard0 = objectOwnedBy(0);
+  const std::string onShard1 = objectOwnedBy(1);
+
+  std::mutex notesMutex;
+  std::vector<core::Notification> notes;
+  auto id = router_->subscribe(region, std::nullopt, 0.5, [&](const core::Notification& n) {
+    std::lock_guard lock(notesMutex);
+    notes.push_back(n);
+  });
+  EXPECT_TRUE(id.valid());
+
+  router_->ingest(makeReading(clock_, {5, 5}, onShard0));
+  router_->ingest(makeReading(clock_, {10, 10}, onShard1));
+
+  // Notifications arrive on the clients' event threads; poll.
+  for (int i = 0; i < 400; ++i) {
+    std::lock_guard lock(notesMutex);
+    if (notes.size() >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::set<std::string> notified;
+  {
+    std::lock_guard lock(notesMutex);
+    ASSERT_EQ(notes.size(), 2u) << "one notification per shard-matched ingest";
+    for (const auto& n : notes) {
+      EXPECT_EQ(n.id, id) << "whichever shard matched, the caller sees ONE id";
+      EXPECT_GT(n.probability, 0.5);
+      notified.insert(n.object.str());
+    }
+  }
+  EXPECT_EQ(notified, (std::set<std::string>{onShard0, onShard1}));
+
+  EXPECT_TRUE(router_->unsubscribe(id));
+  EXPECT_FALSE(router_->unsubscribe(id));
+  router_->ingest(makeReading(clock_, {6, 6}, onShard0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::lock_guard lock(notesMutex);
+  EXPECT_EQ(notes.size(), 2u) << "no notifications after unsubscribe";
+}
+
+TEST_F(ClusterTest, SubscriptionReplaysOntoRestartedShard) {
+  startCluster(2);
+  const auto region = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  const std::string object = objectOwnedBy(1);
+
+  std::mutex notesMutex;
+  std::vector<core::Notification> notes;
+  auto id = router_->subscribe(region, std::nullopt, 0.5, [&](const core::Notification& n) {
+    std::lock_guard lock(notesMutex);
+    notes.push_back(n);
+  });
+
+  hosts_[1].reset();
+  router_->ingest(makeReading(clock_, {5, 5}, object));  // dropped; marks shard down
+  hosts_[1] = startShard(1, 2);
+  router_->refreshShardMap();
+  for (int i = 0; i < 200 && router_->stats().shards[1].down; ++i) {
+    router_->probeDownShards();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(router_->stats().shards[1].down);
+
+  // The reconnect replayed the live subscription onto the fresh shard: an
+  // ingest routed there must still notify under the original cluster id.
+  router_->ingest(makeReading(clock_, {7, 7}, object));
+  for (int i = 0; i < 400; ++i) {
+    std::lock_guard lock(notesMutex);
+    if (!notes.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::lock_guard lock(notesMutex);
+  ASSERT_FALSE(notes.empty()) << "subscription must survive the shard restart";
+  EXPECT_EQ(notes.back().id, id);
+  EXPECT_EQ(notes.back().object, MobileObjectId{object});
+}
+
+// --- concurrency (runs under TSan in CI) ----------------------------------------
+
+TEST_F(ClusterTest, ClusterConcurrencyMixedOpsThroughOneRouter) {
+  startCluster(2);
+  const auto region = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25;
+
+  std::atomic<std::uint64_t> located{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string object = "obj-" + std::to_string(t) + "-" + std::to_string(i % 7);
+        router_->ingest(makeReading(clock_, {2.0 + i % 8, 3.0 + t}, object));
+        if (router_->locate(MobileObjectId{object})) {
+          located.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 5 == 0) {
+          (void)router_->objectsInRegionDetailed(region, 0.5);
+          (void)router_->probabilityInRegion(MobileObjectId{object}, region);
+        }
+        if (i % 10 == 0) {
+          auto id = router_->subscribe(region, std::nullopt, 0.9, [](const core::Notification&) {});
+          router_->unsubscribe(id);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(located.load(), static_cast<std::uint64_t>(kThreads) * kIters)
+      << "a healthy cluster must answer every routed locate";
+  auto stats = router_->stats();
+  EXPECT_EQ(stats.failedRoutedCalls, 0u);
+  EXPECT_EQ(stats.droppedIngestReadings, 0u);
+  EXPECT_FALSE(stats.shards[0].down);
+  EXPECT_FALSE(stats.shards[1].down);
+  EXPECT_EQ(hosts_[0]->core().locationService().ingestedReadings() +
+                hosts_[1]->core().locationService().ingestedReadings(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace mw::cluster

@@ -2,6 +2,9 @@
 // Space Repository pattern (§7).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/middlewhere.hpp"
 #include "core/remote_registry.hpp"
 #include "util/error.hpp"
@@ -89,6 +92,59 @@ TEST(RemoteRegistryTest, DiscoverThenTalkDirectly) {
   auto est = remote->locate(MobileObjectId{"alice"});
   ASSERT_TRUE(est.has_value());
   EXPECT_GT(est->probability, 0.9);
+}
+
+// --- TTL / liveness -------------------------------------------------------------
+
+TEST(RemoteRegistryTtlTest, EntryExpiresWithoutHeartbeat) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+  client.announce("svc", {"127.0.0.1", 4444}, util::msec(80));
+  EXPECT_TRUE(client.lookup("svc").has_value());
+
+  // Expiry is wall-clock (steady_clock heartbeat gaps, not model time).
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(client.lookup("svc"), std::nullopt) << "TTL lapsed, no heartbeat";
+  EXPECT_EQ(client.list(), std::vector<std::string>{});
+  EXPECT_EQ(server.entryCount(), 0u);
+  EXPECT_FALSE(client.withdraw("svc")) << "expired entries cannot be withdrawn";
+}
+
+TEST(RemoteRegistryTtlTest, HeartbeatKeepsEntryAlive) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+  client.announce("svc", {"127.0.0.1", 4444}, util::msec(120));
+  // Re-announce well inside the TTL, several times over multiple lifetimes.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    client.announce("svc", {"127.0.0.1", 4444}, util::msec(120));
+    EXPECT_TRUE(client.lookup("svc").has_value()) << "heartbeat " << i;
+  }
+  // Stop heartbeating: the entry dies on its own.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(client.lookup("svc"), std::nullopt);
+}
+
+TEST(RemoteRegistryTtlTest, ZeroTtlNeverExpires) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+  client.announce("forever", {"127.0.0.1", 4444});  // default TTL 0
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(client.lookup("forever").has_value());
+  EXPECT_THROW(client.announce("bad", {"127.0.0.1", 1}, util::msec(-5)), util::ContractError);
+}
+
+TEST(RemoteRegistryTtlTest, ExpiredEntryCanBeReclaimed) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+  client.announce("svc", {"127.0.0.1", 1000}, util::msec(60));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  ASSERT_EQ(client.lookup("svc"), std::nullopt);
+  // A new owner (new endpoint) can take the expired name.
+  client.announce("svc", {"127.0.0.1", 2000}, util::msec(60));
+  auto ep = client.lookup("svc");
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->port, 2000);
 }
 
 }  // namespace

@@ -344,6 +344,36 @@ TEST(IngestBatchTest, BatchingClientFlushesOnDestructionAndExplicitly) {
   EXPECT_EQ(mw->locationService().ingestedBatches(), 2u);
 }
 
+TEST(IngestBatchTest, BatchingClientCountsFlushFailuresOnDeadConnection) {
+  VirtualClock clock;
+  auto mw = makeStack(clock);
+  std::uint16_t port = mw->listen();
+  auto rpc = std::make_shared<orb::RpcClient>(orb::tcpConnect("127.0.0.1", port));
+
+  BatchingIngestClient::Options opts;
+  opts.maxBatch = 1000;
+  opts.maxDelay = util::sec(60);
+  BatchingIngestClient batcher(rpc, opts);
+  batcher.ingest(makeReading(clock, {5, 5}));
+  batcher.flush();
+  EXPECT_EQ(batcher.flushFailures(), 0u);
+  EXPECT_EQ(batcher.droppedReadings(), 0u);
+
+  mw.reset();  // the service dies with readings still to come
+
+  // A flush on the dead connection drops the batch — oneway semantics, the
+  // caller keeps running — but the drop must be counted, not swallowed.
+  // TCP surfaces the peer's death lazily (first write after close may still
+  // be buffered), so feed flushes until the failure registers.
+  for (int i = 0; i < 200 && batcher.flushFailures() == 0; ++i) {
+    batcher.ingest(makeReading(clock, {6, 5}));
+    batcher.flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(batcher.flushFailures(), 0u);
+  EXPECT_GT(batcher.droppedReadings(), 0u);
+}
+
 // --- concurrent serving -----------------------------------------------------------
 
 TEST(RemoteConcurrencyTest, ManyClientsMixedWorkloadOverTcp) {

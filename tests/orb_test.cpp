@@ -186,6 +186,72 @@ TEST(RpcTest, OnewayNotifyExecutesWithoutReply) {
   EXPECT_EQ(client.call("echo", {9}), Bytes{9});
 }
 
+TEST(RpcTimeoutTest, SlowCallHitsDeadlineWithDistinctError) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  std::atomic<bool> release{false};
+  server.registerMethod("slow", [&](const Bytes&) -> Bytes {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return {};
+  });
+  // Off-thread execution: the in-proc transport delivers synchronously, so
+  // without the dispatcher the spin-wait handler would run ON the caller's
+  // thread and the deadline could never fire.
+  server.enableDispatcher(2);
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+
+  // The timeout error is a TransportError subtype, so existing catch sites
+  // keep working — but a router can tell "slow" from "gone".
+  EXPECT_THROW(client.call("slow", {}, std::chrono::milliseconds(30)), util::TimeoutError);
+  release.store(true);
+}
+
+TEST(RpcTimeoutTest, PerClientDefaultDeadlineApplies) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  std::atomic<bool> release{false};
+  server.registerMethod("slow", [&](const Bytes&) -> Bytes {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return {};
+  });
+  server.registerMethod("echo", [](const Bytes& in) { return in; });
+  server.enableDispatcher(2);
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+
+  EXPECT_EQ(client.callTimeout(), std::chrono::milliseconds(5000)) << "default deadline";
+  client.setCallTimeout(std::chrono::milliseconds(25));
+  EXPECT_EQ(client.callTimeout(), std::chrono::milliseconds(25));
+  EXPECT_THROW(client.call("slow", {}), util::TimeoutError);
+  release.store(true);
+  // A fast call under the same tight deadline still succeeds.
+  EXPECT_EQ(client.call("echo", {7}), Bytes{7});
+  EXPECT_THROW(client.setCallTimeout(std::chrono::milliseconds(0)), util::ContractError);
+}
+
+TEST(RpcTimeoutTest, LateReplyAfterTimeoutIsDiscarded) {
+  auto [clientSide, serverSide] = makeInProcPair();
+  RpcServer server;
+  std::atomic<bool> release{false};
+  server.registerMethod("slow", [&](const Bytes&) -> Bytes {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return {1};
+  });
+  server.registerMethod("echo", [](const Bytes& in) { return in; });
+  server.enableDispatcher(2);
+  server.serve(serverSide);
+  RpcClient client(clientSide);
+
+  EXPECT_THROW(client.call("slow", {}, std::chrono::milliseconds(20)), util::TimeoutError);
+  release.store(true);
+  // The abandoned reply must not be delivered to a later call.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(client.call("echo", {static_cast<std::uint8_t>(i)}),
+              Bytes{static_cast<std::uint8_t>(i)});
+  }
+}
+
 TEST(RpcTest, OnewayErrorsAreSwallowed) {
   auto [clientSide, serverSide] = makeInProcPair();
   RpcServer server;
