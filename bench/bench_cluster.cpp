@@ -31,11 +31,12 @@ struct ClusterFixture {
   std::vector<std::unique_ptr<cluster::ShardHost>> hosts;
   std::unique_ptr<cluster::ClusterLocationService> router;
 
-  explicit ClusterFixture(std::size_t shards) {
+  explicit ClusterFixture(std::size_t shards, bool enableShm = true) {
     for (std::size_t i = 0; i < shards; ++i) {
       cluster::ShardHost::Options opts;
       opts.index = i;
       opts.total = shards;
+      opts.enableShm = enableShm;
       auto host = std::make_unique<cluster::ShardHost>(
           clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC", "127.0.0.1", registry.port(),
           opts);
@@ -138,6 +139,39 @@ static void BM_ClusterRegionPoll(benchmark::State& state) {
   state.SetLabel(std::to_string(shards) + " shard(s)");
 }
 BENCHMARK(BM_ClusterRegionPoll)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Transport lane comparison: the same 2-shard routed ingest+locate workload
+// over TCP loopback (shm disabled) vs the shared-memory lane the shards
+// announce when colocated. The "shm_lanes" counter records how many shards
+// actually published a lane — 0 on hosts without POSIX shm, where both rows
+// degenerate to loopback and should read identically.
+static void BM_ClusterTransportLane(benchmark::State& state) {
+  const bool shm = state.range(0) != 0;
+  ClusterFixture f(2, shm);
+
+  double shmLanes = 0;
+  for (const auto& host : f.hosts) {
+    if (!host->shmName().empty()) ++shmLanes;
+  }
+
+  constexpr int kObjects = 16;
+  util::Rng rng{13};
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kObjects; ++i) {
+      const std::string object = "p" + std::to_string(i);
+      f.router->ingest(f.makeReading(object, {rng.uniform(1, 39), rng.uniform(1, 39)}));
+      benchmark::DoNotOptimize(f.router->locate(util::MobileObjectId{object}));
+      ops += 2;
+    }
+  }
+
+  f.exportStats(state);
+  state.counters["shm_lanes"] = shmLanes;
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(shm ? "shm lane" : "tcp loopback");
+}
+BENCHMARK(BM_ClusterTransportLane)->Arg(0)->Arg(1)->UseRealTime();
 
 // Custom main: record the host's core count next to the width curve.
 int main(int argc, char** argv) {

@@ -84,7 +84,7 @@ static void BM_EventPublishFanOut(benchmark::State& state) {
   std::vector<std::shared_ptr<orb::Transport>> keepAlive;
   for (int i = 0; i < state.range(0); ++i) {
     auto [a, b] = orb::makeInProcPair();
-    a->onReceive([](const util::Bytes&) {});
+    a->onReceive([](util::ByteView) {});
     keepAlive.push_back(a);
     server.serve(b);
   }

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -80,6 +81,16 @@ struct ServerFixture {
     while (service.ingestedReadings() < expected) std::this_thread::yield();
   }
 };
+
+/// Live thread count of this process (reads /proc/self/status).
+double processThreads() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("Threads:", 0) == 0) return std::stod(line.substr(8));
+  }
+  return 0.0;
+}
 
 double percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -194,6 +205,48 @@ static void BM_RemoteIngestBatched(benchmark::State& state) {
                                 : "batch " + std::to_string(batchSize));
 }
 BENCHMARK(BM_RemoteIngestBatched)->Arg(1)->Arg(16)->Arg(64)->Arg(256)->UseRealTime();
+
+// Connection-count axis: C persistent client connections served by the epoll
+// reactor, with 4 caller threads issuing blocking locate round trips spread
+// across all of them. Before the reactor this cost O(C) reader threads; the
+// "process_threads" counter is the evidence that it no longer does — it stays
+// flat from 1 to 256 connections (event loops are clamp(cores,1,4)).
+static void BM_ConnectionScaling(benchmark::State& state) {
+  const auto connections = static_cast<std::size_t>(state.range(0));
+  ServerFixture f(2);
+  f.service.ingest(f.makeReading("p0", {5.0, 5.0}));
+
+  std::vector<std::unique_ptr<core::RemoteLocationClient>> pool;
+  pool.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    pool.push_back(std::make_unique<core::RemoteLocationClient>(
+        std::make_shared<orb::RpcClient>(orb::tcpConnect("127.0.0.1", f.port()))));
+  }
+  state.counters["process_threads"] = processThreads();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 64;
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&pool, connections, t] {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          auto& client = *pool[(static_cast<std::size_t>(t) * kOpsPerThread +
+                                static_cast<std::size_t>(i)) %
+                               connections];
+          benchmark::DoNotOptimize(client.locate(util::MobileObjectId{"p0"}));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  exportServerStats(state, f);
+  state.SetItemsProcessed(state.iterations() * kThreads * kOpsPerThread);
+  state.SetLabel(std::to_string(connections) + " connection(s)");
+}
+BENCHMARK(BM_ConnectionScaling)->Arg(1)->Arg(16)->Arg(64)->Arg(256)->UseRealTime();
 
 // Custom main: record the host's core count next to the lane curve.
 int main(int argc, char** argv) {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "orb/shm.hpp"
 #include "orb/tcp.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -84,7 +85,22 @@ std::shared_ptr<core::RemoteLocationClient> ClusterLocationService::clientFor(Sh
     if (shard.client) return shard.client;
     if (!shard.endpoint) return nullptr;
     try {
-      auto transport = orb::tcpConnect(shard.endpoint->host, shard.endpoint->port);
+      std::shared_ptr<orb::Transport> transport;
+      if (!shard.endpoint->shmName.empty()) {
+        // Colocated lane: the shard announced a shared-memory listener. The
+        // name only resolves on the shard's own host — elsewhere (or when
+        // the region is gone) fall back to TCP.
+        try {
+          transport = orb::shmConnect(shard.endpoint->shmName);
+        } catch (const util::TransportError&) {
+          util::logWarn("ClusterLocationService", "shard ", shard.index,
+                        ": shm lane ", shard.endpoint->shmName,
+                        " unreachable; falling back to tcp");
+        }
+      }
+      if (!transport) {
+        transport = orb::tcpConnect(shard.endpoint->host, shard.endpoint->port);
+      }
       auto rpc = std::make_shared<orb::RpcClient>(std::move(transport));
       rpc->setCallTimeout(options_.retry.callDeadline);
       fresh = std::make_shared<core::RemoteLocationClient>(std::move(rpc));

@@ -1,5 +1,7 @@
 #include "cluster/shard_host.hpp"
 
+#include <unistd.h>
+
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -22,6 +24,23 @@ ShardHost::~ShardHost() { stop(); }
 void ShardHost::start() {
   mw::util::require(!running_, "ShardHost::start: already running");
   port_ = core_->listen(options_.port);
+  if (options_.enableShm) {
+    if (orb::shmAvailable()) {
+      // The lane name must be unique per process (parallel test runs share
+      // /dev/shm) and registry-safe; '/' in the shard name becomes '.'.
+      std::string lane = "mw." + name_ + "." + std::to_string(::getpid());
+      for (auto& c : lane) {
+        if (c == '/') c = '.';
+      }
+      shmListener_ = std::make_unique<orb::ShmListener>(
+          lane, [this](std::shared_ptr<orb::Transport> t) {
+            core_->rpcServer().serve(std::move(t));
+          });
+      shmName_ = lane;
+    } else {
+      util::logWarn("ShardHost", name_, ": POSIX shm unavailable; serving TCP only");
+    }
+  }
   announceOnce();
   running_ = true;
   if (options_.announceTtl.count() > 0) {
@@ -43,11 +62,13 @@ void ShardHost::stop() {
   } catch (const util::TransportError&) {
     // Registry gone; the TTL expires the entry on its own.
   }
+  shmListener_.reset();
+  shmName_.clear();
   running_ = false;
 }
 
 void ShardHost::announceOnce() {
-  registry_.announce(name_, core::Endpoint{"127.0.0.1", port_}, options_.announceTtl);
+  registry_.announce(name_, core::Endpoint{"127.0.0.1", port_, shmName_}, options_.announceTtl);
 }
 
 void ShardHost::heartbeatLoop() {

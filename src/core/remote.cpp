@@ -378,11 +378,16 @@ void BatchingIngestClient::sendLocked() {
   for (const auto& reading : buffer_) encodeReading(w, reading);
   // Sending under the lock serializes batches in buffered order; a size
   // flush on a producer thread cannot overtake a deadline flush in flight.
+  // Counters move before the send: once notify returns the peer may already
+  // have processed the batch, and an observer who saw that effect must also
+  // see the count (rolled back on the failure path below).
+  batchesSent_.fetch_add(1, std::memory_order_relaxed);
+  readingsSent_.fetch_add(buffer_.size(), std::memory_order_relaxed);
   try {
     rpc_->notify("ingestBatch", w.take());
-    batchesSent_.fetch_add(1, std::memory_order_relaxed);
-    readingsSent_.fetch_add(buffer_.size(), std::memory_order_relaxed);
   } catch (const util::TransportError&) {
+    batchesSent_.fetch_sub(1, std::memory_order_relaxed);
+    readingsSent_.fetch_sub(buffer_.size(), std::memory_order_relaxed);
     // Oneway semantics on a dead connection: the batch is dropped, like
     // readings pushed at a restarting service. Callers keep running, but
     // the loss is counted and logged so tests and operators can tell a

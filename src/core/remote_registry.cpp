@@ -17,6 +17,7 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     std::string name = r.str();
     Endpoint ep{r.str(), r.u16()};
     const std::uint32_t ttlMs = r.u32();
+    if (!r.exhausted()) ep.shmName = r.str();  // absent in pre-shm announces
     mw::util::require(!name.empty(), "registry.announce: empty name");
     Entry entry;
     entry.endpoint = std::move(ep);
@@ -38,6 +39,7 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     if (it != entries_.end()) {
       w.str(it->second.endpoint.host);
       w.u16(it->second.endpoint.port);
+      w.str(it->second.endpoint.shmName);
     }
     return w.take();
   });
@@ -94,6 +96,7 @@ void RegistryClient::announce(const std::string& name, const Endpoint& endpoint,
   w.str(endpoint.host);
   w.u16(endpoint.port);
   w.u32(static_cast<std::uint32_t>(ttl.count()));
+  w.str(endpoint.shmName);  // appended last; absence decodes as "no shm lane"
   rpc_->call("registry.announce", w.take());
 }
 
@@ -106,6 +109,7 @@ std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
   Endpoint ep;
   ep.host = r.str();
   ep.port = r.u16();
+  if (!r.exhausted()) ep.shmName = r.str();  // absent in pre-shm replies
   return ep;
 }
 

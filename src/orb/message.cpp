@@ -18,7 +18,17 @@ util::Bytes Message::encode() const {
   return w.take();
 }
 
-Message Message::decode(const util::Bytes& frame) {
+util::Bytes Message::encodeHeader() const {
+  util::ByteWriter w;
+  w.u16(kMagic);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(requestId);
+  w.str(target);
+  w.u32(static_cast<std::uint32_t>(payload.size()));  // blob prefix, data follows on the wire
+  return w.take();
+}
+
+Message Message::decode(util::ByteView frame) {
   util::ByteReader r(frame);
   if (r.u16() != kMagic) throw util::ParseError("Message: bad magic");
   Message m;

@@ -28,8 +28,15 @@ struct Message {
   util::Bytes payload;
 
   [[nodiscard]] util::Bytes encode() const;
-  /// Throws util::ParseError on malformed frames.
-  static Message decode(const util::Bytes& frame);
+  /// Everything but the payload bytes: magic, type, requestId, target and
+  /// the payload length prefix. Transport::sendv(encodeHeader(), payload)
+  /// puts the identical frame on the wire as send(encode()) — without
+  /// copying the payload into an intermediate buffer.
+  [[nodiscard]] util::Bytes encodeHeader() const;
+  /// Throws util::ParseError on malformed frames. Accepts a view (the
+  /// reactor decodes in place over its receive buffer); util::Bytes
+  /// converts implicitly.
+  static Message decode(util::ByteView frame);
 
   friend bool operator==(const Message&, const Message&) = default;
 };

@@ -28,18 +28,20 @@ std::size_t mixConnectionKey(std::uintptr_t key) {
 }  // namespace
 
 RpcServer::~RpcServer() {
-  // Join every reader thread first: swap the connection list out under the
-  // lock, then drop the references (TcpTransport's destructor joins its
-  // reader; an in-flight handleFrame completes — and may still enqueue onto
-  // the dispatcher — before that join returns).
+  // Quiesce every connection first: after close() returns the transport's
+  // handler is never invoked again (an in-flight handleFrame completes —
+  // and may still enqueue onto the dispatcher — before close() returns).
+  // Dropping the references alone would not do it: a queued dispatch pins
+  // its transport, keeping a reactor connection's deliveries live.
   std::vector<std::shared_ptr<Transport>> conns;
   {
     std::lock_guard lock(mutex_);
     conns.swap(connections_);
   }
+  for (const auto& t : conns) t->close();
   conns.clear();
-  // No reader thread is left; drain and join the lanes. Queued requests
-  // still execute (their owners pin the transports), and late frames from
+  // No delivery is left; drain and join the lanes. Queued requests still
+  // execute (their owners pin the transports), and late frames from
   // still-open in-process peers fall back to inline execution.
   std::unique_ptr<util::WorkerPool> lanes;
   {
@@ -90,23 +92,24 @@ void RpcServer::serve(std::shared_ptr<Transport> transport) {
     connections_.push_back(transport);
   }
   // The handler captures a raw pointer for the inline path, NOT a
-  // shared_ptr: a transport's own reader thread must never hold (and thus
-  // never drop the last) reference to it, or the destructor would join the
-  // thread from itself. The connection list owns the transport and
-  // ~RpcServer joins every reader before anything else dies, so the raw
-  // pointer stays valid for every inline delivery. Dispatched requests
-  // instead lock the weak_ptr at enqueue time, pinning the transport until
-  // their lane executes them (a pruned connection's queued requests find
-  // the weak_ptr expired and are dropped).
+  // shared_ptr: a delivery must never hold (and thus never drop the last)
+  // reference to its own transport, or the destructor would tear the
+  // transport down from inside its delivery path. The connection list owns
+  // the transport and ~RpcServer close()s every connection (quiescing
+  // deliveries) before anything else dies, so the raw pointer stays valid
+  // for every inline delivery. Dispatched requests instead lock the
+  // weak_ptr at enqueue time, pinning the transport until their lane
+  // executes them (a pruned connection's queued requests find the weak_ptr
+  // expired and are dropped).
   Transport* raw = transport.get();
   std::weak_ptr<Transport> weak = transport;
-  transport->onReceive([this, raw, weak = std::move(weak)](const util::Bytes& frame) {
+  transport->onReceive([this, raw, weak = std::move(weak)](util::ByteView frame) {
     handleFrame(raw, weak, frame);
   });
 }
 
 void RpcServer::handleFrame(Transport* transport, const std::weak_ptr<Transport>& weak,
-                            const util::Bytes& frame) {
+                            util::ByteView frame) {
   Message request;
   try {
     request = Message::decode(frame);
@@ -189,7 +192,9 @@ void RpcServer::execute(Transport* transport, const Message& request, const Meth
     }
   }
   try {
-    transport->send(reply.encode());
+    // Gather-send: header and payload go out as one frame without being
+    // concatenated first — on reactor transports, a single writev.
+    transport->sendv(reply.encodeHeader(), reply.payload);
   } catch (const TransportError&) {
     // Client went away between request and reply; nothing to do.
   }
@@ -205,7 +210,11 @@ void RpcServer::publish(const std::string& topic, const util::Bytes& payload) {
   std::vector<std::shared_ptr<Transport>> snapshot;
   {
     std::lock_guard lock(mutex_);
-    std::erase_if(connections_, [](const auto& t) { return !t->isOpen(); });
+    std::erase_if(connections_, [this](const auto& t) {
+      if (t->isOpen()) return false;
+      prunedOversized_.fetch_add(t->oversizedFrames(), std::memory_order_relaxed);
+      return true;
+    });
     snapshot = connections_;
   }
   for (const auto& t : snapshot) {
@@ -229,24 +238,25 @@ RpcServer::Stats RpcServer::stats() const {
   s.onewayExceptions = onewayExceptions_.load(std::memory_order_relaxed);
   s.dispatchedRequests = dispatchedRequests_.load(std::memory_order_relaxed);
   s.inlineRequests = inlineRequests_.load(std::memory_order_relaxed);
+  s.oversizedFrames = prunedOversized_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  for (const auto& t : connections_) s.oversizedFrames += t->oversizedFrames();
   return s;
 }
 
 RpcClient::RpcClient(std::shared_ptr<Transport> transport) : transport_(std::move(transport)) {
   mw::util::require(static_cast<bool>(transport_), "RpcClient: null transport");
-  transport_->onReceive([this](const util::Bytes& frame) { handleFrame(frame); });
+  transport_->onReceive([this](util::ByteView frame) { handleFrame(frame); });
 }
 
 RpcClient::~RpcClient() {
-  // Stop deliveries and (if we hold the last reference) join the transport's
-  // reader thread before any other member is destroyed — otherwise a frame
-  // arriving during destruction would touch a dead mutex.
-  transport_->onReceive([](const util::Bytes&) {});  // detach this client
+  // close() guarantees the handler is not invoked again once it returns, so
+  // no frame arriving during destruction can touch a dead mutex.
   transport_->close();
   transport_.reset();
 }
 
-void RpcClient::handleFrame(const util::Bytes& frame) {
+void RpcClient::handleFrame(util::ByteView frame) {
   Message m;
   try {
     m = Message::decode(frame);
@@ -298,7 +308,7 @@ util::Bytes RpcClient::call(const std::string& method, const util::Bytes& args,
   request.target = method;
   request.payload = args;
   try {
-    transport_->send(request.encode());
+    transport_->sendv(request.encodeHeader(), request.payload);
   } catch (const TransportError&) {
     std::lock_guard lock(mutex_);
     pending_.erase(id);
@@ -324,7 +334,7 @@ void RpcClient::notify(const std::string& method, const util::Bytes& args) {
   request.requestId = 0;  // oneway marker
   request.target = method;
   request.payload = args;
-  transport_->send(request.encode());
+  transport_->sendv(request.encodeHeader(), request.payload);
 }
 
 void RpcClient::onEvent(EventHandler handler) {

@@ -1,14 +1,16 @@
 // Request/reply RPC over a Transport, plus asynchronous event delivery.
 //
 // Server side: register named methods, then serve any number of transports.
-// By default a request executes inline on the transport's reader thread (the
-// historical single-threaded behavior). With enableDispatcher(N) the reader
+// By default a request executes inline on the delivering thread (an event
+// loop for reactor transports). With enableDispatcher(N) the delivering
 // threads only decode and enqueue: decoded requests are handed to N executor
 // lanes (a util::WorkerPool), each lane a FIFO, and replies are written back
 // through the owning transport. A per-method LaneSelector chooses the lane —
 // same lane means same execution order, so ordering-sensitive methods (e.g.
 // sensor ingest keyed by object) route deterministically while order-free
-// reads spread round-robin across every lane.
+// reads spread round-robin across every lane. A connection is pinned to one
+// event loop, so its frames reach handleFrame in order and the lane routing
+// (and with it the reading-store stripe invariant) holds end to end.
 // Client side: blocking call() with timeout; event handlers for server-push
 // Event messages (trigger notifications, §4.3).
 #pragma once
@@ -52,6 +54,8 @@ class RpcServer {
     std::uint64_t onewayExceptions = 0;    ///< exceptions swallowed by oneway semantics
     std::uint64_t dispatchedRequests = 0;  ///< requests executed on a lane
     std::uint64_t inlineRequests = 0;      ///< requests executed on the reader thread
+    std::uint64_t oversizedFrames = 0;     ///< frames over the 64 MiB cap; the
+                                           ///< transport logged the peer and closed
   };
 
   RpcServer() = default;
@@ -92,7 +96,7 @@ class RpcServer {
 
  private:
   void handleFrame(Transport* transport, const std::weak_ptr<Transport>& weak,
-                   const util::Bytes& frame);
+                   util::ByteView frame);
   /// Executes one decoded request and writes the reply (two-way) through
   /// `transport`. Shared by the inline and dispatched paths.
   void execute(Transport* transport, const Message& request, const Method& method);
@@ -100,11 +104,11 @@ class RpcServer {
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::pair<Method, LaneSelector>> methods_;
   /// Owns served transports. Declared after the method table so ~RpcServer
-  /// tears connections down (joining their reader threads) before the
-  /// method table dies.
+  /// tears connections down (close() guarantees handler quiescence) before
+  /// the method table dies.
   std::vector<std::shared_ptr<Transport>> connections_;
   /// Executor lanes; null = inline execution. Torn down explicitly by
-  /// ~RpcServer after every reader thread is joined.
+  /// ~RpcServer after every connection is closed.
   std::unique_ptr<util::WorkerPool> dispatcher_;
 
   std::atomic<std::uint64_t> undecodableFrames_{0};
@@ -112,6 +116,9 @@ class RpcServer {
   std::atomic<std::uint64_t> onewayExceptions_{0};
   std::atomic<std::uint64_t> dispatchedRequests_{0};
   std::atomic<std::uint64_t> inlineRequests_{0};
+  /// Oversized-frame counts carried over from pruned connections, so the
+  /// Stats total survives the transports that produced it.
+  std::atomic<std::uint64_t> prunedOversized_{0};
 };
 
 class RpcClient {
@@ -120,8 +127,9 @@ class RpcClient {
 
   explicit RpcClient(std::shared_ptr<Transport> transport);
 
-  /// Closes and releases the transport first, so its reader thread is joined
-  /// before the client's mutex/cv/pending state is destroyed.
+  /// Closes the transport first (close() guarantees the receive handler is
+  /// not invoked again), so the client's mutex/cv/pending state outlives
+  /// every delivery.
   ~RpcClient();
 
   RpcClient(const RpcClient&) = delete;
@@ -131,6 +139,10 @@ class RpcClient {
   /// no reply, util::TransportError on disconnect, and util::MwError when
   /// the server replied with an Error message. Without an explicit timeout
   /// the per-client deadline (setCallTimeout, default 5 s) applies.
+  /// Calls multiplex: any number of threads may call() concurrently over the
+  /// one connection — each request carries a correlation id, the transport
+  /// interleaves frames, and replies resolve whichever caller they answer,
+  /// in whatever order the server's lanes finish.
   util::Bytes call(const std::string& method, const util::Bytes& args);
   util::Bytes call(const std::string& method, const util::Bytes& args, util::Duration timeout);
 
@@ -157,7 +169,7 @@ class RpcClient {
     util::Bytes payload;
   };
 
-  void handleFrame(const util::Bytes& frame);
+  void handleFrame(util::ByteView frame);
 
   std::shared_ptr<Transport> transport_;
   std::atomic<util::Duration::rep> callTimeoutMs_{5000};

@@ -1,0 +1,541 @@
+#include "orb/shm.hpp"
+
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mw::orb {
+
+using mw::util::TransportError;
+
+namespace {
+
+constexpr std::uint64_t kConnectMagic = 0x4D57434F4E4E3031ULL;  // "MWCONN01"
+constexpr std::uint64_t kDataMagic = 0x4D57524E47533031ULL;     // "MWRNGS01"
+constexpr std::uint32_t kMaxFrame = 64 * 1024 * 1024;  // same cap as the TCP reactor
+constexpr std::uint32_t kRingCapacity = 1 << 20;       // per direction
+constexpr std::size_t kSlots = 16;
+constexpr std::size_t kNameLen = 128;
+constexpr int kSpinBeforeSleep = 256;  // polls before falling back to futex
+
+// Slot states of the connect ring.
+constexpr std::uint32_t kSlotFree = 0;
+constexpr std::uint32_t kSlotClaimed = 1;
+constexpr std::uint32_t kSlotReady = 2;
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+static_assert(sizeof(std::atomic<std::uint32_t>) == 4);
+
+long futexWait(const std::atomic<std::uint32_t>* addr, std::uint32_t expected,
+               const timespec* timeout) {
+  return ::syscall(SYS_futex, addr, FUTEX_WAIT, expected, timeout, nullptr, 0);
+}
+
+void futexWake(std::atomic<std::uint32_t>* addr, int count) {
+  ::syscall(SYS_futex, addr, FUTEX_WAKE, count, nullptr, nullptr, 0);
+}
+
+/// One SPSC byte ring. head/tail are free-running byte counts; the producer
+/// owns head, the consumer owns tail, and the seq words exist only so a
+/// sleeping side has a futex to wait on — synchronization of the buffer
+/// bytes themselves rides on the acquire/release pairs of head and tail.
+struct Ring {
+  alignas(64) std::atomic<std::uint64_t> head;
+  alignas(64) std::atomic<std::uint64_t> tail;
+  alignas(64) std::atomic<std::uint32_t> dataSeq;   ///< bumped after publish
+  std::atomic<std::uint32_t> spaceSeq;              ///< bumped after consume
+  std::uint32_t capacity;
+  std::uint32_t offset;  ///< buffer start, bytes from the region base
+};
+
+/// Per-connection region: handshake header + the two rings + their buffers.
+struct DataHeader {
+  std::uint64_t magic;
+  std::atomic<std::uint32_t> attached;  ///< listener sets 1 when serving
+  std::atomic<std::uint32_t> closed;    ///< bit 0: connector closed, bit 1: listener
+  Ring c2l;                             ///< connector -> listener
+  Ring l2c;                             ///< listener -> connector
+};
+
+struct ConnectSlot {
+  std::atomic<std::uint32_t> state;
+  char region[kNameLen];
+};
+
+/// The listener's rendezvous region ("accept(2), re-enacted in shm").
+struct ConnectHeader {
+  std::uint64_t magic;
+  std::atomic<std::uint32_t> doorbell;  ///< bumped per posted slot
+  std::atomic<std::uint32_t> closed;    ///< listener stopped; connectors bail
+  std::uint32_t slotCount;
+  ConnectSlot slots[kSlots];
+};
+
+constexpr std::size_t dataRegionSize() {
+  // Buffers start cacheline-aligned after the header.
+  return ((sizeof(DataHeader) + 63) / 64) * 64 + 2 * static_cast<std::size_t>(kRingCapacity);
+}
+
+struct Mapped {
+  void* base = nullptr;
+  std::size_t size = 0;
+};
+
+std::string shmPath(const std::string& name) {
+  std::string path = "/";
+  for (char c : name) path.push_back(c == '/' ? '_' : c);
+  return path;
+}
+
+Mapped createRegion(const std::string& path, std::size_t size) {
+  int fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0 && errno == EEXIST) {
+    // Stale region from a crashed owner: reclaim the name.
+    ::shm_unlink(path.c_str());
+    fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  }
+  if (fd < 0) throw TransportError("shm: shm_open(create " + path + ") failed");
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    ::shm_unlink(path.c_str());
+    throw TransportError("shm: ftruncate(" + path + ") failed");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    ::shm_unlink(path.c_str());
+    throw TransportError("shm: mmap(" + path + ") failed");
+  }
+  return {base, size};
+}
+
+Mapped openRegion(const std::string& path, std::size_t minSize) {
+  int fd = ::shm_open(path.c_str(), O_RDWR, 0600);
+  if (fd < 0) throw TransportError("shm: no region " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < minSize) {
+    ::close(fd);
+    throw TransportError("shm: region " + path + " malformed");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) throw TransportError("shm: mmap(" + path + ") failed");
+  return {base, size};
+}
+
+void initRing(Ring& ring, std::uint32_t offset) {
+  ring.head.store(0, std::memory_order_relaxed);
+  ring.tail.store(0, std::memory_order_relaxed);
+  ring.dataSeq.store(0, std::memory_order_relaxed);
+  ring.spaceSeq.store(0, std::memory_order_relaxed);
+  ring.capacity = kRingCapacity;
+  ring.offset = offset;
+}
+
+/// Both endpoints of a connection; `listenerSide` flips which ring is
+/// outbound. One reader thread per transport — shm connections are
+/// O(colocated shards), so this stays bounded where TCP's thread-per-
+/// connection did not.
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(Mapped region, bool listenerSide, std::string label)
+      : region_(region),
+        hdr_(static_cast<DataHeader*>(region.base)),
+        out_(listenerSide ? &hdr_->l2c : &hdr_->c2l),
+        in_(listenerSide ? &hdr_->c2l : &hdr_->l2c),
+        closeBit_(listenerSide ? 2U : 1U),
+        label_(std::move(label)) {
+    reader_ = std::thread([this] { readLoop(); });
+  }
+
+  ~ShmTransport() override {
+    close();
+    joinReader();
+    ::munmap(region_.base, region_.size);
+  }
+
+  void send(const util::Bytes& frame) override { sendv(frame, {}); }
+
+  void sendv(util::ByteView header, util::ByteView payload) override {
+    const std::uint64_t total = header.size() + payload.size();
+    if (total > kMaxFrame) {
+      throw TransportError("ShmTransport: frame of " + std::to_string(total) +
+                           " bytes exceeds the 64 MiB cap");
+    }
+    const auto len = static_cast<std::uint32_t>(total);
+    std::uint8_t prefix[4];
+    for (int i = 0; i < 4; ++i) prefix[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    std::lock_guard lock(sendMutex_);
+    writeAll(prefix, 4);
+    writeAll(header.data(), header.size());
+    writeAll(payload.data(), payload.size());
+  }
+
+  void onReceive(Handler handler) override {
+    std::deque<util::Bytes> backlog;
+    {
+      std::lock_guard lock(handlerMutex_);
+      handler_ = std::move(handler);
+      backlog.swap(pendingIn_);
+    }
+    for (const auto& frame : backlog) deliver(frame);
+  }
+
+  void close() override {
+    open_.store(false, std::memory_order_release);
+    hdr_->closed.fetch_or(closeBit_, std::memory_order_release);
+    wakeEverything();
+    // Transport contract: after close() returns the receive handler is not
+    // invoked again. The reader exits promptly (open_ is false), so joining
+    // here is cheap — except from the reader's own handler, where the exit
+    // is already in motion and joining would deadlock.
+    if (std::this_thread::get_id() != reader_.get_id()) joinReader();
+  }
+
+  [[nodiscard]] bool isOpen() const override {
+    return open_.load(std::memory_order_acquire) &&
+           (hdr_->closed.load(std::memory_order_acquire) & ~closeBit_) == 0;
+  }
+
+  [[nodiscard]] std::uint64_t oversizedFrames() const override {
+    return oversized_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void joinReader() {
+    std::lock_guard lock(joinMutex_);
+    if (reader_.joinable()) reader_.join();
+  }
+
+  [[nodiscard]] std::uint8_t* buf(const Ring& ring) const {
+    return static_cast<std::uint8_t*>(region_.base) + ring.offset;
+  }
+
+  [[nodiscard]] bool peerClosed() const {
+    return (hdr_->closed.load(std::memory_order_acquire) & ~closeBit_) != 0;
+  }
+
+  void wakeEverything() {
+    out_->dataSeq.fetch_add(1, std::memory_order_release);
+    out_->spaceSeq.fetch_add(1, std::memory_order_release);
+    in_->dataSeq.fetch_add(1, std::memory_order_release);
+    in_->spaceSeq.fetch_add(1, std::memory_order_release);
+    futexWake(&out_->dataSeq, 1);
+    futexWake(&out_->spaceSeq, 1);
+    futexWake(&in_->dataSeq, 1);
+    futexWake(&in_->spaceSeq, 1);
+  }
+
+  /// Producer side (sendMutex_ held): copies `n` bytes into the out ring,
+  /// blocking for space — a frame larger than the ring streams through in
+  /// chunks, the flow control TCP gives for free.
+  void writeAll(const std::uint8_t* data, std::size_t n) {
+    while (n > 0) {
+      const std::uint64_t head = out_->head.load(std::memory_order_relaxed);
+      std::uint64_t tail = out_->tail.load(std::memory_order_acquire);
+      int spins = 0;
+      while (head - tail >= out_->capacity) {
+        if (!open_.load(std::memory_order_acquire) || peerClosed()) {
+          throw TransportError("ShmTransport: " + label_ + " closed");
+        }
+        if (++spins < kSpinBeforeSleep) {
+          std::this_thread::yield();
+        } else {
+          const std::uint32_t seen = out_->spaceSeq.load(std::memory_order_acquire);
+          tail = out_->tail.load(std::memory_order_acquire);
+          if (head - tail < out_->capacity) break;
+          timespec ts{0, 50'000'000};  // bounded nap: closes must be noticed
+          futexWait(&out_->spaceSeq, seen, &ts);
+          spins = 0;
+        }
+        tail = out_->tail.load(std::memory_order_acquire);
+      }
+      const std::size_t room = out_->capacity - static_cast<std::size_t>(head - tail);
+      const std::size_t chunk = std::min(n, room);
+      const std::size_t at = static_cast<std::size_t>(head % out_->capacity);
+      const std::size_t first = std::min(chunk, static_cast<std::size_t>(out_->capacity) - at);
+      std::memcpy(buf(*out_) + at, data, first);
+      std::memcpy(buf(*out_), data + first, chunk - first);
+      out_->head.store(head + chunk, std::memory_order_release);
+      out_->dataSeq.fetch_add(1, std::memory_order_release);
+      futexWake(&out_->dataSeq, 1);
+      data += chunk;
+      n -= chunk;
+    }
+  }
+
+  /// Consumer side (reader thread only). False when the connection closed
+  /// with no (more) data — remaining ring bytes are drained first, like a
+  /// TCP FIN after buffered data.
+  bool readAll(std::uint8_t* dst, std::size_t n) {
+    while (n > 0) {
+      const std::uint64_t tail = in_->tail.load(std::memory_order_relaxed);
+      std::uint64_t head = in_->head.load(std::memory_order_acquire);
+      int spins = 0;
+      while (head == tail) {
+        if (!open_.load(std::memory_order_acquire) || peerClosed()) return false;
+        if (++spins < kSpinBeforeSleep) {
+          std::this_thread::yield();
+        } else {
+          const std::uint32_t seen = in_->dataSeq.load(std::memory_order_acquire);
+          head = in_->head.load(std::memory_order_acquire);
+          if (head != tail) break;
+          timespec ts{0, 50'000'000};
+          futexWait(&in_->dataSeq, seen, &ts);
+          spins = 0;
+        }
+        head = in_->head.load(std::memory_order_acquire);
+      }
+      const std::size_t avail = static_cast<std::size_t>(head - tail);
+      const std::size_t chunk = std::min(n, avail);
+      const std::size_t at = static_cast<std::size_t>(tail % in_->capacity);
+      const std::size_t first = std::min(chunk, static_cast<std::size_t>(in_->capacity) - at);
+      std::memcpy(dst, buf(*in_) + at, first);
+      std::memcpy(dst + first, buf(*in_), chunk - first);
+      in_->tail.store(tail + chunk, std::memory_order_release);
+      in_->spaceSeq.fetch_add(1, std::memory_order_release);
+      futexWake(&in_->spaceSeq, 1);
+      dst += chunk;
+      n -= chunk;
+    }
+    return true;
+  }
+
+  void readLoop() {
+    util::Bytes scratch;
+    for (;;) {
+      std::uint8_t prefix[4];
+      if (!readAll(prefix, 4)) break;
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+      if (len > kMaxFrame) {
+        oversized_.fetch_add(1, std::memory_order_relaxed);
+        util::logWarn("ShmTransport", "oversized frame from ", label_, ": ", len,
+                      " bytes (cap ", kMaxFrame, "); closing connection");
+        break;
+      }
+      scratch.resize(len);
+      if (len > 0 && !readAll(scratch.data(), len)) break;
+      deliver(util::ByteView(scratch.data(), len));
+    }
+    open_.store(false, std::memory_order_release);
+    wakeEverything();  // unblock senders waiting for ring space
+  }
+
+  void deliver(util::ByteView frame) {
+    Handler handler;
+    {
+      std::lock_guard lock(handlerMutex_);
+      if (!handler_) {
+        pendingIn_.push_back(frame.toBytes());
+        return;
+      }
+      handler = handler_;
+    }
+    handler(frame);
+  }
+
+  const Mapped region_;
+  DataHeader* const hdr_;
+  Ring* const out_;
+  Ring* const in_;
+  const std::uint32_t closeBit_;
+  const std::string label_;
+
+  std::atomic<bool> open_{true};
+  std::mutex sendMutex_;
+  std::mutex handlerMutex_;
+  Handler handler_;
+  std::deque<util::Bytes> pendingIn_;
+  std::atomic<std::uint64_t> oversized_{0};
+  std::mutex joinMutex_;
+  std::thread reader_;
+};
+
+}  // namespace
+
+bool shmAvailable() {
+  const std::string probe = "/mw-shm-probe-" + std::to_string(::getpid());
+  int fd = ::shm_open(probe.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) return false;
+  ::close(fd);
+  ::shm_unlink(probe.c_str());
+  return true;
+}
+
+std::shared_ptr<Transport> shmConnect(const std::string& name) {
+  mw::util::require(!name.empty(), "shmConnect: empty name");
+  const std::string connectPath = shmPath(name);
+  Mapped connectRegion = openRegion(connectPath, sizeof(ConnectHeader));
+  auto* chdr = static_cast<ConnectHeader*>(connectRegion.base);
+  auto unmapConnect = [&] { ::munmap(connectRegion.base, connectRegion.size); };
+  if (chdr->magic != kConnectMagic || chdr->closed.load(std::memory_order_acquire) != 0) {
+    unmapConnect();
+    throw TransportError("shmConnect: listener " + name + " is gone");
+  }
+
+  // The connection's own region, created and initialized before it is
+  // advertised (the slot-state release makes the init visible).
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string dataPath =
+      connectPath + ".c" + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  if (dataPath.size() >= kNameLen) {
+    unmapConnect();
+    throw TransportError("shmConnect: region name too long: " + dataPath);
+  }
+  Mapped dataRegion;
+  try {
+    dataRegion = createRegion(dataPath, dataRegionSize());
+  } catch (...) {
+    unmapConnect();
+    throw;
+  }
+  auto* dhdr = static_cast<DataHeader*>(dataRegion.base);
+  const auto bufStart = static_cast<std::uint32_t>(((sizeof(DataHeader) + 63) / 64) * 64);
+  initRing(dhdr->c2l, bufStart);
+  initRing(dhdr->l2c, bufStart + kRingCapacity);
+  dhdr->attached.store(0, std::memory_order_relaxed);
+  dhdr->closed.store(0, std::memory_order_relaxed);
+  dhdr->magic = kDataMagic;
+
+  auto fail = [&](const std::string& what) -> TransportError {
+    ::munmap(dataRegion.base, dataRegion.size);
+    ::shm_unlink(dataPath.c_str());
+    unmapConnect();
+    return TransportError(what);
+  };
+
+  // Post the region name into a free connect slot and ring the doorbell.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  bool posted = false;
+  while (!posted) {
+    for (std::size_t i = 0; i < kSlots && !posted; ++i) {
+      std::uint32_t expected = kSlotFree;
+      if (chdr->slots[i].state.compare_exchange_strong(expected, kSlotClaimed,
+                                                       std::memory_order_acq_rel)) {
+        std::strncpy(chdr->slots[i].region, dataPath.c_str(), kNameLen);
+        chdr->slots[i].state.store(kSlotReady, std::memory_order_release);
+        chdr->doorbell.fetch_add(1, std::memory_order_release);
+        futexWake(&chdr->doorbell, 1);
+        posted = true;
+      }
+    }
+    if (!posted) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw fail("shmConnect: connect ring of " + name + " is full");
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // Wait for the listener to attach; a dead listener means no transport.
+  while (dhdr->attached.load(std::memory_order_acquire) == 0) {
+    if (chdr->closed.load(std::memory_order_acquire) != 0) {
+      throw fail("shmConnect: listener " + name + " stopped during handshake");
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw fail("shmConnect: listener " + name + " did not attach");
+    }
+    const std::uint32_t seen = 0;
+    timespec ts{0, 10'000'000};
+    futexWait(&dhdr->attached, seen, &ts);
+  }
+
+  // Both sides hold mappings; the name has done its job.
+  ::shm_unlink(dataPath.c_str());
+  unmapConnect();
+  return std::make_shared<ShmTransport>(dataRegion, /*listenerSide=*/false, "shm:" + name);
+}
+
+struct ShmListener::Impl {
+  std::string path;
+  Mapped region;
+  AcceptHandler onAccept;
+  std::atomic<bool> running{true};
+  std::thread acceptor;
+
+  [[nodiscard]] ConnectHeader* header() const { return static_cast<ConnectHeader*>(region.base); }
+
+  void acceptLoop(const std::string& name) {
+    ConnectHeader* hdr = header();
+    while (running.load(std::memory_order_acquire)) {
+      const std::uint32_t seen = hdr->doorbell.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < kSlots; ++i) {
+        if (hdr->slots[i].state.load(std::memory_order_acquire) != kSlotReady) continue;
+        char regionName[kNameLen];
+        std::memcpy(regionName, hdr->slots[i].region, kNameLen);
+        regionName[kNameLen - 1] = '\0';
+        hdr->slots[i].state.store(kSlotFree, std::memory_order_release);
+        try {
+          Mapped data = openRegion(regionName, dataRegionSize());
+          auto* dhdr = static_cast<DataHeader*>(data.base);
+          if (dhdr->magic != kDataMagic) {
+            ::munmap(data.base, data.size);
+            throw TransportError("shm: bad magic in " + std::string(regionName));
+          }
+          auto transport =
+              std::make_shared<ShmTransport>(data, /*listenerSide=*/true, "shm:" + name);
+          dhdr->attached.store(1, std::memory_order_release);
+          futexWake(&dhdr->attached, 1);
+          onAccept(std::move(transport));
+        } catch (const TransportError& e) {
+          util::logWarn("ShmListener", name, ": dropped connect request: ", e.what());
+        }
+      }
+      if (!running.load(std::memory_order_acquire)) break;
+      if (hdr->doorbell.load(std::memory_order_acquire) == seen) {
+        timespec ts{0, 100'000'000};  // bounded nap so stop() is noticed
+        futexWait(&hdr->doorbell, seen, &ts);
+      }
+    }
+  }
+};
+
+ShmListener::ShmListener(std::string name, AcceptHandler onAccept)
+    : name_(std::move(name)), impl_(std::make_unique<Impl>()) {
+  mw::util::require(!name_.empty(), "ShmListener: empty name");
+  mw::util::require(static_cast<bool>(onAccept), "ShmListener: null accept handler");
+  impl_->onAccept = std::move(onAccept);
+  impl_->path = shmPath(name_);
+  impl_->region = createRegion(impl_->path, sizeof(ConnectHeader));
+  ConnectHeader* hdr = impl_->header();
+  hdr->doorbell.store(0, std::memory_order_relaxed);
+  hdr->closed.store(0, std::memory_order_relaxed);
+  hdr->slotCount = kSlots;
+  for (auto& slot : hdr->slots) slot.state.store(kSlotFree, std::memory_order_relaxed);
+  hdr->magic = kConnectMagic;
+  impl_->acceptor = std::thread([impl = impl_.get(), name = name_] { impl->acceptLoop(name); });
+}
+
+ShmListener::~ShmListener() {
+  stop();
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  ::munmap(impl_->region.base, impl_->region.size);
+  ::shm_unlink(impl_->path.c_str());
+}
+
+void ShmListener::stop() {
+  ConnectHeader* hdr = impl_->header();
+  impl_->running.store(false, std::memory_order_release);
+  hdr->closed.store(1, std::memory_order_release);
+  hdr->doorbell.fetch_add(1, std::memory_order_release);
+  futexWake(&hdr->doorbell, kSlots);
+}
+
+}  // namespace mw::orb

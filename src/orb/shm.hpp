@@ -1,0 +1,65 @@
+// Shared-memory ring transport for colocated processes (the "shm://" lane).
+//
+// ShardHost spawns its shards on the host the router runs on, so every byte
+// routed to them through TCP loopback pays socket syscalls for a memcpy's
+// worth of work. This transport replaces the hop with a pair of SPSC byte
+// rings in a POSIX shared-memory region: send() copies the frame into the
+// ring and wakes the peer with a futex; the peer's reader copies it out.
+// No syscalls on the hot path (futexes fire only when a side actually
+// sleeps), same Transport interface, same 4-byte framing and 64 MiB frame
+// cap as TCP — the cluster oracle tests assert byte-identical answers over
+// either lane.
+//
+// Rendezvous: a listener owns a small "connect ring" region under its name;
+// a connector creates its own data region (two rings + handshake header),
+// posts the region's name into a connect slot and futex-wakes the listener,
+// which maps the region, marks itself attached and serves the new transport
+// — accept(2), re-enacted in shared memory. Frames larger than a ring
+// stream through it in chunks (the writer blocks for space, the flow
+// control TCP gives for free). Each transport runs one reader thread; shm
+// connections are O(colocated shards), not O(clients), so the thread count
+// stays bounded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "orb/transport.hpp"
+
+namespace mw::orb {
+
+/// True when POSIX shared memory is usable on this host (/dev/shm mounted,
+/// shm_open permitted). ShardHost skips the shm lane when false.
+[[nodiscard]] bool shmAvailable();
+
+/// Connects to a ShmListener by name. Throws util::TransportError when the
+/// listener's region does not exist (e.g. the name came from another host)
+/// or the listener does not attach within the handshake timeout.
+std::shared_ptr<Transport> shmConnect(const std::string& name);
+
+/// Accepts shared-memory connections under `name` (a registry-safe string;
+/// the region is created as "/<name>" in /dev/shm). Each accepted
+/// connection is handed to `onAccept` as a ready transport.
+class ShmListener {
+ public:
+  using AcceptHandler = std::function<void(std::shared_ptr<Transport>)>;
+
+  ShmListener(std::string name, AcceptHandler onAccept);
+  ~ShmListener();
+
+  ShmListener(const ShmListener&) = delete;
+  ShmListener& operator=(const ShmListener&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void stop();
+
+ private:
+  struct Impl;
+  std::string name_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mw::orb

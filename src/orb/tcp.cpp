@@ -7,11 +7,9 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <cstring>
-#include <deque>
-#include <mutex>
+#include <cerrno>
 #include <thread>
-#include <vector>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -25,113 +23,15 @@ void closeFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
-bool sendAll(int fd, const std::uint8_t* data, std::size_t n) {
-  while (n > 0) {
-    ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
-    if (sent <= 0) return false;
-    data += sent;
-    n -= static_cast<std::size_t>(sent);
-  }
-  return true;
+void setNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
-
-bool recvAll(int fd, std::uint8_t* data, std::size_t n) {
-  while (n > 0) {
-    ssize_t got = ::recv(fd, data, n, 0);
-    if (got <= 0) return false;
-    data += got;
-    n -= static_cast<std::size_t>(got);
-  }
-  return true;
-}
-
-/// A connected socket with a reader thread delivering framed messages.
-class TcpTransport final : public Transport {
- public:
-  explicit TcpTransport(int fd) : fd_(fd) {
-    int one = 1;
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    reader_ = std::thread([this] { readLoop(); });
-  }
-
-  ~TcpTransport() override {
-    close();
-    if (reader_.joinable()) reader_.join();
-    closeFd(fd_);
-  }
-
-  void send(const util::Bytes& frame) override {
-    std::lock_guard lock(sendMutex_);
-    if (!open_.load()) throw TransportError("TcpTransport: closed");
-    std::uint8_t header[4];
-    std::uint32_t len = static_cast<std::uint32_t>(frame.size());
-    for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
-    if (!sendAll(fd_, header, 4) || !sendAll(fd_, frame.data(), frame.size())) {
-      open_.store(false);
-      throw TransportError("TcpTransport: send failed");
-    }
-  }
-
-  void onReceive(Handler handler) override {
-    std::deque<util::Bytes> backlog;
-    {
-      std::lock_guard lock(handlerMutex_);
-      handler_ = std::move(handler);
-      backlog.swap(pending_);
-    }
-    for (const auto& frame : backlog) dispatch(frame);
-  }
-
-  void close() override {
-    bool was = open_.exchange(false);
-    if (was) ::shutdown(fd_, SHUT_RDWR);
-  }
-
-  [[nodiscard]] bool isOpen() const override { return open_.load(); }
-
- private:
-  void readLoop() {
-    while (open_.load()) {
-      std::uint8_t header[4];
-      if (!recvAll(fd_, header, 4)) break;
-      std::uint32_t len = 0;
-      for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-      if (len > 64 * 1024 * 1024) break;  // sanity cap: refuse absurd frames
-      util::Bytes frame(len);
-      if (len > 0 && !recvAll(fd_, frame.data(), len)) break;
-      dispatch(frame);
-    }
-    open_.store(false);
-    // The fd stays open until destruction: send()/close() on other threads
-    // still read it, and the number must not be recycled by the kernel
-    // while they can. The destructor closes it after joining this thread.
-  }
-
-  void dispatch(const util::Bytes& frame) {
-    Handler handler;
-    {
-      std::lock_guard lock(handlerMutex_);
-      if (!handler_) {
-        pending_.push_back(frame);
-        return;
-      }
-      handler = handler_;
-    }
-    handler(frame);
-  }
-
-  const int fd_;  ///< immutable while any thread can reach the transport
-  std::atomic<bool> open_{true};
-  std::mutex sendMutex_;
-  std::mutex handlerMutex_;
-  Handler handler_;
-  std::deque<util::Bytes> pending_;
-  std::thread reader_;
-};
 
 }  // namespace
 
-std::shared_ptr<Transport> tcpConnect(const std::string& host, std::uint16_t port) {
+std::shared_ptr<Transport> tcpConnect(const std::string& host, std::uint16_t port,
+                                      const std::shared_ptr<EventLoopGroup>& group) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw TransportError("tcpConnect: socket() failed");
   sockaddr_in addr{};
@@ -141,12 +41,18 @@ std::shared_ptr<Transport> tcpConnect(const std::string& host, std::uint16_t por
     closeFd(fd);
     throw TransportError("tcpConnect: bad address " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
     closeFd(fd);
     throw TransportError("tcpConnect: connect to " + host + ":" + std::to_string(port) +
                          " failed");
   }
-  return std::make_shared<TcpTransport>(fd);
+  setNoDelay(fd);
+  const auto& loops = group ? group : EventLoopGroup::shared();
+  return loops->adopt(fd, host + ":" + std::to_string(port));
 }
 
 struct TcpListener::Impl {
@@ -154,6 +60,7 @@ struct TcpListener::Impl {
   std::atomic<bool> running{true};
   std::thread acceptor;
   AcceptHandler onAccept;
+  std::shared_ptr<EventLoopGroup> group;
 
   ~Impl() {
     running.store(false);
@@ -163,9 +70,10 @@ struct TcpListener::Impl {
   }
 };
 
-TcpListener::TcpListener(std::uint16_t port, AcceptHandler onAccept)
+TcpListener::TcpListener(std::uint16_t port, AcceptHandler onAccept, Options options)
     : impl_(std::make_unique<Impl>()) {
   impl_->onAccept = std::move(onAccept);
+  impl_->group = options.group ? options.group : EventLoopGroup::shared();
   impl_->fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (impl_->fd < 0) throw TransportError("TcpListener: socket() failed");
   int one = 1;
@@ -177,20 +85,31 @@ TcpListener::TcpListener(std::uint16_t port, AcceptHandler onAccept)
   if (::bind(impl_->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     throw TransportError("TcpListener: bind failed");
   }
-  if (::listen(impl_->fd, 16) != 0) throw TransportError("TcpListener: listen failed");
+  if (::listen(impl_->fd, options.backlog) != 0) {
+    throw TransportError("TcpListener: listen failed");
+  }
   socklen_t len = sizeof(addr);
   ::getsockname(impl_->fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
   impl_->acceptor = std::thread([impl = impl_.get()] {
     while (impl->running.load()) {
-      int client = ::accept(impl->fd, nullptr, nullptr);
-      if (client < 0) break;
+      sockaddr_in peer{};
+      socklen_t peerLen = sizeof(peer);
+      int client = ::accept(impl->fd, reinterpret_cast<sockaddr*>(&peer), &peerLen);
+      if (client < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;  // not listener death
+        break;
+      }
       if (!impl->running.load()) {
         closeFd(client);
         break;
       }
-      impl->onAccept(std::make_shared<TcpTransport>(client));
+      setNoDelay(client);
+      char ip[INET_ADDRSTRLEN] = "?";
+      ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+      impl->onAccept(impl->group->adopt(
+          client, std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port))));
     }
   });
 }

@@ -2,7 +2,10 @@
 //
 // Gives the MicroOrb a genuinely distributed path: the Fig-9 benchmark and
 // the distribution tests run adapters and the Location Service on separate
-// sockets, like the paper's CORBA deployment.
+// sockets, like the paper's CORBA deployment. Connections no longer own a
+// reader thread each — every socket is adopted by an epoll reactor
+// (event_loop.hpp), so a server with thousands of connections runs O(loops)
+// reader threads, not O(connections).
 #pragma once
 
 #include <cstdint>
@@ -10,20 +13,34 @@
 #include <memory>
 #include <string>
 
+#include "orb/event_loop.hpp"
 #include "orb/transport.hpp"
 
 namespace mw::orb {
 
-/// Connects to a listening endpoint. Throws util::TransportError on failure.
-std::shared_ptr<Transport> tcpConnect(const std::string& host, std::uint16_t port);
+/// Connects to a listening endpoint and registers the socket with `group`
+/// (the process-wide EventLoopGroup::shared() when null). Throws
+/// util::TransportError on failure.
+std::shared_ptr<Transport> tcpConnect(const std::string& host, std::uint16_t port,
+                                      const std::shared_ptr<EventLoopGroup>& group = nullptr);
 
 /// Accepts connections on 127.0.0.1:<port> (0 = ephemeral). Each accepted
-/// connection is handed to `onAccept` as a ready transport.
+/// connection is adopted by the event-loop group and handed to `onAccept`
+/// as a ready transport.
 class TcpListener {
  public:
   using AcceptHandler = std::function<void(std::shared_ptr<Transport>)>;
 
-  TcpListener(std::uint16_t port, AcceptHandler onAccept);
+  struct Options {
+    /// listen(2) backlog — pending-connection queue depth. The old
+    /// hardcoded 16 stalled connection storms (64+ concurrent dials).
+    int backlog = 128;
+    /// Reactor adopting accepted sockets; null = EventLoopGroup::shared().
+    std::shared_ptr<EventLoopGroup> group;
+  };
+
+  TcpListener(std::uint16_t port, AcceptHandler onAccept) : TcpListener(port, onAccept, {}) {}
+  TcpListener(std::uint16_t port, AcceptHandler onAccept, Options options);
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;

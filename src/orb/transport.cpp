@@ -7,6 +7,14 @@
 
 namespace mw::orb {
 
+void Transport::sendv(util::ByteView header, util::ByteView payload) {
+  util::Bytes frame;
+  frame.reserve(header.size() + payload.size());
+  frame.insert(frame.end(), header.data(), header.data() + header.size());
+  frame.insert(frame.end(), payload.data(), payload.data() + payload.size());
+  send(frame);
+}
+
 namespace {
 
 /// One endpoint of an in-process pair. Sending locks only the peer's state,
@@ -54,13 +62,13 @@ class InProcTransport final : public Transport,
   }
 
  private:
-  void deliver(const util::Bytes& frame) {
+  void deliver(util::ByteView frame) {
     Handler handler;
     {
       std::lock_guard lock(mutex_);
       if (!open_) return;  // dropped silently, like a closed socket
       if (!handler_) {
-        pending_.push_back(frame);
+        pending_.push_back(frame.toBytes());
         return;
       }
       handler = handler_;

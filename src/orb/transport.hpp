@@ -1,10 +1,14 @@
 // Transport abstraction: a bidirectional channel carrying whole frames.
 //
-// Two implementations: an in-process pair (deterministic, used by tests and
-// same-process wiring) and TCP loopback (tcp.hpp). Handlers may be invoked
-// on arbitrary threads; implementations serialize delivery per transport.
+// Three implementations: an in-process pair (deterministic, used by tests
+// and same-process wiring), TCP on an epoll reactor (tcp.hpp + event_loop.hpp)
+// and a shared-memory ring for colocated processes (shm.hpp). Handlers may be
+// invoked on arbitrary threads; implementations serialize delivery per
+// transport. Received frames arrive as util::ByteView over the transport's
+// receive buffer — valid only for the duration of the handler call.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -15,19 +19,32 @@ namespace mw::orb {
 
 class Transport {
  public:
-  using Handler = std::function<void(const util::Bytes& frame)>;
+  using Handler = std::function<void(util::ByteView frame)>;
 
   virtual ~Transport() = default;
 
   /// Sends one frame. Throws util::TransportError when the channel is down.
   virtual void send(const util::Bytes& frame) = 0;
 
+  /// Gather-send: `header` immediately followed by `payload` goes on the
+  /// wire as ONE frame. The reactor transports implement this with a single
+  /// writev (no payload copy); the base implementation concatenates and
+  /// delegates to send().
+  virtual void sendv(util::ByteView header, util::ByteView payload);
+
   /// Installs the receive handler. Frames arriving before a handler is set
   /// are buffered and delivered on installation.
   virtual void onReceive(Handler handler) = 0;
 
+  /// Closes the channel. After close() returns, the receive handler is not
+  /// invoked again (reactor transports synchronize with in-flight delivery),
+  /// so owners may safely destroy handler state.
   virtual void close() = 0;
   [[nodiscard]] virtual bool isOpen() const = 0;
+
+  /// Frames refused because their length prefix exceeded the 64 MiB sanity
+  /// cap (the connection is closed when this trips). Cumulative.
+  [[nodiscard]] virtual std::uint64_t oversizedFrames() const { return 0; }
 };
 
 /// Creates a connected in-process transport pair: frames sent on one side

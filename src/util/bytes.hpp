@@ -15,6 +15,27 @@ namespace mw::util {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Non-owning view over a byte range — the zero-copy counterpart of Bytes.
+/// Transports hand received frames to handlers as views over their receive
+/// buffers; a handler that needs the bytes past its return must toBytes().
+class ByteView {
+ public:
+  constexpr ByteView() = default;
+  constexpr ByteView(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  ByteView(const Bytes& bytes) : data_(bytes.data()), size_(bytes.size()) {}  // NOLINT(*-explicit*)
+
+  [[nodiscard]] constexpr const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+
+  /// An owning copy, for keeping the bytes past the view's lifetime.
+  [[nodiscard]] Bytes toBytes() const { return Bytes(data_, data_ + size_); }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class ByteWriter {
  public:
   void u8(std::uint8_t v);
@@ -41,6 +62,7 @@ class ByteWriter {
 class ByteReader {
  public:
   explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  explicit ByteReader(ByteView view) : data_(view.data()), size_(view.size()) {}
   ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   std::uint8_t u8();

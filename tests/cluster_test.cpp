@@ -175,14 +175,17 @@ class ClusterTest : public ::testing::Test {
     oracleClient_ = oracle_->connectLocal();
   }
 
-  std::unique_ptr<ShardHost> startShard(std::size_t index, std::size_t total) {
+  std::unique_ptr<ShardHost> startShard(std::size_t index, std::size_t total,
+                                        std::uint16_t registryPort = 0, bool enableShm = true) {
     ShardHost::Options opts;
     opts.index = index;
     opts.total = total;
     opts.announceTtl = util::sec(5);
     opts.heartbeatPeriod = util::msec(100);
+    opts.enableShm = enableShm;
     auto host = std::make_unique<ShardHost>(clock_, universe(), "SC", "127.0.0.1",
-                                            registry_->port(), opts);
+                                            registryPort != 0 ? registryPort : registry_->port(),
+                                            opts);
     configureWorld(host->core());
     host->start();
     return host;
@@ -245,6 +248,53 @@ TEST_F(ClusterTest, ShardedLocateMatchesSingleProcessOracle) {
   }
   EXPECT_EQ(router_->locate(MobileObjectId{"ghost"}), std::nullopt);
   EXPECT_EQ(router_->stats().failedRoutedCalls, 0u) << "unknown object is a miss, not a failure";
+}
+
+TEST_F(ClusterTest, ShmAndTcpLanesAnswerByteIdentically) {
+  // Two identical clusters, one difference: the first announces shm lanes
+  // (the router connects over shared memory), the second is TCP-only. Fed
+  // the same readings, every routed answer must be byte-identical — the
+  // transport lane must never leak into results.
+  startCluster(2);
+  if (hosts_[0]->shmName().empty()) GTEST_SKIP() << "POSIX shm unavailable";
+  for (const auto& host : hosts_) {
+    EXPECT_FALSE(host->shmName().empty()) << "shm lane should be announced by default";
+  }
+
+  auto tcpRegistry = std::make_unique<core::RegistryServer>();
+  std::vector<std::unique_ptr<ShardHost>> tcpHosts;
+  for (std::size_t i = 0; i < 2; ++i) {
+    tcpHosts.push_back(startShard(i, 2, tcpRegistry->port(), /*enableShm=*/false));
+    EXPECT_TRUE(tcpHosts.back()->shmName().empty());
+  }
+  ClusterLocationService::Options opts;
+  opts.retry = fastRetry();
+  auto tcpRouter =
+      std::make_unique<ClusterLocationService>("127.0.0.1", tcpRegistry->port(), opts);
+
+  std::vector<std::string> objects;
+  for (int i = 0; i < 8; ++i) objects.push_back("obj-" + std::to_string(i));
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const double x = 2.0 + static_cast<double>(i % 4) * 4.0;
+    const double y = 3.0 + static_cast<double>(i / 4) * 6.0;
+    auto reading = makeReading(clock_, {x, y}, objects[i]);
+    router_->ingest(reading);
+    tcpRouter->ingest(reading);
+    clock_.advance(util::msec(50));
+  }
+
+  for (const auto& name : objects) {
+    MobileObjectId object{name};
+    auto viaShm = router_->locate(object);
+    auto viaTcp = tcpRouter->locate(object);
+    ASSERT_TRUE(viaShm.has_value()) << name;
+    ASSERT_TRUE(viaTcp.has_value()) << name;
+    EXPECT_EQ(estimateBytes(*viaShm), estimateBytes(*viaTcp))
+        << name << ": shm-lane answers must be byte-identical to tcp-lane answers";
+    EXPECT_EQ(router_->locateSymbolic(object), tcpRouter->locateSymbolic(object)) << name;
+  }
+  EXPECT_EQ(router_->stats().failedRoutedCalls, 0u);
+  EXPECT_EQ(tcpRouter->stats().failedRoutedCalls, 0u);
 }
 
 TEST_F(ClusterTest, ProbabilityInRegionPrefersEvidenceOverPriors) {

@@ -69,8 +69,8 @@ TEST(MessageTest, RejectsTrailingBytes) {
 TEST(InProcTransportTest, DeliversBothDirections) {
   auto [a, b] = makeInProcPair();
   Bytes gotAtB, gotAtA;
-  b->onReceive([&](const Bytes& f) { gotAtB = f; });
-  a->onReceive([&](const Bytes& f) { gotAtA = f; });
+  b->onReceive([&](util::ByteView f) { gotAtB = f.toBytes(); });
+  a->onReceive([&](util::ByteView f) { gotAtA = f.toBytes(); });
   a->send({1, 2});
   b->send({3, 4});
   EXPECT_EQ(gotAtB, (Bytes{1, 2}));
@@ -82,7 +82,7 @@ TEST(InProcTransportTest, BuffersUntilHandlerInstalled) {
   a->send({7});
   a->send({8});
   std::vector<Bytes> got;
-  b->onReceive([&](const Bytes& f) { got.push_back(f); });
+  b->onReceive([&](util::ByteView f) { got.push_back(f.toBytes()); });
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], Bytes{7});
   EXPECT_EQ(got[1], Bytes{8});
