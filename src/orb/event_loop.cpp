@@ -78,13 +78,23 @@ class EpollConn final : public Transport, public std::enable_shared_from_this<Ep
   void sendv(util::ByteView header, util::ByteView payload) override;
 
   void onReceive(Handler handler) override {
-    std::deque<util::Bytes> backlog;
-    {
-      std::lock_guard lock(handlerMutex_);
-      handler_ = std::move(handler);
-      backlog.swap(pendingIn_);
+    // Replay buffered frames without breaking the per-connection delivery
+    // order: while replaying_ is set, the loop thread queues new arrivals
+    // behind the backlog instead of invoking the handler concurrently, and
+    // this thread drains the queue front-to-back.
+    std::unique_lock lock(handlerMutex_);
+    handler_ = std::move(handler);
+    if (replaying_) return;  // an earlier install is already draining
+    replaying_ = true;
+    while (!pendingIn_.empty() && handler_) {
+      util::Bytes frame = std::move(pendingIn_.front());
+      pendingIn_.pop_front();
+      Handler h = handler_;
+      lock.unlock();
+      h(frame);
+      lock.lock();
     }
-    for (const auto& frame : backlog) deliver(frame);
+    replaying_ = false;
   }
 
   void close() override;
@@ -107,10 +117,14 @@ class EpollConn final : public Transport, public std::enable_shared_from_this<Ep
   /// close().
   void markClosed();
 
-  /// True when the backlog holds bytes the loop still has to flush.
-  [[nodiscard]] bool wantsWrite() {
+  /// Loop thread, at registration time: the epoll interest to ADD with.
+  /// Taken under sendMutex_ so a send that spilled before the fd was
+  /// registered (armWriteLocked's EPOLL_CTL_MOD failed with ENOENT) gets
+  /// its EPOLLOUT here instead of being stranded.
+  [[nodiscard]] std::uint32_t initialEvents() {
     std::lock_guard lock(sendMutex_);
-    return !backlog_.empty();
+    writeArmed_ = backlogPos_ < backlog_.size();
+    return EPOLLIN | (writeArmed_ ? EPOLLOUT : 0);
   }
 
  private:
@@ -118,7 +132,7 @@ class EpollConn final : public Transport, public std::enable_shared_from_this<Ep
     Handler handler;
     {
       std::lock_guard lock(handlerMutex_);
-      if (!handler_) {
+      if (!handler_ || replaying_) {
         pendingIn_.push_back(frame.toBytes());
         return;
       }
@@ -147,6 +161,7 @@ class EpollConn final : public Transport, public std::enable_shared_from_this<Ep
   std::mutex handlerMutex_;
   Handler handler_;
   std::deque<util::Bytes> pendingIn_;
+  bool replaying_ = false;  ///< onReceive is draining pendingIn_
 
   // Receive state: loop thread only.
   std::vector<std::uint8_t> rbuf_;
@@ -200,7 +215,7 @@ class EventLoop {
         return;
       }
       epoll_event ev{};
-      ev.events = EPOLLIN;
+      ev.events = conn->initialEvents();
       ev.data.fd = conn->fd();
       if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, conn->fd(), &ev) != 0) {
         conn->markClosed();
@@ -418,7 +433,14 @@ void EpollConn::armWriteLocked() {
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLOUT;
   ev.data.fd = fd_;
-  ::epoll_ctl(loop_->epollFd(), EPOLL_CTL_MOD, fd_, &ev);  // ENOENT = closing; harmless
+  if (::epoll_ctl(loop_->epollFd(), EPOLL_CTL_MOD, fd_, &ev) != 0 && errno == ENOENT) {
+    // Not registered yet (the add() task is still queued) or already
+    // removed. Leaving writeArmed_ set would make every later spill a
+    // no-op and strand the backlog forever; clearing it lets the add()
+    // task pick the pending bytes up via initialEvents() — which runs
+    // under this same sendMutex_, so one of the two always sees them.
+    writeArmed_ = false;
+  }
 }
 
 void EpollConn::handleWritable() {

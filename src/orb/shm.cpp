@@ -2,11 +2,13 @@
 
 #include <fcntl.h>
 #include <linux/futex.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -67,6 +69,7 @@ struct DataHeader {
   std::uint64_t magic;
   std::atomic<std::uint32_t> attached;  ///< listener sets 1 when serving
   std::atomic<std::uint32_t> closed;    ///< bit 0: connector closed, bit 1: listener
+  std::uint32_t ownerPid;               ///< creator, for staleness probes
   Ring c2l;                             ///< connector -> listener
   Ring l2c;                             ///< listener -> connector
 };
@@ -81,6 +84,7 @@ struct ConnectHeader {
   std::uint64_t magic;
   std::atomic<std::uint32_t> doorbell;  ///< bumped per posted slot
   std::atomic<std::uint32_t> closed;    ///< listener stopped; connectors bail
+  std::uint32_t ownerPid;               ///< creator, for staleness probes
   std::uint32_t slotCount;
   ConnectSlot slots[kSlots];
 };
@@ -101,10 +105,52 @@ std::string shmPath(const std::string& name) {
   return path;
 }
 
+/// True when the region at `path` carries one of our headers, is not marked
+/// closed, and its recorded owner process still exists — i.e. unlinking it
+/// would yank a live rendezvous or handshake out from under that owner.
+bool regionLooksLive(const std::string& path) {
+  int fd = ::shm_open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) return false;  // vanished already
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 24) {
+    ::close(fd);
+    return false;  // owner died before initializing it
+  }
+  const std::size_t len = std::min<std::size_t>(static_cast<std::size_t>(st.st_size), 4096);
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return false;
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, base, sizeof(magic));
+  std::uint32_t ownerPid = 0;
+  bool closed = true;
+  if (magic == kConnectMagic) {
+    const auto* hdr = static_cast<const ConnectHeader*>(base);
+    closed = hdr->closed.load(std::memory_order_acquire) != 0;
+    ownerPid = hdr->ownerPid;
+  } else if (magic == kDataMagic) {
+    const auto* hdr = static_cast<const DataHeader*>(base);
+    closed = hdr->closed.load(std::memory_order_acquire) != 0;
+    ownerPid = hdr->ownerPid;
+  }
+  ::munmap(base, len);
+  if (closed || ownerPid == 0) return false;
+  // kill(pid, 0) probes existence without signaling; EPERM still means the
+  // process is there (just not ours to signal) — its region stays.
+  return ::kill(static_cast<pid_t>(ownerPid), 0) == 0 || errno == EPERM;
+}
+
 Mapped createRegion(const std::string& path, std::size_t size) {
   int fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
   if (fd < 0 && errno == EEXIST) {
-    // Stale region from a crashed owner: reclaim the name.
+    // The name is taken. Reclaim it only when the previous owner is
+    // provably gone — unlinking a live owner's region would silently split
+    // the rendezvous: existing mappings keep working while new connectors
+    // land on a different region.
+    if (regionLooksLive(path)) {
+      throw TransportError("shm: region " + path + " belongs to a live process; refusing to reclaim");
+    }
+    util::logWarn("shm", "reclaiming stale region ", path, " from a dead owner");
     ::shm_unlink(path.c_str());
     fd = ::shm_open(path.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
   }
@@ -187,13 +233,22 @@ class ShmTransport final : public Transport {
   }
 
   void onReceive(Handler handler) override {
-    std::deque<util::Bytes> backlog;
-    {
-      std::lock_guard lock(handlerMutex_);
-      handler_ = std::move(handler);
-      backlog.swap(pendingIn_);
+    // Replay buffered frames in order while the reader thread queues new
+    // arrivals behind them (deliver() appends while replaying_ is set), so
+    // handler invocations stay serialized and in arrival order.
+    std::unique_lock lock(handlerMutex_);
+    handler_ = std::move(handler);
+    if (replaying_) return;  // an earlier install is already draining
+    replaying_ = true;
+    while (!pendingIn_.empty() && handler_) {
+      util::Bytes frame = std::move(pendingIn_.front());
+      pendingIn_.pop_front();
+      Handler h = handler_;
+      lock.unlock();
+      h(frame);
+      lock.lock();
     }
-    for (const auto& frame : backlog) deliver(frame);
+    replaying_ = false;
   }
 
   void close() override {
@@ -341,7 +396,7 @@ class ShmTransport final : public Transport {
     Handler handler;
     {
       std::lock_guard lock(handlerMutex_);
-      if (!handler_) {
+      if (!handler_ || replaying_) {
         pendingIn_.push_back(frame.toBytes());
         return;
       }
@@ -362,6 +417,7 @@ class ShmTransport final : public Transport {
   std::mutex handlerMutex_;
   Handler handler_;
   std::deque<util::Bytes> pendingIn_;
+  bool replaying_ = false;  ///< onReceive is draining pendingIn_
   std::atomic<std::uint64_t> oversized_{0};
   std::mutex joinMutex_;
   std::thread reader_;
@@ -412,9 +468,21 @@ std::shared_ptr<Transport> shmConnect(const std::string& name) {
   initRing(dhdr->l2c, bufStart + kRingCapacity);
   dhdr->attached.store(0, std::memory_order_relaxed);
   dhdr->closed.store(0, std::memory_order_relaxed);
+  dhdr->ownerPid = static_cast<std::uint32_t>(::getpid());
   dhdr->magic = kDataMagic;
 
   auto fail = [&](const std::string& what) -> TransportError {
+    // The listener may have mapped the region by now and spun up its
+    // transport. Publish the connector's closed bit (and wake the waits on
+    // the listener's in/out rings) before abandoning the region, so that
+    // transport observes peerClosed() and tears down — otherwise its
+    // reader would nap on a region nobody owns for the listener's
+    // lifetime.
+    dhdr->closed.fetch_or(1U, std::memory_order_release);
+    dhdr->c2l.dataSeq.fetch_add(1, std::memory_order_release);
+    dhdr->l2c.spaceSeq.fetch_add(1, std::memory_order_release);
+    futexWake(&dhdr->c2l.dataSeq, 1);
+    futexWake(&dhdr->l2c.spaceSeq, 1);
     ::munmap(dataRegion.base, dataRegion.size);
     ::shm_unlink(dataPath.c_str());
     unmapConnect();
@@ -517,6 +585,7 @@ ShmListener::ShmListener(std::string name, AcceptHandler onAccept)
   ConnectHeader* hdr = impl_->header();
   hdr->doorbell.store(0, std::memory_order_relaxed);
   hdr->closed.store(0, std::memory_order_relaxed);
+  hdr->ownerPid = static_cast<std::uint32_t>(::getpid());
   hdr->slotCount = kSlots;
   for (auto& slot : hdr->slots) slot.state.store(kSlotFree, std::memory_order_relaxed);
   hdr->magic = kConnectMagic;

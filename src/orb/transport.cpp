@@ -1,7 +1,11 @@
 #include "orb/transport.hpp"
 
+#include <algorithm>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <thread>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -34,21 +38,41 @@ class InProcTransport final : public Transport,
   }
 
   void onReceive(Handler handler) override {
-    std::deque<util::Bytes> backlog;
-    {
-      std::lock_guard lock(mutex_);
-      handler_ = std::move(handler);
-      backlog.swap(pending_);
+    // Replay the backlog in order while new deliveries queue behind it
+    // (deliver() appends while replaying_ is set), so handler invocations
+    // stay serialized and in arrival order.
+    std::unique_lock lock(mutex_);
+    handler_ = std::move(handler);
+    if (replaying_) return;  // an earlier install is already draining
+    replaying_ = true;
+    inFlight_.push_back(std::this_thread::get_id());
+    while (open_ && !pending_.empty() && handler_) {
+      util::Bytes frame = std::move(pending_.front());
+      pending_.pop_front();
+      Handler h = handler_;
+      lock.unlock();
+      h(frame);
+      lock.lock();
     }
-    for (const auto& frame : backlog) {
-      if (handler_) handler_(frame);
-    }
+    replaying_ = false;
+    eraseInFlightLocked();
+    lock.unlock();
+    cv_.notify_all();
   }
 
   void close() override {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
     open_ = false;
     handler_ = nullptr;
+    // Transport contract: after close() returns the handler is not invoked
+    // again, so wait out invocations already in flight on other threads.
+    // An entry for THIS thread means close() was called from inside the
+    // handler — that invocation finishes by returning, not by waiting.
+    const auto self = std::this_thread::get_id();
+    cv_.wait(lock, [&] {
+      return std::none_of(inFlight_.begin(), inFlight_.end(),
+                          [&](std::thread::id id) { return id != self; });
+    });
   }
 
   [[nodiscard]] bool isOpen() const override {
@@ -67,19 +91,34 @@ class InProcTransport final : public Transport,
     {
       std::lock_guard lock(mutex_);
       if (!open_) return;  // dropped silently, like a closed socket
-      if (!handler_) {
+      if (!handler_ || replaying_) {
         pending_.push_back(frame.toBytes());
         return;
       }
       handler = handler_;
+      inFlight_.push_back(std::this_thread::get_id());
     }
     handler(frame);
+    {
+      std::lock_guard lock(mutex_);
+      eraseInFlightLocked();
+    }
+    cv_.notify_all();
+  }
+
+  /// Removes one inFlight_ entry for the calling thread (mutex_ held).
+  void eraseInFlightLocked() {
+    const auto it = std::find(inFlight_.begin(), inFlight_.end(), std::this_thread::get_id());
+    if (it != inFlight_.end()) inFlight_.erase(it);
   }
 
   mutable std::mutex mutex_;
+  std::condition_variable cv_;  ///< close() waiting for in-flight handlers
   bool open_ = true;
+  bool replaying_ = false;  ///< onReceive is draining pending_
   Handler handler_;
   std::deque<util::Bytes> pending_;
+  std::vector<std::thread::id> inFlight_;  ///< threads inside the handler
   std::weak_ptr<InProcTransport> peer_;
 };
 

@@ -7,6 +7,7 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -206,6 +207,97 @@ TEST(EventLoopTest, ManyConcurrentCallersOnOneClientAllComplete) {
     }));
   }
   for (auto& f : futures) EXPECT_TRUE(f.get());
+}
+
+TEST(EventLoopTest, SpillBeforeRegistrationStillFlushes) {
+  // Regression: a send that hits EAGAIN before the loop has run the
+  // registration task used to arm EPOLLOUT against an unregistered fd
+  // (EPOLL_CTL_MOD → ENOENT) and leave writeArmed_ set, stranding the
+  // backlog forever. Tiny send buffers plus an immediate burst after
+  // adopt() race the registration task on every round.
+  auto group = std::make_shared<EventLoopGroup>(1);
+  const Bytes frame(64 * 1024, 0xAB);
+  for (int round = 0; round < 20; ++round) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const int sndbuf = 4096;
+    ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+    auto conn = group->adopt(fds[0], "spill-test");
+    conn->send(frame);  // far beyond the socket buffer: must spill
+
+    // Every byte (4-byte prefix + payload) must come out the peer end.
+    timeval tv{2, 0};
+    ::setsockopt(fds[1], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::size_t total = 0;
+    std::uint8_t buf[8192];
+    while (total < 4 + frame.size()) {
+      const ssize_t got = ::recv(fds[1], buf, sizeof(buf), 0);
+      if (got <= 0) break;  // timeout = the stranded-backlog bug
+      total += static_cast<std::size_t>(got);
+    }
+    EXPECT_EQ(total, 4 + frame.size()) << "backlog stranded on round " << round;
+    conn->close();
+    ::close(fds[1]);
+  }
+}
+
+TEST(TransportConcurrencyTest, InProcCloseSynchronizesWithInFlightDelivery) {
+  // Regression: close() promises the handler is not invoked again after it
+  // returns, but the in-proc pair used to invoke a copied handler after
+  // releasing its lock — a peer send racing close() could touch handler
+  // state freed by the owner (the ~RpcClient teardown pattern).
+  for (int round = 0; round < 50; ++round) {
+    auto [a, b] = makeInProcPair();
+    auto state = std::make_unique<std::atomic<int>>(0);
+    b->onReceive([p = state.get()](util::ByteView) { p->fetch_add(1); });
+    std::thread sender([t = a] {
+      try {
+        for (int i = 0; i < 200; ++i) t->send(Bytes{1});
+      } catch (const util::TransportError&) {
+        // Peer closed mid-burst; expected.
+      }
+    });
+    b->close();     // must wait out any delivery already in flight
+    state.reset();  // a handler invocation after this point is a UAF
+    sender.join();
+  }
+}
+
+TEST(TransportConcurrencyTest, HandlerInstallReplayPreservesOrder) {
+  // Regression: installing a handler used to replay buffered frames on the
+  // installer's thread while new arrivals went straight to the handler —
+  // concurrent, possibly out-of-order invocations. Delivery must stay
+  // serialized and in arrival order across the install.
+  auto [a, b] = makeInProcPair();
+  std::atomic<bool> stop{false};
+  std::thread sender([&] {
+    std::uint32_t n = 0;
+    while (!stop.load()) {
+      Bytes frame(4);
+      for (int i = 0; i < 4; ++i) frame[i] = static_cast<std::uint8_t>(n >> (8 * i));
+      a->send(frame);
+      ++n;
+    }
+  });
+  // Let frames pile up unhandled, then install mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  std::mutex m;
+  std::vector<std::uint32_t> seen;
+  b->onReceive([&](util::ByteView f) {
+    ASSERT_EQ(f.size(), 4u);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(f.data()[i]) << (8 * i);
+    std::lock_guard lock(m);
+    seen.push_back(v);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  sender.join();
+  std::lock_guard lock(m);
+  ASSERT_FALSE(seen.empty());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i], i) << "frame replayed out of order";
+  }
 }
 
 // --- shared-memory ring transport -------------------------------------------------
