@@ -18,11 +18,32 @@ namespace {
 /// Claim sentinel for a per-shard subscription registration in flight.
 constexpr std::uint64_t kSubPending = ~0ULL;
 
+/// Slot accessor that tolerates a shard list that grew since this sub's id
+/// vector was sized (ring mode appends members at any refresh). Call with
+/// subsMutex_ held.
+std::uint64_t& subSlot(std::vector<std::uint64_t>& ids, std::size_t index) {
+  if (ids.size() <= index) ids.resize(index + 1, 0);
+  return ids[index];
+}
+
 }  // namespace
+
+ClusterLocationService::ClusterLocationService(const std::string& registryHost,
+                                               std::uint16_t registryPort)
+    : ClusterLocationService(registryHost, registryPort, Options{}) {}
 
 ClusterLocationService::ClusterLocationService(const std::string& registryHost,
                                                std::uint16_t registryPort, Options options)
     : options_(options), registry_(registryHost, registryPort) {
+  if (options_.partitioning == Partitioning::Ring) {
+    RingMemberMap members = resolveRingMembers(registry_);
+    if (members.tokens.empty()) {
+      throw mw::util::NotFoundError(
+          "ClusterLocationService: no location.ring.* entry in the registry");
+    }
+    applyRingMembers(members);
+    return;
+  }
   ShardMap map = resolveShardMap(registry_);
   if (map.total == 0) {
     throw mw::util::NotFoundError(
@@ -49,13 +70,121 @@ ClusterLocationService::shardsSnapshot() const {
   return shards_;
 }
 
-std::size_t ClusterLocationService::shardCount() const { return total_; }
+std::shared_ptr<const ClusterLocationService::RingState> ClusterLocationService::ringSnapshot()
+    const {
+  std::lock_guard lock(shardsMutex_);
+  return ringState_;
+}
+
+std::size_t ClusterLocationService::shardCount() const {
+  if (options_.partitioning == Partitioning::Modulo) return total_;
+  return shardsSnapshot()->size();
+}
 
 std::size_t ClusterLocationService::shardFor(const util::MobileObjectId& object) const {
-  return shardForObject(object, total_);
+  if (options_.partitioning == Partitioning::Modulo) return shardForObject(object, total_);
+  auto state = ringSnapshot();
+  return state->slotOf.at(state->ring.ownerForObject(object));
+}
+
+bool ClusterLocationService::dualReadWindowOpen() const {
+  auto state = ringSnapshot();
+  return state && state->window;
+}
+
+void ClusterLocationService::applyRingMembers(const RingMemberMap& members) {
+  auto old = shardsSnapshot();
+  auto oldState = ringSnapshot();
+  auto shards = std::make_shared<std::vector<std::shared_ptr<Shard>>>();
+  auto state = std::make_shared<RingState>();
+  if (old) {
+    *shards = *old;
+    state->slotOf = oldState->slotOf;
+  }
+  std::vector<std::shared_ptr<Shard>> lostConnection;
+  for (std::size_t i = 0; i < members.tokens.size(); ++i) {
+    const std::string& token = members.tokens[i];
+    const std::optional<core::Endpoint>& fresh = members.endpoints[i];
+    auto slot = state->slotOf.find(token);
+    if (slot == state->slotOf.end()) {
+      auto shard = std::make_shared<Shard>(options_.retry);
+      shard->index = shards->size();
+      shard->token = token;
+      shard->endpoint = fresh;
+      state->slotOf.emplace(token, shard->index);
+      shards->push_back(std::move(shard));
+      continue;
+    }
+    Shard& shard = *(*shards)[slot->second];
+    std::unique_lock lock(shard.connectMutex);
+    if (shard.endpoint == fresh) continue;
+    // A changed endpoint is a promotion (same name, the backup's address):
+    // drop the dead primary's connection and carry on — no window needed,
+    // the backup holds every acked reading.
+    shard.endpoint = fresh;
+    if (shard.client) {
+      shard.client.reset();
+      lock.unlock();
+      lostConnection.push_back((*shards)[slot->second]);
+    }
+  }
+  // Members that left the listing keep their slot (stable indices) but stop
+  // being routable until they announce again.
+  for (const auto& [token, slot] : state->slotOf) {
+    if (std::binary_search(members.tokens.begin(), members.tokens.end(), token)) continue;
+    Shard& shard = *(*shards)[slot];
+    std::unique_lock lock(shard.connectMutex);
+    if (!shard.endpoint) continue;
+    shard.endpoint = std::nullopt;
+    if (shard.client) {
+      shard.client.reset();
+      lock.unlock();
+      lostConnection.push_back((*shards)[slot]);
+    }
+  }
+  HashRing fresh(members.tokens);
+  if (!oldState) {
+    state->ring = fresh;
+    state->prev = fresh;
+  } else if (fresh.empty()) {
+    // Registry momentarily empty (every member between heartbeats): keep
+    // routing by the last known ring rather than failing every call.
+    state->ring = oldState->ring;
+    state->prev = oldState->prev;
+    state->window = oldState->window;
+  } else if (oldState->ring.members() == fresh.members()) {
+    // Unchanged membership: any straddled change is settled; close the
+    // dual-read window.
+    state->ring = std::move(fresh);
+    state->prev = state->ring;
+    state->window = false;
+  } else {
+    state->prev = oldState->ring;
+    state->ring = std::move(fresh);
+    state->window = true;
+  }
+  {
+    // Grow every subscription's per-shard id vector BEFORE the wider shard
+    // list is visible, so a replay on a new member never indexes past the
+    // end.
+    std::lock_guard lock(subsMutex_);
+    for (auto& [id, sub] : subs_) {
+      if (sub->shardSubIds.size() < shards->size()) sub->shardSubIds.resize(shards->size(), 0);
+    }
+  }
+  {
+    std::lock_guard lock(shardsMutex_);
+    shards_ = std::move(shards);
+    ringState_ = std::move(state);
+  }
+  for (const auto& shard : lostConnection) clearShardSubscriptions(*shard);
 }
 
 void ClusterLocationService::refreshShardMap() {
+  if (options_.partitioning == Partitioning::Ring) {
+    applyRingMembers(resolveRingMembers(registry_));
+    return;
+  }
   ShardMap map = resolveShardMap(registry_);
   if (map.total != 0 && map.total != total_) {
     throw mw::util::ContractError(
@@ -76,6 +205,34 @@ void ClusterLocationService::refreshShardMap() {
       clearShardSubscriptions(shard);
     }
   }
+}
+
+ClusterLocationService::Route ClusterLocationService::routeFor(
+    const std::vector<std::shared_ptr<Shard>>& shards, const RingState* state,
+    const util::MobileObjectId& object, bool ingestPath) const {
+  Route route;
+  if (!state) {
+    route.target = shards[shardForObject(object, total_)];
+    return route;
+  }
+  const std::string& owner = state->ring.ownerForObject(object);
+  route.target = shards[state->slotOf.at(owner)];
+  if (!state->window) return route;
+  const std::string& prevOwner = state->prev.ownerForObject(object);
+  if (prevOwner == owner) return route;
+  const std::shared_ptr<Shard>& prev = shards[state->slotOf.at(prevOwner)];
+  if (ingestPath) {
+    // Mid-window writes go to the PREVIOUS owner: its handoff session
+    // buffers or forwards them to the joiner in per-object order, which a
+    // direct write to the joiner (racing the log replay) would break.
+    route.target = prev;
+    route.fallback = nullptr;
+  } else {
+    // Reads try the new owner, but until the logs have moved it may not
+    // know the object — the previous owner still does.
+    route.fallback = prev;
+  }
+  return route;
 }
 
 std::shared_ptr<core::RemoteLocationClient> ClusterLocationService::clientFor(Shard& shard) {
@@ -129,7 +286,8 @@ void ClusterLocationService::clearShardSubscriptions(Shard& shard) {
   // it; zero the slots so the next reconnect replays them.
   std::lock_guard lock(subsMutex_);
   for (auto& [id, sub] : subs_) {
-    if (sub->shardSubIds[shard.index] != kSubPending) sub->shardSubIds[shard.index] = 0;
+    std::uint64_t& slot = subSlot(sub->shardSubIds, shard.index);
+    if (slot != kSubPending) slot = 0;
   }
 }
 
@@ -187,8 +345,9 @@ void ClusterLocationService::probeDownShards() {
 
 void ClusterLocationService::ingest(const db::SensorReading& reading) {
   auto shards = shardsSnapshot();
-  Shard& shard = *(*shards)[shardForObject(reading.mobileObjectId, total_)];
-  auto ok = callShard<bool>(shard, [&](core::RemoteLocationClient& client) {
+  auto state = ringSnapshot();
+  Route route = routeFor(*shards, state.get(), reading.mobileObjectId, /*ingestPath=*/true);
+  auto ok = callShard<bool>(*route.target, [&](core::RemoteLocationClient& client) {
     client.ingest(reading);
     return true;
   });
@@ -201,13 +360,15 @@ void ClusterLocationService::ingest(const db::SensorReading& reading) {
 void ClusterLocationService::ingestBatch(std::span<const db::SensorReading> readings) {
   if (readings.empty()) return;
   auto shards = shardsSnapshot();
-  // Partition by owning shard; a stable partition keeps each object's
+  auto state = ringSnapshot();
+  // Partition by target shard; a stable partition keeps each object's
   // readings in their original relative order inside its sub-batch.
-  std::vector<std::vector<db::SensorReading>> parts(total_);
+  std::vector<std::vector<db::SensorReading>> parts(shards->size());
   for (const auto& reading : readings) {
-    parts[shardForObject(reading.mobileObjectId, total_)].push_back(reading);
+    Route route = routeFor(*shards, state.get(), reading.mobileObjectId, /*ingestPath=*/true);
+    parts[route.target->index].push_back(reading);
   }
-  for (std::size_t i = 0; i < total_; ++i) {
+  for (std::size_t i = 0; i < parts.size(); ++i) {
     if (parts[i].empty()) continue;
     Shard& shard = *(*shards)[i];
     auto ok = callShard<bool>(shard, [&](core::RemoteLocationClient& client) {
@@ -224,26 +385,44 @@ void ClusterLocationService::ingestBatch(std::span<const db::SensorReading> read
 std::optional<fusion::LocationEstimate> ClusterLocationService::locate(
     const util::MobileObjectId& object) {
   auto shards = shardsSnapshot();
-  Shard& shard = *(*shards)[shardForObject(object, total_)];
+  auto state = ringSnapshot();
+  Route route = routeFor(*shards, state.get(), object, /*ingestPath=*/false);
   auto result = callShard<std::optional<fusion::LocationEstimate>>(
-      shard, [&](core::RemoteLocationClient& client) { return client.locate(object); });
-  if (!result) {
-    failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+      *route.target, [&](core::RemoteLocationClient& client) { return client.locate(object); });
+  if (result && result->has_value()) return *result;
+  if (route.fallback) {
+    // Dual-read window: the new owner has no evidence yet — the previous
+    // owner is still authoritative for this object.
+    auto fallback = callShard<std::optional<fusion::LocationEstimate>>(
+        *route.fallback,
+        [&](core::RemoteLocationClient& client) { return client.locate(object); });
+    if (fallback && fallback->has_value()) return *fallback;
+    if (!result && !fallback) failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  return *result;
+  if (!result) failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
 }
 
 std::string ClusterLocationService::locateSymbolic(const util::MobileObjectId& object) {
   auto shards = shardsSnapshot();
-  Shard& shard = *(*shards)[shardForObject(object, total_)];
-  auto result = callShard<std::string>(
-      shard, [&](core::RemoteLocationClient& client) { return client.locateSymbolic(object); });
-  if (!result) {
-    failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+  auto state = ringSnapshot();
+  Route route = routeFor(*shards, state.get(), object, /*ingestPath=*/false);
+  auto result = callShard<std::string>(*route.target, [&](core::RemoteLocationClient& client) {
+    return client.locateSymbolic(object);
+  });
+  if (result && !result->empty()) return *result;
+  if (route.fallback) {
+    auto fallback =
+        callShard<std::string>(*route.fallback, [&](core::RemoteLocationClient& client) {
+          return client.locateSymbolic(object);
+        });
+    if (fallback && !fallback->empty()) return *fallback;
+    if (!result && !fallback) failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
     return "";
   }
-  return *result;
+  if (!result) failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
+  return result ? *result : "";
 }
 
 // --- scatter-gather -----------------------------------------------------------
@@ -300,7 +479,7 @@ double ClusterLocationService::probabilityInRegion(const util::MobileObjectId& o
     throw mw::util::TransportError(
         "ClusterLocationService::probabilityInRegion: no shard answered");
   }
-  if (answered < total_) degradedQueries_.fetch_add(1, std::memory_order_relaxed);
+  if (answered < shards->size()) degradedQueries_.fetch_add(1, std::memory_order_relaxed);
   // The owning shard's fused answer wins; with no evidence anywhere every
   // shard reported the same prior mass, so any of them is THE answer.
   return anyEvidence ? best : bestPrior;
@@ -331,7 +510,7 @@ ClusterLocationService::RegionQueryResult ClusterLocationService::objectsInRegio
   if (result.shardsAnswered == 0) {
     throw mw::util::TransportError("ClusterLocationService::objectsInRegion: no shard answered");
   }
-  result.degraded = result.shardsAnswered < total_;
+  result.degraded = result.shardsAnswered < shards->size();
   if (result.degraded) degradedQueries_.fetch_add(1, std::memory_order_relaxed);
 
   result.members.reserve(merged.size());
@@ -357,12 +536,13 @@ std::vector<std::pair<util::MobileObjectId, double>> ClusterLocationService::obj
 util::SubscriptionId ClusterLocationService::subscribe(
     const geo::Rect& region, std::optional<util::MobileObjectId> subject, double threshold,
     std::function<void(const core::Notification&)> callback) {
+  auto shards = shardsSnapshot();
   auto sub = std::make_shared<ClusterSub>();
   sub->region = region;
   sub->subject = std::move(subject);
   sub->threshold = threshold;
   sub->callback = std::move(callback);
-  sub->shardSubIds.assign(total_, 0);
+  sub->shardSubIds.assign(shards->size(), 0);
 
   util::SubscriptionId clusterId;
   {
@@ -370,7 +550,6 @@ util::SubscriptionId ClusterLocationService::subscribe(
     clusterId = subIds_.next();
     subs_.emplace(clusterId.value(), sub);
   }
-  auto shards = shardsSnapshot();
   for (const auto& shard : *shards) {
     subscribeOnShard(*shard, clusterId, *sub);
   }
@@ -383,8 +562,9 @@ void ClusterLocationService::subscribeOnShard(Shard& shard, util::SubscriptionId
     // Claim the slot: either the initial fan-out or a reconnect replay
     // registers on a given shard, never both.
     std::lock_guard lock(subsMutex_);
-    if (sub.shardSubIds[shard.index] != 0) return;
-    sub.shardSubIds[shard.index] = kSubPending;
+    std::uint64_t& slot = subSlot(sub.shardSubIds, shard.index);
+    if (slot != 0) return;
+    slot = kSubPending;
   }
   auto emit = [callback = sub.callback, clusterId](const core::Notification& n) {
     core::Notification out = n;
@@ -396,7 +576,7 @@ void ClusterLocationService::subscribeOnShard(Shard& shard, util::SubscriptionId
       });
   std::unique_lock lock(subsMutex_);
   const bool live = subs_.contains(clusterId.value());
-  sub.shardSubIds[shard.index] = (shardSubId && live) ? *shardSubId : 0;
+  subSlot(sub.shardSubIds, shard.index) = (shardSubId && live) ? *shardSubId : 0;
   if (shardSubId && !live) {
     // unsubscribe() won the race while registration was in flight; take the
     // orphan back down (best effort).
@@ -415,8 +595,9 @@ void ClusterLocationService::replaySubscriptions(Shard& shard, core::RemoteLocat
   {
     std::lock_guard lock(subsMutex_);
     for (auto& [id, sub] : subs_) {
-      if (sub->shardSubIds[shard.index] != 0) continue;
-      sub->shardSubIds[shard.index] = kSubPending;
+      std::uint64_t& slot = subSlot(sub->shardSubIds, shard.index);
+      if (slot != 0) continue;
+      slot = kSubPending;
       missing.emplace_back(util::SubscriptionId{id}, sub);
     }
   }
@@ -433,7 +614,7 @@ void ClusterLocationService::replaySubscriptions(Shard& shard, core::RemoteLocat
       // Fresh connection already gone; the next reconnect replays again.
     }
     std::lock_guard lock(subsMutex_);
-    sub->shardSubIds[shard.index] = subs_.contains(clusterId.value()) ? shardSubId : 0;
+    subSlot(sub->shardSubIds, shard.index) = subs_.contains(clusterId.value()) ? shardSubId : 0;
   }
 }
 
@@ -451,7 +632,7 @@ bool ClusterLocationService::unsubscribe(util::SubscriptionId id) {
     std::uint64_t shardSubId;
     {
       std::lock_guard lock(subsMutex_);
-      shardSubId = sub->shardSubIds[shard->index];
+      shardSubId = subSlot(sub->shardSubIds, shard->index);
     }
     if (shardSubId == 0 || shardSubId == kSubPending) continue;
     callShard<bool>(*shard, [&](core::RemoteLocationClient& client) {

@@ -22,6 +22,20 @@
 // or failing shards still answers — partially, carrying a `degraded` flag —
 // and routed calls to a down shard return "unknown" instead of blocking.
 // Per-shard error counters surface in stats().
+//
+// Ring mode (Partitioning::Ring): members are resolved from
+// "location.ring.*" announcements instead of the fixed-width modulo names,
+// and membership may CHANGE between refreshes — that is the point. When a
+// refresh observes a changed member set, the router keeps both rings and
+// opens a dual-read window: ingest for a moved arc still routes to the
+// PREVIOUS owner (whose handoff session buffers or forwards it to the
+// joiner — see replication.hpp), while reads try the NEW owner first and
+// fall back to the previous one when the new owner doesn't know the object
+// yet. The next refresh that sees the same member set closes the window —
+// by then the operator has run completeJoin(), so the joiner holds every
+// moved object's full log and answers are exact throughout. Promotion of a
+// backup does not change membership (same name, new endpoint), so failover
+// needs no window at all.
 #pragma once
 
 #include <atomic>
@@ -45,8 +59,14 @@ namespace mw::cluster {
 
 class ClusterLocationService {
  public:
+  enum class Partitioning {
+    Modulo,  ///< fixed width N from "location.shard.<i>/<N>" names
+    Ring,    ///< consistent-hash ring over "location.ring.<token>" members
+  };
+
   struct Options {
     RetryPolicy retry;
+    Partitioning partitioning = Partitioning::Modulo;
   };
 
   /// Per-shard view of stats(): health + cumulative error counters.
@@ -74,7 +94,10 @@ class ClusterLocationService {
   /// when the registry is unreachable and util::NotFoundError when no shard
   /// is announced.
   ClusterLocationService(const std::string& registryHost, std::uint16_t registryPort,
-                         Options options = {});
+                         Options options);
+  // Not a default argument: gcc can't evaluate Options{} (whose nested
+  // member initializers live in this class) inside the class body.
+  ClusterLocationService(const std::string& registryHost, std::uint16_t registryPort);
 
   ClusterLocationService(const ClusterLocationService&) = delete;
   ClusterLocationService& operator=(const ClusterLocationService&) = delete;
@@ -83,10 +106,17 @@ class ClusterLocationService {
   [[nodiscard]] std::size_t shardFor(const util::MobileObjectId& object) const;
 
   /// Re-resolves the shard map from the registry: newly announced shards
-  /// become routable, changed endpoints drop their stale connections. The
-  /// cluster width N must not change (that is a repartition, not a
-  /// refresh); util::ContractError otherwise.
+  /// become routable, changed endpoints drop their stale connections. In
+  /// modulo mode the cluster width N must not change (that is a
+  /// repartition, not a refresh; util::ContractError otherwise). In ring
+  /// mode a membership change opens the dual-read window (see the file
+  /// header) and an unchanged refresh closes it.
   void refreshShardMap();
+
+  /// Ring mode: a membership change is being straddled — moved arcs are
+  /// double-routed until the next unchanged refresh. Always false in
+  /// modulo mode.
+  [[nodiscard]] bool dualReadWindowOpen() const;
 
   /// Attempts one probe on every down shard whose probe timer has lapsed
   /// (routed calls also probe lazily; this is for impatient callers).
@@ -157,6 +187,7 @@ class ClusterLocationService {
     explicit Shard(const RetryPolicy& policy) : health(policy) {}
 
     std::size_t index = 0;
+    std::string token;  ///< ring member token; empty in modulo mode
     ShardHealth health;
     /// Guards endpoint + client (re)creation; never held across an RPC.
     std::mutex connectMutex;
@@ -174,7 +205,34 @@ class ClusterLocationService {
     std::vector<std::uint64_t> shardSubIds;
   };
 
+  /// Ring-mode topology snapshot, published together with shards_ (null in
+  /// modulo mode). Shard slots are stable across refreshes — a new member
+  /// appends, a lapsed one keeps its slot with endpoint reset — so
+  /// subscription id vectors only ever grow.
+  struct RingState {
+    HashRing ring;  ///< current membership
+    HashRing prev;  ///< membership before the last change
+    bool window = false;  ///< dual-read window open (ring != prev semantics)
+    std::unordered_map<std::string, std::size_t> slotOf;  ///< token -> shard index
+  };
+
+  /// Where an object's traffic goes this instant: `target` for the call,
+  /// `fallback` (reads only, during the dual-read window) when the target
+  /// doesn't know the object yet.
+  struct Route {
+    std::shared_ptr<Shard> target;
+    std::shared_ptr<Shard> fallback;
+  };
+  [[nodiscard]] Route routeFor(const std::vector<std::shared_ptr<Shard>>& shards,
+                               const RingState* state, const util::MobileObjectId& object,
+                               bool ingestPath) const;
+
+  /// Merges freshly resolved ring members into the shard list + ring state
+  /// (constructor and every ring-mode refresh).
+  void applyRingMembers(const RingMemberMap& members);
+
   [[nodiscard]] std::shared_ptr<std::vector<std::shared_ptr<Shard>>> shardsSnapshot() const;
+  [[nodiscard]] std::shared_ptr<const RingState> ringSnapshot() const;
 
   /// Connected client for the shard, creating (and replaying subscriptions
   /// onto) a fresh connection if needed; null when the shard has no
@@ -208,12 +266,17 @@ class ClusterLocationService {
 
   const Options options_;
   core::RegistryClient registry_;
+  /// Modulo mode: the fixed cluster width N. Ring mode: 0 (the snapshot's
+  /// size is the width, and it may change between refreshes).
   std::size_t total_ = 0;
 
   /// Snapshot-published shard list (repo idiom: pointer swap under a mutex,
   /// readers pin the snapshot and never hold the lock during RPCs).
+  /// ringState_ is published under the same lock so a reader's shard list
+  /// and ring always agree.
   mutable std::mutex shardsMutex_;
   std::shared_ptr<std::vector<std::shared_ptr<Shard>>> shards_;
+  std::shared_ptr<const RingState> ringState_;
 
   std::mutex subsMutex_;
   util::IdSequencer<util::SubscriptionId> subIds_;

@@ -1,0 +1,145 @@
+#include "cluster/replication.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace mw::cluster {
+
+// --- ReplicationLink ----------------------------------------------------------
+
+ReplicationLink::ReplicationLink(std::string backupName,
+                                 std::shared_ptr<core::RemoteLocationClient> client)
+    : backupName_(std::move(backupName)), client_(std::move(client)) {
+  mw::util::require(client_ != nullptr, "ReplicationLink: null client");
+}
+
+void ReplicationLink::markDead(const char* what) {
+  dead_.store(true, std::memory_order_release);
+  live_.store(false, std::memory_order_release);
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  util::logWarn("ReplicationLink", " backup ", backupName_, " failed during ", what,
+                "; continuing unreplicated");
+}
+
+bool ReplicationLink::syncFrom(db::SpatialDatabase& db) {
+  // The caller holds the service's ingest pause: the store is a consistent
+  // cut and nothing is mirrored concurrently, so replaying every object's
+  // log leaves the backup byte-level equal to the primary.
+  for (const auto& object : db.knownMobileObjects()) {
+    const std::vector<db::SensorReading> log = db.exportObjectLog(object);
+    if (log.empty()) continue;
+    try {
+      std::lock_guard lock(sendMutex_);
+      client_->ingestBatch(log);
+    } catch (const util::MwError&) {
+      markDead("initial sync");
+      return false;
+    }
+    syncedReadings_.fetch_add(log.size(), std::memory_order_relaxed);
+  }
+  live_.store(true, std::memory_order_release);
+  return true;
+}
+
+void ReplicationLink::mirror(std::span<const db::SensorReading> batch) {
+  if (batch.empty() || !live()) return;
+  try {
+    std::lock_guard lock(sendMutex_);
+    client_->ingestBatch(batch);
+    mirroredReadings_.fetch_add(batch.size(), std::memory_order_relaxed);
+  } catch (const util::MwError&) {
+    // The batch still applies locally — availability over durability; the
+    // primary now runs unreplicated until a new backup announces.
+    markDead("mirror");
+  }
+}
+
+// --- HandoffSession -----------------------------------------------------------
+
+HandoffSession::HandoffSession(std::string joinerToken, std::vector<RingArc> arcs,
+                               std::shared_ptr<core::RemoteLocationClient> client)
+    : joinerToken_(std::move(joinerToken)), arcs_(std::move(arcs)), client_(std::move(client)) {
+  mw::util::require(client_ != nullptr, "HandoffSession: null client");
+  mw::util::require(!arcs_.empty(), "HandoffSession: no arcs");
+}
+
+bool HandoffSession::covers(const util::MobileObjectId& object) const {
+  const std::uint64_t key = objectRingKey(object);
+  return std::any_of(arcs_.begin(), arcs_.end(),
+                     [&](const RingArc& arc) { return arc.contains(key); });
+}
+
+std::vector<db::SensorReading> HandoffSession::filter(std::vector<db::SensorReading> batch) {
+  std::vector<db::SensorReading> mine;
+  std::vector<db::SensorReading> rest;
+  rest.reserve(batch.size());
+  for (auto& reading : batch) {
+    (covers(reading.mobileObjectId) ? mine : rest).push_back(std::move(reading));
+  }
+  if (mine.empty()) return rest;
+  std::lock_guard lock(mutex_);
+  if (!forwarding_.load(std::memory_order_relaxed)) {
+    bufferedReadings_.fetch_add(mine.size(), std::memory_order_relaxed);
+    buffer_.insert(buffer_.end(), std::make_move_iterator(mine.begin()),
+                   std::make_move_iterator(mine.end()));
+    return rest;
+  }
+  try {
+    client_->ingestBatch(mine);
+    forwardedReadings_.fetch_add(mine.size(), std::memory_order_relaxed);
+  } catch (const util::MwError&) {
+    failures_.fetch_add(mine.size(), std::memory_order_relaxed);
+    util::logWarn("HandoffSession", " forward to ", joinerToken_, " failed; ", mine.size(),
+                  " reading(s) lost to the joiner");
+  }
+  return rest;
+}
+
+bool HandoffSession::flush() {
+  std::lock_guard lock(mutex_);
+  if (!buffer_.empty()) {
+    try {
+      client_->ingestBatch(buffer_);
+    } catch (const util::MwError&) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
+      util::logWarn("HandoffSession", " flush to ", joinerToken_,
+                    " failed; keeping buffer for retry");
+      return false;
+    }
+    forwardedReadings_.fetch_add(buffer_.size(), std::memory_order_relaxed);
+    buffer_.clear();
+  }
+  // Same lock as the buffering branch of filter(): no reading can observe
+  // "buffering" after the drain — the order at the joiner is exactly
+  // buffer FIFO then forward FIFO.
+  forwarding_.store(true, std::memory_order_release);
+  return true;
+}
+
+// --- wire helpers -------------------------------------------------------------
+
+void encodeArcs(util::ByteWriter& w, std::span<const RingArc> arcs) {
+  w.u32(static_cast<std::uint32_t>(arcs.size()));
+  for (const RingArc& arc : arcs) {
+    w.u64(arc.lo);
+    w.u64(arc.hi);
+  }
+}
+
+std::vector<RingArc> decodeArcs(util::ByteReader& r) {
+  std::vector<RingArc> arcs;
+  const std::uint32_t count = r.u32();
+  arcs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RingArc arc;
+    arc.lo = r.u64();
+    arc.hi = r.u64();
+    arcs.push_back(arc);
+  }
+  return arcs;
+}
+
+}  // namespace mw::cluster

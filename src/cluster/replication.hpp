@@ -1,0 +1,149 @@
+// Shard replication and arc handoff — the two data-movement protocols of
+// the cluster (ROADMAP: "Shard replication and online resharding").
+//
+// ReplicationLink is the primary's handle to its warm-standby backup. The
+// primary's ingest tap calls mirror() BEFORE the local apply, inside the
+// ingest RPC handler, so the caller's ack means "applied on primary AND
+// backup" — synchronous replication, which is what makes kill-one-shard
+// lose no acknowledged reading. The initial sync (syncFrom) runs under the
+// service's pauseIngest() window: with ingest quiesced the export is a
+// consistent cut, every earlier reading is in it and every later reading
+// flows through the live mirror — no sequence numbers needed.
+//
+// HandoffSession is the LOSING owner's side of a ring join. Its filter()
+// sits in the same ingest tap and consumes readings whose objects fall in
+// the arcs being handed off: buffered while the joiner replays the exported
+// logs, then (after flush()) forwarded synchronously. Per-object order at
+// the joiner is export, then buffered FIFO, then forwarded FIFO over one
+// connection — exact, because the buffer drain and the mode switch happen
+// under one session lock, and the session is installed under pauseIngest()
+// so no reading is ever half-applied on the losing side.
+//
+// Failure policy (both): a dead peer marks the link/session failed, counts
+// and warns, and the local service keeps serving — availability over
+// durability, the same contract as the router's dropped-ingest accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+#include "core/remote.hpp"
+#include "spatialdb/database.hpp"
+#include "util/bytes.hpp"
+
+namespace mw::cluster {
+
+/// Primary-side synchronous mirror to one backup.
+class ReplicationLink {
+ public:
+  /// `client` must be connected to the backup's LocationService endpoint.
+  ReplicationLink(std::string backupName, std::shared_ptr<core::RemoteLocationClient> client);
+
+  [[nodiscard]] const std::string& backupName() const noexcept { return backupName_; }
+  /// Initial sync completed; mirror() forwards.
+  [[nodiscard]] bool live() const noexcept { return live_.load(std::memory_order_acquire); }
+  /// The backup stopped answering; the link is abandoned (the owner tears
+  /// it down and may rebuild one when the backup re-announces).
+  [[nodiscard]] bool dead() const noexcept { return dead_.load(std::memory_order_acquire); }
+
+  /// Replays every object's stored log to the backup, then goes live. MUST
+  /// run under the service's pauseIngest() window (see file header); the
+  /// live_ flip is only safe because no ingest is in flight across it.
+  /// Returns false (and marks the link dead) when the backup fails mid-sync.
+  bool syncFrom(db::SpatialDatabase& db);
+
+  /// Mirrors one batch to the backup (no-op unless live). Called from the
+  /// ingest tap before the local apply; blocking here is what delays the
+  /// ack until the backup has the readings.
+  void mirror(std::span<const db::SensorReading> batch);
+
+  [[nodiscard]] std::uint64_t mirroredReadings() const noexcept {
+    return mirroredReadings_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t syncedReadings() const noexcept {
+    return syncedReadings_.load(std::memory_order_relaxed);
+  }
+  /// Mirror/sync calls that failed (the batch was applied locally anyway).
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void markDead(const char* what);
+
+  const std::string backupName_;
+  const std::shared_ptr<core::RemoteLocationClient> client_;
+  /// Serializes wire sends so the backup applies batches in mirror order.
+  std::mutex sendMutex_;
+  std::atomic<bool> live_{false};
+  std::atomic<bool> dead_{false};
+  std::atomic<std::uint64_t> mirroredReadings_{0};
+  std::atomic<std::uint64_t> syncedReadings_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+/// Losing-owner side of one ring-join handoff.
+class HandoffSession {
+ public:
+  /// `client` must be connected to the joining shard's service endpoint.
+  HandoffSession(std::string joinerToken, std::vector<RingArc> arcs,
+                 std::shared_ptr<core::RemoteLocationClient> client);
+
+  [[nodiscard]] const std::string& joinerToken() const noexcept { return joinerToken_; }
+  [[nodiscard]] const std::vector<RingArc>& arcs() const noexcept { return arcs_; }
+  /// Does one of the session's arcs own this object's ring key?
+  [[nodiscard]] bool covers(const util::MobileObjectId& object) const;
+
+  /// Tap fragment: removes and consumes the readings this session covers
+  /// (buffered before flush(), forwarded after), returns the rest.
+  [[nodiscard]] std::vector<db::SensorReading> filter(std::vector<db::SensorReading> batch);
+
+  /// Drains the buffer to the joiner and switches to live forwarding —
+  /// atomically, under the session lock, so no reading can slip between
+  /// the drained buffer and the forward stream. Returns false (session
+  /// failed) when the joiner connection died; buffered readings are kept
+  /// for a retry.
+  bool flush();
+
+  [[nodiscard]] bool forwarding() const noexcept {
+    return forwarding_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t bufferedReadings() const noexcept {
+    return bufferedReadings_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t forwardedReadings() const noexcept {
+    return forwardedReadings_.load(std::memory_order_relaxed);
+  }
+  /// Forward attempts that failed; those readings are lost to the joiner
+  /// (counted, logged — the router's retry against the new owner is the
+  /// recovery path).
+  [[nodiscard]] std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string joinerToken_;
+  const std::vector<RingArc> arcs_;
+  const std::shared_ptr<core::RemoteLocationClient> client_;
+  /// Guards buffer_ + the buffering->forwarding switch, and serializes
+  /// forwards so the joiner sees them in consume order.
+  std::mutex mutex_;
+  std::vector<db::SensorReading> buffer_;
+  std::atomic<bool> forwarding_{false};
+  std::atomic<std::uint64_t> bufferedReadings_{0};
+  std::atomic<std::uint64_t> forwardedReadings_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+// --- wire helpers for the handoff.* methods -----------------------------------
+
+void encodeArcs(util::ByteWriter& w, std::span<const RingArc> arcs);
+[[nodiscard]] std::vector<RingArc> decodeArcs(util::ByteReader& r);
+
+}  // namespace mw::cluster

@@ -2,21 +2,45 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "orb/tcp.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
 namespace mw::cluster {
+
+namespace {
+
+/// Peer-to-peer calls (replication mirror, handoff forward, log export)
+/// block an ingest ack; a wedged peer must not wedge the caller forever.
+constexpr auto kPeerCallTimeout = util::sec(5);
+
+}  // namespace
 
 ShardHost::ShardHost(const util::Clock& clock, geo::Rect universe, const std::string& rootFrame,
                      const std::string& registryHost, std::uint16_t registryPort,
                      Options options)
     : core_(std::make_unique<core::Middlewhere>(clock, universe, rootFrame)),
       registry_(registryHost, registryPort),
-      options_(options),
-      name_(shardName(options.index, options.total)) {
+      options_(std::move(options)),
+      primaryName_(options_.ringToken.empty() ? shardName(options_.index, options_.total)
+                                              : ringMemberName(options_.ringToken)),
+      name_(options_.role == Role::Backup ? primaryName_ + kBackupSuffix : primaryName_),
+      role_(options_.role),
+      generation_(options_.generation) {
   mw::util::require(options_.announceTtl.count() == 0 ||
                         options_.heartbeatPeriod < options_.announceTtl,
                     "ShardHost: heartbeatPeriod must undercut announceTtl");
+  mw::util::require(!options_.deferAnnounce || !options_.ringToken.empty(),
+                    "ShardHost: deferAnnounce is for ring joiners");
+  mw::util::require(options_.role != Role::Backup || options_.announceTtl.count() > 0,
+                    "ShardHost: a backup needs the heartbeat (announceTtl > 0) to "
+                    "watch its primary");
+  announceName_ = name_;
 }
 
 ShardHost::~ShardHost() { stop(); }
@@ -41,7 +65,12 @@ void ShardHost::start() {
       util::logWarn("ShardHost", name_, ": POSIX shm unavailable; serving TCP only");
     }
   }
-  announceOnce();
+  installTap();
+  registerHandoffMethods();
+  if (!options_.deferAnnounce) {
+    announceOnce();
+    announced_.store(true, std::memory_order_release);
+  }
   running_ = true;
   if (options_.announceTtl.count() > 0) {
     heartbeat_ = std::thread([this] { heartbeatLoop(); });
@@ -57,18 +86,55 @@ void ShardHost::stop() {
   }
   stopCv_.notify_all();
   if (heartbeat_.joinable()) heartbeat_.join();
-  try {
-    registry_.withdraw(name_);
-  } catch (const util::TransportError&) {
-    // Registry gone; the TTL expires the entry on its own.
+  std::string who;
+  {
+    std::lock_guard lock(mutex_);
+    who = announceName_;
+  }
+  // A fenced host no longer owns its name — a successor promoted into it,
+  // and withdrawing here would delete the SUCCESSOR's entry.
+  if (announced_.load(std::memory_order_acquire) && !fenced_.load(std::memory_order_acquire)) {
+    try {
+      registry_.withdraw(who);
+    } catch (const util::TransportError&) {
+      // Registry gone; the TTL expires the entry on its own.
+    }
+  }
+  core_->locationService().setIngestTap(nullptr);
+  {
+    std::lock_guard lock(mutex_);
+    link_.reset();
+    linkedBackup_.reset();
+    sessions_.clear();
   }
   shmListener_.reset();
   shmName_.clear();
   running_ = false;
 }
 
-void ShardHost::announceOnce() {
-  registry_.announce(name_, core::Endpoint{"127.0.0.1", port_, shmName_}, options_.announceTtl);
+core::Endpoint ShardHost::selfEndpoint() const {
+  return core::Endpoint{"127.0.0.1", port_, shmName_};
+}
+
+bool ShardHost::announceOnce() {
+  if (fenced_.load(std::memory_order_acquire)) return false;
+  std::string who;
+  {
+    std::lock_guard lock(mutex_);
+    who = announceName_;
+  }
+  // The serving name is fenced by generation; the backup standby name is
+  // uncontended (generation 0 = legacy unfenced announce).
+  const std::uint64_t generation =
+      who == primaryName_ ? generation_.load(std::memory_order_acquire) : 0;
+  const bool accepted = registry_.announce(who, selfEndpoint(), options_.announceTtl, generation);
+  if (!accepted) {
+    fenced_.store(true, std::memory_order_release);
+    fencedHeartbeats_.fetch_add(1, std::memory_order_relaxed);
+    util::logWarn("ShardHost", who, ": announce rejected (generation ", generation,
+                  " fenced by a promoted successor); demoting to bystander");
+  }
+  return accepted;
 }
 
 void ShardHost::heartbeatLoop() {
@@ -77,7 +143,14 @@ void ShardHost::heartbeatLoop() {
                            [&] { return stopping_; })) {
     lock.unlock();
     try {
-      announceOnce();
+      if (announced_.load(std::memory_order_acquire)) {
+        announceOnce();
+        if (role() == Role::Primary) {
+          maintainReplication();
+        } else {
+          monitorPrimary();
+        }
+      }
     } catch (const util::TransportError&) {
       // Registry unreachable this tick: the entry may expire (and the
       // cluster will treat this shard as unannounced) until a later
@@ -87,6 +160,318 @@ void ShardHost::heartbeatLoop() {
     }
     lock.lock();
   }
+}
+
+std::shared_ptr<ReplicationLink> ShardHost::replicationLink() const {
+  std::lock_guard lock(mutex_);
+  return link_;
+}
+
+std::vector<std::shared_ptr<HandoffSession>> ShardHost::handoffSnapshot() const {
+  std::lock_guard lock(mutex_);
+  return sessions_;
+}
+
+void ShardHost::installTap() {
+  core_->locationService().setIngestTap(
+      [this](std::span<const db::SensorReading> batch) -> std::vector<db::SensorReading> {
+        std::vector<db::SensorReading> kept(batch.begin(), batch.end());
+        // Handoff first: readings in an arc being handed off belong to the
+        // joiner — they must be neither applied here nor mirrored to the
+        // backup (the joiner's own replication covers them from now on).
+        for (const auto& session : handoffSnapshot()) {
+          if (kept.empty()) break;
+          kept = session->filter(std::move(kept));
+        }
+        std::shared_ptr<ReplicationLink> link;
+        {
+          std::lock_guard lock(mutex_);
+          link = link_;
+        }
+        if (link) link->mirror(kept);
+        return kept;
+      });
+}
+
+void ShardHost::maintainReplication() {
+  const std::string backupName = primaryName_ + kBackupSuffix;
+  {
+    std::lock_guard lock(mutex_);
+    if (link_ && link_->dead()) {
+      link_.reset();
+      linkedBackup_.reset();
+    }
+  }
+  std::optional<core::RegistryClient::ResolvedEntry> entry;
+  try {
+    entry = registry_.lookupEntry(backupName);
+  } catch (const util::TransportError&) {
+    return;  // registry blind this tick; keep the link we have
+  }
+  if (!entry) {
+    // Backup gone (expired or withdrew): run unreplicated until one returns.
+    std::lock_guard lock(mutex_);
+    if (link_) {
+      util::logWarn("ShardHost", primaryName_, ": backup ", backupName,
+                    " disappeared from the registry; dropping replication link");
+      link_.reset();
+      linkedBackup_.reset();
+    }
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (link_ && linkedBackup_ == entry->endpoint) return;  // already mirroring there
+  }
+  std::shared_ptr<core::RemoteLocationClient> client;
+  try {
+    client = connectPeer(entry->endpoint);
+  } catch (const util::TransportError&) {
+    util::logWarn("ShardHost", primaryName_, ": backup ", backupName,
+                  " announced but unreachable; will retry next heartbeat");
+    return;
+  }
+  auto fresh = std::make_shared<ReplicationLink>(backupName, std::move(client));
+  {
+    // Quiesce ingest: the store is a consistent cut for the initial sync,
+    // and publishing the link inside the same window means every reading
+    // after the cut flows through mirror() — nothing falls in between.
+    auto pause = core_->locationService().pauseIngest();
+    if (!fresh->syncFrom(core_->database())) return;
+    std::lock_guard lock(mutex_);
+    link_ = fresh;
+    linkedBackup_ = entry->endpoint;
+  }
+  util::logInfo("ShardHost", primaryName_, ": replicating to ", backupName, " (",
+                fresh->syncedReadings(), " readings synced)");
+}
+
+void ShardHost::monitorPrimary() {
+  std::optional<core::RegistryClient::ResolvedEntry> entry;
+  try {
+    entry = registry_.lookupEntry(primaryName_);
+  } catch (const util::TransportError&) {
+    return;  // blind, not dead — never promote on a registry outage
+  }
+  if (entry) {
+    sawPrimary_.store(true, std::memory_order_release);
+    std::uint64_t seen = lastSeenGeneration_.load(std::memory_order_relaxed);
+    while (entry->generation > seen &&
+           !lastSeenGeneration_.compare_exchange_weak(seen, entry->generation)) {
+    }
+    return;
+  }
+  if (!sawPrimary_.load(std::memory_order_acquire)) return;  // primary never lived
+  // The primary's TTL expired: claim its name one generation up. The
+  // registry's fence makes the claim atomic — of two racing backups, or a
+  // slow old primary re-announcing, exactly one write under the higher
+  // generation wins and the rest are rejected.
+  const std::uint64_t claimGeneration = lastSeenGeneration_.load(std::memory_order_acquire) + 1;
+  bool accepted = false;
+  try {
+    accepted =
+        registry_.announce(primaryName_, selfEndpoint(), options_.announceTtl, claimGeneration);
+  } catch (const util::TransportError&) {
+    return;
+  }
+  if (!accepted) {
+    // Someone already holds a higher generation; observe it next tick.
+    return;
+  }
+  generation_.store(claimGeneration, std::memory_order_release);
+  role_.store(Role::Primary, std::memory_order_release);
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    announceName_ = primaryName_;
+  }
+  try {
+    registry_.withdraw(name_);  // the standby slot is open again
+  } catch (const util::TransportError&) {
+  }
+  util::logInfo("ShardHost", name_, ": primary ", primaryName_,
+                " expired; promoted to primary at generation ", claimGeneration);
+}
+
+std::shared_ptr<core::RemoteLocationClient> ShardHost::connectPeer(
+    const core::Endpoint& endpoint, std::shared_ptr<orb::RpcClient>* rawOut) {
+  std::shared_ptr<orb::Transport> transport;
+  if (!endpoint.shmName.empty()) {
+    try {
+      transport = orb::shmConnect(endpoint.shmName);
+    } catch (const util::TransportError&) {
+      util::logWarn("ShardHost", name_, ": peer shm lane ", endpoint.shmName,
+                    " unreachable; falling back to tcp");
+    }
+  }
+  if (!transport) transport = orb::tcpConnect(endpoint.host, endpoint.port);
+  auto rpc = std::make_shared<orb::RpcClient>(std::move(transport));
+  rpc->setCallTimeout(kPeerCallTimeout);
+  if (rawOut) *rawOut = rpc;
+  return std::make_shared<core::RemoteLocationClient>(std::move(rpc));
+}
+
+// --- handoff: losing-owner side ----------------------------------------------
+
+void ShardHost::registerHandoffMethods() {
+  auto& server = core_->rpcServer();
+
+  // handoff.begin(joinerToken, joinerEndpoint, arcs) -> affected objects.
+  // Installed under pauseIngest so the split is exact: every reading acked
+  // before this instant is in the local store (the joiner will export it),
+  // every later one hits the session's filter.
+  server.registerMethod("handoff.begin", [this](const util::Bytes& args) -> util::Bytes {
+    util::ByteReader r(args);
+    std::string joinerToken = r.str();
+    core::Endpoint joiner;
+    joiner.host = r.str();
+    joiner.port = r.u16();
+    joiner.shmName = r.str();
+    std::vector<RingArc> arcs = decodeArcs(r);
+    auto session = std::make_shared<HandoffSession>(std::move(joinerToken), std::move(arcs),
+                                                    connectPeer(joiner));
+    std::vector<util::MobileObjectId> affected;
+    {
+      auto pause = core_->locationService().pauseIngest();
+      {
+        std::lock_guard lock(mutex_);
+        sessions_.push_back(session);
+      }
+      for (const auto& object : core_->database().knownMobileObjects()) {
+        if (session->covers(object)) affected.push_back(object);
+      }
+    }
+    util::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(affected.size()));
+    for (const auto& object : affected) w.str(object.str());
+    return w.take();
+  });
+
+  // handoff.flush(joinerToken) -> ok. Drains the buffered arc readings to
+  // the joiner and switches the session to live forwarding.
+  server.registerMethod("handoff.flush", [this](const util::Bytes& args) -> util::Bytes {
+    util::ByteReader r(args);
+    const std::string joinerToken = r.str();
+    bool ok = false;
+    for (const auto& session : handoffSnapshot()) {
+      if (session->joinerToken() == joinerToken) ok = session->flush();
+    }
+    util::ByteWriter w;
+    w.boolean(ok);
+    return w.take();
+  });
+
+  // handoff.end(joinerToken) -> ok. Drops the moved objects' local state;
+  // the session stays installed and forwarding, so a straggler reading from
+  // a router still closing its dual-read window is proxied, not lost.
+  server.registerMethod("handoff.end", [this](const util::Bytes& args) -> util::Bytes {
+    util::ByteReader r(args);
+    const std::string joinerToken = r.str();
+    std::shared_ptr<HandoffSession> session;
+    for (const auto& candidate : handoffSnapshot()) {
+      if (candidate->joinerToken() == joinerToken) session = candidate;
+    }
+    util::ByteWriter w;
+    if (!session || !session->forwarding()) {
+      w.boolean(false);  // unknown session, or end before flush
+      return w.take();
+    }
+    for (const auto& object : core_->database().knownMobileObjects()) {
+      if (session->covers(object)) core_->database().dropMobileObject(object);
+    }
+    w.boolean(true);
+    return w.take();
+  });
+}
+
+// --- handoff: joining side ----------------------------------------------------
+
+void ShardHost::joinRing() {
+  mw::util::require(running_, "ShardHost::joinRing: start() first");
+  mw::util::require(!options_.ringToken.empty(), "ShardHost::joinRing: not a ring member");
+  mw::util::require(!announced_.load(std::memory_order_acquire),
+                    "ShardHost::joinRing: already announced (start with deferAnnounce)");
+  RingMemberMap members = resolveRingMembers(registry_);
+  HashRing before(members.tokens);
+  std::vector<std::string> afterTokens = members.tokens;
+  afterTokens.push_back(options_.ringToken);
+  HashRing after(std::move(afterTokens));
+  // Group this member's claimed arcs by the owner losing them: one handoff
+  // session (one connection, one FIFO) per loser.
+  std::map<std::string, std::vector<RingArc>> byLoser;
+  for (auto& claim : HashRing::claimsFor(before, after, options_.ringToken)) {
+    if (claim.loser.empty()) continue;  // genesis: nothing to move
+    byLoser[claim.loser].push_back(claim.arc);
+  }
+  pendingJoin_.clear();
+  for (auto& [loser, arcs] : byLoser) {
+    const auto slot =
+        std::lower_bound(members.tokens.begin(), members.tokens.end(), loser);
+    const std::size_t index = static_cast<std::size_t>(slot - members.tokens.begin());
+    if (slot == members.tokens.end() || *slot != loser || !members.endpoints[index]) {
+      // Expired between list and lookup: its readings are already lost to
+      // the cluster; claim the arcs without a transfer.
+      util::logWarn("ShardHost", name_, ": losing owner ", loser,
+                    " unresolvable; joining its arcs without handoff");
+      continue;
+    }
+    PendingHandoff pending;
+    pending.loserToken = loser;
+    pending.typed = connectPeer(*members.endpoints[index], &pending.rpc);
+    util::ByteWriter w;
+    w.str(options_.ringToken);
+    w.str("127.0.0.1");
+    w.u16(port_);
+    w.str(shmName_);
+    encodeArcs(w, arcs);
+    util::Bytes reply = pending.rpc->call("handoff.begin", w.take());
+    util::ByteReader r(reply);
+    const std::uint32_t count = r.u32();
+    pending.objects.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      pending.objects.emplace_back(util::MobileObjectId{r.str()});
+    }
+    pendingJoin_.push_back(std::move(pending));
+  }
+  // Every loser is now capturing the claimed arcs; announcing makes fresh
+  // routers route them here (and stale ones still reach the losers, whose
+  // sessions forward). Heartbeats keep the entry alive from here on.
+  announceOnce();
+  announced_.store(true, std::memory_order_release);
+  util::logInfo("ShardHost", name_, ": joined the ring (", pendingJoin_.size(),
+                " handoff session(s) open)");
+}
+
+void ShardHost::completeJoin() {
+  mw::util::require(announced_.load(std::memory_order_acquire),
+                    "ShardHost::completeJoin: joinRing() first");
+  auto& service = core_->locationService();
+  for (auto& pending : pendingJoin_) {
+    // Replay the frozen logs first, then flush: the joiner's store sees each
+    // object as export, then buffered FIFO, then live forwards — the same
+    // total order the loser would have applied.
+    for (const auto& object : pending.objects) {
+      std::vector<db::SensorReading> log = pending.typed->exportReadings(object);
+      if (!log.empty()) service.ingestBatch(log);
+    }
+    util::ByteWriter flushArgs;
+    flushArgs.str(options_.ringToken);
+    const util::Bytes flushBytes = pending.rpc->call("handoff.flush", flushArgs.take());
+    util::ByteReader flushReply(flushBytes);
+    if (!flushReply.boolean()) {
+      util::logWarn("ShardHost", name_, ": handoff flush on ", pending.loserToken,
+                    " failed; leaving its session buffering for a retry");
+      continue;
+    }
+    util::ByteWriter endArgs;
+    endArgs.str(options_.ringToken);
+    const util::Bytes endBytes = pending.rpc->call("handoff.end", endArgs.take());
+    util::ByteReader endReply(endBytes);
+    if (!endReply.boolean()) {
+      util::logWarn("ShardHost", name_, ": handoff end on ", pending.loserToken, " rejected");
+    }
+  }
+  pendingJoin_.clear();
 }
 
 }  // namespace mw::cluster

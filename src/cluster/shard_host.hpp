@@ -1,7 +1,8 @@
 // One shard of the location-service cluster: a full Middlewhere core (its
 // own spatial database, LocationService and concurrent RpcServer) listening
 // on its own TCP port, announced in the RegistryServer under
-// "location.shard.<i>/<N>" with a TTL heartbeat.
+// "location.shard.<i>/<N>" (modulo mode) or "location.ring.<token>" (ring
+// mode) with a TTL heartbeat.
 //
 // Lifecycle: construct, configure the world through core() (regions,
 // sensors — the same setup every shard of a cluster must share so fused
@@ -11,6 +12,24 @@
 // the process does; a crashed shard stops heartbeating and expires from
 // list(). stop() (also run by the destructor) halts the heartbeat and
 // withdraws the entry.
+//
+// Replication (replication.hpp): a host started with Role::Backup announces
+// "<primaryName>.backup" and keeps a warm standby — the primary discovers
+// it in its heartbeat tick, syncs its store across and then mirrors every
+// ingest batch through its tap BEFORE the local apply, so an acked reading
+// exists on both sides. The backup watches the primary's registry entry;
+// when the TTL downs it, the backup promotes: it claims the primary name
+// under the last seen generation + 1 (the registry's fence), withdraws its
+// backup entry and serves as the primary from then on. A slow-but-alive old
+// primary's next heartbeat is rejected by the fence — it demotes (stops
+// claiming) instead of flapping ownership back.
+//
+// Ring membership: a host with a ringToken and deferAnnounce can join a
+// live ring — joinRing() opens handoff sessions on the owners losing arcs
+// to it (their taps start buffering those arcs' readings) and only then
+// announces; completeJoin() streams the affected objects' logs across,
+// flushes the buffers and drops the moved objects from the losers. See
+// replication.hpp for the exactness argument.
 #pragma once
 
 #include <atomic>
@@ -18,9 +37,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "cluster/replication.hpp"
 #include "cluster/shard_map.hpp"
 #include "core/middlewhere.hpp"
 #include "core/remote_registry.hpp"
@@ -28,11 +50,16 @@
 
 namespace mw::cluster {
 
+/// Registry-name suffix a backup announces under: "<primaryName>.backup".
+inline constexpr const char* kBackupSuffix = ".backup";
+
 class ShardHost {
  public:
+  enum class Role { Primary, Backup };
+
   struct Options {
-    std::size_t index = 0;  ///< this shard's slot, < total
-    std::size_t total = 1;  ///< cluster width N
+    std::size_t index = 0;  ///< this shard's slot, < total (modulo mode)
+    std::size_t total = 1;  ///< cluster width N (modulo mode)
     std::uint16_t port = 0;  ///< service port (0 = ephemeral)
     /// Registry-entry TTL; zero disables expiry (and the heartbeat thread).
     util::Duration announceTtl = util::sec(2);
@@ -42,6 +69,18 @@ class ShardHost {
     /// its name, so colocated routers skip the TCP loopback hop. Ignored
     /// (with a warning) when POSIX shm is unavailable on the host.
     bool enableShm = true;
+    /// Consistent-hash-ring member token; when set the shard announces as
+    /// "location.ring.<token>" instead of "location.shard.<i>/<N>".
+    std::string ringToken;
+    /// Primary serves and (when a backup announces) replicates; Backup
+    /// keeps the warm standby and promotes on the primary's TTL expiry.
+    Role role = Role::Primary;
+    /// Fencing generation the primary name is announced under (see
+    /// remote_registry.hpp); backups promote with lastSeen + 1.
+    std::uint64_t generation = 1;
+    /// start() binds and serves but does not announce — joinRing() will,
+    /// after the handoff sessions are in place. Ring joiners only.
+    bool deferAnnounce = false;
   };
 
   /// Builds the core (not yet listening) and connects to the registry.
@@ -57,7 +96,15 @@ class ShardHost {
   /// start().
   [[nodiscard]] core::Middlewhere& core() noexcept { return *core_; }
 
+  /// The name this host announced at start (primary name, or
+  /// "<primaryName>.backup" for a backup — promotion does not change it).
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The primary serving name this host serves or stands by for.
+  [[nodiscard]] const std::string& primaryName() const noexcept { return primaryName_; }
+  [[nodiscard]] Role role() const noexcept { return role_.load(std::memory_order_acquire); }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
   /// Bound service port; valid after start().
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   /// The announced shared-memory lane name; empty when the shm listener is
@@ -69,19 +116,63 @@ class ShardHost {
     return heartbeatFailures_.load(std::memory_order_relaxed);
   }
 
-  /// Binds the service port, announces the shard, starts heartbeating.
+  // --- replication observability ---------------------------------------------
+
+  /// The live replication link to this primary's backup (null when none).
+  [[nodiscard]] std::shared_ptr<ReplicationLink> replicationLink() const;
+  /// Backup->primary promotions this host performed.
+  [[nodiscard]] std::uint64_t promotions() const noexcept {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  /// The registry fenced this host off its primary name: a successor
+  /// promoted. The host stops claiming (it no longer owns the name).
+  [[nodiscard]] bool fenced() const noexcept { return fenced_.load(std::memory_order_acquire); }
+  /// Heartbeat announces rejected by the fence.
+  [[nodiscard]] std::uint64_t fencedHeartbeats() const noexcept {
+    return fencedHeartbeats_.load(std::memory_order_relaxed);
+  }
+
+  /// Binds the service port, announces the shard (unless deferAnnounce),
+  /// starts heartbeating.
   void start();
   /// Stops the heartbeat and withdraws the registry entry (best effort —
   /// a dead registry cannot be withdrawn from, but the TTL cleans up).
   void stop();
 
+  // --- ring membership --------------------------------------------------------
+
+  /// Ring mode, after start() with deferAnnounce: computes the arcs this
+  /// shard's token claims from the currently announced members, opens a
+  /// handoff session on every losing owner (their taps buffer those arcs'
+  /// readings from this moment), then announces this shard and starts the
+  /// heartbeat. Routers that refresh now see the new ring and should keep a
+  /// dual-read window open until completeJoin() has run.
+  void joinRing();
+  /// Streams every affected object's reading log from the losing owners,
+  /// applies them locally, then flushes each session (buffer drain + switch
+  /// to live forwarding) and ends it (the loser drops the moved objects).
+  void completeJoin();
+
  private:
   void heartbeatLoop();
-  void announceOnce();
+  /// One announce of `announceName_`; returns false when fenced off.
+  bool announceOnce();
+  /// Primary tick: discover/maintain the backup link.
+  void maintainReplication();
+  /// Backup tick: watch the primary entry; promote when it expires.
+  void monitorPrimary();
+  void installTap();
+  void registerHandoffMethods();
+  /// shm-first (TCP fallback) connection to a peer endpoint.
+  [[nodiscard]] std::shared_ptr<core::RemoteLocationClient> connectPeer(
+      const core::Endpoint& endpoint, std::shared_ptr<orb::RpcClient>* rawOut = nullptr);
+  [[nodiscard]] core::Endpoint selfEndpoint() const;
+  [[nodiscard]] std::vector<std::shared_ptr<HandoffSession>> handoffSnapshot() const;
 
   std::unique_ptr<core::Middlewhere> core_;
   core::RegistryClient registry_;
   const Options options_;
+  const std::string primaryName_;
   const std::string name_;
   std::uint16_t port_ = 0;
   std::string shmName_;
@@ -91,7 +182,44 @@ class ShardHost {
   std::unique_ptr<orb::ShmListener> shmListener_;
   bool running_ = false;
 
-  std::mutex mutex_;
+  std::atomic<Role> role_;
+  std::atomic<std::uint64_t> generation_;
+  std::atomic<bool> fenced_{false};
+  std::atomic<std::uint64_t> fencedHeartbeats_{0};
+  std::atomic<std::uint64_t> promotions_{0};
+  /// Highest generation seen on the primary entry (backup role); the
+  /// promotion claim uses this + 1.
+  std::atomic<std::uint64_t> lastSeenGeneration_{0};
+  /// A backup only promotes once it has seen the primary announced (a
+  /// backup starting first must not claim an empty slot).
+  std::atomic<bool> sawPrimary_{false};
+
+  /// Name currently heartbeat-announced (switches to primaryName_ on
+  /// promotion) and the backup endpoint the link was built against; both
+  /// under mutex_.
+  std::string announceName_;
+  std::optional<core::Endpoint> linkedBackup_;
+
+  /// Published replication link (swap under mutex_, the tap pins the
+  /// shared_ptr for the call).
+  std::shared_ptr<ReplicationLink> link_;
+  /// Open handoff sessions (losing-owner side); under mutex_, the tap
+  /// copies the (tiny) vector out per call.
+  std::vector<std::shared_ptr<HandoffSession>> sessions_;
+  /// Set once the shard is announced (immediately, or by joinRing when
+  /// deferAnnounce); the heartbeat only re-announces after that.
+  std::atomic<bool> announced_{false};
+
+  /// Pending join state between joinRing() and completeJoin().
+  struct PendingHandoff {
+    std::string loserToken;
+    std::shared_ptr<orb::RpcClient> rpc;           ///< for handoff.* calls
+    std::shared_ptr<core::RemoteLocationClient> typed;  ///< for exportReadings
+    std::vector<util::MobileObjectId> objects;
+  };
+  std::vector<PendingHandoff> pendingJoin_;
+
+  mutable std::mutex mutex_;
   std::condition_variable stopCv_;
   bool stopping_ = false;
   std::thread heartbeat_;

@@ -1,5 +1,6 @@
 #include "cluster/shard_map.hpp"
 
+#include <algorithm>
 #include <charconv>
 
 #include "util/error.hpp"
@@ -31,11 +32,10 @@ std::optional<ParsedShardName> parseShardName(const std::string& name) {
   return parsed;
 }
 
-std::size_t shardForObject(const util::MobileObjectId& object, std::size_t total) {
-  mw::util::require(total > 0, "shardForObject: total must be positive");
+std::uint64_t mixHash64(std::string_view bytes) {
   // FNV-1a, 64-bit: platform-independent, unlike std::hash<std::string>.
   std::uint64_t x = 0xcbf29ce484222325ULL;
-  for (const char c : object.str()) {
+  for (const char c : bytes) {
     x ^= static_cast<std::uint8_t>(c);
     x *= 0x100000001b3ULL;
   }
@@ -46,7 +46,16 @@ std::size_t shardForObject(const util::MobileObjectId& object, std::size_t total
   x ^= x >> 27;
   x *= 0x94d049bb133111ebULL;
   x ^= x >> 31;
-  return static_cast<std::size_t>(x % total);
+  return x;
+}
+
+std::uint64_t objectRingKey(const util::MobileObjectId& object) {
+  return mixHash64(object.str());
+}
+
+std::size_t shardForObject(const util::MobileObjectId& object, std::size_t total) {
+  mw::util::require(total > 0, "shardForObject: total must be positive");
+  return static_cast<std::size_t>(objectRingKey(object) % total);
 }
 
 std::size_t ShardMap::announcedCount() const noexcept {
@@ -73,6 +82,110 @@ ShardMap resolveShardMap(core::RegistryClient& registry) {
     // The entry can expire between list() and lookup(); a nullopt lookup
     // just leaves the slot unannounced.
     map.endpoints[parsed->index] = registry.lookup(name);
+  }
+  return map;
+}
+
+std::string ringMemberName(const std::string& token) {
+  mw::util::require(!token.empty(), "ringMemberName: empty token");
+  return kRingNamePrefix + token;
+}
+
+std::optional<std::string> parseRingMemberName(const std::string& name) {
+  const std::string_view prefix = kRingNamePrefix;
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  std::string token = name.substr(prefix.size());
+  if (token.empty()) return std::nullopt;
+  // "location.ring.<token>.backup" is a ring member's standby (shard_host),
+  // not a member: a router resolving it as one would route live traffic to
+  // a shard that only mirrors.
+  const std::string_view backup = ".backup";
+  if (token.size() >= backup.size() &&
+      std::string_view(token).substr(token.size() - backup.size()) == backup) {
+    return std::nullopt;
+  }
+  return token;
+}
+
+HashRing::HashRing(std::vector<std::string> members, std::size_t vnodes)
+    : members_(std::move(members)), vnodes_(vnodes) {
+  mw::util::require(vnodes_ > 0, "HashRing: vnodes must be positive");
+  // Sorted-unique membership makes the ring a pure function of the member
+  // *set* — two routers that resolve the same registry build the same ring.
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()), members_.end());
+  points_.reserve(members_.size() * vnodes_);
+  for (std::uint32_t m = 0; m < members_.size(); ++m) {
+    mw::util::require(!members_[m].empty(), "HashRing: empty member token");
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.push_back({mixHash64(members_[m] + '#' + std::to_string(v)), m});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [this](const Point& a, const Point& b) {
+    // Tie-break colliding positions by token so ownership stays deterministic.
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return members_[a.member] < members_[b.member];
+  });
+}
+
+bool HashRing::hasMember(const std::string& token) const {
+  return std::binary_search(members_.begin(), members_.end(), token);
+}
+
+const std::string& HashRing::ownerForKey(std::uint64_t key) const {
+  mw::util::require(!points_.empty(), "HashRing::ownerForKey: empty ring");
+  auto it = std::lower_bound(points_.begin(), points_.end(), key,
+                             [](const Point& p, std::uint64_t k) { return p.pos < k; });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return members_[it->member];
+}
+
+const std::string& HashRing::ownerForObject(const util::MobileObjectId& object) const {
+  return ownerForKey(objectRingKey(object));
+}
+
+std::vector<RingArc> HashRing::arcsOf(const std::string& token) const {
+  std::vector<RingArc> arcs;
+  if (points_.empty()) return arcs;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (members_[points_[i].member] != token) continue;
+    // The arc a point owns runs from its predecessor (cyclically) to it.
+    const std::uint64_t lo = points_[(i + points_.size() - 1) % points_.size()].pos;
+    arcs.push_back({lo, points_[i].pos});
+  }
+  return arcs;
+}
+
+std::vector<HashRing::Claim> HashRing::claimsFor(const HashRing& before,
+                                                 const HashRing& after,
+                                                 const std::string& joiner) {
+  std::vector<Claim> claims;
+  for (const RingArc& arc : after.arcsOf(joiner)) {
+    Claim claim;
+    claim.arc = arc;
+    // before ⊆ after means no before-point lies strictly inside this arc,
+    // so every key in it had the same previous owner: the owner of the
+    // first before-point at or after arc.hi.
+    if (!before.empty()) {
+      claim.loser = before.ownerForKey(arc.hi);
+      if (claim.loser == joiner) continue;  // rejoin of an existing member
+    }
+    claims.push_back(std::move(claim));
+  }
+  return claims;
+}
+
+RingMemberMap resolveRingMembers(core::RegistryClient& registry) {
+  RingMemberMap map;
+  for (const std::string& name : registry.list()) {
+    auto token = parseRingMemberName(name);
+    if (!token) continue;  // unrelated service sharing the registry
+    map.tokens.push_back(std::move(*token));
+  }
+  std::sort(map.tokens.begin(), map.tokens.end());
+  map.endpoints.reserve(map.tokens.size());
+  for (const std::string& token : map.tokens) {
+    map.endpoints.push_back(registry.lookup(ringMemberName(token)));
   }
   return map;
 }

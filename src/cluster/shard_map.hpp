@@ -14,11 +14,21 @@
 // one TCP ordering domain into one executor lane into one reading-store
 // stripe — per-object ordering holds end-to-end, so a sharded replay is
 // byte-identical to a sequential one.
+//
+// Ring partitioning: the modulo map above reshuffles nearly every object
+// when N changes, so it cannot support online membership change. HashRing
+// places `vnodes` points per member on a 64-bit circle (same FNV-1a +
+// splitmix64 mix) and assigns each object to the first point at or after
+// its key. A joining member takes only the arcs its points cut out of the
+// existing ones — bounded movement, everyone else's objects stay put. Ring
+// members announce under "location.ring.<token>" (no total in the name:
+// membership IS the registry listing, which is what makes it dynamic).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/remote_registry.hpp"
@@ -65,5 +75,96 @@ struct ShardMap {
 /// totals (two clusters sharing one registry is a deployment error) and
 /// returns an empty map (total 0) when no shard is announced.
 [[nodiscard]] ShardMap resolveShardMap(core::RegistryClient& registry);
+
+/// FNV-1a over the bytes, finished with the splitmix64 mix — the key and
+/// ring-point hash. Exposed so tests can predict placement.
+[[nodiscard]] std::uint64_t mixHash64(std::string_view bytes);
+
+/// An object's position on the 64-bit ring (mixHash64 of its id).
+[[nodiscard]] std::uint64_t objectRingKey(const util::MobileObjectId& object);
+
+/// Registry-name prefix for consistent-hash ring members.
+inline constexpr const char* kRingNamePrefix = "location.ring.";
+
+/// "location.ring.<token>".
+[[nodiscard]] std::string ringMemberName(const std::string& token);
+
+/// Inverse of ringMemberName(); nullopt for other names (wrong prefix,
+/// empty token, or a ".backup" standby announcement — standbys are not
+/// ring members until they promote).
+[[nodiscard]] std::optional<std::string> parseRingMemberName(const std::string& name);
+
+/// Half-open arc (lo, hi] on the 64-bit circle, wrapping through zero when
+/// lo >= hi. lo == hi means the full circle (a single-point ring).
+struct RingArc {
+  std::uint64_t lo = 0;  ///< exclusive
+  std::uint64_t hi = 0;  ///< inclusive
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    if (lo == hi) return true;
+    if (lo < hi) return key > lo && key <= hi;
+    return key > lo || key <= hi;  // wraps through zero
+  }
+  friend bool operator==(const RingArc&, const RingArc&) = default;
+};
+
+/// Consistent-hash ring: `vnodes` points per member token, each key owned
+/// by the member of the first point at or after it (wrapping). Deterministic
+/// across processes: same members => same ring, regardless of join order.
+class HashRing {
+ public:
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+  HashRing() = default;
+  explicit HashRing(std::vector<std::string> members, std::size_t vnodes = kDefaultVnodes);
+
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] std::size_t vnodes() const noexcept { return vnodes_; }
+  [[nodiscard]] const std::vector<std::string>& members() const noexcept { return members_; }
+  [[nodiscard]] bool hasMember(const std::string& token) const;
+
+  /// Owning member for a ring position / object. Throws util::ContractError
+  /// on an empty ring.
+  [[nodiscard]] const std::string& ownerForKey(std::uint64_t key) const;
+  [[nodiscard]] const std::string& ownerForObject(const util::MobileObjectId& object) const;
+
+  /// Every arc `token` owns, in ring order. Empty when not a member.
+  [[nodiscard]] std::vector<RingArc> arcsOf(const std::string& token) const;
+
+  /// One arc a joining member takes, plus who owned it before the join
+  /// (empty loser when the old ring was empty — genesis, nothing to move).
+  struct Claim {
+    RingArc arc;
+    std::string loser;
+  };
+
+  /// The arcs `joiner` owns in `after` that it did not own in `before`,
+  /// each with its previous owner. Correct whenever before's members are a
+  /// subset of after's (then no before-point lies strictly inside an
+  /// after-arc, so each claimed arc had exactly one previous owner).
+  [[nodiscard]] static std::vector<Claim> claimsFor(const HashRing& before,
+                                                   const HashRing& after,
+                                                   const std::string& joiner);
+
+ private:
+  struct Point {
+    std::uint64_t pos = 0;
+    std::uint32_t member = 0;  ///< index into members_
+  };
+
+  std::vector<std::string> members_;  ///< sorted, unique
+  std::vector<Point> points_;         ///< sorted by pos
+  std::size_t vnodes_ = kDefaultVnodes;
+};
+
+/// Announced ring members resolved from a live registry: tokens sorted,
+/// endpoints parallel (nullopt when the entry expired between list and
+/// lookup).
+struct RingMemberMap {
+  std::vector<std::string> tokens;
+  std::vector<std::optional<core::Endpoint>> endpoints;
+};
+
+[[nodiscard]] RingMemberMap resolveRingMembers(core::RegistryClient& registry);
 
 }  // namespace mw::cluster

@@ -28,8 +28,26 @@ LocationService::LocationService(const util::Clock& clock, db::SpatialDatabase& 
 // --- ingestion --------------------------------------------------------------------
 
 void LocationService::ingest(const db::SensorReading& reading) {
+  std::shared_lock gate(ingestGate_);
+  if (auto tap = currentTap()) {
+    const std::vector<db::SensorReading> kept = (*tap)(std::span(&reading, 1));
+    for (const auto& r : kept) ingestOne(r);
+    ingestedReadings_.fetch_add(kept.size(), std::memory_order_relaxed);
+    return;
+  }
   ingestOne(reading);
   ingestedReadings_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LocationService::setIngestTap(IngestTap tap) {
+  auto next = tap ? std::make_shared<const IngestTap>(std::move(tap)) : nullptr;
+  std::lock_guard lock(tapMutex_);
+  tap_ = std::move(next);
+}
+
+std::shared_ptr<const LocationService::IngestTap> LocationService::currentTap() const {
+  std::lock_guard lock(tapMutex_);
+  return tap_;
 }
 
 std::vector<SubscriptionId> LocationService::takePendingEvaluations(
@@ -83,7 +101,14 @@ void LocationService::ingestOne(const db::SensorReading& reading) {
 
 void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
   if (readings.empty()) return;
+  std::shared_lock gate(ingestGate_);
   ingestedBatches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<db::SensorReading> kept;
+  if (auto tap = currentTap()) {
+    kept = (*tap)(readings);
+    readings = kept;
+    if (readings.empty()) return;  // the tap consumed the whole batch
+  }
   ingestedReadings_.fetch_add(readings.size(), std::memory_order_relaxed);
   const std::size_t shardCount = std::min<std::size_t>(shards_, readings.size());
   if (shardCount <= 1) {

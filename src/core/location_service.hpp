@@ -89,6 +89,31 @@ class LocationService {
   /// path.
   void ingestBatch(std::span<const db::SensorReading> readings);
 
+  /// Pre-apply interceptor for every ingest()/ingestBatch() call: the tap
+  /// sees the readings BEFORE they touch the database and returns the subset
+  /// to apply locally (readings it dropped were consumed — mirrored to a
+  /// replica, redirected to another shard, buffered for a handoff). Because
+  /// it runs inside the ingest call, whatever the tap does is finished
+  /// before the caller's ack — this is what makes replication synchronous.
+  /// nullptr removes it. Safe to swap while ingest is in flight: calls
+  /// already past the tap complete under the old behavior.
+  using IngestTap =
+      std::function<std::vector<db::SensorReading>(std::span<const db::SensorReading>)>;
+  void setIngestTap(IngestTap tap);
+
+  /// Exclusive ingest window: blocks new ingest()/ingestBatch() calls and
+  /// waits out the ones already applying before returning. Replication's
+  /// initial sync and handoff arc capture run inside it — with the guard
+  /// held, the database holds exactly the readings of completed (acked)
+  /// calls, so an export is a consistent cut: nothing half-applied, and
+  /// every later reading flows through whatever tap the holder installs.
+  /// Keep it brief; ingest acks stall for the duration. Caution: a
+  /// subscription callback that re-enters ingest on an ingest thread would
+  /// deadlock against a waiting pause.
+  [[nodiscard]] std::unique_lock<std::shared_mutex> pauseIngest() {
+    return std::unique_lock(ingestGate_);
+  }
+
   /// Shard/worker count used by ingestBatch (default: min(4, hardware
   /// concurrency)). Takes effect on the next batch; do not call while a
   /// batch is in flight.
@@ -423,6 +448,8 @@ class LocationService {
   [[nodiscard]] util::Duration cacheToleranceNow() const noexcept {
     return util::Duration{cacheTolerance_.load(std::memory_order_relaxed)};
   }
+  /// The installed ingest tap, pinned for one call (tap swaps don't tear).
+  [[nodiscard]] std::shared_ptr<const IngestTap> currentTap() const;
   /// Ensures the symbolic lattice reflects the database.
   void ensureRegionsIndexed() const;
   [[nodiscard]] std::optional<geo::Rect> smallestNamedRegionRectAt(geo::Point2 p) const;
@@ -478,6 +505,14 @@ class LocationService {
 
   std::atomic<std::uint64_t> ingestedReadings_{0};
   std::atomic<std::uint64_t> ingestedBatches_{0};
+
+  /// Ingest tap, published as a snapshot pointer (swap under mutex, readers
+  /// pin the shared_ptr) — the same idiom as the reading-store snapshots.
+  mutable std::mutex tapMutex_;
+  std::shared_ptr<const IngestTap> tap_;
+  /// Held shared across every ingest call (tap + apply); pauseIngest()
+  /// takes it exclusively.
+  std::shared_mutex ingestGate_;
 };
 
 }  // namespace mw::core

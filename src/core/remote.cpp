@@ -162,6 +162,23 @@ void exposeLocationService(orb::RpcServer& server, LocationService& service) {
       },
       orb::RpcServer::roundRobinLanes());
 
+  // The replication/handoff export: one object's full history ring, in
+  // insertion order. Routed by hash(object) — the SAME lane rule as "ingest"
+  // (the object id is the first wire field here, the fourth there) — so an
+  // export enqueued behind pending ingests for the object observes them all:
+  // the property handoff relies on to not lose in-flight readings.
+  server.registerMethod(
+      "exportReadings",
+      [&service](const Bytes& args) -> Bytes {
+        ByteReader r(args);
+        util::MobileObjectId object{r.str()};
+        return encodeReadingBatch(service.database().exportObjectLog(object));
+      },
+      [](const Bytes& payload, std::uintptr_t /*connection*/) {
+        ByteReader r(payload);
+        return std::hash<std::string>{}(r.str());
+      });
+
   // Liveness probe: answers as long as the serving path is alive. Routers
   // use it to re-admit a shard that was marked down.
   server.registerMethod(
@@ -227,6 +244,13 @@ void RemoteLocationClient::ingestAsync(const db::SensorReading& reading) {
 void RemoteLocationClient::ingestBatch(std::span<const db::SensorReading> readings) {
   if (readings.empty()) return;
   rpc_->call("ingestBatch", encodeReadingBatch(readings));
+}
+
+std::vector<db::SensorReading> RemoteLocationClient::exportReadings(
+    const util::MobileObjectId& object) {
+  ByteWriter w;
+  w.str(object.str());
+  return decodeReadingBatch(rpc_->call("exportReadings", w.take()));
 }
 
 void RemoteLocationClient::ingestBatchAsync(std::span<const db::SensorReading> readings) {

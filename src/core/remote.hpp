@@ -68,6 +68,12 @@ class RemoteLocationClient {
   /// Oneway batch: one frame on the wire, no reply awaited.
   void ingestBatchAsync(std::span<const db::SensorReading> readings);
 
+  /// The remote service's full stored history for one object, insertion
+  /// order (replication / handoff transfer). Executes on the object's ingest
+  /// lane, so it observes every ingest enqueued before it.
+  [[nodiscard]] std::vector<db::SensorReading> exportReadings(
+      const util::MobileObjectId& object);
+
   [[nodiscard]] std::optional<fusion::LocationEstimate> locate(
       const util::MobileObjectId& object);
 

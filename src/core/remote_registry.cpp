@@ -18,15 +18,31 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     Endpoint ep{r.str(), r.u16()};
     const std::uint32_t ttlMs = r.u32();
     if (!r.exhausted()) ep.shmName = r.str();  // absent in pre-shm announces
+    std::uint64_t generation = 0;
+    if (!r.exhausted()) generation = r.u64();  // absent in pre-fencing announces
     mw::util::require(!name.empty(), "registry.announce: empty name");
     Entry entry;
     entry.endpoint = std::move(ep);
+    entry.generation = generation;
     entry.expiresAt = ttlMs == 0 ? std::chrono::steady_clock::time_point::max()
                                  : std::chrono::steady_clock::now() +
                                        std::chrono::milliseconds(ttlMs);
-    std::lock_guard lock(mutex_);
-    entries_[name] = std::move(entry);
-    return {};
+    bool accepted = true;
+    {
+      std::lock_guard lock(mutex_);
+      if (generation > 0) {
+        auto& fence = fences_[name];
+        if (generation < fence) {
+          accepted = false;  // stale owner: the name moved on without it
+        } else {
+          fence = generation;
+        }
+      }
+      if (accepted) entries_[name] = std::move(entry);
+    }
+    ByteWriter w;
+    w.boolean(accepted);
+    return w.take();
   });
   rpc_.registerMethod("registry.lookup", [this](const Bytes& args) -> Bytes {
     ByteReader r(args);
@@ -40,6 +56,7 @@ RegistryServer::RegistryServer(std::uint16_t port) {
       w.str(it->second.endpoint.host);
       w.u16(it->second.endpoint.port);
       w.str(it->second.endpoint.shmName);
+      w.u64(it->second.generation);
     }
     return w.take();
   });
@@ -88,29 +105,41 @@ std::size_t RegistryServer::entryCount() const {
 RegistryClient::RegistryClient(const std::string& host, std::uint16_t port)
     : rpc_(std::make_shared<orb::RpcClient>(orb::tcpConnect(host, port))) {}
 
-void RegistryClient::announce(const std::string& name, const Endpoint& endpoint,
-                              util::Duration ttl) {
+bool RegistryClient::announce(const std::string& name, const Endpoint& endpoint,
+                              util::Duration ttl, std::uint64_t generation) {
   mw::util::require(ttl.count() >= 0, "RegistryClient::announce: negative TTL");
   ByteWriter w;
   w.str(name);
   w.str(endpoint.host);
   w.u16(endpoint.port);
   w.u32(static_cast<std::uint32_t>(ttl.count()));
-  w.str(endpoint.shmName);  // appended last; absence decodes as "no shm lane"
-  rpc_->call("registry.announce", w.take());
+  w.str(endpoint.shmName);  // appended after TTL; absence decodes as "no shm lane"
+  w.u64(generation);        // appended last; absence decodes as unfenced
+  Bytes reply = rpc_->call("registry.announce", w.take());
+  ByteReader r(reply);
+  if (r.exhausted()) return true;  // pre-fencing server: every announce lands
+  return r.boolean();
 }
 
 std::optional<Endpoint> RegistryClient::lookup(const std::string& name) {
+  auto resolved = lookupEntry(name);
+  if (!resolved) return std::nullopt;
+  return std::move(resolved->endpoint);
+}
+
+std::optional<RegistryClient::ResolvedEntry> RegistryClient::lookupEntry(
+    const std::string& name) {
   ByteWriter w;
   w.str(name);
   Bytes reply = rpc_->call("registry.lookup", w.take());
   ByteReader r(reply);
   if (!r.boolean()) return std::nullopt;
-  Endpoint ep;
-  ep.host = r.str();
-  ep.port = r.u16();
-  if (!r.exhausted()) ep.shmName = r.str();  // absent in pre-shm replies
-  return ep;
+  ResolvedEntry entry;
+  entry.endpoint.host = r.str();
+  entry.endpoint.port = r.u16();
+  if (!r.exhausted()) entry.endpoint.shmName = r.str();  // absent in pre-shm replies
+  if (!r.exhausted()) entry.generation = r.u64();        // absent pre-fencing
+  return entry;
 }
 
 std::vector<std::string> RegistryClient::list() {

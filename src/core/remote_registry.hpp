@@ -13,6 +13,14 @@
 // Expiry is lazy (checked on every read), matching the reading-store's lazy
 // TTL discipline — no background reaper thread. A TTL of zero means the
 // entry never expires (the pre-TTL behavior).
+//
+// Ownership fencing: an announce may carry a *generation* (nonzero). The
+// registry keeps a per-name high-water mark that survives TTL expiry and
+// withdraw(); a generational announce below the mark is rejected. This is
+// what keeps a slow-but-alive primary from flapping ownership back after a
+// backup promoted itself under generation+1 — the stale heartbeat still
+// arrives, but the registry refuses it and the promoted endpoint stands.
+// Generation zero opts out (legacy services that never fail over).
 #pragma once
 
 #include <chrono>
@@ -58,6 +66,8 @@ class RegistryServer {
     /// Expiry instant; time_point::max() = never (TTL 0). Steady clock: the
     /// registry measures heartbeat gaps, not calendar time.
     std::chrono::steady_clock::time_point expiresAt;
+    /// Generation the entry was announced under (0 = unfenced).
+    std::uint64_t generation = 0;
   };
 
   /// Drops every expired entry (mutex_ held). Expiry mutates on the read
@@ -66,6 +76,11 @@ class RegistryServer {
 
   mutable std::mutex mutex_;
   mutable std::unordered_map<std::string, Entry> entries_;
+  /// Per-name generation high-water marks. Deliberately NOT pruned with the
+  /// entries: the fence must outlive the entry it protects, or a stale
+  /// primary could reclaim a name the moment its promoted successor's
+  /// heartbeat lapses.
+  std::unordered_map<std::string, std::uint64_t> fences_;
   orb::RpcServer rpc_;
   std::unique_ptr<orb::TcpListener> listener_;
 };
@@ -77,11 +92,23 @@ class RegistryClient {
   /// Publishes or replaces a service endpoint. With a nonzero `ttl` the
   /// entry expires unless re-announced (same name, any endpoint) within the
   /// TTL — call announce() periodically as a heartbeat. TTL zero (the
-  /// default) registers the entry forever.
-  void announce(const std::string& name, const Endpoint& endpoint,
-                util::Duration ttl = util::Duration::zero());
+  /// default) registers the entry forever. A nonzero `generation` fences the
+  /// name: the registry remembers the highest generation ever announced
+  /// (surviving expiry and withdraw) and rejects announces below it.
+  /// Returns false when the announce was fenced off; the caller has lost
+  /// ownership of the name and should demote itself.
+  bool announce(const std::string& name, const Endpoint& endpoint,
+                util::Duration ttl = util::Duration::zero(), std::uint64_t generation = 0);
   /// Resolves a name; nullopt when not registered.
   [[nodiscard]] std::optional<Endpoint> lookup(const std::string& name);
+
+  /// lookup() plus the generation the entry was announced under — what a
+  /// warm standby needs to promote itself with generation+1.
+  struct ResolvedEntry {
+    Endpoint endpoint;
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] std::optional<ResolvedEntry> lookupEntry(const std::string& name);
   /// All registered names, sorted.
   [[nodiscard]] std::vector<std::string> list();
   /// Removes an entry; false when absent.

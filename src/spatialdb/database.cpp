@@ -320,6 +320,17 @@ void SpatialDatabase::purgeExpired() {
   if (store_->purgeExpired() > 0) store_->bumpCatalogEpoch();
 }
 
+std::vector<SensorReading> SpatialDatabase::exportObjectLog(
+    const util::MobileObjectId& id) const {
+  return store_->exportLog(id);
+}
+
+bool SpatialDatabase::dropMobileObject(const util::MobileObjectId& id) {
+  const bool had = store_->dropObject(id);
+  if (had) store_->bumpCatalogEpoch();  // the tracked population changed
+  return had;
+}
+
 void SpatialDatabase::expireReadings(const util::MobileObjectId& object,
                                      const util::SensorId& sensor) {
   bool disappeared = false;

@@ -207,6 +207,18 @@ class SpatialDatabase {
     return store_->historyCapacity();
   }
 
+  /// The object's full history ring in insertion order, un-windowed — the
+  /// replication/handoff export source: replaying it through insertReading
+  /// reproduces the object's state (bounded by the ring capacity).
+  [[nodiscard]] std::vector<SensorReading> exportObjectLog(
+      const util::MobileObjectId& id) const;
+
+  /// Removes everything stored about one mobile object (readings, history),
+  /// bumping the catalog epoch when it was tracked — the losing side of an
+  /// arc handoff purges moved objects so stale estimates cannot leak into
+  /// scatter-gather merges. Returns false when the object was unknown.
+  bool dropMobileObject(const util::MobileObjectId& id);
+
   /// Drops expired readings eagerly (they are also filtered lazily on read).
   void purgeExpired();
 

@@ -342,6 +342,36 @@ std::vector<SensorReading> ReadingStore::history(const util::MobileObjectId& id,
   return out;
 }
 
+std::vector<SensorReading> ReadingStore::exportLog(const util::MobileObjectId& id) const {
+  std::vector<SensorReading> out;
+  ObjectLog* log = findLog(id);
+  if (log == nullptr) return out;
+  std::lock_guard lock(log->writeMutex);
+  out.assign(log->historyRing.begin(), log->historyRing.end());
+  return out;
+}
+
+bool ReadingStore::dropObject(const util::MobileObjectId& id) {
+  // Publishes an empty snapshot instead of erasing the map entry: readers
+  // hold ObjectLog pointers past the stripe lock (logs are stable for the
+  // store's lifetime), so erasure would dangle them. An emptied log is
+  // invisible to every read path — knownObjects and objectsIntersecting
+  // filter empty snapshots, freshReadings returns nothing — which is all
+  // "dropped" means.
+  ObjectLog* log = findLog(id);
+  if (log == nullptr) return false;
+  std::lock_guard lock(log->writeMutex);
+  SnapshotPtr cur = loadSnap(*log);
+  const bool had = !cur->readings.empty() || !log->historyRing.empty();
+  log->historyRing.clear();
+  if (!cur->readings.empty()) {
+    auto next = std::make_shared<Snapshot>();
+    next->epoch = cur->epoch + 1;
+    storeSnap(*log, std::move(next));
+  }
+  return had;
+}
+
 void ReadingStore::setHistoryCapacity(std::size_t perObject) {
   require(perObject >= 1, "SpatialDatabase::setHistoryCapacity: capacity must be >= 1");
   historyCapacity_.store(perObject, std::memory_order_relaxed);

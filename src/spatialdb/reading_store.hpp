@@ -134,6 +134,18 @@ class ReadingStore {
     return historyCapacity_.load(std::memory_order_relaxed);
   }
 
+  /// The object's full history ring in insertion order — the replication /
+  /// handoff export source. Unlike history() there is no window and no
+  /// re-sort: replaying the returned sequence through append() reproduces
+  /// the log (bounded by the ring capacity, like any restart).
+  [[nodiscard]] std::vector<SensorReading> exportLog(const util::MobileObjectId& id) const;
+
+  /// Erases everything stored about one object (log, snapshot, history) —
+  /// the losing side of an arc handoff. Returns false when unknown. The
+  /// caller is responsible for the catalog-epoch bump (SpatialDatabase
+  /// wraps this, same as append's newObject contract).
+  bool dropObject(const util::MobileObjectId& id);
+
   // --- maintenance -----------------------------------------------------------
 
   /// Drops expired (or orphaned: sensor deregistered) readings eagerly.

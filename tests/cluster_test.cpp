@@ -158,6 +158,109 @@ TEST(ShardMapTest, ResolveFromRegistry) {
   EXPECT_THROW(resolveShardMap(client), util::ContractError);
 }
 
+// --- consistent-hash ring unit tests --------------------------------------------
+
+TEST(HashRingTest, RingMemberNamesRoundTripAndExcludeStandbys) {
+  EXPECT_EQ(ringMemberName("alpha"), "location.ring.alpha");
+  EXPECT_EQ(parseRingMemberName("location.ring.alpha"), "alpha");
+  EXPECT_EQ(parseRingMemberName("location.ring."), std::nullopt);
+  EXPECT_EQ(parseRingMemberName("location.shard.0/1"), std::nullopt);
+  EXPECT_EQ(parseRingMemberName("LocationService"), std::nullopt);
+  EXPECT_EQ(parseRingMemberName("location.ring.alpha.backup"), std::nullopt)
+      << "a standby announcement is not a ring member";
+  EXPECT_EQ(parseRingMemberName("location.ring..backup"), std::nullopt);
+}
+
+TEST(HashRingTest, ArcContainsIsHalfOpenAndWraps) {
+  const RingArc plain{10, 20};
+  EXPECT_FALSE(plain.contains(10)) << "lo is exclusive";
+  EXPECT_TRUE(plain.contains(11));
+  EXPECT_TRUE(plain.contains(20)) << "hi is inclusive";
+  EXPECT_FALSE(plain.contains(21));
+
+  const std::uint64_t top = ~std::uint64_t{0};
+  const RingArc wrap{top - 5, 5};
+  EXPECT_FALSE(wrap.contains(top - 5));
+  EXPECT_TRUE(wrap.contains(top));
+  EXPECT_TRUE(wrap.contains(0)) << "wraps through zero";
+  EXPECT_TRUE(wrap.contains(5));
+  EXPECT_FALSE(wrap.contains(6));
+
+  const RingArc full{7, 7};
+  EXPECT_TRUE(full.contains(0)) << "lo == hi is the full circle";
+  EXPECT_TRUE(full.contains(7));
+  EXPECT_TRUE(full.contains(top));
+}
+
+TEST(HashRingTest, OwnershipIsDeterministicAcrossJoinOrderAndSpreads) {
+  const HashRing ring({"alpha", "beta", "gamma"});
+  const HashRing reordered({"gamma", "alpha", "beta", "beta"});  // dup collapses
+  std::set<std::string> hit;
+  for (int i = 0; i < 300; ++i) {
+    MobileObjectId object{"user-" + std::to_string(i)};
+    const std::string& owner = ring.ownerForObject(object);
+    EXPECT_EQ(owner, reordered.ownerForObject(object)) << "same member set, same ring";
+    // The owner's arcs are exactly where the key falls — arcsOf and
+    // ownerForKey must agree on every boundary.
+    const std::uint64_t key = objectRingKey(object);
+    for (const std::string& member : ring.members()) {
+      bool inArcs = false;
+      for (const RingArc& arc : ring.arcsOf(member)) inArcs = inArcs || arc.contains(key);
+      EXPECT_EQ(inArcs, member == owner) << member << " vs " << object.str();
+    }
+    hit.insert(owner);
+  }
+  EXPECT_EQ(hit.size(), 3u) << "300 objects should land on every member";
+  EXPECT_EQ(ring.members(), (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_TRUE(ring.hasMember("beta"));
+  EXPECT_FALSE(ring.hasMember("delta"));
+  EXPECT_TRUE(ring.arcsOf("delta").empty());
+
+  const HashRing solo({"solo"});
+  EXPECT_EQ(solo.ownerForKey(0), "solo");
+  EXPECT_EQ(solo.ownerForKey(~std::uint64_t{0}), "solo");
+  EXPECT_THROW((void)HashRing().ownerForKey(7), util::ContractError);
+}
+
+TEST(HashRingTest, ClaimsForMovesOnlyTheJoinersArcs) {
+  const HashRing before({"alpha", "beta"});
+  const HashRing after({"alpha", "beta", "gamma"});
+  const auto claims = HashRing::claimsFor(before, after, "gamma");
+  ASSERT_FALSE(claims.empty());
+  for (const auto& claim : claims) {
+    EXPECT_TRUE(claim.loser == "alpha" || claim.loser == "beta") << claim.loser;
+    EXPECT_EQ(after.ownerForKey(claim.arc.hi), "gamma");
+    EXPECT_EQ(before.ownerForKey(claim.arc.hi), claim.loser);
+  }
+
+  int movedCount = 0;
+  for (int i = 0; i < 400; ++i) {
+    MobileObjectId object{"user-" + std::to_string(i)};
+    const std::uint64_t key = objectRingKey(object);
+    const bool moved = before.ownerForKey(key) != after.ownerForKey(key);
+    if (moved) {
+      ++movedCount;
+      EXPECT_EQ(after.ownerForKey(key), "gamma") << "an incumbent never gains from a join";
+    }
+    int covering = 0;
+    for (const auto& claim : claims) {
+      if (!claim.arc.contains(key)) continue;
+      ++covering;
+      EXPECT_EQ(before.ownerForKey(key), claim.loser) << "one previous owner per claimed arc";
+    }
+    EXPECT_EQ(covering, moved ? 1 : 0) << "claims cover exactly the moved keys";
+  }
+  EXPECT_GT(movedCount, 0);
+  EXPECT_LT(movedCount, 400) << "bounded movement: most objects stay put";
+
+  // Rejoining an existing member claims nothing; the genesis join has no
+  // one to lose from.
+  EXPECT_TRUE(HashRing::claimsFor(after, after, "gamma").empty());
+  const auto genesis = HashRing::claimsFor(HashRing(), HashRing({"solo"}), "solo");
+  ASSERT_FALSE(genesis.empty());
+  for (const auto& claim : genesis) EXPECT_TRUE(claim.loser.empty());
+}
+
 // --- cluster fixture ------------------------------------------------------------
 
 class ClusterTest : public ::testing::Test {
@@ -186,6 +289,16 @@ class ClusterTest : public ::testing::Test {
     auto host = std::make_unique<ShardHost>(clock_, universe(), "SC", "127.0.0.1",
                                             registryPort != 0 ? registryPort : registry_->port(),
                                             opts);
+    configureWorld(host->core());
+    host->start();
+    return host;
+  }
+
+  /// Starts a host from explicit options (replication / ring tests).
+  std::unique_ptr<ShardHost> startHost(ShardHost::Options opts, std::uint16_t registryPort = 0) {
+    auto host = std::make_unique<ShardHost>(clock_, universe(), "SC", "127.0.0.1",
+                                            registryPort != 0 ? registryPort : registry_->port(),
+                                            std::move(opts));
     configureWorld(host->core());
     host->start();
     return host;
@@ -507,6 +620,284 @@ TEST_F(ClusterTest, SubscriptionReplaysOntoRestartedShard) {
   ASSERT_FALSE(notes.empty()) << "subscription must survive the shard restart";
   EXPECT_EQ(notes.back().id, id);
   EXPECT_EQ(notes.back().object, MobileObjectId{object});
+}
+
+// --- replication and failover ---------------------------------------------------
+
+TEST_F(ClusterTest, KillPrimaryPromotesBackupWithoutLosingAcknowledgedReadings) {
+  startCluster(2);
+  ShardHost::Options backupOpts;
+  backupOpts.index = 1;
+  backupOpts.total = 2;
+  backupOpts.role = ShardHost::Role::Backup;
+  backupOpts.announceTtl = util::sec(5);
+  backupOpts.heartbeatPeriod = util::msec(100);
+  auto backup = startHost(backupOpts);
+  EXPECT_EQ(backup->name(), shardName(1, 2) + kBackupSuffix);
+  EXPECT_EQ(backup->primaryName(), shardName(1, 2));
+  ASSERT_EQ(backup->role(), ShardHost::Role::Backup);
+
+  // Wait until the primary discovered its backup and the initial sync went
+  // live — from here every acked ingest exists on both sides.
+  std::shared_ptr<ReplicationLink> link;
+  for (int i = 0; i < 500; ++i) {
+    link = hosts_[1]->replicationLink();
+    if (link && link->live()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(link && link->live()) << "primary must discover and sync its backup";
+
+  std::vector<std::string> objects;
+  for (int i = 0; i < 12; ++i) objects.push_back("obj-" + std::to_string(i));
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const double x = 1.0 + static_cast<double>(i % 6) * 3.0;
+    const double y = 2.0 + static_cast<double>(i / 6) * 5.0;
+    ingestBoth(makeReading(clock_, {x, y}, objects[i]));
+    clock_.advance(util::msec(50));
+    ingestBoth(makeReading(clock_, {x + 0.5, y}, objects[i]));
+  }
+  EXPECT_GT(link->mirroredReadings(), 0u) << "shard 1's ingests must mirror synchronously";
+  EXPECT_EQ(link->failures(), 0u);
+
+  hosts_[1].reset();  // the primary dies; its registry entry disappears
+
+  // The backup notices the missing entry on its next monitor tick and
+  // claims the primary name at the last seen generation + 1.
+  for (int i = 0; i < 500 && backup->role() != ShardHost::Role::Primary; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(backup->role(), ShardHost::Role::Primary) << "backup must promote";
+  EXPECT_EQ(backup->promotions(), 1u);
+  EXPECT_GE(backup->generation(), 2u);
+
+  // Shard 1's name now resolves to the promoted backup; the router re-routes.
+  router_->refreshShardMap();
+  for (int i = 0; i < 200 && router_->stats().shards[1].down; ++i) {
+    router_->probeDownShards();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_FALSE(router_->stats().shards[1].down);
+
+  // No acknowledged reading was lost: every object — including the dead
+  // shard's — answers byte-identically to the oracle.
+  for (const auto& name : objects) {
+    MobileObjectId object{name};
+    auto fromCluster = router_->locate(object);
+    auto fromOracle = oracleClient_->locate(object);
+    ASSERT_TRUE(fromCluster.has_value()) << name;
+    ASSERT_TRUE(fromOracle.has_value()) << name;
+    EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle))
+        << name << ": post-failover locate must be byte-identical to the oracle";
+    EXPECT_EQ(router_->locateSymbolic(object), oracleClient_->locateSymbolic(object)) << name;
+  }
+
+  // The promoted backup is a full primary: fresh readings keep fusing.
+  const std::string onPromoted = objectOwnedBy(1);
+  clock_.advance(util::msec(50));
+  ingestBoth(makeReading(clock_, {6, 6}, onPromoted));
+  auto fromCluster = router_->locate(MobileObjectId{onPromoted});
+  auto fromOracle = oracleClient_->locate(MobileObjectId{onPromoted});
+  ASSERT_TRUE(fromCluster.has_value());
+  ASSERT_TRUE(fromOracle.has_value());
+  EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle));
+}
+
+TEST_F(ClusterTest, FencedStalePrimaryDoesNotFlapOwnershipBack) {
+  startCluster(1);
+  ShardHost::Options backupOpts;
+  backupOpts.index = 0;
+  backupOpts.total = 1;
+  backupOpts.role = ShardHost::Role::Backup;
+  backupOpts.announceTtl = util::sec(5);
+  backupOpts.heartbeatPeriod = util::msec(50);
+  auto backup = startHost(backupOpts);
+
+  std::shared_ptr<ReplicationLink> link;
+  for (int i = 0; i < 500; ++i) {
+    link = hosts_[0]->replicationLink();
+    if (link && link->live()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(link && link->live());
+
+  // Simulate the primary's entry expiring while the process is slow but
+  // ALIVE: an admin client withdraws it out from under the still-beating
+  // heartbeat. The primary keeps re-announcing, so keep withdrawing until
+  // the backup's monitor wins the race and promotes.
+  core::RegistryClient admin("127.0.0.1", registry_->port());
+  const std::string name = shardName(0, 1);
+  for (int i = 0; i < 1000 && backup->role() != ShardHost::Role::Primary; ++i) {
+    (void)admin.withdraw(name);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(backup->role(), ShardHost::Role::Primary);
+  EXPECT_EQ(backup->generation(), 2u) << "claimed at the last seen generation + 1";
+  EXPECT_EQ(backup->promotions(), 1u);
+
+  // The stale primary's next heartbeat announce (generation 1) hits the
+  // fence: it must demote itself instead of reclaiming the name.
+  for (int i = 0; i < 400 && !hosts_[0]->fenced(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(hosts_[0]->fenced());
+  EXPECT_GE(hosts_[0]->fencedHeartbeats(), 1u);
+
+  // Ownership settles on the promoted backup...
+  std::optional<core::RegistryClient::ResolvedEntry> entry;
+  for (int i = 0; i < 400; ++i) {
+    entry = admin.lookupEntry(name);
+    if (entry && entry->endpoint.port == backup->port()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->endpoint.port, backup->port());
+  EXPECT_EQ(entry->generation, 2u);
+
+  // ...and STAYS there across several more of the stale primary's
+  // heartbeats — the whole point of the fence.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  entry = admin.lookupEntry(name);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->endpoint.port, backup->port()) << "no flap: the fence holds";
+  EXPECT_EQ(entry->generation, 2u);
+}
+
+// --- online resharding ----------------------------------------------------------
+
+TEST_F(ClusterTest, RingJoinMovesOnlyItsArcsUnderLiveIngest) {
+  registry_ = std::make_unique<core::RegistryServer>();
+  for (const char* token : {"alpha", "beta"}) {
+    ShardHost::Options opts;
+    opts.ringToken = token;
+    opts.announceTtl = util::sec(5);
+    opts.heartbeatPeriod = util::msec(100);
+    hosts_.push_back(startHost(opts));
+  }
+  ClusterLocationService::Options routerOpts;
+  routerOpts.retry = fastRetry();
+  routerOpts.partitioning = ClusterLocationService::Partitioning::Ring;
+  router_ = std::make_unique<ClusterLocationService>("127.0.0.1", registry_->port(), routerOpts);
+  EXPECT_EQ(router_->shardCount(), 2u);
+  EXPECT_FALSE(router_->dualReadWindowOpen());
+  oracle_ = std::make_unique<core::Middlewhere>(clock_, universe(), "SC");
+  configureWorld(*oracle_);
+  oracleClient_ = oracle_->connectLocal();
+
+  // A static population ingested before the join, untouched afterwards.
+  std::vector<std::string> statics;
+  for (int i = 0; i < 24; ++i) statics.push_back("ring-" + std::to_string(i));
+  for (std::size_t i = 0; i < statics.size(); ++i) {
+    const double x = 1.0 + static_cast<double>(i % 8) * 2.0;
+    const double y = 2.0 + static_cast<double>(i / 8) * 5.0;
+    ingestBoth(makeReading(clock_, {x, y}, statics[i]));
+    clock_.advance(util::msec(20));
+    ingestBoth(makeReading(clock_, {x + 0.5, y}, statics[i]));
+  }
+
+  // Live traffic across the whole join: a feeder thread hammering a small
+  // object set through the router AND the oracle. Timestamps are frozen (the
+  // feeder must not race the VirtualClock) and router ingest is
+  // request-reply, so each reading is fully applied — wherever the current
+  // topology routes it, including a handoff buffer or forward — before the
+  // next one leaves. Per-object order therefore matches the oracle's
+  // exactly, which is what makes the final byte-identical check fair.
+  constexpr int kLiveObjects = 6;
+  const auto frozenNow = clock_.now();
+  std::atomic<bool> stopFeeder{false};
+  std::atomic<int> fed{0};
+  std::thread feeder([&] {
+    for (int i = 0; !stopFeeder.load(std::memory_order_acquire); ++i) {
+      db::SensorReading r;
+      r.sensorId = SensorId{"ubi-1"};
+      r.sensorType = "Ubisense";
+      r.mobileObjectId = MobileObjectId{"live-" + std::to_string(i % kLiveObjects)};
+      r.location = {2.0 + i % 16, 3.0 + i % 5};
+      r.detectionRadius = 0.5;
+      r.detectionTime = frozenNow;
+      router_->ingest(r);
+      oracleClient_->ingest(r);
+      fed.fetch_add(1, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  // Every live object must exist on its pre-join owner before the join so
+  // the handoff's export list covers it.
+  for (int i = 0; i < 5000 && fed.load(std::memory_order_acquire) < 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fed.load(std::memory_order_acquire), 20);
+
+  // gamma joins under load: handoff sessions first, announce second.
+  ShardHost::Options gammaOpts;
+  gammaOpts.ringToken = "gamma";
+  gammaOpts.deferAnnounce = true;
+  gammaOpts.announceTtl = util::sec(5);
+  gammaOpts.heartbeatPeriod = util::msec(100);
+  auto gamma = startHost(gammaOpts);
+  gamma->joinRing();
+
+  router_->refreshShardMap();
+  EXPECT_TRUE(router_->dualReadWindowOpen()) << "a membership change must open the window";
+  EXPECT_EQ(router_->shardCount(), 3u);
+
+  // Mid-window the statics already answer exactly: the joiner does not have
+  // the moved objects yet, so reads fall back to the previous owner.
+  for (const auto& name : statics) {
+    MobileObjectId object{name};
+    auto fromCluster = router_->locate(object);
+    auto fromOracle = oracleClient_->locate(object);
+    ASSERT_TRUE(fromCluster.has_value()) << name;
+    ASSERT_TRUE(fromOracle.has_value()) << name;
+    EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle)) << name << " (mid-window)";
+  }
+
+  gamma->completeJoin();
+  router_->refreshShardMap();
+  EXPECT_FALSE(router_->dualReadWindowOpen()) << "an unchanged refresh closes the window";
+
+  // Keep feeding a little with the window closed (moved objects now route
+  // straight to gamma), then stop.
+  const int beforeClose = fed.load(std::memory_order_acquire);
+  for (int i = 0; i < 5000 && fed.load(std::memory_order_acquire) < beforeClose + 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stopFeeder.store(true, std::memory_order_release);
+  feeder.join();
+
+  // Exactness: every object — static and live, moved and kept — answers
+  // byte-identically to the oracle after the join.
+  std::vector<std::string> all = statics;
+  for (int k = 0; k < kLiveObjects; ++k) all.push_back("live-" + std::to_string(k));
+  for (const auto& name : all) {
+    MobileObjectId object{name};
+    auto fromCluster = router_->locate(object);
+    auto fromOracle = oracleClient_->locate(object);
+    ASSERT_TRUE(fromCluster.has_value()) << name;
+    ASSERT_TRUE(fromOracle.has_value()) << name;
+    EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle))
+        << name << ": post-join locate must be byte-identical to the oracle";
+    EXPECT_EQ(router_->locateSymbolic(object), oracleClient_->locateSymbolic(object)) << name;
+  }
+  EXPECT_EQ(router_->stats().failedRoutedCalls, 0u);
+  EXPECT_EQ(router_->stats().droppedIngestReadings, 0u);
+
+  // Movement is bounded and exact: gamma holds precisely the objects its
+  // arcs own, and the losers dropped precisely those.
+  const HashRing after({"alpha", "beta", "gamma"});
+  std::set<std::string> moved;
+  for (const auto& name : all) {
+    if (after.ownerForObject(MobileObjectId{name}) == "gamma") moved.insert(name);
+  }
+  EXPECT_FALSE(moved.empty()) << "the joiner should claim some of " << all.size() << " objects";
+  std::set<std::string> onGamma;
+  for (const auto& id : gamma->core().database().knownMobileObjects()) onGamma.insert(id.str());
+  EXPECT_EQ(onGamma, moved) << "the joiner holds exactly its arcs' objects";
+  for (const auto& host : hosts_) {
+    for (const auto& id : host->core().database().knownMobileObjects()) {
+      EXPECT_FALSE(moved.count(id.str()))
+          << id.str() << " should have been dropped by " << host->name();
+    }
+  }
 }
 
 // --- concurrency (runs under TSan in CI) ----------------------------------------

@@ -147,5 +147,57 @@ TEST(RemoteRegistryTtlTest, ExpiredEntryCanBeReclaimed) {
   EXPECT_EQ(ep->port, 2000);
 }
 
+// --- generation fencing ---------------------------------------------------------
+
+TEST(RemoteRegistryFenceTest, LowerGenerationAnnounceIsRejected) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 1000}, util::Duration::zero(), 1));
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 1000}, util::Duration::zero(), 1))
+      << "re-announcing at the held generation is a heartbeat, not a conflict";
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 2000}, util::Duration::zero(), 2))
+      << "a successor takes the name at a higher generation";
+  EXPECT_FALSE(client.announce("svc", {"127.0.0.1", 1000}, util::Duration::zero(), 1))
+      << "the fenced predecessor must not reclaim the name";
+  auto entry = client.lookupEntry("svc");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->endpoint.port, 2000);
+  EXPECT_EQ(entry->generation, 2u);
+}
+
+TEST(RemoteRegistryFenceTest, FenceSurvivesExpiryAndWithdraw) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 1000}, util::msec(60), 3));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  ASSERT_EQ(client.lookup("svc"), std::nullopt) << "TTL lapsed";
+  // The entry is gone but the generation watermark is not: a zombie holder
+  // of an OLDER generation must still be rejected, or failover would flap.
+  EXPECT_FALSE(client.announce("svc", {"127.0.0.1", 1000}, util::msec(60), 2));
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 2000}, util::msec(60), 4));
+
+  EXPECT_TRUE(client.withdraw("svc"));
+  EXPECT_FALSE(client.announce("svc", {"127.0.0.1", 1000}, util::Duration::zero(), 3))
+      << "withdraw releases the name, not the fence";
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 3000}, util::Duration::zero(), 5));
+}
+
+TEST(RemoteRegistryFenceTest, UnfencedLegacyAnnouncesStillReplace) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+
+  // Generation 0 (the default) keeps the original last-writer-wins
+  // behavior, and lookupEntry reports it as unfenced.
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 1000}));
+  EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 2000}));
+  auto entry = client.lookupEntry("svc");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->endpoint.port, 2000);
+  EXPECT_EQ(entry->generation, 0u);
+  EXPECT_EQ(client.lookupEntry("missing"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace mw::core
