@@ -17,6 +17,7 @@
 
 #include "cluster/cluster_location_service.hpp"
 #include "cluster/shard_host.hpp"
+#include "cluster/territory_map.hpp"
 #include "core/remote_registry.hpp"
 #include "quality/error_model.hpp"
 #include "util/rng.hpp"
@@ -25,27 +26,49 @@ using namespace mw;
 
 namespace {
 
+geo::Rect benchUniverse() { return geo::Rect::fromOrigin({0, 0}, 100, 50); }
+
+std::vector<std::string> spaceTokens(std::size_t shards) {
+  std::vector<std::string> tokens;
+  for (std::size_t i = 0; i < shards; ++i) tokens.push_back("s" + std::to_string(i));
+  return tokens;
+}
+
 /// A registry, N shard hosts sharing one world config, and the router.
+/// `spatial` switches both sides to territory partitioning (spaceToken
+/// members + a Partitioning::Spatial router) instead of object hashing.
 struct ClusterFixture {
   util::VirtualClock clock;
   core::RegistryServer registry;
   std::vector<std::unique_ptr<cluster::ShardHost>> hosts;
   std::unique_ptr<cluster::ClusterLocationService> router;
 
-  explicit ClusterFixture(std::size_t shards, bool enableShm = true) {
+  explicit ClusterFixture(std::size_t shards, bool enableShm = true, bool spatial = false) {
+    const auto tokens = spaceTokens(shards);
     for (std::size_t i = 0; i < shards; ++i) {
       cluster::ShardHost::Options opts;
-      opts.index = i;
-      opts.total = shards;
+      if (spatial) {
+        opts.spaceToken = tokens[i];
+      } else {
+        opts.index = i;
+        opts.total = shards;
+      }
       opts.enableShm = enableShm;
-      auto host = std::make_unique<cluster::ShardHost>(
-          clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC", "127.0.0.1", registry.port(),
-          opts);
+      auto host = std::make_unique<cluster::ShardHost>(clock, benchUniverse(), "SC",
+                                                       "127.0.0.1", registry.port(), opts);
       configureWorld(host->core());
       host->start();
       hosts.push_back(std::move(host));
     }
-    router = std::make_unique<cluster::ClusterLocationService>("127.0.0.1", registry.port());
+    if (spatial) {
+      cluster::ClusterLocationService::Options opts;
+      opts.partitioning = cluster::ClusterLocationService::Partitioning::Spatial;
+      opts.universe = benchUniverse();
+      router = std::make_unique<cluster::ClusterLocationService>("127.0.0.1", registry.port(),
+                                                                 opts);
+    } else {
+      router = std::make_unique<cluster::ClusterLocationService>("127.0.0.1", registry.port());
+    }
   }
 
   static void configureWorld(core::Middlewhere& mw) {
@@ -82,6 +105,9 @@ struct ClusterFixture {
     state.counters["scatter_gathers"] = static_cast<double>(stats.scatterGathers);
     state.counters["degraded_queries"] = static_cast<double>(stats.degradedQueries);
     state.counters["failed_routed_calls"] = static_cast<double>(stats.failedRoutedCalls);
+    state.counters["targeted_region_queries"] = static_cast<double>(stats.targetedRegionQueries);
+    state.counters["region_shard_calls"] = static_cast<double>(stats.regionShardsQueried);
+    state.counters["object_migrations"] = static_cast<double>(stats.objectMigrations);
     std::uint64_t reconnects = 0;
     for (const auto& shard : stats.shards) reconnects += shard.reconnects;
     state.counters["reconnects"] = static_cast<double>(reconnects);
@@ -224,6 +250,84 @@ static void BM_ClusterReplicatedIngest(benchmark::State& state) {
   state.SetLabel(replicated ? "primary+backup" : "bare primary");
 }
 BENCHMARK(BM_ClusterReplicatedIngest)->Arg(0)->Arg(1)->UseRealTime();
+
+// Region-keyed partitioning: the identical small-region population query
+// against an object-hash cluster (scatter to all N shards, merge) and a
+// spatial cluster (targeted at the territory owners intersecting the
+// region — one shard here, by construction). The region geometry is the
+// same in both rows: a small square inside the first territory leaf of the
+// uniform kd split, so the spatial rows price exactly what partitioning by
+// WHERE buys as the cluster widens. "region_shard_calls" divided by
+// iterations is the per-query fan-out: N for scatter, 1 for targeted.
+// Args: {width, 0 = object-hash scatter | 1 = spatial targeted}.
+static void BM_ClusterRegionQuerySmall(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const bool spatial = state.range(1) != 0;
+  ClusterFixture f(shards, true, spatial);
+
+  constexpr int kObjects = 32;
+  util::Rng rng{23};
+  for (int i = 0; i < kObjects; ++i) {
+    f.router->ingest(
+        f.makeReading("p" + std::to_string(i), {rng.uniform(1, 99), rng.uniform(1, 49)}));
+  }
+
+  const auto map = cluster::TerritoryMap::uniform(benchUniverse(), spaceTokens(shards));
+  const auto region = geo::Rect::centeredSquare(map.leaves().front().rect.center(), 2.0);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.router->objectsInRegion(region, 0.2));
+    ++ops;
+  }
+
+  f.exportStats(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(std::to_string(shards) + " shard(s), " +
+                 (spatial ? "spatial targeted" : "object-hash scatter"));
+}
+BENCHMARK(BM_ClusterRegionQuerySmall)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->UseRealTime();
+
+// Boundary-crossing cost: ingest a fresh object on one side of a 2-shard
+// territory split, then a second reading either on the same side (Arg 0 —
+// plain two-reading ingest, the baseline) or across the boundary (Arg 1 —
+// the router migrates the object's log over a live handoff session:
+// begin/adopt/export/import/flush/end plus the home flip). The delta
+// between the rows is the full price of one online migration;
+// "object_migrations" proves the crossing rows actually migrated.
+static void BM_ClusterTerritoryMigration(benchmark::State& state) {
+  const bool crossing = state.range(0) != 0;
+  ClusterFixture f(2, true, true);
+
+  // A resident background population on both sides, so migrations run
+  // against non-empty shards.
+  util::Rng rng{29};
+  for (int i = 0; i < 16; ++i) {
+    f.router->ingest(
+        f.makeReading("bg" + std::to_string(i), {rng.uniform(1, 99), rng.uniform(1, 49)}));
+  }
+
+  // The uniform 2-way split halves the universe at x = 50.
+  std::uint64_t ops = 0;
+  int seq = 0;
+  for (auto _ : state) {
+    const std::string object = "m" + std::to_string(seq++);
+    f.router->ingest(f.makeReading(object, {25.0, 25.0}));
+    f.router->ingest(f.makeReading(object, {crossing ? 75.0 : 26.0, 25.0}));
+    ops += 2;
+  }
+
+  f.exportStats(state);
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.SetLabel(crossing ? "boundary crossing (migrates)" : "same territory");
+}
+BENCHMARK(BM_ClusterTerritoryMigration)->Arg(0)->Arg(1)->UseRealTime();
 
 // Custom main: record the host's core count next to the width curve.
 int main(int argc, char** argv) {

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "orb/shm.hpp"
 #include "orb/tcp.hpp"
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -17,6 +19,23 @@ namespace {
 
 /// Claim sentinel for a per-shard subscription registration in flight.
 constexpr std::uint64_t kSubPending = ~0ULL;
+
+/// Announced spatial members resolved from a live registry, same shape as
+/// the ring resolver (tokens sorted, endpoints parallel).
+RingMemberMap resolveSpaceMembers(core::RegistryClient& registry) {
+  RingMemberMap map;
+  for (const std::string& name : registry.list()) {
+    auto token = parseSpaceMemberName(name);
+    if (!token) continue;  // unrelated service sharing the registry
+    map.tokens.push_back(std::move(*token));
+  }
+  std::sort(map.tokens.begin(), map.tokens.end());
+  map.endpoints.reserve(map.tokens.size());
+  for (const std::string& token : map.tokens) {
+    map.endpoints.push_back(registry.lookup(spaceMemberName(token)));
+  }
+  return map;
+}
 
 /// Slot accessor that tolerates a shard list that grew since this sub's id
 /// vector was sized (ring mode appends members at any refresh). Call with
@@ -35,6 +54,17 @@ ClusterLocationService::ClusterLocationService(const std::string& registryHost,
 ClusterLocationService::ClusterLocationService(const std::string& registryHost,
                                                std::uint16_t registryPort, Options options)
     : options_(options), registry_(registryHost, registryPort) {
+  if (options_.partitioning == Partitioning::Spatial) {
+    mw::util::require(!options_.universe.empty(),
+                      "ClusterLocationService: spatial partitioning needs Options::universe");
+    RingMemberMap members = resolveSpaceMembers(registry_);
+    if (members.tokens.empty()) {
+      throw mw::util::NotFoundError(
+          "ClusterLocationService: no location.space.* entry in the registry");
+    }
+    applySpaceMembers(members);
+    return;
+  }
   if (options_.partitioning == Partitioning::Ring) {
     RingMemberMap members = resolveRingMembers(registry_);
     if (members.tokens.empty()) {
@@ -83,6 +113,14 @@ std::size_t ClusterLocationService::shardCount() const {
 
 std::size_t ClusterLocationService::shardFor(const util::MobileObjectId& object) const {
   if (options_.partitioning == Partitioning::Modulo) return shardForObject(object, total_);
+  if (options_.partitioning == Partitioning::Spatial) {
+    std::lock_guard lock(spatialMutex_);
+    auto home = homeOf_.find(object);
+    const std::string& owner = home != homeOf_.end()
+                                   ? home->second
+                                   : territory_.ownerForPoint(territory_.universe().center());
+    return spaceSlotOf_.at(owner);
+  }
   auto state = ringSnapshot();
   return state->slotOf.at(state->ring.ownerForObject(object));
 }
@@ -128,20 +166,6 @@ void ClusterLocationService::applyRingMembers(const RingMemberMap& members) {
       lostConnection.push_back((*shards)[slot->second]);
     }
   }
-  // Members that left the listing keep their slot (stable indices) but stop
-  // being routable until they announce again.
-  for (const auto& [token, slot] : state->slotOf) {
-    if (std::binary_search(members.tokens.begin(), members.tokens.end(), token)) continue;
-    Shard& shard = *(*shards)[slot];
-    std::unique_lock lock(shard.connectMutex);
-    if (!shard.endpoint) continue;
-    shard.endpoint = std::nullopt;
-    if (shard.client) {
-      shard.client.reset();
-      lock.unlock();
-      lostConnection.push_back((*shards)[slot]);
-    }
-  }
   HashRing fresh(members.tokens);
   if (!oldState) {
     state->ring = fresh;
@@ -163,6 +187,25 @@ void ClusterLocationService::applyRingMembers(const RingMemberMap& members) {
     state->ring = std::move(fresh);
     state->window = true;
   }
+  // Members that left the listing keep their slot (stable indices) but stop
+  // being routable until they announce again — EXCEPT while the dual-read
+  // window straddles their departure: a planned leaver (ShardHost::
+  // leaveRing) has withdrawn but keeps serving, and mid-window ingest for
+  // its old arcs still routes to it (the previous owner), so its endpoint
+  // must survive until the window closes.
+  for (const auto& [token, slot] : state->slotOf) {
+    if (std::binary_search(members.tokens.begin(), members.tokens.end(), token)) continue;
+    if (state->window && state->prev.hasMember(token)) continue;
+    Shard& shard = *(*shards)[slot];
+    std::unique_lock lock(shard.connectMutex);
+    if (!shard.endpoint) continue;
+    shard.endpoint = std::nullopt;
+    if (shard.client) {
+      shard.client.reset();
+      lock.unlock();
+      lostConnection.push_back((*shards)[slot]);
+    }
+  }
   {
     // Grow every subscription's per-shard id vector BEFORE the wider shard
     // list is visible, so a replay on a new member never indexes past the
@@ -180,7 +223,105 @@ void ClusterLocationService::applyRingMembers(const RingMemberMap& members) {
   for (const auto& shard : lostConnection) clearShardSubscriptions(*shard);
 }
 
+void ClusterLocationService::applySpaceMembers(const RingMemberMap& members) {
+  auto old = shardsSnapshot();
+  auto shards = std::make_shared<std::vector<std::shared_ptr<Shard>>>();
+  std::unordered_map<std::string, std::size_t> slotOf;
+  {
+    std::lock_guard lock(spatialMutex_);
+    slotOf = spaceSlotOf_;
+  }
+  if (old) *shards = *old;
+  std::vector<std::shared_ptr<Shard>> lostConnection;
+  for (std::size_t i = 0; i < members.tokens.size(); ++i) {
+    const std::string& token = members.tokens[i];
+    const std::optional<core::Endpoint>& fresh = members.endpoints[i];
+    auto slot = slotOf.find(token);
+    if (slot == slotOf.end()) {
+      auto shard = std::make_shared<Shard>(options_.retry);
+      shard->index = shards->size();
+      shard->token = token;
+      shard->endpoint = fresh;
+      slotOf.emplace(token, shard->index);
+      shards->push_back(std::move(shard));
+      continue;
+    }
+    if (!fresh) {
+      // A lapsed heartbeat is not a territory reassignment: the member's
+      // rectangles still belong to it (failover is replication's job —
+      // a promoted backup reappears under the SAME name), so keep the
+      // endpoint rather than blackholing a whole territory.
+      continue;
+    }
+    Shard& shard = *(*shards)[slot->second];
+    std::unique_lock lock(shard.connectMutex);
+    if (shard.endpoint == fresh) continue;
+    shard.endpoint = fresh;
+    if (shard.client) {
+      shard.client.reset();
+      lock.unlock();
+      lostConnection.push_back((*shards)[slot->second]);
+    }
+  }
+  {
+    // Grow every subscription's per-shard id vector BEFORE the wider shard
+    // list is visible (same invariant as ring mode).
+    std::lock_guard lock(subsMutex_);
+    for (auto& [id, sub] : subs_) {
+      if (sub->shardSubIds.size() < shards->size()) sub->shardSubIds.resize(shards->size(), 0);
+    }
+  }
+  {
+    std::lock_guard lock(shardsMutex_);
+    shards_ = std::move(shards);
+  }
+  {
+    std::lock_guard lock(spatialMutex_);
+    spaceSlotOf_ = std::move(slotOf);
+  }
+  for (const auto& shard : lostConnection) clearShardSubscriptions(*shard);
+
+  // Territory: adopt the registry's published map when it is newer than
+  // ours; bootstrap (and publish) the uniform split when nobody has
+  // published one yet. uniform() is a pure function of the member set, so
+  // racing routers compute identical maps and the version fence picks one.
+  std::optional<core::RegistryClient::Meta> meta;
+  try {
+    meta = registry_.getMeta(kTerritoryMetaName);
+  } catch (const util::TransportError&) {
+    // Registry blind this refresh; keep routing by the map we have.
+  }
+  bool needBootstrap = false;
+  {
+    std::lock_guard lock(spatialMutex_);
+    if (meta) {
+      try {
+        TerritoryMap fetched = TerritoryMap::decode(meta->value);
+        if (fetched.version() > territory_.version()) territory_ = std::move(fetched);
+      } catch (const util::MwError&) {
+        util::logWarn("ClusterLocationService",
+                      "published territory map undecodable; keeping the local one");
+      }
+    }
+    needBootstrap = territory_.empty();
+  }
+  if (needBootstrap) {
+    TerritoryMap uniform = TerritoryMap::uniform(options_.universe, members.tokens);
+    try {
+      registry_.putMeta(kTerritoryMetaName, uniform.encode(), uniform.version());
+    } catch (const util::TransportError&) {
+      // Unpublished but still correct locally; the next refresh retries.
+    }
+    std::lock_guard lock(spatialMutex_);
+    if (territory_.empty()) territory_ = std::move(uniform);
+  }
+}
+
 void ClusterLocationService::refreshShardMap() {
+  if (options_.partitioning == Partitioning::Spatial) {
+    applySpaceMembers(resolveSpaceMembers(registry_));
+    return;
+  }
   if (options_.partitioning == Partitioning::Ring) {
     applyRingMembers(resolveRingMembers(registry_));
     return;
@@ -233,6 +374,345 @@ ClusterLocationService::Route ClusterLocationService::routeFor(
     route.fallback = prev;
   }
   return route;
+}
+
+ClusterLocationService::Route ClusterLocationService::spatialRouteFor(
+    const std::vector<std::shared_ptr<Shard>>& shards, const util::MobileObjectId& object,
+    const geo::Point2* ingestPoint, bool ingestPath) {
+  Route route;
+  std::lock_guard lock(spatialMutex_);
+  std::size_t targetSlot = 0;
+  std::size_t fallbackSlot = 0;
+  bool hasFallback = false;
+  if (auto move = moving_.find(object); move != moving_.end()) {
+    if (ingestPath) {
+      // Mid-migration writes keep going to the OLD home: its handoff
+      // session buffers or forwards them in per-object order, which a
+      // direct write to the gainer (racing the log replay) would break.
+      targetSlot = spaceSlotOf_.at(move->second.from);
+    } else {
+      targetSlot = spaceSlotOf_.at(move->second.to);
+      fallbackSlot = spaceSlotOf_.at(move->second.from);
+      hasFallback = true;
+    }
+  } else if (auto home = homeOf_.find(object); home != homeOf_.end()) {
+    targetSlot = spaceSlotOf_.at(home->second);
+  } else if (ingestPoint != nullptr) {
+    // First sighting: home the object where its evidence box centers.
+    const std::string& owner = territory_.ownerForPoint(*ingestPoint);
+    if (ingestPath) homeOf_.emplace(object, owner);
+    targetSlot = spaceSlotOf_.at(owner);
+  } else {
+    // Unknown object and no evidence anywhere: every shard answers the
+    // same ("unknown" / the bare prior), so probe one deterministically.
+    targetSlot = spaceSlotOf_.at(territory_.ownerForPoint(territory_.universe().center()));
+  }
+  if (ingestPath && ingestPoint != nullptr) {
+    ++leafReadings_[territory_.leafForPoint(*ingestPoint).id];
+  }
+  route.target = shards[targetSlot];
+  if (hasFallback && fallbackSlot != targetSlot) route.fallback = shards[fallbackSlot];
+  return route;
+}
+
+void ClusterLocationService::maybeMigrateAfterIngest(const util::MobileObjectId& object,
+                                                     const geo::Point2& center) {
+  std::string from;
+  std::string to;
+  {
+    std::lock_guard lock(spatialMutex_);
+    if (moving_.contains(object)) return;  // already on its way
+    auto home = homeOf_.find(object);
+    if (home == homeOf_.end()) return;
+    to = territory_.ownerForPoint(center);
+    if (to == home->second) return;
+    from = home->second;
+  }
+  // Boundary crossing: the reading was applied at the old home first (per-
+  // object order); now the whole log follows the object across the border.
+  migrateObjects(from, to, {object}, {}, std::nullopt);
+}
+
+bool ClusterLocationService::migrateObjects(const std::string& from, const std::string& to,
+                                            std::vector<util::MobileObjectId> explicitObjects,
+                                            const std::vector<geo::Rect>& rects,
+                                            const std::optional<TerritoryMap>& newMap) {
+  std::lock_guard migration(migrationMutex_);
+  auto shards = shardsSnapshot();
+  std::shared_ptr<Shard> loser;
+  std::shared_ptr<Shard> gainer;
+  {
+    std::lock_guard lock(spatialMutex_);
+    auto fromSlot = spaceSlotOf_.find(from);
+    auto toSlot = spaceSlotOf_.find(to);
+    if (fromSlot == spaceSlotOf_.end() || toSlot == spaceSlotOf_.end() ||
+        fromSlot->second >= shards->size() || toSlot->second >= shards->size()) {
+      return false;
+    }
+    loser = (*shards)[fromSlot->second];
+    gainer = (*shards)[toSlot->second];
+    // Re-check under the migration serializer: a migration this call queued
+    // behind may already have moved (or be moving) some of these.
+    std::erase_if(explicitObjects, [&](const util::MobileObjectId& object) {
+      auto home = homeOf_.find(object);
+      return home == homeOf_.end() || home->second != from || moving_.contains(object);
+    });
+    if (explicitObjects.empty() && rects.empty()) return true;  // nothing left to move
+  }
+  auto loserClient = clientFor(*loser);
+  auto gainerClient = clientFor(*gainer);
+  std::optional<core::Endpoint> gainerEndpoint;
+  {
+    std::lock_guard lock(gainer->connectMutex);
+    gainerEndpoint = gainer->endpoint;
+  }
+  if (!loserClient || !gainerClient || !gainerEndpoint) return false;
+
+  std::uint64_t sessionId = 0;
+  std::vector<util::MobileObjectId> affected;
+  const char* step = "begin";
+  try {
+    // 1. Loser installs the handoff session (its tap starts consuming the
+    //    moving objects' readings) and reports the full affected set —
+    //    explicit objects plus residents of the migrated rects.
+    {
+      util::ByteWriter w;
+      w.str(to);
+      w.str(gainerEndpoint->host);
+      w.u16(gainerEndpoint->port);
+      w.str(gainerEndpoint->shmName);
+      w.u32(static_cast<std::uint32_t>(explicitObjects.size()));
+      for (const auto& object : explicitObjects) w.str(object.str());
+      w.u32(static_cast<std::uint32_t>(rects.size()));
+      for (const auto& rect : rects) {
+        w.f64(rect.lo().x);
+        w.f64(rect.lo().y);
+        w.f64(rect.hi().x);
+        w.f64(rect.hi().y);
+      }
+      const util::Bytes reply = loserClient->rpc()->call("territory.migrateBegin", w.take());
+      util::ByteReader r(reply);
+      sessionId = r.u64();
+      const std::uint32_t count = r.u32();
+      affected.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        affected.emplace_back(util::MobileObjectId{r.str()});
+      }
+    }
+    // 2. Gainer prunes its own stale forwarding sessions BEFORE any forward
+    //    can arrive — an object migrating back must not chase its own tail.
+    step = "adopt";
+    {
+      util::ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(affected.size()));
+      for (const auto& object : affected) w.str(object.str());
+      gainerClient->rpc()->call("territory.adopt", w.take());
+    }
+    // 3. Mark moving: ingest keeps targeting the loser (whose session now
+    //    buffers these objects' readings), reads double-route new-then-old.
+    {
+      std::lock_guard lock(spatialMutex_);
+      for (const auto& object : affected) moving_[object] = Move{from, to};
+    }
+    // 4. Log replay: importBatch stores quietly — the triggers these
+    //    readings matched already fired where they were first ingested.
+    step = "export";
+    for (const auto& object : affected) {
+      auto log = loserClient->exportReadings(object);
+      if (!log.empty()) gainerClient->importBatch(log);
+    }
+    // 5. Spill subscriptions against the coverage the gainer is ABOUT to
+    //    have, before the flush, so the flushed buffered readings find
+    //    their triggers registered. (Registration is monotone: an extra
+    //    shard carrying a trigger is harmless — one home per object means
+    //    no duplicate notifications.)
+    TerritoryMap coverage;
+    if (newMap) {
+      coverage = *newMap;
+    } else {
+      std::lock_guard lock(spatialMutex_);
+      coverage = territory_;
+    }
+    step = "spill";
+    spillSubscriptionsOnto(*gainer, to, coverage);
+    step = "flush";
+    // 6. Flush: buffered readings drain into the gainer (export first, then
+    //    buffer FIFO — per-object order holds), session switches to live
+    //    forwarding.
+    {
+      util::ByteWriter w;
+      w.u64(sessionId);
+      const util::Bytes reply = loserClient->rpc()->call("territory.flush", w.take());
+      util::ByteReader r(reply);
+      if (!r.boolean()) {
+        throw mw::util::TransportError("territory.flush refused (session lost?)");
+      }
+    }
+    // 7. End: the loser drops the moved objects' local state; the session
+    //    keeps forwarding stragglers that raced the home flip.
+    step = "end";
+    {
+      util::ByteWriter w;
+      w.u64(sessionId);
+      const util::Bytes reply = loserClient->rpc()->call("territory.end", w.take());
+      util::ByteReader r(reply);
+      if (!r.boolean()) {
+        util::logWarn("ClusterLocationService", "territory.end refused by ", from,
+                      "; moved objects linger there until the next migration");
+      }
+    }
+  } catch (const util::MwError& e) {
+    // Homes stay put and ingest keeps flowing to the loser. Nothing is
+    // lost: the loser's session (where installed) keeps consuming the
+    // objects' readings, and the next migration attempt's migrateBegin
+    // prunes it and starts over.
+    {
+      std::lock_guard lock(spatialMutex_);
+      for (const auto& object : affected) moving_.erase(object);
+    }
+    util::logWarn("ClusterLocationService", "migration ", from, " -> ", to, " failed at ", step,
+                  ": ", e.what());
+    return false;
+  }
+  // 8. The flip: from here reads and ingest route to the gainer.
+  util::Bytes encoded;
+  std::uint64_t publishVersion = 0;
+  {
+    std::lock_guard lock(spatialMutex_);
+    for (const auto& object : affected) {
+      homeOf_[object] = to;
+      moving_.erase(object);
+    }
+    if (newMap && newMap->version() > territory_.version()) territory_ = *newMap;
+    if (newMap) {
+      encoded = territory_.encode();
+      publishVersion = territory_.version();
+    }
+  }
+  objectMigrations_.fetch_add(affected.size(), std::memory_order_relaxed);
+  if (newMap) {
+    try {
+      registry_.putMeta(kTerritoryMetaName, encoded, publishVersion);
+    } catch (const util::TransportError&) {
+      // This router already routes by it; peers converge on the next
+      // publish (the version fence makes republishing safe).
+      util::logWarn("ClusterLocationService",
+                    "territory map v", publishVersion, " publish failed; retrying later");
+    }
+  }
+  return true;
+}
+
+void ClusterLocationService::spillSubscriptionsOnto(Shard& shard, const std::string& token,
+                                                    const TerritoryMap& map) {
+  std::vector<std::pair<util::SubscriptionId, std::shared_ptr<ClusterSub>>> candidates;
+  {
+    std::lock_guard lock(subsMutex_);
+    for (auto& [id, sub] : subs_) {
+      if (subSlot(sub->shardSubIds, shard.index) != 0) continue;
+      candidates.emplace_back(util::SubscriptionId{id}, sub);
+    }
+  }
+  for (auto& [clusterId, sub] : candidates) {
+    if (!territoryCovers(map, token, sub->region)) continue;
+    subscribeOnShard(shard, clusterId, *sub);  // claims the slot itself
+  }
+}
+
+bool ClusterLocationService::territoryCovers(const TerritoryMap& map, const std::string& token,
+                                             const geo::Rect& region) const {
+  const geo::Rect inflated = region.inflated(options_.regionSlack);
+  for (const auto& leaf : map.leaves()) {
+    if (leaf.owner == token && leaf.rect.intersects(inflated)) return true;
+  }
+  return false;
+}
+
+bool ClusterLocationService::territoryCovers(const std::string& token,
+                                             const geo::Rect& region) const {
+  std::lock_guard lock(spatialMutex_);
+  return territoryCovers(territory_, token, region);
+}
+
+TerritoryMap ClusterLocationService::territorySnapshot() const {
+  std::lock_guard lock(spatialMutex_);
+  return territory_;
+}
+
+std::size_t ClusterLocationService::movingObjects() const {
+  std::lock_guard lock(spatialMutex_);
+  return moving_.size();
+}
+
+bool ClusterLocationService::rebalanceOnce(double hotColdRatio, std::uint64_t minReadings) {
+  mw::util::require(options_.partitioning == Partitioning::Spatial,
+                    "ClusterLocationService::rebalanceOnce: spatial mode only");
+  TerritoryMap map;
+  std::unordered_map<std::uint32_t, std::uint64_t> heat;
+  {
+    std::lock_guard lock(spatialMutex_);
+    map = territory_;
+    heat = leafReadings_;
+  }
+  if (map.empty()) return false;
+  auto leafLoad = [&heat](std::uint32_t id) {
+    auto it = heat.find(id);
+    return it == heat.end() ? std::uint64_t{0} : it->second;
+  };
+  // Owner loads from the router's own routed-readings heat map (an ordered
+  // map so ties break deterministically by token).
+  std::map<std::string, std::uint64_t> loadOf;
+  for (const std::string& owner : map.owners()) loadOf[owner] = 0;
+  for (const auto& leaf : map.leaves()) loadOf[leaf.owner] += leafLoad(leaf.id);
+  if (loadOf.size() < 2) return false;
+  std::string hotOwner;
+  std::string coldOwner;
+  std::uint64_t hotLoad = 0;
+  std::uint64_t coldLoad = 0;
+  for (const auto& [owner, load] : loadOf) {
+    if (hotOwner.empty() || load > hotLoad) {
+      hotOwner = owner;
+      hotLoad = load;
+    }
+    if (coldOwner.empty() || load < coldLoad) {
+      coldOwner = owner;
+      coldLoad = load;
+    }
+  }
+  // Balanced enough: not hot at all, or the spread is within the ratio.
+  if (hotOwner == coldOwner || hotLoad < minReadings) return false;
+  if (static_cast<double>(hotLoad) < hotColdRatio * static_cast<double>(coldLoad)) return false;
+  // Split the hot owner's hottest leaf; its fresh high half goes cold.
+  const TerritoryLeaf* hottest = nullptr;
+  std::uint64_t hottestLoad = 0;
+  for (const auto& leaf : map.leaves()) {
+    if (leaf.owner != hotOwner) continue;
+    if (!hottest || leafLoad(leaf.id) > hottestLoad) {
+      hottest = &leaf;
+      hottestLoad = leafLoad(leaf.id);
+    }
+  }
+  if (!hottest) return false;
+  TerritoryMap next;
+  try {
+    next = map.splitLeaf(hottest->id, coldOwner);
+  } catch (const util::ContractError&) {
+    return false;  // leaf too thin to split further
+  }
+  const TerritoryLeaf moved = next.leaves().back();  // the fresh high half
+  if (!migrateObjects(hotOwner, coldOwner, {}, {moved.rect}, next)) return false;
+  {
+    // Reset both halves' heat: the decision spent it, and fresh traffic
+    // should drive the next one.
+    std::lock_guard lock(spatialMutex_);
+    leafReadings_[hottest->id] = 0;
+    leafReadings_[moved.id] = 0;
+  }
+  territorySplits_.fetch_add(1, std::memory_order_relaxed);
+  util::logInfo("ClusterLocationService", "rebalance: split leaf ", hottest->id, " of ",
+                hotOwner, " (load ", hotLoad, ") and moved half to ", coldOwner, " (load ",
+                coldLoad, ")");
+  return true;
 }
 
 std::shared_ptr<core::RemoteLocationClient> ClusterLocationService::clientFor(Shard& shard) {
@@ -345,8 +825,15 @@ void ClusterLocationService::probeDownShards() {
 
 void ClusterLocationService::ingest(const db::SensorReading& reading) {
   auto shards = shardsSnapshot();
-  auto state = ringSnapshot();
-  Route route = routeFor(*shards, state.get(), reading.mobileObjectId, /*ingestPath=*/true);
+  Route route;
+  std::optional<geo::Point2> center;
+  if (options_.partitioning == Partitioning::Spatial) {
+    center = reading.rect().center();
+    route = spatialRouteFor(*shards, reading.mobileObjectId, &*center, /*ingestPath=*/true);
+  } else {
+    auto state = ringSnapshot();
+    route = routeFor(*shards, state.get(), reading.mobileObjectId, /*ingestPath=*/true);
+  }
   auto ok = callShard<bool>(*route.target, [&](core::RemoteLocationClient& client) {
     client.ingest(reading);
     return true;
@@ -355,17 +842,35 @@ void ClusterLocationService::ingest(const db::SensorReading& reading) {
     failedRoutedCalls_.fetch_add(1, std::memory_order_relaxed);
     droppedIngestReadings_.fetch_add(1, std::memory_order_relaxed);
   }
+  if (center) maybeMigrateAfterIngest(reading.mobileObjectId, *center);
 }
 
 void ClusterLocationService::ingestBatch(std::span<const db::SensorReading> readings) {
   if (readings.empty()) return;
   auto shards = shardsSnapshot();
   auto state = ringSnapshot();
+  const bool spatial = options_.partitioning == Partitioning::Spatial;
   // Partition by target shard; a stable partition keeps each object's
-  // readings in their original relative order inside its sub-batch.
+  // readings in their original relative order inside its sub-batch. Spatial
+  // mode also tracks each object's LAST evidence center: a batch is applied
+  // entirely at the current homes first, then crossings migrate.
   std::vector<std::vector<db::SensorReading>> parts(shards->size());
+  std::vector<std::pair<util::MobileObjectId, geo::Point2>> lastCenter;
+  std::unordered_map<util::MobileObjectId, std::size_t> lastCenterIndex;
   for (const auto& reading : readings) {
-    Route route = routeFor(*shards, state.get(), reading.mobileObjectId, /*ingestPath=*/true);
+    Route route;
+    if (spatial) {
+      const geo::Point2 center = reading.rect().center();
+      route = spatialRouteFor(*shards, reading.mobileObjectId, &center, /*ingestPath=*/true);
+      auto [it, inserted] = lastCenterIndex.emplace(reading.mobileObjectId, lastCenter.size());
+      if (inserted) {
+        lastCenter.emplace_back(reading.mobileObjectId, center);
+      } else {
+        lastCenter[it->second].second = center;
+      }
+    } else {
+      route = routeFor(*shards, state.get(), reading.mobileObjectId, /*ingestPath=*/true);
+    }
     parts[route.target->index].push_back(reading);
   }
   for (std::size_t i = 0; i < parts.size(); ++i) {
@@ -380,13 +885,19 @@ void ClusterLocationService::ingestBatch(std::span<const db::SensorReading> read
       droppedIngestReadings_.fetch_add(parts[i].size(), std::memory_order_relaxed);
     }
   }
+  for (const auto& [object, center] : lastCenter) maybeMigrateAfterIngest(object, center);
 }
 
 std::optional<fusion::LocationEstimate> ClusterLocationService::locate(
     const util::MobileObjectId& object) {
   auto shards = shardsSnapshot();
-  auto state = ringSnapshot();
-  Route route = routeFor(*shards, state.get(), object, /*ingestPath=*/false);
+  Route route;
+  if (options_.partitioning == Partitioning::Spatial) {
+    route = spatialRouteFor(*shards, object, nullptr, /*ingestPath=*/false);
+  } else {
+    auto state = ringSnapshot();
+    route = routeFor(*shards, state.get(), object, /*ingestPath=*/false);
+  }
   auto result = callShard<std::optional<fusion::LocationEstimate>>(
       *route.target, [&](core::RemoteLocationClient& client) { return client.locate(object); });
   if (result && result->has_value()) return *result;
@@ -406,8 +917,13 @@ std::optional<fusion::LocationEstimate> ClusterLocationService::locate(
 
 std::string ClusterLocationService::locateSymbolic(const util::MobileObjectId& object) {
   auto shards = shardsSnapshot();
-  auto state = ringSnapshot();
-  Route route = routeFor(*shards, state.get(), object, /*ingestPath=*/false);
+  Route route;
+  if (options_.partitioning == Partitioning::Spatial) {
+    route = spatialRouteFor(*shards, object, nullptr, /*ingestPath=*/false);
+  } else {
+    auto state = ringSnapshot();
+    route = routeFor(*shards, state.get(), object, /*ingestPath=*/false);
+  }
   auto result = callShard<std::string>(*route.target, [&](core::RemoteLocationClient& client) {
     return client.locateSymbolic(object);
   });
@@ -455,6 +971,34 @@ std::vector<std::optional<R>> ClusterLocationService::scatter(
 double ClusterLocationService::probabilityInRegion(const util::MobileObjectId& object,
                                                    const geo::Rect& region) {
   auto shards = shardsSnapshot();
+  if (options_.partitioning == Partitioning::Spatial) {
+    // Object-homed, not region-scattered: the home shard holds the object's
+    // whole log, so its fused answer IS the oracle's winning (evidence-
+    // bearing) answer; no other shard could beat it. Unknown objects get
+    // the bare prior, which every shard computes identically.
+    targetedRegionQueries_.fetch_add(1, std::memory_order_relaxed);
+    Route route = spatialRouteFor(*shards, object, nullptr, /*ingestPath=*/false);
+    regionShardsQueried_.fetch_add(route.fallback ? 2 : 1, std::memory_order_relaxed);
+    auto reply = callShard<core::RemoteLocationClient::RegionProbability>(
+        *route.target, [&](core::RemoteLocationClient& client) {
+          return client.probabilityInRegionEx(object, region);
+        });
+    if (reply && reply->hasEvidence) return reply->probability;
+    if (route.fallback) {
+      // Mid-migration: the new home may not hold the log yet.
+      auto fallback = callShard<core::RemoteLocationClient::RegionProbability>(
+          *route.fallback, [&](core::RemoteLocationClient& client) {
+            return client.probabilityInRegionEx(object, region);
+          });
+      if (fallback && fallback->hasEvidence) return fallback->probability;
+      if (!reply) reply = fallback;
+    }
+    if (!reply) {
+      throw mw::util::TransportError(
+          "ClusterLocationService::probabilityInRegion: no shard answered");
+    }
+    return reply->probability;  // no evidence anywhere: the bare prior
+  }
   scatterGathers_.fetch_add(1, std::memory_order_relaxed);
   auto replies = scatter<core::RemoteLocationClient::RegionProbability>(
       *shards, [&](core::RemoteLocationClient& client) {
@@ -488,9 +1032,32 @@ double ClusterLocationService::probabilityInRegion(const util::MobileObjectId& o
 ClusterLocationService::RegionQueryResult ClusterLocationService::objectsInRegionDetailed(
     const geo::Rect& region, double minProbability) {
   auto shards = shardsSnapshot();
-  scatterGathers_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::shared_ptr<Shard>> targets;
+  if (options_.partitioning == Partitioning::Spatial && minProbability > 0) {
+    // The payoff query: only the shards whose territory intersects the
+    // slack-inflated region can home an object with evidence mass inside
+    // it, so the scatter shrinks to that subset — O(intersecting shards).
+    // minProbability <= 0 is a census (every shard's objects qualify at
+    // probability 0) and falls through to the full scatter below.
+    const geo::Rect inflated = region.inflated(options_.regionSlack);
+    {
+      std::lock_guard lock(spatialMutex_);
+      for (const std::string& owner : territory_.ownersIntersecting(inflated)) {
+        auto slot = spaceSlotOf_.find(owner);
+        if (slot != spaceSlotOf_.end() && slot->second < shards->size()) {
+          targets.push_back((*shards)[slot->second]);
+        }
+      }
+    }
+    targetedRegionQueries_.fetch_add(1, std::memory_order_relaxed);
+    regionShardsQueried_.fetch_add(targets.size(), std::memory_order_relaxed);
+    if (targets.empty()) return RegionQueryResult{};  // region outside every territory
+  } else {
+    targets = *shards;
+    scatterGathers_.fetch_add(1, std::memory_order_relaxed);
+  }
   using Members = std::vector<std::pair<util::MobileObjectId, double>>;
-  auto replies = scatter<Members>(*shards, [&](core::RemoteLocationClient& client) {
+  auto replies = scatter<Members>(targets, [&](core::RemoteLocationClient& client) {
     return client.objectsInRegion(region, minProbability);
   });
 
@@ -510,7 +1077,7 @@ ClusterLocationService::RegionQueryResult ClusterLocationService::objectsInRegio
   if (result.shardsAnswered == 0) {
     throw mw::util::TransportError("ClusterLocationService::objectsInRegion: no shard answered");
   }
-  result.degraded = result.shardsAnswered < shards->size();
+  result.degraded = result.shardsAnswered < targets.size();
   if (result.degraded) degradedQueries_.fetch_add(1, std::memory_order_relaxed);
 
   result.members.reserve(merged.size());
@@ -551,6 +1118,13 @@ util::SubscriptionId ClusterLocationService::subscribe(
     subs_.emplace(clusterId.value(), sub);
   }
   for (const auto& shard : *shards) {
+    // Spatial mode: only shards whose territory intersects the region can
+    // home an object triggering it; migration spills the subscription onto
+    // shards that gain intersecting territory later.
+    if (options_.partitioning == Partitioning::Spatial &&
+        !territoryCovers(shard->token, region)) {
+      continue;
+    }
     subscribeOnShard(*shard, clusterId, *sub);
   }
   return clusterId;
@@ -590,16 +1164,26 @@ void ClusterLocationService::subscribeOnShard(Shard& shard, util::SubscriptionId
 void ClusterLocationService::replaySubscriptions(Shard& shard, core::RemoteLocationClient& client) {
   // Collect the subscriptions missing on this shard, then register each
   // directly on the fresh client (single attempt — a failure leaves the
-  // slot empty for the next reconnect).
-  std::vector<std::pair<util::SubscriptionId, std::shared_ptr<ClusterSub>>> missing;
+  // slot empty for the next reconnect). Candidates are collected WITHOUT
+  // claiming, coverage-filtered outside subsMutex_ (territoryCovers takes
+  // spatialMutex_ and the two must not nest), then claimed one by one.
+  const bool spatial = options_.partitioning == Partitioning::Spatial;
+  std::vector<std::pair<util::SubscriptionId, std::shared_ptr<ClusterSub>>> candidates;
   {
     std::lock_guard lock(subsMutex_);
     for (auto& [id, sub] : subs_) {
-      std::uint64_t& slot = subSlot(sub->shardSubIds, shard.index);
-      if (slot != 0) continue;
-      slot = kSubPending;
-      missing.emplace_back(util::SubscriptionId{id}, sub);
+      if (subSlot(sub->shardSubIds, shard.index) != 0) continue;
+      candidates.emplace_back(util::SubscriptionId{id}, sub);
     }
+  }
+  std::vector<std::pair<util::SubscriptionId, std::shared_ptr<ClusterSub>>> missing;
+  for (auto& [clusterId, sub] : candidates) {
+    if (spatial && !territoryCovers(shard.token, sub->region)) continue;
+    std::lock_guard lock(subsMutex_);
+    std::uint64_t& slot = subSlot(sub->shardSubIds, shard.index);
+    if (slot != 0) continue;  // a racing spill claimed it first
+    slot = kSubPending;
+    missing.emplace_back(clusterId, sub);
   }
   for (auto& [clusterId, sub] : missing) {
     std::uint64_t shardSubId = 0;
@@ -664,6 +1248,10 @@ ClusterLocationService::Stats ClusterLocationService::stats() const {
   stats.degradedQueries = degradedQueries_.load(std::memory_order_relaxed);
   stats.failedRoutedCalls = failedRoutedCalls_.load(std::memory_order_relaxed);
   stats.droppedIngestReadings = droppedIngestReadings_.load(std::memory_order_relaxed);
+  stats.targetedRegionQueries = targetedRegionQueries_.load(std::memory_order_relaxed);
+  stats.regionShardsQueried = regionShardsQueried_.load(std::memory_order_relaxed);
+  stats.objectMigrations = objectMigrations_.load(std::memory_order_relaxed);
+  stats.territorySplits = territorySplits_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -29,13 +29,36 @@
 // refresh observes a changed member set, the router keeps both rings and
 // opens a dual-read window: ingest for a moved arc still routes to the
 // PREVIOUS owner (whose handoff session buffers or forwards it to the
-// joiner — see replication.hpp), while reads try the NEW owner first and
+// joiner — see replication.hpp), while reads try the new owner first and
 // fall back to the previous one when the new owner doesn't know the object
 // yet. The next refresh that sees the same member set closes the window —
 // by then the operator has run completeJoin(), so the joiner holds every
 // moved object's full log and answers are exact throughout. Promotion of a
 // backup does not change membership (same name, new endpoint), so failover
-// needs no window at all.
+// needs no window at all. A planned departure (ShardHost::leaveRing) is the
+// same window in reverse: the leaver withdraws but keeps serving, so while
+// the window is open the router keeps routing moved-arc ingest to it even
+// though it no longer appears in the registry.
+//
+// Spatial mode (Partitioning::Spatial): members are "location.space.*"
+// announcements and the partition key is WHERE, not WHO — a kd-split
+// territory map (territory_map.hpp, published through the registry's
+// versioned metadata) assigns each shard a set of rectangles, and an object
+// lives on the shard whose territory contains its evidence-box center. The
+// payoff is on the region side: region queries and trigger subscriptions go
+// only to the shards whose territory intersects the (slack-inflated) region
+// instead of scattering to all N — O(intersecting shards) instead of O(N).
+// A reading whose evidence box centers outside its object's home territory
+// is a boundary crossing: it is applied at the OLD home first (order), then
+// the router migrates the object's whole log to the new owner over the same
+// buffer-then-forward handoff sessions as a ring join (territory.* methods
+// on ShardHost), reads double-routing new-then-old until the flip.
+// rebalanceOnce() is the load balancer: it splits the hottest leaf and
+// migrates the new half to the coldest shard under live traffic, keeping
+// every answer byte-identical to the object-hash oracle for quiescent
+// objects throughout. One router drives migrations and the balancer at a
+// time — concurrent routers may route (the map is shared via the registry)
+// but must not both migrate.
 #pragma once
 
 #include <atomic>
@@ -51,6 +74,7 @@
 
 #include "cluster/health.hpp"
 #include "cluster/shard_map.hpp"
+#include "cluster/territory_map.hpp"
 #include "core/location_service.hpp"
 #include "core/remote.hpp"
 #include "core/remote_registry.hpp"
@@ -60,13 +84,26 @@ namespace mw::cluster {
 class ClusterLocationService {
  public:
   enum class Partitioning {
-    Modulo,  ///< fixed width N from "location.shard.<i>/<N>" names
-    Ring,    ///< consistent-hash ring over "location.ring.<token>" members
+    Modulo,   ///< fixed width N from "location.shard.<i>/<N>" names
+    Ring,     ///< consistent-hash ring over "location.ring.<token>" members
+    Spatial,  ///< kd-split territory map over "location.space.<token>" members
   };
 
   struct Options {
     RetryPolicy retry;
     Partitioning partitioning = Partitioning::Modulo;
+    /// Spatial mode: the world rectangle the territory map tiles. Required
+    /// (non-empty) for Partitioning::Spatial; used to bootstrap the uniform
+    /// map when the registry holds none yet.
+    geo::Rect universe;
+    /// Spatial mode: margin added around a region before intersecting it
+    /// with shard territories, for region queries and subscription
+    /// placement. An object homed on a shard can still carry evidence up to
+    /// its sensors' detection radius PAST the territory edge, so this must
+    /// be at least the largest detection radius in play — too small silently
+    /// misses boundary answers, too large only degrades toward full
+    /// scatter (never wrong).
+    double regionSlack = 8.0;
   };
 
   /// Per-shard view of stats(): health + cumulative error counters.
@@ -88,6 +125,15 @@ class ClusterLocationService {
     /// got "unknown" / a dropped reading instead of an answer).
     std::uint64_t failedRoutedCalls = 0;
     std::uint64_t droppedIngestReadings = 0;
+    /// Spatial mode: region queries answered from a territory-intersecting
+    /// subset of the shards, and how many shard calls they cost in total
+    /// (the scatter-vs-targeted economy: subset-size vs N per query).
+    std::uint64_t targetedRegionQueries = 0;
+    std::uint64_t regionShardsQueried = 0;
+    /// Spatial mode: objects whose logs were migrated across a territory
+    /// boundary (crossings and balancer moves), and balancer leaf splits.
+    std::uint64_t objectMigrations = 0;
+    std::uint64_t territorySplits = 0;
   };
 
   /// Resolves the shard map from the registry. Throws util::TransportError
@@ -180,6 +226,23 @@ class ClusterLocationService {
                                  std::function<void(const core::Notification&)> callback);
   bool unsubscribe(util::SubscriptionId id);
 
+  // --- spatial partitioning ----------------------------------------------------
+
+  /// Spatial mode: the territory map this router currently routes by.
+  [[nodiscard]] TerritoryMap territorySnapshot() const;
+  /// Spatial mode: objects currently mid-migration (reads double-routed).
+  [[nodiscard]] std::size_t movingObjects() const;
+
+  /// Spatial mode: one balancer pass. Finds the hottest and coldest shard
+  /// by per-leaf ingest counts; when the hottest carries at least
+  /// `hotColdRatio` times the coldest's load (and at least `minReadings`),
+  /// splits the hottest leaf at the midpoint of its long axis, migrates the
+  /// new half's residents to the coldest shard (live handoff — ingest keeps
+  /// flowing), publishes the new map through the registry and returns true.
+  /// Returns false when the cluster is balanced enough (or the migration
+  /// could not run). Call from ONE place per cluster (see file header).
+  bool rebalanceOnce(double hotColdRatio = 2.0, std::uint64_t minReadings = 64);
+
   [[nodiscard]] Stats stats() const;
 
  private:
@@ -230,6 +293,54 @@ class ClusterLocationService {
   /// Merges freshly resolved ring members into the shard list + ring state
   /// (constructor and every ring-mode refresh).
   void applyRingMembers(const RingMemberMap& members);
+
+  /// Spatial mode: merges freshly resolved space members into the shard
+  /// list and adopts (or bootstraps and publishes) the territory map from
+  /// the registry's versioned metadata.
+  void applySpaceMembers(const RingMemberMap& members);
+
+  /// Spatial route for one object. `ingestPoint` (ingest path only) homes a
+  /// first-seen object at its evidence-box center's territory owner and
+  /// bumps that leaf's load counter. Mid-migration reads get target=new
+  /// home, fallback=old (the old home still serves until the flip); ingest
+  /// keeps targeting the OLD home, whose handoff session buffers/forwards.
+  [[nodiscard]] Route spatialRouteFor(const std::vector<std::shared_ptr<Shard>>& shards,
+                                      const util::MobileObjectId& object,
+                                      const geo::Point2* ingestPoint, bool ingestPath);
+
+  /// Called after a spatial-mode ingest lands: when the reading's evidence
+  /// center fell outside the object's home territory, migrates the object's
+  /// log to the new owner (the reading itself was applied at the OLD home
+  /// first, preserving per-object order).
+  void maybeMigrateAfterIngest(const util::MobileObjectId& object, const geo::Point2& center);
+
+  /// Migrates `explicitObjects` plus every resident of `rects` from member
+  /// `from` to member `to` over a territory handoff session (begin → adopt
+  /// → export/import → [newMap adopt + subscription spill] → flush → end →
+  /// home flip). When `newMap` is set it is adopted locally before the
+  /// flush and published to the registry after the flip. Returns false when
+  /// any step failed (homes stay put; the loser's session keeps the moved
+  /// readings buffered and a later migration attempt re-covers them).
+  bool migrateObjects(const std::string& from, const std::string& to,
+                      std::vector<util::MobileObjectId> explicitObjects,
+                      const std::vector<geo::Rect>& rects,
+                      const std::optional<TerritoryMap>& newMap);
+
+  /// Registers every cluster subscription whose (slack-inflated) region
+  /// intersects `token`'s territory IN `map` and is not yet on that shard —
+  /// the subscription spill that keeps targeted placement correct as
+  /// territory migrates onto a shard. `map` is the coverage the shard is
+  /// about to have (a balancer move spills against the post-split map
+  /// BEFORE flushing, so replayed buffered readings find their triggers).
+  void spillSubscriptionsOnto(Shard& shard, const std::string& token, const TerritoryMap& map);
+
+  /// Does `token`'s territory in `map` intersect the slack-inflated region?
+  /// (Which shards a region query / subscription must reach.)
+  [[nodiscard]] bool territoryCovers(const TerritoryMap& map, const std::string& token,
+                                     const geo::Rect& region) const;
+  /// Same against the live map (takes spatialMutex_; never call with
+  /// subsMutex_ held — the two must not nest).
+  [[nodiscard]] bool territoryCovers(const std::string& token, const geo::Rect& region) const;
 
   [[nodiscard]] std::shared_ptr<std::vector<std::shared_ptr<Shard>>> shardsSnapshot() const;
   [[nodiscard]] std::shared_ptr<const RingState> ringSnapshot() const;
@@ -282,10 +393,35 @@ class ClusterLocationService {
   util::IdSequencer<util::SubscriptionId> subIds_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ClusterSub>> subs_;
 
+  /// Spatial-mode routing state, all under spatialMutex_ (held only for
+  /// map/table access, never across an RPC).
+  mutable std::mutex spatialMutex_;
+  TerritoryMap territory_;
+  std::unordered_map<std::string, std::size_t> spaceSlotOf_;  ///< token -> shard index
+  /// Object -> home member token. Grown at first sighting (evidence-box
+  /// center's territory owner), flipped only when a migration completes —
+  /// so mid-migration ingest keeps feeding the old home's handoff session.
+  std::unordered_map<util::MobileObjectId, std::string> homeOf_;
+  struct Move {
+    std::string from;
+    std::string to;
+  };
+  /// Objects mid-migration: reads try `to` first and fall back to `from`.
+  std::unordered_map<util::MobileObjectId, Move> moving_;
+  /// Per-leaf cumulative routed-reading counts — the balancer's heat map.
+  std::unordered_map<std::uint32_t, std::uint64_t> leafReadings_;
+  /// Serializes migrations (boundary crossings and balancer moves); held
+  /// across the whole handoff protocol.
+  std::mutex migrationMutex_;
+
   std::atomic<std::uint64_t> scatterGathers_{0};
   std::atomic<std::uint64_t> degradedQueries_{0};
   std::atomic<std::uint64_t> failedRoutedCalls_{0};
   std::atomic<std::uint64_t> droppedIngestReadings_{0};
+  std::atomic<std::uint64_t> targetedRegionQueries_{0};
+  std::atomic<std::uint64_t> regionShardsQueried_{0};
+  std::atomic<std::uint64_t> objectMigrations_{0};
+  std::atomic<std::uint64_t> territorySplits_{0};
 };
 
 }  // namespace mw::cluster

@@ -66,10 +66,28 @@ HandoffSession::HandoffSession(std::string joinerToken, std::vector<RingArc> arc
   mw::util::require(!arcs_.empty(), "HandoffSession: no arcs");
 }
 
+HandoffSession::HandoffSession(std::string joinerToken,
+                               std::vector<util::MobileObjectId> objects,
+                               std::shared_ptr<core::RemoteLocationClient> client)
+    : joinerToken_(std::move(joinerToken)),
+      objects_(std::make_move_iterator(objects.begin()),
+               std::make_move_iterator(objects.end())),
+      client_(std::move(client)) {
+  mw::util::require(client_ != nullptr, "HandoffSession: null client");
+}
+
 bool HandoffSession::covers(const util::MobileObjectId& object) const {
+  std::shared_lock lock(coverMutex_);
+  if (removed_.contains(object)) return false;
+  if (arcs_.empty()) return objects_.contains(object);
   const std::uint64_t key = objectRingKey(object);
   return std::any_of(arcs_.begin(), arcs_.end(),
                      [&](const RingArc& arc) { return arc.contains(key); });
+}
+
+void HandoffSession::removeObjects(std::span<const util::MobileObjectId> objects) {
+  std::unique_lock lock(coverMutex_);
+  for (const auto& object : objects) removed_.insert(object);
 }
 
 std::vector<db::SensorReading> HandoffSession::filter(std::vector<db::SensorReading> batch) {

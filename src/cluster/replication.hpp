@@ -28,8 +28,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/shard_map.hpp"
@@ -88,17 +90,34 @@ class ReplicationLink {
   std::atomic<std::uint64_t> failures_{0};
 };
 
-/// Losing-owner side of one ring-join handoff.
+/// Losing-owner side of one handoff. Coverage comes in two flavors: ring
+/// ARCS (a join's claimed key ranges — any object hashing into them, present
+/// or future) or an explicit OBJECT SET (a territory migration's residents —
+/// exactly the objects whose logs are being exported). Both run the same
+/// buffer-then-forward protocol.
 class HandoffSession {
  public:
-  /// `client` must be connected to the joining shard's service endpoint.
+  /// Arc coverage (ring join). `client` must be connected to the gaining
+  /// shard's service endpoint.
   HandoffSession(std::string joinerToken, std::vector<RingArc> arcs,
+                 std::shared_ptr<core::RemoteLocationClient> client);
+
+  /// Object-set coverage (territory migration). The set may be empty — the
+  /// session then consumes nothing but still anchors the protocol.
+  HandoffSession(std::string joinerToken, std::vector<util::MobileObjectId> objects,
                  std::shared_ptr<core::RemoteLocationClient> client);
 
   [[nodiscard]] const std::string& joinerToken() const noexcept { return joinerToken_; }
   [[nodiscard]] const std::vector<RingArc>& arcs() const noexcept { return arcs_; }
-  /// Does one of the session's arcs own this object's ring key?
+  /// Does this session cover the object (arc containment or set membership,
+  /// minus any removed objects)?
   [[nodiscard]] bool covers(const util::MobileObjectId& object) const;
+
+  /// Excludes objects from this session's coverage from now on — a later
+  /// migration taking an object away from the gaining side must stop this
+  /// session from eating the object's readings. Call only while ingest is
+  /// paused (no filter() in flight).
+  void removeObjects(std::span<const util::MobileObjectId> objects);
 
   /// Tap fragment: removes and consumes the readings this session covers
   /// (buffered before flush(), forwarded after), returns the rest.
@@ -130,6 +149,12 @@ class HandoffSession {
  private:
   const std::string joinerToken_;
   const std::vector<RingArc> arcs_;
+  /// Object-set coverage (empty in arc mode). Guarded by coverMutex_: reads
+  /// are per-reading on the ingest path (shared), removeObjects is rare and
+  /// runs under an ingest pause (exclusive).
+  mutable std::shared_mutex coverMutex_;
+  std::unordered_set<util::MobileObjectId> objects_;
+  std::unordered_set<util::MobileObjectId> removed_;
   const std::shared_ptr<core::RemoteLocationClient> client_;
   /// Guards buffer_ + the buffering->forwarding switch, and serializes
   /// forwards so the joiner sees them in consume order.

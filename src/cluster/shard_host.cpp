@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 #include <utility>
 
+#include "cluster/territory_map.hpp"
 #include "orb/tcp.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -27,14 +29,17 @@ ShardHost::ShardHost(const util::Clock& clock, geo::Rect universe, const std::st
     : core_(std::make_unique<core::Middlewhere>(clock, universe, rootFrame)),
       registry_(registryHost, registryPort),
       options_(std::move(options)),
-      primaryName_(options_.ringToken.empty() ? shardName(options_.index, options_.total)
-                                              : ringMemberName(options_.ringToken)),
+      primaryName_(!options_.spaceToken.empty() ? spaceMemberName(options_.spaceToken)
+                   : options_.ringToken.empty() ? shardName(options_.index, options_.total)
+                                                : ringMemberName(options_.ringToken)),
       name_(options_.role == Role::Backup ? primaryName_ + kBackupSuffix : primaryName_),
       role_(options_.role),
       generation_(options_.generation) {
   mw::util::require(options_.announceTtl.count() == 0 ||
                         options_.heartbeatPeriod < options_.announceTtl,
                     "ShardHost: heartbeatPeriod must undercut announceTtl");
+  mw::util::require(options_.ringToken.empty() || options_.spaceToken.empty(),
+                    "ShardHost: ringToken and spaceToken are mutually exclusive");
   mw::util::require(!options_.deferAnnounce || !options_.ringToken.empty(),
                     "ShardHost: deferAnnounce is for ring joiners");
   mw::util::require(options_.role != Role::Backup || options_.announceTtl.count() > 0,
@@ -106,6 +111,7 @@ void ShardHost::stop() {
     link_.reset();
     linkedBackup_.reset();
     sessions_.clear();
+    territorySessions_.clear();
   }
   shmListener_.reset();
   shmName_.clear();
@@ -160,6 +166,16 @@ void ShardHost::heartbeatLoop() {
     }
     lock.lock();
   }
+}
+
+ShardHost::LoadStats ShardHost::loadStats() const {
+  LoadStats stats;
+  const auto& service = core_->locationService();
+  stats.ingestedReadings = service.ingestedReadings();
+  stats.importedReadings = service.importedReadings();
+  stats.regionQueries = service.regionQueries();
+  stats.residentObjects = core_->database().knownMobileObjects().size();
+  return stats;
 }
 
 std::shared_ptr<ReplicationLink> ShardHost::replicationLink() const {
@@ -382,6 +398,149 @@ void ShardHost::registerHandoffMethods() {
     w.boolean(true);
     return w.take();
   });
+
+  // --- territory migration (spatial partitioning, territory_map.hpp) ----------
+  // Same buffer-then-forward protocol as handoff.*, but coverage is an
+  // explicit OBJECT SET and sessions are keyed by a fresh id, not the peer
+  // token — one shard pair can run many migrations over its lifetime and a
+  // token key would alias them.
+
+  // territory.migrateBegin(gainerToken, gainerEndpoint, objects, rects)
+  //   -> (sessionId, affected objects).
+  // The moving set is the union of the router's explicit list (its homed
+  // residents) and every local resident whose evidence box centers in a
+  // migrated rect (belt and braces for objects the router never homed).
+  // Installed under pauseIngest; existing sessions are pruned of the moving
+  // objects first, so an object migrating BACK to a shard it once left is
+  // not eaten by the stale forwarding session of that earlier migration.
+  server.registerMethod("territory.migrateBegin", [this](const util::Bytes& args) -> util::Bytes {
+    util::ByteReader r(args);
+    std::string gainerToken = r.str();
+    core::Endpoint gainer;
+    gainer.host = r.str();
+    gainer.port = r.u16();
+    gainer.shmName = r.str();
+    std::vector<util::MobileObjectId> affected;
+    const std::uint32_t objectCount = r.u32();
+    affected.reserve(objectCount);
+    for (std::uint32_t i = 0; i < objectCount; ++i) {
+      affected.emplace_back(util::MobileObjectId{r.str()});
+    }
+    std::vector<geo::Rect> rects;
+    const std::uint32_t rectCount = r.u32();
+    rects.reserve(rectCount);
+    for (std::uint32_t i = 0; i < rectCount; ++i) {
+      const double lx = r.f64();
+      const double ly = r.f64();
+      const double hx = r.f64();
+      const double hy = r.f64();
+      rects.push_back(geo::Rect::fromCorners({lx, ly}, {hx, hy}));
+    }
+    auto client = connectPeer(gainer);
+    std::uint64_t sessionId = 0;
+    {
+      auto pause = core_->locationService().pauseIngest();
+      std::unordered_set<util::MobileObjectId> moving(affected.begin(), affected.end());
+      if (!rects.empty()) {
+        for (const auto& object : core_->database().knownMobileObjects()) {
+          if (moving.contains(object)) continue;
+          const auto box = core_->database().evidenceBoxOf(object);
+          if (!box) continue;
+          const geo::Point2 center = box->center();
+          if (std::any_of(rects.begin(), rects.end(),
+                          [&](const geo::Rect& rect) { return rect.contains(center); })) {
+            affected.push_back(object);
+            moving.insert(object);
+          }
+        }
+      }
+      auto session = std::make_shared<HandoffSession>(std::move(gainerToken), affected,
+                                                      std::move(client));
+      std::lock_guard lock(mutex_);
+      for (const auto& existing : sessions_) existing->removeObjects(affected);
+      sessionId = nextTerritorySession_++;
+      territorySessions_[sessionId] = session;
+      sessions_.push_back(std::move(session));
+    }
+    util::ByteWriter w;
+    w.u64(sessionId);
+    w.u32(static_cast<std::uint32_t>(affected.size()));
+    for (const auto& object : affected) w.str(object.str());
+    return w.take();
+  });
+
+  // territory.adopt(objects) -> ok. Gaining-side prune: this shard is about
+  // to become the objects' home again, so any forwarding session a PAST
+  // migration left here must stop consuming their readings (else a reading
+  // routed here would bounce to the old gainer and chase its own tail).
+  server.registerMethod("territory.adopt", [this](const util::Bytes& args) -> util::Bytes {
+    util::ByteReader r(args);
+    std::vector<util::MobileObjectId> objects;
+    const std::uint32_t count = r.u32();
+    objects.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      objects.emplace_back(util::MobileObjectId{r.str()});
+    }
+    {
+      auto pause = core_->locationService().pauseIngest();
+      for (const auto& session : handoffSnapshot()) session->removeObjects(objects);
+    }
+    util::ByteWriter w;
+    w.boolean(true);
+    return w.take();
+  });
+
+  // territory.flush(sessionId) -> ok. Buffer drain + switch to forwarding.
+  server.registerMethod("territory.flush", [this](const util::Bytes& args) -> util::Bytes {
+    util::ByteReader r(args);
+    const std::uint64_t sessionId = r.u64();
+    std::shared_ptr<HandoffSession> session;
+    {
+      std::lock_guard lock(mutex_);
+      if (auto it = territorySessions_.find(sessionId); it != territorySessions_.end()) {
+        session = it->second;
+      }
+    }
+    util::ByteWriter w;
+    w.boolean(session != nullptr && session->flush());
+    return w.take();
+  });
+
+  // territory.end(sessionId) -> ok. Drops the moved objects' local state;
+  // the session keeps forwarding stragglers like handoff.end.
+  server.registerMethod("territory.end", [this](const util::Bytes& args) -> util::Bytes {
+    util::ByteReader r(args);
+    const std::uint64_t sessionId = r.u64();
+    std::shared_ptr<HandoffSession> session;
+    {
+      std::lock_guard lock(mutex_);
+      if (auto it = territorySessions_.find(sessionId); it != territorySessions_.end()) {
+        session = it->second;
+      }
+    }
+    util::ByteWriter w;
+    if (!session || !session->forwarding()) {
+      w.boolean(false);  // unknown session, or end before flush
+      return w.take();
+    }
+    for (const auto& object : core_->database().knownMobileObjects()) {
+      if (session->covers(object)) core_->database().dropMobileObject(object);
+    }
+    w.boolean(true);
+    return w.take();
+  });
+
+  // territory.stats() -> cumulative load counters (see LoadStats) — what the
+  // balancer polls to find hot and cold shards.
+  server.registerMethod("territory.stats", [this](const util::Bytes&) -> util::Bytes {
+    const LoadStats stats = loadStats();
+    util::ByteWriter w;
+    w.u64(stats.ingestedReadings);
+    w.u64(stats.importedReadings);
+    w.u64(stats.regionQueries);
+    w.u64(stats.residentObjects);
+    return w.take();
+  });
 }
 
 // --- handoff: joining side ----------------------------------------------------
@@ -449,10 +608,12 @@ void ShardHost::completeJoin() {
   for (auto& pending : pendingJoin_) {
     // Replay the frozen logs first, then flush: the joiner's store sees each
     // object as export, then buffered FIFO, then live forwards — the same
-    // total order the loser would have applied.
+    // total order the loser would have applied. Imported, not ingested: the
+    // readings already fired their triggers where they were first observed,
+    // so the replay must not fire them again here.
     for (const auto& object : pending.objects) {
       std::vector<db::SensorReading> log = pending.typed->exportReadings(object);
-      if (!log.empty()) service.ingestBatch(log);
+      if (!log.empty()) service.importBatch(log);
     }
     util::ByteWriter flushArgs;
     flushArgs.str(options_.ringToken);
@@ -472,6 +633,98 @@ void ShardHost::completeJoin() {
     }
   }
   pendingJoin_.clear();
+}
+
+void ShardHost::leaveRing() {
+  mw::util::require(running_, "ShardHost::leaveRing: start() first");
+  mw::util::require(!options_.ringToken.empty(), "ShardHost::leaveRing: not a ring member");
+  mw::util::require(announced_.load(std::memory_order_acquire),
+                    "ShardHost::leaveRing: not announced");
+  RingMemberMap members = resolveRingMembers(registry_);
+  HashRing before(members.tokens);
+  std::vector<std::string> afterTokens;
+  for (const auto& token : members.tokens) {
+    if (token != options_.ringToken) afterTokens.push_back(token);
+  }
+  mw::util::require(!afterTokens.empty(),
+                    "ShardHost::leaveRing: last ring member has nobody to inherit its data");
+  HashRing after(afterTokens);
+  // Each of this member's arcs has exactly one inheritor: the arc's interior
+  // holds no other ring point, so once this member's points are gone every
+  // key in it maps to the first surviving point at or past arc.hi.
+  std::map<std::string, std::vector<RingArc>> byGainer;
+  for (const RingArc& arc : before.arcsOf(options_.ringToken)) {
+    byGainer[after.ownerForKey(arc.hi)].push_back(arc);
+  }
+  struct Drain {
+    std::string gainer;
+    std::shared_ptr<core::RemoteLocationClient> typed;
+    std::shared_ptr<HandoffSession> session;
+    std::vector<util::MobileObjectId> objects;
+  };
+  std::vector<Drain> drains;
+  for (auto& [gainer, arcs] : byGainer) {
+    const auto slot = std::lower_bound(members.tokens.begin(), members.tokens.end(), gainer);
+    const std::size_t index = static_cast<std::size_t>(slot - members.tokens.begin());
+    if (slot == members.tokens.end() || *slot != gainer || !members.endpoints[index]) {
+      util::logWarn("ShardHost", name_, ": arc inheritor ", gainer,
+                    " unresolvable; leaving its arcs without handoff");
+      continue;
+    }
+    Drain drain;
+    drain.gainer = gainer;
+    drain.typed = connectPeer(*members.endpoints[index]);
+    drain.session = std::make_shared<HandoffSession>(gainer, std::move(arcs), drain.typed);
+    drains.push_back(std::move(drain));
+  }
+  {
+    // From this pause on, the leaving arcs' readings are consumed by the
+    // sessions (buffered, later forwarded) — the local store is a frozen cut
+    // for the export below.
+    auto pause = core_->locationService().pauseIngest();
+    {
+      std::lock_guard lock(mutex_);
+      for (const auto& drain : drains) sessions_.push_back(drain.session);
+    }
+    for (auto& drain : drains) {
+      for (const auto& object : core_->database().knownMobileObjects()) {
+        if (drain.session->covers(object)) drain.objects.push_back(object);
+      }
+    }
+  }
+  // Leave the ring: stop re-announcing, withdraw the entry. Routers that
+  // refresh now recompute ownership and open their dual-read window; readings
+  // still routed here land in the sessions.
+  announced_.store(false, std::memory_order_release);
+  try {
+    registry_.withdraw(primaryName_);
+  } catch (const util::TransportError&) {
+    // Registry gone; the TTL expires the entry on its own.
+  }
+  std::size_t moved = 0;
+  for (auto& drain : drains) {
+    try {
+      // Imported, not ingested: the readings fired their triggers here when
+      // first observed; the inheritor must store them without re-firing.
+      for (const auto& object : drain.objects) {
+        std::vector<db::SensorReading> log = core_->database().exportObjectLog(object);
+        if (!log.empty()) drain.typed->importBatch(log);
+      }
+    } catch (const util::MwError&) {
+      util::logWarn("ShardHost", name_, ": export to ", drain.gainer,
+                    " failed; its arcs stay buffered for a retry");
+      continue;
+    }
+    if (!drain.session->flush()) {
+      util::logWarn("ShardHost", name_, ": drain flush to ", drain.gainer,
+                    " failed; keeping its buffer");
+      continue;
+    }
+    for (const auto& object : drain.objects) core_->database().dropMobileObject(object);
+    moved += drain.objects.size();
+  }
+  util::logInfo("ShardHost", name_, ": left the ring (", moved, " object(s) drained into ",
+                drains.size(), " inheritor(s)); still forwarding stragglers");
 }
 
 }  // namespace mw::cluster

@@ -40,6 +40,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/replication.hpp"
@@ -72,6 +73,10 @@ class ShardHost {
     /// Consistent-hash-ring member token; when set the shard announces as
     /// "location.ring.<token>" instead of "location.shard.<i>/<N>".
     std::string ringToken;
+    /// Spatial-partitioning member token; when set the shard announces as
+    /// "location.space.<token>" and serves the territory.* handoff methods
+    /// (territory_map.hpp). Mutually exclusive with ringToken.
+    std::string spaceToken;
     /// Primary serves and (when a backup announces) replicates; Backup
     /// keeps the warm standby and promotes on the primary's TTL expiry.
     Role role = Role::Primary;
@@ -116,6 +121,17 @@ class ShardHost {
     return heartbeatFailures_.load(std::memory_order_relaxed);
   }
 
+  /// Cumulative load this shard has carried — what a balancer polls (also
+  /// served over the wire as "territory.stats") to find hot and cold shards.
+  /// Counters are since-start; poll twice and diff for rates.
+  struct LoadStats {
+    std::uint64_t ingestedReadings = 0;  ///< live readings applied
+    std::uint64_t importedReadings = 0;  ///< handoff/replication replays
+    std::uint64_t regionQueries = 0;     ///< region-based pull queries served
+    std::uint64_t residentObjects = 0;   ///< mobile objects with stored readings
+  };
+  [[nodiscard]] LoadStats loadStats() const;
+
   // --- replication observability ---------------------------------------------
 
   /// The live replication link to this primary's backup (null when none).
@@ -152,6 +168,18 @@ class ShardHost {
   /// applies them locally, then flushes each session (buffer drain + switch
   /// to live forwarding) and ends it (the loser drops the moved objects).
   void completeJoin();
+
+  /// Planned drain — the inverse of joinRing(), losers of nothing and one
+  /// exporter: computes who inherits each of this member's arcs once it is
+  /// gone, installs a handoff session per gainer (the tap starts consuming
+  /// those arcs' readings), withdraws the registry entry (routers recompute
+  /// the ring and open their dual-read window; this host keeps serving),
+  /// exports every covered object's log into its gainer (importBatch — no
+  /// re-fired triggers), flushes the sessions into live forwarding and drops
+  /// the moved objects. The host stays up afterwards, forwarding stragglers,
+  /// until stop(). Throws util::ContractError when this member is the whole
+  /// ring (nobody to inherit).
+  void leaveRing();
 
  private:
   void heartbeatLoop();
@@ -206,6 +234,11 @@ class ShardHost {
   /// Open handoff sessions (losing-owner side); under mutex_, the tap
   /// copies the (tiny) vector out per call.
   std::vector<std::shared_ptr<HandoffSession>> sessions_;
+  /// Territory-migration sessions also indexed by their wire id (they live
+  /// in sessions_ too for the tap); under mutex_. Ids are never reused — a
+  /// shard pair can run many migrations and a token key would alias them.
+  std::unordered_map<std::uint64_t, std::shared_ptr<HandoffSession>> territorySessions_;
+  std::uint64_t nextTerritorySession_ = 1;
   /// Set once the shard is announced (immediately, or by joinRing when
   /// deferAnnounce); the heartbeat only re-announces after that.
   std::atomic<bool> announced_{false};

@@ -151,6 +151,19 @@ void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
   pool.run(std::move(jobs));
 }
 
+void LocationService::importBatch(std::span<const db::SensorReading> readings) {
+  if (readings.empty()) return;
+  // Imports share the ingest gate (a pauseIngest() window excludes them like
+  // any ingest) but bypass the tap and the subscription machinery: these
+  // readings were already acked, tapped and trigger-evaluated by the shard
+  // that first ingested them. Replaying them through the tap would let a
+  // handoff session consume its own import; evaluating subscriptions would
+  // duplicate notifications.
+  std::shared_lock gate(ingestGate_);
+  for (const auto& reading : readings) db_.importReading(reading);
+  importedReadings_.fetch_add(readings.size(), std::memory_order_relaxed);
+}
+
 void LocationService::setIngestShards(std::size_t n) {
   require(n >= 1, "LocationService::setIngestShards: shard count must be >= 1");
   std::lock_guard lock(poolMutex_);
@@ -449,11 +462,13 @@ double LocationService::usageProbability(const util::MobileObjectId& person,
 
 double LocationService::probabilityInRegion(const MobileObjectId& object,
                                             const geo::Rect& region) const {
+  regionQueries_.fetch_add(1, std::memory_order_relaxed);
   return engine_.probabilityInRegion(region, *fusedStateFor(object));
 }
 
 std::vector<std::pair<MobileObjectId, double>> LocationService::objectsInRegion(
     const geo::Rect& region, double minProbability) const {
+  regionQueries_.fetch_add(1, std::memory_order_relaxed);
   const RegionKey key{region, minProbability};
   // Catalog FIRST, then discovery and member epochs: a structural change
   // racing the poll bumps the value we store, so the next poll rebuilds —

@@ -89,6 +89,13 @@ class LocationService {
   /// path.
   void ingestBatch(std::span<const db::SensorReading> readings);
 
+  /// Replay path for handoff/replication imports: stores the readings
+  /// (universe conversion, evidence boxes, epochs) but bypasses the ingest
+  /// tap AND the subscription/trigger machinery — an imported reading
+  /// already fired its notifications on the shard that first ingested it.
+  /// Shares the ingest gate, so a pauseIngest() window excludes imports too.
+  void importBatch(std::span<const db::SensorReading> readings);
+
   /// Pre-apply interceptor for every ingest()/ingestBatch() call: the tap
   /// sees the readings BEFORE they touch the database and returns the subset
   /// to apply locally (readings it dropped were consumed — mirrored to a
@@ -150,6 +157,16 @@ class LocationService {
   /// ingestBatch() calls accepted (wire batches land here one call each).
   [[nodiscard]] std::uint64_t ingestedBatches() const noexcept {
     return ingestedBatches_.load(std::memory_order_relaxed);
+  }
+  /// Readings stored through importBatch() (handoff/replication replays;
+  /// not part of ingestedReadings — imports are not new observations).
+  [[nodiscard]] std::uint64_t importedReadings() const noexcept {
+    return importedReadings_.load(std::memory_order_relaxed);
+  }
+  /// Region-based pull queries served (probabilityInRegion + objectsInRegion)
+  /// — the queries/s side of a shard's territory-load report.
+  [[nodiscard]] std::uint64_t regionQueries() const noexcept {
+    return regionQueries_.load(std::memory_order_relaxed);
   }
 
   // --- fusion cache ------------------------------------------------------------
@@ -505,6 +522,8 @@ class LocationService {
 
   std::atomic<std::uint64_t> ingestedReadings_{0};
   std::atomic<std::uint64_t> ingestedBatches_{0};
+  std::atomic<std::uint64_t> importedReadings_{0};
+  mutable std::atomic<std::uint64_t> regionQueries_{0};
 
   /// Ingest tap, published as a snapshot pointer (swap under mutex, readers
   /// pin the shared_ptr) — the same idiom as the reading-store snapshots.

@@ -91,6 +91,15 @@ void exposeLocationService(orb::RpcServer& server, LocationService& service) {
     return {};
   });
 
+  // The replay half of a handoff: stores without firing triggers or passing
+  // the ingest tap (see LocationService::importBatch). Connection lane —
+  // a handoff's import must not overtake its earlier imports.
+  server.registerMethod("importBatch", [&service](const Bytes& args) -> Bytes {
+    std::vector<db::SensorReading> readings = decodeReadingBatch(args);
+    service.importBatch(readings);
+    return {};
+  });
+
   server.registerMethod(
       "locate",
       [&service](const Bytes& args) -> Bytes {
@@ -229,6 +238,13 @@ RemoteLocationClient::RemoteLocationClient(std::shared_ptr<orb::RpcClient> rpc)
   });
 }
 
+RemoteLocationClient::~RemoteLocationClient() {
+  // The rpc client may outlive this stub (shared connection pools), so the
+  // stub must pull its handler out; onEvent blocks until any in-flight
+  // delivery on the reader thread has drained.
+  rpc_->onEvent(nullptr);
+}
+
 void RemoteLocationClient::ingest(const db::SensorReading& reading) {
   ByteWriter w;
   encodeReading(w, reading);
@@ -251,6 +267,11 @@ std::vector<db::SensorReading> RemoteLocationClient::exportReadings(
   ByteWriter w;
   w.str(object.str());
   return decodeReadingBatch(rpc_->call("exportReadings", w.take()));
+}
+
+void RemoteLocationClient::importBatch(std::span<const db::SensorReading> readings) {
+  if (readings.empty()) return;
+  rpc_->call("importBatch", encodeReadingBatch(readings));
 }
 
 void RemoteLocationClient::ingestBatchAsync(std::span<const db::SensorReading> readings) {

@@ -39,7 +39,8 @@
 
 namespace mw::core {
 
-/// Registers the service's methods ("ingest", "ingestBatch", "locate",
+/// Registers the service's methods ("ingest", "ingestBatch", "importBatch",
+/// "locate",
 /// "locateSymbolic", "probabilityInRegion", "probabilityInRegionEx",
 /// "objectsInRegion", "subscribe", "unsubscribe", "ping") on the RPC
 /// server, with the lane routing rules described above.
@@ -52,6 +53,14 @@ void exposeLocationService(orb::RpcServer& server, LocationService& service);
 class RemoteLocationClient {
  public:
   explicit RemoteLocationClient(std::shared_ptr<orb::RpcClient> rpc);
+
+  /// Uninstalls the this-capturing event handler from the (possibly shared)
+  /// RpcClient before the callback table dies; onEvent's quiesce guarantee
+  /// makes this safe against a delivery in flight on the reader thread.
+  ~RemoteLocationClient();
+
+  RemoteLocationClient(const RemoteLocationClient&) = delete;
+  RemoteLocationClient& operator=(const RemoteLocationClient&) = delete;
 
   /// Push a sensor reading to the remote service (adapter path).
   void ingest(const db::SensorReading& reading);
@@ -73,6 +82,11 @@ class RemoteLocationClient {
   /// lane, so it observes every ingest enqueued before it.
   [[nodiscard]] std::vector<db::SensorReading> exportReadings(
       const util::MobileObjectId& object);
+
+  /// The replay half of a handoff: ships readings into the remote service's
+  /// importBatch (stored without firing triggers or passing the ingest tap).
+  /// Blocks until applied.
+  void importBatch(std::span<const db::SensorReading> readings);
 
   [[nodiscard]] std::optional<fusion::LocationEstimate> locate(
       const util::MobileObjectId& object);
@@ -114,6 +128,11 @@ class RemoteLocationClient {
                                  std::optional<util::MobileObjectId> subject, double threshold,
                                  std::function<void(const Notification&)> callback);
   bool unsubscribe(util::SubscriptionId id);
+
+  /// The underlying connection — escape hatch for sideband methods hosts
+  /// register on the same server next to the service (e.g. the cluster's
+  /// handoff.* / territory.* protocols).
+  [[nodiscard]] const std::shared_ptr<orb::RpcClient>& rpc() const noexcept { return rpc_; }
 
  private:
   std::shared_ptr<orb::RpcClient> rpc_;

@@ -87,6 +87,39 @@ RegistryServer::RegistryServer(std::uint16_t port) {
     w.boolean(removed);
     return w.take();
   });
+  rpc_.registerMethod("registry.putMeta", [this](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    std::string name = r.str();
+    const std::uint64_t version = r.u64();
+    Bytes value = r.blob();
+    mw::util::require(!name.empty(), "registry.putMeta: empty name");
+    bool accepted;
+    {
+      std::lock_guard lock(mutex_);
+      auto& slot = meta_[name];
+      accepted = slot.version == 0 || version > slot.version;
+      if (accepted) {
+        slot.value = std::move(value);
+        slot.version = version;
+      }
+    }
+    ByteWriter w;
+    w.boolean(accepted);
+    return w.take();
+  });
+  rpc_.registerMethod("registry.getMeta", [this](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    std::string name = r.str();
+    ByteWriter w;
+    std::lock_guard lock(mutex_);
+    auto it = meta_.find(name);
+    w.boolean(it != meta_.end());
+    if (it != meta_.end()) {
+      w.u64(it->second.version);
+      w.blob(it->second.value);
+    }
+    return w.take();
+  });
   listener_ = std::make_unique<orb::TcpListener>(
       port, [this](std::shared_ptr<orb::Transport> t) { rpc_.serve(std::move(t)); });
 }
@@ -156,6 +189,29 @@ bool RegistryClient::withdraw(const std::string& name) {
   Bytes reply = rpc_->call("registry.withdraw", w.take());
   ByteReader r(reply);
   return r.boolean();
+}
+
+bool RegistryClient::putMeta(const std::string& name, const util::Bytes& value,
+                             std::uint64_t version) {
+  ByteWriter w;
+  w.str(name);
+  w.u64(version);
+  w.blob(value);
+  Bytes reply = rpc_->call("registry.putMeta", w.take());
+  ByteReader r(reply);
+  return r.boolean();
+}
+
+std::optional<RegistryClient::Meta> RegistryClient::getMeta(const std::string& name) {
+  ByteWriter w;
+  w.str(name);
+  Bytes reply = rpc_->call("registry.getMeta", w.take());
+  ByteReader r(reply);
+  if (!r.boolean()) return std::nullopt;
+  Meta meta;
+  meta.version = r.u64();
+  meta.value = r.blob();
+  return meta;
 }
 
 }  // namespace mw::core

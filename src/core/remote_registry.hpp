@@ -34,6 +34,7 @@
 
 #include "orb/rpc.hpp"
 #include "orb/tcp.hpp"
+#include "util/bytes.hpp"
 #include "util/clock.hpp"
 
 namespace mw::core {
@@ -74,6 +75,11 @@ class RegistryServer {
   /// path — that is what "lazy" means here — so the map is mutable.
   void pruneExpiredLocked() const;
 
+  struct MetaEntry {
+    util::Bytes value;
+    std::uint64_t version = 0;
+  };
+
   mutable std::mutex mutex_;
   mutable std::unordered_map<std::string, Entry> entries_;
   /// Per-name generation high-water marks. Deliberately NOT pruned with the
@@ -81,6 +87,10 @@ class RegistryServer {
   /// primary could reclaim a name the moment its promoted successor's
   /// heartbeat lapses.
   std::unordered_map<std::string, std::uint64_t> fences_;
+  /// Versioned metadata blobs (putMeta/getMeta): cluster-wide shared state
+  /// like the spatial territory map. Never expires; last-writer-wins by
+  /// version number, so a slow writer republishing an old map loses.
+  std::unordered_map<std::string, MetaEntry> meta_;
   orb::RpcServer rpc_;
   std::unique_ptr<orb::TcpListener> listener_;
 };
@@ -113,6 +123,20 @@ class RegistryClient {
   [[nodiscard]] std::vector<std::string> list();
   /// Removes an entry; false when absent.
   bool withdraw(const std::string& name);
+
+  /// Versioned metadata blob the registry stores alongside endpoints —
+  /// how the cluster publishes shared state (the spatial territory map)
+  /// without a separate coordination service. The write lands iff `version`
+  /// is strictly greater than the stored one (first write always lands), so
+  /// concurrent publishers race monotonically and a stale republish is a
+  /// no-op. Returns whether the write was accepted.
+  bool putMeta(const std::string& name, const util::Bytes& value, std::uint64_t version);
+  struct Meta {
+    util::Bytes value;
+    std::uint64_t version = 0;
+  };
+  /// Reads a metadata blob; nullopt when never written.
+  [[nodiscard]] std::optional<Meta> getMeta(const std::string& name);
 
  private:
   std::shared_ptr<orb::RpcClient> rpc_;

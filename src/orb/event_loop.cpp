@@ -76,6 +76,7 @@ class EpollConn final : public Transport, public std::enable_shared_from_this<Ep
 
   void send(const util::Bytes& frame) override { sendv(frame, {}); }
   void sendv(util::ByteView header, util::ByteView payload) override;
+  bool trySend(const util::Bytes& frame) override;
 
   void onReceive(Handler handler) override {
     // Replay buffered frames without breaking the per-connection delivery
@@ -144,6 +145,9 @@ class EpollConn final : public Transport, public std::enable_shared_from_this<Ep
   /// Appends to backlog_ and arms EPOLLOUT (sendMutex_ held).
   void spill(const std::uint8_t* data, std::size_t n);
   void armWriteLocked();
+  /// One framed gather-send: socket fast path, spilling leftovers to the
+  /// backlog (sendMutex_ held; caller has settled backpressure).
+  void transmitLocked(util::ByteView header, util::ByteView payload);
 
   EventLoop* const loop_;
   const int fd_;
@@ -352,10 +356,6 @@ class EventLoop {
 };
 
 void EpollConn::sendv(util::ByteView header, util::ByteView payload) {
-  const std::uint32_t len = static_cast<std::uint32_t>(header.size() + payload.size());
-  std::uint8_t prefix[4];
-  for (int i = 0; i < 4; ++i) prefix[i] = static_cast<std::uint8_t>(len >> (8 * i));
-
   std::unique_lock lock(sendMutex_);
   if (!open_.load(std::memory_order_acquire)) throw TransportError("EpollConn: closed");
 
@@ -368,6 +368,26 @@ void EpollConn::sendv(util::ByteView header, util::ByteView payload) {
     });
     if (!open_.load(std::memory_order_acquire)) throw TransportError("EpollConn: closed");
   }
+  transmitLocked(header, payload);
+}
+
+bool EpollConn::trySend(const util::Bytes& frame) {
+  std::lock_guard lock(sendMutex_);
+  if (!open_.load(std::memory_order_acquire)) throw TransportError("EpollConn: closed");
+  // Where sendv would wait on the cv for backlog room, refuse: the caller
+  // (broadcast fan-out) drops this frame rather than stalling on one slow
+  // peer.
+  if (backlog_.size() - backlogPos_ > kMaxSendBacklog && !loop_->onLoopThread()) {
+    return false;
+  }
+  transmitLocked(frame, {});
+  return true;
+}
+
+void EpollConn::transmitLocked(util::ByteView header, util::ByteView payload) {
+  const std::uint32_t len = static_cast<std::uint32_t>(header.size() + payload.size());
+  std::uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i) prefix[i] = static_cast<std::uint8_t>(len >> (8 * i));
 
   counters_->framesOut.fetch_add(1, std::memory_order_relaxed);
   counters_->bytesOut.fetch_add(4 + len, std::memory_order_relaxed);

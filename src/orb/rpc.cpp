@@ -219,7 +219,12 @@ void RpcServer::publish(const std::string& topic, const util::Bytes& payload) {
   }
   for (const auto& t : snapshot) {
     try {
-      t->send(frame);
+      // Non-blocking fan-out: a subscriber whose send backlog is full gets
+      // this event dropped (and counted) instead of stalling delivery to
+      // every subscriber after it in the snapshot.
+      if (!t->trySend(frame)) {
+        droppedEvents_.fetch_add(1, std::memory_order_relaxed);
+      }
     } catch (const TransportError&) {
       // Connection died mid-publish; it will be pruned next round.
     }
@@ -239,6 +244,7 @@ RpcServer::Stats RpcServer::stats() const {
   s.dispatchedRequests = dispatchedRequests_.load(std::memory_order_relaxed);
   s.inlineRequests = inlineRequests_.load(std::memory_order_relaxed);
   s.oversizedFrames = prunedOversized_.load(std::memory_order_relaxed);
+  s.droppedEvents = droppedEvents_.load(std::memory_order_relaxed);
   std::lock_guard lock(mutex_);
   for (const auto& t : connections_) s.oversizedFrames += t->oversizedFrames();
   return s;
@@ -264,12 +270,11 @@ void RpcClient::handleFrame(util::ByteView frame) {
     return;
   }
   if (m.type == MessageType::Event) {
-    EventHandler handler;
-    {
-      std::lock_guard lock(mutex_);
-      handler = eventHandler_;
-    }
-    if (handler) handler(m.target, m.payload);
+    // Invoked while holding eventMutex_ so onEvent() can quiesce: once a
+    // handler swap returns, the previous handler is guaranteed not to be
+    // mid-invocation (callers uninstall this-capturing handlers on teardown).
+    std::lock_guard lock(eventMutex_);
+    if (eventHandler_) eventHandler_(m.target, m.payload);
     return;
   }
   std::lock_guard lock(mutex_);
@@ -338,7 +343,7 @@ void RpcClient::notify(const std::string& method, const util::Bytes& args) {
 }
 
 void RpcClient::onEvent(EventHandler handler) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(eventMutex_);
   eventHandler_ = std::move(handler);
 }
 

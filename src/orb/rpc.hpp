@@ -56,6 +56,8 @@ class RpcServer {
     std::uint64_t inlineRequests = 0;      ///< requests executed on the reader thread
     std::uint64_t oversizedFrames = 0;     ///< frames over the 64 MiB cap; the
                                            ///< transport logged the peer and closed
+    std::uint64_t droppedEvents = 0;       ///< publishes refused by a subscriber's
+                                           ///< full send backlog (trySend said no)
   };
 
   RpcServer() = default;
@@ -119,6 +121,7 @@ class RpcServer {
   /// Oversized-frame counts carried over from pruned connections, so the
   /// Stats total survives the transports that produced it.
   std::atomic<std::uint64_t> prunedOversized_{0};
+  std::atomic<std::uint64_t> droppedEvents_{0};
 };
 
 class RpcClient {
@@ -157,7 +160,11 @@ class RpcClient {
   /// round-trip would dominate (§7 push model).
   void notify(const std::string& method, const util::Bytes& args);
 
-  /// Installs the handler for server-push events.
+  /// Installs the handler for server-push events. The swap synchronizes with
+  /// delivery: once onEvent returns, the previously installed handler is not
+  /// running and will never run again — so a handler that captures `this`
+  /// can be safely uninstalled (onEvent(nullptr)) from its owner's
+  /// destructor. Do not call onEvent from inside a handler; it self-locks.
   void onEvent(EventHandler handler);
 
   [[nodiscard]] bool isOpen() const { return transport_ && transport_->isOpen(); }
@@ -177,6 +184,9 @@ class RpcClient {
   std::condition_variable cv_;
   std::uint64_t nextId_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
+  // Held across event-handler invocation so onEvent() swaps quiesce; kept
+  // separate from mutex_ so a long handler never blocks call()/reply paths.
+  std::mutex eventMutex_;
   EventHandler eventHandler_;
 };
 

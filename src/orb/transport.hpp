@@ -32,6 +32,18 @@ class Transport {
   /// delegates to send().
   virtual void sendv(util::ByteView header, util::ByteView payload);
 
+  /// Non-blocking send for fan-out paths: where send() would WAIT for a
+  /// slow peer (the reactor transport blocks once its backlog cap is hit),
+  /// trySend returns false and drops the frame instead. Broadcast callers
+  /// (RpcServer::publish) use this so one wedged subscriber cannot stall
+  /// delivery to every other one. Transports without backpressure inherit
+  /// the blocking behavior (they never report a drop). Still throws
+  /// util::TransportError when the channel is down.
+  virtual bool trySend(const util::Bytes& frame) {
+    send(frame);
+    return true;
+  }
+
   /// Installs the receive handler. Frames arriving before a handler is set
   /// are buffered and delivered on installation.
   virtual void onReceive(Handler handler) = 0;

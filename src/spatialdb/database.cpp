@@ -262,6 +262,14 @@ std::vector<SpatialDatabase::SensorHealth> SpatialDatabase::sensorHealth(
 }
 
 void SpatialDatabase::insertReading(SensorReading reading) {
+  insertReadingImpl(std::move(reading), /*fireTriggersAfter=*/true);
+}
+
+void SpatialDatabase::importReading(SensorReading reading) {
+  insertReadingImpl(std::move(reading), /*fireTriggersAfter=*/false);
+}
+
+void SpatialDatabase::insertReadingImpl(SensorReading reading, bool fireTriggersAfter) {
   require(!reading.mobileObjectId.empty(), "SpatialDatabase::insertReading: empty mobile object");
 
   // Convert into the universe frame (§4.1.2 step 1: common format). The
@@ -284,7 +292,9 @@ void SpatialDatabase::insertReading(SensorReading reading) {
 
   // Triggers fire outside every lock so their callbacks may reenter the
   // database (and so concurrent shards never serialize on user code).
-  fireTriggers(reading);
+  // Imports (handoff/replication replays of readings that already fired
+  // wherever they were first ingested) skip this.
+  if (fireTriggersAfter) fireTriggers(reading);
 }
 
 std::vector<SpatialDatabase::StoredReading> SpatialDatabase::readingsFor(
@@ -301,6 +311,10 @@ std::uint64_t SpatialDatabase::catalogEpoch() const { return store_->catalogEpoc
 std::vector<util::MobileObjectId> SpatialDatabase::mobileObjectsIntersecting(
     const geo::Rect& universeRect) const {
   return store_->objectsIntersecting(universeRect);
+}
+
+std::optional<geo::Rect> SpatialDatabase::evidenceBoxOf(const util::MobileObjectId& id) const {
+  return store_->evidenceBoxOf(id);
 }
 
 std::vector<util::MobileObjectId> SpatialDatabase::knownMobileObjects() const {

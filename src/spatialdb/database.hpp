@@ -158,6 +158,13 @@ class SpatialDatabase {
   /// contend and catalog writers never stall ingest.
   void insertReading(SensorReading reading);
 
+  /// insertReading minus the trigger pass: the replay path for handoff and
+  /// replication imports. An imported reading already fired its triggers on
+  /// the shard that first ingested it — firing again here would duplicate
+  /// notifications the moment a shard with live subscriptions receives a
+  /// migrated object's log.
+  void importReading(SensorReading reading);
+
   /// Fresh (non-expired) readings about one mobile object, one per sensor,
   /// already converted into the universe frame, plus their derived motion
   /// flags (used by conflict-resolution rule 1, §4.1.2).
@@ -194,6 +201,10 @@ class SpatialDatabase {
   /// region.
   [[nodiscard]] std::vector<util::MobileObjectId> mobileObjectsIntersecting(
       const geo::Rect& universeRect) const;
+
+  /// One object's published evidence box (see mobileObjectsIntersecting);
+  /// nullopt when the object has no stored readings.
+  [[nodiscard]] std::optional<geo::Rect> evidenceBoxOf(const util::MobileObjectId& id) const;
 
   /// Recent readings about one mobile object across all sensors, oldest
   /// first, restricted to `window` before now. The history ring is capped at
@@ -248,6 +259,7 @@ class SpatialDatabase {
  private:
   [[nodiscard]] static std::string objectKey(const std::string& prefix,
                                              const util::SpatialObjectId& id);
+  void insertReadingImpl(SensorReading reading, bool fireTriggersAfter);
   void fireTriggers(const SensorReading& universeReading);
   [[nodiscard]] bool rowContains(const SpatialObjectRow& row, geo::Point2 universePoint) const;
   [[nodiscard]] std::optional<SpatialObjectRow> objectLocked(

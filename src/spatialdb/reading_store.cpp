@@ -324,6 +324,14 @@ std::vector<util::MobileObjectId> ReadingStore::objectsIntersecting(
   return out;
 }
 
+std::optional<geo::Rect> ReadingStore::evidenceBoxOf(const util::MobileObjectId& id) const {
+  const ObjectLog* log = findLog(id);
+  if (log == nullptr) return std::nullopt;
+  SnapshotPtr snap = loadSnap(*log);
+  if (snap->box.empty()) return std::nullopt;
+  return snap->box;
+}
+
 std::vector<SensorReading> ReadingStore::history(const util::MobileObjectId& id,
                                                  util::Duration window) const {
   const util::TimePoint cutoff = clock_.now() - window;

@@ -123,6 +123,12 @@ class ReadingStore {
   [[nodiscard]] std::vector<util::MobileObjectId> objectsIntersecting(
       const geo::Rect& universeRect) const;
 
+  /// One object's published evidence box (union of its stored reading
+  /// rects); nullopt when the object has no stored readings. The same
+  /// conservative box objectsIntersecting scans — what a spatial router
+  /// needs to find the territory owner of an object's evidence.
+  [[nodiscard]] std::optional<geo::Rect> evidenceBoxOf(const util::MobileObjectId& id) const;
+
   /// Recent readings within `window` before now, oldest first (the history
   /// ring is guarded by the object's writer mutex; history queries are off
   /// the hot path and may briefly wait behind an in-flight append).

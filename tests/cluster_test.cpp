@@ -900,6 +900,142 @@ TEST_F(ClusterTest, RingJoinMovesOnlyItsArcsUnderLiveIngest) {
   }
 }
 
+TEST_F(ClusterTest, RingPlannedLeaveDrainsUnderLiveIngest) {
+  registry_ = std::make_unique<core::RegistryServer>();
+  for (const char* token : {"alpha", "beta"}) {
+    ShardHost::Options opts;
+    opts.ringToken = token;
+    opts.announceTtl = util::sec(5);
+    opts.heartbeatPeriod = util::msec(100);
+    hosts_.push_back(startHost(opts));
+  }
+  ShardHost::Options gammaOpts;
+  gammaOpts.ringToken = "gamma";
+  gammaOpts.announceTtl = util::sec(5);
+  gammaOpts.heartbeatPeriod = util::msec(100);
+  auto gamma = startHost(gammaOpts);
+  ClusterLocationService::Options routerOpts;
+  routerOpts.retry = fastRetry();
+  routerOpts.partitioning = ClusterLocationService::Partitioning::Ring;
+  router_ = std::make_unique<ClusterLocationService>("127.0.0.1", registry_->port(), routerOpts);
+  EXPECT_EQ(router_->shardCount(), 3u);
+  oracle_ = std::make_unique<core::Middlewhere>(clock_, universe(), "SC");
+  configureWorld(*oracle_);
+  oracleClient_ = oracle_->connectLocal();
+
+  // A static population spread over all three members.
+  std::vector<std::string> statics;
+  for (int i = 0; i < 24; ++i) statics.push_back("ring-" + std::to_string(i));
+  for (std::size_t i = 0; i < statics.size(); ++i) {
+    const double x = 1.0 + static_cast<double>(i % 8) * 2.0;
+    const double y = 2.0 + static_cast<double>(i / 8) * 5.0;
+    ingestBoth(makeReading(clock_, {x, y}, statics[i]));
+    clock_.advance(util::msec(20));
+    ingestBoth(makeReading(clock_, {x + 0.5, y}, statics[i]));
+  }
+
+  // Live traffic across the whole drain (frozen timestamps, request-reply
+  // ingest — see the join test for the exactness argument).
+  constexpr int kLiveObjects = 6;
+  const auto frozenNow = clock_.now();
+  std::atomic<bool> stopFeeder{false};
+  std::atomic<int> fed{0};
+  std::thread feeder([&] {
+    for (int i = 0; !stopFeeder.load(std::memory_order_acquire); ++i) {
+      db::SensorReading r;
+      r.sensorId = SensorId{"ubi-1"};
+      r.sensorType = "Ubisense";
+      r.mobileObjectId = MobileObjectId{"live-" + std::to_string(i % kLiveObjects)};
+      r.location = {2.0 + i % 16, 3.0 + i % 5};
+      r.detectionRadius = 0.5;
+      r.detectionTime = frozenNow;
+      router_->ingest(r);
+      oracleClient_->ingest(r);
+      fed.fetch_add(1, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int i = 0; i < 5000 && fed.load(std::memory_order_acquire) < 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fed.load(std::memory_order_acquire), 20);
+
+  // The planned departure: gamma installs a handoff session per inheriting
+  // member, withdraws (routers recompute the ring) and drains its objects
+  // across — all while the feeder keeps hammering it.
+  gamma->leaveRing();
+  EXPECT_TRUE(gamma->running()) << "the leaver keeps serving stragglers after the drain";
+
+  router_->refreshShardMap();
+  EXPECT_TRUE(router_->dualReadWindowOpen()) << "a departure must open the window";
+  // Shard slots are stable (the leaver keeps its slot and endpoint for
+  // prev-ring routing while the window is open); membership is what shrank.
+  EXPECT_EQ(router_->shardCount(), 3u);
+
+  // Mid-window exactness: moved-arc ingest still routes to gamma (which
+  // forwards), reads route new-owner-first. The drain already ran, so the
+  // inheritors answer directly.
+  for (const auto& name : statics) {
+    MobileObjectId object{name};
+    auto fromCluster = router_->locate(object);
+    auto fromOracle = oracleClient_->locate(object);
+    ASSERT_TRUE(fromCluster.has_value()) << name;
+    ASSERT_TRUE(fromOracle.has_value()) << name;
+    EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle)) << name << " (mid-window)";
+  }
+
+  router_->refreshShardMap();
+  EXPECT_FALSE(router_->dualReadWindowOpen()) << "an unchanged refresh closes the window";
+
+  // Keep feeding with the window closed (moved arcs now route straight to
+  // the inheritors), then stop.
+  const int beforeClose = fed.load(std::memory_order_acquire);
+  for (int i = 0; i < 5000 && fed.load(std::memory_order_acquire) < beforeClose + 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stopFeeder.store(true, std::memory_order_release);
+  feeder.join();
+
+  std::vector<std::string> all = statics;
+  for (int k = 0; k < kLiveObjects; ++k) all.push_back("live-" + std::to_string(k));
+  for (const auto& name : all) {
+    MobileObjectId object{name};
+    auto fromCluster = router_->locate(object);
+    auto fromOracle = oracleClient_->locate(object);
+    ASSERT_TRUE(fromCluster.has_value()) << name;
+    ASSERT_TRUE(fromOracle.has_value()) << name;
+    EXPECT_EQ(estimateBytes(*fromCluster), estimateBytes(*fromOracle))
+        << name << ": post-leave locate must be byte-identical to the oracle";
+    EXPECT_EQ(router_->locateSymbolic(object), oracleClient_->locateSymbolic(object)) << name;
+  }
+  EXPECT_EQ(router_->stats().failedRoutedCalls, 0u);
+  EXPECT_EQ(router_->stats().droppedIngestReadings, 0u);
+
+  // Movement is exact and bounded: gamma dropped precisely its former
+  // objects, and each one landed on the member whose arc inherits it.
+  const HashRing before({"alpha", "beta", "gamma"});
+  const HashRing after({"alpha", "beta"});
+  std::set<std::string> moved;
+  for (const auto& name : all) {
+    if (before.ownerForObject(MobileObjectId{name}) == "gamma") moved.insert(name);
+  }
+  EXPECT_FALSE(moved.empty()) << "the leaver should have owned some of " << all.size();
+  for (const auto& id : gamma->core().database().knownMobileObjects()) {
+    EXPECT_FALSE(moved.count(id.str())) << id.str() << " should have been dropped by the leaver";
+  }
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    const std::string token = h == 0 ? "alpha" : "beta";
+    std::set<std::string> resident;
+    for (const auto& id : hosts_[h]->core().database().knownMobileObjects()) {
+      resident.insert(id.str());
+    }
+    for (const auto& name : moved) {
+      EXPECT_EQ(resident.count(name) > 0, after.ownerForObject(MobileObjectId{name}) == token)
+          << name << " vs " << token;
+    }
+  }
+}
+
 // --- concurrency (runs under TSan in CI) ----------------------------------------
 
 TEST_F(ClusterTest, ClusterConcurrencyMixedOpsThroughOneRouter) {

@@ -184,6 +184,33 @@ TEST(RemoteRegistryFenceTest, FenceSurvivesExpiryAndWithdraw) {
   EXPECT_TRUE(client.announce("svc", {"127.0.0.1", 3000}, util::Duration::zero(), 5));
 }
 
+TEST(RemoteRegistryMetaTest, VersionedMetadataIsLastWriterWinsByVersion) {
+  RegistryServer server;
+  RegistryClient client("127.0.0.1", server.port());
+
+  EXPECT_EQ(client.getMeta("territory"), std::nullopt) << "never written";
+
+  EXPECT_TRUE(client.putMeta("territory", {1, 2, 3}, 1));
+  auto meta = client.getMeta("territory");
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->value, (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(meta->version, 1u);
+
+  // A newer version replaces; an older or equal one is a rejected no-op —
+  // the fence that makes concurrent balancer publishes converge.
+  EXPECT_TRUE(client.putMeta("territory", {9}, 3));
+  EXPECT_FALSE(client.putMeta("territory", {4, 4}, 2)) << "stale republish loses";
+  EXPECT_FALSE(client.putMeta("territory", {5}, 3)) << "equal version loses";
+  meta = client.getMeta("territory");
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->value, util::Bytes{9});
+  EXPECT_EQ(meta->version, 3u);
+
+  // Names are independent.
+  EXPECT_TRUE(client.putMeta("other", {7}, 1));
+  EXPECT_EQ(client.getMeta("territory")->version, 3u);
+}
+
 TEST(RemoteRegistryFenceTest, UnfencedLegacyAnnouncesStillReplace) {
   RegistryServer server;
   RegistryClient client("127.0.0.1", server.port());

@@ -241,6 +241,59 @@ TEST(EventLoopTest, SpillBeforeRegistrationStillFlushes) {
   }
 }
 
+TEST(EventLoopTest, SlowSubscriberDoesNotStallPublishFanOut) {
+  // Broker fan-out runs on the reactor's non-blocking path: a subscriber
+  // that stops reading fills its send backlog and gets events DROPPED
+  // (counted in stats) instead of wedging publish() — which would starve
+  // every subscriber after it in the snapshot.
+  auto group = std::make_shared<EventLoopGroup>(1);
+  RpcServer server;
+  TcpListener listener(
+      0, [&](std::shared_ptr<Transport> t) { server.serve(std::move(t)); },
+      {.backlog = 16, .group = group});
+
+  // A healthy subscriber counting events, and a wedged one: a raw socket
+  // that connects and then never reads a byte.
+  std::atomic<std::uint64_t> healthyGot{0};
+  RpcClient healthy(tcpConnect("127.0.0.1", listener.port(), group));
+  healthy.onEvent([&](const std::string&, const Bytes&) {
+    healthyGot.fetch_add(1, std::memory_order_relaxed);
+  });
+  const int wedged = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(wedged, 0);
+  {
+    const int rcvbuf = 4096;
+    ::setsockopt(wedged, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(listener.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(wedged, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ASSERT_TRUE(eventually([&] { return server.connectionCount() == 2; }));
+
+  // 1 MiB events: the wedged connection's socket buffer fills, then its
+  // 8 MiB backlog cap, then trySend starts refusing. The loop must finish
+  // promptly — each publish is at worst one memcpy into the backlog — and
+  // the healthy subscriber must keep receiving throughout.
+  const Bytes payload(1024 * 1024, 0x5A);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 64 && server.stats().droppedEvents == 0; ++i) {
+    server.publish("firehose", payload);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GT(server.stats().droppedEvents, 0u) << "backlog cap never refused a publish";
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 20)
+      << "publish fan-out stalled on the wedged subscriber";
+
+  // Delivery to the healthy subscriber survives the wedged peer: a fresh
+  // event still arrives after the drops started.
+  const std::uint64_t before = healthyGot.load(std::memory_order_relaxed);
+  server.publish("after", {1});
+  EXPECT_TRUE(eventually([&] { return healthyGot.load(std::memory_order_relaxed) > before; }));
+  ::close(wedged);
+}
+
 TEST(TransportConcurrencyTest, InProcCloseSynchronizesWithInFlightDelivery) {
   // Regression: close() promises the handler is not invoked again after it
   // returns, but the in-proc pair used to invoke a copied handler after
