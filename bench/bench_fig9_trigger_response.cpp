@@ -54,7 +54,7 @@ int main() {
   std::printf("%-18s %-8s %s\n", "triggers", "update", "response_us");
 
   util::SystemClock clock;
-  const std::vector<int> triggerCounts{1, 10, 100, 1000};
+  const std::vector<int> triggerCounts{1, 10, 100, 1000, 10000};
   constexpr int kUpdates = 10;
 
   std::vector<std::vector<double>> series;

@@ -1,0 +1,160 @@
+// Standing-rule scaling: per-update cost vs installed rule count.
+//
+// Figure 9's claim — trigger response independent of the number of
+// programmed triggers — is reproduced end-to-end by
+// bench_fig9_trigger_response up to 10^4 rules. This bench pushes the rule
+// axis to 10^6 and isolates the two layers that make the claim hold at that
+// scale:
+//
+//   * NetworkMatch: the Rete-style TriggerNetwork alone — match() cost for
+//     one update against N installed productions, of which a constant 64
+//     are affected. O(affected) means the curve stays flat as N grows
+//     10^3 -> 10^6.
+//   * ServiceIngest: the full LocationService ingest path (store, fuse,
+//     discriminate, evaluate, notify) with N standing subscriptions, 8 of
+//     them watching the reporting object's room.
+//   * NetworkChurn: rule install+remove cost at size N — the control-plane
+//     operation subscriptions/triggers pay, which must also not degrade
+//     with the table size.
+//
+// Every benchmark reports the rule count as a counter so the JSON artifact
+// (BENCH_triggers.json) carries the axis.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/location_service.hpp"
+#include "cq/trigger_network.hpp"
+#include "quality/error_model.hpp"
+#include "spatialdb/database.hpp"
+#include "util/clock.hpp"
+
+using namespace mw;
+
+namespace {
+
+/// Distinct tiny rect #i on a dense grid clear of the hot region.
+geo::Rect coldRect(int i) {
+  const double x = 30.0 + (i % 1000) * 0.07;
+  const double y = 30.0 + (i / 1000) * 0.02;
+  return geo::Rect::fromOrigin({x, y}, 0.01, 0.01);
+}
+
+void BM_NetworkMatch(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  constexpr int kHot = 64;  // affected set: constant regardless of N
+  cq::TriggerNetwork net;
+  const geo::Rect hotRegion = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  cq::ProductionId next = 1;
+  for (int i = 0; i < kHot; ++i) net.installProduction(next++, hotRegion, std::nullopt);
+  for (int i = kHot; i < rules; ++i) {
+    net.installProduction(next++, coldRect(i), std::nullopt);
+  }
+
+  const geo::Rect readingBox = geo::Rect::fromOrigin({4.5, 4.5}, 1, 1);
+  std::vector<cq::ProductionId> matched;
+  for (auto _ : state) {
+    net.match(readingBox, "alice", matched);
+    benchmark::DoNotOptimize(matched.data());
+    if (matched.size() != kHot) state.SkipWithError("wrong match set");
+  }
+  state.counters["rules"] = rules;
+  state.counters["alpha_nodes"] = static_cast<double>(net.alphaNodeCount());
+  state.counters["matched"] = kHot;
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NetworkChurn(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  cq::TriggerNetwork net;
+  cq::ProductionId next = 1;
+  for (int i = 0; i < rules; ++i) net.installProduction(next++, coldRect(i), std::nullopt);
+
+  // A fresh rect each round so install exercises the R-tree path, not just
+  // the shared-alpha fast path.
+  const geo::Rect churnRegion = geo::Rect::fromOrigin({5, 5}, 3, 3);
+  for (auto _ : state) {
+    const cq::ProductionId id = next++;
+    net.installProduction(id, churnRegion, std::nullopt);
+    benchmark::DoNotOptimize(net.productionCount());
+    net.removeProduction(id);
+  }
+  state.counters["rules"] = rules;
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ServiceIngest(benchmark::State& state) {
+  const int rules = static_cast<int>(state.range(0));
+  constexpr int kHot = 8;
+
+  util::VirtualClock clock;
+  db::SpatialDatabase db(clock, geo::Rect::fromOrigin({0, 0}, 100, 50), "SC");
+  db::SensorMeta ubi;
+  ubi.sensorId = util::SensorId{"ubi-1"};
+  ubi.sensorType = "Ubisense";
+  ubi.errorSpec = quality::ubisenseSpec(1.0);
+  ubi.scaleMisidentifyByArea = true;
+  ubi.quality.ttl = util::sec(30);
+  db.registerSensor(ubi);
+  core::LocationService service(clock, db);
+
+  std::uint64_t fired = 0;
+  const geo::Rect room = geo::Rect::fromOrigin({0, 0}, 20, 20);
+  for (int i = 0; i < kHot; ++i) {
+    core::Subscription sub;
+    sub.region = room;
+    sub.threshold = 0.3;
+    sub.callback = [&fired](const core::Notification&) { ++fired; };
+    (void)service.subscribe(std::move(sub));
+  }
+  for (int i = kHot; i < rules; ++i) {
+    core::Subscription sub;
+    sub.region = coldRect(i);
+    sub.threshold = 0.99;
+    sub.callback = [](const core::Notification&) {};
+    (void)service.subscribe(std::move(sub));
+  }
+
+  int tick = 0;
+  for (auto _ : state) {
+    db::SensorReading r;
+    r.sensorId = util::SensorId{"ubi-1"};
+    r.sensorType = "Ubisense";
+    r.mobileObjectId = util::MobileObjectId{"alice"};
+    r.location = {5.0 + 0.01 * (tick % 100), 5.0};
+    r.detectionRadius = 0.5;
+    r.detectionTime = clock.now();
+    service.ingest(r);
+    // Virtual time moves 1s per update, so the 30s TTL keeps the evidence
+    // set (and the fusion cost) at a steady state instead of accreting.
+    clock.advance(util::sec(1));
+    ++tick;
+  }
+  if (fired == 0) state.SkipWithError("hot subscriptions never fired");
+  state.counters["rules"] = rules;
+  state.counters["alpha_nodes"] = static_cast<double>(service.standingRuleStats().alphaNodes);
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_NetworkMatch)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NetworkChurn)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ServiceIngest)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);

@@ -5,6 +5,7 @@
 #   BENCH_region_poll.json    — region population cache repolling
 #   BENCH_orb.json            — concurrent ORB serving path + wire batches
 #   BENCH_cluster.json        — sharded cluster routed + scatter-gather paths
+#   BENCH_triggers.json       — standing-rule scaling (rule axis 10^3..10^6)
 #
 # Usage: scripts/bench_json.sh [build-dir] [out-dir]
 # Or via CMake: cmake --build build --target bench_json
@@ -29,3 +30,4 @@ run "$BUILD_DIR/bench/bench_ingest_parallel" "$OUT_DIR/BENCH_ingest.json"
 run "$BUILD_DIR/bench/bench_region_poll" "$OUT_DIR/BENCH_region_poll.json"
 run "$BUILD_DIR/bench/bench_orb_concurrent" "$OUT_DIR/BENCH_orb.json"
 run "$BUILD_DIR/bench/bench_cluster" "$OUT_DIR/BENCH_cluster.json"
+run "$BUILD_DIR/bench/bench_triggers_scale" "$OUT_DIR/BENCH_triggers.json"

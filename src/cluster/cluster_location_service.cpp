@@ -715,6 +715,57 @@ bool ClusterLocationService::rebalanceOnce(double hotColdRatio, std::uint64_t mi
   return true;
 }
 
+void ClusterLocationService::startBalancer(std::chrono::milliseconds period, double hotColdRatio,
+                                           std::uint64_t minReadings) {
+  mw::util::require(options_.partitioning == Partitioning::Spatial,
+                    "ClusterLocationService::startBalancer: spatial mode only");
+  mw::util::require(period.count() > 0, "ClusterLocationService::startBalancer: period must be > 0");
+  std::lock_guard lock(balancerMutex_);
+  balancerRatio_ = hotColdRatio;
+  balancerMinReadings_ = minReadings;
+  balancerPeriod_ = period;
+  if (balancerThread_.joinable()) return;  // running: parameters updated in place
+  balancerStop_ = false;
+  balancerThread_ = std::thread([this] {
+    std::unique_lock lock(balancerMutex_);
+    while (!balancerStop_) {
+      const auto period = balancerPeriod_;
+      if (balancerCv_.wait_for(lock, period, [this] { return balancerStop_; })) break;
+      const double ratio = balancerRatio_;
+      const std::uint64_t minReadings = balancerMinReadings_;
+      // The pass runs outside balancerMutex_ so stopBalancer() (and
+      // parameter updates) never wait behind a live migration.
+      lock.unlock();
+      try {
+        rebalanceOnce(ratio, minReadings);
+      } catch (const std::exception& e) {
+        util::logWarn("ClusterLocationService", "balancer pass failed: ", e.what());
+      }
+      balancerPasses_.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+  });
+}
+
+void ClusterLocationService::stopBalancer() {
+  std::thread worker;
+  {
+    std::lock_guard lock(balancerMutex_);
+    if (!balancerThread_.joinable()) return;
+    balancerStop_ = true;
+    worker = std::move(balancerThread_);
+  }
+  balancerCv_.notify_all();
+  worker.join();
+}
+
+bool ClusterLocationService::balancerRunning() const {
+  std::lock_guard lock(balancerMutex_);
+  return balancerThread_.joinable();
+}
+
+ClusterLocationService::~ClusterLocationService() { stopBalancer(); }
+
 std::shared_ptr<core::RemoteLocationClient> ClusterLocationService::clientFor(Shard& shard) {
   std::shared_ptr<core::RemoteLocationClient> fresh;
   {

@@ -62,6 +62,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -69,6 +71,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -242,6 +245,25 @@ class ClusterLocationService {
   /// Returns false when the cluster is balanced enough (or the migration
   /// could not run). Call from ONE place per cluster (see file header).
   bool rebalanceOnce(double hotColdRatio = 2.0, std::uint64_t minReadings = 64);
+
+  /// Spatial mode: starts the balancer daemon — a background thread invoking
+  /// rebalanceOnce(hotColdRatio, minReadings) every `period` — so deployments
+  /// do not have to drive the balancer by hand. Idempotent while running
+  /// (the new parameters take effect on the next pass). Run it on ONE router
+  /// per cluster, like manual rebalanceOnce calls.
+  void startBalancer(std::chrono::milliseconds period, double hotColdRatio = 2.0,
+                     std::uint64_t minReadings = 64);
+  /// Stops the daemon and joins its thread; a pass already in flight
+  /// completes first. No-op when not running. Also called by the destructor.
+  void stopBalancer();
+  [[nodiscard]] bool balancerRunning() const;
+  /// Daemon passes completed so far (whether or not they split anything —
+  /// splits show in stats().territorySplits).
+  [[nodiscard]] std::uint64_t balancerPasses() const noexcept {
+    return balancerPasses_.load(std::memory_order_relaxed);
+  }
+
+  ~ClusterLocationService();
 
   [[nodiscard]] Stats stats() const;
 
@@ -422,6 +444,17 @@ class ClusterLocationService {
   std::atomic<std::uint64_t> regionShardsQueried_{0};
   std::atomic<std::uint64_t> objectMigrations_{0};
   std::atomic<std::uint64_t> territorySplits_{0};
+
+  /// Balancer daemon state: the thread sleeps on balancerCv_ so stop wakes
+  /// it immediately instead of waiting out the period.
+  mutable std::mutex balancerMutex_;
+  std::condition_variable balancerCv_;
+  std::thread balancerThread_;
+  bool balancerStop_ = false;
+  double balancerRatio_ = 2.0;
+  std::uint64_t balancerMinReadings_ = 64;
+  std::chrono::milliseconds balancerPeriod_{0};
+  std::atomic<std::uint64_t> balancerPasses_{0};
 };
 
 }  // namespace mw::cluster

@@ -165,6 +165,51 @@ TerritoryMap TerritoryMap::splitLeaf(std::uint32_t id, const std::string& newOwn
   throw mw::util::ContractError("TerritoryMap::splitLeaf: no leaf " + std::to_string(id));
 }
 
+namespace {
+
+/// True when a ∪ b is an exact rectangle: the rects share one full edge
+/// bit-for-bit (the only adjacency kd splits produce, and the only one whose
+/// merge loses no territory and gains none).
+bool tilesRectangle(const geo::Rect& a, const geo::Rect& b) {
+  const bool sameY = a.lo().y == b.lo().y && a.hi().y == b.hi().y;
+  const bool sameX = a.lo().x == b.lo().x && a.hi().x == b.hi().x;
+  if (sameY && (a.hi().x == b.lo().x || b.hi().x == a.lo().x)) return true;
+  if (sameX && (a.hi().y == b.lo().y || b.hi().y == a.lo().y)) return true;
+  return false;
+}
+
+}  // namespace
+
+TerritoryMap TerritoryMap::mergeLeaves(std::uint32_t keepId, std::uint32_t dropId) const {
+  mw::util::require(keepId != dropId, "TerritoryMap::mergeLeaves: a leaf cannot merge with itself");
+  const TerritoryLeaf* keep = leafById(keepId);
+  const TerritoryLeaf* drop = leafById(dropId);
+  mw::util::require(keep != nullptr, "TerritoryMap::mergeLeaves: no leaf " + std::to_string(keepId));
+  mw::util::require(drop != nullptr, "TerritoryMap::mergeLeaves: no leaf " + std::to_string(dropId));
+  mw::util::require(tilesRectangle(keep->rect, drop->rect),
+                    "TerritoryMap::mergeLeaves: leaves do not tile a rectangle");
+  TerritoryMap next = *this;
+  next.version_ = version_ + 1;
+  const geo::Rect merged = keep->rect.unionWith(drop->rect);
+  std::erase_if(next.leaves_, [dropId](const TerritoryLeaf& l) { return l.id == dropId; });
+  for (auto& leaf : next.leaves_) {
+    if (leaf.id == keepId) leaf.rect = merged;
+  }
+  return next;
+}
+
+std::optional<std::uint32_t> TerritoryMap::mergeableSibling(std::uint32_t id) const {
+  const TerritoryLeaf* leaf = leafById(id);
+  if (leaf == nullptr) return std::nullopt;
+  std::optional<std::uint32_t> fallback;
+  for (const auto& other : leaves_) {
+    if (other.id == id || !tilesRectangle(leaf->rect, other.rect)) continue;
+    if (other.owner == leaf->owner) return other.id;  // same-owner merge: no data moves
+    if (!fallback) fallback = other.id;
+  }
+  return fallback;
+}
+
 TerritoryMap TerritoryMap::reassignLeaf(std::uint32_t id, const std::string& newOwner) const {
   mw::util::require(!newOwner.empty(), "TerritoryMap::reassignLeaf: empty owner");
   TerritoryMap next = *this;

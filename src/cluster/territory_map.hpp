@@ -91,6 +91,20 @@ class TerritoryMap {
   /// A new map (version + 1) with leaf `id` handed to `newOwner`.
   [[nodiscard]] TerritoryMap reassignLeaf(std::uint32_t id, const std::string& newOwner) const;
 
+  /// The inverse of splitLeaf — re-coarsening after load subsides, so splits
+  /// do not accumulate forever. The two leaves must tile an exact rectangle
+  /// (they share one full edge — the shape every kd split produces); the
+  /// merged leaf keeps `keepId`'s id and owner and `dropId` disappears.
+  /// Version + 1. Throws util::ContractError on unknown ids or when the
+  /// union is not a rectangle.
+  [[nodiscard]] TerritoryMap mergeLeaves(std::uint32_t keepId, std::uint32_t dropId) const;
+
+  /// A leaf whose rect forms an exact rectangle with `id`'s (a mergeLeaves
+  /// candidate), preferring one with the same owner; nullopt when no
+  /// neighbour tiles cleanly. The balancer uses this to pick re-coarsening
+  /// pairs without re-deriving kd-tree structure.
+  [[nodiscard]] std::optional<std::uint32_t> mergeableSibling(std::uint32_t id) const;
+
   /// Wire format for the registry's versioned metadata.
   [[nodiscard]] util::Bytes encode() const;
   [[nodiscard]] static TerritoryMap decode(const util::Bytes& bytes);

@@ -50,38 +50,18 @@ std::shared_ptr<const LocationService::IngestTap> LocationService::currentTap() 
   return tap_;
 }
 
-std::vector<SubscriptionId> LocationService::takePendingEvaluations(
-    const MobileObjectId& object) {
-  std::vector<SubscriptionId> out;
-  std::lock_guard lock(pendingMutex_);
-  auto firstMine = std::stable_partition(
-      pendingEvaluations_.begin(), pendingEvaluations_.end(),
-      [&](const auto& entry) { return entry.second != object; });
-  for (auto it = firstMine; it != pendingEvaluations_.end(); ++it) out.push_back(it->first);
-  pendingEvaluations_.erase(firstMine, pendingEvaluations_.end());
-  return out;
-}
-
 void LocationService::ingestOne(const db::SensorReading& reading) {
-  db_.insertReading(reading);
-  const MobileObjectId& object = reading.mobileObjectId;
-  // The database-level trigger (registered in subscribe()) fires during
-  // insertReading and marks the subscriptions to evaluate; we evaluate after
-  // the reading is stored so fusion sees it. Only this object's entries are
-  // taken: under batch ingest other shards' triggers interleave in the queue.
-  std::vector<SubscriptionId> toEvaluate = takePendingEvaluations(object);
+  const db::SensorReading stored = db_.insertReading(reading);
+  const MobileObjectId& object = stored.mobileObjectId;
+  // The continuous-query network discriminates the update to the AFFECTED
+  // subscriptions: alpha hits (region ∩ reading box, subject matches) plus
+  // every rule currently tracking this object as inside (exit candidates —
+  // a reading that no longer intersects a region must still drive that
+  // region's falling edge). Cost is O(matched), never O(subscriptions).
+  std::vector<cq::ProductionId> toEvaluate;
   {
-    // Edge-triggered subscriptions must also observe EXITS: a reading that no
-    // longer intersects the region never fires the DB trigger, so every
-    // subscription currently tracking this object as inside is re-evaluated.
     std::lock_guard lock(subsMutex_);
-    for (const auto& [subId, state] : subs_) {
-      auto insideIt = state.inside.find(object);
-      if (insideIt == state.inside.end() || !insideIt->second) continue;
-      if (std::find(toEvaluate.begin(), toEvaluate.end(), subId) == toEvaluate.end()) {
-        toEvaluate.push_back(subId);
-      }
-    }
+    subNet_.match(stored.rect(), object.str(), toEvaluate);
   }
   if (toEvaluate.empty()) return;
 
@@ -91,8 +71,10 @@ void LocationService::ingestOne(const db::SensorReading& reading) {
   std::vector<PendingNotification> notifications;
   {
     std::lock_guard lock(subsMutex_);
-    for (SubscriptionId subId : toEvaluate) {
-      evaluateSubscriptionLocked(subId, object, *fused, notifications);
+    // match() returns sorted ids, so evaluation (and notification) order is
+    // deterministic for a given reading.
+    for (cq::ProductionId subId : toEvaluate) {
+      evaluateSubscriptionLocked(SubscriptionId{subId}, object, *fused, notifications);
     }
   }
   // Callbacks run with no locks held, so they may (un)subscribe or query.
@@ -344,8 +326,14 @@ void LocationService::ensureRegionsIndexed() const {
 }
 
 void LocationService::reindexRegions() {
-  std::unique_lock lock(regionsMutex_);
-  regionsIndexed_ = false;
+  {
+    std::unique_lock lock(regionsMutex_);
+    regionsIndexed_ = false;
+  }
+  // The reachability closure was derived from the old region set; drop it so
+  // the next query rebuilds (and then resumes incremental maintenance).
+  std::lock_guard lock(reachabilityMutex_);
+  reachability_.reset();
 }
 
 const RegionLattice& LocationService::regionLattice() const {
@@ -578,47 +566,38 @@ std::vector<LocationService::TrajectoryPoint> LocationService::trajectory(
 SubscriptionId LocationService::subscribe(Subscription subscription) {
   require(static_cast<bool>(subscription.callback), "LocationService::subscribe: null callback");
   require(!subscription.region.empty(), "LocationService::subscribe: empty region");
-  SubscriptionId id;
-  {
-    std::lock_guard lock(subsMutex_);
-    id = subIds_.next();
-  }
-
-  // Geometric prefilter at the database layer (§5.3): the DB trigger fires
-  // whenever a reading's rect touches the region; the probabilistic
-  // condition is then evaluated against the fused estimate (§4.3). The
-  // trigger callback runs outside the DB lock, so only pendingMutex_ is
-  // taken here — never a lock that could cycle with the DB's.
-  db::TriggerSpec trigger;
-  trigger.region = subscription.region;
-  trigger.subject = subscription.subject;
-  trigger.callback = [this, id](const db::TriggerEvent& event) {
-    std::lock_guard lock(pendingMutex_);
-    pendingEvaluations_.emplace_back(id, event.reading.mobileObjectId);
-  };
-  util::TriggerId triggerId = db_.createTrigger(std::move(trigger));
-
+  // Geometric prefilter (§5.3) as a standing rule in the continuous-query
+  // network: the alpha layer shares one node per distinct region rect, so
+  // ten thousand subscriptions on the same room cost one R-tree entry; the
+  // probabilistic condition is evaluated against the fused estimate (§4.3)
+  // only for the rules an update actually affects.
+  std::optional<std::string> subject;
+  if (subscription.subject) subject = subscription.subject->str();
   std::lock_guard lock(subsMutex_);
-  subs_.emplace(id, SubState{std::move(subscription), triggerId, {}});
+  const SubscriptionId id = subIds_.next();
+  subNet_.installProduction(id.value(), subscription.region, subject);
+  subs_.emplace(id, SubState{std::move(subscription)});
   return id;
 }
 
 bool LocationService::unsubscribe(SubscriptionId id) {
-  util::TriggerId trigger;
-  {
-    std::lock_guard lock(subsMutex_);
-    auto it = subs_.find(id);
-    if (it == subs_.end()) return false;
-    trigger = it->second.trigger;
-    subs_.erase(it);
-  }
-  db_.dropTrigger(trigger);
+  std::lock_guard lock(subsMutex_);
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return false;
+  subNet_.removeProduction(id.value());
+  subs_.erase(it);
   return true;
 }
 
 std::size_t LocationService::subscriptionCount() const {
   std::lock_guard lock(subsMutex_);
   return subs_.size();
+}
+
+LocationService::StandingRuleStats LocationService::standingRuleStats() const {
+  std::lock_guard lock(subsMutex_);
+  return StandingRuleStats{subNet_.productionCount(), subNet_.alphaNodeCount(),
+                           subNet_.insideCount()};
 }
 
 void LocationService::evaluateSubscriptionLocked(SubscriptionId id, const MobileObjectId& object,
@@ -640,9 +619,12 @@ void LocationService::evaluateSubscriptionLocked(SubscriptionId id, const Mobile
   bool qualifies = probability >= state.spec.threshold;
   if (state.spec.minClass && cls < *state.spec.minClass) qualifies = false;
 
-  bool& wasInside = state.inside[object];
-  bool notify = qualifies && (!state.spec.onlyOnEntry || !wasInside);
-  wasInside = qualifies;
+  // Edge memory lives in the network's beta layer: inside pairs are also
+  // reverse-indexed by object, which is what lets the next update for this
+  // object find its exit candidates without scanning the table.
+  const bool wasInside = subNet_.isInside(id.value(), object.str());
+  const bool notify = qualifies && (!state.spec.onlyOnEntry || !wasInside);
+  if (qualifies != wasInside) subNet_.setInside(id.value(), object.str(), qualifies);
   if (!notify) return;
 
   Notification n;
@@ -699,23 +681,33 @@ reasoning::EcKind LocationService::passageRelation(const std::string& globA,
                                namedRegionRect(regions_, globB), doorPassages());
 }
 
+reasoning::Datalog& LocationService::reachabilityEngineLocked() const {
+  if (!reachability_) {
+    // Assert EC-refinement facts over the named regions and install the
+    // reachability rules — the paper's XSB Prolog layer, now a PERSISTENT
+    // engine: the first query saturates the closure, later ones are hash
+    // lookups, and fact/rule changes are maintained incrementally
+    // (semi-naive inserts, DRed retractions) instead of from scratch.
+    std::vector<reasoning::NamedRegion> named;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      const auto& node = regions_.node(i);
+      named.push_back({node.glob, node.rect});
+    }
+    reachability_ = std::make_unique<reasoning::Datalog>();
+    reasoning::assertSpatialFacts(*reachability_, named, doorPassages());
+    reasoning::installReachabilityRules(*reachability_);
+  }
+  return *reachability_;
+}
+
 bool LocationService::regionsReachable(const std::string& globA, const std::string& globB,
                                        bool allowRestricted) const {
   ensureRegionsIndexed();
-  // Assert EC-refinement facts over the leaf regions and saturate the
-  // reachability rules — the paper's XSB Prolog layer.
-  std::vector<reasoning::NamedRegion> named;
-  for (std::size_t i = 0; i < regions_.size(); ++i) {
-    const auto& node = regions_.node(i);
-    named.push_back({node.glob, node.rect});
-  }
-  reasoning::Datalog datalog;
-  reasoning::assertSpatialFacts(datalog, named, doorPassages());
-  reasoning::installReachabilityRules(datalog);
-  const char* predicate = allowRestricted ? "accessible" : "reachable";
   if (globA == globB) return true;
-  return datalog.holds({predicate,
-                        {reasoning::Term::atom(globA), reasoning::Term::atom(globB)}});
+  const char* predicate = allowRestricted ? "accessible" : "reachable";
+  std::lock_guard lock(reachabilityMutex_);
+  return reachabilityEngineLocked().holds(
+      {predicate, {reasoning::Term::atom(globA), reasoning::Term::atom(globB)}});
 }
 
 // --- movement-pattern priors --------------------------------------------------------

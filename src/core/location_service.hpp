@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/region_lattice.hpp"
+#include "cq/trigger_network.hpp"
 #include "fusion/engine.hpp"
 #include "glob/glob.hpp"
 #include "reasoning/connectivity.hpp"
@@ -267,6 +268,17 @@ class LocationService {
   bool unsubscribe(util::SubscriptionId id);
   [[nodiscard]] std::size_t subscriptionCount() const;
 
+  /// Continuous-query network shape: standing rules installed, distinct
+  /// alpha (region) nodes they share, and (rule, object) pairs currently
+  /// tracked as inside. productions/alphaNodes is the sharing factor; the
+  /// per-update evaluation cost tracks the match set, not `productions`.
+  struct StandingRuleStats {
+    std::size_t productions = 0;
+    std::size_t alphaNodes = 0;
+    std::size_t insidePairs = 0;
+  };
+  [[nodiscard]] StandingRuleStats standingRuleStats() const;
+
   // --- movement-pattern priors (§4.1.2 / §11 future work) ---------------------------
 
   /// Installs a learned spatial prior used by every probability computation;
@@ -406,11 +418,11 @@ class LocationService {
       const util::MobileObjectId& object) const;
 
  private:
+  /// Subscription specs live here; their region/subject patterns and
+  /// inside/outside edge state live in the continuous-query network
+  /// (subNet_), which discriminates updates to the affected rules.
   struct SubState {
     Subscription spec;
-    util::TriggerId trigger;
-    /// Last known inside/outside per object (edge-triggered subscriptions).
-    std::unordered_map<util::MobileObjectId, bool> inside;
   };
 
   // --- region population cache internals ---------------------------------------
@@ -454,14 +466,14 @@ class LocationService {
   /// Stores one reading and evaluates the subscriptions it touched — the
   /// unit of work shared by sequential ingest and every batch shard.
   void ingestOne(const db::SensorReading& reading);
-  /// Removes and returns the queued trigger evaluations for one object.
-  [[nodiscard]] std::vector<util::SubscriptionId> takePendingEvaluations(
-      const util::MobileObjectId& object);
   /// Evaluates one subscription against a fused state (subsMutex_ held);
   /// appends the callback to `out` instead of invoking it.
   void evaluateSubscriptionLocked(util::SubscriptionId id, const util::MobileObjectId& object,
                                   const fusion::FusedState& fused,
                                   std::vector<PendingNotification>& out);
+  /// The persistent reachability engine, (re)built lazily from the lattice
+  /// and door passages; reachabilityMutex_ held.
+  [[nodiscard]] reasoning::Datalog& reachabilityEngineLocked() const;
   [[nodiscard]] util::Duration cacheToleranceNow() const noexcept {
     return util::Duration{cacheTolerance_.load(std::memory_order_relaxed)};
   }
@@ -500,18 +512,23 @@ class LocationService {
   mutable std::atomic<std::uint64_t> regionCacheRevalidations_{0};
   std::size_t regionCacheCapacity_ = 256;
 
-  // Subscription table; guards subs_ (incl. per-subscription `inside` maps).
+  // Subscription table; subsMutex_ guards subs_ AND the continuous-query
+  // network (patterns + inside/outside edge memory).
   mutable std::mutex subsMutex_;
   util::IdSequencer<util::SubscriptionId> subIds_;
   std::unordered_map<util::SubscriptionId, SubState> subs_;
+  /// Rete-style discrimination network: match(reading box, object) returns
+  /// the affected subscriptions — alpha hits plus exit candidates — so an
+  /// ingest never scans the subscription table.
+  cq::TriggerNetwork subNet_;
 
   std::unordered_map<util::MobileObjectId, std::size_t> privacy_;
 
-  /// Subscriptions whose DB trigger fired during an in-flight ingest; they
-  /// are evaluated after the reading is stored so fusion sees it. Guarded by
-  /// pendingMutex_ (trigger callbacks run concurrently under batch ingest).
-  std::mutex pendingMutex_;
-  std::vector<std::pair<util::SubscriptionId, util::MobileObjectId>> pendingEvaluations_;
+  /// Persistent incremental Datalog for regionsReachable: built once from
+  /// the lattice + doors, saturated incrementally, dropped when the region
+  /// index is invalidated (reindexRegions).
+  mutable std::mutex reachabilityMutex_;
+  mutable std::unique_ptr<reasoning::Datalog> reachability_;
 
   // Sharded ingest worker pool, created lazily at the configured width and
   // keyed on shards_ alone (setIngestShards drops it; batch size never does).

@@ -1,7 +1,6 @@
 #include "reasoning/datalog.hpp"
 
 #include <algorithm>
-#include <sstream>
 
 #include "util/error.hpp"
 
@@ -49,6 +48,13 @@ std::string Datalog::key(const std::vector<std::string>& args) {
   return out;
 }
 
+std::string Datalog::keyOf(const Atom& fact) {
+  std::vector<std::string> args;
+  args.reserve(fact.args.size());
+  for (const Term& t : fact.args) args.push_back(t.text);
+  return key(args);
+}
+
 std::vector<std::string> Datalog::unkey(const std::string& k) {
   std::vector<std::string> out;
   std::string cur;
@@ -64,11 +70,19 @@ std::vector<std::string> Datalog::unkey(const std::string& k) {
   return out;
 }
 
-bool Datalog::FactStore::insert(const Atom& fact) {
-  std::vector<std::string> args;
-  args.reserve(fact.args.size());
-  for (const Term& t : fact.args) args.push_back(t.text);
-  return byPredicate[fact.predicate].insert(key(args)).second;
+bool Datalog::FactStore::insert(const std::string& predicate, const std::string& k) {
+  return byPredicate[predicate].insert(k).second;
+}
+
+bool Datalog::FactStore::contains(const std::string& predicate, const std::string& k) const {
+  auto it = byPredicate.find(predicate);
+  return it != byPredicate.end() && it->second.contains(k);
+}
+
+bool Datalog::FactStore::erase(const std::string& predicate, const std::string& k) {
+  auto it = byPredicate.find(predicate);
+  if (it == byPredicate.end()) return false;
+  return it->second.erase(k) > 0;
 }
 
 std::size_t Datalog::FactStore::size() const {
@@ -77,25 +91,88 @@ std::size_t Datalog::FactStore::size() const {
   return n;
 }
 
-void Datalog::addFact(const Atom& fact) {
+// --- mutation entry points -----------------------------------------------------
+
+bool Datalog::addFact(const Atom& fact) {
   require(fact.ground(), "Datalog::addFact: fact must be ground");
   require(!fact.predicate.empty(), "Datalog::addFact: empty predicate");
-  if (facts_.insert(fact)) saturated_ = false;
+  const std::string k = keyOf(fact);
+  if (!base_.insert(fact.predicate, k)) return false;
+  if (!needsRebuild_) {
+    pendingOps_.push_back(PendingOp{false, fact.predicate, k});
+    saturated_ = false;
+  }
+  return true;
 }
 
-void Datalog::addFact(const std::string& predicate, const std::vector<std::string>& args) {
+bool Datalog::addFact(const std::string& predicate, const std::vector<std::string>& args) {
   Atom a{predicate, {}};
   a.args.reserve(args.size());
   for (const auto& s : args) a.args.push_back(Term::atom(s));
-  addFact(a);
+  return addFact(a);
 }
 
-void Datalog::addRule(Rule rule) {
+bool Datalog::retractFact(const Atom& fact) {
+  require(fact.ground(), "Datalog::retractFact: fact must be ground");
+  const std::string k = keyOf(fact);
+  if (!base_.erase(fact.predicate, k)) return false;
+  if (!needsRebuild_) {
+    pendingOps_.push_back(PendingOp{true, fact.predicate, k});
+    saturated_ = false;
+  }
+  return true;
+}
+
+bool Datalog::retractFact(const std::string& predicate, const std::vector<std::string>& args) {
+  Atom a{predicate, {}};
+  a.args.reserve(args.size());
+  for (const auto& s : args) a.args.push_back(Term::atom(s));
+  return retractFact(a);
+}
+
+RuleId Datalog::addRule(Rule rule) {
   require(rule.rangeRestricted(), "Datalog::addRule: head variable not bound in body");
   require(!rule.body.empty(), "Datalog::addRule: rules need a non-empty body (use addFact)");
+  const std::size_t slot = rules_.size();
+  for (std::size_t pos = 0; pos < rule.body.size(); ++pos) {
+    deltaIndex_[rule.body[pos].predicate].emplace_back(slot, pos);
+  }
   rules_.push_back(std::move(rule));
-  saturated_ = false;
+  ++liveRules_;
+  if (!needsRebuild_) {
+    pendingNewRules_.push_back(slot);
+    saturated_ = false;
+  }
+  return static_cast<RuleId>(slot);
 }
+
+bool Datalog::removeRule(RuleId id) {
+  const auto slot = static_cast<std::size_t>(id);
+  if (slot >= rules_.size() || !rules_[slot]) return false;
+  rules_[slot].reset();
+  --liveRules_;
+  rebuildDeltaIndex();
+  // Derivations that flowed through the removed rule are not tracked per
+  // rule; re-derive the closure from base at the next saturation.
+  needsRebuild_ = true;
+  saturated_ = false;
+  pendingOps_.clear();
+  pendingNewRules_.clear();
+  return true;
+}
+
+void Datalog::rebuildDeltaIndex() {
+  deltaIndex_.clear();
+  for (std::size_t slot = 0; slot < rules_.size(); ++slot) {
+    if (!rules_[slot]) continue;
+    const Rule& rule = *rules_[slot];
+    for (std::size_t pos = 0; pos < rule.body.size(); ++pos) {
+      deltaIndex_[rule.body[pos].predicate].emplace_back(slot, pos);
+    }
+  }
+}
+
+// --- joins ----------------------------------------------------------------------
 
 std::optional<Bindings> Datalog::match(const Atom& pattern, const std::vector<std::string>& tuple,
                                        const Bindings& bindings) {
@@ -117,55 +194,235 @@ std::optional<Bindings> Datalog::match(const Atom& pattern, const std::vector<st
   return out;
 }
 
-void Datalog::applyRules() {
-  // Naive-to-fixpoint evaluation: iterate all rules until no new facts.
-  // Rule bodies are joined left to right by backtracking over bindings.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const Rule& rule : rules_) {
-      std::vector<Bindings> frontier{Bindings{}};
-      for (const Atom& literal : rule.body) {
-        std::vector<Bindings> next;
-        auto predIt = facts_.byPredicate.find(literal.predicate);
-        if (predIt == facts_.byPredicate.end()) {
-          next.clear();
-          frontier.clear();
-          break;
+std::pair<std::string, std::string> Datalog::instantiate(const Atom& atom, const Bindings& b) {
+  std::vector<std::string> args;
+  args.reserve(atom.args.size());
+  for (const Term& t : atom.args) {
+    args.push_back(t.isVar ? b.at(t.text) : t.text);
+  }
+  return {atom.predicate, key(args)};
+}
+
+void Datalog::joinWithPinned(const Rule& rule, std::size_t pos, const Tuple& tuple,
+                             const FactStore& store,
+                             std::vector<std::pair<std::string, std::string>>& out) {
+  auto seed = match(rule.body[pos], tuple, Bindings{});
+  if (!seed) return;
+  std::vector<Bindings> frontier{std::move(*seed)};
+  for (std::size_t i = 0; i < rule.body.size() && !frontier.empty(); ++i) {
+    if (i == pos) continue;
+    const Atom& literal = rule.body[i];
+    auto predIt = store.byPredicate.find(literal.predicate);
+    if (predIt == store.byPredicate.end()) return;
+    std::vector<Bindings> next;
+    for (const Bindings& b : frontier) {
+      for (const std::string& tupleKey : predIt->second) {
+        ++stats_.joinProbes;
+        if (auto extended = match(literal, unkey(tupleKey), b)) {
+          next.push_back(std::move(*extended));
         }
-        for (const Bindings& b : frontier) {
-          for (const std::string& tupleKey : predIt->second) {
-            if (auto extended = match(literal, unkey(tupleKey), b)) {
-              next.push_back(std::move(*extended));
-            }
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (const Bindings& b : frontier) out.push_back(instantiate(rule.head, b));
+}
+
+void Datalog::evaluateRule(const Rule& rule, const FactStore& store,
+                           std::vector<std::pair<std::string, std::string>>& out) {
+  std::vector<Bindings> frontier{Bindings{}};
+  for (const Atom& literal : rule.body) {
+    auto predIt = store.byPredicate.find(literal.predicate);
+    if (predIt == store.byPredicate.end()) return;
+    std::vector<Bindings> next;
+    for (const Bindings& b : frontier) {
+      for (const std::string& tupleKey : predIt->second) {
+        ++stats_.joinProbes;
+        if (auto extended = match(literal, unkey(tupleKey), b)) {
+          next.push_back(std::move(*extended));
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return;
+  }
+  for (const Bindings& b : frontier) out.push_back(instantiate(rule.head, b));
+}
+
+bool Datalog::derivable(const std::string& predicate, const std::string& keyStr) {
+  const Tuple tuple = unkey(keyStr);
+  for (const auto& maybeRule : rules_) {
+    if (!maybeRule || maybeRule->head.predicate != predicate) continue;
+    const Rule& rule = *maybeRule;
+    // Unify the head with the target fact to pre-bind body variables.
+    auto seed = match(rule.head, tuple, Bindings{});
+    if (!seed) continue;
+    std::vector<Bindings> frontier{std::move(*seed)};
+    bool dead = false;
+    for (const Atom& literal : rule.body) {
+      auto predIt = all_.byPredicate.find(literal.predicate);
+      if (predIt == all_.byPredicate.end()) {
+        dead = true;
+        break;
+      }
+      std::vector<Bindings> next;
+      for (const Bindings& b : frontier) {
+        for (const std::string& tupleKey : predIt->second) {
+          ++stats_.joinProbes;
+          if (auto extended = match(literal, unkey(tupleKey), b)) {
+            next.push_back(std::move(*extended));
           }
         }
-        frontier = std::move(next);
-        if (frontier.empty()) break;
       }
-      for (const Bindings& b : frontier) {
-        Atom derived{rule.head.predicate, {}};
-        derived.args.reserve(rule.head.args.size());
-        for (const Term& t : rule.head.args) {
-          derived.args.push_back(Term::atom(t.isVar ? b.at(t.text) : t.text));
-        }
-        if (facts_.insert(derived)) changed = true;
+      frontier = std::move(next);
+      if (frontier.empty()) {
+        dead = true;
+        break;
+      }
+    }
+    if (!dead) return true;
+  }
+  return false;
+}
+
+// --- incremental maintenance ----------------------------------------------------
+
+void Datalog::propagateInserts(std::deque<std::pair<std::string, std::string>> work) {
+  // Semi-naive: each popped fact is new to all_; joining it against every
+  // rule body position that mentions its predicate (other literals over the
+  // full store) enumerates exactly the derivations that involve it.
+  std::vector<std::pair<std::string, std::string>> derived;
+  while (!work.empty()) {
+    auto [predicate, factKey] = std::move(work.front());
+    work.pop_front();
+    auto idxIt = deltaIndex_.find(predicate);
+    if (idxIt == deltaIndex_.end()) continue;
+    const Tuple tuple = unkey(factKey);
+    derived.clear();
+    for (const auto& [slot, pos] : idxIt->second) {
+      if (!rules_[slot]) continue;
+      joinWithPinned(*rules_[slot], pos, tuple, all_, derived);
+    }
+    for (auto& [headPred, headKey] : derived) {
+      if (all_.insert(headPred, headKey)) {
+        ++stats_.deltaInsertions;
+        work.emplace_back(std::move(headPred), std::move(headKey));
       }
     }
   }
 }
 
+void Datalog::deleteAndRederive(const std::string& predicate, const std::string& keyStr) {
+  if (!all_.contains(predicate, keyStr)) return;
+
+  // Phase 1 — over-delete: everything whose derivation may pass through the
+  // retracted fact. Enumeration joins run over the PRE-deletion store (all_
+  // is left intact until the worklist drains) — erasing eagerly would hide
+  // a consequence both of whose premises are already in the deleted set.
+  FactStore deletedSet;
+  std::vector<std::pair<std::string, std::string>> deleted;
+  std::deque<std::pair<std::string, std::string>> work;
+  deletedSet.insert(predicate, keyStr);
+  deleted.emplace_back(predicate, keyStr);
+  work.emplace_back(predicate, keyStr);
+  std::vector<std::pair<std::string, std::string>> consequences;
+  while (!work.empty()) {
+    auto [pred, factKey] = std::move(work.front());
+    work.pop_front();
+    auto idxIt = deltaIndex_.find(pred);
+    if (idxIt == deltaIndex_.end()) continue;
+    const Tuple tuple = unkey(factKey);
+    consequences.clear();
+    for (const auto& [slot, pos] : idxIt->second) {
+      if (!rules_[slot]) continue;
+      joinWithPinned(*rules_[slot], pos, tuple, all_, consequences);
+    }
+    for (auto& [headPred, headKey] : consequences) {
+      if (!all_.contains(headPred, headKey)) continue;
+      if (deletedSet.insert(headPred, headKey)) {
+        ++stats_.deltaDeletions;
+        deleted.emplace_back(headPred, headKey);
+        work.emplace_back(headPred, headKey);
+      }
+    }
+  }
+  for (const auto& [pred, factKey] : deleted) all_.erase(pred, factKey);
+
+  // Phase 2 — re-derive: a deleted fact survives when it is a base fact or
+  // still has a derivation from the surviving store. Survivors propagate
+  // like fresh inserts (which can resurrect other deleted facts downstream).
+  std::deque<std::pair<std::string, std::string>> resurrect;
+  for (auto& [pred, factKey] : deleted) {
+    if (all_.contains(pred, factKey)) continue;  // already resurrected
+    if (base_.contains(pred, factKey) || derivable(pred, factKey)) {
+      all_.insert(pred, factKey);
+      ++stats_.rederivations;
+      resurrect.emplace_back(pred, factKey);
+    }
+  }
+  if (!resurrect.empty()) propagateInserts(std::move(resurrect));
+}
+
+void Datalog::rebuildFromBase() {
+  ++stats_.fullRecomputes;
+  all_ = base_;
+  std::deque<std::pair<std::string, std::string>> work;
+  for (const auto& [pred, set] : base_.byPredicate) {
+    for (const auto& k : set) work.emplace_back(pred, k);
+  }
+  propagateInserts(std::move(work));
+}
+
 void Datalog::saturate() {
-  if (saturated_) return;
-  applyRules();
+  if (saturated_ && !needsRebuild_) return;
+  if (needsRebuild_) {
+    pendingOps_.clear();
+    pendingNewRules_.clear();
+    rebuildFromBase();
+    needsRebuild_ = false;
+    saturated_ = true;
+    return;
+  }
+  // Replay the queue in call order: an add/retract/add sequence on one fact
+  // must land exactly where a sequential application would.
+  while (!pendingOps_.empty()) {
+    PendingOp op = std::move(pendingOps_.front());
+    pendingOps_.pop_front();
+    if (op.retract) {
+      deleteAndRederive(op.predicate, op.key);
+    } else if (!all_.contains(op.predicate, op.key)) {
+      all_.insert(op.predicate, op.key);
+      std::deque<std::pair<std::string, std::string>> work;
+      work.emplace_back(std::move(op.predicate), std::move(op.key));
+      propagateInserts(std::move(work));
+    }
+  }
+  // Newly installed rules: evaluate once over the saturated store and
+  // propagate their consequences.
+  for (std::size_t slot : pendingNewRules_) {
+    if (!rules_[slot]) continue;
+    std::vector<std::pair<std::string, std::string>> derived;
+    evaluateRule(*rules_[slot], all_, derived);
+    std::deque<std::pair<std::string, std::string>> work;
+    for (auto& [pred, k] : derived) {
+      if (all_.insert(pred, k)) {
+        ++stats_.deltaInsertions;
+        work.emplace_back(std::move(pred), std::move(k));
+      }
+    }
+    if (!work.empty()) propagateInserts(std::move(work));
+  }
+  pendingNewRules_.clear();
   saturated_ = true;
 }
+
+// --- queries --------------------------------------------------------------------
 
 std::vector<Bindings> Datalog::query(const Atom& pattern) {
   saturate();
   std::vector<Bindings> out;
-  auto predIt = facts_.byPredicate.find(pattern.predicate);
-  if (predIt == facts_.byPredicate.end()) return out;
+  auto predIt = all_.byPredicate.find(pattern.predicate);
+  if (predIt == all_.byPredicate.end()) return out;
   for (const std::string& tupleKey : predIt->second) {
     if (auto b = match(pattern, unkey(tupleKey), Bindings{})) out.push_back(std::move(*b));
   }
@@ -176,7 +433,9 @@ bool Datalog::holds(const Atom& pattern) { return !query(pattern).empty(); }
 
 std::size_t Datalog::factCount() {
   saturate();
-  return facts_.size();
+  return all_.size();
 }
+
+std::size_t Datalog::baseFactCount() const { return base_.size(); }
 
 }  // namespace mw::reasoning

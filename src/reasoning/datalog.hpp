@@ -1,15 +1,33 @@
-// A small forward-chaining Datalog engine — the XSB Prolog substitute.
+// A small incremental forward-chaining Datalog engine — the XSB Prolog
+// substitute, grown into the continuous-query evaluator.
 //
 // §4.6.1: "The Location Service reasons further about these relations using
 // XSB Prolog." The rules MiddleWhere needs are positive Horn clauses over
 // ground spatial facts (ecfp/ecrp/rcc8 relations), for which bottom-up
 // semi-naive evaluation to a fixed point is sound and complete.
 //
+// Maintenance is incremental in both directions:
+//   * insert: semi-naive delta propagation — a new fact joins only the rule
+//     bodies that mention its predicate, so saturation after an insert costs
+//     O(affected derivations), never a recompute of the closure;
+//   * retract: DRed (delete-and-re-derive) — over-delete everything whose
+//     derivation could depend on the retracted fact, then re-derive the
+//     members of the deleted set that still have an independent derivation.
+//     DRed is chosen over support counting because the reachability rules
+//     are recursive: cyclic derivations keep mutual support counts positive
+//     forever, while DRed's re-derivation pass grounds out in base facts.
+// Rule installation is also incremental (the new rule is evaluated once and
+// its consequences propagate); rule REMOVAL falls back to re-deriving the
+// closure from base facts — it is a control-plane operation, not something
+// the per-update hot path does.
+//
 // Terms are either constants or variables; by convention a term is a
 // variable when constructed with Term::var (no uppercase heuristics).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -51,19 +69,41 @@ struct Rule {
 
 using Bindings = std::unordered_map<std::string, std::string>;
 
+/// Stable handle for an installed rule (removeRule).
+using RuleId = std::uint64_t;
+
 class Datalog {
  public:
   /// Adds a ground fact. Throws ContractError when the atom is not ground.
-  void addFact(const Atom& fact);
+  /// After the first saturation, later inserts are propagated semi-naively
+  /// from the new fact alone. Returns false when the fact was already
+  /// present (base or derived).
+  bool addFact(const Atom& fact);
   /// Convenience: predicate with constant arguments.
-  void addFact(const std::string& predicate, const std::vector<std::string>& args);
+  bool addFact(const std::string& predicate, const std::vector<std::string>& args);
 
-  /// Adds a rule (invalidates the current fixpoint). Throws ContractError on
-  /// range-restriction violations.
-  void addRule(Rule rule);
+  /// Retracts a base fact (one added with addFact). Derived facts that lose
+  /// their last derivation disappear with it (DRed). Returns false when the
+  /// atom was never asserted as a base fact — retracting a fact that is
+  /// only derived is not allowed (it would reappear at the next
+  /// saturation), and retracting a base fact that is ALSO derivable leaves
+  /// it in the store as a derived fact.
+  bool retractFact(const Atom& fact);
+  bool retractFact(const std::string& predicate, const std::vector<std::string>& args);
 
-  /// Runs semi-naive evaluation to the fixed point. Called lazily by query();
-  /// exposed for benchmarks.
+  /// Adds a rule. Throws ContractError on range-restriction violations.
+  /// Installing a rule mid-stream is incremental: its new derivations (and
+  /// theirs) propagate at the next saturation without touching the rest of
+  /// the closure.
+  RuleId addRule(Rule rule);
+
+  /// Uninstalls a rule. The derived closure is re-derived from base facts at
+  /// the next saturation (O(closure) — acceptable for a control-plane
+  /// operation). Returns false for unknown ids.
+  bool removeRule(RuleId id);
+
+  /// Brings the fixed point up to date with every pending insert/retract.
+  /// Called lazily by query(); exposed for benchmarks.
   void saturate();
 
   /// All ground facts matching the pattern (variables in the pattern bind
@@ -74,17 +114,38 @@ class Datalog {
   /// True if at least one fact matches the (possibly non-ground) pattern.
   [[nodiscard]] bool holds(const Atom& pattern);
 
+  /// Base + derived facts in the saturated store.
   [[nodiscard]] std::size_t factCount();
+  /// Facts explicitly asserted (and not retracted), regardless of
+  /// saturation state.
+  [[nodiscard]] std::size_t baseFactCount() const;
+  [[nodiscard]] std::size_t ruleCount() const noexcept { return liveRules_; }
+
+  /// Maintenance-cost observability, for the incremental-vs-scratch tests
+  /// and the standing-rule benches.
+  struct Stats {
+    std::uint64_t deltaInsertions = 0;   ///< facts added by semi-naive propagation
+    std::uint64_t deltaDeletions = 0;    ///< facts over-deleted by DRed
+    std::uint64_t rederivations = 0;     ///< over-deleted facts DRed re-derived
+    std::uint64_t fullRecomputes = 0;    ///< closures rebuilt from base (rule removal)
+    std::uint64_t joinProbes = 0;        ///< body-literal probes during any join
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
  private:
+  using Tuple = std::vector<std::string>;
+
   struct FactStore {
     // predicate -> set of argument tuples (joined with '\x1f').
     std::unordered_map<std::string, std::unordered_set<std::string>> byPredicate;
-    bool insert(const Atom& fact);
+    bool insert(const std::string& predicate, const std::string& key);
+    bool contains(const std::string& predicate, const std::string& key) const;
+    bool erase(const std::string& predicate, const std::string& key);
     [[nodiscard]] std::size_t size() const;
   };
 
   static std::string key(const std::vector<std::string>& args);
+  static std::string keyOf(const Atom& fact);
   static std::vector<std::string> unkey(const std::string& k);
 
   /// Tries to unify a pattern atom against a ground tuple under existing
@@ -92,11 +153,64 @@ class Datalog {
   static std::optional<Bindings> match(const Atom& pattern, const std::vector<std::string>& tuple,
                                        const Bindings& bindings);
 
-  void applyRules();
+  /// Instantiates `atom` under full bindings (every variable bound).
+  static std::pair<std::string, std::string> instantiate(const Atom& atom, const Bindings& b);
 
-  FactStore facts_;
-  std::vector<Rule> rules_;
-  bool saturated_ = true;
+  /// All (headPredicate, headKey) rule-head instantiations of `rule` whose
+  /// body literal `pos` is bound to exactly `tuple` and whose remaining
+  /// literals match facts in `store`.
+  void joinWithPinned(const Rule& rule, std::size_t pos, const Tuple& tuple,
+                      const FactStore& store,
+                      std::vector<std::pair<std::string, std::string>>& out);
+
+  /// Evaluates `rule` over `store` (no pinned literal), appending head
+  /// instantiations.
+  void evaluateRule(const Rule& rule, const FactStore& store,
+                    std::vector<std::pair<std::string, std::string>>& out);
+
+  /// True when (predicate, key) has at least one derivation from the
+  /// current `all_` store under the live rules.
+  bool derivable(const std::string& predicate, const std::string& keyStr);
+
+  /// Semi-naive insertion closure over the worklist of new facts.
+  void propagateInserts(std::deque<std::pair<std::string, std::string>> work);
+
+  /// DRed: over-delete starting at `predicate`/`key`, then re-derive the
+  /// over-deleted facts that still have an independent derivation.
+  void deleteAndRederive(const std::string& predicate, const std::string& keyStr);
+
+  void rebuildFromBase();
+  void rebuildDeltaIndex();
+
+  /// Rules in stable slots; removed entries become nullopt so RuleIds and
+  /// the delta index stay valid.
+  std::vector<std::optional<Rule>> rules_;
+  std::size_t liveRules_ = 0;
+  /// predicate -> [(rule slot, body position)] — which rule bodies a delta
+  /// fact of this predicate can feed.
+  std::unordered_map<std::string, std::vector<std::pair<std::size_t, std::size_t>>> deltaIndex_;
+
+  FactStore base_;  ///< facts explicitly asserted
+  FactStore all_;   ///< saturated closure: base + derived (valid when saturated_)
+
+  /// Pending work consumed by the next saturate(), in call order (an
+  /// add/retract/add sequence on one fact must replay faithfully). Base-set
+  /// mutations apply eagerly in addFact/retractFact; the queue carries the
+  /// closure maintenance. A pending full rebuild (rule removal, first
+  /// saturation) trumps the queue.
+  struct PendingOp {
+    bool retract = false;
+    std::string predicate;
+    std::string key;
+  };
+  std::deque<PendingOp> pendingOps_;
+  /// Rule slots installed since the last saturation (their derivations are
+  /// evaluated once and propagated).
+  std::vector<std::size_t> pendingNewRules_;
+  bool needsRebuild_ = true;  ///< first saturation builds the closure
+  bool saturated_ = false;
+
+  Stats stats_;
 };
 
 }  // namespace mw::reasoning

@@ -261,15 +261,15 @@ std::vector<SpatialDatabase::SensorHealth> SpatialDatabase::sensorHealth(
   return out;
 }
 
-void SpatialDatabase::insertReading(SensorReading reading) {
-  insertReadingImpl(std::move(reading), /*fireTriggersAfter=*/true);
+SensorReading SpatialDatabase::insertReading(SensorReading reading) {
+  return insertReadingImpl(std::move(reading), /*fireTriggersAfter=*/true);
 }
 
 void SpatialDatabase::importReading(SensorReading reading) {
   insertReadingImpl(std::move(reading), /*fireTriggersAfter=*/false);
 }
 
-void SpatialDatabase::insertReadingImpl(SensorReading reading, bool fireTriggersAfter) {
+SensorReading SpatialDatabase::insertReadingImpl(SensorReading reading, bool fireTriggersAfter) {
   require(!reading.mobileObjectId.empty(), "SpatialDatabase::insertReading: empty mobile object");
 
   // Convert into the universe frame (§4.1.2 step 1: common format). The
@@ -295,6 +295,7 @@ void SpatialDatabase::insertReadingImpl(SensorReading reading, bool fireTriggers
   // Imports (handoff/replication replays of readings that already fired
   // wherever they were first ingested) skip this.
   if (fireTriggersAfter) fireTriggers(reading);
+  return reading;
 }
 
 std::vector<SpatialDatabase::StoredReading> SpatialDatabase::readingsFor(
@@ -359,7 +360,9 @@ util::TriggerId SpatialDatabase::createTrigger(TriggerSpec spec) {
   require(static_cast<bool>(spec.callback), "SpatialDatabase::createTrigger: null callback");
   std::unique_lock lock(*triggersMutex_);
   util::TriggerId id = triggerIds_.next();
-  triggerTree_.insert(spec.region, id.value());
+  std::optional<std::string> subject;
+  if (spec.subject) subject = spec.subject->str();
+  triggerNet_.installProduction(id.value(), spec.region, subject);
   triggers_.emplace(id, std::move(spec));
   return id;
 }
@@ -368,7 +371,7 @@ bool SpatialDatabase::dropTrigger(util::TriggerId id) {
   std::unique_lock lock(*triggersMutex_);
   auto it = triggers_.find(id);
   if (it == triggers_.end()) return false;
-  triggerTree_.remove(it->second.region, id.value());
+  triggerNet_.removeProduction(id.value());
   triggers_.erase(it);
   return true;
 }
@@ -381,18 +384,20 @@ std::size_t SpatialDatabase::triggerCount() const {
 void SpatialDatabase::fireTriggers(const SensorReading& universeReading) {
   geo::Rect box = universeReading.rect();
   // Match under the shared trigger lock, invoke outside it: callbacks are
-  // user code and must be free to call back into the database.
+  // user code and must be free to call back into the database. The network
+  // discriminates by shared region node AND subject, so the matched set is
+  // exactly the affected triggers — never a linear pass over the table.
   std::vector<std::pair<std::function<void(const TriggerEvent&)>, TriggerEvent>> toFire;
   {
     std::shared_lock lock(*triggersMutex_);
-    triggerTree_.search(box, [&](const std::uint64_t& raw) {
+    std::vector<cq::ProductionId> matched;
+    triggerNet_.matchAlpha(box, universeReading.mobileObjectId.str(), matched);
+    toFire.reserve(matched.size());
+    for (cq::ProductionId raw : matched) {
       util::TriggerId id{raw};
-      auto it = triggers_.find(id);
-      if (it == triggers_.end()) return;
-      const TriggerSpec& spec = it->second;
-      if (spec.subject && *spec.subject != universeReading.mobileObjectId) return;
+      const TriggerSpec& spec = triggers_.at(id);
       toFire.emplace_back(spec.callback, TriggerEvent{id, universeReading, spec.region});
-    });
+    }
   }
   for (auto& [callback, event] : toFire) callback(event);
 }

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cq/trigger_network.hpp"
 #include "geometry/rect.hpp"
 #include "geometry/rtree.hpp"
 #include "glob/frame.hpp"
@@ -155,8 +156,10 @@ class SpatialDatabase {
   /// triggers synchronously. Throws NotFoundError for unregistered sensors.
   /// Lock-free with respect to the catalog: appends go to the reading
   /// store's stripes, so concurrent inserts on different objects never
-  /// contend and catalog writers never stall ingest.
-  void insertReading(SensorReading reading);
+  /// contend and catalog writers never stall ingest. Returns the stored
+  /// universe-frame reading — the delta the Location Service feeds into its
+  /// continuous-query network without re-deriving the frame conversion.
+  SensorReading insertReading(SensorReading reading);
 
   /// insertReading minus the trigger pass: the replay path for handoff and
   /// replication imports. An imported reading already fired its triggers on
@@ -259,7 +262,7 @@ class SpatialDatabase {
  private:
   [[nodiscard]] static std::string objectKey(const std::string& prefix,
                                              const util::SpatialObjectId& id);
-  void insertReadingImpl(SensorReading reading, bool fireTriggersAfter);
+  SensorReading insertReadingImpl(SensorReading reading, bool fireTriggersAfter);
   void fireTriggers(const SensorReading& universeReading);
   [[nodiscard]] bool rowContains(const SpatialObjectRow& row, geo::Point2 universePoint) const;
   [[nodiscard]] std::optional<SpatialObjectRow> objectLocked(
@@ -290,12 +293,16 @@ class SpatialDatabase {
   /// database stays movable.
   std::unique_ptr<ReadingStore> store_;
 
-  /// Trigger lock: the trigger table and its R-tree. Separate from the
-  /// catalog lock because trigger matching runs on every insertReading.
+  /// Trigger lock: the trigger table and its discrimination network.
+  /// Separate from the catalog lock because trigger matching runs on every
+  /// insertReading. Matching goes through the continuous-query network
+  /// (alpha nodes shared by region rect, subject discrimination by hash),
+  /// so the per-reading cost tracks the AFFECTED triggers, not the table
+  /// size; the spec map only resolves matched ids to their callbacks.
   mutable std::unique_ptr<std::shared_mutex> triggersMutex_;
   util::IdSequencer<util::TriggerId> triggerIds_;
   std::unordered_map<util::TriggerId, TriggerSpec> triggers_;
-  geo::RTree<std::uint64_t> triggerTree_;
+  cq::TriggerNetwork triggerNet_;
 };
 
 }  // namespace mw::db

@@ -151,6 +151,48 @@ TEST(ClusterSpatialMapTest, SplitAndReassignBumpVersionsAndKeepIdsStable) {
   EXPECT_THROW((void)map.splitLeaf(9999, "b"), util::ContractError);
 }
 
+TEST(ClusterSpatialMapTest, MergeLeavesRoundTripsASplit) {
+  const auto map = TerritoryMap::uniform(universe(), {"a", "b"});
+  const TerritoryLeaf aLeaf = map.leavesOf("a").front();
+
+  // Split, then merge the halves back: the geometry round-trips exactly and
+  // the version moves monotonically (+1 per mutation, never back).
+  const auto split = map.splitLeaf(aLeaf.id, "b");
+  const std::uint32_t newHalf = split.leaves().back().id;
+  EXPECT_EQ(split.mergeableSibling(aLeaf.id), newHalf)
+      << "the freshly split sibling is the canonical merge candidate";
+
+  const auto merged = split.mergeLeaves(aLeaf.id, newHalf);
+  EXPECT_EQ(merged.version(), map.version() + 2);
+  EXPECT_EQ(merged.leaves().size(), map.leaves().size());
+  EXPECT_EQ(merged.leafById(aLeaf.id)->rect, aLeaf.rect)
+      << "split-then-merge restores the original leaf bit-for-bit";
+  EXPECT_EQ(merged.leafById(aLeaf.id)->owner, "a") << "keepId keeps its owner";
+  EXPECT_EQ(merged.leafById(newHalf), nullptr) << "dropId disappears";
+
+  double total = 0;
+  for (const auto& leaf : merged.leaves()) total += leaf.rect.area();
+  EXPECT_NEAR(total, universe().area(), 1e-9) << "merging loses no territory";
+
+  // mergeableSibling prefers a same-owner neighbour when one exists.
+  const auto bLeaf = map.leavesOf("b").front();
+  const auto threeWay = map.splitLeaf(aLeaf.id, "a");
+  const auto sibling = threeWay.mergeableSibling(aLeaf.id);
+  ASSERT_TRUE(sibling.has_value());
+  EXPECT_EQ(threeWay.leafById(*sibling)->owner, "a")
+      << "same-owner merge moves no data and must win";
+
+  // Error cases: unknown ids, self-merge, and non-rectangular unions.
+  EXPECT_THROW((void)split.mergeLeaves(aLeaf.id, 9999), util::ContractError);
+  EXPECT_THROW((void)split.mergeLeaves(aLeaf.id, aLeaf.id), util::ContractError);
+  const auto askew = split.splitLeaf(newHalf, "b");
+  const std::uint32_t corner = askew.leaves().back().id;
+  EXPECT_THROW((void)askew.mergeLeaves(aLeaf.id, corner), util::ContractError)
+      << "leaves that no longer share a full edge must not merge";
+  EXPECT_EQ(askew.mergeableSibling(9999), std::nullopt);
+  (void)bLeaf;
+}
+
 TEST(ClusterSpatialMapTest, EncodeDecodeRoundTripsExactly) {
   const auto map =
       TerritoryMap::uniform(universe(), {"a", "b", "c"}).splitLeaf(0, "c").reassignLeaf(1, "a");
@@ -611,6 +653,61 @@ TEST_F(ClusterSpatialTest, RebalanceSplitsHotLeafAndMigratesUnderLoad) {
     EXPECT_EQ(sorted(spatialCopy), sorted(oracleCopy))
         << "the subscription must have spilled onto the gainer with its territory";
   }
+}
+
+TEST_F(ClusterSpatialTest, BalancerDaemonSplitsInTheBackgroundAndStopsCleanly) {
+  startClusters({"a", "b"});
+  const TerritoryMap before = router_->territorySnapshot();
+  const TerritoryLeaf hotLeaf = before.leavesOf("a").front();
+  EXPECT_FALSE(router_->balancerRunning());
+
+  // All the load on a's territory — the same skew the one-shot rebalance
+  // test drives by hand, here left for the daemon to discover on its own.
+  for (int i = 0; i < 24; ++i) {
+    const double x = hotLeaf.rect.lo().x + 2.0 +
+                     static_cast<double>(i % 6) * (hotLeaf.rect.width() - 4.0) / 5.0;
+    const double y = hotLeaf.rect.lo().y + 2.0 +
+                     static_cast<double>(i / 6) * (hotLeaf.rect.height() - 4.0) / 3.0;
+    ingestBoth(makeReading(clock_.now(), {x, y}, "hot-" + std::to_string(i)));
+    clock_.advance(util::msec(20));
+  }
+
+  router_->startBalancer(std::chrono::milliseconds(5), /*hotColdRatio=*/2.0,
+                         /*minReadings=*/16);
+  EXPECT_TRUE(router_->balancerRunning());
+  // Idempotent: re-start updates parameters instead of spawning twice.
+  router_->startBalancer(std::chrono::milliseconds(5), 2.0, 16);
+
+  // The daemon must notice the skew and split without any manual
+  // rebalanceOnce call.
+  for (int i = 0; i < 2000 && router_->stats().territorySplits == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(router_->stats().territorySplits, 1u)
+      << "the background balancer should have split the hot leaf";
+  EXPECT_GE(router_->balancerPasses(), 1u);
+
+  // Once balanced, further passes decline but keep counting — the daemon
+  // keeps watching rather than acting.
+  const std::uint64_t passesAtSplit = router_->balancerPasses();
+  for (int i = 0; i < 2000 && router_->balancerPasses() <= passesAtSplit; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(router_->balancerPasses(), passesAtSplit);
+  EXPECT_EQ(router_->stats().territorySplits, 1u) << "heat reset: no repeat split";
+
+  router_->stopBalancer();
+  EXPECT_FALSE(router_->balancerRunning());
+  const std::uint64_t passesAtStop = router_->balancerPasses();
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  EXPECT_EQ(router_->balancerPasses(), passesAtStop) << "stopped means stopped";
+  router_->stopBalancer();  // idempotent
+
+  // The daemon's split behaves exactly like a manual one: answers still
+  // match the object-hash oracle byte-for-byte.
+  std::vector<std::string> all;
+  for (int i = 0; i < 24; ++i) all.push_back("hot-" + std::to_string(i));
+  expectOracleEquivalence(all, "post-daemon-rebalance");
 }
 
 }  // namespace
