@@ -6,6 +6,8 @@
 #   BENCH_orb.json            — concurrent ORB serving path + wire batches
 #   BENCH_cluster.json        — sharded cluster routed + scatter-gather paths
 #   BENCH_triggers.json       — standing-rule scaling (rule axis 10^3..10^6)
+#   BENCH_city.json           — open-loop city workload vs a 4-shard spatial
+#                               cluster (corrected p99 per operation class)
 #
 # Usage: scripts/bench_json.sh [build-dir] [out-dir]
 # Or via CMake: cmake --build build --target bench_json
@@ -31,3 +33,4 @@ run "$BUILD_DIR/bench/bench_region_poll" "$OUT_DIR/BENCH_region_poll.json"
 run "$BUILD_DIR/bench/bench_orb_concurrent" "$OUT_DIR/BENCH_orb.json"
 run "$BUILD_DIR/bench/bench_cluster" "$OUT_DIR/BENCH_cluster.json"
 run "$BUILD_DIR/bench/bench_triggers_scale" "$OUT_DIR/BENCH_triggers.json"
+run "$BUILD_DIR/bench/bench_city" "$OUT_DIR/BENCH_city.json"

@@ -23,7 +23,7 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 cmake -B build-tsan "${GEN[@]}" -DMW_SANITIZE=thread
 cmake --build build-tsan
 ctest --test-dir build-tsan \
-      -R 'Concurrency|ContinuousQuery|FusionCache|IngestBatch|WorkerPool|RegionCache|ReadingStore|RpcDispatcher|Cluster|RpcTimeout|EventLoop|ShmRing' \
+      -R 'Concurrency|ContinuousQuery|FusionCache|IngestBatch|WorkerPool|RegionCache|ReadingStore|RpcDispatcher|Cluster|RpcTimeout|EventLoop|ShmRing|OpenLoopLoadGen|CrowdMonitor|DensityRules' \
       --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Machine-readable benchmark artifacts committed at the repo root.
@@ -40,7 +40,7 @@ scripts/bench_json.sh build .
 echo "===== examples ====="
 for e in quickstart follow_me anywhere_messaging location_notifications \
          personnel_locator route_finder campus_handoff ops_dashboard \
-         cluster_demo; do
+         cluster_demo city_crowd_demo; do
   echo "--- $e ---"
   "build/examples/$e"
 done

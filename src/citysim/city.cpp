@@ -1,0 +1,275 @@
+#include "citysim/city.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace mw::citysim {
+
+using mw::util::require;
+
+namespace {
+
+geo::Rect translated(const geo::Rect& r, geo::Point2 by) {
+  return geo::Rect::fromCorners(r.lo() + by, r.hi() + by);
+}
+
+std::vector<geo::Point2> rectCorners(const geo::Rect& r) {
+  return {r.lo(), {r.hi().x, r.lo().y}, r.hi(), {r.lo().x, r.hi().y}};
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+void appendRect(std::string& out, const geo::Rect& r) {
+  appendf(out, " (%.17g,%.17g)-(%.17g,%.17g)", r.lo().x, r.lo().y, r.hi().x, r.hi().y);
+}
+
+}  // namespace
+
+glob::FrameTree CityBlueprint::frames() const {
+  glob::FrameTree tree;
+  tree.addRoot(name);
+  installFrames(tree);
+  return tree;
+}
+
+void CityBlueprint::installFrames(glob::FrameTree& tree) const {
+  for (const CityBuilding& b : buildings) {
+    // Identity under the city root: the blueprint's rects already carry city
+    // coordinates, so the per-building frame layout is unchanged.
+    tree.addFrame(b.name, name, glob::Transform2{{0, 0}, 0});
+    const sim::Blueprint& bp = b.blueprint;
+    for (std::size_t f = 0; f < bp.floorOutlines.size(); ++f) {
+      std::string floorName = b.name + "/" + std::to_string(f + 1);
+      tree.addFrame(floorName, b.name, glob::Transform2{bp.floorOutlines[f].lo(), 0});
+      for (const auto& room : bp.rooms) {
+        if (room.floor != static_cast<int>(f)) continue;
+        geo::Point2 local = room.rect.lo() - bp.floorOutlines[f].lo();
+        tree.addFrame(floorName + "/" + room.name, floorName, glob::Transform2{local, 0});
+      }
+    }
+  }
+}
+
+void CityBlueprint::populate(db::SpatialDatabase& database) const {
+  for (const CityBuilding& b : buildings) b.blueprint.populate(database);
+  for (const OutdoorRegion& region : outdoors) {
+    db::SpatialObjectRow row;
+    row.id = util::SpatialObjectId{region.name};
+    row.globPrefix = name;
+    row.objectType = db::ObjectType::Corridor;
+    row.geometryType = db::GeometryType::Polygon;
+    row.points = rectCorners(region.rect);
+    row.properties["outdoor"] = "true";
+    if (region.isStreet) row.properties["street"] = "true";
+    database.addObject(row);
+  }
+  for (const reasoning::Passage& passage : passages) {
+    db::SpatialObjectRow row;
+    row.id = util::SpatialObjectId{passage.name};
+    row.globPrefix = name;
+    row.objectType = db::ObjectType::Door;
+    row.geometryType = db::GeometryType::Line;
+    row.points = {passage.segment.a, passage.segment.b};
+    row.properties["passage"] =
+        passage.kind == reasoning::PassageKind::Free ? "free" : "restricted";
+    database.addObject(row);
+  }
+}
+
+reasoning::ConnectivityGraph CityBlueprint::connectivity() const {
+  reasoning::ConnectivityGraph graph;
+  for (const CityBuilding& b : buildings) {
+    for (const auto& room : b.blueprint.rooms) graph.addRegion(room.name, room.rect);
+  }
+  for (const OutdoorRegion& region : outdoors) graph.addRegion(region.name, region.rect);
+  for (const CityBuilding& b : buildings) {
+    for (const auto& door : b.blueprint.doors) graph.addPassage(door);
+    // Stairwells, as in Blueprint::connectivity but with prefixed names.
+    for (std::size_t f = 1; f < b.blueprint.floorOutlines.size(); ++f) {
+      std::string below = b.name + "-" + std::to_string(f) + "00";
+      std::string above = b.name + "-" + std::to_string(f + 1) + "00";
+      if (graph.hasRegion(below) && graph.hasRegion(above)) {
+        graph.connect(below, above, graph.regionRect(below).center());
+      }
+    }
+  }
+  for (const reasoning::Passage& passage : passages) graph.addPassage(passage);
+  return graph;
+}
+
+const sim::BlueprintRoom* CityBlueprint::roomNamed(const std::string& roomName) const {
+  for (const CityBuilding& b : buildings) {
+    if (const sim::BlueprintRoom* room = b.blueprint.roomNamed(roomName)) return room;
+  }
+  return nullptr;
+}
+
+const OutdoorRegion* CityBlueprint::outdoorNamed(const std::string& regionName) const {
+  for (const OutdoorRegion& region : outdoors) {
+    if (region.name == regionName) return &region;
+  }
+  return nullptr;
+}
+
+std::size_t CityBlueprint::roomCount() const {
+  std::size_t n = 0;
+  for (const CityBuilding& b : buildings) n += b.blueprint.rooms.size();
+  return n;
+}
+
+std::string CityBlueprint::fingerprint() const {
+  std::string out;
+  appendf(out, "city %s\nuniverse", name.c_str());
+  appendRect(out, universe);
+  out += "\n";
+  for (const CityBuilding& b : buildings) {
+    appendf(out, "building %s origin (%.17g,%.17g)\n", b.name.c_str(), b.origin.x, b.origin.y);
+    for (std::size_t f = 0; f < b.blueprint.floorOutlines.size(); ++f) {
+      appendf(out, " floor %zu", f + 1);
+      appendRect(out, b.blueprint.floorOutlines[f]);
+      out += "\n";
+    }
+    for (const auto& room : b.blueprint.rooms) {
+      appendf(out, " room %s floor %d %s", room.name.c_str(), room.floor,
+              room.isCorridor ? "corridor" : "room");
+      appendRect(out, room.rect);
+      out += "\n";
+    }
+    for (const auto& door : b.blueprint.doors) {
+      appendf(out, " door %s (%.17g,%.17g)-(%.17g,%.17g) %s\n", door.name.c_str(),
+              door.segment.a.x, door.segment.a.y, door.segment.b.x, door.segment.b.y,
+              door.kind == reasoning::PassageKind::Free ? "free" : "restricted");
+    }
+  }
+  for (const OutdoorRegion& region : outdoors) {
+    appendf(out, "outdoor %s %s", region.name.c_str(), region.isStreet ? "street" : "plaza");
+    appendRect(out, region.rect);
+    out += "\n";
+  }
+  for (const reasoning::Passage& passage : passages) {
+    appendf(out, "passage %s (%.17g,%.17g)-(%.17g,%.17g) %s\n", passage.name.c_str(),
+            passage.segment.a.x, passage.segment.a.y, passage.segment.b.x, passage.segment.b.y,
+            passage.kind == reasoning::PassageKind::Free ? "free" : "restricted");
+  }
+  for (const auto& record : frames().records()) {
+    appendf(out, "frame %s parent %s at (%.17g,%.17g) rot %.17g\n", record.name.c_str(),
+            record.parent.c_str(), record.toParent.translation.x, record.toParent.translation.y,
+            record.toParent.rotation);
+  }
+  const reasoning::ConnectivityGraph graph = connectivity();
+  appendf(out, "connectivity regions %zu edges %zu\n", graph.regionCount(), graph.edgeCount());
+  return out;
+}
+
+CityBlueprint generateCity(const CityConfig& config) {
+  require(config.rows >= 1 && config.cols >= 1, "generateCity: need a non-empty grid");
+  require(config.plazaWidth > 0, "generateCity: plazaWidth must be positive");
+  require(config.streetHeight > 0, "generateCity: streetHeight must be positive");
+
+  CityBlueprint city;
+  city.name = config.name;
+
+  const sim::BlueprintConfig& t = config.building;
+  const double floorWidth = t.roomsPerSide * t.roomWidth;
+  const double floorHeight = 2 * t.roomDepth + t.corridorWidth;
+  // A building's footprint is its whole side-by-side floor strip.
+  const double stripWidth = t.floors * floorWidth + (t.floors - 1) * t.floorGap;
+  const double cellWidth = config.plazaWidth + stripWidth;
+  const double rowPitch = config.streetHeight + floorHeight;
+  const double cityWidth = config.cols * cellWidth + config.plazaWidth;
+
+  for (int r = 0; r < config.rows; ++r) {
+    const double streetY = r * rowPitch;
+    const double rowY = streetY + config.streetHeight;
+
+    // East-west street south of the row: spans the full city width, so it
+    // touches every plaza of this row (and of the row below).
+    OutdoorRegion street;
+    street.name = "street-" + std::to_string(r);
+    street.rect = geo::Rect::fromOrigin({0, streetY}, cityWidth, config.streetHeight);
+    street.isStreet = true;
+    city.outdoors.push_back(street);
+
+    // One plaza west of each building, plus a trailing one closing the row.
+    for (int c = 0; c <= config.cols; ++c) {
+      OutdoorRegion plaza;
+      plaza.name = "plaza-" + std::to_string(r) + "-" + std::to_string(c);
+      plaza.rect =
+          geo::Rect::fromOrigin({c * cellWidth, rowY}, config.plazaWidth, floorHeight);
+      city.outdoors.push_back(plaza);
+
+      // Crossing between the plaza and the street below (on their shared
+      // boundary, so ConnectivityGraph::addPassage links them geometrically).
+      const double crossHalf = std::min(3.0, config.plazaWidth / 4);
+      const double crossX = plaza.rect.center().x;
+      city.passages.push_back(reasoning::Passage{
+          "cross-" + std::to_string(r) + "-" + std::to_string(c) + "-s",
+          {{crossX - crossHalf, rowY}, {crossX + crossHalf, rowY}},
+          reasoning::PassageKind::Free});
+      if (r + 1 < config.rows) {
+        // And to the street above (= the next row's street).
+        const double topY = rowY + floorHeight;
+        city.passages.push_back(reasoning::Passage{
+            "cross-" + std::to_string(r) + "-" + std::to_string(c) + "-n",
+            {{crossX - crossHalf, topY}, {crossX + crossHalf, topY}},
+            reasoning::PassageKind::Free});
+      }
+    }
+
+    for (int c = 0; c < config.cols; ++c) {
+      const geo::Point2 origin{c * cellWidth + config.plazaWidth, rowY};
+      CityBuilding building;
+      building.name = "B" + std::to_string(r) + "-" + std::to_string(c);
+      building.origin = origin;
+
+      sim::BlueprintConfig bc = t;
+      bc.building = building.name;
+      sim::Blueprint bp = sim::generateBlueprint(bc);
+
+      // Translate into city coordinates and prefix every name with the
+      // building so city-wide name spaces (graph nodes, database ids) stay
+      // collision-free.
+      bp.universe = translated(bp.universe, origin);
+      for (auto& outline : bp.floorOutlines) outline = translated(outline, origin);
+      for (auto& room : bp.rooms) {
+        room.name = building.name + "-" + room.name;
+        room.rect = translated(room.rect, origin);
+      }
+      for (auto& door : bp.doors) {
+        door.name = building.name + "-" + door.name;
+        door.segment.a = door.segment.a + origin;
+        door.segment.b = door.segment.b + origin;
+      }
+
+      // Entrance: a door on the ground-floor corridor's west wall, which is
+      // exactly the east boundary of the building's plaza.
+      const double doorW = std::min(t.doorWidth, t.corridorWidth);
+      const double entranceY = origin.y + t.roomDepth + (t.corridorWidth - doorW) / 2;
+      city.passages.push_back(reasoning::Passage{
+          building.name + "-entrance",
+          {{origin.x, entranceY}, {origin.x, entranceY + doorW}},
+          reasoning::PassageKind::Free});
+
+      building.blueprint = std::move(bp);
+      city.buildings.push_back(std::move(building));
+    }
+  }
+
+  geo::Rect universe;
+  for (const OutdoorRegion& region : city.outdoors) universe = universe.unionWith(region.rect);
+  for (const CityBuilding& b : city.buildings) universe = universe.unionWith(b.blueprint.universe);
+  city.universe = universe;
+  return city;
+}
+
+}  // namespace mw::citysim

@@ -1,0 +1,102 @@
+// Procedural city generation: many sim::Blueprint buildings on a street grid.
+//
+// The north star ("heavy traffic from millions of users") needs a world far
+// larger than one building. generateCity() composes the existing blueprint
+// generator into a campus/city: buildings laid out on a grid of plazas and
+// streets, every room/door name prefixed with its building so the city-wide
+// connectivity graph and spatial database stay collision-free, entrance
+// passages stitching each building's ground-floor corridor to the plaza at
+// its west wall, and outdoor regions (plazas, streets) modeled as Corridor
+// rows tagged `outdoor=true` so GPS-grade sensing has named regions to land
+// in. The whole city shares one root frame (`CityConfig::name`); each
+// building keeps its own frame subtree (building -> floor -> room) so
+// Blueprint::populate() is reused verbatim per building.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "glob/frame.hpp"
+#include "reasoning/connectivity.hpp"
+#include "reasoning/passages.hpp"
+#include "sim/blueprint.hpp"
+#include "spatialdb/database.hpp"
+
+namespace mw::citysim {
+
+struct CityConfig {
+  std::string name = "City";
+  int rows = 2;  ///< building grid rows
+  int cols = 2;  ///< building grid columns
+  /// Per-building template; `building` is overridden with "B<r><c>" names
+  /// and all coordinates are translated into the city frame.
+  sim::BlueprintConfig building;
+  double plazaWidth = 40;    ///< outdoor plaza west of every building (feet)
+  double streetHeight = 30;  ///< east-west street south of every row (feet)
+};
+
+/// One placed building: the (translated, name-prefixed) blueprint plus its
+/// city-frame origin.
+struct CityBuilding {
+  std::string name;    ///< e.g. "B00" — also the building frame name
+  geo::Point2 origin;  ///< city-frame position of the blueprint's (0,0)
+  sim::Blueprint blueprint;  ///< rects already in city coordinates
+};
+
+/// A plaza or street: an outdoor circulation region in the city frame.
+struct OutdoorRegion {
+  std::string name;  ///< "plaza-<r>-<c>" or "street-<r>"
+  geo::Rect rect;    ///< city frame
+  bool isStreet = false;
+};
+
+/// A generated city. All coordinates are in the city (root) frame.
+struct CityBlueprint {
+  std::string name;  ///< root frame / GLOB prefix
+  geo::Rect universe;
+  std::vector<CityBuilding> buildings;
+  std::vector<OutdoorRegion> outdoors;
+  /// Inter-region passages owned by the city (building entrances onto their
+  /// plazas, plaza<->street crossings); building-internal doors live in each
+  /// building's blueprint.
+  std::vector<reasoning::Passage> passages;
+
+  /// Frame tree: city -> building -> floor -> room. Buildings sit at the
+  /// identity under the city root (their blueprints already carry city
+  /// coordinates), so per-building frames keep the Blueprint layout.
+  [[nodiscard]] glob::FrameTree frames() const;
+  /// Adds the same frames to an existing tree whose root is `name` — for
+  /// injecting the city into a database constructed with just the root
+  /// frame (e.g. a ShardHost's core).
+  void installFrames(glob::FrameTree& tree) const;
+
+  /// Inserts every building's Table-1 rows (via Blueprint::populate), the
+  /// outdoor regions as `outdoor=true` Corridor rows and the city-owned
+  /// passages as Door rows.
+  void populate(db::SpatialDatabase& database) const;
+
+  /// City-wide connectivity: one node per room/corridor/outdoor region, one
+  /// edge per door/entrance/crossing, plus per-building stair edges.
+  [[nodiscard]] reasoning::ConnectivityGraph connectivity() const;
+
+  /// Any room/corridor of any building, by prefixed name ("B00-101").
+  [[nodiscard]] const sim::BlueprintRoom* roomNamed(const std::string& roomName) const;
+  [[nodiscard]] const OutdoorRegion* outdoorNamed(const std::string& regionName) const;
+
+  [[nodiscard]] std::size_t roomCount() const;
+
+  /// Canonical text rendering of everything the generator decides — names,
+  /// geometry (%.17g), frame records and the connectivity summary. Two
+  /// cities are the same iff their fingerprints are byte-identical; the
+  /// determinism test hashes this.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Generates the city per the config. Purely deterministic: the layout is a
+/// closed-form function of the config (no RNG), so equal configs yield
+/// byte-identical fingerprints.
+CityBlueprint generateCity(const CityConfig& config);
+
+}  // namespace mw::citysim

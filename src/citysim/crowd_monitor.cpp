@@ -1,0 +1,103 @@
+#include "citysim/crowd_monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mw::citysim {
+
+CrowdMonitor::CrowdMonitor(std::vector<WatchedRegion> regions, Poll poll, double minProbability)
+    : regions_(std::move(regions)), poll_(std::move(poll)), minProbability_(minProbability) {
+  util::require(static_cast<bool>(poll_), "CrowdMonitor: poll must be set");
+  populations_.assign(regions_.size(), 0);
+}
+
+void CrowdMonitor::onDensity(const core::DensityNotification& notification) {
+  std::lock_guard lock(mutex_);
+  if (notification.edge == cq::CountEdge::Rose) ++alarms_;
+  if (notification.edge == cq::CountEdge::Fell) ++clears_;
+}
+
+void CrowdMonitor::sweep() {
+  // Poll outside the lock: the poll may be a scatter-gather over a cluster,
+  // and alarms must keep landing while it runs.
+  std::vector<std::vector<std::pair<util::MobileObjectId, double>>> results;
+  results.reserve(regions_.size());
+  for (const WatchedRegion& region : regions_) {
+    results.push_back(poll_(region.rect, minProbability_));
+  }
+
+  std::lock_guard lock(mutex_);
+  std::unordered_map<util::MobileObjectId, std::size_t> nowRegion;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    populations_[i] = results[i].size();
+    // First-region-wins on overlap: watched regions are normally disjoint.
+    for (const auto& [object, probability] : results[i]) nowRegion.emplace(object, i);
+  }
+  for (const auto& [object, region] : nowRegion) {
+    auto it = lastRegion_.find(object);
+    if (it != lastRegion_.end() && it->second != region) {
+      ++flows_[{it->second, region}];
+    }
+  }
+  lastRegion_ = std::move(nowRegion);
+  ++sweeps_;
+}
+
+std::size_t CrowdMonitor::population(const std::string& region) const {
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].name == region) return populations_[i];
+  }
+  return 0;
+}
+
+std::uint64_t CrowdMonitor::alarmCount() const {
+  std::lock_guard lock(mutex_);
+  return alarms_;
+}
+
+std::uint64_t CrowdMonitor::clearCount() const {
+  std::lock_guard lock(mutex_);
+  return clears_;
+}
+
+std::uint64_t CrowdMonitor::sweepCount() const {
+  std::lock_guard lock(mutex_);
+  return sweeps_;
+}
+
+std::vector<CrowdMonitor::Flow> CrowdMonitor::topFlows(std::size_t n) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Flow> flows;
+  flows.reserve(flows_.size());
+  for (const auto& [key, count] : flows_) {
+    flows.push_back(Flow{regions_[key.first].name, regions_[key.second].name, count});
+  }
+  std::sort(flows.begin(), flows.end(), [](const Flow& a, const Flow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+  if (flows.size() > n) flows.resize(n);
+  return flows;
+}
+
+std::string CrowdMonitor::report() const {
+  std::ostringstream out;
+  {
+    std::lock_guard lock(mutex_);
+    out << "crowd monitor: " << sweeps_ << " sweeps, " << alarms_ << " alarms, " << clears_
+        << " all-clears\n";
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      out << "  " << regions_[i].name << ": " << populations_[i] << "\n";
+    }
+  }
+  for (const Flow& flow : topFlows(5)) {
+    out << "  flow " << flow.from << " -> " << flow.to << ": " << flow.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mw::citysim

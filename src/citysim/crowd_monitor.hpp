@@ -1,0 +1,80 @@
+// Crowd-monitoring workload: standing density queries, overcrowding alarms
+// and region-to-region flow counters over a live location service.
+//
+// The monitor is service-agnostic: it polls populations through an injected
+// function (LocationService::objectsInRegion, the cluster router's
+// scatter-gather, or a test stub) and receives overcrowding alarms by being
+// fed DensityNotifications from subscribeDensity callbacks. sweep() is the
+// periodic standing query: it refreshes every watched region's population
+// and diffs per-object memberships against the previous sweep to maintain
+// directed flow counters ("how many people moved plaza-0-1 -> street-0
+// since the last sweep") — the three queries the crowd-monitoring target
+// workload is made of.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/location_service.hpp"
+#include "geometry/rect.hpp"
+
+namespace mw::citysim {
+
+struct WatchedRegion {
+  std::string name;
+  geo::Rect rect;  ///< universe/city frame
+};
+
+class CrowdMonitor {
+ public:
+  /// Population query: (region, minProbability) -> (object, probability)
+  /// list, typically a bound objectsInRegion.
+  using Poll = std::function<std::vector<std::pair<util::MobileObjectId, double>>(
+      const geo::Rect&, double)>;
+
+  CrowdMonitor(std::vector<WatchedRegion> regions, Poll poll, double minProbability = 0.5);
+
+  /// Feed for subscribeDensity callbacks (any thread).
+  void onDensity(const core::DensityNotification& notification);
+
+  /// Refreshes every region's population and updates the flow counters.
+  void sweep();
+
+  [[nodiscard]] std::size_t population(const std::string& region) const;
+  [[nodiscard]] std::uint64_t alarmCount() const;  ///< CountEdge::Rose seen
+  [[nodiscard]] std::uint64_t clearCount() const;  ///< CountEdge::Fell seen
+  [[nodiscard]] std::uint64_t sweepCount() const;
+
+  struct Flow {
+    std::string from;
+    std::string to;
+    std::uint64_t count = 0;
+  };
+  /// Largest region-to-region flows observed so far, descending.
+  [[nodiscard]] std::vector<Flow> topFlows(std::size_t n) const;
+
+  /// Human-readable snapshot (populations, alarms, top flows).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::vector<WatchedRegion> regions_;
+  Poll poll_;
+  double minProbability_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::size_t> populations_;  ///< parallel to regions_
+  /// object -> region index as of the previous sweep.
+  std::unordered_map<util::MobileObjectId, std::size_t> lastRegion_;
+  /// (from, to) region-index pair -> movers observed across sweeps.
+  std::map<std::pair<std::size_t, std::size_t>, std::uint64_t> flows_;
+  std::uint64_t alarms_ = 0;
+  std::uint64_t clears_ = 0;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace mw::citysim

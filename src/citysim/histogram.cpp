@@ -1,0 +1,68 @@
+#include "citysim/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace mw::citysim {
+
+LatencyHistogram::LatencyHistogram() : counts_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::indexFor(std::uint64_t value) {
+  if (value < kSub) return static_cast<std::size_t>(value);
+  const int k = 63 - std::countl_zero(value);  // k >= kSubBits
+  const std::uint64_t sub = (value - (1ULL << k)) >> (k - kSubBits);
+  return kSub + static_cast<std::size_t>(k - kSubBits) * kSub + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::upperEdge(std::size_t index) {
+  if (index < kSub) return index;
+  const std::size_t rel = index - kSub;
+  const int k = kSubBits + static_cast<int>(rel / kSub);
+  const std::uint64_t sub = rel % kSub;
+  const std::uint64_t lo = (1ULL << k) + (sub << (k - kSubBits));
+  return lo + ((1ULL << (k - kSubBits)) - 1);
+}
+
+void LatencyHistogram::record(std::uint64_t value) {
+  ++counts_[indexFor(value)];
+  ++count_;
+  total_ += value;
+  max_ = std::max(max_, value);
+  min_ = std::min(min_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  total_ += other.total_;
+  max_ = std::max(max_, other.max_);
+  min_ = std::min(min_, other.min_);
+}
+
+void LatencyHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  total_ = 0;
+  max_ = 0;
+  min_ = ~0ULL;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : static_cast<double>(total_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::valueAtPercentile(double percentile) const {
+  if (count_ == 0) return 0;
+  const double clamped = std::clamp(percentile, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target && cumulative > 0) return std::min(upperEdge(i), max_);
+  }
+  return max_;
+}
+
+}  // namespace mw::citysim

@@ -1,0 +1,297 @@
+#include "citysim/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quality/error_model.hpp"
+#include "util/error.hpp"
+
+namespace mw::citysim {
+
+using mw::util::require;
+
+void CitySensors::registerAll(db::SpatialDatabase& database) {
+  // One logical sensor row per technology: the population models a uniform
+  // city-wide deployment, and fusion keys quality on the sensor id.
+  // Continuous-tracking technologies get short TTLs: a walker covers their
+  // own detection box in seconds, so a half-minute-old fix is evidence about
+  // the PAST, and letting it outlive the walk pins fusion to where the agent
+  // used to be (a stale indoor UWB fix would outrank today's GPS reading).
+  db::SensorMeta uwb;
+  uwb.sensorId = util::SensorId{kUwbId};
+  uwb.sensorType = "Ubisense";
+  uwb.errorSpec = quality::ubisenseSpec(1.0);  // carried-ness is simulated
+  uwb.scaleMisidentifyByArea = true;
+  uwb.quality.ttl = util::sec(15);
+  database.registerSensor(uwb);
+
+  db::SensorMeta gps;
+  gps.sensorId = util::SensorId{kGpsId};
+  gps.sensorType = "GPS";
+  gps.errorSpec = quality::gpsSpec(1.0);
+  gps.quality.ttl = util::sec(30);
+  database.registerSensor(gps);
+
+  db::SensorMeta badge;
+  badge.sensorId = util::SensorId{kBadgeId};
+  badge.sensorType = "CardReader";
+  badge.errorSpec = quality::SensorErrorSpec{1.0, 0.98, 0.01};
+  badge.scaleMisidentifyByArea = true;
+  badge.quality.ttl = util::minutes(10);
+  database.registerSensor(badge);
+}
+
+namespace {
+constexpr double kUwbRadius = 0.5;   ///< ft, §6 Ubisense accuracy
+constexpr double kGpsRadius = 15.0;  ///< ft, outdoor GPS accuracy
+constexpr double kUwbDetect = 0.95;
+constexpr double kGpsDetect = 0.99;
+}  // namespace
+
+Population::Population(const CityBlueprint& city, const PopulationConfig& config)
+    : city_(city), config_(config), rng_(config.seed) {
+  // Region table + R-tree: every room/corridor of every building, then the
+  // outdoor regions. Index order is generation order, so it is as
+  // deterministic as the city itself.
+  for (const CityBuilding& b : city.buildings) {
+    for (const sim::BlueprintRoom& room : b.blueprint.rooms) {
+      RegionRef ref;
+      ref.name = room.name;
+      ref.rect = room.rect;
+      ref.indoor = true;
+      ref.isProperRoom = !room.isCorridor;
+      regions_.push_back(std::move(ref));
+    }
+  }
+  for (const OutdoorRegion& region : city.outdoors) {
+    RegionRef ref;
+    ref.name = region.name;
+    ref.rect = region.rect;
+    regions_.push_back(std::move(ref));
+  }
+  require(!regions_.empty(), "Population: city has no regions");
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const auto idx = static_cast<std::int32_t>(i);
+    regionIndex_.insert(regions_[i].rect, idx);
+    (regions_[i].indoor ? indoorRegions_ : outdoorRegions_).push_back(idx);
+  }
+  require(!indoorRegions_.empty() && !outdoorRegions_.empty(),
+          "Population: need both indoor and outdoor regions");
+
+  const std::size_t total = config.commuters + config.crowd + config.vehicles + config.staff;
+  names_.reserve(total);
+  models_.reserve(total);
+  positions_.reserve(total);
+  goals_.reserve(total);
+  speeds_.reserve(total);
+  currentRegion_.reserve(total);
+  homeRegion_.reserve(total);
+  workRegion_.reserve(total);
+
+  spawn(config.commuters, AgentModel::Commuter, "com");
+  spawn(config.crowd, AgentModel::Crowd, "crw");
+  spawn(config.vehicles, AgentModel::Vehicle, "veh");
+  spawn(config.staff, AgentModel::Staff, "stf");
+}
+
+void Population::spawn(std::size_t count, AgentModel model, const char* prefix) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t agent = names_.size();
+    names_.push_back(std::string(prefix) + "-" + std::to_string(i));
+    models_.push_back(model);
+
+    std::int32_t startRegion;
+    double speed = config_.walkingSpeed;
+    switch (model) {
+      case AgentModel::Commuter:
+      case AgentModel::Staff: {
+        startRegion = indoorRegions_[static_cast<std::size_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(indoorRegions_.size()) - 1))];
+        break;
+      }
+      case AgentModel::Vehicle:
+        speed = config_.vehicleSpeed;
+        [[fallthrough]];
+      case AgentModel::Crowd:
+      default: {
+        startRegion = outdoorRegions_[static_cast<std::size_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(outdoorRegions_.size()) - 1))];
+        break;
+      }
+    }
+    positions_.push_back(randomPointIn(regions_[startRegion].rect));
+    goals_.push_back(positions_.back());
+    speeds_.push_back(static_cast<float>(speed * rng_.uniform(0.8, 1.2)));
+    currentRegion_.push_back(startRegion);
+
+    if (model == AgentModel::Commuter) {
+      homeRegion_.push_back(startRegion);
+      workRegion_.push_back(indoorRegions_[static_cast<std::size_t>(rng_.uniformInt(
+          0, static_cast<std::int64_t>(indoorRegions_.size()) - 1))]);
+    } else {
+      homeRegion_.push_back(startRegion);
+      workRegion_.push_back(startRegion);
+    }
+    pickGoal(agent, util::TimePoint{});
+  }
+}
+
+const std::string& Population::regionOf(std::size_t agent) const {
+  const std::int32_t idx = currentRegion_[agent];
+  return idx < 0 ? emptyName_ : regions_[static_cast<std::size_t>(idx)].name;
+}
+
+void Population::announceEvent(const geo::Rect& region) {
+  eventActive_ = true;
+  eventRegion_ = region;
+}
+
+void Population::clearEvent() { eventActive_ = false; }
+
+geo::Point2 Population::randomPointIn(const geo::Rect& rect) {
+  return {rng_.uniform(rect.lo().x, rect.hi().x), rng_.uniform(rect.lo().y, rect.hi().y)};
+}
+
+std::int32_t Population::regionIndexAt(geo::Point2 p) const {
+  // Smallest-area match, so a room wins over any enclosing circulation rect.
+  std::int32_t best = -1;
+  double bestArea = 0;
+  regionIndex_.search(geo::Rect::fromCorners(p, p), [&](std::int32_t idx) {
+    const RegionRef& ref = regions_[static_cast<std::size_t>(idx)];
+    if (!ref.rect.contains(p)) return;
+    if (best < 0 || ref.rect.area() < bestArea) {
+      best = idx;
+      bestArea = ref.rect.area();
+    }
+  });
+  return best;
+}
+
+void Population::pickGoal(std::size_t agent, util::TimePoint now) {
+  switch (models_[agent]) {
+    case AgentModel::Commuter: {
+      // Schedule: alternate home/work each commutePeriod, phase-shifted per
+      // agent so the whole population doesn't commute in lockstep.
+      const auto period = config_.commutePeriod.count();
+      const auto phase = static_cast<std::int64_t>(agent * 7919) % std::max<std::int64_t>(
+                             period, 1);
+      const bool atWork = ((now.time_since_epoch().count() + phase) / std::max<std::int64_t>(
+                               period, 1)) % 2 == 1;
+      const std::int32_t target = atWork ? workRegion_[agent] : homeRegion_[agent];
+      goals_[agent] = randomPointIn(regions_[static_cast<std::size_t>(target)].rect);
+      break;
+    }
+    case AgentModel::Crowd: {
+      if (eventActive_) {
+        const geo::Point2 c = eventRegion_.center();
+        goals_[agent] = {c.x + rng_.gaussian(0, std::max(1.0, eventRegion_.width() / 4)),
+                         c.y + rng_.gaussian(0, std::max(1.0, eventRegion_.height() / 4))};
+      } else {
+        const std::int32_t target = outdoorRegions_[static_cast<std::size_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(outdoorRegions_.size()) - 1))];
+        goals_[agent] = randomPointIn(regions_[static_cast<std::size_t>(target)].rect);
+      }
+      break;
+    }
+    case AgentModel::Vehicle: {
+      const std::int32_t target = outdoorRegions_[static_cast<std::size_t>(rng_.uniformInt(
+          0, static_cast<std::int64_t>(outdoorRegions_.size()) - 1))];
+      goals_[agent] = randomPointIn(regions_[static_cast<std::size_t>(target)].rect);
+      break;
+    }
+    case AgentModel::Staff: {
+      const std::int32_t target = indoorRegions_[static_cast<std::size_t>(rng_.uniformInt(
+          0, static_cast<std::int64_t>(indoorRegions_.size()) - 1))];
+      goals_[agent] = randomPointIn(regions_[static_cast<std::size_t>(target)].rect);
+      break;
+    }
+  }
+}
+
+void Population::emitFor(std::size_t agent, std::int32_t regionIdx, bool entered,
+                         util::TimePoint now, std::vector<db::SensorReading>& out) {
+  const RegionRef* region =
+      regionIdx >= 0 ? &regions_[static_cast<std::size_t>(regionIdx)] : nullptr;
+  const bool indoors = region != nullptr && region->indoor;
+
+  db::SensorReading reading;
+  reading.globPrefix = city_.name;
+  reading.mobileObjectId = util::MobileObjectId{names_[agent]};
+  reading.detectionTime = now;
+
+  switch (models_[agent]) {
+    case AgentModel::Staff: {
+      // Badge-only: one symbolic CardReader reading on each room entry.
+      if (!entered || region == nullptr || !region->isProperRoom) return;
+      reading.sensorId = util::SensorId{CitySensors::kBadgeId};
+      reading.sensorType = "CardReader";
+      reading.location = region->rect.center();
+      reading.symbolicRegion = region->rect;
+      break;
+    }
+    case AgentModel::Commuter: {
+      if (!indoors || !rng_.chance(kUwbDetect * config_.sampleFraction)) return;
+      reading.sensorId = util::SensorId{CitySensors::kUwbId};
+      reading.sensorType = "Ubisense";
+      reading.location = {positions_[agent].x + rng_.gaussian(0, kUwbRadius / 3),
+                          positions_[agent].y + rng_.gaussian(0, kUwbRadius / 3)};
+      reading.detectionRadius = kUwbRadius;
+      break;
+    }
+    case AgentModel::Crowd:
+    case AgentModel::Vehicle: {
+      if (indoors) {
+        if (models_[agent] == AgentModel::Vehicle) return;  // vehicles never enter
+        if (!rng_.chance(kUwbDetect * config_.sampleFraction)) return;
+        reading.sensorId = util::SensorId{CitySensors::kUwbId};
+        reading.sensorType = "Ubisense";
+        reading.location = {positions_[agent].x + rng_.gaussian(0, kUwbRadius / 3),
+                            positions_[agent].y + rng_.gaussian(0, kUwbRadius / 3)};
+        reading.detectionRadius = kUwbRadius;
+      } else {
+        if (!rng_.chance(kGpsDetect * config_.sampleFraction)) return;
+        reading.sensorId = util::SensorId{CitySensors::kGpsId};
+        reading.sensorType = "GPS";
+        reading.location = {positions_[agent].x + rng_.gaussian(0, kGpsRadius / 3),
+                            positions_[agent].y + rng_.gaussian(0, kGpsRadius / 3)};
+        reading.detectionRadius = kGpsRadius;
+      }
+      break;
+    }
+  }
+  out.push_back(std::move(reading));
+  ++emitted_;
+}
+
+void Population::step(util::TimePoint now, util::Duration dt,
+                      std::vector<db::SensorReading>& out) {
+  const double seconds = static_cast<double>(dt.count()) / 1000.0;
+  for (std::size_t agent = 0; agent < names_.size(); ++agent) {
+    geo::Point2& pos = positions_[agent];
+    const geo::Point2 goal = goals_[agent];
+    const double dx = goal.x - pos.x;
+    const double dy = goal.y - pos.y;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    const double stride = speeds_[agent] * seconds;
+    if (dist <= stride) {
+      pos = goal;
+      pickGoal(agent, now);
+    } else {
+      pos.x += dx / dist * stride;
+      pos.y += dy / dist * stride;
+    }
+
+    // Region tracking: cheap containment check against the cached region,
+    // full (R-tree) lookup only on exit.
+    std::int32_t region = currentRegion_[agent];
+    bool entered = false;
+    if (region < 0 || !regions_[static_cast<std::size_t>(region)].rect.contains(pos)) {
+      region = regionIndexAt(pos);
+      entered = region >= 0;
+      currentRegion_[agent] = region;
+    }
+    emitFor(agent, region, entered, now, out);
+  }
+}
+
+}  // namespace mw::citysim

@@ -1,0 +1,126 @@
+// City population: 10^5..10^6 agents with pluggable behaviour models.
+//
+// Each agent follows one of four models, each mapped to the sensor
+// technology (and §6 error model) that would actually observe it:
+//
+//   Commuter — walks between an assigned home room and work room on a
+//     schedule; observed indoors by the city-wide Ubisense UWB deployment
+//     (detect 0.95, radius 0.5 ft, gaussian noise).
+//   Crowd — flocks toward the announced event region (gaussian scatter
+//     around the attractor), wandering the outdoors otherwise; observed by
+//     GPS outdoors (detect 0.99, accuracy 15 ft) and UWB indoors.
+//   Vehicle — drives between random points of streets and plazas; GPS only.
+//   Staff — badge-only: invisible to continuous sensing, emits a single
+//     CardReader reading (symbolicRegion = the room) on each room entry.
+//
+// Storage is struct-of-arrays and the whole engine is driven by one master
+// RNG stepping agents in index order, so a (city, config) pair replays
+// byte-identically. step() moves every agent and appends the sensor
+// readings the deployment would emit for that tick; region membership is
+// tracked against an R-tree of every city region and only re-queried when
+// an agent leaves its cached region's rect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "citysim/city.hpp"
+#include "geometry/rtree.hpp"
+#include "spatialdb/sensor.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace mw::citysim {
+
+enum class AgentModel : std::uint8_t { Commuter, Crowd, Vehicle, Staff };
+
+struct PopulationConfig {
+  std::uint64_t seed = 42;
+  std::size_t commuters = 400;
+  std::size_t crowd = 300;
+  std::size_t vehicles = 200;
+  std::size_t staff = 100;
+  double walkingSpeed = 4.0;    ///< ft/s
+  double vehicleSpeed = 30.0;   ///< ft/s
+  /// Commuters swap home<->work every `commutePeriod` of simulated time.
+  util::Duration commutePeriod = util::minutes(10);
+  /// Fraction of agents emitting a reading per step for the continuous
+  /// technologies (UWB/GPS) — the per-tick sampling rate of the deployment.
+  double sampleFraction = 1.0;
+};
+
+/// Sensor ids/types the population emits with; registerSensors installs
+/// their §6 calibration rows.
+struct CitySensors {
+  static constexpr const char* kUwbId = "city-uwb";
+  static constexpr const char* kGpsId = "city-gps";
+  static constexpr const char* kBadgeId = "city-badge";
+  static void registerAll(db::SpatialDatabase& database);
+};
+
+class Population {
+ public:
+  Population(const CityBlueprint& city, const PopulationConfig& config);
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] const std::string& nameOf(std::size_t agent) const { return names_[agent]; }
+  [[nodiscard]] AgentModel modelOf(std::size_t agent) const { return models_[agent]; }
+  [[nodiscard]] geo::Point2 positionOf(std::size_t agent) const { return positions_[agent]; }
+  /// Ground-truth region name (room or outdoor region), empty when between
+  /// regions.
+  [[nodiscard]] const std::string& regionOf(std::size_t agent) const;
+
+  /// Crowd agents start flocking toward `region` (the event venue).
+  void announceEvent(const geo::Rect& region);
+  void clearEvent();
+
+  /// Advances every agent by `dt` and appends the readings emitted this
+  /// tick. Readings are in the city root frame (globPrefix = city name),
+  /// timestamped `now`.
+  void step(util::TimePoint now, util::Duration dt, std::vector<db::SensorReading>& out);
+
+  /// Total readings emitted since construction.
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  struct RegionRef {
+    std::string name;
+    geo::Rect rect;
+    bool indoor = false;
+    bool isProperRoom = false;  ///< indoor and not a corridor
+  };
+
+  void spawn(std::size_t count, AgentModel model, const char* prefix);
+  [[nodiscard]] geo::Point2 randomPointIn(const geo::Rect& rect);
+  [[nodiscard]] std::int32_t regionIndexAt(geo::Point2 p) const;
+  void pickGoal(std::size_t agent, util::TimePoint now);
+  void emitFor(std::size_t agent, std::int32_t regionIdx, bool entered,
+               util::TimePoint now, std::vector<db::SensorReading>& out);
+
+  const CityBlueprint& city_;
+  PopulationConfig config_;
+  util::Rng rng_;
+
+  std::vector<RegionRef> regions_;
+  geo::RTree<std::int32_t> regionIndex_;
+  std::vector<std::int32_t> indoorRegions_;   ///< indices into regions_
+  std::vector<std::int32_t> outdoorRegions_;  ///< indices into regions_
+
+  // Struct-of-arrays agent state.
+  std::vector<std::string> names_;
+  std::vector<AgentModel> models_;
+  std::vector<geo::Point2> positions_;
+  std::vector<geo::Point2> goals_;
+  std::vector<float> speeds_;
+  std::vector<std::int32_t> currentRegion_;  ///< -1 = between regions
+  std::vector<std::int32_t> homeRegion_;     ///< commuters: home room index
+  std::vector<std::int32_t> workRegion_;     ///< commuters: work room index
+
+  bool eventActive_ = false;
+  geo::Rect eventRegion_;
+  std::uint64_t emitted_ = 0;
+  std::string emptyName_;
+};
+
+}  // namespace mw::citysim

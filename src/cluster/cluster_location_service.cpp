@@ -615,7 +615,7 @@ void ClusterLocationService::spillSubscriptionsOnto(Shard& shard, const std::str
   }
   for (auto& [clusterId, sub] : candidates) {
     if (!territoryCovers(map, token, sub->region)) continue;
-    subscribeOnShard(shard, clusterId, *sub);  // claims the slot itself
+    subscribeOnShard(shard, clusterId, sub);  // claims the slot itself
   }
 }
 
@@ -819,6 +819,13 @@ void ClusterLocationService::clearShardSubscriptions(Shard& shard) {
   for (auto& [id, sub] : subs_) {
     std::uint64_t& slot = subSlot(sub->shardSubIds, shard.index);
     if (slot != kSubPending) slot = 0;
+    if (sub->agg && slot == 0) {
+      // The shard's count is unknowable until the replay re-registers and
+      // seeds a fresh one; drop it silently (no callback churn) so the
+      // fill-if-absent seed on reconnect takes.
+      std::lock_guard aggLock(sub->agg->mutex);
+      sub->agg->countOf.erase(shard.index);
+    }
   }
 }
 
@@ -1176,32 +1183,114 @@ util::SubscriptionId ClusterLocationService::subscribe(
         !territoryCovers(shard->token, region)) {
       continue;
     }
-    subscribeOnShard(*shard, clusterId, *sub);
+    subscribeOnShard(*shard, clusterId, sub);
   }
   return clusterId;
 }
 
+util::SubscriptionId ClusterLocationService::subscribeDensity(
+    const geo::Rect& region, double minProbability, std::size_t limit,
+    std::function<void(const core::DensityNotification&)> callback) {
+  auto shards = shardsSnapshot();
+  auto sub = std::make_shared<ClusterSub>();
+  sub->region = region;
+  sub->threshold = minProbability;
+  sub->limit = limit;
+  sub->densityCallback = std::move(callback);
+  sub->agg = std::make_shared<DensityAgg>();
+  sub->shardSubIds.assign(shards->size(), 0);
+
+  util::SubscriptionId clusterId;
+  {
+    std::lock_guard lock(subsMutex_);
+    clusterId = subIds_.next();
+    subs_.emplace(clusterId.value(), sub);
+  }
+  for (const auto& shard : *shards) {
+    if (options_.partitioning == Partitioning::Spatial &&
+        !territoryCovers(shard->token, region)) {
+      continue;
+    }
+    subscribeOnShard(*shard, clusterId, sub);
+  }
+  return clusterId;
+}
+
+void ClusterLocationService::reportDensityCount(ClusterSub& sub, util::SubscriptionId clusterId,
+                                                std::size_t shardIndex, std::uint64_t count,
+                                                bool seed, const util::MobileObjectId& object,
+                                                util::TimePoint when) {
+  core::DensityNotification out;
+  bool fire = false;
+  {
+    std::lock_guard lock(sub.agg->mutex);
+    if (seed) {
+      // Fill-if-absent: a live notification that raced ahead of the
+      // registration reply already reported a fresher count.
+      if (!sub.agg->countOf.emplace(shardIndex, count).second) return;
+    } else {
+      sub.agg->countOf[shardIndex] = count;
+    }
+    std::uint64_t total = 0;
+    for (const auto& [index, shardCount] : sub.agg->countOf) total += shardCount;
+    const bool over = total >= sub.limit;
+    if (over != sub.agg->lastOver) {
+      out.edge = over ? cq::CountEdge::Rose : cq::CountEdge::Fell;
+    }
+    fire = total != sub.agg->lastTotal || out.edge != cq::CountEdge::None;
+    sub.agg->lastTotal = total;
+    sub.agg->lastOver = over;
+    out.count = static_cast<std::size_t>(total);
+  }
+  if (!fire) return;
+  out.id = clusterId;
+  out.region = sub.region;
+  out.limit = sub.limit;
+  out.object = object;
+  out.when = when;
+  sub.densityCallback(out);
+}
+
 void ClusterLocationService::subscribeOnShard(Shard& shard, util::SubscriptionId clusterId,
-                                              ClusterSub& sub) {
+                                              const std::shared_ptr<ClusterSub>& sub) {
   {
     // Claim the slot: either the initial fan-out or a reconnect replay
     // registers on a given shard, never both.
     std::lock_guard lock(subsMutex_);
-    std::uint64_t& slot = subSlot(sub.shardSubIds, shard.index);
+    std::uint64_t& slot = subSlot(sub->shardSubIds, shard.index);
     if (slot != 0) return;
     slot = kSubPending;
   }
-  auto emit = [callback = sub.callback, clusterId](const core::Notification& n) {
-    core::Notification out = n;
-    out.id = clusterId;  // one client-facing id, whichever shard matched
-    callback(out);
-  };
-  auto shardSubId = callShard<std::uint64_t>(shard, [&](core::RemoteLocationClient& client) {
-        return client.subscribe(sub.region, sub.subject, sub.threshold, emit).value();
-      });
+  std::optional<std::uint64_t> shardSubId;
+  if (sub->agg) {
+    // The emit bridge captures the ClusterSub by shared_ptr: its density
+    // fields (region, limit, callback, agg) are immutable after creation,
+    // and the pin keeps the aggregation state alive past unsubscribe races.
+    auto emit = [sub, clusterId, shardIndex = shard.index](const core::DensityNotification& n) {
+      reportDensityCount(*sub, clusterId, shardIndex, n.count, /*seed=*/false, n.object, n.when);
+    };
+    auto handle = callShard<core::RemoteLocationClient::DensityHandle>(
+        shard, [&](core::RemoteLocationClient& client) {
+          return client.subscribeDensity(sub->region, sub->threshold, sub->limit, emit);
+        });
+    if (handle) {
+      shardSubId = handle->id.value();
+      reportDensityCount(*sub, clusterId, shard.index, handle->initialCount, /*seed=*/true,
+                         util::MobileObjectId{}, util::TimePoint{});
+    }
+  } else {
+    auto emit = [callback = sub->callback, clusterId](const core::Notification& n) {
+      core::Notification out = n;
+      out.id = clusterId;  // one client-facing id, whichever shard matched
+      callback(out);
+    };
+    shardSubId = callShard<std::uint64_t>(shard, [&](core::RemoteLocationClient& client) {
+      return client.subscribe(sub->region, sub->subject, sub->threshold, emit).value();
+    });
+  }
   std::unique_lock lock(subsMutex_);
   const bool live = subs_.contains(clusterId.value());
-  subSlot(sub.shardSubIds, shard.index) = (shardSubId && live) ? *shardSubId : 0;
+  subSlot(sub->shardSubIds, shard.index) = (shardSubId && live) ? *shardSubId : 0;
   if (shardSubId && !live) {
     // unsubscribe() won the race while registration was in flight; take the
     // orphan back down (best effort).
@@ -1238,15 +1327,32 @@ void ClusterLocationService::replaySubscriptions(Shard& shard, core::RemoteLocat
   }
   for (auto& [clusterId, sub] : missing) {
     std::uint64_t shardSubId = 0;
+    std::optional<std::size_t> seedCount;
     try {
-      auto emit = [callback = sub->callback, clusterId = clusterId](const core::Notification& n) {
-        core::Notification out = n;
-        out.id = clusterId;
-        callback(out);
-      };
-      shardSubId = client.subscribe(sub->region, sub->subject, sub->threshold, emit).value();
+      if (sub->agg) {
+        auto emit = [sub = sub, clusterId = clusterId,
+                     shardIndex = shard.index](const core::DensityNotification& n) {
+          reportDensityCount(*sub, clusterId, shardIndex, n.count, /*seed=*/false, n.object,
+                             n.when);
+        };
+        auto handle = client.subscribeDensity(sub->region, sub->threshold, sub->limit, emit);
+        shardSubId = handle.id.value();
+        seedCount = handle.initialCount;
+      } else {
+        auto emit = [callback = sub->callback,
+                     clusterId = clusterId](const core::Notification& n) {
+          core::Notification out = n;
+          out.id = clusterId;
+          callback(out);
+        };
+        shardSubId = client.subscribe(sub->region, sub->subject, sub->threshold, emit).value();
+      }
     } catch (const util::TransportError&) {
       // Fresh connection already gone; the next reconnect replays again.
+    }
+    if (seedCount) {
+      reportDensityCount(*sub, clusterId, shard.index, *seedCount, /*seed=*/true,
+                         util::MobileObjectId{}, util::TimePoint{});
     }
     std::lock_guard lock(subsMutex_);
     subSlot(sub->shardSubIds, shard.index) = subs_.contains(clusterId.value()) ? shardSubId : 0;

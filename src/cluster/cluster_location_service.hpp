@@ -227,6 +227,18 @@ class ClusterLocationService {
   util::SubscriptionId subscribe(const geo::Rect& region,
                                  std::optional<util::MobileObjectId> subject, double threshold,
                                  std::function<void(const core::Notification&)> callback);
+
+  /// Cluster-wide aggregate (density) standing rule: each covering shard
+  /// maintains its own region count incrementally (an object ingests on
+  /// exactly one shard, so shard populations are disjoint), and the router
+  /// sums the per-shard counts, firing `callback` on every total change with
+  /// limit-crossing edges computed against the cluster-wide total. Shard
+  /// registrations seed their initial counts as they attach, so the first
+  /// notifications walk the total up to the standing crowd.
+  util::SubscriptionId subscribeDensity(const geo::Rect& region, double minProbability,
+                                        std::size_t limit,
+                                        std::function<void(const core::DensityNotification&)> callback);
+
   bool unsubscribe(util::SubscriptionId id);
 
   // --- spatial partitioning ----------------------------------------------------
@@ -280,14 +292,31 @@ class ClusterLocationService {
     std::shared_ptr<core::RemoteLocationClient> client;
   };
 
+  /// Router-side aggregation state for one density subscription: disjoint
+  /// per-shard counts merged into a cluster total with its own limit-edge
+  /// memory. Guarded by its own mutex — shard notifications arrive on
+  /// independent event-reader threads. May be locked with subsMutex_ held
+  /// (clearShardSubscriptions); never take subsMutex_ under it.
+  struct DensityAgg {
+    std::mutex mutex;
+    std::unordered_map<std::size_t, std::uint64_t> countOf;  ///< shard index -> count
+    std::uint64_t lastTotal = 0;
+    bool lastOver = false;
+  };
+
   /// The subscription spec kept for fan-out and reconnect replay.
   struct ClusterSub {
     geo::Rect region;
     std::optional<util::MobileObjectId> subject;
-    double threshold = 0;
+    double threshold = 0;  ///< plain: probability threshold; density: minProbability
     std::function<void(const core::Notification&)> callback;
     /// Per-shard subscription id (0 = not registered on that shard).
     std::vector<std::uint64_t> shardSubIds;
+    /// Density subscriptions: limit + callback + aggregation state (null for
+    /// plain region-entry subscriptions).
+    std::size_t limit = 0;
+    std::function<void(const core::DensityNotification&)> densityCallback;
+    std::shared_ptr<DensityAgg> agg;
   };
 
   /// Ring-mode topology snapshot, published together with shards_ (null in
@@ -393,9 +422,18 @@ class ClusterLocationService {
   /// Registers one cluster subscription on one shard under the claim
   /// protocol (either the initial fan-out or a reconnect replay registers,
   /// never both; failures leave the slot empty for the next replay).
-  void subscribeOnShard(Shard& shard, util::SubscriptionId clusterId, ClusterSub& sub);
+  void subscribeOnShard(Shard& shard, util::SubscriptionId clusterId,
+                        const std::shared_ptr<ClusterSub>& sub);
   /// Replays every missing subscription onto a freshly connected shard.
   void replaySubscriptions(Shard& shard, core::RemoteLocationClient& client);
+
+  /// Folds one shard's density count report (live notification or
+  /// registration seed) into the cluster total and fires the user callback
+  /// when the total changed. Seeds only fill an absent slot — a live report
+  /// racing the registration reply is fresher and wins.
+  static void reportDensityCount(ClusterSub& sub, util::SubscriptionId clusterId,
+                                 std::size_t shardIndex, std::uint64_t count, bool seed,
+                                 const util::MobileObjectId& object, util::TimePoint when);
 
   const Options options_;
   core::RegistryClient registry_;

@@ -1,0 +1,41 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+
+namespace mw::cluster {
+
+std::vector<std::string> territoryNeighbours(const TerritoryMap& map, const std::string& token) {
+  std::vector<const TerritoryLeaf*> own;
+  for (const TerritoryLeaf& leaf : map.leaves()) {
+    if (leaf.owner == token) own.push_back(&leaf);
+  }
+  std::vector<std::string> neighbours;
+  for (const TerritoryLeaf& leaf : map.leaves()) {
+    if (leaf.owner == token) continue;
+    for (const TerritoryLeaf* mine : own) {
+      if (leaf.rect.intersects(mine->rect)) {
+        neighbours.push_back(leaf.owner);
+        break;
+      }
+    }
+  }
+  std::sort(neighbours.begin(), neighbours.end());
+  neighbours.erase(std::unique(neighbours.begin(), neighbours.end()), neighbours.end());
+  return neighbours;
+}
+
+PlacementDecision evaluateBackupPlacement(
+    const TerritoryMap& map, const std::string& primaryToken, const std::string& backupHost,
+    const std::unordered_map<std::string, std::string>& memberHosts) {
+  PlacementDecision decision;
+  for (const std::string& neighbour : territoryNeighbours(map, primaryToken)) {
+    auto it = memberHosts.find(neighbour);
+    if (it != memberHosts.end() && it->second == backupHost) {
+      decision.conflicts.push_back(neighbour);
+    }
+  }
+  decision.accepted = decision.conflicts.empty();
+  return decision;
+}
+
+}  // namespace mw::cluster

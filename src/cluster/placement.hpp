@@ -1,0 +1,46 @@
+// Territory-aware backup placement.
+//
+// A spatial shard's standby must not share a host with the shards whose
+// territories border its primary's: a single host failure there takes out a
+// shard AND the standby of an adjacent shard — exactly the pair most likely
+// to inherit each other's load (boundary-crossing movers hand off between
+// neighbours, and the balancer splits hot leaves onto them). The placement
+// functions here are pure — (map, tokens, hosts) in, decision out — so
+// policy is unit-testable without a registry or live hosts; ShardHost
+// consults them in maintainReplication() before accepting an announced
+// backup (Options::backupPlacement selects warn-only or strict refusal).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/territory_map.hpp"
+
+namespace mw::cluster {
+
+/// The owners (other than `token`) holding at least one leaf that touches a
+/// leaf of `token` in `map` — edge-adjacency counts (leaves tile the
+/// universe, so the closed-set Rect::intersects sees shared borders).
+/// Sorted, deduplicated; empty when the token owns nothing or has the whole
+/// universe to itself.
+[[nodiscard]] std::vector<std::string> territoryNeighbours(const TerritoryMap& map,
+                                                           const std::string& token);
+
+struct PlacementDecision {
+  bool accepted = true;
+  /// The neighbour tokens colocated with the candidate backup host (empty
+  /// when accepted).
+  std::vector<std::string> conflicts;
+};
+
+/// Evaluates a candidate backup host for `primaryToken`'s standby against
+/// the territory map and the current member-host assignment: refused when
+/// the candidate host also hosts a territory neighbour of the primary.
+/// `memberHosts` maps member tokens to the hosts their primaries serve
+/// from; the primary's own entry (and unknown members) are ignored.
+[[nodiscard]] PlacementDecision evaluateBackupPlacement(
+    const TerritoryMap& map, const std::string& primaryToken, const std::string& backupHost,
+    const std::unordered_map<std::string, std::string>& memberHosts);
+
+}  // namespace mw::cluster

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "cluster/placement.hpp"
 #include "cluster/territory_map.hpp"
 #include "orb/tcp.hpp"
 #include "util/bytes.hpp"
@@ -209,6 +210,42 @@ void ShardHost::installTap() {
       });
 }
 
+bool ShardHost::backupPlacementAcceptable(const core::Endpoint& backup) {
+  // Resolve the published territory map and the announced members' hosts;
+  // registry blindness (or no map yet) means no basis to refuse — accept.
+  TerritoryMap map;
+  std::unordered_map<std::string, std::string> memberHosts;
+  try {
+    auto meta = registry_.getMeta(kTerritoryMetaName);
+    if (!meta) return true;
+    map = TerritoryMap::decode(meta->value);
+    for (const std::string& name : registry_.list()) {
+      auto token = parseSpaceMemberName(name);
+      if (!token) continue;
+      if (auto peer = registry_.lookupEntry(name)) {
+        memberHosts.emplace(std::move(*token), peer->endpoint.host);
+      }
+    }
+  } catch (const util::TransportError&) {
+    return true;
+  }
+  PlacementDecision decision =
+      evaluateBackupPlacement(map, options_.spaceToken, backup.host, memberHosts);
+  if (decision.accepted) return true;
+  placementConflicts_.fetch_add(1, std::memory_order_relaxed);
+  std::string conflicts;
+  for (const std::string& token : decision.conflicts) {
+    if (!conflicts.empty()) conflicts += ", ";
+    conflicts += token;
+  }
+  const bool strict = options_.backupPlacement == Options::BackupPlacement::Strict;
+  util::logWarn("ShardHost", primaryName_, ": backup host ", backup.host,
+                " is colocated with territory neighbour(s) [", conflicts, "]; ",
+                strict ? "refusing the standby (strict placement)"
+                       : "replicating anyway (permissive placement)");
+  return !strict;
+}
+
 void ShardHost::maintainReplication() {
   const std::string backupName = primaryName_ + kBackupSuffix;
   {
@@ -238,6 +275,9 @@ void ShardHost::maintainReplication() {
   {
     std::lock_guard lock(mutex_);
     if (link_ && linkedBackup_ == entry->endpoint) return;  // already mirroring there
+  }
+  if (!options_.spaceToken.empty() && !backupPlacementAcceptable(entry->endpoint)) {
+    return;  // Strict placement refused the colocated standby
   }
   std::shared_ptr<core::RemoteLocationClient> client;
   try {

@@ -86,6 +86,15 @@ class ShardHost {
     /// start() binds and serves but does not announce — joinRing() will,
     /// after the handoff sessions are in place. Ring joiners only.
     bool deferAnnounce = false;
+    /// Territory-aware backup placement (placement.hpp): what a spatial
+    /// primary does when the announced backup shares a host with one of its
+    /// territory neighbours. Permissive warns, counts the conflict and
+    /// replicates anyway (single-host test clusters are all colocated);
+    /// Strict refuses the link until a better-placed backup announces.
+    /// Only consulted when spaceToken is set and a territory map is
+    /// published.
+    enum class BackupPlacement { Permissive, Strict };
+    BackupPlacement backupPlacement = BackupPlacement::Permissive;
   };
 
   /// Builds the core (not yet listening) and connects to the registry.
@@ -147,6 +156,12 @@ class ShardHost {
   [[nodiscard]] std::uint64_t fencedHeartbeats() const noexcept {
     return fencedHeartbeats_.load(std::memory_order_relaxed);
   }
+  /// Announced backups that failed the territory-aware placement check
+  /// (shared a host with a territory neighbour); counted in both placement
+  /// modes, refused only under Strict.
+  [[nodiscard]] std::uint64_t placementConflicts() const noexcept {
+    return placementConflicts_.load(std::memory_order_relaxed);
+  }
 
   /// Binds the service port, announces the shard (unless deferAnnounce),
   /// starts heartbeating.
@@ -187,6 +202,9 @@ class ShardHost {
   bool announceOnce();
   /// Primary tick: discover/maintain the backup link.
   void maintainReplication();
+  /// Territory-aware placement check for an announced backup endpoint
+  /// (placement.hpp); true = replicate to it. Counts and logs conflicts.
+  [[nodiscard]] bool backupPlacementAcceptable(const core::Endpoint& backup);
   /// Backup tick: watch the primary entry; promote when it expires.
   void monitorPrimary();
   void installTap();
@@ -215,6 +233,7 @@ class ShardHost {
   std::atomic<bool> fenced_{false};
   std::atomic<std::uint64_t> fencedHeartbeats_{0};
   std::atomic<std::uint64_t> promotions_{0};
+  std::atomic<std::uint64_t> placementConflicts_{0};
   /// Highest generation seen on the primary entry (backup role); the
   /// promotion claim uses this + 1.
   std::atomic<std::uint64_t> lastSeenGeneration_{0};

@@ -59,26 +59,76 @@ void LocationService::ingestOne(const db::SensorReading& reading) {
   // a reading that no longer intersects a region must still drive that
   // region's falling edge). Cost is O(matched), never O(subscriptions).
   std::vector<cq::ProductionId> toEvaluate;
+  struct DensityEval {
+    cq::ProductionId id;
+    geo::Rect region;
+    double minProbability;
+  };
+  std::vector<DensityEval> densityEvals;
+  bool anyPlain = false;
   {
     std::lock_guard lock(subsMutex_);
     subNet_.match(stored.rect(), object.str(), toEvaluate);
+    for (cq::ProductionId subId : toEvaluate) {
+      auto dit = densitySubs_.find(SubscriptionId{subId});
+      if (dit != densitySubs_.end()) {
+        densityEvals.push_back(
+            DensityEval{subId, dit->second.spec.region, dit->second.spec.minProbability});
+      } else {
+        anyPlain = true;
+      }
+    }
   }
   if (toEvaluate.empty()) return;
 
   // One fusion serves every subscription this reading touched (the insert
   // bumped the epoch, so this recomputes exactly once).
-  std::shared_ptr<const fusion::FusedState> fused = fusedStateFor(object);
+  std::shared_ptr<const fusion::FusedState> fused;
+  if (anyPlain) fused = fusedStateFor(object);
+  // Density rules poll their region population (the L2 cache makes this
+  // O(changed members)) with no service lock held — same lock discipline as
+  // the fusion above; the network sync below reconciles under subsMutex_.
+  std::vector<std::vector<std::string>> densityMembers;
+  densityMembers.reserve(densityEvals.size());
+  for (const DensityEval& d : densityEvals) {
+    auto population = objectsInRegion(d.region, d.minProbability);
+    std::vector<std::string> names;
+    names.reserve(population.size());
+    for (const auto& [member, probability] : population) names.push_back(member.str());
+    densityMembers.push_back(std::move(names));
+  }
   std::vector<PendingNotification> notifications;
+  std::vector<PendingDensityNotification> densityNotifications;
   {
     std::lock_guard lock(subsMutex_);
     // match() returns sorted ids, so evaluation (and notification) order is
     // deterministic for a given reading.
+    std::size_t di = 0;
     for (cq::ProductionId subId : toEvaluate) {
-      evaluateSubscriptionLocked(SubscriptionId{subId}, object, *fused, notifications);
+      if (di < densityEvals.size() && densityEvals[di].id == subId) {
+        const cq::CountUpdate update = subNet_.syncInside(subId, densityMembers[di]);
+        ++di;
+        if (!update.changed && update.edge == cq::CountEdge::None) continue;
+        auto dit = densitySubs_.find(SubscriptionId{subId});
+        if (dit == densitySubs_.end()) continue;  // unsubscribed in the meantime
+        DensityNotification n;
+        n.id = SubscriptionId{subId};
+        n.region = dit->second.spec.region;
+        n.count = update.count;
+        n.limit = dit->second.spec.limit;
+        n.edge = update.edge;
+        n.object = object;
+        n.when = clock_.now();
+        densityNotifications.push_back(
+            PendingDensityNotification{dit->second.spec.callback, std::move(n)});
+      } else {
+        evaluateSubscriptionLocked(SubscriptionId{subId}, object, *fused, notifications);
+      }
     }
   }
   // Callbacks run with no locks held, so they may (un)subscribe or query.
   for (auto& pending : notifications) pending.callback(pending.notification);
+  for (auto& pending : densityNotifications) pending.callback(pending.notification);
 }
 
 void LocationService::ingestBatch(std::span<const db::SensorReading> readings) {
@@ -580,18 +630,50 @@ SubscriptionId LocationService::subscribe(Subscription subscription) {
   return id;
 }
 
+LocationService::DensityHandle LocationService::subscribeDensity(
+    DensitySubscription subscription) {
+  require(static_cast<bool>(subscription.callback),
+          "LocationService::subscribeDensity: null callback");
+  require(!subscription.region.empty(), "LocationService::subscribeDensity: empty region");
+  // Seed the rule's beta memory from the current population so the first
+  // notification reports a change, not the whole standing crowd. Polled
+  // before the production exists — an update racing the install is caught by
+  // the next reading that touches the region (level-triggered semantics, the
+  // same convergence TTL expiry relies on).
+  const auto population = objectsInRegion(subscription.region, subscription.minProbability);
+  std::vector<std::string> members;
+  members.reserve(population.size());
+  for (const auto& [member, probability] : population) members.push_back(member.str());
+
+  std::lock_guard lock(subsMutex_);
+  const SubscriptionId id = subIds_.next();
+  subNet_.installProduction(id.value(), subscription.region, std::nullopt);
+  subNet_.makeCounting(id.value(), subscription.limit);
+  const cq::CountUpdate seeded = subNet_.syncInside(id.value(), members);
+  densitySubs_.emplace(id, DensitySubState{std::move(subscription)});
+  return DensityHandle{id, seeded.count};
+}
+
 bool LocationService::unsubscribe(SubscriptionId id) {
   std::lock_guard lock(subsMutex_);
   auto it = subs_.find(id);
-  if (it == subs_.end()) return false;
-  subNet_.removeProduction(id.value());
-  subs_.erase(it);
-  return true;
+  if (it != subs_.end()) {
+    subNet_.removeProduction(id.value());
+    subs_.erase(it);
+    return true;
+  }
+  auto dit = densitySubs_.find(id);
+  if (dit != densitySubs_.end()) {
+    subNet_.removeProduction(id.value());
+    densitySubs_.erase(dit);
+    return true;
+  }
+  return false;
 }
 
 std::size_t LocationService::subscriptionCount() const {
   std::lock_guard lock(subsMutex_);
-  return subs_.size();
+  return subs_.size() + densitySubs_.size();
 }
 
 LocationService::StandingRuleStats LocationService::standingRuleStats() const {

@@ -59,6 +59,31 @@ struct Subscription {
   std::function<void(const Notification&)> callback;
 };
 
+/// Notification delivered when a density subscription's region population
+/// changes. `edge` flags crossings of the configured limit: Rose is the
+/// overcrowding alarm, Fell the all-clear.
+struct DensityNotification {
+  util::SubscriptionId id;
+  geo::Rect region;  ///< the subscribed region (universe frame)
+  std::size_t count = 0;
+  std::size_t limit = 0;
+  cq::CountEdge edge = cq::CountEdge::None;
+  /// The object whose update re-evaluated the rule — what a crowd monitor
+  /// timestamps to measure ingest-to-alarm latency.
+  util::MobileObjectId object;
+  util::TimePoint when;
+};
+
+/// An aggregate standing rule (crowd monitoring): maintain the population
+/// count of `region` — objects with fused P(inside) >= minProbability, as
+/// served by the region population cache — and notify on every count change.
+struct DensitySubscription {
+  geo::Rect region;  ///< universe frame
+  double minProbability = 0.5;
+  std::size_t limit = 1;  ///< alarm threshold: edge fires when count crosses it
+  std::function<void(const DensityNotification&)> callback;
+};
+
 /// Thread-safety: ingest/ingestBatch and all pull queries may run
 /// concurrently (reader/writer locks on the database, the fusion cache and
 /// the subscription table). Setup-phase mutators — defineRegion,
@@ -265,7 +290,23 @@ class LocationService {
   // --- push: subscriptions (§4.3) -----------------------------------------------
 
   util::SubscriptionId subscribe(Subscription subscription);
+
+  /// Installs an aggregate standing rule as a counting node in the
+  /// continuous-query network: each affecting update syncs the rule's beta
+  /// memory from the region population cache (O(changed members)), fires the
+  /// callback on every count change and flags limit crossings. Returns the
+  /// id plus the population at subscribe time (seeded silently — no
+  /// callback); an update racing the installation converges the count on the
+  /// next reading that touches the region.
+  struct DensityHandle {
+    util::SubscriptionId id;
+    std::size_t initialCount = 0;
+  };
+  DensityHandle subscribeDensity(DensitySubscription subscription);
+
+  /// Removes a plain or density subscription.
   bool unsubscribe(util::SubscriptionId id);
+  /// Plain + density subscriptions currently installed.
   [[nodiscard]] std::size_t subscriptionCount() const;
 
   /// Continuous-query network shape: standing rules installed, distinct
@@ -425,6 +466,12 @@ class LocationService {
     Subscription spec;
   };
 
+  /// Density (counting) subscription specs; their membership state is the
+  /// counting node's beta memory in subNet_.
+  struct DensitySubState {
+    DensitySubscription spec;
+  };
+
   // --- region population cache internals ---------------------------------------
 
   /// Cache key: the polled region plus the query parameters that shape the
@@ -461,6 +508,11 @@ class LocationService {
   struct PendingNotification {
     std::function<void(const Notification&)> callback;
     Notification notification;
+  };
+
+  struct PendingDensityNotification {
+    std::function<void(const DensityNotification&)> callback;
+    DensityNotification notification;
   };
 
   /// Stores one reading and evaluates the subscriptions it touched — the
@@ -517,6 +569,7 @@ class LocationService {
   mutable std::mutex subsMutex_;
   util::IdSequencer<util::SubscriptionId> subIds_;
   std::unordered_map<util::SubscriptionId, SubState> subs_;
+  std::unordered_map<util::SubscriptionId, DensitySubState> densitySubs_;
   /// Rete-style discrimination network: match(reading box, object) returns
   /// the affected subscriptions — alpha hits plus exit candidates — so an
   /// ingest never scans the subscription table.

@@ -38,6 +38,31 @@ Notification decodeNotification(const Bytes& payload) {
   return n;
 }
 
+Bytes encodeDensityNotification(const DensityNotification& n) {
+  ByteWriter w;
+  w.u64(n.id.value());
+  encodeRect(w, n.region);
+  w.u64(n.count);
+  w.u64(n.limit);
+  w.u8(static_cast<std::uint8_t>(n.edge));
+  w.str(n.object.str());
+  w.i64(n.when.time_since_epoch().count());
+  return w.take();
+}
+
+DensityNotification decodeDensityNotification(const Bytes& payload) {
+  ByteReader r(payload);
+  DensityNotification n;
+  n.id = util::SubscriptionId{r.u64()};
+  n.region = decodeRect(r);
+  n.count = static_cast<std::size_t>(r.u64());
+  n.limit = static_cast<std::size_t>(r.u64());
+  n.edge = static_cast<cq::CountEdge>(r.u8());
+  n.object = util::MobileObjectId{r.str()};
+  n.when = util::TimePoint{util::Duration{r.i64()}};
+  return n;
+}
+
 Bytes encodeReadingBatch(std::span<const db::SensorReading> readings) {
   ByteWriter w;
   w.u32(static_cast<std::uint32_t>(readings.size()));
@@ -212,6 +237,22 @@ void exposeLocationService(orb::RpcServer& server, LocationService& service) {
     return w.take();
   });
 
+  server.registerMethod("subscribeDensity", [&service, &server](const Bytes& args) -> Bytes {
+    ByteReader r(args);
+    DensitySubscription sub;
+    sub.region = decodeRect(r);
+    sub.minProbability = r.f64();
+    sub.limit = static_cast<std::size_t>(r.u64());
+    sub.callback = [&server](const DensityNotification& n) {
+      server.publish("density." + std::to_string(n.id.value()), encodeDensityNotification(n));
+    };
+    LocationService::DensityHandle handle = service.subscribeDensity(std::move(sub));
+    ByteWriter w;
+    w.u64(handle.id.value());
+    w.u64(handle.initialCount);
+    return w.take();
+  });
+
   server.registerMethod("unsubscribe", [&service](const Bytes& args) -> Bytes {
     ByteReader r(args);
     util::SubscriptionId id{r.u64()};
@@ -226,6 +267,18 @@ RemoteLocationClient::RemoteLocationClient(std::shared_ptr<orb::RpcClient> rpc)
   mw::util::require(static_cast<bool>(rpc_), "RemoteLocationClient: null rpc client");
   rpc_->onEvent([this](const std::string& topic, const Bytes& payload) {
     constexpr std::string_view kPrefix = "notify.";
+    constexpr std::string_view kDensityPrefix = "density.";
+    if (topic.rfind(kDensityPrefix, 0) == 0) {
+      std::uint64_t id = std::stoull(topic.substr(kDensityPrefix.size()));
+      std::function<void(const DensityNotification&)> callback;
+      {
+        std::lock_guard lock(mutex_);
+        auto it = densityCallbacks_.find(id);
+        if (it != densityCallbacks_.end()) callback = it->second;
+      }
+      if (callback) callback(decodeDensityNotification(payload));
+      return;
+    }
     if (topic.rfind(kPrefix, 0) != 0) return;
     std::uint64_t id = std::stoull(topic.substr(kPrefix.size()));
     std::function<void(const Notification&)> callback;
@@ -362,10 +415,30 @@ util::SubscriptionId RemoteLocationClient::subscribe(
   return id;
 }
 
+RemoteLocationClient::DensityHandle RemoteLocationClient::subscribeDensity(
+    const geo::Rect& region, double minProbability, std::size_t limit,
+    std::function<void(const DensityNotification&)> callback) {
+  ByteWriter w;
+  encodeRect(w, region);
+  w.f64(minProbability);
+  w.u64(limit);
+  Bytes reply = rpc_->call("subscribeDensity", w.take());
+  ByteReader r(reply);
+  DensityHandle handle;
+  handle.id = util::SubscriptionId{r.u64()};
+  handle.initialCount = static_cast<std::size_t>(r.u64());
+  {
+    std::lock_guard lock(mutex_);
+    densityCallbacks_[handle.id.value()] = std::move(callback);
+  }
+  return handle;
+}
+
 bool RemoteLocationClient::unsubscribe(util::SubscriptionId id) {
   {
     std::lock_guard lock(mutex_);
     callbacks_.erase(id.value());
+    densityCallbacks_.erase(id.value());
   }
   ByteWriter w;
   w.u64(id.value());

@@ -127,6 +127,18 @@ class RemoteLocationClient {
   util::SubscriptionId subscribe(const geo::Rect& region,
                                  std::optional<util::MobileObjectId> subject, double threshold,
                                  std::function<void(const Notification&)> callback);
+
+  /// Aggregate (density) subscription; count-change notifications arrive on
+  /// topic "density.<id>". The handle carries the region population at
+  /// subscribe time so monitors start from the true count.
+  struct DensityHandle {
+    util::SubscriptionId id;
+    std::size_t initialCount = 0;
+  };
+  DensityHandle subscribeDensity(const geo::Rect& region, double minProbability,
+                                 std::size_t limit,
+                                 std::function<void(const DensityNotification&)> callback);
+
   bool unsubscribe(util::SubscriptionId id);
 
   /// The underlying connection — escape hatch for sideband methods hosts
@@ -138,6 +150,8 @@ class RemoteLocationClient {
   std::shared_ptr<orb::RpcClient> rpc_;
   std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::function<void(const Notification&)>> callbacks_;
+  std::unordered_map<std::uint64_t, std::function<void(const DensityNotification&)>>
+      densityCallbacks_;
 };
 
 /// Adapter-side coalescer: buffers single readings and ships them as oneway

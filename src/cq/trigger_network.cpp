@@ -153,6 +153,49 @@ void TriggerNetwork::setInside(ProductionId id, const std::string& object, bool 
   }
 }
 
+void TriggerNetwork::makeCounting(ProductionId id, std::size_t limit) {
+  auto it = productions_.find(id);
+  require(it != productions_.end(), "TriggerNetwork::makeCounting: unknown production");
+  require(!it->second.subject, "TriggerNetwork::makeCounting: counting rules are region-wide");
+  require(it->second.insideObjects.empty(),
+          "TriggerNetwork::makeCounting: production already has edge state");
+  it->second.counting = Counting{limit, 0, false};
+}
+
+bool TriggerNetwork::isCounting(ProductionId id) const {
+  auto it = productions_.find(id);
+  return it != productions_.end() && it->second.counting.has_value();
+}
+
+CountUpdate TriggerNetwork::syncInside(ProductionId id, const std::vector<std::string>& members) {
+  auto it = productions_.find(id);
+  if (it == productions_.end()) return {};  // removed concurrently with evaluation
+  Production& prod = it->second;
+  require(prod.counting.has_value(), "TriggerNetwork::syncInside: not a counting production");
+
+  // Exits: members of the old set absent from the new one. Collected first
+  // so the erase loop does not invalidate the iteration.
+  const std::unordered_set<std::string> fresh(members.begin(), members.end());
+  std::vector<std::string> exits;
+  for (const std::string& object : prod.insideObjects) {
+    if (!fresh.contains(object)) exits.push_back(object);
+  }
+  for (const std::string& object : exits) setInside(id, object, false);
+  for (const std::string& object : fresh) setInside(id, object, true);
+
+  Counting& counting = *prod.counting;
+  CountUpdate update;
+  update.count = prod.insideObjects.size();
+  update.changed = update.count != counting.lastCount;
+  const bool over = update.count >= counting.limit;
+  if (over != counting.lastOver) {
+    update.edge = over ? CountEdge::Rose : CountEdge::Fell;
+  }
+  counting.lastCount = update.count;
+  counting.lastOver = over;
+  return update;
+}
+
 std::optional<geo::Rect> TriggerNetwork::regionOf(ProductionId id) const {
   auto it = productions_.find(id);
   if (it == productions_.end()) return std::nullopt;

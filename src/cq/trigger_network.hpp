@@ -48,6 +48,18 @@ namespace mw::cq {
 /// subscription ids — whatever the owner sequences).
 using ProductionId = std::uint64_t;
 
+/// How a counting production's population relates to its limit after a sync,
+/// relative to the previous sync: Rose = crossed up to >= limit (the
+/// overcrowding alarm edge), Fell = dropped back below (all-clear).
+enum class CountEdge : std::uint8_t { None = 0, Rose = 1, Fell = 2 };
+
+/// Result of syncInside() on a counting production.
+struct CountUpdate {
+  std::size_t count = 0;             ///< members inside after the sync
+  bool changed = false;              ///< count differs from the previous sync
+  CountEdge edge = CountEdge::None;  ///< limit crossing, if any
+};
+
 class TriggerNetwork {
  public:
   /// Installs a production: notify when a reading for `subject` (or any
@@ -84,6 +96,23 @@ class TriggerNetwork {
   /// unknown.
   [[nodiscard]] std::optional<geo::Rect> regionOf(ProductionId id) const;
 
+  /// Marks an installed production as a counting (aggregate) rule: its beta
+  /// memory holds the region's population set and syncInside() reports count
+  /// changes and crossings of `limit` ("alarm when density(region) >= k").
+  /// Must be called once, right after installProduction, before any edge
+  /// state accumulates; counting rules are region-wide (no subject).
+  void makeCounting(ProductionId id, std::size_t limit);
+  [[nodiscard]] bool isCounting(ProductionId id) const;
+
+  /// Replaces a counting production's inside set with `members` wholesale
+  /// (the region population cache's current membership), updating the
+  /// reverse index pair-by-pair, and reports the resulting count and limit
+  /// crossing relative to the previous sync. O(|old| + |new|), so a sync
+  /// driven by the population cache stays O(affected). Returns a default
+  /// (unchanged, count 0) update for unknown ids — the production may have
+  /// been removed between match and evaluation.
+  CountUpdate syncInside(ProductionId id, const std::vector<std::string>& members);
+
   [[nodiscard]] std::size_t productionCount() const noexcept { return productions_.size(); }
   /// Distinct region rects — the R-tree size; productionCount/alphaNodeCount
   /// is the sharing factor.
@@ -109,12 +138,20 @@ class TriggerNetwork {
     std::size_t productionCount = 0;
   };
 
+  /// Aggregate state for counting productions (makeCounting).
+  struct Counting {
+    std::size_t limit = 0;
+    std::size_t lastCount = 0;
+    bool lastOver = false;
+  };
+
   struct Production {
     std::size_t alphaSlot = 0;
     std::optional<std::string> subject;
     /// Objects this production currently tracks as inside (mirror of the
     /// reverse index, so removeProduction cleans up in O(its own state)).
     std::unordered_set<std::string> insideObjects;
+    std::optional<Counting> counting;
   };
 
   void collectAlpha(const AlphaNode& alpha, const std::string& object,

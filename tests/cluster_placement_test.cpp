@@ -1,0 +1,91 @@
+// Territory-aware backup placement: a standby must not share a host with
+// the shards whose territories border its primary's.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "cluster/placement.hpp"
+#include "cluster/territory_map.hpp"
+
+using namespace mw;
+using namespace mw::cluster;
+
+namespace {
+
+geo::Rect universe() { return geo::Rect::fromOrigin({0, 0}, 100, 100); }
+
+/// Uniform 2x2 split over a/b/c/d. The kd split halves the long axis first,
+/// so every member owns one quadrant; with closed-set adjacency each member
+/// neighbours the other three (two edges + the shared center corner).
+TerritoryMap quadMap() { return TerritoryMap::uniform(universe(), {"a", "b", "c", "d"}); }
+
+}  // namespace
+
+TEST(PlacementPolicy, NeighboursAreSortedUniqueAndExcludeSelf) {
+  const TerritoryMap map = quadMap();
+  for (const std::string& token : {"a", "b", "c", "d"}) {
+    const auto neighbours = territoryNeighbours(map, token);
+    EXPECT_FALSE(neighbours.empty());
+    EXPECT_TRUE(std::is_sorted(neighbours.begin(), neighbours.end()));
+    EXPECT_EQ(std::adjacent_find(neighbours.begin(), neighbours.end()), neighbours.end());
+    for (const std::string& n : neighbours) EXPECT_NE(n, token);
+  }
+}
+
+TEST(PlacementPolicy, UnknownOrSoleOwnerHasNoNeighbours) {
+  EXPECT_TRUE(territoryNeighbours(quadMap(), "nope").empty());
+  const TerritoryMap solo = TerritoryMap::uniform(universe(), {"only"});
+  EXPECT_TRUE(territoryNeighbours(solo, "only").empty());
+}
+
+TEST(PlacementPolicy, RefusesBackupColocatedWithANeighbour) {
+  const TerritoryMap map = quadMap();
+  const auto neighbours = territoryNeighbours(map, "a");
+  ASSERT_FALSE(neighbours.empty());
+
+  std::unordered_map<std::string, std::string> hosts{
+      {"a", "host-1"}, {"b", "host-2"}, {"c", "host-3"}, {"d", "host-4"}};
+
+  // Candidate on a neighbour's host: refused, conflict names the neighbour.
+  const std::string conflicted = hosts.at(neighbours.front());
+  const PlacementDecision refused = evaluateBackupPlacement(map, "a", conflicted, hosts);
+  EXPECT_FALSE(refused.accepted);
+  ASSERT_FALSE(refused.conflicts.empty());
+  EXPECT_EQ(refused.conflicts.front(), neighbours.front());
+
+  // Candidate on a fresh host: accepted.
+  const PlacementDecision ok = evaluateBackupPlacement(map, "a", "host-9", hosts);
+  EXPECT_TRUE(ok.accepted);
+  EXPECT_TRUE(ok.conflicts.empty());
+}
+
+TEST(PlacementPolicy, PrimariesOwnHostIsNotAConflict) {
+  // The primary itself is not in its neighbour set, so a standby process on
+  // the primary's host is a (pointless but) accepted placement as far as
+  // THIS policy goes — the replication layer separately refuses self-links.
+  const TerritoryMap map = quadMap();
+  std::unordered_map<std::string, std::string> hosts{{"a", "host-1"}};
+  const PlacementDecision decision = evaluateBackupPlacement(map, "a", "host-1", hosts);
+  EXPECT_TRUE(decision.accepted);
+}
+
+TEST(PlacementPolicy, UnknownMembersAreIgnored) {
+  const TerritoryMap map = quadMap();
+  // Host assignment only known for one neighbour; others missing from the
+  // registry snapshot must not crash or conflict.
+  std::unordered_map<std::string, std::string> hosts{{"b", "host-2"}};
+  EXPECT_TRUE(evaluateBackupPlacement(map, "a", "host-7", hosts).accepted);
+  const PlacementDecision refused = evaluateBackupPlacement(map, "a", "host-2", hosts);
+  EXPECT_FALSE(refused.accepted);
+}
+
+TEST(PlacementPolicy, ColocatedEverythingConflictsOnEveryNeighbour) {
+  // Single-host dev clusters: every member on 127.0.0.1. Strict placement
+  // would refuse any backup; this is why ShardHost defaults to Permissive.
+  const TerritoryMap map = quadMap();
+  std::unordered_map<std::string, std::string> hosts;
+  for (const std::string& token : {"a", "b", "c", "d"}) hosts[token] = "127.0.0.1";
+  const PlacementDecision decision = evaluateBackupPlacement(map, "a", "127.0.0.1", hosts);
+  EXPECT_FALSE(decision.accepted);
+  EXPECT_EQ(decision.conflicts.size(), territoryNeighbours(map, "a").size());
+}

@@ -1,0 +1,166 @@
+// Aggregate standing rules (subscribeDensity): incremental counting vs a
+// full-recompute oracle under churn, alarm edges, and wire/cluster parity is
+// covered by the continuous-query and cluster suites — this file is the
+// oracle equivalence the crowd-monitoring workload rests on.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "citysim/city.hpp"
+#include "citysim/population.hpp"
+#include "core/location_service.hpp"
+#include "util/clock.hpp"
+
+using namespace mw;
+
+namespace {
+
+struct DensityLog {
+  std::mutex mutex;
+  std::vector<core::DensityNotification> events;
+
+  void push(const core::DensityNotification& n) {
+    std::lock_guard lock(mutex);
+    events.push_back(n);
+  }
+  [[nodiscard]] std::vector<core::DensityNotification> snapshot() {
+    std::lock_guard lock(mutex);
+    return events;
+  }
+};
+
+}  // namespace
+
+// Every density notification's count must equal the full-recompute oracle
+// (objectsInRegion at that instant), and the final count after arbitrary
+// churn must match a fresh poll — byte-identical alarm state, incrementally
+// maintained.
+TEST(DensityRules, CountsMatchFullRecomputeOracleUnderChurn) {
+  citysim::CityConfig cityConfig;
+  cityConfig.name = "Test";
+  cityConfig.rows = 1;
+  cityConfig.cols = 2;
+  cityConfig.building.roomsPerSide = 2;
+  const citysim::CityBlueprint city = citysim::generateCity(cityConfig);
+
+  util::VirtualClock clock;
+  db::SpatialDatabase database(clock, city.universe, city.frames());
+  city.populate(database);
+  citysim::CitySensors::registerAll(database);
+  core::LocationService service(clock, database);
+
+  const citysim::OutdoorRegion* venue = city.outdoorNamed("plaza-0-1");
+  ASSERT_NE(venue, nullptr);
+
+  DensityLog log;
+  core::DensitySubscription spec;
+  spec.region = venue->rect;
+  // A lone small-box reading fuses to ~0.49 under the uniform-area prior
+  // (the region is tiny relative to the city), so the workload threshold
+  // sits below that: corroborated members count, single stale hints don't.
+  spec.minProbability = 0.4;
+  spec.limit = 8;
+  spec.callback = [&](const core::DensityNotification& n) {
+    // Oracle check inside the callback: the service's own full poll at this
+    // instant must agree with the incrementally maintained count.
+    EXPECT_EQ(n.count, service.objectsInRegion(n.region, 0.4).size());
+    log.push(n);
+  };
+  const auto handle = service.subscribeDensity(spec);
+  EXPECT_EQ(handle.initialCount, 0u);
+
+  citysim::PopulationConfig popConfig;
+  popConfig.commuters = 10;
+  popConfig.crowd = 40;
+  popConfig.vehicles = 10;
+  popConfig.staff = 5;
+  popConfig.walkingSpeed = 12;
+  citysim::Population population(city, popConfig);
+  population.announceEvent(venue->rect);
+
+  std::vector<db::SensorReading> readings;
+  for (int tick = 0; tick < 120; ++tick) {
+    clock.advance(util::sec(1));
+    readings.clear();
+    population.step(clock.now(), util::sec(1), readings);
+    for (const db::SensorReading& reading : readings) service.ingest(reading);
+  }
+
+  const auto events = log.snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Final incremental count == fresh full recompute.
+  const std::size_t oracle = service.objectsInRegion(venue->rect, 0.4).size();
+  EXPECT_EQ(events.back().count, oracle);
+  EXPECT_GE(oracle, 8u);  // the crowd actually gathered past the limit
+
+  // Edge discipline: alarms and all-clears alternate, starting with Rose,
+  // and every edge crosses the limit in the right direction.
+  bool over = false;
+  for (const core::DensityNotification& n : events) {
+    EXPECT_EQ(n.limit, 8u);
+    if (n.edge == cq::CountEdge::Rose) {
+      EXPECT_FALSE(over);
+      EXPECT_GE(n.count, 8u);
+      over = true;
+    } else if (n.edge == cq::CountEdge::Fell) {
+      EXPECT_TRUE(over);
+      EXPECT_LT(n.count, 8u);
+      over = false;
+    }
+  }
+  EXPECT_TRUE(over);  // ended overcrowded
+  // Exactly the notifications a full recompute would emit: consecutive
+  // counts always differ (no duplicate/no-op events).
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_TRUE(events[i].count != events[i - 1].count ||
+                events[i].edge != cq::CountEdge::None);
+  }
+}
+
+TEST(DensityRules, UnsubscribeStopsNotifications) {
+  citysim::CityConfig cityConfig;
+  cityConfig.name = "Test";
+  cityConfig.rows = 1;
+  cityConfig.cols = 1;
+  const citysim::CityBlueprint city = citysim::generateCity(cityConfig);
+
+  util::VirtualClock clock;
+  db::SpatialDatabase database(clock, city.universe, city.frames());
+  city.populate(database);
+  citysim::CitySensors::registerAll(database);
+  core::LocationService service(clock, database);
+
+  const citysim::OutdoorRegion* venue = city.outdoorNamed("plaza-0-0");
+  ASSERT_NE(venue, nullptr);
+
+  DensityLog log;
+  core::DensitySubscription spec;
+  spec.region = venue->rect;
+  spec.minProbability = 0.3;  // a single GPS fix fuses to ~0.49 (area prior)
+  spec.limit = 1;
+  spec.callback = [&](const core::DensityNotification& n) { log.push(n); };
+  const auto handle = service.subscribeDensity(spec);
+  EXPECT_EQ(service.subscriptionCount(), 1u);
+
+  db::SensorReading reading;
+  reading.sensorId = util::SensorId{citysim::CitySensors::kGpsId};
+  reading.sensorType = "GPS";
+  reading.globPrefix = "Test";
+  reading.mobileObjectId = util::MobileObjectId{"walker"};
+  reading.location = venue->rect.center();
+  reading.detectionRadius = 5;
+  reading.detectionTime = clock.now();
+  service.ingest(reading);
+  const std::size_t before = log.snapshot().size();
+  EXPECT_GE(before, 1u);
+  EXPECT_EQ(log.snapshot().back().edge, cq::CountEdge::Rose);
+
+  EXPECT_TRUE(service.unsubscribe(handle.id));
+  EXPECT_EQ(service.subscriptionCount(), 0u);
+  clock.advance(util::sec(1));
+  reading.detectionTime = clock.now();
+  service.ingest(reading);
+  EXPECT_EQ(log.snapshot().size(), before);
+}
